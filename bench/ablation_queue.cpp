@@ -1,0 +1,112 @@
+// Design-choice ablations beyond the paper's Table 5: how the scheduler's
+// engineering knobs (manager tick period, assignment chunk size, bucket
+// count, assignment edge budget) move the time/work tradeoff on the three
+// contrast graphs. These quantify the design decisions DESIGN.md §5 calls
+// out (delegation granularity and window sizing).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/analysis.hpp"
+#include "graph/corpus.hpp"
+#include "graph/generators.hpp"
+#include "sssp/adds.hpp"
+
+using namespace adds;
+
+namespace {
+
+struct Knob {
+  std::string label;
+  AddsOptions opts;
+  double mtb_tick_us = 0;  // 0: model default
+};
+
+void run_block(const char* title, const std::vector<Knob>& knobs) {
+  const EngineConfig base = corpus_config();
+  TextTable t(title);
+  t.set_header({"variant", "road time", "road work", "mesh time",
+                "mesh work", "rmat time", "rmat work"});
+  for (const auto& knob : knobs) {
+    std::vector<std::string> row{knob.label};
+    for (const GraphSpec& spec :
+         {road_usa_like(), msdoor_like(), rmat22_like()}) {
+      const auto g = generate_graph<uint32_t>(spec);
+      const VertexId src = pick_source(g);
+      GpuCostModel gpu = base.gpu;
+      if (knob.mtb_tick_us > 0) gpu.mtb_tick_us = knob.mtb_tick_us;
+      const auto r = adds_sim(g, src, gpu, knob.opts);
+      row.push_back(fmt_time_us(r.time_us));
+      row.push_back(fmt_count(r.work.items_processed));
+      std::fprintf(stderr, "[ablation] %-24s %-16s %-10s\n",
+                   knob.label.c_str(), spec.name.c_str(),
+                   fmt_time_us(r.time_us).c_str());
+    }
+    t.add_row(row);
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cli = bench::make_cli("ablation_queue",
+                             "scheduler design-choice ablations");
+  if (!cli.parse(argc, argv)) return 0;
+
+  {
+    std::vector<Knob> knobs;
+    for (const uint32_t buckets : {2u, 8u, 32u, 64u}) {
+      Knob k;
+      k.label = std::to_string(buckets) + " buckets";
+      k.opts.num_buckets = buckets;
+      knobs.push_back(k);
+    }
+    run_block("Ablation: priority-window size (dynamic delta on)", knobs);
+  }
+  {
+    std::vector<Knob> knobs;
+    for (const uint32_t chunk : {32u, 256u, 2048u}) {
+      Knob k;
+      k.label = "chunk " + std::to_string(chunk) + " items";
+      k.opts.chunk_items = chunk;
+      knobs.push_back(k);
+    }
+    run_block("Ablation: assignment chunk size", knobs);
+  }
+  {
+    std::vector<Knob> knobs;
+    for (const uint32_t budget : {128u, 512u, 4096u}) {
+      Knob k;
+      k.label = "edge budget " + std::to_string(budget);
+      k.opts.chunk_edge_budget = budget;
+      knobs.push_back(k);
+    }
+    run_block("Ablation: assignment edge budget (load balancing)", knobs);
+  }
+  {
+    std::vector<Knob> knobs;
+    for (const double tick : {0.5, 2.0, 8.0, 32.0}) {
+      Knob k;
+      k.label = "MTB tick " + fmt_double(tick, 1) + " us";
+      k.mtb_tick_us = tick;
+      knobs.push_back(k);
+    }
+    run_block("Ablation: manager tick period (scheduling latency)", knobs);
+  }
+  {
+    std::vector<Knob> knobs;
+    for (const uint32_t active : {1u, 4u, 8u, 16u}) {
+      Knob k;
+      k.label = "max " + std::to_string(active) + " active buckets";
+      k.opts.controller.max_active_buckets = active;
+      knobs.push_back(k);
+    }
+    run_block("Ablation: high-priority bucket fan-out", knobs);
+  }
+  std::printf("expected: windows >= 8 buckets and moderate chunking are near "
+              "the sweet spot; very slow MTB ticks starve workers on "
+              "high-diameter graphs (scheduling latency is on the critical "
+              "path), and 1-bucket fan-out forfeits the fine-grained "
+              "utilization control of paper §5.5.\n");
+  return 0;
+}

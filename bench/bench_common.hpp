@@ -1,0 +1,30 @@
+// Shared helpers for the table/figure bench binaries.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace adds::bench {
+
+inline constexpr const char* kOutDir = "bench_out";
+
+/// Standard CLI shared by the corpus benches.
+inline CliParser make_cli(const std::string& name, const std::string& what) {
+  CliParser cli(name, what);
+  cli.add_option("tier", "corpus tier: smoke|default|full", "full");
+  cli.add_option("out", "output directory for CSV files", kOutDir);
+  return cli;
+}
+
+/// Footer reminding readers what the numbers are.
+inline std::string model_footer(const EngineConfig& cfg) {
+  return "machine model: " + cfg.gpu.spec().name +
+         " (virtual time; see DESIGN.md) — shapes/ratios are the "
+         "reproduction target, not absolute ms";
+}
+
+}  // namespace adds::bench

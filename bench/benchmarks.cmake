@@ -1,0 +1,33 @@
+# Bench binaries — one per paper table/figure (see DESIGN.md §4).
+# Declared via include() from the top-level CMakeLists so that
+# ${CMAKE_BINARY_DIR}/bench contains only runnable executables:
+#   for b in build/bench/*; do $b; done
+# regenerates every table and figure.
+
+set(ADDS_BENCH_DIR ${CMAKE_SOURCE_DIR}/bench)
+
+function(adds_add_bench name)
+  add_executable(${name} ${ADDS_BENCH_DIR}/${name}.cpp)
+  target_link_libraries(${name} PRIVATE adds adds_warnings)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+adds_add_bench(table1_specs)
+adds_add_bench(table2_corpus)
+adds_add_bench(fig4_delta_constant)
+adds_add_bench(fig7_delta_sweep)
+adds_add_bench(table3_speedup)
+adds_add_bench(table4_work)
+adds_add_bench(table5_gpus_ablation)
+adds_add_bench(fig10_correlation)
+adds_add_bench(fig11_15_traces)
+adds_add_bench(claims_workeff)
+adds_add_bench(ablation_queue)
+
+# Microbenchmarks of the queue primitives (google-benchmark).
+add_executable(queue_micro ${ADDS_BENCH_DIR}/queue_micro.cpp)
+target_link_libraries(queue_micro PRIVATE adds benchmark::benchmark
+  adds_warnings)
+set_target_properties(queue_micro PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

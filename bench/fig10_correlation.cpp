@@ -1,0 +1,71 @@
+// Figure 10: correlation between ADDS-over-NF speedup and relative work
+// efficiency (inverse vertex-count ratio). Points on the diagonal win by
+// work efficiency alone; the upper-left region (more work AND faster) wins
+// by parallelism; the lower-right trades work savings for reduced
+// parallelism.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace adds;
+
+int main(int argc, char** argv) {
+  auto cli = bench::make_cli(
+      "fig10_correlation", "Figure 10: speedup vs work-efficiency scatter");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto tier = parse_tier(cli.str("tier"));
+  const std::string out = cli.str("out");
+
+  CorpusRunOptions opts;
+  opts.config = corpus_config();
+  opts.solvers = {SolverKind::kAdds,  SolverKind::kNf,  SolverKind::kGunNf,
+                  SolverKind::kGunBf, SolverKind::kNv,  SolverKind::kCpuDs,
+                  SolverKind::kDijkstra};
+  const auto records =
+      run_corpus_cached(tier, opts, out, config_tag(opts));
+
+  CsvWriter csv(out + "/fig10_correlation.csv");
+  csv.write_header(
+      {"graph", "family", "speedup", "work_efficiency", "region"});
+
+  size_t diagonal = 0, upper_left = 0, lower_right = 0;
+  for (const auto& r : records) {
+    const auto a = r.outcomes.find("adds");
+    const auto n = r.outcomes.find("nf");
+    if (a == r.outcomes.end() || n == r.outcomes.end()) continue;
+    const double s = n->second.time_us / a->second.time_us;
+    // Work efficiency of ADDS relative to NF (inverse of vertex count
+    // ratio): > 1 means ADDS processed fewer vertices.
+    const double w = double(n->second.work.items_processed) /
+                     double(a->second.work.items_processed);
+    // Region classification around the diagonal s == w.
+    const char* region = "diagonal";
+    if (s > w * 1.5)
+      region = "upper-left (parallelism win)";
+    else if (w > s * 1.5)
+      region = "lower-right (work win > speedup)";
+    if (s > w * 1.5)
+      ++upper_left;
+    else if (w > s * 1.5)
+      ++lower_right;
+    else
+      ++diagonal;
+    csv.write_row({r.spec.name, family_name(r.spec.family), fmt_double(s, 3),
+                   fmt_double(w, 3), region});
+  }
+
+  TextTable t("Figure 10: region summary (" + std::to_string(records.size()) +
+              " graphs)");
+  t.set_header({"region", "meaning", "count"});
+  t.add_row({"diagonal", "speedup tracks work efficiency",
+             std::to_string(diagonal)});
+  t.add_row({"upper-left", "more work yet faster (parallelism win)",
+             std::to_string(upper_left)});
+  t.add_row({"lower-right", "work savings exceed speedup",
+             std::to_string(lower_right)});
+  t.add_footer("scatter data: " + out + "/fig10_correlation.csv");
+  t.add_footer("paper: many graphs cluster upper-left (road-USA-like); "
+               "lower-right is nearly empty (1 graph)");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figures 11-15: parallelism (in-flight edge count) over execution time for
+// ADDS vs NF on the five graphs the paper analyses in depth:
+//   Fig 11  road-USA    (s:3.09x, w:0.19x)  — parallelism win
+//   Fig 12  BenElechi1  (s:4x,    w:2.12x)  — both
+//   Fig 13  msdoor      (s:5.57x, w:4x)     — work win, late-phase stall
+//   Fig 14  rmat22      (s:2.29x, w:2.18x)  — pure work win
+//   Fig 15  c-big       (s:1.6x,  w:3.35x)  — short run, delta can't adapt
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/analysis.hpp"
+#include "graph/corpus.hpp"
+#include "graph/generators.hpp"
+
+using namespace adds;
+
+namespace {
+
+/// Paper-scale variants (~4x the default analogues): slower to run, but the
+/// power-law case reaches the throughput-bound regime where ADDS's work
+/// advantage shows (see EXPERIMENTS.md "known gaps").
+GraphSpec upscale(GraphSpec s) {
+  switch (s.family) {
+    case GraphFamily::kGridRoad:
+    case GraphFamily::kKNeighborMesh:
+      s.scale *= 2;
+      s.a *= 2;
+      break;
+    case GraphFamily::kRmat:
+      s.scale += 2;
+      break;
+    default:
+      s.scale *= 4;
+      break;
+  }
+  s.name += "-big";
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cli = bench::make_cli("fig11_15_traces",
+                             "Figures 11-15: parallelism over time");
+  cli.add_flag("big", "use ~4x larger, paper-scale graph analogues");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string out = cli.str("out");
+  const EngineConfig cfg = corpus_config();
+
+  CsvWriter csv(out + "/fig11_15_traces.csv");
+  csv.write_header({"figure", "graph", "solver", "t_us", "edges_in_flight"});
+
+  std::vector<std::pair<std::string, GraphSpec>> figures = {
+      {"fig11", road_usa_like()}, {"fig12", benelechi_like()},
+      {"fig13", msdoor_like()},   {"fig14", rmat22_like()},
+      {"fig15", cbig_like()},
+  };
+  if (cli.flag("big")) {
+    for (auto& [name, spec] : figures) spec = upscale(spec);
+  }
+  const std::vector<std::pair<std::string, std::pair<double, double>>>
+      paper = {{"fig11", {3.09, 0.19}},
+               {"fig12", {4.00, 2.12}},
+               {"fig13", {5.57, 4.00}},
+               {"fig14", {2.29, 2.18}},
+               {"fig15", {1.60, 3.35}}};
+
+  TextTable t("Figures 11-15: per-graph speedup and work efficiency");
+  t.set_header({"figure", "graph", "s (ours)", "w (ours)", "s (paper)",
+                "w (paper)", "adds time", "nf time", "mean par adds",
+                "mean par nf"});
+
+  for (size_t i = 0; i < figures.size(); ++i) {
+    const auto& [fig, spec] = figures[i];
+    const auto g = generate_graph<uint32_t>(spec);
+    const VertexId source = pick_source(g);
+    std::fprintf(stderr, "[%s] %s |V|=%llu |E|=%llu\n", fig.c_str(),
+                 spec.name.c_str(), (unsigned long long)g.num_vertices(),
+                 (unsigned long long)g.num_edges());
+
+    const auto a = run_solver(SolverKind::kAdds, g, source, cfg);
+    const auto n = run_solver(SolverKind::kNf, g, source, cfg);
+
+    for (const auto* res : {&a, &n}) {
+      for (const auto& s : res->trace.resample(300)) {
+        csv.write_row({fig, spec.name, res->solver, fmt_double(s.t_us, 2),
+                       fmt_double(s.edges_in_flight, 0)});
+      }
+    }
+
+    const double s = n.time_us / a.time_us;
+    const double w = double(n.work.items_processed) /
+                     double(a.work.items_processed);
+    t.add_row({fig, spec.name, fmt_ratio(s), fmt_ratio(w),
+               fmt_ratio(paper[i].second.first),
+               fmt_ratio(paper[i].second.second), fmt_time_us(a.time_us),
+               fmt_time_us(n.time_us),
+               fmt_count(uint64_t(a.trace.mean_parallelism())),
+               fmt_count(uint64_t(n.trace.mean_parallelism()))});
+  }
+  t.add_footer("w = NF vertex count / ADDS vertex count (as in the paper's "
+               "figure captions; > 1 means ADDS does less work)");
+  t.add_footer("trace series: " + out + "/fig11_15_traces.csv");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 4: Near-Far execution time against the heuristic constant C
+// (Δ = C * avg_weight / avg_degree) for two structurally different graphs.
+// The paper's point: both curves are deep U-shapes and their optima are far
+// apart, so no static C works for all graphs (§4.3).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/analysis.hpp"
+#include "graph/corpus.hpp"
+#include "graph/generators.hpp"
+#include "sssp/nearfar.hpp"
+
+using namespace adds;
+
+int main(int argc, char** argv) {
+  auto cli = bench::make_cli(
+      "fig4_delta_constant",
+      "Figure 4: NF execution time vs heuristic constant C");
+  cli.add_option("max-c-exp", "sweep C over 2^0 .. 2^this", "14");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const EngineConfig cfg = corpus_config();
+  const int max_exp = int(cli.integer("max-c-exp"));
+
+  CsvWriter csv(cli.str("out") + "/fig4_delta_constant.csv");
+  csv.write_header({"graph", "c", "delta", "time_us", "normalized"});
+
+  // The paper uses a road network and an msdoor-like FEM mesh.
+  for (const GraphSpec& spec : {road_usa_like(), msdoor_like()}) {
+    const auto g = generate_graph<uint32_t>(spec);
+    const VertexId source = pick_source(g);
+    std::fprintf(stderr, "[fig4] %s: |V|=%llu |E|=%llu\n", spec.name.c_str(),
+                 (unsigned long long)g.num_vertices(),
+                 (unsigned long long)g.num_edges());
+
+    std::vector<double> cs, times;
+    for (int e = 0; e <= max_exp; e += 2) {
+      const double c = std::pow(2.0, e);
+      NearFarOptions opts;
+      opts.heuristic_c = c;
+      const auto res = near_far(g, source, cfg.gpu, opts);
+      cs.push_back(c);
+      times.push_back(res.time_us);
+      std::fprintf(stderr, "  C=2^%-2d -> %s\n", e,
+                   fmt_time_us(res.time_us).c_str());
+    }
+
+    double best = times[0];
+    size_t best_i = 0;
+    for (size_t i = 1; i < times.size(); ++i)
+      if (times[i] < best) best = times[best_i = i];
+
+    TextTable t("Figure 4 series: " + spec.name +
+                " (normalized NF time vs C; x labels are powers of 2)");
+    std::vector<std::string> header, row;
+    for (size_t i = 0; i < cs.size(); ++i) {
+      header.push_back("2^" + std::to_string(int(std::log2(cs[i]))));
+      row.push_back(fmt_double(times[i] / best, 2));
+      csv.write_row({spec.name, fmt_double(cs[i], 0),
+                     fmt_double(cs[i] * g.average_weight() /
+                                    std::max(1.0, g.average_degree()),
+                                1),
+                     fmt_double(times[i], 1),
+                     fmt_double(times[i] / best, 3)});
+    }
+    t.set_header(header);
+    t.add_row(row);
+    t.add_footer("optimal C = " + header[best_i] +
+                 "; min time = " + fmt_time_us(best));
+    t.print();
+  }
+  std::printf("Paper's claim: the two optima differ by orders of magnitude "
+              "(no single C fits all graphs).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 7: execution time and work performed against a *fixed* Δ (dynamic
+// selection disabled, 32 buckets) for the paper's three contrast graphs:
+// RMAT (work-bound), ROAD (parallelism-bound) and MSDOOR (in between).
+// For each graph the bench identifies the best-work point, the best-perf
+// point, and the clip point, and checks the paper's orderings:
+//   * ROAD: best-perf is much faster than best-work despite more work;
+//   * RMAT: best-perf == best-work (time tracks work when saturated);
+//   * clip point is always worse than best-work.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/analysis.hpp"
+#include "graph/corpus.hpp"
+#include "graph/generators.hpp"
+#include "sssp/adds.hpp"
+#include "sssp/delta_heuristic.hpp"
+
+using namespace adds;
+
+int main(int argc, char** argv) {
+  auto cli = bench::make_cli("fig7_delta_sweep",
+                             "Figure 7: time and work vs fixed delta");
+  cli.add_option("points", "number of delta points (powers of 2)", "17");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const EngineConfig cfg = corpus_config();
+  const int points = int(cli.integer("points"));
+
+  CsvWriter csv(cli.str("out") + "/fig7_delta_sweep.csv");
+  csv.write_header({"graph", "delta", "time_us", "items", "norm_time",
+                    "norm_work", "clipped"});
+
+  for (const GraphSpec& spec :
+       {rmat22_like(), road_usa_like(), msdoor_like()}) {
+    const auto g = generate_graph<uint32_t>(spec);
+    const VertexId source = pick_source(g);
+    // Sweep around the heuristic value: delta = heuristic * 2^(e - points/2).
+    const double base = static_delta(g, 1.0);
+    std::fprintf(stderr, "[fig7] %s base delta (C=1) = %.1f\n",
+                 spec.name.c_str(), base);
+
+    std::vector<double> deltas, times, works;
+    for (int e = 0; e < points; ++e) {
+      const double delta = base * std::pow(2.0, e - 5);
+      AddsOptions opts;
+      opts.dynamic_delta = false;  // fixed delta, as in the figure
+      opts.delta = delta;
+      const auto res = adds_sim(g, source, cfg.gpu, opts);
+      deltas.push_back(delta);
+      times.push_back(res.time_us);
+      works.push_back(double(res.work.items_processed));
+      std::fprintf(stderr, "  delta=%-10.0f time=%-12s work=%s\n", delta,
+                   fmt_time_us(res.time_us).c_str(),
+                   fmt_count(res.work.items_processed).c_str());
+    }
+
+    size_t best_time = 0, best_work = 0;
+    for (size_t i = 1; i < deltas.size(); ++i) {
+      if (times[i] < times[best_time]) best_time = i;
+      if (works[i] < works[best_work]) best_work = i;
+    }
+
+    TextTable t("Figure 7: " + spec.name +
+                " (normalized; lower is better; 32 buckets)");
+    t.set_header({"delta", "time (norm)", "work (norm)", "note"});
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      std::string note;
+      if (i == best_time) note += " best-perf-point";
+      if (i == best_work) note += " best-work-point";
+      if (i == 0) note += " (clip region)";
+      t.add_row({fmt_double(deltas[i], 0),
+                 fmt_double(times[i] / times[best_time], 2),
+                 fmt_double(works[i] / works[best_work], 2), note});
+      csv.write_row({spec.name, fmt_double(deltas[i], 1),
+                     fmt_double(times[i], 1), fmt_double(works[i], 0),
+                     fmt_double(times[i] / times[best_time], 3),
+                     fmt_double(works[i] / works[best_work], 3),
+                     i == 0 ? "1" : "0"});
+    }
+    const double perf_gain = times[best_work] / times[best_time];
+    const double work_cost = works[best_time] / works[best_work];
+    t.add_footer("best-perf is " + fmt_ratio(perf_gain) +
+                 " faster than best-work while doing " +
+                 fmt_ratio(work_cost) + " the work");
+    t.add_footer("clip-point (smallest delta) vs best-work: " +
+                 fmt_ratio(times[0] / times[best_work]) + " slower, " +
+                 fmt_ratio(works[0] / works[best_work]) + " the work");
+    t.print();
+  }
+  return 0;
+}

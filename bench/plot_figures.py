@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Render the paper's figures from the bench CSV outputs.
+
+Usage:
+    python3 bench/plot_figures.py [--out bench_out/plots] [--dir bench_out]
+
+Reads the CSVs written by the bench binaries (run them first) and produces
+PNGs mirroring the paper's Figures 4, 7, 8, 9, 10 and 11-15. Requires
+matplotlib; everything else in the repository is dependency-free, so this
+script degrades to a clear error message when matplotlib is unavailable.
+"""
+import argparse
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    if not os.path.exists(path):
+        print(f"  [skip] {path} not found — run the bench first")
+        return None
+    with open(path) as f:
+        return list(csv.DictReader(f))
+
+
+def plot_fig4(plt, rows, out):
+    series = defaultdict(list)
+    for r in rows:
+        series[r["graph"]].append((float(r["c"]), float(r["normalized"])))
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for name, pts in series.items():
+        pts.sort()
+        ax.plot([p[0] for p in pts], [p[1] for p in pts], marker="o",
+                label=name)
+    ax.set_xscale("log", base=2)
+    ax.set_xlabel("heuristic constant C")
+    ax.set_ylabel("NF time (normalized to min)")
+    ax.set_title("Figure 4: NF execution time vs constant C")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out)
+
+
+def plot_fig7(plt, rows, out):
+    graphs = sorted({r["graph"] for r in rows})
+    fig, axes = plt.subplots(1, len(graphs), figsize=(5 * len(graphs), 4))
+    if len(graphs) == 1:
+        axes = [axes]
+    for ax, g in zip(axes, graphs):
+        pts = [(float(r["delta"]), float(r["norm_time"]),
+                float(r["norm_work"])) for r in rows if r["graph"] == g]
+        pts.sort()
+        ax.plot([p[0] for p in pts], [p[1] for p in pts], marker="o",
+                label="time")
+        ax.plot([p[0] for p in pts], [p[2] for p in pts], marker="s",
+                label="work")
+        ax.set_xscale("log", base=2)
+        ax.set_yscale("log")
+        ax.set_title(g)
+        ax.set_xlabel("delta")
+        ax.legend()
+    fig.suptitle("Figure 7: time and work vs fixed delta")
+    fig.tight_layout()
+    fig.savefig(out)
+
+
+def plot_scatter(plt, rows, xkey, xlabel, title, out, logx=True):
+    xs = [float(r[xkey]) for r in rows]
+    ys = [float(r["speedup_adds_over_nf"]) for r in rows]
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.scatter(xs, ys, s=12, alpha=0.6)
+    ax.axhline(1.0, color="gray", linestyle="--", linewidth=1)
+    if logx:
+        ax.set_xscale("log")
+    ax.set_yscale("log")
+    ax.set_xlabel(xlabel)
+    ax.set_ylabel("ADDS speedup over NF")
+    ax.set_title(title)
+    fig.tight_layout()
+    fig.savefig(out)
+
+
+def plot_fig10(plt, rows, out):
+    fig, ax = plt.subplots(figsize=(5.5, 5.5))
+    xs = [float(r["work_efficiency"]) for r in rows]
+    ys = [float(r["speedup"]) for r in rows]
+    ax.scatter(xs, ys, s=12, alpha=0.6)
+    lo = min(min(xs), min(ys), 0.05)
+    hi = max(max(xs), max(ys), 10)
+    ax.plot([lo, hi], [lo, hi], color="gray", linestyle="--", linewidth=1,
+            label="speedup == work efficiency")
+    ax.set_xscale("log")
+    ax.set_yscale("log")
+    ax.set_xlabel("work efficiency vs NF (inverse vertex-count ratio)")
+    ax.set_ylabel("speedup vs NF")
+    ax.set_title("Figure 10: speedup vs work efficiency")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out)
+
+
+def plot_traces(plt, rows, out):
+    figs = sorted({r["figure"] for r in rows})
+    fig, axes = plt.subplots(len(figs), 1, figsize=(7, 2.6 * len(figs)))
+    if len(figs) == 1:
+        axes = [axes]
+    for ax, f in zip(axes, figs):
+        for solver, style in (("adds", "-"), ("nf", "--")):
+            pts = [(float(r["t_us"]), float(r["edges_in_flight"]))
+                   for r in rows if r["figure"] == f and r["solver"] == solver]
+            pts.sort()
+            ax.plot([p[0] for p in pts], [p[1] for p in pts], style,
+                    label=solver)
+        graph = next(r["graph"] for r in rows if r["figure"] == f)
+        ax.set_title(f"{f}: {graph}")
+        ax.set_ylabel("edges in flight")
+        ax.set_yscale("symlog")
+        ax.legend()
+    axes[-1].set_xlabel("virtual time (us)")
+    fig.tight_layout()
+    fig.savefig(out)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--dir", default="bench_out")
+    ap.add_argument("--out", default=None)
+    args = ap.parse_args()
+    out_dir = args.out or os.path.join(args.dir, "plots")
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(out_dir, exist_ok=True)
+    jobs = [
+        ("fig4_delta_constant.csv", plot_fig4, "fig4.png", {}),
+        ("fig7_delta_sweep.csv", plot_fig7, "fig7.png", {}),
+        ("fig8_speedup_vs_degree.csv",
+         lambda plt, rows, out: plot_scatter(
+             plt, rows, "avg_degree", "average degree",
+             "Figure 8: speedup vs degree", out),
+         "fig8.png", {}),
+        ("fig9_speedup_vs_diameter.csv",
+         lambda plt, rows, out: plot_scatter(
+             plt, rows, "diameter", "pseudo-diameter",
+             "Figure 9: speedup vs diameter", out),
+         "fig9.png", {}),
+        ("fig10_correlation.csv", plot_fig10, "fig10.png", {}),
+        ("fig11_15_traces.csv", plot_traces, "fig11_15.png", {}),
+    ]
+    for csv_name, fn, png, _ in jobs:
+        rows = read_csv(os.path.join(args.dir, csv_name))
+        if rows:
+            fn(plt, rows, os.path.join(out_dir, png))
+            print(f"  wrote {os.path.join(out_dir, png)}")
+
+
+if __name__ == "__main__":
+    main()

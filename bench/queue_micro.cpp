@@ -1,0 +1,176 @@
+// Microbenchmarks of the ADDS queue primitives (google-benchmark): the
+// engineering §5 of the paper is about. Measures the host implementation of
+// reservation/publication, the manager's segment scan, the FIFO block
+// allocator, the translation cache, and the CAS distance update.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "queue/block_pool.hpp"
+#include "queue/bucket.hpp"
+#include "queue/translation_cache.hpp"
+#include "queue/work_queue.hpp"
+#include "sssp/atomic_dist.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace adds;
+
+constexpr uint32_t kBlockWords = 4096;
+
+struct BucketHarness {
+  BucketHarness(uint32_t blocks, uint32_t capacity_items)
+      : pool(blocks, kBlockWords), bucket(pool, BucketConfig{32, 1024}) {
+    bucket.ensure_capacity(capacity_items);
+  }
+  BlockPool pool;
+  Bucket bucket;
+};
+
+std::unique_ptr<BucketHarness> g_harness;
+
+/// Single and multi-writer push throughput: one atomic reservation + store +
+/// WCC publication per item.
+void BM_BucketPush(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    // Capacity for every thread's full iteration count.
+    const uint32_t total =
+        uint32_t(state.max_iterations) * uint32_t(state.threads()) + 64;
+    g_harness = std::make_unique<BucketHarness>(
+        total / kBlockWords + 4, total);
+  }
+  for (auto _ : state) {
+    g_harness->bucket.push(42);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) g_harness.reset();
+}
+BENCHMARK(BM_BucketPush)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Iterations(1 << 18)
+    ->UseRealTime();
+
+/// Batched reservation: reserve(k) + k stores + one publish per segment.
+void BM_BucketReservePublishBatch(benchmark::State& state) {
+  const uint32_t batch = uint32_t(state.range(0));
+  const uint32_t total = uint32_t(state.max_iterations) * batch + 64;
+  BucketHarness h(total / kBlockWords + 4, total);
+  for (auto _ : state) {
+    const uint32_t start = h.bucket.reserve(batch);
+    if (!h.bucket.wait_allocated(start + batch)) break;
+    for (uint32_t i = 0; i < batch; ++i) h.bucket.write(start + i, i);
+    h.bucket.publish(start, batch);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BucketReservePublishBatch)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(256)
+    ->Iterations(1 << 14);
+
+/// Manager-side scan: compute the known-written bound over published
+/// segments (the SRMW read path).
+void BM_BucketScan(benchmark::State& state) {
+  const uint32_t items = uint32_t(state.range(0));
+  BucketHarness h(items / kBlockWords + 4, items + 64);
+  const uint32_t start = h.bucket.reserve(items);
+  for (uint32_t i = 0; i < items; ++i) h.bucket.write(start + i, i);
+  h.bucket.publish(start, items);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.bucket.scan_written_bound());
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+}
+BENCHMARK(BM_BucketScan)->Arg(1024)->Arg(65536);
+
+/// FIFO block allocator: allocate + release cycle.
+void BM_BlockPoolAllocRelease(benchmark::State& state) {
+  BlockPool pool(1024, kBlockWords);
+  for (auto _ : state) {
+    const BlockId a = pool.allocate();
+    const BlockId b = pool.allocate();
+    pool.release(a);
+    pool.release(b);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_BlockPoolAllocRelease);
+
+/// Worker-side reads through the direct-mapped translation cache vs the
+/// two-level lookup.
+void BM_TranslationCacheRead(benchmark::State& state) {
+  const uint32_t items = 1 << 16;
+  BucketHarness h(items / kBlockWords + 4, items + 64);
+  const uint32_t start = h.bucket.reserve(items);
+  for (uint32_t i = 0; i < items; ++i) h.bucket.write(start + i, i);
+  h.bucket.publish(start, items);
+
+  TranslationCache<8> cache;
+  cache.reset();
+  uint32_t idx = 0;
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    sum += cache.read(h.bucket, idx);
+    idx = (idx + 1) & (items - 1);
+  }
+  benchmark::DoNotOptimize(sum);
+  state.counters["hit_rate"] = benchmark::Counter(
+      double(cache.hits()) /
+      double(std::max<uint64_t>(1, cache.hits() + cache.misses())));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TranslationCacheRead);
+
+void BM_BucketDirectRead(benchmark::State& state) {
+  const uint32_t items = 1 << 16;
+  BucketHarness h(items / kBlockWords + 4, items + 64);
+  const uint32_t start = h.bucket.reserve(items);
+  for (uint32_t i = 0; i < items; ++i) h.bucket.write(start + i, i);
+  h.bucket.publish(start, items);
+
+  uint32_t idx = 0;
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    sum += h.bucket.read_item(idx);
+    idx = (idx + 1) & (items - 1);
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BucketDirectRead);
+
+/// Priority mapping math used on every push.
+void BM_LogicalIndexMapping(benchmark::State& state) {
+  Xoshiro256 rng(7);
+  std::vector<double> dists(4096);
+  for (auto& d : dists) d = rng.next_double() * 1e6;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        WorkQueue::logical_index(dists[i & 4095], 1000.0, 977.0, 32));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogicalIndexMapping);
+
+/// The software atomicMin (CAS loop) both ADDS and the baselines rely on.
+void BM_AtomicDistFetchMin(benchmark::State& state) {
+  AtomicDistArray<uint64_t> dist(1 << 16, ~0ull);
+  Xoshiro256 rng(9);
+  for (auto _ : state) {
+    const size_t v = size_t(rng.next_below(1 << 16));
+    dist.fetch_min(v, rng.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AtomicDistFetchMin);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Table 1: hardware specifications of the two evaluation GPUs, plus the
+// derived virtual-machine parameters every other bench runs on.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/cost_model.hpp"
+
+using namespace adds;
+
+int main(int argc, char** argv) {
+  CliParser cli("table1_specs", "Table 1: hardware specifications");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const GpuSpec ti = GpuSpec::rtx2080ti();
+  const GpuSpec ga = GpuSpec::rtx3090();
+
+  TextTable t("Table 1: Hardware specifications");
+  t.set_header({"", ti.name, ga.name});
+  auto row = [&](const std::string& label, auto get) {
+    t.add_row({label, get(ti), get(ga)});
+  };
+  row("SM Count", [](const GpuSpec& s) { return std::to_string(s.sm_count); });
+  row("Threads Per SM",
+      [](const GpuSpec& s) { return std::to_string(s.threads_per_sm); });
+  row("Max Clock Rate",
+      [](const GpuSpec& s) { return fmt_double(s.clock_ghz, 2) + " GHz"; });
+  row("GDDR6 Bandwidth", [](const GpuSpec& s) {
+    return fmt_double(s.dram_bandwidth_gbps, 0) + " GB/s";
+  });
+  row("DRAM Size",
+      [](const GpuSpec& s) { return fmt_double(s.dram_gb, 0) + " GB"; });
+  row("L2 Size",
+      [](const GpuSpec& s) { return fmt_double(s.l2_mb, 1) + " MB"; });
+  row("Scratchpad Per SM", [](const GpuSpec& s) {
+    return fmt_double(s.scratchpad_kb_per_sm, 0) + " KB";
+  });
+  row("Compute Capability",
+      [](const GpuSpec& s) { return fmt_double(s.compute_capability, 1); });
+  t.print();
+
+  TextTable m("Derived virtual-machine model parameters");
+  m.set_header({"", ti.name, ga.name});
+  const GpuCostModel mt(ti), mg(ga);
+  m.add_row({"hardware threads", fmt_count(ti.hardware_threads()),
+             fmt_count(ga.hardware_threads())});
+  m.add_row({"worker blocks (256-wide)", fmt_count(ti.worker_blocks()),
+             fmt_count(ga.worker_blocks())});
+  m.add_row({"peak relaxations/us", fmt_double(mt.cap_edges_per_us(), 0),
+             fmt_double(mg.cap_edges_per_us(), 0)});
+  m.add_row({"saturation (in-flight edges)",
+             fmt_count(uint64_t(mt.saturation_threads())),
+             fmt_count(uint64_t(mg.saturation_threads()))});
+  m.add_row({"kernel launch overhead", fmt_time_us(mt.kernel_launch_us),
+             fmt_time_us(mg.kernel_launch_us)});
+  m.print();
+  return 0;
+}

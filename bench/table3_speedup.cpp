@@ -1,0 +1,104 @@
+// Table 3: distribution of ADDS's speedup over NF, Gun-NF, Gun-BF, NV,
+// CPU-DS and serial Dijkstra across the benchmark corpus, with the paper's
+// speedup bins. Also emits the per-graph scatter data behind Figures 8
+// (speedup vs average degree) and 9 (speedup vs diameter).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace adds;
+
+int main(int argc, char** argv) {
+  auto cli = bench::make_cli("table3_speedup",
+                             "Table 3: speedup distribution of ADDS");
+  cli.add_flag("float", "run the float-weight corpus lane");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto tier = parse_tier(cli.str("tier"));
+  const std::string out = cli.str("out");
+
+  CorpusRunOptions opts;
+  opts.config = corpus_config();
+  opts.solvers = {SolverKind::kAdds,  SolverKind::kNf,  SolverKind::kGunNf,
+                  SolverKind::kGunBf, SolverKind::kNv,  SolverKind::kCpuDs,
+                  SolverKind::kDijkstra};
+  opts.float_weights = cli.flag("float");
+  const auto records =
+      run_corpus_cached(tier, opts, out, config_tag(opts));
+
+  TextTable t("Table 3: distribution of speedup of ADDS over each baseline "
+              "(" + std::to_string(records.size()) + " graphs)");
+  {
+    auto bins = BinnedDistribution::speedup_bins();
+    std::vector<std::string> header{"baseline"};
+    for (size_t b = 0; b < bins.num_bins(); ++b)
+      header.push_back(bins.label(b));
+    header.push_back("geomean");
+    header.push_back("mean");
+    t.set_header(header);
+  }
+  for (const char* baseline :
+       {"nf", "gun-nf", "gun-bf", "nv", "cpu-ds", "dijkstra"}) {
+    const auto ratios = speedup_ratios(records, "adds", baseline);
+    const auto dist =
+        bin_ratios(ratios, BinnedDistribution::speedup_bins());
+    std::vector<std::string> row{baseline};
+    for (size_t b = 0; b < dist.num_bins(); ++b) row.push_back(dist.cell(b));
+    row.push_back(fmt_ratio(geomean(ratios)));
+    row.push_back(fmt_ratio(mean(ratios)));
+    t.add_row(row);
+  }
+  t.add_footer(bench::model_footer(opts.config));
+  t.add_footer("paper (2080 Ti, 226 graphs): avg 2.9x over NF, 5.8x Gun-NF, "
+               "9.6x Gun-BF, 13.4x NV, 14.2x CPU-DS, 34.4x Dijkstra");
+  t.print();
+
+  // Figures 8 & 9 scatter series.
+  CsvWriter f8(out + "/fig8_speedup_vs_degree.csv");
+  f8.write_header({"graph", "avg_degree", "speedup_adds_over_nf"});
+  CsvWriter f9(out + "/fig9_speedup_vs_diameter.csv");
+  f9.write_header({"graph", "diameter", "speedup_adds_over_nf"});
+  for (const auto& r : records) {
+    const auto a = r.outcomes.find("adds");
+    const auto n = r.outcomes.find("nf");
+    if (a == r.outcomes.end() || n == r.outcomes.end()) continue;
+    const double s = n->second.time_us / a->second.time_us;
+    f8.write_row({r.spec.name, fmt_double(r.summary.avg_degree, 2),
+                  fmt_double(s, 3)});
+    f9.write_row({r.spec.name, std::to_string(r.summary.diameter),
+                  fmt_double(s, 3)});
+  }
+  std::printf("Figures 8/9 scatter data: %s, %s\n",
+              (out + "/fig8_speedup_vs_degree.csv").c_str(),
+              (out + "/fig9_speedup_vs_diameter.csv").c_str());
+
+  // Figure 8/9 claim: speedup is largely independent of degree/diameter.
+  // Summarize by quartile of each characteristic.
+  for (const auto& [name, key] :
+       std::vector<std::pair<std::string, bool>>{{"degree", true},
+                                                 {"diameter", false}}) {
+    std::vector<std::pair<double, double>> pts;  // (characteristic, speedup)
+    for (const auto& r : records) {
+      const auto a = r.outcomes.find("adds");
+      const auto n = r.outcomes.find("nf");
+      if (a == r.outcomes.end() || n == r.outcomes.end()) continue;
+      pts.push_back({key ? r.summary.avg_degree : double(r.summary.diameter),
+                     n->second.time_us / a->second.time_us});
+    }
+    std::sort(pts.begin(), pts.end());
+    TextTable q("ADDS-over-NF geomean speedup by " + name + " quartile");
+    q.set_header({"quartile", "range", "geomean speedup"});
+    for (int qi = 0; qi < 4; ++qi) {
+      const size_t lo = pts.size() * size_t(qi) / 4;
+      const size_t hi = pts.size() * size_t(qi + 1) / 4;
+      std::vector<double> xs;
+      for (size_t i = lo; i < hi; ++i) xs.push_back(pts[i].second);
+      q.add_row({"Q" + std::to_string(qi + 1),
+                 fmt_double(pts[lo].first, 1) + " - " +
+                     fmt_double(pts[hi - 1].first, 1),
+                 fmt_ratio(geomean(xs))});
+    }
+    q.print();
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table 4: distribution of ADDS's normalized vertex-processing count (work)
+// relative to each baseline, with the paper's work bins (lower is better
+// for ADDS). NV is excluded, as in the paper (its work metric is the dense
+// sweep count, not comparable).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace adds;
+
+int main(int argc, char** argv) {
+  auto cli = bench::make_cli("table4_work",
+                             "Table 4: work-ratio distribution of ADDS");
+  cli.add_flag("float", "run the float-weight corpus lane");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto tier = parse_tier(cli.str("tier"));
+  const std::string out = cli.str("out");
+
+  CorpusRunOptions opts;
+  opts.config = corpus_config();
+  opts.solvers = {SolverKind::kAdds,  SolverKind::kNf,  SolverKind::kGunNf,
+                  SolverKind::kGunBf, SolverKind::kNv,  SolverKind::kCpuDs,
+                  SolverKind::kDijkstra};
+  opts.float_weights = cli.flag("float");
+  const auto records =
+      run_corpus_cached(tier, opts, out, config_tag(opts));
+
+  TextTable t(
+      "Table 4: distribution of ADDS's vertex processing count normalized "
+      "to each baseline (lower is better for ADDS; " +
+      std::to_string(records.size()) + " graphs)");
+  {
+    auto bins = BinnedDistribution::work_bins();
+    std::vector<std::string> header{"baseline"};
+    for (size_t b = 0; b < bins.num_bins(); ++b)
+      header.push_back(bins.label(b));
+    header.push_back("geomean");
+    t.set_header(header);
+  }
+  for (const char* baseline :
+       {"nf", "gun-nf", "gun-bf", "cpu-ds", "dijkstra"}) {
+    const auto ratios = work_ratios(records, "adds", baseline);
+    const auto dist = bin_ratios(ratios, BinnedDistribution::work_bins());
+    std::vector<std::string> row{baseline};
+    for (size_t b = 0; b < dist.num_bins(); ++b) row.push_back(dist.cell(b));
+    row.push_back(fmt_ratio(geomean(ratios)));
+    t.add_row(row);
+  }
+  t.add_footer(bench::model_footer(opts.config));
+
+  // The paper's headline pairing: ADDS processes ~1.55x the vertices of NF
+  // on average yet is ~2.9x faster.
+  const auto work_nf = work_ratios(records, "adds", "nf");
+  const auto speed_nf = speedup_ratios(records, "adds", "nf");
+  t.add_footer("measured: ADDS processes " + fmt_ratio(geomean(work_nf)) +
+               " the vertices of NF (geomean) while being " +
+               fmt_ratio(geomean(speed_nf)) + " faster");
+  t.add_footer("paper: 1.55x more vertices, 2.9x faster");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Table 5: ADDS-over-NF speedup distributions on the RTX 2080 Ti and the
+// RTX 3090 machine models, plus the two ablations on the 3090:
+//   Static-Δ   — dynamic Δ selection disabled (static heuristic value);
+//   2-Buckets  — static Δ and only two buckets (the remaining advantage is
+//                the asynchronous delegation-based worklist alone).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace adds;
+
+namespace {
+
+struct Variant {
+  std::string label;
+  GpuSpec board;
+  bool dynamic_delta;
+  uint32_t num_buckets;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cli = bench::make_cli("table5_gpus_ablation",
+                             "Table 5: GPUs and ablations");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto tier = parse_tier(cli.str("tier"));
+  const std::string out = cli.str("out");
+
+  const std::vector<Variant> variants = {
+      {"RTX2080Ti", GpuSpec::rtx2080ti(), true, 32},
+      {"RTX3090", GpuSpec::rtx3090(), true, 32},
+      {"Static-delta (3090)", GpuSpec::rtx3090(), false, 32},
+      {"2-Buckets (3090)", GpuSpec::rtx3090(), false, 2},
+  };
+
+  TextTable t("Table 5: speedup of ADDS over NF by machine and ablation (" +
+              std::string(tier_name(tier)) + " corpus)");
+  {
+    auto bins = BinnedDistribution::speedup_bins();
+    std::vector<std::string> header{"configuration"};
+    for (size_t b = 0; b < bins.num_bins(); ++b)
+      header.push_back(bins.label(b));
+    header.push_back("geomean");
+    t.set_header(header);
+  }
+
+  for (const auto& v : variants) {
+    CorpusRunOptions opts;
+    opts.config = corpus_config(v.board);
+    opts.config.adds.dynamic_delta = v.dynamic_delta;
+    opts.config.adds.num_buckets = v.num_buckets;
+    opts.solvers = {SolverKind::kAdds, SolverKind::kNf};
+    const auto records =
+        run_corpus_cached(tier, opts, out, config_tag(opts));
+
+    const auto ratios = speedup_ratios(records, "adds", "nf");
+    const auto dist =
+        bin_ratios(ratios, BinnedDistribution::speedup_bins());
+    std::vector<std::string> row{v.label};
+    for (size_t b = 0; b < dist.num_bins(); ++b) row.push_back(dist.cell(b));
+    row.push_back(fmt_ratio(geomean(ratios)));
+    t.add_row(row);
+  }
+  t.add_footer("paper: 2.9x (2080Ti), 3.5x (3090), 2.4x (Static-delta), "
+               "2.2x (2-Buckets)");
+  t.add_footer("expected ordering: 3090 >= 2080Ti > Static-delta > 2-Buckets");
+  t.print();
+  return 0;
+}

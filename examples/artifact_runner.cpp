@@ -1,0 +1,134 @@
+// Artifact-style batch runner: reproduces the workflow of the paper's
+// Zenodo artifact (run_all.sh + verify_against_*).
+//
+// Given a directory of Galois binary `.gr` graphs (or, with --corpus, the
+// built-in smoke corpus), it runs the selected solver over every input and
+// writes the artifact's result format — one line per graph:
+//
+//     <graph_name> <run_time_seconds> <work_count>
+//
+// plus a per-graph final-distance file, and verifies every solver's
+// distances against every other (the artifact's verify step).
+//
+//   ./artifact_runner --inputs=path/to/dir --solvers=adds,nf
+//   ./artifact_runner --corpus=smoke --solvers=adds,nf,gun-bf
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "core/solver.hpp"
+#include "core/validate.hpp"
+#include "graph/analysis.hpp"
+#include "graph/corpus.hpp"
+#include "graph/generators.hpp"
+#include "graph/gr_format.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace adds;
+namespace fs = std::filesystem;
+
+namespace {
+
+void write_distances(const std::string& path,
+                     const std::vector<uint64_t>& dist) {
+  std::ofstream out(path);
+  ADDS_REQUIRE(out.is_open(), "cannot write " + path);
+  for (size_t v = 0; v < dist.size(); ++v) {
+    out << v << ' ';
+    if (dist[v] == DistTraits<uint32_t>::infinity())
+      out << "INF";
+    else
+      out << dist[v];
+    out << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("artifact_runner",
+                "artifact-style run_all + verify over a graph directory");
+  cli.add_option("inputs", "directory containing .gr graphs", "");
+  cli.add_option("corpus", "use a built-in corpus tier instead", "");
+  cli.add_option("solvers", "comma list of solvers", "adds,nf");
+  cli.add_option("out", "output directory", "artifact_out");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // Collect (name, graph) inputs.
+  std::vector<std::pair<std::string, IntGraph>> inputs;
+  if (const std::string dir = cli.str("inputs"); !dir.empty()) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.path().extension() == ".gr") {
+        inputs.emplace_back(entry.path().stem().string(),
+                            read_gr<uint32_t>(entry.path().string()));
+      }
+    }
+    ADDS_REQUIRE(!inputs.empty(), "no .gr files in " + dir);
+  } else {
+    const std::string tier = cli.str("corpus").empty() ? "smoke"
+                                                       : cli.str("corpus");
+    for (const auto& spec : corpus_specs(parse_tier(tier)))
+      inputs.emplace_back(spec.name, generate_graph<uint32_t>(spec));
+  }
+  std::printf("%zu input graphs\n", inputs.size());
+
+  std::vector<SolverKind> solvers;
+  {
+    std::stringstream ss(cli.str("solvers"));
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      const auto kind = parse_solver(name);
+      ADDS_REQUIRE(kind.has_value(), "unknown solver: " + name);
+      solvers.push_back(*kind);
+    }
+  }
+
+  const std::string out_dir = cli.str("out");
+  fs::create_directories(out_dir);
+  EngineConfig cfg;
+
+  // Per-solver result files and distance dumps, artifact layout:
+  //   <out>/<solver>_result            (name time work)
+  //   <out>/<solver>_final_dist/<graph>.txt
+  std::map<std::string, std::vector<SsspResult<uint32_t>>> all;
+  for (const SolverKind kind : solvers) {
+    const std::string sname = solver_name(kind);
+    std::ofstream result(out_dir + "/" + sname + "_result");
+    fs::create_directories(out_dir + "/" + sname + "_final_dist");
+    for (const auto& [name, g] : inputs) {
+      const VertexId source = pick_source(g);
+      auto res = run_solver(kind, g, source, cfg);
+      result << name << ' ' << (res.time_us / 1e6) << ' '
+             << res.work.items_processed << '\n';
+      write_distances(out_dir + "/" + sname + "_final_dist/" + name + ".txt",
+                      res.dist);
+      all[sname].push_back(std::move(res));
+      std::fprintf(stderr, "\r[%s] %-28s", sname.c_str(), name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+  }
+
+  // verify_against_*: pairwise distance comparison across solvers.
+  TextTable t("verification (pairwise distance comparison)");
+  t.set_header({"solver A", "solver B", "graphs", "mismatching graphs"});
+  bool all_ok = true;
+  for (size_t a = 0; a < solvers.size(); ++a) {
+    for (size_t b = a + 1; b < solvers.size(); ++b) {
+      const auto& ra = all[solver_name(solvers[a])];
+      const auto& rb = all[solver_name(solvers[b])];
+      uint64_t bad = 0;
+      for (size_t i = 0; i < ra.size(); ++i)
+        if (!validate_distances(ra[i], rb[i]).ok()) ++bad;
+      all_ok &= bad == 0;
+      t.add_row({solver_name(solvers[a]), solver_name(solvers[b]),
+                 std::to_string(ra.size()), std::to_string(bad)});
+    }
+  }
+  t.print();
+  std::printf("results in %s/ (artifact format: name time_s work_count)\n",
+              out_dir.c_str());
+  return all_ok ? 0 : 1;
+}

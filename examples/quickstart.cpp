@@ -1,0 +1,136 @@
+// Quickstart: generate (or load) a graph, run ADDS and the baselines, and
+// print times, work counts, and validation results.
+//
+//   ./quickstart                                  # demo road grid
+//   ./quickstart --family=rmat --scale=14
+//   ./quickstart --gr=path/to/graph.gr            # Galois binary input
+//   ./quickstart --solvers=adds,nf,gun-bf --gpu=rtx3090
+#include <cstdio>
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "core/validate.hpp"
+#include "graph/analysis.hpp"
+#include "graph/gr_format.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace adds;
+
+namespace {
+
+IntGraph make_input(const CliParser& cli) {
+  if (const std::string path = cli.str("gr"); !path.empty())
+    return read_gr<uint32_t>(path);
+
+  GraphSpec spec;
+  spec.name = "demo";
+  spec.seed = uint64_t(cli.integer("seed"));
+  spec.weights.max_weight = 10000;
+  const std::string family = cli.str("family");
+  const uint64_t scale = uint64_t(cli.integer("scale"));
+  if (family == "road") {
+    spec.family = GraphFamily::kGridRoad;
+    spec.scale = 1ull << (scale / 2);
+    spec.a = double(spec.scale);
+  } else if (family == "rmat") {
+    spec.family = GraphFamily::kRmat;
+    spec.scale = scale;
+    spec.a = 16;  // edge factor
+  } else if (family == "mesh") {
+    spec.family = GraphFamily::kKNeighborMesh;
+    spec.scale = 1ull << (scale / 2);
+    spec.a = double(spec.scale);
+    spec.b = 2;
+  } else if (family == "er") {
+    spec.family = GraphFamily::kErdosRenyi;
+    spec.scale = 1ull << scale;
+    spec.a = 8;
+  } else {
+    throw Error("unknown --family (want road|rmat|mesh|er)");
+  }
+  return generate_graph<uint32_t>(spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("quickstart", "run ADDS and baselines on one graph");
+  cli.add_option("family", "graph family: road|rmat|mesh|er", "road");
+  cli.add_option("scale", "size exponent (~log2 vertices)", "16");
+  cli.add_option("seed", "generator seed", "1");
+  cli.add_option("gr", "load a Galois binary .gr instead of generating", "");
+  cli.add_option("solvers", "comma list (adds,nf,gun-nf,gun-bf,nv,cpu-ds)",
+                 "adds,nf,gun-nf,gun-bf,nv,cpu-ds");
+  cli.add_option("gpu", "gpu model: rtx2080ti|rtx3090", "rtx2080ti");
+  cli.add_option("gpu-scale", "shrink the GPU model by this factor", "1");
+  cli.add_option("trace", "write ADDS parallelism trace CSV to this path",
+                 "");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const IntGraph g = make_input(cli);
+  const GraphSummary info = summarize(g);
+  std::printf("graph: %llu vertices, %llu edges, avg degree %.2f, "
+              "pseudo-diameter %u, source %u (reaches %.0f%%)\n",
+              (unsigned long long)info.num_vertices,
+              (unsigned long long)info.num_edges, info.avg_degree,
+              info.diameter, info.source, 100.0 * info.reach_fraction);
+
+  EngineConfig cfg;
+  const GpuSpec base = cli.str("gpu") == "rtx3090" ? GpuSpec::rtx3090()
+                                                   : GpuSpec::rtx2080ti();
+  cfg.gpu = GpuCostModel(base.scaled(1.0 / cli.real("gpu-scale")));
+
+  const auto oracle = dijkstra(g, info.source, &cfg.cpu);
+
+  TextTable table("SSSP on " + cfg.gpu.spec().name);
+  table.set_header({"solver", "time", "speedup vs nf", "vertices processed",
+                    "work vs dijkstra", "steps", "valid"});
+
+  double nf_time = 0.0;
+  std::vector<SsspResult<uint32_t>> results;
+  std::stringstream solvers(cli.str("solvers"));
+  std::string name;
+  while (std::getline(solvers, name, ',')) {
+    const auto kind = parse_solver(name);
+    if (!kind) throw Error("unknown solver: " + name);
+    results.push_back(run_solver(*kind, g, info.source, cfg));
+    if (name == "nf") nf_time = results.back().time_us;
+  }
+  results.push_back(oracle);
+
+  for (const auto& r : results) {
+    const auto rep = validate_distances(r, oracle);
+    table.add_row(
+        {r.solver, fmt_time_us(r.time_us),
+         nf_time > 0 ? fmt_ratio(nf_time / r.time_us) : "-",
+         fmt_count(r.work.items_processed),
+         fmt_ratio(double(r.work.items_processed) /
+                   double(oracle.work.items_processed)),
+         fmt_count(r.supersteps ? r.supersteps : r.window_advances),
+         rep.ok() ? "yes" : "NO"});
+  }
+  table.add_footer("time = modelled GPU/CPU time; see DESIGN.md");
+  table.print();
+
+  for (const auto& r : results) {
+    if (r.delta_history.size() <= 1) continue;
+    std::printf("%s delta history (at head-switch):", r.solver.c_str());
+    for (const auto& [sw, d] : r.delta_history)
+      std::printf(" %.0f:%.0f", sw, d);
+    std::printf("\n");
+  }
+
+  if (const std::string path = cli.str("trace"); !path.empty()) {
+    CsvWriter csv(path);
+    csv.write_header({"solver", "t_us", "edges_in_flight"});
+    for (const auto& r : results)
+      for (const auto& s : r.trace.resample(400))
+        csv.write_row({r.solver, fmt_double(s.t_us, 2),
+                       fmt_double(s.edges_in_flight, 0)});
+    std::printf("trace written to %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Road navigation: the paper's motivating high-diameter workload.
+//
+// Builds a road-network-like grid, computes single-source shortest paths
+// with the *host-thread* ADDS engine (the real concurrent MTB/WTB queue
+// protocol running on CPU threads), reconstructs a corner-to-corner route,
+// and contrasts the modelled GPU engines on the same input.
+//
+//   ./road_navigation --width=400 --height=400 --workers=4
+#include <cstdio>
+
+#include "core/paths.hpp"
+#include "core/solver.hpp"
+#include "core/validate.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sssp/astar.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace adds;
+
+int main(int argc, char** argv) {
+  CliParser cli("road_navigation",
+                "route planning on a road grid with the host ADDS engine");
+  cli.add_option("width", "grid width", "400");
+  cli.add_option("height", "grid height", "400");
+  cli.add_option("workers", "worker (WTB) threads", "4");
+  cli.add_option("max-weight", "max edge travel time", "10000");
+  cli.add_option("min-weight", "min edge travel time", "4000");
+  cli.add_option("seed", "generator seed", "2026");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const uint64_t width = uint64_t(cli.integer("width"));
+  const uint64_t height = uint64_t(cli.integer("height"));
+  const WeightParams wp{WeightDist::kUniform,
+                        uint32_t(cli.integer("max-weight")),
+                        uint32_t(cli.integer("min-weight"))};
+  const auto g =
+      make_grid_road<uint32_t>(width, height, wp, uint64_t(cli.integer("seed")));
+  std::printf("road grid %llux%llu: %s intersections, %s road segments\n",
+              (unsigned long long)width, (unsigned long long)height,
+              fmt_count(g.num_vertices()).c_str(),
+              fmt_count(g.num_edges()).c_str());
+
+  // --- SSSP with the real-thread ADDS engine ------------------------------
+  const VertexId source = 0;  // top-left corner
+  const VertexId target = VertexId(width * height - 1);  // bottom-right
+
+  AddsHostOptions host;
+  host.num_workers = uint32_t(cli.integer("workers"));
+  host.num_buckets = 16;
+  const auto res = adds_host(g, source, host);
+  std::printf(
+      "adds-host (%u workers): %.1f ms wall, %s vertices processed, "
+      "%s window rotations\n",
+      host.num_workers, res.wall_ms,
+      fmt_count(res.work.items_processed).c_str(),
+      fmt_count(res.window_advances).c_str());
+
+  // Validate against the serial oracle before trusting the route.
+  const auto oracle = dijkstra(g, source);
+  const auto rep = validate_distances(res, oracle);
+  std::printf("validation vs Dijkstra: %s\n", rep.summary().c_str());
+  if (!rep.ok()) return 1;
+
+  // --- Route reconstruction -------------------------------------------------
+  // Grid roads are symmetric, so the graph is its own reverse.
+  const auto route = extract_path(g, res.dist, source, target);
+  std::printf("route corner-to-corner: %zu hops, total travel time %s\n",
+              route.size() - 1, fmt_count(res.dist[target]).c_str());
+  std::printf("route preview: ");
+  for (size_t i = 0; i < route.size(); i += std::max<size_t>(1, route.size() / 8))
+    std::printf("(%llu,%llu) ", (unsigned long long)(route[i] % width),
+                (unsigned long long)(route[i] / width));
+  std::printf("... (%llu,%llu)\n",
+              (unsigned long long)(target % width),
+              (unsigned long long)(target / width));
+
+  // --- Point-to-point with goal direction (A*) ------------------------------
+  // When only one route matters, goal-directed search beats full SSSP. (The
+  // demo routes to the city centre: corner-to-corner on a grid has zero
+  // manhattan detour anywhere, which blinds any admissible grid heuristic.)
+  const VertexId centre = VertexId((height / 2) * width + width / 2);
+  uint32_t min_w = ~0u;
+  for (const auto w : g.weights()) min_w = std::min(min_w, w);
+  const GridManhattanHeuristic h(width, centre, min_w);
+  const auto p2p = astar(g, source, centre, h);
+  const auto p2p_plain = point_to_point_dijkstra(g, source, centre);
+  std::printf(
+      "point-to-point: A* settles %s vertices vs Dijkstra's %s "
+      "(%.1fx less work), same distance %s\n",
+      fmt_count(p2p.work.items_processed).c_str(),
+      fmt_count(p2p_plain.work.items_processed).c_str(),
+      double(p2p_plain.work.items_processed) /
+          double(p2p.work.items_processed),
+      fmt_count(p2p.distance).c_str());
+
+  // --- What would this look like on the modelled GPU? ----------------------
+  EngineConfig cfg;
+  TextTable t("modelled GPU engines on the same road network");
+  t.set_header({"solver", "virtual time", "vertices processed", "steps"});
+  for (const SolverKind k :
+       {SolverKind::kAdds, SolverKind::kNf, SolverKind::kGunBf}) {
+    const auto r = run_solver(k, g, source, cfg);
+    t.add_row({r.solver, fmt_time_us(r.time_us),
+               fmt_count(r.work.items_processed),
+               fmt_count(r.supersteps ? r.supersteps : r.window_advances)});
+  }
+  t.add_footer("high-diameter graphs are where ADDS's asynchronous window "
+               "beats BSP double buffering (paper Fig. 11)");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,166 @@
+// The ADDS work queue as a general-purpose concurrent priority scheduler.
+//
+// The paper's broader claim is that "seemingly ill-suited data structures,
+// such as priority queues, can be efficiently implemented for GPUs". This
+// example uses the queue outside SSSP entirely: a toy discrete-event task
+// system where worker threads push follow-up tasks with deadlines and a
+// manager thread hands out the earliest-deadline work — the same
+// reservation / WCC-publication / assignment-flag protocol the SSSP engine
+// runs on.
+//
+//   ./worklist_demo --workers=4 --tasks=200000
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "queue/assignment.hpp"
+#include "queue/work_queue.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace adds;
+
+namespace {
+
+// A task is a 32-bit payload; its priority is a synthetic "deadline".
+// Each processed task spawns children with later deadlines until a depth
+// budget is exhausted (top bits of the payload carry remaining depth).
+constexpr uint32_t kDepthShift = 24;
+
+struct WorkerState {
+  WorkQueue* queue = nullptr;
+  AssignmentFlag* flag = nullptr;
+  std::atomic<uint64_t>* processed = nullptr;
+  uint64_t seed = 0;
+};
+
+void worker_main(WorkerState& st) {
+  Xoshiro256 rng(st.seed);
+  while (true) {
+    bool exit = false;
+    const auto a = st.flag->poll(exit);
+    if (exit) return;
+    if (!a) {
+      std::this_thread::yield();
+      continue;
+    }
+    Bucket& bucket = st.queue->physical_bucket(a->phys_bucket);
+    for (uint32_t i = 0; i < a->count; ++i) {
+      const uint32_t task = bucket.read_item(a->start + i);
+      const uint32_t depth = task >> kDepthShift;
+      st.processed->fetch_add(1, std::memory_order_relaxed);
+      if (depth > 0) {
+        // Spawn two children with a later deadline (lower priority).
+        const double child_deadline =
+            st.queue->base_dist() + double(rng.next_below(2000));
+        const uint32_t child = ((depth - 1) << kDepthShift) |
+                               uint32_t(rng.next_below(1 << kDepthShift));
+        st.queue->push(child, child_deadline);
+        st.queue->push(child, child_deadline + 500.0);
+      }
+    }
+    bucket.complete(a->count);
+    st.flag->done();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("worklist_demo",
+                "the ADDS queue as a generic deadline scheduler");
+  cli.add_option("workers", "worker threads", "4");
+  cli.add_option("roots", "initial root tasks", "1000");
+  cli.add_option("depth", "spawn depth per root", "7");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const uint32_t num_workers = uint32_t(cli.integer("workers"));
+  const uint32_t roots = uint32_t(cli.integer("roots"));
+  const uint32_t depth = uint32_t(cli.integer("depth"));
+
+  BlockPool pool(4096, 4096);
+  WorkQueue::Config qcfg;
+  qcfg.num_buckets = 16;
+  WorkQueue queue(pool, qcfg);
+  queue.set_delta(250.0);  // deadline granularity per bucket
+
+  std::atomic<uint64_t> processed{0};
+  std::vector<AssignmentFlag> flags(num_workers);
+  std::vector<WorkerState> states(num_workers);
+  std::vector<std::thread> workers;
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    states[w] = {&queue, &flags[w], &processed, 1000 + w};
+    workers.emplace_back(worker_main, std::ref(states[w]));
+  }
+
+  WallTimer timer;
+  queue.ensure_capacity_all(1024);
+  Xoshiro256 rng(7);
+  for (uint32_t r = 0; r < roots; ++r) {
+    queue.push((depth << kDepthShift) | r, double(rng.next_below(4000)));
+  }
+
+  // Manager loop: identical structure to the SSSP MTB.
+  uint64_t rotations = 0;
+  uint64_t clean_sweeps = 0;
+  while (true) {
+    queue.ensure_capacity_all(256 * num_workers + 64);
+    while (queue.total_pending() + queue.total_in_flight() > 0 &&
+           queue.logical_bucket(0).pending_estimate() == 0 &&
+           queue.head_drained()) {
+      queue.advance_window();
+      ++rotations;
+    }
+    bool assigned = false;
+    for (uint32_t logical = 0; logical < 2; ++logical) {
+      Bucket& b = queue.logical_bucket(logical);
+      uint32_t avail = b.scan_written_bound() - b.read_ptr();
+      for (auto& flag : flags) {
+        if (avail == 0) break;
+        if (!flag.is_idle()) continue;
+        const uint32_t k = std::min(avail, 128u);
+        flag.assign({queue.logical_to_physical(logical), b.read_ptr(), k});
+        b.advance_read(b.read_ptr() + k);
+        avail -= k;
+        assigned = true;
+      }
+    }
+    bool all_idle = true;
+    for (auto& flag : flags) all_idle &= flag.is_idle();
+    bool drained = true;
+    for (uint32_t i = 0; i < qcfg.num_buckets; ++i)
+      drained &= queue.physical_bucket(i).drained();
+    if (!assigned && all_idle && drained) {
+      if (++clean_sweeps >= 2) break;
+    } else {
+      clean_sweeps = 0;
+    }
+    std::this_thread::yield();
+  }
+  for (auto& f : flags) f.terminate();
+  for (auto& w : workers) w.join();
+
+  const double ms = timer.elapsed_ms();
+  const uint64_t expected = uint64_t(roots) * ((1ull << (depth + 1)) - 1);
+  TextTable t("deadline scheduler run");
+  t.set_header({"metric", "value"});
+  t.add_row({"workers", std::to_string(num_workers)});
+  t.add_row({"tasks processed", fmt_count(processed.load())});
+  t.add_row({"expected tasks", fmt_count(expected)});
+  t.add_row({"window rotations", fmt_count(rotations)});
+  t.add_row({"wall time", fmt_double(ms, 1) + " ms"});
+  t.add_row({"throughput", fmt_count(uint64_t(double(processed.load()) /
+                                              (ms / 1e3))) +
+                               " tasks/s"});
+  t.print();
+  if (processed.load() != expected) {
+    std::printf("ERROR: task count mismatch!\n");
+    return 1;
+  }
+  std::printf("all spawned tasks executed exactly once — the SRMW protocol "
+              "holds outside SSSP too\n");
+  return 0;
+}

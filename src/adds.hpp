@@ -1,0 +1,53 @@
+// Umbrella header: the complete public API of the ADDS library.
+//
+//   #include "adds.hpp"
+//
+// Pulls in the solver front-end (run_solver over all seven engines), the
+// graph substrate (CSR graphs, generators, file formats, analysis), result
+// validation / path extraction / analytics, the machine models, and — for
+// advanced users — the concurrent work-queue primitives themselves.
+#pragma once
+
+// Graph substrate.
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+#include "graph/corpus.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/dimacs.hpp"
+#include "graph/generators.hpp"
+#include "graph/gr_format.hpp"
+#include "graph/transform.hpp"
+#include "graph/types.hpp"
+
+// Machine models and virtual time.
+#include "sim/bsp_timeline.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/gpu_spec.hpp"
+#include "sim/sharing_pool.hpp"
+#include "sim/trace.hpp"
+
+// The ADDS priority work queue (usable stand-alone; see worklist_demo).
+#include "queue/assignment.hpp"
+#include "queue/block_pool.hpp"
+#include "queue/bucket.hpp"
+#include "queue/translation_cache.hpp"
+#include "queue/work_queue.hpp"
+
+// SSSP engines and the solver front-end.
+#include "core/analytics.hpp"
+#include "core/experiment.hpp"
+#include "core/paths.hpp"
+#include "core/solver.hpp"
+#include "core/validate.hpp"
+#include "sssp/astar.hpp"
+#include "sssp/delta_heuristic.hpp"
+
+namespace adds {
+
+/// Library version (matches the CMake project version).
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace adds

@@ -1,0 +1,152 @@
+#include "core/analytics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace adds {
+
+template <WeightType W>
+double closeness_centrality(const std::vector<DistT<W>>& dist,
+                            VertexId source) {
+  ADDS_REQUIRE(source < dist.size(), "source out of range");
+  double sum = 0.0;
+  uint64_t reached = 0;
+  for (size_t v = 0; v < dist.size(); ++v) {
+    if (v == source || dist[v] == DistTraits<W>::infinity()) continue;
+    sum += double(dist[v]);
+    ++reached;
+  }
+  if (reached == 0 || sum == 0.0) return 0.0;
+  return double(reached) / sum;
+}
+
+template <WeightType W>
+double eccentricity(const std::vector<DistT<W>>& dist) {
+  double ecc = 0.0;
+  for (const auto d : dist) {
+    if (d == DistTraits<W>::infinity()) continue;
+    ecc = std::max(ecc, double(d));
+  }
+  return ecc;
+}
+
+template <WeightType W>
+std::vector<uint64_t> distance_histogram(const std::vector<DistT<W>>& dist,
+                                         size_t bins) {
+  ADDS_REQUIRE(bins >= 1, "need at least one bin");
+  std::vector<uint64_t> out(bins, 0);
+  const double max_d = eccentricity<W>(dist);
+  if (max_d <= 0.0) {
+    // Degenerate: everything at distance 0 (or unreachable).
+    for (const auto d : dist)
+      if (d != DistTraits<W>::infinity()) ++out[0];
+    return out;
+  }
+  for (const auto d : dist) {
+    if (d == DistTraits<W>::infinity()) continue;
+    size_t bin = size_t(double(d) / max_d * double(bins));
+    if (bin >= bins) bin = bins - 1;
+    ++out[bin];
+  }
+  return out;
+}
+
+template <WeightType W>
+std::pair<std::vector<uint32_t>, std::vector<uint64_t>>
+connected_components(const CsrGraph<W>& g) {
+  constexpr uint32_t kNone = ~0u;
+  std::vector<uint32_t> comp(g.num_vertices(), kNone);
+  std::vector<uint64_t> sizes;
+  // Undirected reachability needs in-edges too; build a one-shot reverse
+  // adjacency index (counts + targets).
+  std::vector<EdgeIndex> roff(size_t(g.num_vertices()) + 1, 0);
+  for (const VertexId t : g.targets()) ++roff[size_t(t) + 1];
+  for (size_t i = 1; i < roff.size(); ++i) roff[i] += roff[i - 1];
+  std::vector<VertexId> rtargets(g.num_edges());
+  {
+    std::vector<EdgeIndex> cur(roff.begin(), roff.end() - 1);
+    for (VertexId u = 0; u < g.num_vertices(); ++u)
+      for (EdgeIndex e = g.edge_begin(u); e < g.edge_end(u); ++e)
+        rtargets[cur[g.edge_target(e)]++] = u;
+  }
+
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    if (comp[s] != kNone) continue;
+    const uint32_t id = uint32_t(sizes.size());
+    uint64_t size = 0;
+    comp[s] = id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const VertexId v : g.neighbors(u)) {
+        if (comp[v] == kNone) {
+          comp[v] = id;
+          stack.push_back(v);
+        }
+      }
+      for (EdgeIndex e = roff[u]; e < roff[size_t(u) + 1]; ++e) {
+        const VertexId v = rtargets[e];
+        if (comp[v] == kNone) {
+          comp[v] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+    sizes.push_back(size);
+  }
+  return {std::move(comp), std::move(sizes)};
+}
+
+template <WeightType W>
+AvgPathLength<W> estimate_avg_path_length(const CsrGraph<W>& g,
+                                          SolverKind solver,
+                                          const EngineConfig& cfg,
+                                          uint32_t samples, uint64_t seed) {
+  AvgPathLength<W> out;
+  if (g.empty() || samples == 0) return out;
+  Xoshiro256 rng(seed);
+  double dist_sum = 0.0;
+  uint64_t dist_count = 0;
+  double ecc_sum = 0.0;
+  double reach_sum = 0.0;
+  for (uint32_t i = 0; i < samples; ++i) {
+    const VertexId src = VertexId(rng.next_below(g.num_vertices()));
+    const auto res = run_solver(solver, g, src, cfg);
+    uint64_t reached = 0;
+    for (size_t v = 0; v < res.dist.size(); ++v) {
+      if (v == src || res.dist[v] == DistTraits<W>::infinity()) continue;
+      dist_sum += double(res.dist[v]);
+      ++dist_count;
+      ++reached;
+    }
+    ecc_sum += eccentricity<W>(res.dist);
+    reach_sum += double(reached + 1) / double(g.num_vertices());
+    ++out.ssps_run;
+  }
+  out.mean_distance = dist_count ? dist_sum / double(dist_count) : 0.0;
+  out.mean_eccentricity = ecc_sum / double(samples);
+  out.mean_reach_fraction = reach_sum / double(samples);
+  return out;
+}
+
+#define ADDS_INSTANTIATE_ANALYTICS(W)                                     \
+  template double closeness_centrality<W>(const std::vector<DistT<W>>&,  \
+                                          VertexId);                     \
+  template double eccentricity<W>(const std::vector<DistT<W>>&);         \
+  template std::vector<uint64_t> distance_histogram<W>(                  \
+      const std::vector<DistT<W>>&, size_t);                             \
+  template std::pair<std::vector<uint32_t>, std::vector<uint64_t>>       \
+  connected_components<W>(const CsrGraph<W>&);                           \
+  template AvgPathLength<W> estimate_avg_path_length<W>(                 \
+      const CsrGraph<W>&, SolverKind, const EngineConfig&, uint32_t,     \
+      uint64_t);
+ADDS_INSTANTIATE_ANALYTICS(uint32_t)
+ADDS_INSTANTIATE_ANALYTICS(float)
+#undef ADDS_INSTANTIATE_ANALYTICS
+
+}  // namespace adds

@@ -1,0 +1,72 @@
+// Graph analytics built on SSSP — the downstream computations the paper's
+// introduction motivates (routing, network analysis). All functions consume
+// any engine's SsspResult distances, so the same analytics run on Dijkstra,
+// ADDS-sim or the host-thread engine interchangeably.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/stats.hpp"
+
+namespace adds {
+
+/// Closeness centrality of `source`: (reached - 1) / sum of distances to
+/// reached vertices (0 when nothing else is reached). Uses the standard
+/// Wasserman-Faust form restricted to the reachable set.
+template <WeightType W>
+double closeness_centrality(const std::vector<DistT<W>>& dist,
+                            VertexId source);
+
+/// Weighted eccentricity of the source: max finite distance.
+template <WeightType W>
+double eccentricity(const std::vector<DistT<W>>& dist);
+
+/// Histogram of finite distances in `bins` equal-width buckets over
+/// [0, max]. Returns per-bin counts; unreachable vertices are excluded.
+template <WeightType W>
+std::vector<uint64_t> distance_histogram(const std::vector<DistT<W>>& dist,
+                                         size_t bins);
+
+/// Connected components of the *symmetrized* adjacency structure (union of
+/// out-edges both ways). Returns component id per vertex (ids are dense,
+/// smallest-vertex order) and sizes per component.
+template <WeightType W>
+std::pair<std::vector<uint32_t>, std::vector<uint64_t>>
+connected_components(const CsrGraph<W>& g);
+
+/// Sampling estimate of the weighted average shortest-path length: runs
+/// `samples` SSSPs with the given solver from deterministic pseudo-random
+/// sources and averages finite pairwise distances.
+template <WeightType W>
+struct AvgPathLength {
+  double mean_distance = 0.0;
+  double mean_eccentricity = 0.0;
+  double mean_reach_fraction = 0.0;
+  uint64_t ssps_run = 0;
+};
+
+template <WeightType W>
+AvgPathLength<W> estimate_avg_path_length(const CsrGraph<W>& g,
+                                          SolverKind solver,
+                                          const EngineConfig& cfg,
+                                          uint32_t samples, uint64_t seed);
+
+#define ADDS_EXTERN_ANALYTICS(W)                                           \
+  extern template double closeness_centrality<W>(                          \
+      const std::vector<DistT<W>>&, VertexId);                             \
+  extern template double eccentricity<W>(const std::vector<DistT<W>>&);    \
+  extern template std::vector<uint64_t> distance_histogram<W>(             \
+      const std::vector<DistT<W>>&, size_t);                               \
+  extern template std::pair<std::vector<uint32_t>, std::vector<uint64_t>>  \
+  connected_components<W>(const CsrGraph<W>&);                             \
+  extern template AvgPathLength<W> estimate_avg_path_length<W>(            \
+      const CsrGraph<W>&, SolverKind, const EngineConfig&, uint32_t,       \
+      uint64_t);
+ADDS_EXTERN_ANALYTICS(uint32_t)
+ADDS_EXTERN_ANALYTICS(float)
+#undef ADDS_EXTERN_ANALYTICS
+
+}  // namespace adds

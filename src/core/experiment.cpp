@@ -1,0 +1,281 @@
+#include "core/experiment.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <cstdio>
+#include <fstream>
+
+#include "core/validate.hpp"
+#include "graph/generators.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace adds {
+
+template <WeightType W>
+std::vector<GraphRunRecord> run_corpus_t(const std::vector<GraphSpec>& specs,
+                                         const CorpusRunOptions& opts) {
+  std::vector<GraphRunRecord> records;
+  records.reserve(specs.size());
+  WallTimer total;
+
+  size_t index = 0;
+  for (const GraphSpec& spec : specs) {
+    ++index;
+    GraphRunRecord rec;
+    rec.spec = spec;
+    const auto graph = generate_graph<W>(spec);
+    rec.summary = summarize(graph);
+    const VertexId source = rec.summary.source;
+
+    // Oracle first.
+    const auto oracle = dijkstra(graph, source, &opts.config.cpu);
+    {
+      SolverOutcome o;
+      o.time_us = oracle.time_us;
+      o.work = oracle.work;
+      rec.outcomes[oracle.solver] = o;
+    }
+
+    for (const SolverKind kind : opts.solvers) {
+      if (kind == SolverKind::kDijkstra) continue;  // already run
+      const auto res = run_solver(kind, graph, source, opts.config);
+      SolverOutcome o;
+      o.time_us = res.time_us;
+      o.work = res.work;
+      o.supersteps = res.supersteps;
+      if (opts.validate) {
+        const auto rep = validate_distances(res, oracle);
+        o.valid = rep.ok();
+        if (!o.valid)
+          ADDS_LOG_ERROR("%s INVALID on %s: %s", res.solver.c_str(),
+                         spec.name.c_str(), rep.summary().c_str());
+      }
+      rec.outcomes[res.solver] = o;
+    }
+
+    if (opts.progress) {
+      std::fprintf(stderr,
+                   "\r[corpus %3zu/%3zu] %-28s |V|=%-8llu |E|=%-9llu   ",
+                   index, specs.size(), spec.name.c_str(),
+                   static_cast<unsigned long long>(rec.summary.num_vertices),
+                   static_cast<unsigned long long>(rec.summary.num_edges));
+      std::fflush(stderr);
+    }
+    records.push_back(std::move(rec));
+  }
+  if (opts.progress)
+    std::fprintf(stderr, "\ncorpus done in %.1fs\n", total.elapsed_sec());
+  return records;
+}
+
+template std::vector<GraphRunRecord> run_corpus_t<uint32_t>(
+    const std::vector<GraphSpec>&, const CorpusRunOptions&);
+template std::vector<GraphRunRecord> run_corpus_t<float>(
+    const std::vector<GraphSpec>&, const CorpusRunOptions&);
+
+std::vector<double> speedup_ratios(const std::vector<GraphRunRecord>& records,
+                                   const std::string& subject,
+                                   const std::string& baseline) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) {
+    const auto s = r.outcomes.find(subject);
+    const auto b = r.outcomes.find(baseline);
+    if (s == r.outcomes.end() || b == r.outcomes.end()) continue;
+    if (s->second.time_us <= 0.0) continue;
+    out.push_back(b->second.time_us / s->second.time_us);
+  }
+  return out;
+}
+
+std::vector<double> work_ratios(const std::vector<GraphRunRecord>& records,
+                                const std::string& subject,
+                                const std::string& baseline) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) {
+    const auto s = r.outcomes.find(subject);
+    const auto b = r.outcomes.find(baseline);
+    if (s == r.outcomes.end() || b == r.outcomes.end()) continue;
+    if (b->second.work.items_processed == 0) continue;
+    out.push_back(double(s->second.work.items_processed) /
+                  double(b->second.work.items_processed));
+  }
+  return out;
+}
+
+BinnedDistribution bin_ratios(const std::vector<double>& ratios,
+                              BinnedDistribution bins) {
+  for (const double x : ratios) bins.add(x);
+  return bins;
+}
+
+void save_records_csv(const std::string& path,
+                      const std::vector<GraphRunRecord>& records) {
+  CsvWriter csv(path);
+  csv.write_header({"graph", "family", "vertices", "edges", "avg_degree",
+                    "max_degree", "avg_weight", "diameter", "reach",
+                    "source", "solver", "time_us", "items", "relaxations",
+                    "stale", "pushes", "supersteps", "valid"});
+  for (const auto& r : records) {
+    for (const auto& [solver, o] : r.outcomes) {
+      csv.write_row(
+          {r.spec.name, family_name(r.spec.family),
+           std::to_string(r.summary.num_vertices),
+           std::to_string(r.summary.num_edges),
+           fmt_double(r.summary.avg_degree, 4),
+           std::to_string(r.summary.max_degree),
+           fmt_double(r.summary.avg_weight, 4),
+           std::to_string(r.summary.diameter),
+           fmt_double(r.summary.reach_fraction, 6),
+           std::to_string(r.summary.source), solver,
+           fmt_double(o.time_us, 4), std::to_string(o.work.items_processed),
+           std::to_string(o.work.relaxations),
+           std::to_string(o.work.stale_skipped),
+           std::to_string(o.work.pushes), std::to_string(o.supersteps),
+           o.valid ? "1" : "0"});
+    }
+  }
+}
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  // Corpus records contain no quoted fields; a plain split suffices.
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : line) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+std::vector<GraphRunRecord> load_records_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return {};
+  std::string line;
+  ADDS_REQUIRE(bool(std::getline(in, line)), "empty records CSV: " + path);
+
+  std::vector<GraphRunRecord> records;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto f = split_csv_line(line);
+    ADDS_REQUIRE(f.size() == 18, "bad records CSV row in " + path);
+    if (records.empty() || records.back().spec.name != f[0]) {
+      GraphRunRecord rec;
+      rec.spec.name = f[0];
+      for (const auto fam :
+           {GraphFamily::kGridRoad, GraphFamily::kKNeighborMesh,
+            GraphFamily::kRmat, GraphFamily::kErdosRenyi,
+            GraphFamily::kWattsStrogatz, GraphFamily::kCliqueChain,
+            GraphFamily::kStar, GraphFamily::kChain,
+            GraphFamily::kBinaryTree}) {
+        if (f[1] == family_name(fam)) rec.spec.family = fam;
+      }
+      rec.summary.num_vertices = std::stoull(f[2]);
+      rec.summary.num_edges = std::stoull(f[3]);
+      rec.summary.avg_degree = std::stod(f[4]);
+      rec.summary.max_degree = std::stoull(f[5]);
+      rec.summary.avg_weight = std::stod(f[6]);
+      rec.summary.diameter = uint32_t(std::stoul(f[7]));
+      rec.summary.reach_fraction = std::stod(f[8]);
+      rec.summary.source = VertexId(std::stoul(f[9]));
+      records.push_back(std::move(rec));
+    }
+    SolverOutcome o;
+    o.time_us = std::stod(f[11]);
+    o.work.items_processed = std::stoull(f[12]);
+    o.work.relaxations = std::stoull(f[13]);
+    o.work.stale_skipped = std::stoull(f[14]);
+    o.work.pushes = std::stoull(f[15]);
+    o.supersteps = std::stoull(f[16]);
+    o.valid = f[17] == "1";
+    records.back().outcomes[f[10]] = o;
+  }
+  return records;
+}
+
+std::string config_tag(const CorpusRunOptions& opts) {
+  // FNV-1a over the model constants and engine options that affect results.
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  const GpuCostModel& g = opts.config.gpu;
+  mix(g.bytes_per_edge);
+  mix(g.edge_latency_us);
+  mix(g.kernel_launch_us);
+  mix(g.assignment_overhead_us);
+  mix(g.mtb_tick_us);
+  mix(double(g.wtb_width));
+  mix(g.spec().dram_bandwidth_gbps);
+  mix(double(g.spec().hardware_threads()));
+  const CpuCostModel& c = opts.config.cpu;
+  mix(c.seq_edge_us);
+  mix(c.heap_op_us);
+  mix(c.bucket_sync_us);
+  mix(c.parallel_efficiency);
+  const AddsOptions& a = opts.config.adds;
+  mix(double(a.num_buckets));
+  mix(a.dynamic_delta ? 1.0 : 0.0);
+  mix(a.delta);
+  mix(a.heuristic_c);
+  mix(double(a.chunk_items));
+  mix(double(a.chunk_edge_budget));
+  mix(a.controller.util_low);
+  mix(a.controller.util_high);
+  mix(double(a.controller.settle_head_switches));
+  mix(double(a.controller.settle_max_updates));
+  mix(a.controller.shrink_floor_factor);
+  mix(double(a.controller.max_active_buckets));
+  mix(opts.config.near_far.heuristic_c);
+  mix(double(opts.solvers.size()));
+  mix(opts.float_weights ? 1.0 : 0.0);
+
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%08x", uint32_t(h ^ (h >> 32)));
+  return opts.config.gpu.spec().name + "_" + buf;
+}
+
+std::vector<GraphRunRecord> run_corpus_cached(CorpusTier tier,
+                                              const CorpusRunOptions& opts,
+                                              const std::string& cache_dir,
+                                              const std::string& tag) {
+  std::string safe_tag = tag;
+  for (auto& c : safe_tag)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  const std::string path = cache_dir + "/corpus_" +
+                           std::string(tier_name(tier)) + "_" + safe_tag +
+                           ".csv";
+
+  auto cached = load_records_csv(path);
+  const auto specs = corpus_specs(tier);
+  if (cached.size() == specs.size()) {
+    std::fprintf(stderr, "[cache] reusing %s (%zu graphs)\n", path.c_str(),
+                 cached.size());
+    return cached;
+  }
+  auto records = opts.float_weights ? run_corpus_t<float>(specs, opts)
+                                    : run_corpus_t<uint32_t>(specs, opts);
+  save_records_csv(path, records);
+  std::fprintf(stderr, "[cache] saved %s\n", path.c_str());
+  return records;
+}
+
+}  // namespace adds

@@ -1,0 +1,111 @@
+// Corpus experiment runner shared by the evaluation benches.
+//
+// Runs a set of solvers over a list of graph specs (generating each graph
+// on demand), validates every result against Dijkstra, and returns
+// per-graph records from which the paper's distribution tables (3, 4, 5)
+// and scatter figures (8, 9, 10) are tabulated.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "graph/analysis.hpp"
+#include "graph/corpus.hpp"
+#include "util/stats.hpp"
+
+namespace adds {
+
+struct SolverOutcome {
+  double time_us = 0.0;
+  WorkStats work;
+  uint64_t supersteps = 0;
+  bool valid = true;  // distances matched Dijkstra
+};
+
+struct GraphRunRecord {
+  GraphSpec spec;
+  GraphSummary summary;
+  std::map<std::string, SolverOutcome> outcomes;  // keyed by solver_name()
+};
+
+struct CorpusRunOptions {
+  std::vector<SolverKind> solvers;  // Dijkstra is always run (oracle)
+  EngineConfig config;
+  bool validate = true;
+  bool progress = true;  // progress line per graph on stderr
+  /// Run the float-weight variant of the corpus (the artifact's
+  /// *_float lane) instead of the default int-weight lane.
+  bool float_weights = false;
+};
+
+/// Runs all solvers over all specs. The paper's artifact ships int and
+/// float variants of every implementation; `W` selects the weight flavour
+/// (run_corpus() is the int shorthand the main tables use).
+template <WeightType W>
+std::vector<GraphRunRecord> run_corpus_t(const std::vector<GraphSpec>& specs,
+                                         const CorpusRunOptions& opts);
+
+inline std::vector<GraphRunRecord> run_corpus(
+    const std::vector<GraphSpec>& specs, const CorpusRunOptions& opts) {
+  return run_corpus_t<uint32_t>(specs, opts);
+}
+
+extern template std::vector<GraphRunRecord> run_corpus_t<uint32_t>(
+    const std::vector<GraphSpec>&, const CorpusRunOptions&);
+extern template std::vector<GraphRunRecord> run_corpus_t<float>(
+    const std::vector<GraphSpec>&, const CorpusRunOptions&);
+
+/// The corpus graphs are ~1/8 the edge count of the paper's inputs, so the
+/// evaluation benches model proportionally shrunk boards (same launch
+/// latency — that is a fixed hardware property): this keeps the
+/// parallelism-vs-work regime aligned with the paper's (DESIGN.md §2).
+inline constexpr double kCorpusGpuScale = 0.25;
+
+/// EngineConfig for corpus benches: `board` at kCorpusGpuScale.
+inline EngineConfig corpus_config(const GpuSpec& board = GpuSpec::rtx2080ti()) {
+  EngineConfig cfg;
+  cfg.gpu = GpuCostModel(board.scaled(kCorpusGpuScale));
+  return cfg;
+}
+
+/// time(baseline) / time(subject): >1 means `subject` is faster.
+std::vector<double> speedup_ratios(const std::vector<GraphRunRecord>& records,
+                                   const std::string& subject,
+                                   const std::string& baseline);
+
+/// items(subject) / items(baseline): <1 means `subject` does less work.
+std::vector<double> work_ratios(const std::vector<GraphRunRecord>& records,
+                                const std::string& subject,
+                                const std::string& baseline);
+
+/// Bins ratios into a paper-style distribution row.
+BinnedDistribution bin_ratios(const std::vector<double>& ratios,
+                              BinnedDistribution bins);
+
+// --- Result caching ---------------------------------------------------------
+//
+// A full corpus run over all solvers takes minutes; several benches tabulate
+// different views of the same run (Tables 3 & 4, Figures 8-10). Records are
+// therefore persisted as CSV next to the bench outputs and reloaded when the
+// same (tier, machine, solver set) combination is requested again. Delete
+// bench_out/ to force re-measurement.
+
+void save_records_csv(const std::string& path,
+                      const std::vector<GraphRunRecord>& records);
+/// Returns empty if the file does not exist; throws on malformed content.
+std::vector<GraphRunRecord> load_records_csv(const std::string& path);
+
+/// Cache-aware corpus run. `cache_dir` is created if needed.
+std::vector<GraphRunRecord> run_corpus_cached(CorpusTier tier,
+                                              const CorpusRunOptions& opts,
+                                              const std::string& cache_dir,
+                                              const std::string& tag);
+
+/// Cache tag for an engine configuration: machine name plus a short hash of
+/// the model constants and engine options, so stale caches are never reused
+/// after recalibration.
+std::string config_tag(const CorpusRunOptions& opts);
+
+}  // namespace adds

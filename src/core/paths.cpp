@@ -1,0 +1,79 @@
+#include "core/paths.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace adds {
+
+namespace {
+
+/// Predecessor of `v`: any in-neighbour u with dist[u] + w == dist[v].
+/// Ties resolve to the smallest vertex id for determinism.
+template <WeightType W>
+VertexId predecessor(const CsrGraph<W>& reverse,
+                     const std::vector<DistT<W>>& dist, VertexId v) {
+  using Dist = DistT<W>;
+  VertexId best = kInvalidVertex;
+  for (EdgeIndex e = reverse.edge_begin(v); e < reverse.edge_end(v); ++e) {
+    const VertexId u = reverse.edge_target(e);
+    if (dist[u] == DistTraits<W>::infinity()) continue;
+    if (dist[u] + Dist(reverse.edge_weight(e)) == dist[v] && u < best)
+      best = u;
+  }
+  return best;
+}
+
+}  // namespace
+
+template <WeightType W>
+std::vector<VertexId> extract_path(const CsrGraph<W>& reverse,
+                                   const std::vector<DistT<W>>& dist,
+                                   VertexId source, VertexId target) {
+  ADDS_REQUIRE(dist.size() == reverse.num_vertices(),
+               "distance array does not match graph");
+  ADDS_REQUIRE(source < reverse.num_vertices() &&
+                   target < reverse.num_vertices(),
+               "path endpoints out of range");
+  if (dist[target] == DistTraits<W>::infinity()) return {};
+
+  std::vector<VertexId> path{target};
+  VertexId v = target;
+  while (v != source) {
+    const VertexId u = predecessor(reverse, dist, v);
+    ADDS_REQUIRE(u != kInvalidVertex,
+                 "no predecessor found: distance array is not a valid SSSP "
+                 "fixed point for this graph");
+    path.push_back(u);
+    v = u;
+    ADDS_REQUIRE(path.size() <= dist.size(), "predecessor cycle detected");
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+template <WeightType W>
+std::vector<VertexId> shortest_path_tree(const CsrGraph<W>& reverse,
+                                         const std::vector<DistT<W>>& dist,
+                                         VertexId source) {
+  ADDS_REQUIRE(dist.size() == reverse.num_vertices(),
+               "distance array does not match graph");
+  std::vector<VertexId> parent(reverse.num_vertices(), kInvalidVertex);
+  for (VertexId v = 0; v < reverse.num_vertices(); ++v) {
+    if (v == source || dist[v] == DistTraits<W>::infinity()) continue;
+    parent[v] = predecessor(reverse, dist, v);
+  }
+  return parent;
+}
+
+#define ADDS_INSTANTIATE(W)                                           \
+  template std::vector<VertexId> extract_path<W>(                     \
+      const CsrGraph<W>&, const std::vector<DistT<W>>&, VertexId,     \
+      VertexId);                                                      \
+  template std::vector<VertexId> shortest_path_tree<W>(               \
+      const CsrGraph<W>&, const std::vector<DistT<W>>&, VertexId);
+ADDS_INSTANTIATE(uint32_t)
+ADDS_INSTANTIATE(float)
+#undef ADDS_INSTANTIATE
+
+}  // namespace adds

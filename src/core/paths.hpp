@@ -1,0 +1,42 @@
+// Shortest-path reconstruction from a distance array.
+//
+// SSSP engines return distances only (as on the GPU); applications that
+// need actual routes reconstruct them here by walking predecessor edges:
+// u precedes v exactly when dist[u] + w(u->v) == dist[v]. Enumerating a
+// vertex's predecessors requires in-edges, i.e. the reverse graph (for
+// symmetric/undirected graphs the graph itself works).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace adds {
+
+/// The route source -> ... -> target (inclusive), or empty when target is
+/// unreachable. `reverse` must be reverse_graph(g) — or g itself when g is
+/// symmetric.
+template <WeightType W>
+std::vector<VertexId> extract_path(const CsrGraph<W>& reverse,
+                                   const std::vector<DistT<W>>& dist,
+                                   VertexId source, VertexId target);
+
+/// Predecessor of every reachable vertex under `dist` (kInvalidVertex for
+/// the source and unreachable vertices): the full shortest-path tree.
+template <WeightType W>
+std::vector<VertexId> shortest_path_tree(const CsrGraph<W>& reverse,
+                                         const std::vector<DistT<W>>& dist,
+                                         VertexId source);
+
+#define ADDS_EXTERN(W)                                                     \
+  extern template std::vector<VertexId> extract_path<W>(                   \
+      const CsrGraph<W>&, const std::vector<DistT<W>>&, VertexId,          \
+      VertexId);                                                           \
+  extern template std::vector<VertexId> shortest_path_tree<W>(             \
+      const CsrGraph<W>&, const std::vector<DistT<W>>&, VertexId);
+ADDS_EXTERN(uint32_t)
+ADDS_EXTERN(float)
+#undef ADDS_EXTERN
+
+}  // namespace adds

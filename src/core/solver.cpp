@@ -1,0 +1,75 @@
+#include "core/solver.hpp"
+
+namespace adds {
+
+const char* solver_name(SolverKind k) {
+  switch (k) {
+    case SolverKind::kAdds: return "adds";
+    case SolverKind::kAddsHost: return "adds-host";
+    case SolverKind::kNfHost: return "nf-host";
+    case SolverKind::kNf: return "nf";
+    case SolverKind::kGunNf: return "gun-nf";
+    case SolverKind::kGunBf: return "gun-bf";
+    case SolverKind::kNv: return "nv";
+    case SolverKind::kCpuDs: return "cpu-ds";
+    case SolverKind::kDijkstra: return "dijkstra";
+  }
+  return "?";
+}
+
+std::optional<SolverKind> parse_solver(const std::string& name) {
+  for (const SolverKind k :
+       {SolverKind::kAdds, SolverKind::kAddsHost, SolverKind::kNfHost,
+        SolverKind::kNf, SolverKind::kGunNf, SolverKind::kGunBf,
+        SolverKind::kNv, SolverKind::kCpuDs, SolverKind::kDijkstra}) {
+    if (name == solver_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::vector<SolverKind> all_solvers() {
+  return {SolverKind::kAdds,  SolverKind::kNf,    SolverKind::kGunNf,
+          SolverKind::kGunBf, SolverKind::kNv,    SolverKind::kCpuDs,
+          SolverKind::kDijkstra};
+}
+
+std::vector<SolverKind> gpu_baselines() {
+  return {SolverKind::kNf, SolverKind::kGunNf, SolverKind::kGunBf,
+          SolverKind::kNv};
+}
+
+template <WeightType W>
+SsspResult<W> run_solver(SolverKind kind, const CsrGraph<W>& g,
+                         VertexId source, const EngineConfig& cfg) {
+  switch (kind) {
+    case SolverKind::kAdds:
+      return adds_sim(g, source, cfg.gpu, cfg.adds);
+    case SolverKind::kAddsHost:
+      return adds_host(g, source, cfg.adds_host);
+    case SolverKind::kNfHost:
+      return near_far_host(g, source, cfg.near_far_host);
+    case SolverKind::kNf:
+      return near_far(g, source, cfg.gpu, cfg.near_far);
+    case SolverKind::kGunNf:
+      return gunrock_near_far(g, source, cfg.gpu, cfg.near_far.delta);
+    case SolverKind::kGunBf:
+      return bellman_ford(g, source, cfg.gpu, cfg.bellman_ford);
+    case SolverKind::kNv:
+      return nv_like(g, source, cfg.gpu);
+    case SolverKind::kCpuDs:
+      return cpu_delta_stepping(g, source, cfg.cpu, cfg.cpu_ds);
+    case SolverKind::kDijkstra:
+      return dijkstra(g, source, &cfg.cpu);
+  }
+  throw Error("unknown solver kind");
+}
+
+template SsspResult<uint32_t> run_solver<uint32_t>(SolverKind,
+                                                   const CsrGraph<uint32_t>&,
+                                                   VertexId,
+                                                   const EngineConfig&);
+template SsspResult<float> run_solver<float>(SolverKind,
+                                             const CsrGraph<float>&, VertexId,
+                                             const EngineConfig&);
+
+}  // namespace adds

@@ -1,0 +1,69 @@
+// Unified solver interface over the seven SSSP engines.
+//
+// This is the main entry point for library users:
+//
+//   auto g = adds::make_grid_road<uint32_t>(...);
+//   adds::EngineConfig cfg;                       // models default machines
+//   auto res = adds::run_solver(adds::SolverKind::kAdds, g, source, cfg);
+//
+// Benches and examples select engines by SolverKind or by name.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "sim/cost_model.hpp"
+#include "sssp/adds.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/cpu_delta_stepping.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/nearfar.hpp"
+#include "sssp/nearfar_host.hpp"
+
+namespace adds {
+
+enum class SolverKind : uint8_t {
+  kAdds,      // this paper (sim engine)
+  kAddsHost,  // this paper (real-thread engine)
+  kNfHost,    // Near-Far on real threads (BSP, double buffered)
+  kNf,        // LonestarGPU Near-Far
+  kGunNf,     // Gunrock Near-Far
+  kGunBf,     // Gunrock Bellman-Ford
+  kNv,        // nvGRAPH-like dense SSSP
+  kCpuDs,     // Galois CPU delta-stepping
+  kDijkstra,  // serial Dijkstra
+};
+
+const char* solver_name(SolverKind k);
+std::optional<SolverKind> parse_solver(const std::string& name);
+/// All kinds, in the paper's table order.
+std::vector<SolverKind> all_solvers();
+/// The GPU baselines ADDS is compared against in Table 3.
+std::vector<SolverKind> gpu_baselines();
+
+/// Machine models + per-engine options used by run_solver.
+struct EngineConfig {
+  GpuCostModel gpu{GpuSpec::rtx2080ti()};
+  CpuCostModel cpu{CpuSpec::i9_7900x()};
+  AddsOptions adds;
+  AddsHostOptions adds_host;
+  NearFarOptions near_far;
+  NearFarHostOptions near_far_host;
+  BellmanFordOptions bellman_ford;
+  CpuDeltaSteppingOptions cpu_ds;
+};
+
+template <WeightType W>
+SsspResult<W> run_solver(SolverKind kind, const CsrGraph<W>& g,
+                         VertexId source, const EngineConfig& cfg);
+
+extern template SsspResult<uint32_t> run_solver<uint32_t>(
+    SolverKind, const CsrGraph<uint32_t>&, VertexId, const EngineConfig&);
+extern template SsspResult<float> run_solver<float>(SolverKind,
+                                                    const CsrGraph<float>&,
+                                                    VertexId,
+                                                    const EngineConfig&);
+
+}  // namespace adds

@@ -1,0 +1,35 @@
+#include "core/validate.hpp"
+
+#include "util/error.hpp"
+
+namespace adds {
+
+std::string ValidationReport::summary() const {
+  if (ok()) return "OK (" + std::to_string(compared) + " vertices)";
+  return std::to_string(mismatches) + " mismatches of " +
+         std::to_string(compared) + " (first at vertex " +
+         std::to_string(first_mismatch) + ")";
+}
+
+template <WeightType W>
+ValidationReport validate_distances(const SsspResult<W>& a,
+                                    const SsspResult<W>& b) {
+  ADDS_REQUIRE(a.dist.size() == b.dist.size(),
+               "validate: result sizes differ");
+  ValidationReport rep;
+  rep.compared = a.dist.size();
+  for (size_t v = 0; v < a.dist.size(); ++v) {
+    if (a.dist[v] != b.dist[v]) {
+      if (rep.mismatches == 0) rep.first_mismatch = VertexId(v);
+      ++rep.mismatches;
+    }
+  }
+  return rep;
+}
+
+template ValidationReport validate_distances<uint32_t>(
+    const SsspResult<uint32_t>&, const SsspResult<uint32_t>&);
+template ValidationReport validate_distances<float>(const SsspResult<float>&,
+                                                    const SsspResult<float>&);
+
+}  // namespace adds

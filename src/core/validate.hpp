@@ -1,0 +1,31 @@
+// Result validation: the artifact's verify_against_* step. Two engines are
+// correct together when they produce identical final distances (the SSSP
+// fixed point is unique, including for float weights, because every
+// algorithm converges to the same min-over-paths value).
+#pragma once
+
+#include <string>
+
+#include "graph/types.hpp"
+#include "sssp/result.hpp"
+
+namespace adds {
+
+struct ValidationReport {
+  uint64_t compared = 0;
+  uint64_t mismatches = 0;
+  VertexId first_mismatch = kInvalidVertex;
+  bool ok() const noexcept { return mismatches == 0; }
+  std::string summary() const;
+};
+
+template <WeightType W>
+ValidationReport validate_distances(const SsspResult<W>& a,
+                                    const SsspResult<W>& b);
+
+extern template ValidationReport validate_distances<uint32_t>(
+    const SsspResult<uint32_t>&, const SsspResult<uint32_t>&);
+extern template ValidationReport validate_distances<float>(
+    const SsspResult<float>&, const SsspResult<float>&);
+
+}  // namespace adds

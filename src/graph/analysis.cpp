@@ -1,0 +1,120 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/rng.hpp"
+
+namespace adds {
+
+template <WeightType W>
+std::vector<uint32_t> bfs_hops(const CsrGraph<W>& g, VertexId source) {
+  std::vector<uint32_t> hops(g.num_vertices(), kUnreachedHops);
+  if (g.empty()) return hops;
+  ADDS_ASSERT(source < g.num_vertices());
+  // Two-vector frontier BFS: cheaper than std::queue for whole-graph sweeps.
+  std::vector<VertexId> frontier{source}, next;
+  hops[source] = 0;
+  uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (const VertexId u : frontier) {
+      for (const VertexId v : g.neighbors(u)) {
+        if (hops[v] == kUnreachedHops) {
+          hops[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return hops;
+}
+
+template <WeightType W>
+uint64_t count_reachable(const CsrGraph<W>& g, VertexId source) {
+  const auto hops = bfs_hops(g, source);
+  return uint64_t(
+      std::count_if(hops.begin(), hops.end(),
+                    [](uint32_t h) { return h != kUnreachedHops; }));
+}
+
+template <WeightType W>
+uint32_t pseudo_diameter(const CsrGraph<W>& g, VertexId start, int sweeps) {
+  if (g.empty()) return 0;
+  VertexId from = start;
+  uint32_t best = 0;
+  for (int s = 0; s < sweeps; ++s) {
+    const auto hops = bfs_hops(g, from);
+    uint32_t far_hops = 0;
+    VertexId far_v = from;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (hops[v] != kUnreachedHops && hops[v] > far_hops) {
+        far_hops = hops[v];
+        far_v = v;
+      }
+    }
+    best = std::max(best, far_hops);
+    if (far_v == from) break;  // converged
+    from = far_v;
+  }
+  return best;
+}
+
+template <WeightType W>
+VertexId pick_source(const CsrGraph<W>& g, uint64_t seed) {
+  if (g.empty()) return 0;
+  Xoshiro256 rng(seed);
+  VertexId best_v = 0;
+  uint64_t best_reach = 0;
+  constexpr int kCandidates = 4;
+  for (int i = 0; i < kCandidates; ++i) {
+    // Candidate 0 is always vertex 0 (generators put hubs/corners there).
+    const VertexId v =
+        i == 0 ? 0 : VertexId(rng.next_below(g.num_vertices()));
+    const uint64_t reach = count_reachable(g, v);
+    if (reach > best_reach) {
+      best_reach = reach;
+      best_v = v;
+    }
+    if (best_reach == g.num_vertices()) break;
+  }
+  return best_v;
+}
+
+template <WeightType W>
+GraphSummary summarize(const CsrGraph<W>& g) {
+  GraphSummary s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  s.avg_degree = g.average_degree();
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    s.max_degree = std::max<uint64_t>(s.max_degree, g.out_degree(v));
+  s.avg_weight = g.average_weight();
+  s.source = pick_source(g);
+  s.reach_fraction =
+      g.empty() ? 0.0
+                : double(count_reachable(g, s.source)) /
+                      double(g.num_vertices());
+  s.diameter = pseudo_diameter(g, s.source);
+  return s;
+}
+
+template std::vector<uint32_t> bfs_hops<uint32_t>(const CsrGraph<uint32_t>&,
+                                                  VertexId);
+template std::vector<uint32_t> bfs_hops<float>(const CsrGraph<float>&,
+                                               VertexId);
+template uint64_t count_reachable<uint32_t>(const CsrGraph<uint32_t>&,
+                                            VertexId);
+template uint64_t count_reachable<float>(const CsrGraph<float>&, VertexId);
+template uint32_t pseudo_diameter<uint32_t>(const CsrGraph<uint32_t>&,
+                                            VertexId, int);
+template uint32_t pseudo_diameter<float>(const CsrGraph<float>&, VertexId,
+                                         int);
+template VertexId pick_source<uint32_t>(const CsrGraph<uint32_t>&, uint64_t);
+template VertexId pick_source<float>(const CsrGraph<float>&, uint64_t);
+template GraphSummary summarize<uint32_t>(const CsrGraph<uint32_t>&);
+template GraphSummary summarize<float>(const CsrGraph<float>&);
+
+}  // namespace adds

@@ -1,0 +1,68 @@
+// Structural graph analysis: BFS, reachability, pseudo-diameter, and the
+// summary record used to classify corpus graphs into the paper's Table 2
+// degree/diameter bins and to pick SSSP sources.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace adds {
+
+/// Hop distances from `source` (kUnreachedHops where unreachable).
+inline constexpr uint32_t kUnreachedHops = ~0u;
+
+template <WeightType W>
+std::vector<uint32_t> bfs_hops(const CsrGraph<W>& g, VertexId source);
+
+/// Number of vertices reachable from `source` (including source).
+template <WeightType W>
+uint64_t count_reachable(const CsrGraph<W>& g, VertexId source);
+
+/// Pseudo-diameter by repeated BFS sweeps (lower bound on the true hop
+/// diameter; standard double-sweep heuristic). Returns 0 for empty graphs.
+template <WeightType W>
+uint32_t pseudo_diameter(const CsrGraph<W>& g, VertexId start = 0,
+                         int sweeps = 3);
+
+/// Picks an SSSP source that reaches many vertices: tries a handful of
+/// candidates and returns the one with the largest reach.
+template <WeightType W>
+VertexId pick_source(const CsrGraph<W>& g, uint64_t seed = 42);
+
+/// Summary used by Table 2 and by per-graph bench reporting.
+struct GraphSummary {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  double avg_degree = 0.0;
+  uint64_t max_degree = 0;
+  double avg_weight = 0.0;
+  uint32_t diameter = 0;        // pseudo-diameter
+  double reach_fraction = 0.0;  // from pick_source
+  VertexId source = 0;
+};
+
+template <WeightType W>
+GraphSummary summarize(const CsrGraph<W>& g);
+
+extern template std::vector<uint32_t> bfs_hops<uint32_t>(
+    const CsrGraph<uint32_t>&, VertexId);
+extern template std::vector<uint32_t> bfs_hops<float>(const CsrGraph<float>&,
+                                                      VertexId);
+extern template uint64_t count_reachable<uint32_t>(const CsrGraph<uint32_t>&,
+                                                   VertexId);
+extern template uint64_t count_reachable<float>(const CsrGraph<float>&,
+                                                VertexId);
+extern template uint32_t pseudo_diameter<uint32_t>(const CsrGraph<uint32_t>&,
+                                                   VertexId, int);
+extern template uint32_t pseudo_diameter<float>(const CsrGraph<float>&,
+                                                VertexId, int);
+extern template VertexId pick_source<uint32_t>(const CsrGraph<uint32_t>&,
+                                               uint64_t);
+extern template VertexId pick_source<float>(const CsrGraph<float>&, uint64_t);
+extern template GraphSummary summarize<uint32_t>(const CsrGraph<uint32_t>&);
+extern template GraphSummary summarize<float>(const CsrGraph<float>&);
+
+}  // namespace adds

@@ -1,0 +1,112 @@
+// Edge-list accumulation and CSR construction.
+//
+// All generators and text readers funnel through GraphBuilder, which sorts
+// edges by source (counting sort over vertices — O(n+m)), optionally
+// deduplicates parallel edges keeping the lightest, and emits a CsrGraph.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace adds {
+
+template <WeightType W>
+class GraphBuilder {
+ public:
+  /// `num_vertices` fixes the vertex-id space [0, n).
+  explicit GraphBuilder(VertexId num_vertices) : n_(num_vertices) {}
+
+  VertexId num_vertices() const noexcept { return n_; }
+  size_t num_edges() const noexcept { return edges_.size(); }
+
+  /// Adds a directed edge u -> v with weight w. Ids must be < n.
+  void add_edge(VertexId u, VertexId v, W w) {
+    ADDS_ASSERT(u < n_ && v < n_);
+    edges_.push_back({u, v, w});
+  }
+
+  /// Adds both u -> v and v -> u.
+  void add_undirected_edge(VertexId u, VertexId v, W w) {
+    add_edge(u, v, w);
+    add_edge(v, u, w);
+  }
+
+  struct BuildOptions {
+    bool dedup_parallel_edges = true;  // keep the minimum-weight copy
+    bool drop_self_loops = true;       // self loops never relax anything
+  };
+
+  /// Builds the CSR graph; the builder is left empty afterwards.
+  CsrGraph<W> build(const BuildOptions& opts = {});
+
+ private:
+  struct Edge {
+    VertexId src;
+    VertexId dst;
+    W weight;
+  };
+  VertexId n_;
+  std::vector<Edge> edges_;
+};
+
+// ---------------------------------------------------------------------------
+// Implementation (template).
+// ---------------------------------------------------------------------------
+
+template <WeightType W>
+CsrGraph<W> GraphBuilder<W>::build(const BuildOptions& opts) {
+  if (opts.drop_self_loops) {
+    std::erase_if(edges_, [](const Edge& e) { return e.src == e.dst; });
+  }
+
+  // Counting sort by source vertex: stable and O(n + m).
+  std::vector<EdgeIndex> offsets(size_t(n_) + 1, 0);
+  for (const Edge& e : edges_) ++offsets[size_t(e.src) + 1];
+  for (size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> targets(edges_.size());
+  std::vector<W> weights(edges_.size());
+  {
+    std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge& e : edges_) {
+      const EdgeIndex at = cursor[e.src]++;
+      targets[at] = e.dst;
+      weights[at] = e.weight;
+    }
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  if (opts.dedup_parallel_edges) {
+    // Within each adjacency list, sort by target and keep the lightest copy.
+    std::vector<EdgeIndex> new_offsets(size_t(n_) + 1, 0);
+    std::vector<std::pair<VertexId, W>> scratch;
+    EdgeIndex write = 0;
+    for (VertexId v = 0; v < n_; ++v) {
+      const EdgeIndex lo = offsets[v], hi = offsets[size_t(v) + 1];
+      scratch.clear();
+      for (EdgeIndex e = lo; e < hi; ++e)
+        scratch.emplace_back(targets[e], weights[e]);
+      std::sort(scratch.begin(), scratch.end());
+      for (size_t i = 0; i < scratch.size(); ++i) {
+        if (i > 0 && scratch[i].first == scratch[i - 1].first) continue;
+        targets[write] = scratch[i].first;
+        weights[write] = scratch[i].second;
+        ++write;
+      }
+      new_offsets[size_t(v) + 1] = write;
+    }
+    targets.resize(write);
+    weights.resize(write);
+    offsets = std::move(new_offsets);
+  }
+
+  return CsrGraph<W>(std::move(offsets), std::move(targets),
+                     std::move(weights));
+}
+
+}  // namespace adds

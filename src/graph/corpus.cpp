@@ -1,0 +1,340 @@
+#include "graph/corpus.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace adds {
+
+namespace {
+
+constexpr uint64_t kCorpusSeed = 0xADD5'0001;
+
+class SpecList {
+ public:
+  /// Adds a spec, deriving a unique deterministic seed from its position.
+  void add(std::string name, GraphFamily family, uint64_t scale, double a,
+           double b, double c, WeightDist dist, uint32_t max_weight,
+           uint64_t seed_salt = 1) {
+    GraphSpec s;
+    s.name = std::move(name);
+    s.family = family;
+    s.scale = scale;
+    s.a = a;
+    s.b = b;
+    s.c = c;
+    s.weights.dist = dist;
+    s.weights.max_weight = max_weight;
+    s.seed = mix_seed(kCorpusSeed, (specs_.size() << 8) | seed_salt);
+    specs_.push_back(std::move(s));
+  }
+
+  std::vector<GraphSpec> take() { return std::move(specs_); }
+
+ private:
+  std::vector<GraphSpec> specs_;
+};
+
+std::string make_name(const char* base, uint64_t variant, const char* wname,
+                      uint64_t seed_salt) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s-%llu-%s-s%llu", base,
+                static_cast<unsigned long long>(variant), wname,
+                static_cast<unsigned long long>(seed_salt));
+  return buf;
+}
+
+/// Builds the full 226-spec corpus. The mix is weighted like the paper's:
+/// mesh/FEM graphs dominate (SuiteSparse), with substantial road, power-law,
+/// random and small-world populations plus a few degenerate stressors.
+std::vector<GraphSpec> full_corpus() {
+  SpecList out;
+  const WeightDist kUni = WeightDist::kUniform;
+  const WeightDist kTail = WeightDist::kLongTail;
+  const WeightDist kUnit = WeightDist::kUnit;
+  auto wname = [](WeightDist d) { return weight_dist_name(d); };
+
+  // --- Road networks: 50 graphs -----------------------------------------
+  // Square grids (high diameter, degree ~4).
+  for (uint64_t w : {128, 181, 256, 362, 512}) {
+    for (WeightDist d : {kUni, kTail, kUnit}) {
+      for (uint64_t salt : {1, 2}) {
+        out.add(make_name("road-sq", w, wname(d), salt),
+                GraphFamily::kGridRoad, w, double(w), 0, 0, d, 10000, salt);
+      }
+    }
+  }
+  // Long thin corridors (extreme diameter).
+  for (auto [w, h] : std::initializer_list<std::pair<uint64_t, uint64_t>>{
+           {1024, 64}, {2048, 64}, {4096, 32}, {1024, 128}}) {
+    for (WeightDist d : {kUni, kTail}) {
+      out.add(make_name("road-strip", w * 1000 + h, wname(d), 1),
+              GraphFamily::kGridRoad, w, double(h), 0, 0, d, 10000, 1);
+    }
+  }
+  // Extra square sizes to round out the family.
+  for (uint64_t w : {90, 724}) {
+    for (WeightDist d : {kUni, kTail, kUnit}) {
+      for (uint64_t salt : {1, 2}) {
+        out.add(make_name("road-sq", w, wname(d), salt),
+                GraphFamily::kGridRoad, w, double(w), 0, 0, d, 10000, salt);
+      }
+    }
+  }
+
+  // --- FEM meshes: 48 graphs ---------------------------------------------
+  for (uint64_t w : {64, 96, 128, 192}) {
+    for (uint64_t r : {1, 2, 3}) {
+      for (WeightDist d : {kUni, kTail}) {
+        out.add(make_name("mesh-sq", w * 100 + r, wname(d), 1),
+                GraphFamily::kKNeighborMesh, w, double(w), double(r), 0, d,
+                1000, 1);
+      }
+    }
+  }
+  for (auto [w, h] : std::initializer_list<std::pair<uint64_t, uint64_t>>{
+           {256, 64}, {384, 96}, {512, 128}}) {
+    for (uint64_t r : {2, 3}) {
+      out.add(make_name("mesh-rect", w * 100 + r, wname(kUni), 1),
+              GraphFamily::kKNeighborMesh, w, double(h), double(r), 0, kUni,
+              1000, 1);
+    }
+  }
+  for (uint64_t w : {80, 112, 160, 224}) {
+    for (uint64_t r : {1, 2, 3}) {
+      out.add(make_name("mesh-sq", w * 100 + r, wname(kUni), 2),
+              GraphFamily::kKNeighborMesh, w, double(w), double(r), 0, kUni,
+              1000, 2);
+    }
+  }
+  for (auto [w, h] : std::initializer_list<std::pair<uint64_t, uint64_t>>{
+           {512, 96}, {768, 128}, {1024, 64}}) {
+    for (uint64_t r : {1, 2}) {
+      out.add(make_name("mesh-rect", w * 100 + r, wname(kUni), 3),
+              GraphFamily::kKNeighborMesh, w, double(h), double(r), 0, kUni,
+              1000, 3);
+    }
+  }
+
+  // --- Power-law (RMAT): 40 graphs ---------------------------------------
+  for (uint64_t scale : {14, 15, 16}) {
+    for (uint64_t ef : {8, 16, 32}) {
+      for (WeightDist d : {kUni, kTail}) {
+        for (uint64_t salt : {1, 2}) {
+          out.add(make_name("rmat", scale * 100 + ef, wname(d), salt),
+                  GraphFamily::kRmat, scale, double(ef), 0, 0, d, 10000,
+                  salt);
+        }
+      }
+    }
+  }
+  for (uint64_t ef : {8, 16}) {
+    for (WeightDist d : {kUni, kTail}) {
+      out.add(make_name("rmat", 1700 + ef, wname(d), 1), GraphFamily::kRmat,
+              17, double(ef), 0, 0, d, 10000, 1);
+    }
+  }
+
+  // --- Random (Erdos-Renyi): 34 graphs -----------------------------------
+  for (uint64_t n : {50000, 100000, 200000}) {
+    for (uint64_t deg : {4, 8, 16, 32, 64}) {
+      for (WeightDist d : {kUni, kTail}) {
+        out.add(make_name("er", n / 1000 * 1000 + deg, wname(d), 1),
+                GraphFamily::kErdosRenyi, n, double(deg), 0, 0, d, 10000, 1);
+      }
+    }
+  }
+  for (uint64_t deg : {4, 8}) {
+    for (WeightDist d : {kUni, kTail}) {
+      out.add(make_name("er", 400000 + deg, wname(d), 1),
+              GraphFamily::kErdosRenyi, 400000, double(deg), 0, 0, d, 10000,
+              1);
+    }
+  }
+
+  // --- Small-world (Watts-Strogatz): 28 graphs ---------------------------
+  for (uint64_t n : {65536, 131072}) {
+    for (uint64_t k : {8, 16, 32}) {
+      for (double p : {0.01, 0.1}) {
+        for (uint64_t salt : {1, 2}) {
+          out.add(make_name("ws",
+                            n / 1024 * 10000 + k * 100 + uint64_t(p * 100),
+                            wname(kUni), salt),
+                  GraphFamily::kWattsStrogatz, n, double(k), p, 0, kUni,
+                  10000, salt);
+        }
+      }
+    }
+  }
+  for (uint64_t k : {8, 16}) {
+    for (uint64_t salt : {1, 2}) {
+      out.add(make_name("ws", 25600 + k, wname(kUni), salt),
+              GraphFamily::kWattsStrogatz, 262144, double(k), 0.05, 0, kUni,
+              10000, salt);
+    }
+  }
+
+  // --- Community chains (c-big-like): 14 graphs --------------------------
+  for (auto [cliques, size] :
+       std::initializer_list<std::pair<uint64_t, uint64_t>>{
+           {4096, 16}, {1024, 32}, {256, 64}, {8192, 16}, {2048, 32}}) {
+    for (WeightDist d : {kUni, kTail}) {
+      out.add(make_name("cliquechain", cliques, wname(d), 1),
+              GraphFamily::kCliqueChain, cliques, double(size), 0, 0, d,
+              10000, 1);
+    }
+  }
+  for (auto [cliques, size] :
+       std::initializer_list<std::pair<uint64_t, uint64_t>>{{512, 48},
+                                                            {128, 96}}) {
+    for (WeightDist d : {kUni, kTail}) {
+      out.add(make_name("cliquechain", cliques, wname(d), 2),
+              GraphFamily::kCliqueChain, cliques, double(size), 0, 0, d,
+              10000, 2);
+    }
+  }
+
+  // --- Degenerate stressors: 12 graphs -----------------------------------
+  for (uint64_t n : {100000, 200000}) {
+    for (WeightDist d : {kUni, kUnit}) {
+      out.add(make_name("chain", n, wname(d), 1), GraphFamily::kChain, n, 0,
+              0, 0, d, 10000, 1);
+    }
+  }
+  for (uint64_t n : {100000, 200000}) {
+    out.add(make_name("star", n, wname(kUni), 1), GraphFamily::kStar, n, 0, 0,
+            0, kUni, 10000, 1);
+  }
+  for (uint64_t n : {100000, 200000, 400000}) {
+    for (WeightDist d : {kUni, kUnit}) {
+      out.add(make_name("btree", n, wname(d), 1), GraphFamily::kBinaryTree, n,
+              0, 0, 0, d, 10000, 1);
+    }
+  }
+
+  return out.take();
+}
+
+std::vector<GraphSpec> smoke_corpus() {
+  SpecList out;
+  const WeightDist kUni = WeightDist::kUniform;
+  out.add("smoke-road", GraphFamily::kGridRoad, 48, 48, 0, 0, kUni, 1000, 1);
+  out.add("smoke-strip", GraphFamily::kGridRoad, 256, 8, 0, 0, kUni, 1000, 1);
+  out.add("smoke-mesh1", GraphFamily::kKNeighborMesh, 32, 32, 1, 0, kUni,
+          100, 1);
+  out.add("smoke-mesh3", GraphFamily::kKNeighborMesh, 24, 24, 3, 0, kUni,
+          100, 1);
+  out.add("smoke-rmat", GraphFamily::kRmat, 10, 16, 0, 0, kUni, 1000, 1);
+  out.add("smoke-rmat-tail", GraphFamily::kRmat, 11, 8, 0, 0,
+          WeightDist::kLongTail, 10000, 1);
+  out.add("smoke-er", GraphFamily::kErdosRenyi, 2000, 8, 0, 0, kUni, 1000, 1);
+  out.add("smoke-ws", GraphFamily::kWattsStrogatz, 2048, 8, 0.05, 0, kUni,
+          1000, 1);
+  out.add("smoke-cliques", GraphFamily::kCliqueChain, 64, 16, 0, 0, kUni,
+          1000, 1);
+  out.add("smoke-chain", GraphFamily::kChain, 4096, 0, 0, 0, kUni, 1000, 1);
+  out.add("smoke-star", GraphFamily::kStar, 4096, 0, 0, 0, kUni, 1000, 1);
+  out.add("smoke-btree", GraphFamily::kBinaryTree, 4095, 0, 0, 0, kUni, 1000,
+          1);
+  return out.take();
+}
+
+}  // namespace
+
+std::vector<GraphSpec> corpus_specs(CorpusTier tier) {
+  switch (tier) {
+    case CorpusTier::kSmoke:
+      return smoke_corpus();
+    case CorpusTier::kDefault: {
+      const auto full = full_corpus();
+      std::vector<GraphSpec> out;
+      for (size_t i = 0; i < full.size(); i += 4) out.push_back(full[i]);
+      return out;
+    }
+    case CorpusTier::kFull:
+      return full_corpus();
+  }
+  throw Error("unknown corpus tier");
+}
+
+GraphSpec road_usa_like() {
+  GraphSpec s;
+  s.name = "road-USA-like";
+  s.family = GraphFamily::kGridRoad;
+  s.scale = 512;
+  s.a = 512;
+  s.weights = {WeightDist::kUniform, 10000};
+  s.seed = mix_seed(kCorpusSeed, 0xF16A);
+  return s;
+}
+
+GraphSpec benelechi_like() {
+  GraphSpec s;
+  s.name = "BenElechi1-like";
+  s.family = GraphFamily::kKNeighborMesh;
+  s.scale = 384;
+  s.a = 96;
+  s.b = 2;
+  s.weights = {WeightDist::kUniform, 1000};
+  s.seed = mix_seed(kCorpusSeed, 0xF16B);
+  return s;
+}
+
+GraphSpec msdoor_like() {
+  GraphSpec s;
+  s.name = "msdoor-like";
+  s.family = GraphFamily::kKNeighborMesh;
+  s.scale = 160;
+  s.a = 160;
+  s.b = 3;
+  s.weights = {WeightDist::kUniform, 1000};
+  s.seed = mix_seed(kCorpusSeed, 0xF16C);
+  return s;
+}
+
+GraphSpec rmat22_like() {
+  GraphSpec s;
+  s.name = "rmat22-like";
+  s.family = GraphFamily::kRmat;
+  s.scale = 16;
+  s.a = 16;
+  s.weights = {WeightDist::kUniform, 10000};
+  s.seed = mix_seed(kCorpusSeed, 0xF16D);
+  return s;
+}
+
+GraphSpec cbig_like() {
+  // SuiteSparse's c-big is an LP constraint matrix: low diameter, modest
+  // size (the paper's total run is ~3 ms), with enough weight spread that
+  // ordering saves real work. A long-tail-weighted random graph reproduces
+  // that regime: ADDS saves work but the run is too short for dynamic Δ to
+  // settle, so the speedup trails the work saving (Figure 15's point).
+  GraphSpec s;
+  s.name = "c-big-like";
+  s.family = GraphFamily::kWattsStrogatz;
+  s.scale = 65536;
+  s.a = 8;     // ring degree
+  s.b = 0.02;  // rewiring probability
+  s.weights = {WeightDist::kLongTail, 100000};
+  s.seed = mix_seed(kCorpusSeed, 0xF16E);
+  return s;
+}
+
+CorpusTier parse_tier(const std::string& s) {
+  if (s == "smoke") return CorpusTier::kSmoke;
+  if (s == "default") return CorpusTier::kDefault;
+  if (s == "full") return CorpusTier::kFull;
+  throw Error("unknown corpus tier: " + s + " (want smoke|default|full)");
+}
+
+const char* tier_name(CorpusTier t) {
+  switch (t) {
+    case CorpusTier::kSmoke: return "smoke";
+    case CorpusTier::kDefault: return "default";
+    case CorpusTier::kFull: return "full";
+  }
+  return "?";
+}
+
+}  // namespace adds

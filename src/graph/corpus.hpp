@@ -1,0 +1,43 @@
+// The benchmark corpus: a deterministic stand-in for the paper's 226-graph
+// Lonestar + SuiteSparse input set.
+//
+// The full tier contains exactly 226 graph specs spanning the degree and
+// diameter classes of the paper's Table 2 (road networks, FEM meshes,
+// power-law graphs, random graphs, small-world graphs, community chains and
+// degenerate stressors). The default tier is a ~1/4 systematic sample used
+// for quicker runs; the smoke tier is a dozen tiny graphs for CI.
+#pragma once
+
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace adds {
+
+enum class CorpusTier : uint8_t {
+  kSmoke,    // ~12 tiny graphs; seconds
+  kDefault,  // ~1/4 sample of full; minutes
+  kFull,     // 226 graphs matching the paper's corpus size
+};
+
+/// All graph specs in a tier, in deterministic order.
+std::vector<GraphSpec> corpus_specs(CorpusTier tier);
+
+/// Named analogues of the specific graphs the paper analyses in depth.
+/// These mirror the structural class of the original (see DESIGN.md):
+///   road-USA     -> large 4-neighbour grid, heavy uniform weights
+///   BenElechi1   -> moderate-radius FEM mesh
+///   msdoor       -> high-radius FEM mesh
+///   rmat22       -> RMAT power-law
+///   c-big        -> chain of dense cliques
+GraphSpec road_usa_like();
+GraphSpec benelechi_like();
+GraphSpec msdoor_like();
+GraphSpec rmat22_like();
+GraphSpec cbig_like();
+
+/// Parse "smoke"/"default"/"full" (throws adds::Error otherwise).
+CorpusTier parse_tier(const std::string& s);
+const char* tier_name(CorpusTier t);
+
+}  // namespace adds

@@ -1,0 +1,113 @@
+// Compressed Sparse Row (CSR) directed graph with edge weights.
+//
+// This is the read-only runtime representation every algorithm in the
+// repository consumes. Construction goes through GraphBuilder (builder.hpp)
+// or a file reader (gr_format.hpp / dimacs.hpp).
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/error.hpp"
+
+namespace adds {
+
+/// Immutable weighted directed graph in CSR form.
+template <WeightType W>
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Takes ownership of prebuilt CSR arrays. `offsets` has n+1 entries with
+  /// offsets[0]==0 and offsets[n]==targets.size()==weights.size().
+  CsrGraph(std::vector<EdgeIndex> offsets, std::vector<VertexId> targets,
+           std::vector<W> weights)
+      : offsets_(std::move(offsets)),
+        targets_(std::move(targets)),
+        weights_(std::move(weights)) {
+    validate();
+  }
+
+  VertexId num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  EdgeIndex num_edges() const noexcept { return targets_.size(); }
+  bool empty() const noexcept { return num_vertices() == 0; }
+
+  EdgeIndex out_degree(VertexId v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+  EdgeIndex edge_begin(VertexId v) const noexcept { return offsets_[v]; }
+  EdgeIndex edge_end(VertexId v) const noexcept { return offsets_[v + 1]; }
+
+  VertexId edge_target(EdgeIndex e) const noexcept { return targets_[e]; }
+  W edge_weight(EdgeIndex e) const noexcept { return weights_[e]; }
+
+  std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    return {targets_.data() + offsets_[v],
+            static_cast<size_t>(out_degree(v))};
+  }
+  std::span<const W> neighbor_weights(VertexId v) const noexcept {
+    return {weights_.data() + offsets_[v],
+            static_cast<size_t>(out_degree(v))};
+  }
+
+  std::span<const EdgeIndex> offsets() const noexcept { return offsets_; }
+  std::span<const VertexId> targets() const noexcept { return targets_; }
+  std::span<const W> weights() const noexcept { return weights_; }
+
+  double average_degree() const noexcept {
+    return num_vertices() == 0
+               ? 0.0
+               : double(num_edges()) / double(num_vertices());
+  }
+
+  /// Mean edge weight (the W term of the Near-Far Δ heuristic).
+  double average_weight() const noexcept {
+    if (weights_.empty()) return 0.0;
+    double acc = 0.0;
+    for (const W w : weights_) acc += double(w);
+    return acc / double(weights_.size());
+  }
+
+  W max_weight() const noexcept {
+    W m = W{0};
+    for (const W w : weights_)
+      if (w > m) m = w;
+    return m;
+  }
+
+  /// Approximate device memory footprint of the CSR arrays in bytes.
+  size_t footprint_bytes() const noexcept {
+    return offsets_.size() * sizeof(EdgeIndex) +
+           targets_.size() * sizeof(VertexId) + weights_.size() * sizeof(W);
+  }
+
+ private:
+  void validate() const {
+    ADDS_REQUIRE(!offsets_.empty() && offsets_.front() == 0,
+                 "CSR offsets must start at 0");
+    ADDS_REQUIRE(offsets_.back() == targets_.size(),
+                 "CSR offsets end must equal edge count");
+    ADDS_REQUIRE(targets_.size() == weights_.size(),
+                 "CSR targets/weights size mismatch");
+    const VertexId n = static_cast<VertexId>(offsets_.size() - 1);
+    for (size_t i = 1; i < offsets_.size(); ++i)
+      ADDS_REQUIRE(offsets_[i - 1] <= offsets_[i],
+                   "CSR offsets must be non-decreasing");
+    for (const VertexId t : targets_)
+      ADDS_REQUIRE(t < n, "CSR edge target out of range");
+  }
+
+  std::vector<EdgeIndex> offsets_;  // n+1 entries
+  std::vector<VertexId> targets_;   // m entries
+  std::vector<W> weights_;          // m entries
+};
+
+using IntGraph = CsrGraph<uint32_t>;
+using FloatGraph = CsrGraph<float>;
+
+}  // namespace adds

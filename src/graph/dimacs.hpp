@@ -1,0 +1,41 @@
+// Text graph formats: DIMACS 9th-challenge shortest-path format and
+// MatrixMarket coordinate format (the SuiteSparse distribution format the
+// paper's inputs were converted from).
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace adds {
+
+/// Reads a DIMACS ".gr" *text* file:
+///   c <comment>
+///   p sp <num_vertices> <num_edges>
+///   a <src> <dst> <weight>        (1-based vertex ids)
+/// Throws adds::Error on malformed input.
+template <WeightType W>
+CsrGraph<W> read_dimacs(const std::string& path);
+
+/// Writes the DIMACS text format (1-based ids).
+template <WeightType W>
+void write_dimacs(const CsrGraph<W>& graph, const std::string& path);
+
+/// Reads a MatrixMarket coordinate file as a graph. Pattern matrices get
+/// unit weights; `symmetric` headers are expanded to both directions.
+/// Entry values are clamped to be positive (the paper converts negative
+/// weights to positive).
+template <WeightType W>
+CsrGraph<W> read_matrix_market(const std::string& path);
+
+extern template CsrGraph<uint32_t> read_dimacs<uint32_t>(const std::string&);
+extern template CsrGraph<float> read_dimacs<float>(const std::string&);
+extern template void write_dimacs<uint32_t>(const CsrGraph<uint32_t>&,
+                                            const std::string&);
+extern template void write_dimacs<float>(const CsrGraph<float>&,
+                                         const std::string&);
+extern template CsrGraph<uint32_t> read_matrix_market<uint32_t>(
+    const std::string&);
+extern template CsrGraph<float> read_matrix_market<float>(const std::string&);
+
+}  // namespace adds

@@ -1,0 +1,310 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace adds {
+
+namespace {
+
+/// Draws one edge weight from the spec'd distribution.
+template <WeightType W>
+class WeightSampler {
+ public:
+  WeightSampler(const WeightParams& wp, uint64_t seed)
+      : wp_(wp), rng_(mix_seed(seed, 0x57e16475u)) {}
+
+  W next() {
+    switch (wp_.dist) {
+      case WeightDist::kUnit:
+        return W{1};
+      case WeightDist::kUniform: {
+        const uint64_t v =
+            rng_.next_range(std::max(1u, wp_.min_weight), wp_.max_weight);
+        if constexpr (std::is_same_v<W, float>)
+          return static_cast<float>(v) +
+                 rng_.next_float();  // break integer ties for float graphs
+        else
+          return static_cast<uint32_t>(v);
+      }
+      case WeightDist::kLongTail: {
+        // w = max^u for u uniform in (0,1]: log-uniform, mostly small with a
+        // heavy tail, like travel-time or capacity weights.
+        const double u = rng_.next_double();
+        const double v = std::pow(double(wp_.max_weight), u);
+        if constexpr (std::is_same_v<W, float>)
+          return std::max(1e-3f, static_cast<float>(v));
+        else
+          return static_cast<uint32_t>(std::max(1.0, v));
+      }
+    }
+    return W{1};
+  }
+
+ private:
+  WeightParams wp_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace
+
+const char* weight_dist_name(WeightDist d) {
+  switch (d) {
+    case WeightDist::kUnit: return "unit";
+    case WeightDist::kUniform: return "uniform";
+    case WeightDist::kLongTail: return "longtail";
+  }
+  return "?";
+}
+
+const char* family_name(GraphFamily f) {
+  switch (f) {
+    case GraphFamily::kGridRoad: return "grid-road";
+    case GraphFamily::kKNeighborMesh: return "mesh";
+    case GraphFamily::kRmat: return "rmat";
+    case GraphFamily::kErdosRenyi: return "erdos-renyi";
+    case GraphFamily::kWattsStrogatz: return "watts-strogatz";
+    case GraphFamily::kCliqueChain: return "clique-chain";
+    case GraphFamily::kStar: return "star";
+    case GraphFamily::kChain: return "chain";
+    case GraphFamily::kBinaryTree: return "binary-tree";
+  }
+  return "?";
+}
+
+template <WeightType W>
+CsrGraph<W> make_grid_road(uint64_t width, uint64_t height,
+                           const WeightParams& wp, uint64_t seed) {
+  ADDS_REQUIRE(width >= 1 && height >= 1, "grid dimensions must be positive");
+  const uint64_t n = width * height;
+  ADDS_REQUIRE(n < kInvalidVertex, "grid too large");
+  GraphBuilder<W> b{VertexId(n)};
+  WeightSampler<W> ws(wp, seed);
+  auto id = [width](uint64_t x, uint64_t y) {
+    return VertexId(y * width + x);
+  };
+  for (uint64_t y = 0; y < height; ++y) {
+    for (uint64_t x = 0; x < width; ++x) {
+      if (x + 1 < width) b.add_undirected_edge(id(x, y), id(x + 1, y), ws.next());
+      if (y + 1 < height) b.add_undirected_edge(id(x, y), id(x, y + 1), ws.next());
+    }
+  }
+  return b.build();
+}
+
+template <WeightType W>
+CsrGraph<W> make_kneighbor_mesh(uint64_t width, uint64_t height,
+                                uint32_t radius, const WeightParams& wp,
+                                uint64_t seed) {
+  ADDS_REQUIRE(radius >= 1, "mesh radius must be >= 1");
+  const uint64_t n = width * height;
+  ADDS_REQUIRE(n < kInvalidVertex, "mesh too large");
+  GraphBuilder<W> b{VertexId(n)};
+  WeightSampler<W> ws(wp, seed);
+  auto id = [width](uint64_t x, uint64_t y) {
+    return VertexId(y * width + x);
+  };
+  const int64_t r = radius;
+  for (uint64_t y = 0; y < height; ++y) {
+    for (uint64_t x = 0; x < width; ++x) {
+      // Connect to the lexicographically-later half of the neighbourhood so
+      // each undirected edge is created exactly once.
+      for (int64_t dy = 0; dy <= r; ++dy) {
+        for (int64_t dx = (dy == 0 ? 1 : -r); dx <= r; ++dx) {
+          const int64_t nx = int64_t(x) + dx;
+          const int64_t ny = int64_t(y) + dy;
+          if (nx < 0 || ny < 0 || nx >= int64_t(width) ||
+              ny >= int64_t(height))
+            continue;
+          b.add_undirected_edge(id(x, y), id(uint64_t(nx), uint64_t(ny)),
+                                ws.next());
+        }
+      }
+    }
+  }
+  return b.build();
+}
+
+template <WeightType W>
+CsrGraph<W> make_rmat(uint32_t scale, uint32_t edge_factor, double a, double b,
+                      double c, const WeightParams& wp, uint64_t seed) {
+  ADDS_REQUIRE(scale >= 1 && scale <= 30, "rmat scale out of range");
+  ADDS_REQUIRE(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0,
+               "rmat probabilities must satisfy a+b+c<1");
+  const uint64_t n = 1ull << scale;
+  const uint64_t m = uint64_t(edge_factor) * n;
+  GraphBuilder<W> bld{VertexId(n)};
+  WeightSampler<W> ws(wp, seed);
+  Xoshiro256 rng(mix_seed(seed, 0x12a7u));
+  for (uint64_t i = 0; i < m; ++i) {
+    uint64_t u = 0, v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      const double p = rng.next_double();
+      uint64_t du = 0, dv = 0;
+      if (p < a) {
+        // top-left quadrant
+      } else if (p < a + b) {
+        dv = 1;
+      } else if (p < a + b + c) {
+        du = 1;
+      } else {
+        du = 1;
+        dv = 1;
+      }
+      u = (u << 1) | du;
+      v = (v << 1) | dv;
+    }
+    // Both directions: Lonestar's rmat inputs are traversable from a single
+    // source (>= 75% reachability criterion), which a one-directional RMAT
+    // sample does not satisfy.
+    bld.add_undirected_edge(VertexId(u), VertexId(v), ws.next());
+  }
+  return bld.build();
+}
+
+template <WeightType W>
+CsrGraph<W> make_erdos_renyi(uint64_t n, double avg_degree,
+                             const WeightParams& wp, uint64_t seed) {
+  ADDS_REQUIRE(n >= 2, "erdos-renyi needs >= 2 vertices");
+  const uint64_t m = uint64_t(std::llround(double(n) * avg_degree / 2.0));
+  GraphBuilder<W> b{VertexId(n)};
+  WeightSampler<W> ws(wp, seed);
+  Xoshiro256 rng(mix_seed(seed, 0xe12du));
+  for (uint64_t i = 0; i < m; ++i) {
+    const VertexId u = VertexId(rng.next_below(n));
+    VertexId v = VertexId(rng.next_below(n));
+    if (u == v) v = VertexId((v + 1) % n);
+    b.add_undirected_edge(u, v, ws.next());
+  }
+  return b.build();
+}
+
+template <WeightType W>
+CsrGraph<W> make_watts_strogatz(uint64_t n, uint32_t k, double p,
+                                const WeightParams& wp, uint64_t seed) {
+  ADDS_REQUIRE(n >= 4 && k >= 2 && k % 2 == 0, "watts-strogatz needs even k");
+  GraphBuilder<W> b{VertexId(n)};
+  WeightSampler<W> ws(wp, seed);
+  Xoshiro256 rng(mix_seed(seed, 0x5774u));
+  for (uint64_t u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k / 2; ++j) {
+      uint64_t v = (u + j) % n;
+      if (rng.next_bool(p)) {
+        v = rng.next_below(n);
+        if (v == u) v = (v + 1) % n;
+      }
+      b.add_undirected_edge(VertexId(u), VertexId(v), ws.next());
+    }
+  }
+  return b.build();
+}
+
+template <WeightType W>
+CsrGraph<W> make_clique_chain(uint64_t num_cliques, uint32_t clique_size,
+                              const WeightParams& wp, uint64_t seed) {
+  ADDS_REQUIRE(num_cliques >= 1 && clique_size >= 2, "bad clique-chain shape");
+  const uint64_t n = num_cliques * clique_size;
+  ADDS_REQUIRE(n < kInvalidVertex, "clique-chain too large");
+  GraphBuilder<W> b{VertexId(n)};
+  WeightSampler<W> ws(wp, seed);
+  for (uint64_t cq = 0; cq < num_cliques; ++cq) {
+    const uint64_t base = cq * clique_size;
+    for (uint32_t i = 0; i < clique_size; ++i)
+      for (uint32_t j = i + 1; j < clique_size; ++j)
+        b.add_undirected_edge(VertexId(base + i), VertexId(base + j),
+                              ws.next());
+    if (cq + 1 < num_cliques)
+      b.add_undirected_edge(VertexId(base + clique_size - 1),
+                            VertexId(base + clique_size), ws.next());
+  }
+  return b.build();
+}
+
+template <WeightType W>
+CsrGraph<W> make_star(uint64_t n, const WeightParams& wp, uint64_t seed) {
+  ADDS_REQUIRE(n >= 2, "star needs >= 2 vertices");
+  GraphBuilder<W> b{VertexId(n)};
+  WeightSampler<W> ws(wp, seed);
+  for (uint64_t v = 1; v < n; ++v)
+    b.add_undirected_edge(0, VertexId(v), ws.next());
+  return b.build();
+}
+
+template <WeightType W>
+CsrGraph<W> make_chain(uint64_t n, const WeightParams& wp, uint64_t seed) {
+  ADDS_REQUIRE(n >= 2, "chain needs >= 2 vertices");
+  GraphBuilder<W> b{VertexId(n)};
+  WeightSampler<W> ws(wp, seed);
+  for (uint64_t v = 0; v + 1 < n; ++v)
+    b.add_undirected_edge(VertexId(v), VertexId(v + 1), ws.next());
+  return b.build();
+}
+
+template <WeightType W>
+CsrGraph<W> make_binary_tree(uint64_t n, const WeightParams& wp,
+                             uint64_t seed) {
+  ADDS_REQUIRE(n >= 2, "tree needs >= 2 vertices");
+  GraphBuilder<W> b{VertexId(n)};
+  WeightSampler<W> ws(wp, seed);
+  for (uint64_t v = 1; v < n; ++v)
+    b.add_undirected_edge(VertexId((v - 1) / 2), VertexId(v), ws.next());
+  return b.build();
+}
+
+template <WeightType W>
+CsrGraph<W> generate_graph(const GraphSpec& s) {
+  switch (s.family) {
+    case GraphFamily::kGridRoad:
+      return make_grid_road<W>(s.scale, uint64_t(s.a), s.weights, s.seed);
+    case GraphFamily::kKNeighborMesh:
+      return make_kneighbor_mesh<W>(s.scale, uint64_t(s.a), uint32_t(s.b),
+                                    s.weights, s.seed);
+    case GraphFamily::kRmat:
+      return make_rmat<W>(uint32_t(s.scale), uint32_t(s.a), 0.57, 0.19, 0.19,
+                          s.weights, s.seed);
+    case GraphFamily::kErdosRenyi:
+      return make_erdos_renyi<W>(s.scale, s.a, s.weights, s.seed);
+    case GraphFamily::kWattsStrogatz:
+      return make_watts_strogatz<W>(s.scale, uint32_t(s.a), s.b, s.weights,
+                                    s.seed);
+    case GraphFamily::kCliqueChain:
+      return make_clique_chain<W>(s.scale, uint32_t(s.a), s.weights, s.seed);
+    case GraphFamily::kStar:
+      return make_star<W>(s.scale, s.weights, s.seed);
+    case GraphFamily::kChain:
+      return make_chain<W>(s.scale, s.weights, s.seed);
+    case GraphFamily::kBinaryTree:
+      return make_binary_tree<W>(s.scale, s.weights, s.seed);
+  }
+  throw Error("unknown graph family");
+}
+
+// Explicit instantiations for both weight flavours.
+#define ADDS_INSTANTIATE(W)                                                  \
+  template CsrGraph<W> generate_graph<W>(const GraphSpec&);                  \
+  template CsrGraph<W> make_grid_road<W>(uint64_t, uint64_t,                 \
+                                         const WeightParams&, uint64_t);     \
+  template CsrGraph<W> make_kneighbor_mesh<W>(                               \
+      uint64_t, uint64_t, uint32_t, const WeightParams&, uint64_t);          \
+  template CsrGraph<W> make_rmat<W>(uint32_t, uint32_t, double, double,      \
+                                    double, const WeightParams&, uint64_t);  \
+  template CsrGraph<W> make_erdos_renyi<W>(uint64_t, double,                 \
+                                           const WeightParams&, uint64_t);   \
+  template CsrGraph<W> make_watts_strogatz<W>(                               \
+      uint64_t, uint32_t, double, const WeightParams&, uint64_t);            \
+  template CsrGraph<W> make_clique_chain<W>(uint64_t, uint32_t,              \
+                                            const WeightParams&, uint64_t);  \
+  template CsrGraph<W> make_star<W>(uint64_t, const WeightParams&,           \
+                                    uint64_t);                               \
+  template CsrGraph<W> make_chain<W>(uint64_t, const WeightParams&,          \
+                                     uint64_t);                              \
+  template CsrGraph<W> make_binary_tree<W>(uint64_t, const WeightParams&,    \
+                                           uint64_t);
+
+ADDS_INSTANTIATE(uint32_t)
+ADDS_INSTANTIATE(float)
+#undef ADDS_INSTANTIATE
+
+}  // namespace adds

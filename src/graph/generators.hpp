@@ -1,0 +1,126 @@
+// Deterministic synthetic graph generators.
+//
+// These stand in for the paper's Lonestar + SuiteSparse corpus (see
+// DESIGN.md §2). Each family targets one of the structural classes the
+// paper's evaluation distinguishes:
+//
+//   grid_road        — road networks: near-planar, bounded degree ~4,
+//                      high diameter (road-USA, road-CA, ...)
+//   kneighbor_mesh   — FEM/mesh matrices: moderate degree (8..48+),
+//                      moderate diameter (msdoor, BenElechi1, ...)
+//   rmat             — power-law social/web graphs (rmat22, ...)
+//   erdos_renyi      — binomial-degree random graphs
+//   watts_strogatz   — small-world ring + shortcuts
+//   clique_chain     — chains of dense communities (c-big-like)
+//   star             — single hub (degenerate parallelism stressor)
+//   chain            — path graph (maximum diameter stressor)
+//   binary_tree      — log-diameter, degree-3 stressor
+//
+// All generators are seeded and platform-deterministic (see util/rng.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace adds {
+
+/// Edge weight distribution applied by all generators.
+enum class WeightDist : uint8_t {
+  kUnit,      // all weights 1 (BFS-like)
+  kUniform,   // uniform integers in [1, max_weight]
+  kLongTail,  // mostly small with a heavy tail up to max_weight
+};
+
+const char* weight_dist_name(WeightDist d);
+
+struct WeightParams {
+  WeightDist dist = WeightDist::kUniform;
+  uint32_t max_weight = 10000;
+  /// Lower bound for kUniform (travel-time-like weights rarely start at 1;
+  /// a tight [min, max] band also makes admissible heuristics useful).
+  uint32_t min_weight = 1;
+};
+
+enum class GraphFamily : uint8_t {
+  kGridRoad,
+  kKNeighborMesh,
+  kRmat,
+  kErdosRenyi,
+  kWattsStrogatz,
+  kCliqueChain,
+  kStar,
+  kChain,
+  kBinaryTree,
+};
+
+const char* family_name(GraphFamily f);
+
+/// A fully deterministic description of one synthetic graph. `a`/`b`/`c` are
+/// family-specific shape parameters documented per generator below.
+struct GraphSpec {
+  std::string name;
+  GraphFamily family = GraphFamily::kErdosRenyi;
+  uint64_t scale = 0;  // family-specific primary size knob
+  double a = 0, b = 0, c = 0;
+  WeightParams weights;
+  uint64_t seed = 1;
+};
+
+/// Generates the graph a spec describes.
+template <WeightType W>
+CsrGraph<W> generate_graph(const GraphSpec& spec);
+
+// --- Individual families (all undirected unless stated otherwise) ---------
+
+/// width x height 4-neighbour grid; scale knob = width, a = height.
+template <WeightType W>
+CsrGraph<W> make_grid_road(uint64_t width, uint64_t height,
+                           const WeightParams& wp, uint64_t seed);
+
+/// Grid where each vertex connects to every vertex within Chebyshev radius
+/// `radius` (degree ~ (2r+1)^2 - 1); models FEM meshes. scale = width,
+/// a = height, b = radius.
+template <WeightType W>
+CsrGraph<W> make_kneighbor_mesh(uint64_t width, uint64_t height,
+                                uint32_t radius, const WeightParams& wp,
+                                uint64_t seed);
+
+/// RMAT power-law: 2^scale vertices, edge_factor * 2^scale directed edges,
+/// partition probabilities (a,b,c, 1-a-b-c). Standard (0.57,0.19,0.19).
+template <WeightType W>
+CsrGraph<W> make_rmat(uint32_t scale, uint32_t edge_factor, double a, double b,
+                      double c, const WeightParams& wp, uint64_t seed);
+
+/// G(n, m): n vertices, round(n * avg_degree / 2) undirected edges with
+/// uniformly random endpoints.
+template <WeightType W>
+CsrGraph<W> make_erdos_renyi(uint64_t n, double avg_degree,
+                             const WeightParams& wp, uint64_t seed);
+
+/// Ring lattice of degree k with rewiring probability p.
+template <WeightType W>
+CsrGraph<W> make_watts_strogatz(uint64_t n, uint32_t k, double p,
+                                const WeightParams& wp, uint64_t seed);
+
+/// `num_cliques` cliques of `clique_size` vertices, consecutive cliques
+/// bridged by a single edge.
+template <WeightType W>
+CsrGraph<W> make_clique_chain(uint64_t num_cliques, uint32_t clique_size,
+                              const WeightParams& wp, uint64_t seed);
+
+/// Hub vertex 0 connected to all others.
+template <WeightType W>
+CsrGraph<W> make_star(uint64_t n, const WeightParams& wp, uint64_t seed);
+
+/// Path 0-1-2-...-(n-1).
+template <WeightType W>
+CsrGraph<W> make_chain(uint64_t n, const WeightParams& wp, uint64_t seed);
+
+/// Complete binary tree with n vertices.
+template <WeightType W>
+CsrGraph<W> make_binary_tree(uint64_t n, const WeightParams& wp,
+                             uint64_t seed);
+
+}  // namespace adds

@@ -1,0 +1,102 @@
+#include "graph/gr_format.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace adds {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void read_exact(std::FILE* f, void* dst, size_t bytes, const char* what) {
+  ADDS_REQUIRE(std::fread(dst, 1, bytes, f) == bytes,
+               std::string("GR file truncated while reading ") + what);
+}
+
+void write_exact(std::FILE* f, const void* src, size_t bytes) {
+  ADDS_REQUIRE(std::fwrite(src, 1, bytes, f) == bytes,
+               "GR file write failed");
+}
+
+}  // namespace
+
+template <WeightType W>
+CsrGraph<W> read_gr(const std::string& path) {
+  static_assert(sizeof(W) == 4, "GR v1 stores 4-byte edge data");
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  ADDS_REQUIRE(f != nullptr, "cannot open GR file: " + path);
+
+  uint64_t header[4];
+  read_exact(f.get(), header, sizeof(header), "header");
+  const uint64_t version = header[0];
+  const uint64_t edge_ty_size = header[1];
+  const uint64_t num_nodes = header[2];
+  const uint64_t num_edges = header[3];
+  ADDS_REQUIRE(version == 1, "unsupported GR version in " + path);
+  ADDS_REQUIRE(edge_ty_size == sizeof(W),
+               "GR edge data size mismatch in " + path);
+  ADDS_REQUIRE(num_nodes < kInvalidVertex, "GR node count too large");
+
+  std::vector<uint64_t> out_idx(num_nodes);
+  read_exact(f.get(), out_idx.data(), num_nodes * sizeof(uint64_t), "outIdx");
+
+  std::vector<VertexId> targets(num_edges);
+  read_exact(f.get(), targets.data(), num_edges * sizeof(uint32_t), "outs");
+
+  if (num_edges % 2 != 0) {
+    uint32_t pad;
+    read_exact(f.get(), &pad, sizeof(pad), "padding");
+  }
+
+  std::vector<W> weights(num_edges);
+  read_exact(f.get(), weights.data(), num_edges * sizeof(W), "edgeData");
+
+  // GR stores end offsets; CsrGraph wants a leading 0.
+  std::vector<EdgeIndex> offsets(num_nodes + 1, 0);
+  for (uint64_t i = 0; i < num_nodes; ++i) offsets[i + 1] = out_idx[i];
+  ADDS_REQUIRE(offsets.back() == num_edges,
+               "GR outIdx inconsistent with edge count in " + path);
+
+  return CsrGraph<W>(std::move(offsets), std::move(targets),
+                     std::move(weights));
+}
+
+template <WeightType W>
+void write_gr(const CsrGraph<W>& graph, const std::string& path) {
+  static_assert(sizeof(W) == 4, "GR v1 stores 4-byte edge data");
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  ADDS_REQUIRE(f != nullptr, "cannot create GR file: " + path);
+
+  const uint64_t header[4] = {1, sizeof(W), graph.num_vertices(),
+                              graph.num_edges()};
+  write_exact(f.get(), header, sizeof(header));
+
+  std::vector<uint64_t> out_idx(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v)
+    out_idx[v] = graph.edge_end(v);
+  write_exact(f.get(), out_idx.data(), out_idx.size() * sizeof(uint64_t));
+
+  write_exact(f.get(), graph.targets().data(),
+              graph.num_edges() * sizeof(uint32_t));
+  if (graph.num_edges() % 2 != 0) {
+    const uint32_t pad = 0;
+    write_exact(f.get(), &pad, sizeof(pad));
+  }
+  write_exact(f.get(), graph.weights().data(), graph.num_edges() * sizeof(W));
+}
+
+template CsrGraph<uint32_t> read_gr<uint32_t>(const std::string&);
+template CsrGraph<float> read_gr<float>(const std::string&);
+template void write_gr<uint32_t>(const CsrGraph<uint32_t>&,
+                                 const std::string&);
+template void write_gr<float>(const CsrGraph<float>&, const std::string&);
+
+}  // namespace adds

@@ -1,0 +1,42 @@
+// Galois binary `.gr` (GR v1) graph format reader/writer.
+//
+// This is the format the paper's artifact distributes its 226 inputs in
+// (http://users.diag.uniroma1.it/challenge9/format.shtml as adapted by
+// Galois). Layout, all little-endian 64-bit header words:
+//
+//   uint64 version (== 1)
+//   uint64 sizeof(EdgeTy) (== 4 for both int and float graphs)
+//   uint64 numNodes
+//   uint64 numEdges
+//   uint64 outIdx[numNodes]     // *end* offset of each node's edge range
+//   uint32 outs[numEdges]       // edge destinations
+//   (4 bytes padding if numEdges is odd)
+//   EdgeTy edgeData[numEdges]   // uint32 or float, 4 bytes each
+//
+// When real artifact inputs are available they drop straight into the bench
+// harness via these readers; otherwise the generated corpus is used.
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace adds {
+
+/// Reads a GR v1 file with 4-byte edge data interpreted as W.
+/// Throws adds::Error on malformed input.
+template <WeightType W>
+CsrGraph<W> read_gr(const std::string& path);
+
+/// Writes `graph` in GR v1 format. Throws adds::Error on I/O failure.
+template <WeightType W>
+void write_gr(const CsrGraph<W>& graph, const std::string& path);
+
+extern template CsrGraph<uint32_t> read_gr<uint32_t>(const std::string&);
+extern template CsrGraph<float> read_gr<float>(const std::string&);
+extern template void write_gr<uint32_t>(const CsrGraph<uint32_t>&,
+                                        const std::string&);
+extern template void write_gr<float>(const CsrGraph<float>&,
+                                     const std::string&);
+
+}  // namespace adds

@@ -1,0 +1,55 @@
+#include "graph/transform.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace adds {
+
+template <WeightType W>
+CsrGraph<W> reverse_graph(const CsrGraph<W>& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<EdgeIndex> offsets(size_t(n) + 1, 0);
+  for (const VertexId t : g.targets()) ++offsets[size_t(t) + 1];
+  for (size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> targets(g.num_edges());
+  std::vector<W> weights(g.num_edges());
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    for (EdgeIndex e = g.edge_begin(u); e < g.edge_end(u); ++e) {
+      const VertexId v = g.edge_target(e);
+      const EdgeIndex at = cursor[v]++;
+      targets[at] = u;
+      weights[at] = g.edge_weight(e);
+    }
+  }
+  return CsrGraph<W>(std::move(offsets), std::move(targets),
+                     std::move(weights));
+}
+
+template <WeightType W>
+bool is_symmetric(const CsrGraph<W>& g) {
+  // Sort each adjacency (target, weight) list of g and of reverse(g); equal
+  // multisets per vertex means symmetric.
+  const auto rev = reverse_graph(g);
+  std::vector<std::pair<VertexId, W>> a, b;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    a.clear();
+    b.clear();
+    for (EdgeIndex e = g.edge_begin(v); e < g.edge_end(v); ++e)
+      a.emplace_back(g.edge_target(e), g.edge_weight(e));
+    for (EdgeIndex e = rev.edge_begin(v); e < rev.edge_end(v); ++e)
+      b.emplace_back(rev.edge_target(e), rev.edge_weight(e));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a != b) return false;
+  }
+  return true;
+}
+
+template CsrGraph<uint32_t> reverse_graph<uint32_t>(const CsrGraph<uint32_t>&);
+template CsrGraph<float> reverse_graph<float>(const CsrGraph<float>&);
+template bool is_symmetric<uint32_t>(const CsrGraph<uint32_t>&);
+template bool is_symmetric<float>(const CsrGraph<float>&);
+
+}  // namespace adds

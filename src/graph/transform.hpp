@@ -1,0 +1,24 @@
+// Graph transformations: reverse graphs (in-edge access for path
+// reconstruction on directed inputs) and symmetry checks.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+
+namespace adds {
+
+/// The reverse graph: edge u->v(w) becomes v->u(w).
+template <WeightType W>
+CsrGraph<W> reverse_graph(const CsrGraph<W>& g);
+
+/// True when for every edge u->v(w) a matching v->u(w) exists (undirected
+/// graphs stored as symmetric arcs — all generator outputs qualify).
+template <WeightType W>
+bool is_symmetric(const CsrGraph<W>& g);
+
+extern template CsrGraph<uint32_t> reverse_graph<uint32_t>(
+    const CsrGraph<uint32_t>&);
+extern template CsrGraph<float> reverse_graph<float>(const CsrGraph<float>&);
+extern template bool is_symmetric<uint32_t>(const CsrGraph<uint32_t>&);
+extern template bool is_symmetric<float>(const CsrGraph<float>&);
+
+}  // namespace adds

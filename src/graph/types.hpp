@@ -1,0 +1,50 @@
+// Fundamental graph types shared across the library.
+//
+// Vertices are dense 32-bit ids (the paper's graphs top out at a few tens of
+// millions of vertices). Edge counts use 64-bit offsets. Edge weights come in
+// the paper's two flavours — `uint32_t` ("int graphs") and `float` ("float
+// graphs") — and algorithms are templated over the weight type with
+// DistTraits supplying the matching distance arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace adds {
+
+using VertexId = uint32_t;
+using EdgeIndex = uint64_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Distance arithmetic for a weight type. Integer weights accumulate into
+/// 64-bit distances so that long high-weight paths cannot overflow; float
+/// weights accumulate in float exactly as the paper's float variants do.
+template <typename W>
+struct DistTraits;
+
+template <>
+struct DistTraits<uint32_t> {
+  using Dist = uint64_t;
+  static constexpr Dist infinity() noexcept {
+    return std::numeric_limits<Dist>::max();
+  }
+};
+
+template <>
+struct DistTraits<float> {
+  using Dist = float;
+  static constexpr Dist infinity() noexcept {
+    return std::numeric_limits<float>::infinity();
+  }
+};
+
+template <typename W>
+using DistT = typename DistTraits<W>::Dist;
+
+template <typename W>
+concept WeightType = std::is_same_v<W, uint32_t> || std::is_same_v<W, float>;
+
+}  // namespace adds

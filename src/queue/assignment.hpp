@@ -1,0 +1,69 @@
+// Per-worker assignment flags (paper §5.1, Figure 5).
+//
+// The manager hands work to workers through a dedicated flag per worker
+// thread block: besides the idle/busy state it carries the location and size
+// of the assigned item range. Each worker polls only its own flag, so there
+// is no contention between workers, and the acquire/release handshake on the
+// state word transfers visibility of both the assignment fields and the
+// published queue items.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+namespace adds {
+
+/// A contiguous range of published items in one physical bucket.
+struct Assignment {
+  uint32_t phys_bucket = 0;
+  uint32_t start = 0;  // wrapping bucket index
+  uint32_t count = 0;
+};
+
+class AssignmentFlag {
+ public:
+  enum State : uint32_t { kIdle = 0, kAssigned = 1, kTerminate = 2 };
+
+  // ---- Manager side -------------------------------------------------------
+
+  bool is_idle() const noexcept {
+    return state_.load(std::memory_order_acquire) == kIdle;
+  }
+
+  /// Precondition: is_idle(). Publishes `a` to the worker.
+  void assign(const Assignment& a) noexcept {
+    assignment_ = a;
+    state_.store(kAssigned, std::memory_order_release);
+  }
+
+  /// Tells the worker to exit once it next polls.
+  void terminate() noexcept {
+    state_.store(kTerminate, std::memory_order_release);
+  }
+
+  // ---- Worker side --------------------------------------------------------
+
+  /// Non-blocking poll. nullopt when idle; an empty Assignment (count == 0
+  /// convention is never used by the manager) signals nothing; termination
+  /// is reported through `should_exit`.
+  std::optional<Assignment> poll(bool& should_exit) noexcept {
+    const uint32_t s = state_.load(std::memory_order_acquire);
+    if (s == kTerminate) {
+      should_exit = true;
+      return std::nullopt;
+    }
+    should_exit = false;
+    if (s != kAssigned) return std::nullopt;
+    return assignment_;
+  }
+
+  /// Worker finished the current assignment; flag returns to idle.
+  void done() noexcept { state_.store(kIdle, std::memory_order_release); }
+
+ private:
+  std::atomic<uint32_t> state_{kIdle};
+  Assignment assignment_{};
+};
+
+}  // namespace adds

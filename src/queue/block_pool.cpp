@@ -1,0 +1,43 @@
+#include "queue/block_pool.hpp"
+
+#include <algorithm>
+
+namespace adds {
+
+namespace {
+constexpr bool is_pow2(uint32_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+BlockPool::BlockPool(uint32_t num_blocks, uint32_t block_words)
+    : num_blocks_(num_blocks), block_words_(block_words) {
+  ADDS_REQUIRE(num_blocks >= 1 && num_blocks <= kInvalidBlock,
+               "block count out of range");
+  ADDS_REQUIRE(is_pow2(block_words), "block_words must be a power of two");
+  slab_ = std::make_unique<uint32_t[]>(size_t(num_blocks) * block_words);
+  free_.reserve(num_blocks);
+  // Pop order is ascending block id; purely cosmetic but keeps runs
+  // deterministic.
+  for (uint32_t i = num_blocks; i > 0; --i)
+    free_.push_back(static_cast<BlockId>(i - 1));
+  live_.assign(num_blocks, false);
+}
+
+BlockId BlockPool::allocate() {
+  ADDS_REQUIRE(!free_.empty(),
+               "BlockPool exhausted: increase pool size (num_blocks)");
+  const BlockId id = free_.back();
+  free_.pop_back();
+  ADDS_ASSERT_MSG(!live_[id], "allocator invariant: block already live");
+  live_[id] = true;
+  peak_in_use_ = std::max(peak_in_use_, blocks_in_use());
+  return id;
+}
+
+void BlockPool::release(BlockId id) {
+  ADDS_ASSERT(id < num_blocks_);
+  ADDS_ASSERT_MSG(live_[id], "double free of pool block");
+  live_[id] = false;
+  free_.push_back(id);
+}
+
+}  // namespace adds

@@ -1,0 +1,69 @@
+// FIFO block memory allocator for bucket storage (paper §5.3).
+//
+// The queue performs its own memory management out of one large
+// pre-allocated slab, split into fixed-size blocks of 32-bit words (64 Ki
+// words in the paper; configurable here so tests can exercise wrap-around
+// cheaply). Because blocks are only ever used as segments of FIFO queues,
+// allocation needs no size classes, no coalescing and no per-block headers —
+// just a free stack owned by the single manager thread (the MTB performs all
+// memory management; workers never touch the allocator).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace adds {
+
+/// Identifies one block within the pool. 16 bits, matching the high half of
+/// the paper's 32-bit bucket index.
+using BlockId = uint16_t;
+inline constexpr BlockId kInvalidBlock = 0xffff;
+
+class BlockPool {
+ public:
+  /// `block_words` must be a power of two (the index split relies on it).
+  /// Total slab = num_blocks * block_words * 4 bytes, allocated up front.
+  BlockPool(uint32_t num_blocks, uint32_t block_words);
+
+  BlockPool(const BlockPool&) = delete;
+  BlockPool& operator=(const BlockPool&) = delete;
+
+  uint32_t block_words() const noexcept { return block_words_; }
+  uint32_t num_blocks() const noexcept { return num_blocks_; }
+  uint32_t free_blocks() const noexcept {
+    return static_cast<uint32_t>(free_.size());
+  }
+  uint32_t blocks_in_use() const noexcept {
+    return num_blocks_ - free_blocks();
+  }
+  /// High-water mark of simultaneously live blocks.
+  uint32_t peak_blocks_in_use() const noexcept { return peak_in_use_; }
+
+  /// Manager-thread only. Throws adds::Error when the pool is exhausted —
+  /// sizing the slab is the embedder's responsibility, as on the GPU.
+  BlockId allocate();
+
+  /// Manager-thread only. Double-free is an assertion failure.
+  void release(BlockId id);
+
+  /// Raw word storage of a block. Stable for the pool's lifetime.
+  uint32_t* block_data(BlockId id) noexcept {
+    return slab_.get() + size_t(id) * block_words_;
+  }
+  const uint32_t* block_data(BlockId id) const noexcept {
+    return slab_.get() + size_t(id) * block_words_;
+  }
+
+ private:
+  uint32_t num_blocks_;
+  uint32_t block_words_;
+  std::unique_ptr<uint32_t[]> slab_;
+  std::vector<BlockId> free_;
+  std::vector<bool> live_;  // double-free / double-alloc detection
+  uint32_t peak_in_use_ = 0;
+};
+
+}  // namespace adds

@@ -1,0 +1,223 @@
+// One bucket of the ADDS work queue (paper §5.2–§5.4).
+//
+// A bucket is a circular FIFO of 32-bit work items addressed by a wrapping
+// 32-bit index whose high bits select a block (through a translation table
+// maintained by the manager) and whose low bits are an offset into that
+// block. Concurrency contract — the heart of the paper's SRMW design:
+//
+//   * MANY writer threads (WTBs) add work: an atomic fetch-add on
+//     `resv_ptr` hands each writer a private slot; the writer stores the
+//     item and *publishes* it by incrementing the Write-Completed Counter
+//     (WCC) of the N-word segment the slot belongs to (release ordering).
+//   * ONE manager thread (MTB) reads: it never touches items directly from
+//     racing writers; it walks segment WCCs from `read_ptr` to compute a
+//     bound below which every slot is known fully written (a segment with
+//     WCC == N is complete; a partial segment is complete exactly when
+//     segment_base + WCC == resv_ptr re-read after a fence), then hands
+//     [read_ptr, bound) ranges out to workers.
+//   * Writers never wait for each other; writers wait for the manager only
+//     when storage has not been allocated ahead of them (back-pressure).
+//   * A Completed-Work Counter (CWC) counts items whose processing has
+//     finished; the bucket is retire-able when CWC == resv_ptr (re-checked
+//     after a fence) and everything written has been read.
+//
+// All memory management (mapping blocks into the translation table,
+// recycling consumed blocks at retirement) is performed by the manager, as
+// in the paper.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "queue/block_pool.hpp"
+#include "queue/wrap.hpp"
+#include "util/error.hpp"
+
+namespace adds {
+
+struct BucketConfig {
+  uint32_t segment_words = 32;  // N: words covered by one WCC
+  uint32_t table_size = 256;    // translation table slots (power of two)
+};
+
+class Bucket {
+ public:
+  /// The pool must outlive the bucket. segment_words and table_size must be
+  /// powers of two, with segment_words <= pool.block_words().
+  Bucket(BlockPool& pool, const BucketConfig& cfg);
+  ~Bucket();
+
+  Bucket(const Bucket&) = delete;
+  Bucket& operator=(const Bucket&) = delete;
+
+  // ---- Writer (WTB) side — callable from any thread ----------------------
+
+  /// Reserves `count` consecutive slots; returns the first index. Writers
+  /// must then wait_allocated(start + count), write each slot, and publish.
+  uint32_t reserve(uint32_t count) noexcept {
+    return resv_ptr_.fetch_add(count, std::memory_order_relaxed);
+  }
+
+  /// Spins until storage for indices < `end` has been mapped by the
+  /// manager. Returns false if the queue was aborted while waiting (the
+  /// caller must then drop its write — results are being discarded anyway).
+  [[nodiscard]] bool wait_allocated(uint32_t end) const noexcept {
+    while (wrap_lt(alloc_limit_.load(std::memory_order_acquire), end)) {
+      if (abort_flag_ != nullptr &&
+          abort_flag_->load(std::memory_order_acquire))
+        return false;
+      std::this_thread::yield();
+    }
+    return true;
+  }
+
+  /// Wires the shared abort flag (set by WorkQueue) that unblocks writers
+  /// when the manager tears the queue down on an error path.
+  void set_abort_flag(const std::atomic<bool>* flag) noexcept {
+    abort_flag_ = flag;
+  }
+
+  /// Stores one item into a reserved slot (no ordering; publish() orders).
+  void write(uint32_t idx, uint32_t item) noexcept {
+    *slot_ptr(idx) = item;
+  }
+
+  /// Publishes `count` consecutive writes starting at `start`: one WCC
+  /// increment per covered segment, release-ordered after the stores.
+  void publish(uint32_t start, uint32_t count) noexcept;
+
+  /// reserve + wait + write + publish for a single item. On abort the item
+  /// is dropped (a reserved-but-never-published slot; the scan will treat
+  /// the segment as incomplete, which no longer matters once aborted).
+  void push(uint32_t item) noexcept {
+    const uint32_t idx = reserve(1);
+    if (!wait_allocated(idx + 1)) return;
+    write(idx, item);
+    publish(idx, 1);
+  }
+
+  /// Work completion: processing of `count` previously assigned items done.
+  void complete(uint32_t count) noexcept {
+    cwc_.fetch_add(count, std::memory_order_release);
+  }
+
+  // ---- Manager (MTB) side — single thread only ----------------------------
+
+  /// Ensures at least `slack` writable slots exist beyond resv_ptr by
+  /// mapping new blocks. Limited by translation-table wrap (a slot can only
+  /// be remapped once its previous block was recycled) and pool capacity.
+  /// Returns the number of blocks newly mapped.
+  uint32_t ensure_capacity(uint32_t slack);
+
+  /// Computes the largest index bound such that every slot in
+  /// [read_ptr, bound) is known fully written. Does not modify read_ptr.
+  uint32_t scan_written_bound() noexcept;
+
+  /// Marks [read_ptr, new_read) as handed out to workers.
+  void advance_read(uint32_t new_read) noexcept {
+    ADDS_ASSERT(wrap_le(read_ptr_, new_read));
+    read_ptr_ = new_read;
+  }
+
+  /// True when every reserved item has been written, read, and completed.
+  bool drained() noexcept;
+
+  /// Recycles every block that lies wholly below `completed_bound`. The
+  /// caller (manager) must guarantee that every item below the bound has
+  /// been *completed* — i.e. no worker will read that range again. The
+  /// bound must not exceed read_ptr. This is what keeps writers live when
+  /// the translation window wraps mid-bucket: consumed-and-completed blocks
+  /// are returned without waiting for a full drain. Returns blocks freed.
+  uint32_t recycle_below(uint32_t completed_bound);
+
+  /// Recycles every block wholly below read_ptr. Call when the window
+  /// retires this bucket — the manager observed it drained, so no assigned
+  /// range (all completed) still points below read_ptr. A concurrent racing
+  /// push is tolerated: it lands at resv_ptr >= read_ptr, outside the freed
+  /// region, and becomes tail work after rotation. Returns blocks freed.
+  uint32_t retire() { return recycle_below(read_ptr_); }
+
+  // ---- Shared read access -------------------------------------------------
+
+  /// Reads a published item. Safe for the manager after scan_written_bound()
+  /// covered `idx`, and for workers on ranges received through an
+  /// assignment flag (the flag handshake transfers visibility).
+  uint32_t read_item(uint32_t idx) const noexcept { return *slot_ptr(idx); }
+
+  // ---- Introspection ------------------------------------------------------
+
+  uint32_t read_ptr() const noexcept { return read_ptr_; }
+  uint32_t resv_ptr_relaxed() const noexcept {
+    return resv_ptr_.load(std::memory_order_relaxed);
+  }
+  uint32_t cwc_relaxed() const noexcept {
+    return cwc_.load(std::memory_order_relaxed);
+  }
+  /// Items reserved but not yet handed to workers (size estimate).
+  uint32_t pending_estimate() const noexcept {
+    return wrap_distance(read_ptr_, resv_ptr_relaxed());
+  }
+  /// Items handed to workers but not completed.
+  uint32_t in_flight_estimate() const noexcept {
+    return wrap_distance(cwc_.load(std::memory_order_relaxed), read_ptr_);
+  }
+  /// Slots currently writable without waiting for the manager (0 when
+  /// writers have reserved past the allocated limit).
+  uint32_t writable_slack() const noexcept {
+    const int32_t head =
+        int32_t(alloc_limit_.load(std::memory_order_relaxed) -
+                resv_ptr_.load(std::memory_order_relaxed));
+    return head > 0 ? uint32_t(head) : 0;
+  }
+  uint32_t mapped_blocks() const noexcept { return mapped_blocks_; }
+  uint32_t segment_words() const noexcept { return segment_words_; }
+  uint32_t block_words() const noexcept { return block_words_; }
+
+  /// Base pointer of the block containing `idx` (for translation caches).
+  const uint32_t* block_base(uint32_t idx) const noexcept {
+    const BlockId b =
+        table_[table_slot(idx)].load(std::memory_order_relaxed);
+    return pool_.block_data(b);
+  }
+
+ private:
+  // Index geometry. idx -> table slot via block number; idx -> WCC slot via
+  // segment number. Both wrap with period table_size * block_words.
+  uint32_t table_slot(uint32_t idx) const noexcept {
+    return (idx / block_words_) & (table_size_ - 1);
+  }
+  uint32_t wcc_slot(uint32_t idx) const noexcept {
+    return (idx / segment_words_) & (wcc_size_ - 1);
+  }
+
+  uint32_t* slot_ptr(uint32_t idx) const noexcept {
+    const BlockId b =
+        table_[table_slot(idx)].load(std::memory_order_relaxed);
+    return pool_.block_data(b) + (idx & (block_words_ - 1));
+  }
+
+  BlockPool& pool_;
+  const uint32_t block_words_;
+  const uint32_t segment_words_;
+  const uint32_t table_size_;
+  const uint32_t wcc_size_;  // table_size * block_words / segment_words
+
+  // Writer-shared state.
+  std::atomic<uint32_t> resv_ptr_{0};
+  std::atomic<uint32_t> alloc_limit_{0};
+  std::atomic<uint32_t> cwc_{0};
+  std::vector<std::atomic<BlockId>> table_;
+  std::vector<std::atomic<uint32_t>> wcc_;
+
+  // Manager-private state.
+  uint32_t read_ptr_ = 0;
+  uint32_t freed_limit_ = 0;  // block-aligned; blocks below are recycled
+  uint32_t mapped_blocks_ = 0;
+
+  // Optional shared teardown signal (see set_abort_flag).
+  const std::atomic<bool>* abort_flag_ = nullptr;
+};
+
+}  // namespace adds

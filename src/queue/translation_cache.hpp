@@ -1,0 +1,72 @@
+// Direct-mapped index-translation cache (paper §5.3).
+//
+// Bucket item access costs an extra indirection through the translation
+// table; on the GPU the paper amortizes it with small direct-mapped caches
+// in scratchpad memory, one per WTB and one for the MTB, tagged by the high
+// half of the 32-bit index. This is the host equivalent: it caches the
+// resolved block base pointer per (index >> block_shift) tag.
+//
+// Validity: a cached block pointer is stable until the block is recycled,
+// which only happens when the bucket retires; a worker therefore resets its
+// cache at the start of each assignment (its bucket cannot retire while its
+// own completion count is outstanding).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "queue/bucket.hpp"
+
+namespace adds {
+
+template <uint32_t kEntries = 8>
+class TranslationCache {
+  static_assert((kEntries & (kEntries - 1)) == 0,
+                "cache size must be a power of two");
+
+ public:
+  void reset() noexcept {
+    tags_.fill(kEmptyTag);
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+  /// Reads a published item of `bucket` at `idx`, caching the block
+  /// resolution.
+  uint32_t read(const Bucket& bucket, uint32_t idx) noexcept {
+    const uint32_t block_words = bucket_block_words(bucket);
+    const uint32_t tag = idx / block_words;
+    const uint32_t way = tag & (kEntries - 1);
+    if (tags_[way] != tag) {
+      // Miss: resolve through the bucket's translation table.
+      base_[way] = bucket_block_base(bucket, idx);
+      tags_[way] = tag;
+      ++misses_;
+    } else {
+      ++hits_;
+    }
+    return base_[way][idx & (block_words - 1)];
+  }
+
+  uint64_t hits() const noexcept { return hits_; }
+  uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  static constexpr uint32_t kEmptyTag = 0xffffffffu;
+
+  // Thin accessors kept out of Bucket's public surface.
+  static uint32_t bucket_block_words(const Bucket& b) noexcept {
+    return b.block_words();
+  }
+  static const uint32_t* bucket_block_base(const Bucket& b,
+                                           uint32_t idx) noexcept {
+    return b.block_base(idx);
+  }
+
+  std::array<uint32_t, kEntries> tags_{};
+  std::array<const uint32_t*, kEntries> base_{};
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace adds

@@ -1,0 +1,38 @@
+#include "queue/work_queue.hpp"
+
+namespace adds {
+
+WorkQueue::WorkQueue(BlockPool& pool, const Config& cfg) {
+  ADDS_REQUIRE(cfg.num_buckets >= 2, "work queue needs at least 2 buckets");
+  buckets_.reserve(cfg.num_buckets);
+  for (uint32_t i = 0; i < cfg.num_buckets; ++i) {
+    buckets_.push_back(std::make_unique<Bucket>(pool, cfg.bucket));
+    buckets_.back()->set_abort_flag(&abort_);
+  }
+}
+
+uint32_t WorkQueue::advance_window() {
+  Bucket& head = logical_bucket(0);
+  const uint32_t freed = head.retire();
+  // Order matters for racy pushers: advance the base distance first, then
+  // the position. A pusher seeing the old position with the new base places
+  // work one bucket too high (toward the head) — harmless; the reverse
+  // order could clip fresh head work to the tail.
+  params_.base_dist.store(base_dist() + delta(), std::memory_order_relaxed);
+  params_.position.store(window_position() + 1, std::memory_order_release);
+  return freed;
+}
+
+uint64_t WorkQueue::total_pending() const noexcept {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b->pending_estimate();
+  return total;
+}
+
+uint64_t WorkQueue::total_in_flight() const noexcept {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b->in_flight_estimate();
+  return total;
+}
+
+}  // namespace adds

@@ -1,0 +1,29 @@
+// 32-bit wrapping index arithmetic.
+//
+// Every queue pointer (resv_ptr, read_ptr, alloc_limit, CWC) is a uint32_t
+// that increases monotonically modulo 2^32, exactly as in the paper's GPU
+// implementation. Comparisons must therefore be made on signed differences;
+// these helpers keep that idiom in one place. The protocol requires that no
+// two live pointers ever be more than 2^31 apart.
+#pragma once
+
+#include <cstdint>
+
+namespace adds {
+
+/// a < b in wrapping order.
+constexpr bool wrap_lt(uint32_t a, uint32_t b) noexcept {
+  return static_cast<int32_t>(a - b) < 0;
+}
+
+/// a <= b in wrapping order.
+constexpr bool wrap_le(uint32_t a, uint32_t b) noexcept {
+  return static_cast<int32_t>(a - b) <= 0;
+}
+
+/// Number of steps from a to b (b must not be wrap-behind a).
+constexpr uint32_t wrap_distance(uint32_t a, uint32_t b) noexcept {
+  return b - a;
+}
+
+}  // namespace adds

@@ -1,0 +1,52 @@
+// Virtual clock for Bulk-Synchronous-Parallel executions (Near-Far,
+// Bellman-Ford, nvGRAPH-like baselines).
+//
+// A BSP algorithm is a sequence of kernel launches separated by barriers.
+// The engines call add_kernel()/add_scan() as they execute each superstep on
+// the host; the timeline accumulates the modelled virtual time and feeds the
+// parallelism trace (the per-superstep available work, which is what the
+// paper plots for NF in Figures 11-15).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cost_model.hpp"
+#include "sim/trace.hpp"
+
+namespace adds {
+
+class BspTimeline {
+ public:
+  explicit BspTimeline(const GpuCostModel& model, double trace_min_dt_us = 1.0)
+      : model_(&model), trace_(trace_min_dt_us) {}
+
+  double now_us() const noexcept { return now_us_; }
+  uint64_t kernels_launched() const noexcept { return kernels_; }
+
+  /// One relaxation kernel over `items` worklist entries / `edges` edges.
+  void add_kernel(uint64_t items, uint64_t edges) {
+    trace_.record(now_us_, double(edges));
+    now_us_ += model_->bsp_kernel_us(items, edges);
+    trace_.record(now_us_, double(edges));
+    ++kernels_;
+  }
+
+  /// A streaming pass (compaction, dedup filter, near/far split).
+  void add_scan(uint64_t items) {
+    now_us_ += model_->scan_pass_us(items);
+    ++kernels_;
+  }
+
+  /// Fixed host-side overhead (e.g. a cudaMemcpy of a counter).
+  void add_overhead_us(double us) { now_us_ += us; }
+
+  const ParallelismTrace& trace() const noexcept { return trace_; }
+
+ private:
+  const GpuCostModel* model_;
+  double now_us_ = 0.0;
+  uint64_t kernels_ = 0;
+  ParallelismTrace trace_;
+};
+
+}  // namespace adds

@@ -1,0 +1,56 @@
+#include "sim/gpu_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adds {
+
+GpuSpec GpuSpec::rtx2080ti() {
+  GpuSpec s;
+  s.name = "RTX2080Ti";
+  s.sm_count = 68;
+  s.threads_per_sm = 1024;
+  s.clock_ghz = 1.75;
+  s.dram_bandwidth_gbps = 616.0;
+  s.dram_gb = 11.0;
+  s.l2_mb = 5.5;
+  s.scratchpad_kb_per_sm = 48.0;
+  s.compute_capability = 7.5;
+  return s;
+}
+
+GpuSpec GpuSpec::rtx3090() {
+  GpuSpec s;
+  s.name = "RTX3090";
+  s.sm_count = 82;
+  s.threads_per_sm = 1536;
+  s.clock_ghz = 1.8;
+  s.dram_bandwidth_gbps = 936.0;
+  s.dram_gb = 24.0;
+  s.l2_mb = 6.0;
+  s.scratchpad_kb_per_sm = 48.0;
+  s.compute_capability = 8.6;
+  return s;
+}
+
+GpuSpec GpuSpec::scaled(double factor) const {
+  GpuSpec s = *this;
+  s.name += "@1/" + std::to_string(int(std::lround(1.0 / factor)));
+  s.sm_count = std::max(1u, uint32_t(std::lround(double(sm_count) * factor)));
+  s.dram_bandwidth_gbps = dram_bandwidth_gbps * factor;
+  s.dram_gb = dram_gb * factor;
+  s.l2_mb = l2_mb * factor;
+  return s;
+}
+
+CpuSpec CpuSpec::i9_7900x() {
+  CpuSpec s;
+  s.name = "i9-7900X";
+  s.cores = 10;
+  s.threads = 20;
+  s.clock_ghz = 3.3;
+  s.dram_bandwidth_gbps = 85.0;  // 4-channel DDR4-2666
+  return s;
+}
+
+}  // namespace adds

@@ -1,0 +1,54 @@
+// Machine descriptions for the virtual-time performance model.
+//
+// These mirror Table 1 of the paper (RTX 2080 Ti and RTX 3090) plus the
+// Intel i9-7900X used for the CPU baselines. `scaled()` produces a
+// proportionally smaller machine for running reduced-size corpora: shrinking
+// the graph and the machine by the same factor preserves the
+// parallelism-vs-work regime the paper analyses (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace adds {
+
+struct GpuSpec {
+  std::string name;
+  uint32_t sm_count = 0;
+  uint32_t threads_per_sm = 0;
+  double clock_ghz = 0.0;
+  double dram_bandwidth_gbps = 0.0;  // GB/s
+  double dram_gb = 0.0;
+  double l2_mb = 0.0;
+  double scratchpad_kb_per_sm = 0.0;
+  double compute_capability = 0.0;
+
+  uint32_t hardware_threads() const noexcept {
+    return sm_count * threads_per_sm;
+  }
+
+  /// Worker thread blocks the ADDS runtime launches: the paper runs enough
+  /// 256-thread worker blocks to fill the machine, minus one manager block.
+  uint32_t worker_blocks(uint32_t block_width = 256) const noexcept {
+    const uint32_t blocks = hardware_threads() / block_width;
+    return blocks > 1 ? blocks - 1 : 1;
+  }
+
+  static GpuSpec rtx2080ti();
+  static GpuSpec rtx3090();
+
+  /// A machine shrunk by `factor` in SMs and bandwidth (>= 1 SM).
+  GpuSpec scaled(double factor) const;
+};
+
+struct CpuSpec {
+  std::string name;
+  uint32_t cores = 0;
+  uint32_t threads = 0;
+  double clock_ghz = 0.0;
+  double dram_bandwidth_gbps = 0.0;
+
+  static CpuSpec i9_7900x();
+};
+
+}  // namespace adds

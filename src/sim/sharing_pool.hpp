@@ -1,0 +1,136 @@
+// Processor-sharing server pool: the virtual-time executor for the
+// asynchronous ADDS worker thread blocks.
+//
+// Each server models one WTB. A submitted job carries its size in *edge
+// units* (relaxations, plus small charges for stale items). A busy server
+// progresses at
+//
+//     rate = min(server_rate, bandwidth_cap / busy_servers)
+//
+// i.e. WTBs run at their latency-bound speed until together they saturate
+// DRAM bandwidth, after which bandwidth is shared equally — the processor-
+// sharing idealization of a memory-bound GPU. Advancing virtual time is
+// event-driven: rates only change when a job completes, so the pool
+// advances exactly from completion to completion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace adds {
+
+class SharingPool {
+ public:
+  struct Completion {
+    uint64_t job_id;
+    double t_us;
+  };
+
+  SharingPool(uint32_t num_servers, double server_rate_edges_per_us,
+              double cap_edges_per_us)
+      : num_servers_(num_servers),
+        server_rate_(server_rate_edges_per_us),
+        cap_rate_(cap_edges_per_us) {
+    ADDS_REQUIRE(num_servers >= 1, "pool needs at least one server");
+    ADDS_REQUIRE(server_rate_ > 0 && cap_rate_ > 0, "rates must be positive");
+  }
+
+  double now_us() const noexcept { return now_us_; }
+  uint32_t num_busy() const noexcept {
+    return static_cast<uint32_t>(jobs_.size());
+  }
+  uint32_t num_idle() const noexcept { return num_servers_ - num_busy(); }
+  bool has_idle() const noexcept { return num_busy() < num_servers_; }
+  uint32_t num_servers() const noexcept { return num_servers_; }
+
+  /// Sum of the *initially assigned* edge units of all in-flight jobs (the
+  /// utilization signal the manager watches).
+  double busy_edges_assigned() const noexcept { return assigned_edges_; }
+  double busy_edges_remaining() const noexcept {
+    double total = 0;
+    for (const auto& j : jobs_) total += j.remaining;
+    return total;
+  }
+  uint32_t peak_busy() const noexcept { return peak_busy_; }
+  uint64_t jobs_completed() const noexcept { return jobs_completed_; }
+
+  /// Submits a job at the current virtual time. Requires an idle server.
+  uint64_t submit(double edge_units) {
+    ADDS_ASSERT_MSG(has_idle(), "submit() with no idle server");
+    ADDS_ASSERT(edge_units >= 0);
+    const uint64_t id = next_job_id_++;
+    jobs_.push_back({id, edge_units, edge_units});
+    assigned_edges_ += edge_units;
+    if (num_busy() > peak_busy_) peak_busy_ = num_busy();
+    return id;
+  }
+
+  /// Current per-server progress rate.
+  double share_rate() const noexcept {
+    if (jobs_.empty()) return server_rate_;
+    const double bw_share = cap_rate_ / double(jobs_.size());
+    return bw_share < server_rate_ ? bw_share : server_rate_;
+  }
+
+  /// Advances virtual time to `t`, appending completions (in completion
+  /// order) to `out`. `t` must be >= now_us().
+  void advance_to(double t, std::vector<Completion>& out) {
+    ADDS_ASSERT(t >= now_us_ - 1e-9);
+    while (!jobs_.empty()) {
+      const double rate = share_rate();
+      // Earliest finisher under the current rate.
+      size_t min_i = 0;
+      for (size_t i = 1; i < jobs_.size(); ++i)
+        if (jobs_[i].remaining < jobs_[min_i].remaining) min_i = i;
+      const double dt_finish = jobs_[min_i].remaining / rate;
+      if (now_us_ + dt_finish > t) {
+        // No completion before t: drain partial progress and stop.
+        const double dt = t - now_us_;
+        for (auto& j : jobs_) j.remaining -= rate * dt;
+        now_us_ = t;
+        return;
+      }
+      now_us_ += dt_finish;
+      for (auto& j : jobs_) j.remaining -= rate * dt_finish;
+      const Job done = jobs_[min_i];
+      assigned_edges_ -= done.size;
+      jobs_.erase(jobs_.begin() + long(min_i));
+      ++jobs_completed_;
+      out.push_back({done.id, now_us_});
+    }
+    now_us_ = t;
+  }
+
+  /// Virtual time of the next completion with no further submissions
+  /// (infinity when idle).
+  double next_completion_time() const noexcept {
+    if (jobs_.empty()) return kInfinity;
+    const double rate = share_rate();
+    double min_rem = jobs_[0].remaining;
+    for (const auto& j : jobs_) min_rem = std::min(min_rem, j.remaining);
+    return now_us_ + min_rem / rate;
+  }
+
+  static constexpr double kInfinity = 1e300;
+
+ private:
+  struct Job {
+    uint64_t id;
+    double size;       // edge units at submission
+    double remaining;  // edge units left
+  };
+
+  uint32_t num_servers_;
+  double server_rate_;
+  double cap_rate_;
+  double now_us_ = 0.0;
+  double assigned_edges_ = 0.0;
+  uint64_t next_job_id_ = 1;
+  uint64_t jobs_completed_ = 0;
+  uint32_t peak_busy_ = 0;
+  std::vector<Job> jobs_;
+};
+
+}  // namespace adds

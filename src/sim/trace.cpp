@@ -1,0 +1,42 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace adds {
+
+double ParallelismTrace::mean_parallelism() const {
+  if (samples_.size() < 2) return samples_.empty() ? 0.0 : samples_[0].edges_in_flight;
+  double area = 0.0;
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    const double dt = samples_[i].t_us - samples_[i - 1].t_us;
+    area += samples_[i - 1].edges_in_flight * dt;
+  }
+  const double span = samples_.back().t_us - samples_.front().t_us;
+  return span > 0 ? area / span : samples_[0].edges_in_flight;
+}
+
+double ParallelismTrace::peak_parallelism() const {
+  double peak = 0.0;
+  for (const auto& s : samples_) peak = std::max(peak, s.edges_in_flight);
+  return peak;
+}
+
+std::vector<ParallelismTrace::Sample> ParallelismTrace::resample(
+    size_t points) const {
+  std::vector<Sample> out;
+  if (samples_.empty() || points == 0) return out;
+  out.reserve(points);
+  const double t0 = samples_.front().t_us;
+  const double t1 = samples_.back().t_us;
+  const double dt = points > 1 ? (t1 - t0) / double(points - 1) : 0.0;
+  size_t cursor = 0;
+  for (size_t i = 0; i < points; ++i) {
+    const double t = t0 + dt * double(i);
+    while (cursor + 1 < samples_.size() && samples_[cursor + 1].t_us <= t)
+      ++cursor;
+    out.push_back({t, samples_[cursor].edges_in_flight});
+  }
+  return out;
+}
+
+}  // namespace adds

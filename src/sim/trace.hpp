@@ -1,0 +1,56 @@
+// Parallelism-over-time traces (paper Figures 11-15).
+//
+// The paper plots "the amount of parallelism (edge count) during the
+// progress of execution". Engines record (virtual time, in-flight edge
+// count) samples here; the recorder thins samples so multi-second runs stay
+// small, and can resample onto a fixed grid for CSV output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adds {
+
+class ParallelismTrace {
+ public:
+  struct Sample {
+    double t_us;
+    double edges_in_flight;
+  };
+
+  /// `min_dt_us`: samples closer together than this are merged (keeping the
+  /// maximum) to bound memory.
+  explicit ParallelismTrace(double min_dt_us = 0.0)
+      : min_dt_us_(min_dt_us) {}
+
+  void record(double t_us, double edges) {
+    if (!samples_.empty() && t_us - samples_.back().t_us < min_dt_us_) {
+      if (edges > samples_.back().edges_in_flight)
+        samples_.back().edges_in_flight = edges;
+      return;
+    }
+    samples_.push_back({t_us, edges});
+  }
+
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  double duration_us() const noexcept {
+    return samples_.empty() ? 0.0 : samples_.back().t_us;
+  }
+
+  /// Time-weighted mean parallelism.
+  double mean_parallelism() const;
+  double peak_parallelism() const;
+
+  /// Resamples onto `points` equally spaced times (step interpolation),
+  /// e.g. for compact CSV output.
+  std::vector<Sample> resample(size_t points) const;
+
+ private:
+  double min_dt_us_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace adds

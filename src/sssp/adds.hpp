@@ -1,0 +1,74 @@
+// ADDS — Asynchronous Dynamic Delta-Stepping, the paper's contribution.
+//
+// Two engines share the algorithm (bucket math, window policy, dynamic-Δ
+// controller, MTB scheduling rules):
+//
+//   * adds_sim()  — executes the scheduling policy over the virtual GPU
+//     (SharingPool of worker blocks + manager ticks), producing modelled
+//     time, work counts and parallelism traces. This is the engine behind
+//     every performance table/figure.
+//
+//   * adds_host() — the real thing at host scale: an MTB thread and N WTB
+//     threads running the full lock-free queue protocol from src/queue
+//     (resv_ptr reservation, WCC publication, SRMW scan, CWC retirement,
+//     block recycling). This engine demonstrates the protocol's correctness
+//     under true concurrency and doubles as a usable parallel CPU SSSP.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "sim/cost_model.hpp"
+#include "sssp/delta_controller.hpp"
+#include "sssp/result.hpp"
+
+namespace adds {
+
+struct AddsOptions {
+  uint32_t num_buckets = 32;  // the paper's fixed window size
+  /// Initial Δ; <= 0 uses the static heuristic C * avg_weight / avg_degree.
+  double delta = 0.0;
+  double heuristic_c = 32.0;
+  /// Dynamic Δ selection; the Static-Δ ablation (Table 5) turns this off.
+  bool dynamic_delta = true;
+  /// Items per worker assignment (the "array of work items" in an AF).
+  uint32_t chunk_items = 256;
+  /// Edge budget per assignment: the manager splits item ranges so one
+  /// worker block is never handed a pathologically heavy range (the
+  /// runtime's load-balanced assignment; keeps hub vertices from serializing
+  /// on a single block).
+  uint32_t chunk_edge_budget = 512;
+  DeltaControllerOptions controller;
+};
+
+template <WeightType W>
+SsspResult<W> adds_sim(const CsrGraph<W>& g, VertexId source,
+                       const GpuCostModel& gpu, const AddsOptions& opts = {});
+
+struct AddsHostOptions {
+  uint32_t num_workers = 4;   // WTB threads
+  uint32_t num_buckets = 8;   // window size (smaller defaults at host scale)
+  double delta = 0.0;         // <= 0: static heuristic
+  double heuristic_c = 32.0;
+  bool dynamic_delta = false;
+  uint32_t chunk_items = 64;
+  uint32_t block_words = 4096;   // pool block size (64Ki on the GPU)
+  uint32_t pool_blocks = 0;      // 0: sized automatically from the graph
+  uint32_t segment_words = 32;
+  DeltaControllerOptions controller;
+};
+
+template <WeightType W>
+SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
+                        const AddsHostOptions& opts = {});
+
+#define ADDS_EXTERN(W)                                                 \
+  extern template SsspResult<W> adds_sim<W>(                           \
+      const CsrGraph<W>&, VertexId, const GpuCostModel&,               \
+      const AddsOptions&);                                             \
+  extern template SsspResult<W> adds_host<W>(const CsrGraph<W>&,       \
+                                             VertexId,                \
+                                             const AddsHostOptions&);
+ADDS_EXTERN(uint32_t)
+ADDS_EXTERN(float)
+#undef ADDS_EXTERN
+
+}  // namespace adds

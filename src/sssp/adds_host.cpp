@@ -1,0 +1,308 @@
+// The host-threads ADDS engine: the full queue protocol under real
+// concurrency.
+//
+// One manager thread (MTB) and `num_workers` worker threads (WTBs) execute
+// the paper's runtime verbatim at host scale:
+//
+//   * workers push work items (vertex ids) straight into buckets via
+//     atomic resv_ptr reservation and WCC publication;
+//   * the manager alone scans segment metadata, computes safely-readable
+//     ranges, hands them to idle workers through per-worker assignment
+//     flags, performs all block allocation/recycling, rotates the bucket
+//     window, and (optionally) adjusts Δ from run-time signals;
+//   * termination requires two consecutive manager sweeps that find no
+//     pending or in-flight work and all workers idle (paper §5.4).
+//
+// Distances live in a shared AtomicDistArray with CAS fetch-min. An item is
+// just a vertex id (as in the paper); a popped vertex is relaxed against
+// its *current* distance, so a stale pop costs redundant-but-correct work.
+#include "sssp/adds.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "queue/assignment.hpp"
+#include "queue/translation_cache.hpp"
+#include "queue/work_queue.hpp"
+#include "sssp/atomic_dist.hpp"
+#include "sssp/delta_heuristic.hpp"
+#include "util/timer.hpp"
+
+namespace adds {
+
+namespace {
+
+/// Everything one worker thread needs.
+template <WeightType W>
+struct WorkerContext {
+  const CsrGraph<W>* graph = nullptr;
+  WorkQueue* queue = nullptr;
+  AtomicDistArray<DistT<W>>* dist = nullptr;
+  AssignmentFlag* flag = nullptr;
+  WorkStats stats;  // thread-local; merged after join
+};
+
+template <WeightType W>
+void worker_main(WorkerContext<W>& ctx) {
+  using Dist = DistT<W>;
+  const CsrGraph<W>& g = *ctx.graph;
+  TranslationCache<8> cache;
+
+  while (true) {
+    bool should_exit = false;
+    const auto assignment = ctx.flag->poll(should_exit);
+    if (should_exit) return;
+    if (!assignment) {
+      std::this_thread::yield();
+      continue;
+    }
+
+    Bucket& bucket = ctx.queue->physical_bucket(assignment->phys_bucket);
+    cache.reset();
+    for (uint32_t i = 0; i < assignment->count; ++i) {
+      const VertexId u =
+          VertexId(cache.read(bucket, assignment->start + i));
+      const Dist du = ctx.dist->load(u);
+      if (du == DistTraits<W>::infinity()) {
+        // Only possible for a corrupt queue; the push that enqueued u set a
+        // finite distance first.
+        ++ctx.stats.stale_skipped;
+        continue;
+      }
+      ++ctx.stats.items_processed;
+      const EdgeIndex end = g.edge_end(u);
+      for (EdgeIndex e = g.edge_begin(u); e < end; ++e) {
+        ++ctx.stats.relaxations;
+        const VertexId v = g.edge_target(e);
+        const Dist nd = du + Dist(g.edge_weight(e));
+        if (ctx.dist->fetch_min(v, nd)) {
+          ++ctx.stats.improvements;
+          ++ctx.stats.pushes;
+          ctx.queue->push(v, double(nd));
+        }
+      }
+    }
+    // Publication order matters: all pushes above happen before the
+    // release-increment of the source bucket's CWC, so when the manager
+    // observes CWC == resv_ptr it also observes every spawned item.
+    bucket.complete(assignment->count);
+    ctx.flag->done();
+  }
+}
+
+}  // namespace
+
+template <WeightType W>
+SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
+                        const AddsHostOptions& opts) {
+  using Dist = DistT<W>;
+  WallTimer timer;
+
+  SsspResult<W> r;
+  r.solver = "adds-host";
+  r.dist.assign(g.num_vertices(), DistTraits<W>::infinity());
+  if (g.empty()) return r;
+  ADDS_REQUIRE(source < g.num_vertices(), "source vertex out of range");
+  ADDS_REQUIRE(opts.num_workers >= 1, "need at least one worker");
+
+  // --- Construct the queue ----------------------------------------------
+  uint32_t pool_blocks = opts.pool_blocks;
+  if (pool_blocks == 0) {
+    // Capacity for several generations of the edge set plus window slack.
+    const uint64_t want =
+        4 * g.num_edges() / opts.block_words + 4ull * opts.num_buckets + 16;
+    pool_blocks = uint32_t(std::min<uint64_t>(want, 65000));
+  }
+  BlockPool pool(pool_blocks, opts.block_words);
+  WorkQueue::Config qcfg;
+  qcfg.num_buckets = opts.num_buckets;
+  qcfg.bucket.segment_words = opts.segment_words;
+  qcfg.bucket.table_size = 64;
+  WorkQueue queue(pool, qcfg);
+
+  const double initial_delta =
+      opts.delta > 0.0 ? opts.delta : static_delta(g, opts.heuristic_c);
+  queue.set_delta(initial_delta);
+
+  DeltaControllerOptions copts = opts.controller;
+  copts.enabled = opts.dynamic_delta;
+  copts.max_active_buckets = std::min<uint32_t>(copts.max_active_buckets,
+                                                opts.num_buckets - 1);
+  // Host-scale saturation: all workers busy with a chunk each.
+  DeltaController controller(
+      copts, double(opts.num_workers) * double(opts.chunk_items),
+      initial_delta);
+
+  AtomicDistArray<Dist> dist(g.num_vertices(), DistTraits<W>::infinity());
+  dist.store(source, Dist{0});
+
+  // --- Launch workers ------------------------------------------------------
+  std::vector<AssignmentFlag> flags(opts.num_workers);
+  std::vector<WorkerContext<W>> contexts(opts.num_workers);
+  std::vector<std::thread> workers;
+  workers.reserve(opts.num_workers);
+  for (uint32_t i = 0; i < opts.num_workers; ++i) {
+    contexts[i].graph = &g;
+    contexts[i].queue = &queue;
+    contexts[i].dist = &dist;
+    contexts[i].flag = &flags[i];
+    workers.emplace_back(worker_main<W>, std::ref(contexts[i]));
+  }
+  // If the manager loop throws (e.g. BlockPool exhaustion on an undersized
+  // pool), workers must still be told to exit and joined — destroying a
+  // joinable std::thread calls std::terminate.
+  struct WorkerShutdown {
+    WorkQueue* queue;
+    std::vector<AssignmentFlag>* flags;
+    std::vector<std::thread>* workers;
+    ~WorkerShutdown() {
+      queue->request_abort();  // unblock writers stuck in wait_allocated
+      for (auto& f : *flags) f.terminate();
+      for (auto& w : *workers)
+        if (w.joinable()) w.join();
+    }
+  } shutdown{&queue, &flags, &workers};
+
+  // Seed the source.
+  queue.ensure_capacity_all(opts.chunk_items * 2);
+  queue.push(source, 0.0);
+  ++r.work.pushes;
+
+  // --- Manager-side completion-frontier tracking ---------------------------
+  //
+  // Blocks can only be recycled below an index every worker is finished
+  // *reading*. The manager knows exactly which range each worker holds (it
+  // assigned it), so it records the range per flag and, when the flag goes
+  // idle, feeds it into a per-bucket frontier: blocks wholly below the
+  // frontier are recyclable mid-stream. Without this, a bucket whose
+  // translation window wraps while reservations are open can wedge its
+  // writers (completed blocks would only be freed at full drain).
+  struct FlagTrack {
+    bool active = false;
+    Assignment a;
+  };
+  std::vector<FlagTrack> tracks(opts.num_workers);
+  struct BucketFrontier {
+    uint32_t frontier = 0;  // all items below are completed
+    std::vector<Assignment> out_of_order;
+    void complete(const Assignment& a) {
+      out_of_order.push_back(a);
+      // Ranges are issued in increasing index order; advance the frontier
+      // over every contiguous completed prefix.
+      bool advanced = true;
+      while (advanced) {
+        advanced = false;
+        for (size_t i = 0; i < out_of_order.size(); ++i) {
+          if (out_of_order[i].start == frontier) {
+            frontier += out_of_order[i].count;
+            out_of_order[i] = out_of_order.back();
+            out_of_order.pop_back();
+            advanced = true;
+            break;
+          }
+        }
+      }
+    }
+  };
+  std::vector<BucketFrontier> frontiers(opts.num_buckets);
+
+  // --- Manager loop ---------------------------------------------------------
+  uint64_t clean_sweeps = 0;
+  uint64_t assigned_items_outstanding = 0;  // manager's own view
+  while (true) {
+    // Harvest completions: a flag that returned to idle finished its range.
+    for (uint32_t i = 0; i < opts.num_workers; ++i) {
+      if (tracks[i].active && flags[i].is_idle()) {
+        frontiers[tracks[i].a.phys_bucket].complete(tracks[i].a);
+        tracks[i].active = false;
+      }
+    }
+    for (uint32_t b = 0; b < opts.num_buckets; ++b)
+      queue.physical_bucket(b).recycle_below(frontiers[b].frontier);
+
+    queue.ensure_capacity_all(opts.chunk_items * opts.num_workers + 64);
+
+    // Retire drained head buckets while work remains elsewhere.
+    const uint64_t pending = queue.total_pending();
+    const uint64_t in_flight = queue.total_in_flight();
+    uint32_t advances = 0;
+    while (pending + in_flight > 0 && advances + 1 < opts.num_buckets &&
+           queue.logical_bucket(0).pending_estimate() == 0 &&
+           queue.head_drained()) {
+      queue.advance_window();
+      ++r.window_advances;
+      ++advances;
+    }
+
+    // Assign published ranges from the active buckets to idle workers.
+    bool assigned_any = false;
+    const uint32_t active = controller.active_buckets();
+    for (uint32_t logical = 0; logical < active; ++logical) {
+      Bucket& b = queue.logical_bucket(logical);
+      uint32_t bound = b.scan_written_bound();
+      uint32_t avail = bound - b.read_ptr();
+      if (avail == 0) continue;
+      for (uint32_t i = 0; i < opts.num_workers; ++i) {
+        if (avail == 0) break;
+        if (tracks[i].active || !flags[i].is_idle()) continue;
+        const uint32_t k = std::min(avail, opts.chunk_items);
+        Assignment a;
+        a.phys_bucket = queue.logical_to_physical(logical);
+        a.start = b.read_ptr();
+        a.count = k;
+        b.advance_read(b.read_ptr() + k);
+        tracks[i] = {true, a};
+        flags[i].assign(a);
+        avail -= k;
+        assigned_items_outstanding += k;
+        assigned_any = true;
+      }
+    }
+
+    // Dynamic Δ from run-time signals (off by default at host scale).
+    DeltaController::Signals sig;
+    sig.assigned_edges = double(queue.total_in_flight());
+    sig.head_switches = r.window_advances;
+    sig.work_pending = queue.total_pending() > 0;
+    const uint64_t p2 = queue.total_pending();
+    if (p2 > 0)
+      sig.tail_share =
+          double(queue.pending_of(opts.num_buckets - 1)) / double(p2);
+    if (controller.update(sig)) queue.set_delta(controller.delta());
+
+    // Termination: two consecutive clean sweeps (no pending work anywhere,
+    // nothing in flight, every worker idle).
+    bool all_idle = true;
+    for (auto& flag : flags) all_idle &= flag.is_idle();
+    bool all_drained = true;
+    for (uint32_t i = 0; i < opts.num_buckets; ++i)
+      all_drained &= queue.physical_bucket(i).drained();
+    if (!assigned_any && all_idle && all_drained) {
+      if (++clean_sweeps >= 2) break;
+    } else {
+      clean_sweeps = 0;
+    }
+    std::this_thread::yield();
+  }
+
+  for (auto& flag : flags) flag.terminate();
+  for (auto& w : workers) w.join();
+
+  for (const auto& ctx : contexts) r.work.merge(ctx.stats);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) r.dist[v] = dist.load(v);
+  for (const auto& [sw, d] : controller.history())
+    r.delta_history.emplace_back(double(sw), d);
+  r.wall_ms = timer.elapsed_ms();
+  r.time_us = r.wall_ms * 1e3;  // the host engine's time is real time
+  (void)assigned_items_outstanding;
+  return r;
+}
+
+template SsspResult<uint32_t> adds_host<uint32_t>(const CsrGraph<uint32_t>&,
+                                                  VertexId,
+                                                  const AddsHostOptions&);
+template SsspResult<float> adds_host<float>(const CsrGraph<float>&, VertexId,
+                                            const AddsHostOptions&);
+
+}  // namespace adds

@@ -1,0 +1,236 @@
+// The ADDS scheduling policy executed over the virtual GPU (DESIGN.md §2).
+//
+// Mapping from the paper's runtime to the model:
+//   WTB                -> one SharingPool server (256 virtual threads)
+//   MTB loop iteration -> a manager tick every mtb_tick_us of virtual time
+//   work assignment    -> a pool job sized in edge units; relaxations are
+//                         applied when the job completes (asynchronous:
+//                         spawned work becomes assignable at the very next
+//                         manager tick, never a BSP barrier later)
+//   32-bucket window   -> deques rotated exactly like WorkQueue's window
+#include "sssp/adds.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "queue/work_queue.hpp"  // for the shared logical_index() math
+#include "sim/sharing_pool.hpp"
+#include "sssp/delta_heuristic.hpp"
+#include "util/timer.hpp"
+
+namespace adds {
+
+namespace {
+
+template <typename Dist>
+struct SimItem {
+  VertexId vertex;
+  Dist dist_at_push;
+};
+
+/// Per-assignment record: which physical bucket the items came from (for
+/// the in-flight accounting that gates head retirement) and the items
+/// themselves, relaxed at completion time.
+template <typename Dist>
+struct Job {
+  uint64_t id;
+  uint32_t phys_bucket;
+  std::vector<SimItem<Dist>> items;
+};
+
+}  // namespace
+
+template <WeightType W>
+SsspResult<W> adds_sim(const CsrGraph<W>& g, VertexId source,
+                       const GpuCostModel& gpu, const AddsOptions& opts) {
+  using Dist = DistT<W>;
+  WallTimer timer;
+
+  SsspResult<W> r;
+  r.solver = "adds";
+  r.dist.assign(g.num_vertices(), DistTraits<W>::infinity());
+  if (g.empty()) return r;
+  ADDS_REQUIRE(source < g.num_vertices(), "source vertex out of range");
+  ADDS_REQUIRE(opts.num_buckets >= 2, "ADDS needs at least 2 buckets");
+
+  const uint32_t K = opts.num_buckets;
+  const double initial_delta =
+      opts.delta > 0.0 ? opts.delta : static_delta(g, opts.heuristic_c);
+
+  DeltaControllerOptions copts = opts.controller;
+  copts.enabled = opts.dynamic_delta;
+  copts.max_active_buckets =
+      std::min<uint32_t>(copts.max_active_buckets, K - 1);
+  DeltaController controller(copts, gpu.saturation_threads(), initial_delta);
+
+  SharingPool pool(gpu.spec().worker_blocks(gpu.wtb_width),
+                   gpu.wtb_edge_rate(), gpu.cap_edges_per_us());
+
+  // The circular window: physical bucket = (window_pos + logical) % K.
+  std::vector<std::deque<SimItem<Dist>>> buckets(K);
+  std::vector<uint32_t> in_flight(K, 0);  // items assigned, not completed
+  uint64_t window_pos = 0;
+  double base_dist = 0.0;
+  auto physical = [&](uint32_t logical) {
+    return uint32_t((window_pos + logical) % K);
+  };
+
+  const double mean_degree = std::max(1.0, g.average_degree());
+  ParallelismTrace trace(gpu.mtb_tick_us);
+
+  uint64_t total_pending = 0;
+  const auto push_item = [&](VertexId v, Dist d) {
+    const uint32_t logical = WorkQueue::logical_index(
+        double(d), base_dist, controller.delta(), K);
+    buckets[physical(logical)].push_back({v, d});
+    ++total_pending;
+    ++r.work.pushes;
+  };
+
+  r.dist[source] = Dist{0};
+  push_item(source, Dist{0});
+
+  std::vector<Job<Dist>> jobs;  // in-flight assignments, keyed linearly
+  std::vector<SharingPool::Completion> completions;
+
+  const auto relax_items = [&](const Job<Dist>& job) {
+    for (const auto& it : job.items) {
+      if (it.dist_at_push > r.dist[it.vertex]) {
+        ++r.work.stale_skipped;
+        continue;
+      }
+      ++r.work.items_processed;
+      const Dist du = r.dist[it.vertex];
+      const EdgeIndex end = g.edge_end(it.vertex);
+      for (EdgeIndex e = g.edge_begin(it.vertex); e < end; ++e) {
+        ++r.work.relaxations;
+        const VertexId v = g.edge_target(e);
+        const Dist nd = du + Dist(g.edge_weight(e));
+        if (nd < r.dist[v]) {
+          r.dist[v] = nd;
+          ++r.work.improvements;
+          push_item(v, nd);
+        }
+      }
+    }
+    in_flight[job.phys_bucket] -= uint32_t(job.items.size());
+  };
+
+  uint64_t empty_sweeps = 0;
+  uint64_t total_in_flight_items = 0;
+
+  while (true) {
+    // --- Workers run until the next manager tick -------------------------
+    const double t_tick = pool.now_us() + gpu.mtb_tick_us;
+    completions.clear();
+    pool.advance_to(t_tick, completions);
+    for (const auto& c : completions) {
+      // Jobs complete in submission-independent order; find by id.
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        if (jobs[i].id == c.job_id) {
+          total_in_flight_items -= jobs[i].items.size();
+          relax_items(jobs[i]);
+          jobs[i] = std::move(jobs.back());
+          jobs.pop_back();
+          break;
+        }
+      }
+    }
+
+    // --- Manager tick -----------------------------------------------------
+
+    // 1. Retire drained head buckets (paper §5.4: only when the head's
+    //    completed-work count matches its reservations, i.e. nothing pending
+    //    and nothing in flight — otherwise spawned head work would cram into
+    //    ever fewer buckets).
+    uint32_t advances = 0;
+    while (total_pending + total_in_flight_items > 0 && advances < K - 1 &&
+           buckets[physical(0)].empty() && in_flight[physical(0)] == 0) {
+      ++window_pos;
+      base_dist += controller.delta();
+      ++r.window_advances;
+      ++advances;
+    }
+
+    // 2. Assign work from the active high-priority buckets to idle workers.
+    const uint32_t active = controller.active_buckets();
+    for (uint32_t logical = 0; logical < active && pool.has_idle();
+         ++logical) {
+      auto& bucket = buckets[physical(logical)];
+      while (!bucket.empty() && pool.has_idle()) {
+        Job<Dist> job;
+        job.phys_bucket = physical(logical);
+        const uint32_t max_take =
+            std::min<uint32_t>(opts.chunk_items, uint32_t(bucket.size()));
+        job.items.reserve(max_take);
+        double edge_units = gpu.assignment_overhead_us *
+                            gpu.wtb_edge_rate();  // pickup cost
+        double edges_taken = 0.0;
+        uint32_t take = 0;
+        while (take < max_take) {
+          const SimItem<Dist> it = bucket.front();
+          // Cost: stale items only touch the distance array; live items
+          // relax their whole edge list.
+          const double cost = it.dist_at_push > r.dist[it.vertex]
+                                  ? 0.25
+                                  : double(g.out_degree(it.vertex));
+          // Edge budget: never hand one block a pathologically heavy range
+          // (but always take at least one item so progress is guaranteed).
+          if (take > 0 &&
+              edges_taken + cost > double(opts.chunk_edge_budget))
+            break;
+          bucket.pop_front();
+          edges_taken += cost;
+          edge_units += cost;
+          job.items.push_back(it);
+          ++take;
+        }
+        total_pending -= take;
+        total_in_flight_items += take;
+        in_flight[job.phys_bucket] += take;
+        job.id = pool.submit(edge_units);
+        jobs.push_back(std::move(job));
+      }
+    }
+
+    // 3. Feed the Δ controller.
+    DeltaController::Signals sig;
+    sig.assigned_edges = pool.busy_edges_assigned();
+    sig.head_switches = r.window_advances;
+    sig.work_pending = total_pending > 0;
+    if (total_pending > 0) {
+      sig.tail_share =
+          double(buckets[physical(K - 1)].size()) / double(total_pending);
+    }
+    controller.update(sig);
+
+    trace.record(pool.now_us(), pool.busy_edges_assigned());
+
+    // 4. Termination (paper §5.4): two consecutive sweeps with no work
+    //    assigned anywhere and nothing in flight.
+    if (total_pending == 0 && total_in_flight_items == 0 && jobs.empty()) {
+      if (++empty_sweeps >= 2) break;
+    } else {
+      empty_sweeps = 0;
+    }
+  }
+
+  r.time_us = pool.now_us();
+  r.trace = trace;
+  for (const auto& [sw, d] : controller.history())
+    r.delta_history.emplace_back(double(sw), d);
+  (void)mean_degree;
+  r.wall_ms = timer.elapsed_ms();
+  return r;
+}
+
+template SsspResult<uint32_t> adds_sim<uint32_t>(const CsrGraph<uint32_t>&,
+                                                 VertexId,
+                                                 const GpuCostModel&,
+                                                 const AddsOptions&);
+template SsspResult<float> adds_sim<float>(const CsrGraph<float>&, VertexId,
+                                           const GpuCostModel&,
+                                           const AddsOptions&);
+
+}  // namespace adds

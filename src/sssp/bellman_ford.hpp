@@ -1,0 +1,48 @@
+// BSP Bellman-Ford baselines.
+//
+// `bellman_ford` models Gunrock 1.0's SSSP ("Gun-BF" in the paper): a
+// frontier-based, double-buffered bulk-synchronous Bellman-Ford. Every
+// superstep relaxes all edges of the current frontier and builds the next
+// frontier from vertices whose distance improved; there is no priority
+// ordering at all, which maximizes parallelism and redundant work.
+//
+// `nv_like` models the closed-source nvGRAPH SSSP ("NV"): the classic dense
+// linear-algebra formulation that sweeps *every* vertex each iteration
+// until distances stop changing (see DESIGN.md §2 for the substitution
+// rationale).
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "sim/cost_model.hpp"
+#include "sssp/result.hpp"
+
+namespace adds {
+
+struct BellmanFordOptions {
+  /// Deduplicate the next frontier with a bitmap pass (Gunrock does; a
+  /// naive implementation would not).
+  bool dedup_frontier = true;
+};
+
+template <WeightType W>
+SsspResult<W> bellman_ford(const CsrGraph<W>& g, VertexId source,
+                           const GpuCostModel& gpu,
+                           const BellmanFordOptions& opts = {});
+
+template <WeightType W>
+SsspResult<W> nv_like(const CsrGraph<W>& g, VertexId source,
+                      const GpuCostModel& gpu);
+
+extern template SsspResult<uint32_t> bellman_ford<uint32_t>(
+    const CsrGraph<uint32_t>&, VertexId, const GpuCostModel&,
+    const BellmanFordOptions&);
+extern template SsspResult<float> bellman_ford<float>(
+    const CsrGraph<float>&, VertexId, const GpuCostModel&,
+    const BellmanFordOptions&);
+extern template SsspResult<uint32_t> nv_like<uint32_t>(
+    const CsrGraph<uint32_t>&, VertexId, const GpuCostModel&);
+extern template SsspResult<float> nv_like<float>(const CsrGraph<float>&,
+                                                 VertexId,
+                                                 const GpuCostModel&);
+
+}  // namespace adds

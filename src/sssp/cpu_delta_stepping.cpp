@@ -1,0 +1,98 @@
+#include "sssp/cpu_delta_stepping.hpp"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "sssp/delta_heuristic.hpp"
+#include "util/timer.hpp"
+
+namespace adds {
+
+template <WeightType W>
+SsspResult<W> cpu_delta_stepping(const CsrGraph<W>& g, VertexId source,
+                                 const CpuCostModel& cpu,
+                                 const CpuDeltaSteppingOptions& opts) {
+  using Dist = DistT<W>;
+  WallTimer timer;
+
+  SsspResult<W> r;
+  r.solver = "cpu-ds";
+  r.dist.assign(g.num_vertices(), DistTraits<W>::infinity());
+  if (g.empty()) return r;
+  ADDS_REQUIRE(source < g.num_vertices(), "source vertex out of range");
+
+  const double delta =
+      opts.delta > 0.0 ? opts.delta : static_delta(g, opts.heuristic_c);
+
+  struct Item {
+    VertexId vertex;
+    Dist dist_at_push;
+  };
+  // Sparse ordered bucket map (Galois' OBIM is a sparse ordered sequence of
+  // bags; std::map gives the same processing order).
+  std::map<uint64_t, std::vector<Item>> buckets;
+  const auto bucket_of = [delta](Dist d) {
+    return static_cast<uint64_t>(double(d) / delta);
+  };
+
+  r.dist[source] = Dist{0};
+  buckets[0].push_back({source, Dist{0}});
+  ++r.work.pushes;
+
+  uint64_t bucket_phases = 0;
+  std::vector<Item> current;
+  while (!buckets.empty()) {
+    const auto first = buckets.begin();
+    const uint64_t level = first->first;
+    current.swap(first->second);
+    buckets.erase(first);
+    ++bucket_phases;
+
+    // Process the bucket to fixpoint: re-insertions into the same level are
+    // handled within this phase (the "light edge" inner loop).
+    while (!current.empty()) {
+      std::vector<Item> same_level;
+      for (const auto& it : current) {
+        if (it.dist_at_push > r.dist[it.vertex]) {
+          ++r.work.stale_skipped;
+          continue;
+        }
+        ++r.work.items_processed;
+        const Dist du = r.dist[it.vertex];
+        const EdgeIndex end = g.edge_end(it.vertex);
+        for (EdgeIndex e = g.edge_begin(it.vertex); e < end; ++e) {
+          ++r.work.relaxations;
+          const VertexId v = g.edge_target(e);
+          const Dist nd = du + Dist(g.edge_weight(e));
+          if (nd < r.dist[v]) {
+            r.dist[v] = nd;
+            ++r.work.improvements;
+            ++r.work.pushes;
+            const uint64_t b = bucket_of(nd);
+            if (b <= level)
+              same_level.push_back({v, nd});
+            else
+              buckets[b].push_back({v, nd});
+          }
+        }
+      }
+      current.swap(same_level);
+      if (!current.empty()) ++bucket_phases;
+    }
+  }
+
+  r.supersteps = bucket_phases;
+  r.time_us = cpu.delta_stepping_us(r.work.relaxations, bucket_phases);
+  r.wall_ms = timer.elapsed_ms();
+  return r;
+}
+
+template SsspResult<uint32_t> cpu_delta_stepping<uint32_t>(
+    const CsrGraph<uint32_t>&, VertexId, const CpuCostModel&,
+    const CpuDeltaSteppingOptions&);
+template SsspResult<float> cpu_delta_stepping<float>(
+    const CsrGraph<float>&, VertexId, const CpuCostModel&,
+    const CpuDeltaSteppingOptions&);
+
+}  // namespace adds

@@ -1,0 +1,35 @@
+// CPU delta-stepping (Meyer & Sanders) in the style of the Galois 4.0
+// baseline the paper calls "CPU-DS": an ordered-by-Δ bucket map processed
+// bucket-by-bucket with fine-grained buckets.
+//
+// The algorithm really runs (work counts are measured, and the distance
+// output is validated against Dijkstra); virtual time charges the measured
+// work against the modelled 20-thread CPU (see CpuCostModel).
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "sim/cost_model.hpp"
+#include "sssp/result.hpp"
+
+namespace adds {
+
+struct CpuDeltaSteppingOptions {
+  /// Bucket width; <= 0 uses the static heuristic (same policy as the
+  /// paper applies to all parallel baselines).
+  double delta = 0.0;
+  double heuristic_c = 32.0;
+};
+
+template <WeightType W>
+SsspResult<W> cpu_delta_stepping(const CsrGraph<W>& g, VertexId source,
+                                 const CpuCostModel& cpu,
+                                 const CpuDeltaSteppingOptions& opts = {});
+
+extern template SsspResult<uint32_t> cpu_delta_stepping<uint32_t>(
+    const CsrGraph<uint32_t>&, VertexId, const CpuCostModel&,
+    const CpuDeltaSteppingOptions&);
+extern template SsspResult<float> cpu_delta_stepping<float>(
+    const CsrGraph<float>&, VertexId, const CpuCostModel&,
+    const CpuDeltaSteppingOptions&);
+
+}  // namespace adds

@@ -1,0 +1,89 @@
+#include "sssp/delta_controller.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace adds {
+
+DeltaController::DeltaController(const DeltaControllerOptions& opts,
+                                 double saturation_edges,
+                                 double initial_delta)
+    : opts_(opts),
+      saturation_edges_(saturation_edges),
+      initial_delta_(std::clamp(initial_delta, opts.min_delta, opts.max_delta)),
+      delta_(initial_delta_),
+      active_buckets_(opts.min_active_buckets) {
+  ADDS_REQUIRE(saturation_edges > 0, "saturation must be positive");
+  ADDS_REQUIRE(opts.util_low < opts.util_high, "utilization limits inverted");
+  history_.emplace_back(0, delta_);
+}
+
+void DeltaController::set_delta(double d, uint64_t at_switch) {
+  delta_ = std::clamp(d, opts_.min_delta, opts_.max_delta);
+  last_change_switch_ = at_switch;
+  updates_since_change_ = 0;
+  history_.emplace_back(at_switch, delta_);
+}
+
+bool DeltaController::update(const Signals& s) {
+  if (!opts_.enabled) return false;
+  const double util = utilization(s.assigned_edges);
+
+  // Fine-grained, high-frequency control: widen or narrow the set of
+  // high-priority buckets the manager may draw from. This dampens
+  // utilization fluctuations without disturbing Δ (paper §5.5, last ¶).
+  if (util < opts_.util_low && s.work_pending) {
+    active_buckets_ =
+        std::min(active_buckets_ + 1, opts_.max_active_buckets);
+  } else if (util > opts_.util_high) {
+    active_buckets_ =
+        std::max(active_buckets_ - 1, opts_.min_active_buckets);
+  }
+
+  // Clipping guard: when the tail bucket holds >= 65% of pending work the
+  // window cannot represent the priority range — grow Δ immediately; this
+  // is the empirical lower bound on Δ (paper §5.5).
+  if (s.tail_share >= opts_.clip_tail_share) {
+    set_delta(delta_ * opts_.grow_factor, s.head_switches);
+    return true;
+  }
+
+  // Slow control: wait `settle_head_switches` head-bucket switches after
+  // the previous change (settling time scales with Δ since bucket
+  // population is proportional to Δ), then steer utilization into
+  // [util_low, util_high].
+  ++updates_since_change_;
+  const bool settled_by_switches =
+      s.head_switches - last_change_switch_ >= opts_.settle_head_switches;
+  // When Δ is so coarse that the head bucket never drains, head switches
+  // stall; a bounded number of updates also completes settling — but only
+  // for *growing* Δ (the stalled-head case is precisely an
+  // under-utilization / too-coarse situation). Shrinking without observed
+  // head progress over-steers into starvation.
+  const bool settled_by_updates =
+      updates_since_change_ >= opts_.settle_max_updates;
+
+  if (util < opts_.util_low && s.work_pending &&
+      active_buckets_ == opts_.max_active_buckets &&
+      (settled_by_switches || settled_by_updates)) {
+    // Under-utilized even with the widest bucket set: coarsen.
+    set_delta(delta_ * opts_.grow_factor, s.head_switches);
+    return true;
+  }
+  if (util > opts_.util_high &&
+      (settled_by_switches || settled_by_updates)) {
+    // Over-saturated: extra parallelism is pointless work; refine Δ unless
+    // that would immediately re-trigger the clip guard, and never below the
+    // dynamic floor.
+    const double floor_delta = initial_delta_ / opts_.shrink_floor_factor;
+    const double next = delta_ * opts_.shrink_factor;
+    if (s.tail_share < opts_.clip_tail_share * 0.6 && next >= floor_delta) {
+      set_delta(next, s.head_switches);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace adds

@@ -1,0 +1,90 @@
+// Dynamic Δ selection (paper §5.5).
+//
+// The manager periodically feeds this controller three run-time signals:
+//
+//   * assigned work (in edge units) — the utilization proxy: the paper
+//     monitors "the number of work items that it currently has assigned",
+//     correlated with average degree (hence edges);
+//   * the share of pending work sitting in the tail bucket — the clipping
+//     detector (>= 65% means Δ is below the clip point and must grow);
+//   * the cumulative number of head-bucket switches — the controller's
+//     clock: Δ adjustments wait a fixed number of head switches so the
+//     settling time scales naturally with Δ.
+//
+// Between (slow) Δ adjustments the controller makes fast fine-grained
+// corrections by varying how many high-priority buckets the manager may
+// assign work from.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace adds {
+
+struct DeltaControllerOptions {
+  bool enabled = true;       // Static-Δ ablation turns the controller off
+  double util_low = 0.50;    // lower utilization limit (x saturation)
+  double util_high = 1.25;   // upper utilization limit (x saturation)
+  double clip_tail_share = 0.65;
+  uint32_t settle_head_switches = 4;  // wait between Δ adjustments
+  /// Fallback settle clock: when Δ is so coarse that the head bucket never
+  /// drains, head switches stop — after this many controller updates with
+  /// no switch, the settling period is considered over anyway.
+  uint32_t settle_max_updates = 192;
+  double grow_factor = 2.0;
+  double shrink_factor = 0.5;
+  double min_delta = 1.0;
+  double max_delta = 1e12;
+  /// Dynamic shrinks never go below initial_delta / shrink_floor_factor:
+  /// the initial heuristic is a reasonable order-of-magnitude estimate, and
+  /// an unbounded descent starves the window once the coarse backlog
+  /// drains.
+  double shrink_floor_factor = 16.0;
+  uint32_t min_active_buckets = 1;
+  uint32_t max_active_buckets = 8;
+};
+
+class DeltaController {
+ public:
+  /// `saturation_edges`: in-flight edge count at which the machine is fully
+  /// utilized (GpuCostModel::saturation_threads()).
+  DeltaController(const DeltaControllerOptions& opts, double saturation_edges,
+                  double initial_delta);
+
+  struct Signals {
+    double assigned_edges = 0;   // currently assigned work, edge units
+    double tail_share = 0;       // tail-bucket share of pending items [0,1]
+    uint64_t head_switches = 0;  // cumulative window advances
+    bool work_pending = false;   // any unassigned work exists
+  };
+
+  /// One controller step; returns true if Δ changed.
+  bool update(const Signals& s);
+
+  double delta() const noexcept { return delta_; }
+  uint32_t active_buckets() const noexcept { return active_buckets_; }
+  double utilization(double assigned_edges) const noexcept {
+    return assigned_edges / saturation_edges_;
+  }
+
+  /// (head_switch_count, new_delta) for each adjustment, for Δ-history
+  /// reporting.
+  const std::vector<std::pair<uint64_t, double>>& history() const noexcept {
+    return history_;
+  }
+
+ private:
+  void set_delta(double d, uint64_t at_switch);
+
+  DeltaControllerOptions opts_;
+  double saturation_edges_;
+  double initial_delta_;
+  double delta_;
+  uint32_t active_buckets_;
+  uint64_t last_change_switch_ = 0;
+  uint64_t updates_since_change_ = 0;
+  std::vector<std::pair<uint64_t, double>> history_;
+};
+
+}  // namespace adds

@@ -1,0 +1,29 @@
+// The static Δ heuristic from the Near-Far paper (Davidson et al., IPDPS'14)
+// as used by the paper for all parallel baselines and as ADDS's *initial*
+// Δ: Δ = C * (avg_weight / avg_degree), with a single constant C for all
+// graphs. Section 4.3 of the paper demonstrates why no constant C is right
+// for every graph — which Figure 4's bench sweeps — and ADDS then adjusts Δ
+// at run time from this starting point.
+#pragma once
+
+#include <algorithm>
+
+#include "graph/csr_graph.hpp"
+
+namespace adds {
+
+/// The constant the baselines use. The Near-Far paper suggests values
+/// around 32 for its int road inputs; we use it for every graph, exactly
+/// the "one C for all graphs" policy the paper critiques.
+inline constexpr double kNearFarDeltaC = 32.0;
+
+/// Δ = C * avg_weight / avg_degree, floored at the smallest useful step.
+template <WeightType W>
+double static_delta(const CsrGraph<W>& g, double c = kNearFarDeltaC) {
+  const double avg_w = g.average_weight();
+  const double avg_d = std::max(1.0, g.average_degree());
+  const double delta = c * avg_w / avg_d;
+  return std::max(delta, 1.0);
+}
+
+}  // namespace adds

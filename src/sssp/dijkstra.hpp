@@ -1,0 +1,25 @@
+// Serial Dijkstra with a binary heap — the work-efficiency gold standard
+// and the correctness oracle for every other engine (paper baseline
+// "Dijkstra", from Galois 4.0).
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "sim/cost_model.hpp"
+#include "sssp/result.hpp"
+
+namespace adds {
+
+/// Runs Dijkstra from `source`. Virtual time is charged against `cpu`
+/// (relaxations + heap operations on one core); pass nullptr to skip the
+/// time model (pure correctness use).
+template <WeightType W>
+SsspResult<W> dijkstra(const CsrGraph<W>& g, VertexId source,
+                       const CpuCostModel* cpu = nullptr);
+
+extern template SsspResult<uint32_t> dijkstra<uint32_t>(
+    const CsrGraph<uint32_t>&, VertexId, const CpuCostModel*);
+extern template SsspResult<float> dijkstra<float>(const CsrGraph<float>&,
+                                                  VertexId,
+                                                  const CpuCostModel*);
+
+}  // namespace adds

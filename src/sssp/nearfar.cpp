@@ -1,0 +1,173 @@
+#include "sssp/nearfar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/bsp_timeline.hpp"
+#include "sssp/delta_heuristic.hpp"
+#include "util/timer.hpp"
+
+namespace adds {
+
+namespace {
+
+template <typename Dist>
+struct Item {
+  VertexId vertex;
+  Dist dist_at_push;
+};
+
+}  // namespace
+
+template <WeightType W>
+SsspResult<W> near_far(const CsrGraph<W>& g, VertexId source,
+                       const GpuCostModel& gpu, const NearFarOptions& opts) {
+  using Dist = DistT<W>;
+  WallTimer timer;
+
+  SsspResult<W> r;
+  r.solver = opts.dedup_filter ? "nf" : "gun-nf";
+  r.dist.assign(g.num_vertices(), DistTraits<W>::infinity());
+  if (g.empty()) return r;
+  ADDS_REQUIRE(source < g.num_vertices(), "source vertex out of range");
+
+  const double delta =
+      opts.delta > 0.0 ? opts.delta : static_delta(g, opts.heuristic_c);
+  BspTimeline timeline(gpu);
+
+  std::vector<Item<Dist>> near, near_next, far, far_keep;
+  std::vector<bool> seen(g.num_vertices(), false);  // dedup-filter bitmap
+
+  r.dist[source] = Dist{0};
+  near.push_back({source, Dist{0}});
+  ++r.work.pushes;
+  double threshold = delta;
+
+  const auto launch_extra = [&](uint64_t items) {
+    // Extra pipeline launches (Gunrock-style) charged as empty kernels.
+    for (double k = 1.0; k < opts.launch_multiplier; k += 1.0)
+      timeline.add_kernel(items, 0);
+  };
+
+  while (!near.empty() || !far.empty()) {
+    if (near.empty()) {
+      // Split the Far pile: advance the threshold to the first level that
+      // admits work, dropping stale entries. One streaming pass.
+      Dist min_far = DistTraits<W>::infinity();
+      far_keep.clear();
+      for (const auto& it : far) {
+        if (it.dist_at_push > r.dist[it.vertex]) {
+          ++r.work.stale_skipped;
+          continue;
+        }
+        far_keep.push_back(it);
+        min_far = std::min(min_far, r.dist[it.vertex]);
+      }
+      far.swap(far_keep);
+      timeline.add_scan(std::max<uint64_t>(far_keep.size(), 1));
+      if (far.empty()) break;
+      // Jump directly past empty buckets (LonestarGPU computes the minimum
+      // with a reduction in the same pass).
+      const double min_d = double(min_far);
+      threshold =
+          (std::floor(min_d / delta) + 1.0) * delta;
+      near_next.clear();
+      far_keep.clear();
+      for (const auto& it : far) {
+        if (double(r.dist[it.vertex]) < threshold)
+          near_next.push_back(it);
+        else
+          far_keep.push_back(it);
+      }
+      far.swap(far_keep);
+      near.swap(near_next);
+      timeline.add_scan(std::max<uint64_t>(near.size() + far.size(), 1));
+      continue;
+    }
+
+    // One BSP superstep over the Near list.
+    uint64_t processed = 0;
+    uint64_t edges = 0;
+    near_next.clear();
+
+    if (opts.dedup_filter) {
+      // Filter pass: drop stale entries and duplicate vertex ids.
+      size_t write = 0;
+      for (const auto& it : near) {
+        if (it.dist_at_push > r.dist[it.vertex]) {
+          ++r.work.stale_skipped;
+          continue;
+        }
+        if (seen[it.vertex]) {
+          ++r.work.stale_skipped;
+          continue;
+        }
+        seen[it.vertex] = true;
+        near[write++] = it;
+      }
+      timeline.add_scan(near.size());
+      near.resize(write);
+      for (const auto& it : near) seen[it.vertex] = false;
+    }
+
+    for (const auto& it : near) {
+      if (it.dist_at_push > r.dist[it.vertex]) {
+        ++r.work.stale_skipped;
+        continue;
+      }
+      ++processed;
+      const Dist du = r.dist[it.vertex];
+      const EdgeIndex end = g.edge_end(it.vertex);
+      for (EdgeIndex e = g.edge_begin(it.vertex); e < end; ++e) {
+        ++edges;
+        const VertexId v = g.edge_target(e);
+        const Dist nd = du + Dist(g.edge_weight(e));
+        if (nd < r.dist[v]) {
+          r.dist[v] = nd;
+          ++r.work.improvements;
+          ++r.work.pushes;
+          if (double(nd) < threshold)
+            near_next.push_back({v, nd});
+          else
+            far.push_back({v, nd});
+        }
+      }
+    }
+    r.work.items_processed += processed;
+    r.work.relaxations += edges;
+    timeline.add_kernel(std::max<uint64_t>(near.size(), 1), edges);
+    launch_extra(near.size());
+    near.swap(near_next);
+    ++r.supersteps;
+  }
+
+  r.time_us = timeline.now_us();
+  r.trace = timeline.trace();
+  r.wall_ms = timer.elapsed_ms();
+  return r;
+}
+
+template <WeightType W>
+SsspResult<W> gunrock_near_far(const CsrGraph<W>& g, VertexId source,
+                               const GpuCostModel& gpu, double delta) {
+  NearFarOptions opts;
+  opts.delta = delta;
+  opts.dedup_filter = false;
+  opts.launch_multiplier = 3.0;
+  return near_far(g, source, gpu, opts);
+}
+
+#define ADDS_INSTANTIATE(W)                                              \
+  template SsspResult<W> near_far<W>(const CsrGraph<W>&, VertexId,       \
+                                     const GpuCostModel&,                \
+                                     const NearFarOptions&);             \
+  template SsspResult<W> gunrock_near_far<W>(const CsrGraph<W>&,         \
+                                             VertexId,                  \
+                                             const GpuCostModel&, double);
+
+ADDS_INSTANTIATE(uint32_t)
+ADDS_INSTANTIATE(float)
+#undef ADDS_INSTANTIATE
+
+}  // namespace adds

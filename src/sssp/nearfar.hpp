@@ -1,0 +1,59 @@
+// The Near-Far algorithm (Davidson et al., IPDPS'14) — the paper's primary
+// baseline ("NF", from LonestarGPU) and its Gunrock variant ("Gun-NF").
+//
+// Near-Far is delta-stepping collapsed to two buckets: a Near worklist
+// holding vertices below the current distance threshold and a Far pile for
+// everything else. Execution is bulk-synchronous with double buffering:
+// each superstep filters and relaxes the Near list; when Near drains, the
+// Far pile is split against the advanced threshold. Both structures are
+// pre-allocated arrays — the design whose three deficiencies (two buckets,
+// BSP double buffering, static Δ) motivate ADDS.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "sim/cost_model.hpp"
+#include "sssp/result.hpp"
+
+namespace adds {
+
+struct NearFarOptions {
+  /// Δ for the threshold schedule; <= 0 means use the static heuristic
+  /// Δ = C * avg_weight / avg_degree.
+  double delta = 0.0;
+  double heuristic_c = 32.0;
+
+  /// LonestarGPU's NF deduplicates each Near frontier with a filter pass
+  /// before relaxing; Gunrock's variant does not.
+  bool dedup_filter = true;
+
+  /// Kernel launches per superstep beyond the relax kernel itself. Gunrock's
+  /// advance/filter/compact pipeline issues more launches per superstep than
+  /// the fused LonestarGPU implementation.
+  double launch_multiplier = 1.0;
+};
+
+/// LonestarGPU-style Near-Far ("NF").
+template <WeightType W>
+SsspResult<W> near_far(const CsrGraph<W>& g, VertexId source,
+                       const GpuCostModel& gpu,
+                       const NearFarOptions& opts = {});
+
+/// Gunrock 0.2-style Near-Far ("Gun-NF"): no dedup filter, deeper launch
+/// pipeline.
+template <WeightType W>
+SsspResult<W> gunrock_near_far(const CsrGraph<W>& g, VertexId source,
+                               const GpuCostModel& gpu, double delta = 0.0);
+
+extern template SsspResult<uint32_t> near_far<uint32_t>(
+    const CsrGraph<uint32_t>&, VertexId, const GpuCostModel&,
+    const NearFarOptions&);
+extern template SsspResult<float> near_far<float>(const CsrGraph<float>&,
+                                                  VertexId,
+                                                  const GpuCostModel&,
+                                                  const NearFarOptions&);
+extern template SsspResult<uint32_t> gunrock_near_far<uint32_t>(
+    const CsrGraph<uint32_t>&, VertexId, const GpuCostModel&, double);
+extern template SsspResult<float> gunrock_near_far<float>(
+    const CsrGraph<float>&, VertexId, const GpuCostModel&, double);
+
+}  // namespace adds

@@ -1,0 +1,225 @@
+#include "sssp/nearfar_host.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sssp/atomic_dist.hpp"
+#include "sssp/delta_heuristic.hpp"
+#include "util/timer.hpp"
+
+namespace adds {
+
+namespace {
+
+/// A pre-allocated multi-writer append-only array: the GPU baseline's
+/// worklist. Writers reserve slots with one fetch_add; the array is read
+/// only after the superstep barrier, so no publication protocol is needed —
+/// that is exactly the simplification double buffering buys (and the
+/// concurrency ADDS recovers by dropping it).
+template <typename T>
+class BspWorklist {
+ public:
+  explicit BspWorklist(size_t capacity)
+      : capacity_(capacity), data_(std::make_unique<T[]>(capacity)) {}
+
+  /// Multi-writer append. Returns false on overflow (the item is dropped;
+  /// the caller raises a shared overflow flag and the run aborts) — a
+  /// worker thread must never throw through the superstep barrier.
+  [[nodiscard]] bool push(const T& item) noexcept {
+    const size_t at = size_.fetch_add(1, std::memory_order_relaxed);
+    if (at >= capacity_) return false;
+    data_[at] = item;
+    return true;
+  }
+
+  // Single-threaded (between barriers) operations.
+  size_t size() const noexcept {
+    return std::min(size_.load(std::memory_order_relaxed), capacity_);
+  }
+  const T& operator[](size_t i) const noexcept { return data_[i]; }
+  T& operator[](size_t i) noexcept { return data_[i]; }
+  void clear() noexcept { size_.store(0, std::memory_order_relaxed); }
+  void set_size(size_t n) noexcept {
+    size_.store(n, std::memory_order_relaxed);
+  }
+
+  /// Buffer swap at a superstep boundary (single-threaded there).
+  friend void swap(BspWorklist& a, BspWorklist& b) noexcept {
+    std::swap(a.capacity_, b.capacity_);
+    std::swap(a.data_, b.data_);
+    const size_t sa = a.size_.load(std::memory_order_relaxed);
+    a.size_.store(b.size_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    b.size_.store(sa, std::memory_order_relaxed);
+  }
+
+ private:
+  size_t capacity_;
+  std::unique_ptr<T[]> data_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace
+
+template <WeightType W>
+SsspResult<W> near_far_host(const CsrGraph<W>& g, VertexId source,
+                            const NearFarHostOptions& opts) {
+  using Dist = DistT<W>;
+  WallTimer timer;
+
+  SsspResult<W> r;
+  r.solver = "nf-host";
+  r.dist.assign(g.num_vertices(), DistTraits<W>::infinity());
+  if (g.empty()) return r;
+  ADDS_REQUIRE(source < g.num_vertices(), "source vertex out of range");
+  ADDS_REQUIRE(opts.num_threads >= 1, "need at least one thread");
+
+  const double delta =
+      opts.delta > 0.0 ? opts.delta : static_delta(g, opts.heuristic_c);
+  const size_t cap = size_t(
+      std::max(64.0, opts.capacity_factor * double(g.num_vertices())));
+
+  struct Item {
+    VertexId vertex;
+    Dist dist_at_push;
+  };
+  BspWorklist<Item> near(cap), near_next(cap), far(cap), far_keep(cap);
+  AtomicDistArray<Dist> dist(g.num_vertices(), DistTraits<W>::infinity());
+  dist.store(source, Dist{0});
+  ADDS_REQUIRE(near.push({source, Dist{0}}), "worklist capacity < 1");
+
+  std::atomic<double> threshold{delta};
+  std::atomic<uint64_t> processed_total{0}, relax_total{0}, stale_total{0},
+      push_total{0}, improve_total{0};
+  std::atomic<bool> done{false};
+  std::atomic<bool> overflow{false};
+  std::atomic<uint64_t> supersteps{0};
+
+  const uint32_t T = opts.num_threads;
+  // Completion function runs on exactly one thread per barrier phase: it is
+  // the BSP "host side" — buffer swap, far split, termination detection.
+  auto on_phase_complete = [&]() noexcept {
+    supersteps.fetch_add(1, std::memory_order_relaxed);
+    if (overflow.load(std::memory_order_relaxed)) {
+      done.store(true, std::memory_order_relaxed);
+      return;
+    }
+    if (near_next.size() > 0) {
+      // Swap buffers: next superstep reads what this one wrote.
+      swap(near, near_next);
+      near_next.clear();
+      return;
+    }
+    // Near is exhausted: split the Far pile against an advanced threshold.
+    while (true) {
+      Dist min_far = DistTraits<W>::infinity();
+      size_t keep = 0;
+      for (size_t i = 0; i < far.size(); ++i) {
+        const Item it = far[i];
+        const Dist cur = dist.load(it.vertex);
+        if (it.dist_at_push > cur) continue;  // stale
+        far_keep[keep++] = {it.vertex, cur};
+        if (cur < min_far) min_far = cur;
+      }
+      far_keep.set_size(keep);
+      swap(far, far_keep);
+      far_keep.clear();
+      if (far.size() == 0) {
+        done.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const double th =
+          (std::floor(double(min_far) / delta) + 1.0) * delta;
+      threshold.store(th, std::memory_order_relaxed);
+      size_t n = 0, f = 0;
+      for (size_t i = 0; i < far.size(); ++i) {
+        const Item it = far[i];
+        if (double(it.dist_at_push) < th)
+          near_next[n++] = it;
+        else
+          far_keep[f++] = it;
+      }
+      near_next.set_size(n);
+      far_keep.set_size(f);
+      swap(far, far_keep);
+      far_keep.clear();
+      if (n > 0) {
+        swap(near, near_next);
+        near_next.clear();
+        return;
+      }
+      // All far items stale-compressed into emptiness: loop and re-split.
+    }
+  };
+  std::barrier barrier(std::ptrdiff_t(T), on_phase_complete);
+
+  auto worker = [&](uint32_t tid) {
+    WorkStats local;
+    while (true) {
+      if (done.load(std::memory_order_relaxed)) break;
+      // Static partition of the Near list across threads.
+      const size_t n = near.size();
+      const size_t lo = n * tid / T;
+      const size_t hi = n * (tid + 1) / T;
+      const double th = threshold.load(std::memory_order_relaxed);
+      for (size_t i = lo; i < hi; ++i) {
+        const Item it = near[i];
+        const Dist du = dist.load(it.vertex);
+        if (it.dist_at_push > du) {
+          ++local.stale_skipped;
+          continue;
+        }
+        ++local.items_processed;
+        const EdgeIndex end = g.edge_end(it.vertex);
+        for (EdgeIndex e = g.edge_begin(it.vertex); e < end; ++e) {
+          ++local.relaxations;
+          const VertexId v = g.edge_target(e);
+          const Dist nd = du + Dist(g.edge_weight(e));
+          if (dist.fetch_min(v, nd)) {
+            ++local.improvements;
+            ++local.pushes;
+            const bool ok = double(nd) < th ? near_next.push({v, nd})
+                                            : far.push({v, nd});
+            if (!ok) overflow.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+      barrier.arrive_and_wait();  // superstep boundary (double buffering)
+    }
+    processed_total.fetch_add(local.items_processed);
+    relax_total.fetch_add(local.relaxations);
+    stale_total.fetch_add(local.stale_skipped);
+    push_total.fetch_add(local.pushes);
+    improve_total.fetch_add(local.improvements);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(T);
+  for (uint32_t t = 0; t < T; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+  ADDS_REQUIRE(!overflow.load(),
+               "BSP worklist overflow: raise capacity_factor");
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) r.dist[v] = dist.load(v);
+  r.work.items_processed = processed_total.load();
+  r.work.relaxations = relax_total.load();
+  r.work.stale_skipped = stale_total.load();
+  r.work.pushes = push_total.load() + 1;
+  r.work.improvements = improve_total.load();
+  r.supersteps = supersteps.load();
+  r.wall_ms = timer.elapsed_ms();
+  r.time_us = r.wall_ms * 1e3;
+  return r;
+}
+
+template SsspResult<uint32_t> near_far_host<uint32_t>(
+    const CsrGraph<uint32_t>&, VertexId, const NearFarHostOptions&);
+template SsspResult<float> near_far_host<float>(const CsrGraph<float>&,
+                                                VertexId,
+                                                const NearFarHostOptions&);
+
+}  // namespace adds

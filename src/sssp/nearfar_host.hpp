@@ -1,0 +1,36 @@
+// Real-thread BSP Near-Far: the baseline's architecture on host threads.
+//
+// This is the structural counterpart to adds_host: where ADDS runs an
+// asynchronous MTB/WTB queue, Near-Far runs bulk-synchronous supersteps over
+// *pre-allocated arrays* with double buffering — exactly the three design
+// choices the paper critiques (two buckets, BSP barriers, static Δ) — here
+// with real std::thread workers and a std::barrier per superstep. Useful for
+// an apples-to-apples host comparison (see the scheduler_contrast example)
+// and as a second torture test of the engines' shared components.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "sssp/result.hpp"
+
+namespace adds {
+
+struct NearFarHostOptions {
+  uint32_t num_threads = 4;
+  /// Δ for the threshold schedule; <= 0 uses the static heuristic.
+  double delta = 0.0;
+  double heuristic_c = 32.0;
+  /// Capacity of each pre-allocated worklist array, as a multiple of |V|.
+  /// Overflow throws adds::Error (the fixed-array design's failure mode).
+  double capacity_factor = 8.0;
+};
+
+template <WeightType W>
+SsspResult<W> near_far_host(const CsrGraph<W>& g, VertexId source,
+                            const NearFarHostOptions& opts = {});
+
+extern template SsspResult<uint32_t> near_far_host<uint32_t>(
+    const CsrGraph<uint32_t>&, VertexId, const NearFarHostOptions&);
+extern template SsspResult<float> near_far_host<float>(
+    const CsrGraph<float>&, VertexId, const NearFarHostOptions&);
+
+}  // namespace adds

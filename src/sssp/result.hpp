@@ -1,0 +1,58 @@
+// Common result and work-accounting types for all SSSP engines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "sim/trace.hpp"
+
+namespace adds {
+
+/// Work counters. `items_processed` is the paper's work-efficiency metric:
+/// the number of worklist entries whose edges were actually relaxed
+/// (work efficiency = 1 / items_processed).
+struct WorkStats {
+  uint64_t items_processed = 0;  // vertices processed (incl. re-processing)
+  uint64_t relaxations = 0;      // edge relaxations attempted
+  uint64_t improvements = 0;     // distance updates that won
+  uint64_t stale_skipped = 0;    // popped items dropped by the stale check
+  uint64_t pushes = 0;           // worklist insertions
+  uint64_t heap_ops = 0;         // Dijkstra only
+
+  void merge(const WorkStats& o) noexcept {
+    items_processed += o.items_processed;
+    relaxations += o.relaxations;
+    improvements += o.improvements;
+    stale_skipped += o.stale_skipped;
+    pushes += o.pushes;
+    heap_ops += o.heap_ops;
+  }
+};
+
+template <WeightType W>
+struct SsspResult {
+  std::string solver;
+  std::vector<DistT<W>> dist;  // per-vertex distance (infinity = unreached)
+  WorkStats work;
+
+  double time_us = 0.0;   // modelled (virtual) execution time
+  double wall_ms = 0.0;   // real host time spent producing the result
+
+  // Engine-specific observability.
+  uint64_t supersteps = 0;                       // BSP engines
+  uint64_t window_advances = 0;                  // ADDS
+  ParallelismTrace trace{};                      // Figures 11-15
+  std::vector<std::pair<double, double>> delta_history;  // (t_us, delta)
+
+  uint64_t reached() const noexcept {
+    uint64_t n = 0;
+    for (const auto d : dist)
+      if (d != DistTraits<W>::infinity()) ++n;
+    return n;
+  }
+};
+
+}  // namespace adds

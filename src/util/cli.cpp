@@ -1,0 +1,106 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace adds {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {
+  add_flag("help", "Show this help text");
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  Opt o;
+  o.help = help;
+  o.is_flag = true;
+  o.value = "false";
+  opts_[name] = std::move(o);
+}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  Opt o;
+  o.help = help;
+  o.value = default_value;
+  opts_[name] = std::move(o);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = opts_.find(name);
+    ADDS_REQUIRE(it != opts_.end(), "unknown option --" + name);
+    Opt& o = it->second;
+    o.seen = true;
+    if (o.is_flag) {
+      o.value = has_value ? value : "true";
+    } else if (has_value) {
+      o.value = value;
+    } else {
+      ADDS_REQUIRE(i + 1 < argc, "missing value for --" + name);
+      o.value = argv[++i];
+    }
+  }
+  if (flag("help")) {
+    std::fputs(help_text().c_str(), stdout);
+    return false;
+  }
+  return true;
+}
+
+bool CliParser::flag(const std::string& name) const {
+  auto it = opts_.find(name);
+  ADDS_REQUIRE(it != opts_.end(), "flag not declared: --" + name);
+  return it->second.value == "true" || it->second.value == "1";
+}
+
+std::string CliParser::str(const std::string& name) const {
+  auto it = opts_.find(name);
+  ADDS_REQUIRE(it != opts_.end(), "option not declared: --" + name);
+  return it->second.value;
+}
+
+int64_t CliParser::integer(const std::string& name) const {
+  const std::string v = str(name);
+  char* end = nullptr;
+  const long long out = std::strtoll(v.c_str(), &end, 10);
+  ADDS_REQUIRE(end && *end == '\0' && !v.empty(),
+               "option --" + name + " expects an integer, got '" + v + "'");
+  return out;
+}
+
+double CliParser::real(const std::string& name) const {
+  const std::string v = str(name);
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  ADDS_REQUIRE(end && *end == '\0' && !v.empty(),
+               "option --" + name + " expects a number, got '" + v + "'");
+  return out;
+}
+
+std::string CliParser::help_text() const {
+  std::string out = program_ + " — " + description_ + "\n\nOptions:\n";
+  for (const auto& [name, o] : opts_) {
+    out += "  --" + name;
+    if (!o.is_flag) out += "=<value> (default: " + o.value + ")";
+    out += "\n      " + o.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace adds

@@ -1,0 +1,52 @@
+// Minimal command-line option parsing for examples and bench binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--flag` forms, with
+// typed getters and an auto-generated --help text. Unknown options are an
+// error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adds {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Declare an option before parse(). `help` appears in --help output.
+  void add_flag(const std::string& name, const std::string& help);
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Parses argv. Returns false (after printing help) if --help was given.
+  /// Throws adds::Error on unknown options or missing values.
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  std::string str(const std::string& name) const;
+  int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+
+  /// Positional arguments left over after option parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string help_text() const;
+
+ private:
+  struct Opt {
+    std::string help;
+    std::string value;   // current value (default until parsed)
+    bool is_flag = false;
+    bool seen = false;
+  };
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Opt> opts_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace adds

@@ -1,0 +1,42 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+
+#include "util/error.hpp"
+
+namespace adds {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  out_.open(path, std::ios::out | std::ios::trunc);
+  ADDS_REQUIRE(out_.is_open(), "cannot open CSV output file: " + path);
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& cols) {
+  write_row(cols);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace adds

@@ -1,0 +1,30 @@
+// CSV emission for bench binaries: every figure bench writes its data series
+// as CSV (next to the human-readable table) so plots can be regenerated.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace adds {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws adds::Error on failure.
+  /// Creates parent directories if missing.
+  explicit CsvWriter(const std::string& path);
+
+  void write_header(const std::vector<std::string>& cols);
+  void write_row(const std::vector<std::string>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Quote a CSV field if needed.
+std::string csv_escape(const std::string& s);
+
+}  // namespace adds

@@ -1,0 +1,47 @@
+// Error handling primitives shared across the library.
+//
+// Library code throws `adds::Error` for recoverable misuse (bad files, bad
+// arguments); internal invariants use ADDS_ASSERT which aborts with a
+// location, since a broken queue-protocol invariant is never recoverable.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace adds {
+
+/// Exception type for all recoverable library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "ADDS_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace adds
+
+/// Hard invariant check; active in all build types. Queue-protocol and
+/// allocator invariants must never be compiled out: a silent violation
+/// corrupts SSSP results rather than failing loudly.
+#define ADDS_ASSERT(expr)                                             \
+  do {                                                                \
+    if (!(expr)) ::adds::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define ADDS_ASSERT_MSG(expr, msg)                                 \
+  do {                                                             \
+    if (!(expr)) ::adds::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+/// Recoverable precondition: throws adds::Error.
+#define ADDS_REQUIRE(expr, msg)                     \
+  do {                                              \
+    if (!(expr)) throw ::adds::Error(msg);          \
+  } while (0)

@@ -1,0 +1,26 @@
+// Lightweight leveled logging. Off-by-default debug channel so the MTB /
+// controller can narrate decisions during development without polluting
+// bench output.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace adds {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging to stderr with a level prefix. Thread-safe.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace adds
+
+#define ADDS_LOG_DEBUG(...) ::adds::logf(::adds::LogLevel::kDebug, __VA_ARGS__)
+#define ADDS_LOG_INFO(...) ::adds::logf(::adds::LogLevel::kInfo, __VA_ARGS__)
+#define ADDS_LOG_WARN(...) ::adds::logf(::adds::LogLevel::kWarn, __VA_ARGS__)
+#define ADDS_LOG_ERROR(...) ::adds::logf(::adds::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,136 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace adds {
+
+void RunningStat::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::merge(const RunningStat& o) noexcept {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const size_t n = n_ + o.n_;
+  m2_ += o.m2_ + delta * delta * double(n_) * double(o.n_) / double(n);
+  mean_ += delta * double(o.n_) / double(n);
+  n_ = n;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) {
+    ADDS_ASSERT_MSG(x > 0.0, "geomean requires positive inputs");
+    acc += std::log(x);
+  }
+  return std::exp(acc / double(xs.size()));
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / double(xs.size());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = (p / 100.0) * double(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - double(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+BinnedDistribution::BinnedDistribution(std::vector<double> edges)
+    : edges_(std::move(edges)), counts_(edges_.size() + 1, 0) {
+  ADDS_ASSERT(!edges_.empty());
+  for (size_t i = 1; i < edges_.size(); ++i)
+    ADDS_ASSERT_MSG(edges_[i - 1] < edges_[i], "bin edges must increase");
+}
+
+void BinnedDistribution::add(double x) noexcept {
+  size_t bin = 0;
+  while (bin < edges_.size() && x >= edges_[bin]) ++bin;
+  ++counts_[bin];
+  ++total_;
+}
+
+int BinnedDistribution::percent(size_t bin) const noexcept {
+  if (total_ == 0) return 0;
+  return static_cast<int>(
+      std::lround(100.0 * double(counts_[bin]) / double(total_)));
+}
+
+namespace {
+std::string trim_num(double v) {
+  // "2" not "2.0"; "0.9" not "0.90".
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+}  // namespace
+
+std::string BinnedDistribution::label(size_t bin) const {
+  if (bin == 0) return "<" + trim_num(edges_.front()) + "x";
+  if (bin == edges_.size()) return ">=" + trim_num(edges_.back()) + "x";
+  return trim_num(edges_[bin - 1]) + "x-" + trim_num(edges_[bin]) + "x";
+}
+
+std::string BinnedDistribution::cell(size_t bin) const {
+  return std::to_string(counts_[bin]) + " (" + std::to_string(percent(bin)) +
+         "%)";
+}
+
+BinnedDistribution BinnedDistribution::speedup_bins() {
+  return BinnedDistribution({0.9, 1.1, 1.5, 2.0, 3.0, 5.0});
+}
+
+BinnedDistribution BinnedDistribution::work_bins() {
+  return BinnedDistribution({0.25, 0.5, 0.75, 1.0, 1.5, 3.0});
+}
+
+Log2Histogram::Log2Histogram(double lo, double hi) : lo_(lo) {
+  ADDS_ASSERT(lo > 0 && hi > lo);
+  size_t bins = 2;  // <lo and >=hi
+  for (double v = lo; v < hi; v *= 2) ++bins;
+  counts_.assign(bins, 0);
+}
+
+void Log2Histogram::add(double x) noexcept {
+  size_t bin = 0;
+  double edge = lo_;
+  while (bin + 1 < counts_.size() && x >= edge) {
+    ++bin;
+    edge *= 2;
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+std::string Log2Histogram::label(size_t bin) const {
+  if (bin == 0) return "<" + trim_num(lo_);
+  double lo = lo_ * std::pow(2.0, double(bin - 1));
+  if (bin == counts_.size() - 1) return ">=" + trim_num(lo);
+  return trim_num(lo) + "-" + trim_num(lo * 2);
+}
+
+}  // namespace adds

@@ -1,0 +1,93 @@
+// Streaming statistics, histograms and the bucketed-distribution tables the
+// paper's evaluation section is built from (Tables 3, 4, 5 are all
+// "distribution of a ratio over named bins" tables).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace adds {
+
+/// Single-pass mean/min/max/variance accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStat& other) noexcept;
+
+  size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Geometric mean of a set of positive ratios. The paper's "average speedup
+/// of 2.9x" style numbers are reported this way (and we report both).
+double geomean(const std::vector<double>& xs);
+
+/// Arithmetic mean.
+double mean(const std::vector<double>& xs);
+
+/// p in [0,100]; linear interpolation between closest ranks.
+double percentile(std::vector<double> xs, double p);
+
+/// A distribution over half-open ratio bins, e.g. Table 3's
+/// {<0.9, 0.9-1.1, 1.1-1.5, 1.5-2, 2-3, 3-5, >=5}. Bin i covers
+/// [edges[i-1], edges[i]); bin 0 is (-inf, edges[0]); the last bin is
+/// [edges.back(), +inf).
+class BinnedDistribution {
+ public:
+  /// `edges` must be strictly increasing and non-empty.
+  explicit BinnedDistribution(std::vector<double> edges);
+
+  void add(double x) noexcept;
+
+  size_t num_bins() const noexcept { return counts_.size(); }
+  size_t count(size_t bin) const noexcept { return counts_[bin]; }
+  size_t total() const noexcept { return total_; }
+  /// Percentage of samples in `bin`, rounded like the paper ("24%").
+  int percent(size_t bin) const noexcept;
+  /// Human-readable label for a bin, e.g. "<0.9x", "1.5x-2x", ">=5x".
+  std::string label(size_t bin) const;
+  /// "n (p%)" cell text matching the paper's table formatting.
+  std::string cell(size_t bin) const;
+
+  /// The exact bin edges used by the paper's speedup tables (3 and 5).
+  static BinnedDistribution speedup_bins();
+  /// The exact bin edges used by the paper's work-ratio table (4).
+  static BinnedDistribution work_bins();
+
+ private:
+  std::vector<double> edges_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+/// Log2-spaced histogram for degree/diameter style summaries (Table 2).
+class Log2Histogram {
+ public:
+  Log2Histogram(double lo, double hi);
+  void add(double x) noexcept;
+  size_t num_bins() const noexcept { return counts_.size(); }
+  size_t count(size_t bin) const noexcept { return counts_[bin]; }
+  size_t total() const noexcept { return total_; }
+  std::string label(size_t bin) const;
+
+ private:
+  double lo_;
+  std::vector<size_t> counts_;  // [ <lo, lo-2lo, ..., >=hi ]
+  size_t total_ = 0;
+};
+
+}  // namespace adds

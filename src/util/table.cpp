@@ -1,0 +1,101 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace adds {
+
+void TextTable::set_header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  // Compute column widths over header + all rows.
+  size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& r) {
+    for (size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+  };
+  if (!header_.empty()) measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  std::ostringstream out;
+  auto rule = [&] {
+    out << '+';
+    for (size_t c = 0; c < cols; ++c)
+      out << std::string(width[c] + 2, '-') << '+';
+    out << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& r) {
+    out << '|';
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string();
+      out << ' ' << cell << std::string(width[c] - cell.size() + 1, ' ') << '|';
+    }
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  rule();
+  if (!header_.empty()) {
+    line(header_);
+    rule();
+  }
+  for (const auto& r : rows_) line(r);
+  rule();
+  for (const auto& f : footers_) out << f << '\n';
+  return out.str();
+}
+
+void TextTable::print() const {
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string fmt_ratio(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", x);
+  return buf;
+}
+
+std::string fmt_time_us(double us) {
+  char buf[48];
+  if (us < 1e3)
+    std::snprintf(buf, sizeof(buf), "%.1f us", us);
+  else if (us < 1e6)
+    std::snprintf(buf, sizeof(buf), "%.2f ms", us / 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%.3f s", us / 1e6);
+  return buf;
+}
+
+std::string fmt_count(uint64_t n) {
+  char raw[32];
+  std::snprintf(raw, sizeof(raw), "%" PRIu64, n);
+  std::string s(raw);
+  std::string out;
+  out.reserve(s.size() + s.size() / 3);
+  size_t lead = s.size() % 3 == 0 ? 3 : s.size() % 3;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out += ',';
+    out += s[i];
+  }
+  return out;
+}
+
+std::string fmt_double(double x, int prec) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, x);
+  return buf;
+}
+
+}  // namespace adds

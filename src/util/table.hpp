@@ -1,0 +1,37 @@
+// Plain-text table rendering for bench output. Every bench binary prints the
+// paper's tables in the paper's row/column layout using this formatter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adds {
+
+/// A simple column-aligned ASCII table with an optional title and footer.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+  void add_footer(std::string line) { footers_.push_back(std::move(line)); }
+
+  /// Render with box-drawing rules and column alignment.
+  std::string render() const;
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> footers_;
+};
+
+/// Format helpers used across bench binaries.
+std::string fmt_ratio(double x);          // "2.93x"
+std::string fmt_time_us(double us);       // "123.4 us" / "1.23 ms" / "2.1 s"
+std::string fmt_count(uint64_t n);        // "1,234,567"
+std::string fmt_double(double x, int prec = 3);
+
+}  // namespace adds

@@ -1,0 +1,25 @@
+// Wall-clock timing helper. Bench binaries report *virtual* (modeled) time
+// for GPU algorithms; WallTimer is used only for harness self-reporting and
+// for the real host-thread engines.
+#pragma once
+
+#include <chrono>
+
+namespace adds {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double elapsed_sec() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_sec() * 1e3; }
+  double elapsed_us() const { return elapsed_sec() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace adds

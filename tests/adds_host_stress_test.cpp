@@ -1,0 +1,124 @@
+// Host-thread ADDS engine stress: the full MTB/WTB protocol under real
+// concurrency across worker counts, window sizes, tiny pool blocks (forced
+// wrap-around and allocation back-pressure) and the dynamic-Δ controller.
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sssp/adds.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace adds {
+namespace {
+
+struct HostCase {
+  uint32_t workers;
+  uint32_t buckets;
+  uint32_t block_words;
+  bool dynamic_delta;
+};
+
+std::string case_name(const testing::TestParamInfo<HostCase>& info) {
+  const auto& c = info.param;
+  return "w" + std::to_string(c.workers) + "_b" + std::to_string(c.buckets) +
+         "_blk" + std::to_string(c.block_words) +
+         (c.dynamic_delta ? "_dyn" : "_static");
+}
+
+class AddsHostStress : public testing::TestWithParam<HostCase> {};
+
+TEST_P(AddsHostStress, MatchesDijkstraOnMixedGraphs) {
+  const auto& c = GetParam();
+  AddsHostOptions opts;
+  opts.num_workers = c.workers;
+  opts.num_buckets = c.buckets;
+  opts.block_words = c.block_words;
+  opts.dynamic_delta = c.dynamic_delta;
+  opts.chunk_items = 32;
+
+  const WeightParams wp{WeightDist::kUniform, 500};
+  const std::vector<IntGraph> graphs = {
+      make_grid_road<uint32_t>(30, 30, wp, 1),
+      make_rmat<uint32_t>(10, 8, 0.57, 0.19, 0.19, wp, 2),
+      make_clique_chain<uint32_t>(20, 12, wp, 3),
+  };
+  for (const auto& g : graphs) {
+    const VertexId source = pick_source(g);
+    const auto res = adds_host(g, source, opts);
+    const auto oracle = dijkstra(g, source);
+    const auto rep = validate_distances(res, oracle);
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    EXPECT_GE(res.work.items_processed, oracle.work.items_processed);
+  }
+}
+
+std::vector<HostCase> host_cases() {
+  return {
+      {1, 4, 1024, false},  {2, 4, 1024, false}, {4, 4, 1024, false},
+      {8, 4, 1024, false},  {4, 2, 1024, false}, {4, 8, 1024, false},
+      {4, 32, 1024, false}, {4, 4, 256, false},  // tiny blocks: heavy wrap
+      {4, 4, 64, false},                         // extreme wrap pressure
+      {4, 8, 1024, true},                        // dynamic delta on host
+      {2, 32, 256, true},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, AddsHostStress,
+                         testing::ValuesIn(host_cases()), case_name);
+
+TEST(AddsHost, RepeatedRunsAreAllCorrect) {
+  // Re-run the same instance many times to expose interleaving-dependent
+  // bugs (different thread schedules each run).
+  const auto g = make_rmat<uint32_t>(
+      9, 8, 0.57, 0.19, 0.19, {WeightDist::kUniform, 100}, 7);
+  const VertexId source = pick_source(g);
+  const auto oracle = dijkstra(g, source);
+  AddsHostOptions opts;
+  opts.num_workers = 4;
+  opts.chunk_items = 16;
+  opts.block_words = 256;
+  for (int run = 0; run < 20; ++run) {
+    const auto res = adds_host(g, source, opts);
+    ASSERT_TRUE(validate_distances(res, oracle).ok()) << "run " << run;
+  }
+}
+
+TEST(AddsHost, ManualPoolSizingWorks) {
+  const auto g =
+      make_grid_road<uint32_t>(20, 20, {WeightDist::kUniform, 100}, 9);
+  AddsHostOptions opts;
+  opts.pool_blocks = 256;
+  opts.block_words = 64;
+  opts.num_workers = 2;
+  const auto res = adds_host(g, 0, opts);
+  const auto oracle = dijkstra(g, VertexId{0});
+  EXPECT_TRUE(validate_distances(res, oracle).ok());
+}
+
+TEST(AddsHost, ReportsWallClockAndDeltaHistory) {
+  const auto g =
+      make_grid_road<uint32_t>(25, 25, {WeightDist::kUniform, 100}, 4);
+  AddsHostOptions opts;
+  opts.num_workers = 2;
+  opts.dynamic_delta = true;
+  const auto res = adds_host(g, 0, opts);
+  EXPECT_GT(res.wall_ms, 0.0);
+  EXPECT_GE(res.delta_history.size(), 1u);
+  EXPECT_EQ(res.solver, "adds-host");
+}
+
+TEST(AddsHost, SingleWorkerDegeneratesGracefully) {
+  // One worker serializes processing; the protocol must still terminate and
+  // be exact.
+  const auto g = make_chain<uint32_t>(2000, {WeightDist::kUniform, 50}, 2);
+  AddsHostOptions opts;
+  opts.num_workers = 1;
+  opts.num_buckets = 2;
+  const auto res = adds_host(g, 0, opts);
+  const auto oracle = dijkstra(g, VertexId{0});
+  EXPECT_TRUE(validate_distances(res, oracle).ok());
+}
+
+}  // namespace
+}  // namespace adds

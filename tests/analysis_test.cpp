@@ -1,0 +1,142 @@
+// Graph analysis tests: BFS, reachability, pseudo-diameter, source
+// selection, summaries, corpus integrity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+#include "graph/corpus.hpp"
+#include "graph/generators.hpp"
+
+namespace adds {
+namespace {
+
+const WeightParams kUni{WeightDist::kUniform, 100};
+
+TEST(Analysis, BfsHopsOnChain) {
+  const auto g = make_chain<uint32_t>(10, kUni, 1);
+  const auto hops = bfs_hops(g, 0);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(hops[v], v);
+}
+
+TEST(Analysis, BfsUnreachedMarked) {
+  GraphBuilder<uint32_t> b{4};
+  b.add_undirected_edge(0, 1, 1);
+  const auto g = b.build();
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(hops[0], 0u);
+  EXPECT_EQ(hops[1], 1u);
+  EXPECT_EQ(hops[2], kUnreachedHops);
+  EXPECT_EQ(hops[3], kUnreachedHops);
+  EXPECT_EQ(count_reachable(g, 0), 2u);
+}
+
+TEST(Analysis, PseudoDiameterChain) {
+  const auto g = make_chain<uint32_t>(100, kUni, 1);
+  // Double sweep finds the true diameter on a path even from the middle.
+  EXPECT_EQ(pseudo_diameter(g, 50), 99u);
+}
+
+TEST(Analysis, PseudoDiameterGrid) {
+  const auto g = make_grid_road<uint32_t>(10, 10, kUni, 1);
+  const auto d = pseudo_diameter(g);
+  EXPECT_GE(d, 18u);  // manhattan corner-to-corner
+  EXPECT_LE(d, 19u);
+}
+
+TEST(Analysis, PickSourceFindsWellConnectedVertex) {
+  // Vertex 0 is isolated; the rest form a clique.
+  GraphBuilder<uint32_t> b{10};
+  for (VertexId u = 1; u < 10; ++u)
+    for (VertexId v = u + 1; v < 10; ++v) b.add_undirected_edge(u, v, 1);
+  const auto g = b.build();
+  const VertexId s = pick_source(g);
+  EXPECT_NE(s, 0u);
+  EXPECT_EQ(count_reachable(g, s), 9u);
+}
+
+TEST(Analysis, SummarizeFields) {
+  const auto g = make_grid_road<uint32_t>(8, 8, kUni, 2);
+  const auto s = summarize(g);
+  EXPECT_EQ(s.num_vertices, 64u);
+  EXPECT_EQ(s.num_edges, g.num_edges());
+  EXPECT_DOUBLE_EQ(s.avg_degree, g.average_degree());
+  EXPECT_EQ(s.max_degree, 4u);
+  EXPECT_GT(s.avg_weight, 0.0);
+  EXPECT_DOUBLE_EQ(s.reach_fraction, 1.0);
+  EXPECT_GE(s.diameter, 14u);
+}
+
+TEST(Corpus, FullTierHas226Graphs) {
+  const auto specs = corpus_specs(CorpusTier::kFull);
+  EXPECT_EQ(specs.size(), 226u) << "the paper evaluates 226 graphs";
+}
+
+TEST(Corpus, NamesAreUnique) {
+  const auto specs = corpus_specs(CorpusTier::kFull);
+  std::set<std::string> names;
+  for (const auto& s : specs) {
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate: " << s.name;
+  }
+}
+
+TEST(Corpus, SeedsAreUnique) {
+  const auto specs = corpus_specs(CorpusTier::kFull);
+  std::set<uint64_t> seeds;
+  for (const auto& s : specs) seeds.insert(s.seed);
+  EXPECT_EQ(seeds.size(), specs.size());
+}
+
+TEST(Corpus, TiersAreOrderedBySize) {
+  EXPECT_LT(corpus_specs(CorpusTier::kSmoke).size(),
+            corpus_specs(CorpusTier::kDefault).size());
+  EXPECT_LT(corpus_specs(CorpusTier::kDefault).size(),
+            corpus_specs(CorpusTier::kFull).size());
+}
+
+TEST(Corpus, SmokeGraphsAreSmall) {
+  for (const auto& spec : corpus_specs(CorpusTier::kSmoke)) {
+    const auto g = generate_graph<uint32_t>(spec);
+    EXPECT_LE(g.num_vertices(), 10000u) << spec.name;
+    EXPECT_GT(g.num_edges(), 0u) << spec.name;
+  }
+}
+
+TEST(Corpus, NamedAnaloguesGenerate) {
+  for (const auto& spec : {road_usa_like(), benelechi_like(), msdoor_like(),
+                           rmat22_like(), cbig_like()}) {
+    const auto g = generate_graph<uint32_t>(spec);
+    EXPECT_GT(g.num_edges(), 100000u) << spec.name;
+    const VertexId s = pick_source(g);
+    EXPECT_GT(double(count_reachable(g, s)), 0.5 * double(g.num_vertices()))
+        << spec.name;
+  }
+}
+
+TEST(Corpus, ParseTier) {
+  EXPECT_EQ(parse_tier("smoke"), CorpusTier::kSmoke);
+  EXPECT_EQ(parse_tier("default"), CorpusTier::kDefault);
+  EXPECT_EQ(parse_tier("full"), CorpusTier::kFull);
+  EXPECT_THROW(parse_tier("bogus"), Error);
+  EXPECT_STREQ(tier_name(CorpusTier::kFull), "full");
+}
+
+TEST(Corpus, MostGraphsMeetReachabilityCriterion) {
+  // The paper requires >= 75% reachability; spot-check a sample of the
+  // default tier (every 6th graph keeps this test fast).
+  const auto specs = corpus_specs(CorpusTier::kDefault);
+  size_t checked = 0, ok = 0;
+  for (size_t i = 0; i < specs.size(); i += 6) {
+    const auto g = generate_graph<uint32_t>(specs[i]);
+    const VertexId s = pick_source(g);
+    ++checked;
+    if (double(count_reachable(g, s)) >= 0.70 * double(g.num_vertices()))
+      ++ok;
+  }
+  EXPECT_GE(ok * 10, checked * 9)
+      << "fewer than 90% of sampled corpus graphs meet reachability";
+}
+
+}  // namespace
+}  // namespace adds

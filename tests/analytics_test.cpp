@@ -1,0 +1,111 @@
+// Analytics layer tests: closeness, eccentricity, distance histograms,
+// connected components, and sampled average path length.
+#include <gtest/gtest.h>
+
+#include "core/analytics.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace adds {
+namespace {
+
+TEST(Analytics, ClosenessOnPath) {
+  // Path 0-1-2 with unit weights, from vertex 0: distances {0,1,2}.
+  GraphBuilder<uint32_t> b{3};
+  b.add_undirected_edge(0, 1, 1);
+  b.add_undirected_edge(1, 2, 1);
+  const auto g = b.build();
+  const auto res = dijkstra(g, VertexId{0});
+  EXPECT_DOUBLE_EQ(closeness_centrality<uint32_t>(res.dist, 0), 2.0 / 3.0);
+  // Middle vertex is more central.
+  const auto mid = dijkstra(g, VertexId{1});
+  EXPECT_DOUBLE_EQ(closeness_centrality<uint32_t>(mid.dist, 1), 2.0 / 2.0);
+}
+
+TEST(Analytics, ClosenessDegenerateCases) {
+  std::vector<uint64_t> isolated{0, DistTraits<uint32_t>::infinity()};
+  EXPECT_DOUBLE_EQ(closeness_centrality<uint32_t>(isolated, 0), 0.0);
+}
+
+TEST(Analytics, Eccentricity) {
+  std::vector<uint64_t> dist{0, 5, 17, DistTraits<uint32_t>::infinity()};
+  EXPECT_DOUBLE_EQ(eccentricity<uint32_t>(dist), 17.0);
+  std::vector<uint64_t> zeros{0};
+  EXPECT_DOUBLE_EQ(eccentricity<uint32_t>(zeros), 0.0);
+}
+
+TEST(Analytics, DistanceHistogramPartitionsReachable) {
+  std::vector<uint64_t> dist{0, 10, 20, 90, 100,
+                             DistTraits<uint32_t>::infinity()};
+  const auto h = distance_histogram<uint32_t>(dist, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0] + h[1], 5u);  // infinity excluded
+  EXPECT_EQ(h[0], 3u);         // 0, 10, 20 in [0, 50)
+  EXPECT_EQ(h[1], 2u);         // 90, 100
+}
+
+TEST(Analytics, DistanceHistogramDegenerate) {
+  std::vector<uint64_t> dist{0, 0, DistTraits<uint32_t>::infinity()};
+  const auto h = distance_histogram<uint32_t>(dist, 4);
+  EXPECT_EQ(h[0], 2u);
+}
+
+TEST(Analytics, ConnectedComponentsOnForest) {
+  GraphBuilder<uint32_t> b{7};
+  b.add_undirected_edge(0, 1, 1);
+  b.add_undirected_edge(1, 2, 1);
+  b.add_edge(3, 4, 1);  // directed edge still connects a component
+  // 5, 6 isolated
+  const auto g = b.build();
+  const auto [comp, sizes] = connected_components(g);
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[6]);
+  std::vector<uint64_t> sorted(sizes);
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<uint64_t>{1, 1, 2, 3}));
+}
+
+TEST(Analytics, ComponentsCoverAllVertices) {
+  const auto g = make_erdos_renyi<uint32_t>(
+      2000, 1.5, {WeightDist::kUniform, 10}, 6);  // sparse: many components
+  const auto [comp, sizes] = connected_components(g);
+  uint64_t total = 0;
+  for (const auto s : sizes) total += s;
+  EXPECT_EQ(total, g.num_vertices());
+  for (const auto c : comp) EXPECT_LT(c, sizes.size());
+}
+
+TEST(Analytics, AvgPathLengthSamplingIsDeterministic) {
+  const auto g =
+      make_grid_road<uint32_t>(20, 20, {WeightDist::kUniform, 10}, 4);
+  EngineConfig cfg;
+  const auto a =
+      estimate_avg_path_length<uint32_t>(g, SolverKind::kAdds, cfg, 3, 42);
+  const auto b =
+      estimate_avg_path_length<uint32_t>(g, SolverKind::kAdds, cfg, 3, 42);
+  EXPECT_EQ(a.ssps_run, 3u);
+  EXPECT_DOUBLE_EQ(a.mean_distance, b.mean_distance);
+  EXPECT_GT(a.mean_distance, 0.0);
+  EXPECT_GT(a.mean_eccentricity, a.mean_distance);
+  EXPECT_NEAR(a.mean_reach_fraction, 1.0, 1e-9);  // grid is connected
+}
+
+TEST(Analytics, AvgPathLengthAgreesAcrossSolvers) {
+  const auto g =
+      make_erdos_renyi<uint32_t>(1500, 8, {WeightDist::kUniform, 100}, 9);
+  EngineConfig cfg;
+  const auto a = estimate_avg_path_length<uint32_t>(g, SolverKind::kDijkstra,
+                                                    cfg, 2, 7);
+  const auto b =
+      estimate_avg_path_length<uint32_t>(g, SolverKind::kAdds, cfg, 2, 7);
+  EXPECT_DOUBLE_EQ(a.mean_distance, b.mean_distance);
+  EXPECT_DOUBLE_EQ(a.mean_eccentricity, b.mean_eccentricity);
+}
+
+}  // namespace
+}  // namespace adds

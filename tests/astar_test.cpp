@@ -1,0 +1,116 @@
+// A* point-to-point tests: exactness vs Dijkstra, admissible-heuristic
+// work savings, path validity, and degenerate cases.
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "sssp/astar.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace adds {
+namespace {
+
+TEST(AStar, ExactOnSmallGraph) {
+  GraphBuilder<uint32_t> b{4};
+  b.add_undirected_edge(0, 1, 1);
+  b.add_undirected_edge(1, 2, 1);
+  b.add_undirected_edge(0, 3, 1);
+  b.add_undirected_edge(3, 2, 5);
+  const auto g = b.build();
+  const auto r = point_to_point_dijkstra(g, 0, 2);
+  ASSERT_TRUE(r.reachable);
+  EXPECT_EQ(r.distance, 2u);
+  ASSERT_EQ(r.path.size(), 3u);
+  EXPECT_EQ(r.path[1], 1u);
+}
+
+TEST(AStar, UnreachableTarget) {
+  GraphBuilder<uint32_t> b{3};
+  b.add_undirected_edge(0, 1, 1);
+  const auto g = b.build();
+  const auto r = point_to_point_dijkstra(g, 0, 2);
+  EXPECT_FALSE(r.reachable);
+  EXPECT_TRUE(r.path.empty());
+}
+
+TEST(AStar, SourceEqualsTarget) {
+  GraphBuilder<uint32_t> b{2};
+  b.add_undirected_edge(0, 1, 3);
+  const auto g = b.build();
+  const auto r = point_to_point_dijkstra(g, 1, 1);
+  ASSERT_TRUE(r.reachable);
+  EXPECT_EQ(r.distance, 0u);
+  ASSERT_EQ(r.path.size(), 1u);
+}
+
+class AStarGrid : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(AStarGrid, MatchesDijkstraAndSavesWork) {
+  const uint64_t width = 40;
+  const auto g = make_grid_road<uint32_t>(
+      width, width, {WeightDist::kUniform, 100}, GetParam());
+  // Find the true minimum edge weight for an admissible heuristic.
+  uint32_t min_w = ~0u;
+  for (const auto w : g.weights()) min_w = std::min(min_w, w);
+
+  const VertexId source = 0;
+  // Route to the grid centre: a corner target has zero manhattan detour
+  // everywhere, which makes any admissible grid heuristic non-pruning.
+  const VertexId target = VertexId((width / 2) * width + width / 2);
+  const auto full = dijkstra(g, source);
+
+  const GridManhattanHeuristic h(width, target, min_w);
+  const auto goal_directed = astar(g, source, target, h);
+  const auto undirected = point_to_point_dijkstra(g, source, target);
+
+  ASSERT_TRUE(goal_directed.reachable);
+  EXPECT_EQ(goal_directed.distance, full.dist[target]);
+  EXPECT_EQ(undirected.distance, full.dist[target]);
+
+  // The path must be a real path with the right total weight.
+  uint64_t total = 0;
+  for (size_t i = 0; i + 1 < goal_directed.path.size(); ++i) {
+    bool found = false;
+    for (EdgeIndex e = g.edge_begin(goal_directed.path[i]);
+         e < g.edge_end(goal_directed.path[i]); ++e) {
+      if (g.edge_target(e) == goal_directed.path[i + 1]) {
+        total += g.edge_weight(e);
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found);
+  }
+  EXPECT_EQ(total, goal_directed.distance);
+
+  // Goal direction must prune strictly on a centre-target grid query.
+  EXPECT_LT(goal_directed.work.items_processed,
+            undirected.work.items_processed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AStarGrid, testing::Values(1u, 2u, 3u),
+                         [](const auto& param_info) {
+                           return "seed_" +
+                                  std::to_string(param_info.param);
+                         });
+
+TEST(AStar, FloatWeightsExact) {
+  const auto g =
+      make_grid_road<float>(20, 20, {WeightDist::kUniform, 50}, 5);
+  const auto full = dijkstra(g, VertexId{0});
+  const auto r = point_to_point_dijkstra(g, 0, 399);
+  ASSERT_TRUE(r.reachable);
+  EXPECT_EQ(r.distance, full.dist[399]);
+}
+
+TEST(AStar, EndpointsValidated) {
+  GraphBuilder<uint32_t> b{2};
+  b.add_edge(0, 1, 1);
+  const auto g = b.build();
+  EXPECT_THROW(point_to_point_dijkstra(g, 0, 9), Error);
+  EXPECT_THROW(point_to_point_dijkstra(g, 9, 0), Error);
+}
+
+}  // namespace
+}  // namespace adds

@@ -1,0 +1,77 @@
+// BlockPool (FIFO block allocator) unit tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "queue/block_pool.hpp"
+
+namespace adds {
+namespace {
+
+TEST(BlockPool, AllocatesDistinctBlocks) {
+  BlockPool pool(8, 64);
+  std::vector<BlockId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(pool.allocate());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+  EXPECT_EQ(pool.free_blocks(), 0u);
+  EXPECT_EQ(pool.blocks_in_use(), 8u);
+}
+
+TEST(BlockPool, ExhaustionThrows) {
+  BlockPool pool(2, 64);
+  pool.allocate();
+  pool.allocate();
+  EXPECT_THROW(pool.allocate(), Error);
+}
+
+TEST(BlockPool, ReleaseMakesBlockReusable) {
+  BlockPool pool(1, 64);
+  const BlockId a = pool.allocate();
+  pool.release(a);
+  const BlockId b = pool.allocate();
+  EXPECT_EQ(a, b);
+}
+
+TEST(BlockPool, PeakTracksHighWaterMark) {
+  BlockPool pool(4, 64);
+  const auto a = pool.allocate();
+  const auto b = pool.allocate();
+  pool.release(a);
+  pool.release(b);
+  pool.allocate();
+  EXPECT_EQ(pool.peak_blocks_in_use(), 2u);
+}
+
+TEST(BlockPool, BlockDataIsIsolatedAndStable) {
+  BlockPool pool(3, 64);
+  const BlockId a = pool.allocate();
+  const BlockId b = pool.allocate();
+  uint32_t* da = pool.block_data(a);
+  uint32_t* db = pool.block_data(b);
+  ASSERT_NE(da, db);
+  for (uint32_t i = 0; i < 64; ++i) {
+    da[i] = 100 + i;
+    db[i] = 900 + i;
+  }
+  for (uint32_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(da[i], 100 + i);
+    EXPECT_EQ(db[i], 900 + i);
+  }
+}
+
+TEST(BlockPool, NonPowerOfTwoBlockWordsThrows) {
+  EXPECT_THROW(BlockPool(4, 100), Error);
+  EXPECT_THROW(BlockPool(0, 64), Error);
+}
+
+TEST(BlockPoolDeathTest, DoubleFreeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  BlockPool pool(2, 64);
+  const BlockId a = pool.allocate();
+  pool.release(a);
+  EXPECT_DEATH(pool.release(a), "double free");
+}
+
+}  // namespace
+}  // namespace adds

@@ -1,0 +1,154 @@
+// Virtual machine model tests: spec presets (Table 1), scaling, throughput
+// curves, BSP timeline accumulation, and parallelism traces.
+#include <gtest/gtest.h>
+
+#include "sim/bsp_timeline.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/gpu_spec.hpp"
+#include "sim/trace.hpp"
+
+namespace adds {
+namespace {
+
+TEST(GpuSpec, PresetsMatchPaperTable1) {
+  const auto ti = GpuSpec::rtx2080ti();
+  EXPECT_EQ(ti.sm_count, 68u);
+  EXPECT_EQ(ti.threads_per_sm, 1024u);
+  EXPECT_DOUBLE_EQ(ti.clock_ghz, 1.75);
+  EXPECT_DOUBLE_EQ(ti.dram_bandwidth_gbps, 616.0);
+  EXPECT_EQ(ti.hardware_threads(), 68u * 1024u);
+
+  const auto ga = GpuSpec::rtx3090();
+  EXPECT_EQ(ga.sm_count, 82u);
+  EXPECT_EQ(ga.threads_per_sm, 1536u);
+  EXPECT_DOUBLE_EQ(ga.dram_bandwidth_gbps, 936.0);
+  EXPECT_GT(ga.hardware_threads(), ti.hardware_threads());
+}
+
+TEST(GpuSpec, ScaledShrinksProportionally) {
+  const auto ti = GpuSpec::rtx2080ti();
+  const auto quarter = ti.scaled(0.25);
+  EXPECT_EQ(quarter.sm_count, 17u);
+  EXPECT_DOUBLE_EQ(quarter.dram_bandwidth_gbps, 154.0);
+  EXPECT_EQ(quarter.threads_per_sm, ti.threads_per_sm);  // unchanged
+  EXPECT_NE(quarter.name, ti.name);
+}
+
+TEST(GpuSpec, WorkerBlocksLeaveRoomForManager) {
+  const auto ti = GpuSpec::rtx2080ti();
+  EXPECT_EQ(ti.worker_blocks(256), ti.hardware_threads() / 256 - 1);
+  GpuSpec tiny = ti;
+  tiny.sm_count = 1;
+  tiny.threads_per_sm = 256;
+  EXPECT_EQ(tiny.worker_blocks(256), 1u);  // never zero
+}
+
+TEST(CostModel, EdgeRateIsLatencyBoundThenCapped) {
+  const GpuCostModel m(GpuSpec::rtx2080ti());
+  // Few threads: latency bound, linear in T.
+  EXPECT_NEAR(m.edge_rate(550), 100.0, 1.0);  // 550 / 5.5us
+  // Many threads: bandwidth cap.
+  EXPECT_DOUBLE_EQ(m.edge_rate(1e9), m.cap_edges_per_us());
+  // Saturation point is where the two regimes meet.
+  EXPECT_NEAR(m.edge_rate(m.saturation_threads()), m.cap_edges_per_us(),
+              1e-6);
+}
+
+TEST(CostModel, BandwidthCapScalesWithBoard) {
+  const GpuCostModel ti(GpuSpec::rtx2080ti());
+  const GpuCostModel ga(GpuSpec::rtx3090());
+  EXPECT_NEAR(ga.cap_edges_per_us() / ti.cap_edges_per_us(), 936.0 / 616.0,
+              1e-9);
+}
+
+TEST(CostModel, BspKernelHasLaunchFloorAndLatencyFloor) {
+  const GpuCostModel m(GpuSpec::rtx2080ti());
+  EXPECT_DOUBLE_EQ(m.bsp_kernel_us(0, 0), m.kernel_launch_us);
+  // One edge still pays launch + one latency round.
+  EXPECT_NEAR(m.bsp_kernel_us(1, 1), m.kernel_launch_us + m.edge_latency_us,
+              1e-9);
+}
+
+TEST(CostModel, BspKernelMonotoneInEdges) {
+  const GpuCostModel m(GpuSpec::rtx2080ti());
+  double prev = 0.0;
+  for (uint64_t edges = 1; edges <= uint64_t(1) << 26; edges <<= 2) {
+    const double t = m.bsp_kernel_us(edges, edges);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CostModel, CpuModelCalibration) {
+  const CpuCostModel cpu(CpuSpec::i9_7900x());
+  EXPECT_EQ(cpu.spec().threads, 20u);
+  // Delta-stepping on all threads must beat one serial core for the same
+  // relaxation count but by less than the thread count (imperfect scaling).
+  const double serial = cpu.dijkstra_us(1'000'000, 0);
+  const double parallel = cpu.delta_stepping_us(1'000'000, 100);
+  EXPECT_LT(parallel, serial);
+  EXPECT_GT(parallel, serial / 20.0);
+}
+
+TEST(BspTimeline, AccumulatesKernelsAndScans) {
+  const GpuCostModel m(GpuSpec::rtx2080ti());
+  BspTimeline tl(m);
+  EXPECT_DOUBLE_EQ(tl.now_us(), 0.0);
+  tl.add_kernel(100, 1000);
+  const double after_kernel = tl.now_us();
+  EXPECT_NEAR(after_kernel, m.bsp_kernel_us(100, 1000), 1e-9);
+  tl.add_scan(5000);
+  EXPECT_NEAR(tl.now_us(), after_kernel + m.scan_pass_us(5000), 1e-9);
+  tl.add_overhead_us(3.0);
+  EXPECT_NEAR(tl.now_us(), after_kernel + m.scan_pass_us(5000) + 3.0, 1e-9);
+  EXPECT_EQ(tl.kernels_launched(), 2u);
+  EXPECT_FALSE(tl.trace().empty());
+}
+
+TEST(Trace, MeanAndPeak) {
+  ParallelismTrace t;
+  t.record(0, 10);
+  t.record(10, 30);   // 10 units of parallelism for 10us
+  t.record(20, 0);    // 30 for 10us
+  EXPECT_DOUBLE_EQ(t.peak_parallelism(), 30.0);
+  EXPECT_DOUBLE_EQ(t.mean_parallelism(), 20.0);
+  EXPECT_DOUBLE_EQ(t.duration_us(), 20.0);
+}
+
+TEST(Trace, MinDtMergesKeepingMax) {
+  ParallelismTrace t(5.0);
+  t.record(0, 10);
+  t.record(1, 50);  // merged into previous sample, max kept
+  t.record(2, 20);  // merged
+  ASSERT_EQ(t.samples().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.samples()[0].edges_in_flight, 50.0);
+  t.record(7, 5);  // far enough: new sample
+  EXPECT_EQ(t.samples().size(), 2u);
+}
+
+TEST(Trace, ResampleStepInterpolates) {
+  ParallelismTrace t;
+  t.record(0, 10);
+  t.record(10, 20);
+  t.record(20, 30);
+  const auto rs = t.resample(5);
+  ASSERT_EQ(rs.size(), 5u);
+  EXPECT_DOUBLE_EQ(rs[0].t_us, 0.0);
+  EXPECT_DOUBLE_EQ(rs[0].edges_in_flight, 10.0);
+  EXPECT_DOUBLE_EQ(rs[2].t_us, 10.0);
+  EXPECT_DOUBLE_EQ(rs[2].edges_in_flight, 20.0);
+  EXPECT_DOUBLE_EQ(rs[4].edges_in_flight, 30.0);
+}
+
+TEST(Trace, ResampleEdgeCases) {
+  ParallelismTrace empty;
+  EXPECT_TRUE(empty.resample(10).empty());
+  ParallelismTrace one;
+  one.record(5, 42);
+  const auto rs = one.resample(3);
+  ASSERT_EQ(rs.size(), 3u);
+  for (const auto& s : rs) EXPECT_DOUBLE_EQ(s.edges_in_flight, 42.0);
+}
+
+}  // namespace
+}  // namespace adds

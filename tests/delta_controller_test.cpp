@@ -1,0 +1,143 @@
+// Dynamic-Δ controller tests (paper §5.5): clip guard, settle timing,
+// grow/shrink steering, fine-grained active-bucket control, ablation mode.
+#include <gtest/gtest.h>
+
+#include "sssp/delta_controller.hpp"
+#include "util/error.hpp"
+
+namespace adds {
+namespace {
+
+DeltaControllerOptions opts_with(uint32_t settle = 2,
+                                 uint32_t settle_updates = 10) {
+  DeltaControllerOptions o;
+  o.settle_head_switches = settle;
+  o.settle_max_updates = settle_updates;
+  return o;
+}
+
+DeltaController::Signals sig(double util_x_saturation, double tail = 0.0,
+                             uint64_t switches = 0, bool pending = true) {
+  DeltaController::Signals s;
+  s.assigned_edges = util_x_saturation * 1000.0;  // saturation = 1000
+  s.tail_share = tail;
+  s.head_switches = switches;
+  s.work_pending = pending;
+  return s;
+}
+
+TEST(DeltaController, ClipGuardGrowsImmediately) {
+  DeltaController c(opts_with(), 1000.0, 100.0);
+  EXPECT_TRUE(c.update(sig(1.0, /*tail=*/0.70)));
+  EXPECT_DOUBLE_EQ(c.delta(), 200.0);
+  // And again — no settle wait for clip protection.
+  EXPECT_TRUE(c.update(sig(1.0, 0.70)));
+  EXPECT_DOUBLE_EQ(c.delta(), 400.0);
+}
+
+TEST(DeltaController, GrowsWhenUnderutilizedAfterSettle) {
+  DeltaController c(opts_with(/*settle=*/2), 1000.0, 100.0);
+  // Fine control exhausts first (active buckets ramp to max), then the
+  // fallback settle clock expires (no head switches) and Δ grows once.
+  bool changed = false;
+  int iters = 0;
+  while (!changed && iters < 50) {
+    changed = c.update(sig(0.1, 0.0, 0));
+    ++iters;
+  }
+  EXPECT_TRUE(changed);
+  EXPECT_DOUBLE_EQ(c.delta(), 200.0);
+  EXPECT_EQ(c.active_buckets(),
+            DeltaControllerOptions{}.max_active_buckets);
+}
+
+TEST(DeltaController, ShrinksWhenOversaturatedAfterHeadSwitches) {
+  DeltaController c(opts_with(/*settle=*/2), 1000.0, 100.0);
+  EXPECT_FALSE(c.update(sig(2.0, 0.0, /*switches=*/0)));
+  EXPECT_FALSE(c.update(sig(2.0, 0.0, 1)));
+  EXPECT_TRUE(c.update(sig(2.0, 0.0, 2)));
+  EXPECT_DOUBLE_EQ(c.delta(), 50.0);
+}
+
+TEST(DeltaController, ShrinkRespectsFloor) {
+  auto o = opts_with(1, 2);
+  o.shrink_floor_factor = 2.0;  // floor = initial / 2
+  DeltaController c(o, 1000.0, 100.0);
+  uint64_t switches = 0;
+  for (int i = 0; i < 40; ++i) c.update(sig(3.0, 0.0, switches += 2));
+  EXPECT_GE(c.delta(), 50.0);
+}
+
+TEST(DeltaController, ShrinkAvoidedNearClipPoint) {
+  DeltaController c(opts_with(1), 1000.0, 100.0);
+  // Oversaturated but tail already holds a large share: shrinking would
+  // clip, so delta must hold.
+  for (int i = 0; i < 20; ++i) {
+    c.update(sig(3.0, /*tail=*/0.5, uint64_t(i)));
+  }
+  EXPECT_DOUBLE_EQ(c.delta(), 100.0);
+}
+
+TEST(DeltaController, FineControlAdjustsActiveBuckets) {
+  DeltaController c(opts_with(100, 1000000), 1000.0, 100.0);  // no delta moves
+  const uint32_t min_b = DeltaControllerOptions{}.min_active_buckets;
+  EXPECT_EQ(c.active_buckets(), min_b);
+  c.update(sig(0.1));
+  EXPECT_EQ(c.active_buckets(), min_b + 1);
+  c.update(sig(0.1));
+  EXPECT_EQ(c.active_buckets(), min_b + 2);
+  c.update(sig(5.0));  // oversaturated -> narrow again
+  EXPECT_EQ(c.active_buckets(), min_b + 1);
+  // Never below the minimum.
+  for (int i = 0; i < 10; ++i) c.update(sig(5.0, 0.5));
+  EXPECT_EQ(c.active_buckets(), min_b);
+}
+
+TEST(DeltaController, NoGrowWithoutPendingWork) {
+  DeltaController c(opts_with(1, 2), 1000.0, 100.0);
+  // Drain phase: utilization low but nothing pending — growing would be
+  // pointless churn.
+  for (int i = 0; i < 10; ++i)
+    c.update(sig(0.05, 0.0, uint64_t(i), /*pending=*/false));
+  EXPECT_DOUBLE_EQ(c.delta(), 100.0);
+}
+
+TEST(DeltaController, DisabledControllerNeverMoves) {
+  auto o = opts_with(1, 1);
+  o.enabled = false;
+  DeltaController c(o, 1000.0, 100.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(c.update(sig(i % 2 ? 5.0 : 0.01, 0.9, uint64_t(i))));
+  }
+  EXPECT_DOUBLE_EQ(c.delta(), 100.0);
+  EXPECT_EQ(c.history().size(), 1u);
+}
+
+TEST(DeltaController, HistoryRecordsEveryChange) {
+  DeltaController c(opts_with(1, 2), 1000.0, 100.0);
+  c.update(sig(1.0, 0.9, 0));  // clip grow
+  uint64_t switches = 5;
+  for (int i = 0; i < 6; ++i) c.update(sig(2.0, 0.0, switches += 2));
+  EXPECT_GE(c.history().size(), 3u);  // initial + grow + >=1 shrink
+  EXPECT_DOUBLE_EQ(c.history()[0].second, 100.0);
+  EXPECT_DOUBLE_EQ(c.history()[1].second, 200.0);
+}
+
+TEST(DeltaController, InitialDeltaClamped) {
+  auto o = opts_with();
+  o.min_delta = 10.0;
+  o.max_delta = 1000.0;
+  EXPECT_DOUBLE_EQ(DeltaController(o, 100.0, 0.5).delta(), 10.0);
+  EXPECT_DOUBLE_EQ(DeltaController(o, 100.0, 1e9).delta(), 1000.0);
+}
+
+TEST(DeltaController, InvalidConstructionThrows) {
+  auto o = opts_with();
+  EXPECT_THROW(DeltaController(o, 0.0, 100.0), Error);
+  o.util_low = 2.0;
+  o.util_high = 1.0;
+  EXPECT_THROW(DeltaController(o, 100.0, 100.0), Error);
+}
+
+}  // namespace
+}  // namespace adds

@@ -1,0 +1,152 @@
+// Engine-option matrix tests: every configuration knob must preserve
+// correctness, and the simulator must be fully deterministic.
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "core/validate.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+
+namespace adds {
+namespace {
+
+IntGraph test_graph(uint64_t seed = 17) {
+  return make_kneighbor_mesh<uint32_t>(24, 24, 2,
+                                       {WeightDist::kUniform, 500}, seed);
+}
+
+TEST(AddsOptions, BucketCountSweepStaysCorrect) {
+  const auto g = test_graph();
+  const VertexId src = pick_source(g);
+  EngineConfig cfg;
+  const auto oracle = dijkstra(g, src, &cfg.cpu);
+  for (const uint32_t buckets : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    cfg.adds.num_buckets = buckets;
+    const auto res = run_solver(SolverKind::kAdds, g, src, cfg);
+    EXPECT_TRUE(validate_distances(res, oracle).ok())
+        << buckets << " buckets";
+  }
+}
+
+TEST(AddsOptions, StaticDeltaAblationStaysCorrect) {
+  const auto g = test_graph();
+  const VertexId src = pick_source(g);
+  EngineConfig cfg;
+  const auto oracle = dijkstra(g, src, &cfg.cpu);
+  cfg.adds.dynamic_delta = false;
+  for (const double delta : {1.0, 50.0, 5000.0, 1e9}) {
+    cfg.adds.delta = delta;
+    const auto res = run_solver(SolverKind::kAdds, g, src, cfg);
+    EXPECT_TRUE(validate_distances(res, oracle).ok()) << "delta " << delta;
+  }
+}
+
+TEST(AddsOptions, ChunkingKnobsStayCorrect) {
+  const auto g = test_graph();
+  const VertexId src = pick_source(g);
+  EngineConfig cfg;
+  const auto oracle = dijkstra(g, src, &cfg.cpu);
+  for (const uint32_t chunk : {1u, 16u, 1024u}) {
+    for (const uint32_t budget : {64u, 512u, 1u << 20}) {
+      cfg.adds.chunk_items = chunk;
+      cfg.adds.chunk_edge_budget = budget;
+      const auto res = run_solver(SolverKind::kAdds, g, src, cfg);
+      EXPECT_TRUE(validate_distances(res, oracle).ok())
+          << chunk << "/" << budget;
+    }
+  }
+}
+
+TEST(AddsOptions, SimulatorIsDeterministic) {
+  const auto g = test_graph();
+  const VertexId src = pick_source(g);
+  EngineConfig cfg;
+  const auto a = run_solver(SolverKind::kAdds, g, src, cfg);
+  const auto b = run_solver(SolverKind::kAdds, g, src, cfg);
+  EXPECT_DOUBLE_EQ(a.time_us, b.time_us);
+  EXPECT_EQ(a.work.items_processed, b.work.items_processed);
+  EXPECT_EQ(a.work.relaxations, b.work.relaxations);
+  EXPECT_EQ(a.window_advances, b.window_advances);
+  EXPECT_EQ(a.delta_history, b.delta_history);
+}
+
+TEST(AddsOptions, BaselinesAreDeterministic) {
+  const auto g = test_graph();
+  const VertexId src = pick_source(g);
+  EngineConfig cfg;
+  for (const SolverKind k : {SolverKind::kNf, SolverKind::kGunBf,
+                             SolverKind::kNv, SolverKind::kCpuDs}) {
+    const auto a = run_solver(k, g, src, cfg);
+    const auto b = run_solver(k, g, src, cfg);
+    EXPECT_DOUBLE_EQ(a.time_us, b.time_us) << a.solver;
+    EXPECT_EQ(a.work.items_processed, b.work.items_processed) << a.solver;
+    EXPECT_EQ(a.supersteps, b.supersteps) << a.solver;
+  }
+}
+
+TEST(NearFarOptions, FilterAndLaunchKnobsPreserveDistances) {
+  const auto g = test_graph();
+  const VertexId src = pick_source(g);
+  EngineConfig cfg;
+  const auto oracle = dijkstra(g, src, &cfg.cpu);
+  NearFarOptions opts;
+  for (const bool dedup : {true, false}) {
+    for (const double mult : {1.0, 3.0}) {
+      opts.dedup_filter = dedup;
+      opts.launch_multiplier = mult;
+      const auto res = near_far(g, src, cfg.gpu, opts);
+      EXPECT_TRUE(validate_distances(res, oracle).ok());
+    }
+  }
+  // The dedup filter reduces work but never changes distances; launch
+  // multiplier only adds time.
+  opts.dedup_filter = true;
+  opts.launch_multiplier = 1.0;
+  const auto filtered = near_far(g, src, cfg.gpu, opts);
+  opts.dedup_filter = false;
+  const auto unfiltered = near_far(g, src, cfg.gpu, opts);
+  EXPECT_LE(filtered.work.items_processed, unfiltered.work.items_processed);
+  opts.launch_multiplier = 3.0;
+  const auto deep = near_far(g, src, cfg.gpu, opts);
+  EXPECT_GT(deep.time_us, unfiltered.time_us);
+}
+
+TEST(MachineModels, ScaledBoardsPreserveCorrectnessAndSlowDown) {
+  const auto g = test_graph();
+  const VertexId src = pick_source(g);
+  EngineConfig full;
+  EngineConfig eighth;
+  eighth.gpu = GpuCostModel(GpuSpec::rtx2080ti().scaled(1.0 / 8.0));
+  const auto oracle = dijkstra(g, src, &full.cpu);
+  const auto fast = run_solver(SolverKind::kNf, g, src, full);
+  const auto slow = run_solver(SolverKind::kNf, g, src, eighth);
+  EXPECT_TRUE(validate_distances(slow, oracle).ok());
+  EXPECT_GE(slow.time_us, fast.time_us);
+}
+
+TEST(MachineModels, Rtx3090IsNeverSlowerOnSaturatedWork) {
+  // A dense, low-diameter graph saturates bandwidth; the 3090's extra
+  // bandwidth must help (or at least not hurt).
+  const auto g =
+      make_erdos_renyi<uint32_t>(20000, 64, {WeightDist::kUniform, 100}, 3);
+  const VertexId src = pick_source(g);
+  EngineConfig ti;
+  EngineConfig ga;
+  ga.gpu = GpuCostModel(GpuSpec::rtx3090());
+  const auto a = run_solver(SolverKind::kNf, g, src, ti);
+  const auto b = run_solver(SolverKind::kNf, g, src, ga);
+  EXPECT_LE(b.time_us, a.time_us * 1.02);
+}
+
+TEST(SolverRegistry, NamesRoundTrip) {
+  for (const SolverKind k : all_solvers()) {
+    const auto parsed = parse_solver(solver_name(k));
+    ASSERT_TRUE(parsed.has_value()) << solver_name(k);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(parse_solver("nope").has_value());
+  EXPECT_EQ(gpu_baselines().size(), 4u);
+}
+
+}  // namespace
+}  // namespace adds

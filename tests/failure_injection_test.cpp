@@ -1,0 +1,133 @@
+// Failure injection: resource exhaustion and degenerate inputs must fail
+// loudly and cleanly (exceptions, no hangs, no std::terminate from joinable
+// threads), never silently corrupt results.
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "core/validate.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "queue/work_queue.hpp"
+#include "sssp/adds.hpp"
+
+namespace adds {
+namespace {
+
+TEST(FailureInjection, HostEnginePoolExhaustionThrowsCleanly) {
+  // A pool far too small for the workload: the manager's ensure_capacity
+  // must throw adds::Error, and adds_host must unwind without hanging its
+  // worker threads (workers could be spinning in wait_allocated).
+  const auto g = make_grid_road<uint32_t>(60, 60,
+                                          {WeightDist::kUniform, 1000}, 3);
+  AddsHostOptions opts;
+  opts.num_workers = 4;
+  opts.num_buckets = 8;
+  opts.block_words = 64;
+  opts.pool_blocks = 9;  // 8 buckets + 1 block: exhausts immediately
+  EXPECT_THROW(adds_host(g, 0, opts), Error);
+  // The process is still healthy: a correctly sized run succeeds afterwards.
+  opts.pool_blocks = 0;  // auto sizing
+  const auto res = adds_host(g, 0, opts);
+  const auto oracle = dijkstra(g, VertexId{0});
+  EXPECT_TRUE(validate_distances(res, oracle).ok());
+}
+
+TEST(FailureInjection, QueueAbortUnblocksWriters) {
+  BlockPool pool(4, 64);
+  WorkQueue::Config cfg;
+  cfg.num_buckets = 2;
+  cfg.bucket.segment_words = 8;
+  cfg.bucket.table_size = 4;
+  WorkQueue queue(pool, cfg);
+  // No capacity anywhere; a writer blocks...
+  std::atomic<bool> returned{false};
+  std::thread writer([&] {
+    queue.push(7, 0.0);
+    returned.store(true, std::memory_order_release);
+  });
+  for (int i = 0; i < 1000 && !returned.load(); ++i)
+    std::this_thread::yield();
+  EXPECT_FALSE(returned.load());
+  // ...until the queue aborts.
+  queue.request_abort();
+  writer.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_TRUE(queue.aborted());
+}
+
+TEST(FailureInjection, EmptyGraphsAreHandledByAllSolvers) {
+  GraphBuilder<uint32_t> b{0};
+  const auto g = b.build();
+  EngineConfig cfg;
+  for (const SolverKind k : all_solvers()) {
+    const auto res = run_solver(k, g, 0, cfg);
+    EXPECT_TRUE(res.dist.empty()) << solver_name(k);
+  }
+}
+
+TEST(FailureInjection, EdgelessGraphTerminatesQuickly) {
+  GraphBuilder<uint32_t> b{100};
+  const auto g = b.build();  // 100 isolated vertices
+  EngineConfig cfg;
+  for (const SolverKind k : all_solvers()) {
+    const auto res = run_solver(k, g, 42, cfg);
+    EXPECT_EQ(res.reached(), 1u) << solver_name(k);
+    EXPECT_EQ(res.dist[42], 0u) << solver_name(k);
+  }
+}
+
+TEST(FailureInjection, SelfLoopHeavyGraphIsCorrect) {
+  // Self loops never improve distances; builders drop them by default, but
+  // a graph built with them kept must still converge.
+  GraphBuilder<uint32_t> b{4};
+  GraphBuilder<uint32_t>::BuildOptions keep;
+  keep.drop_self_loops = false;
+  keep.dedup_parallel_edges = false;
+  b.add_edge(0, 0, 1);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 1, 1);
+  b.add_edge(1, 2, 3);
+  const auto g = b.build(keep);
+  EngineConfig cfg;
+  const auto oracle = dijkstra(g, VertexId{0});
+  EXPECT_EQ(oracle.dist[2], 5u);
+  for (const SolverKind k : {SolverKind::kAdds, SolverKind::kAddsHost,
+                             SolverKind::kNf, SolverKind::kGunBf}) {
+    const auto res = run_solver(k, g, 0, cfg);
+    EXPECT_TRUE(validate_distances(res, oracle).ok()) << solver_name(k);
+  }
+}
+
+TEST(FailureInjection, ParallelEdgeMultigraphIsCorrect) {
+  GraphBuilder<uint32_t> b{3};
+  GraphBuilder<uint32_t>::BuildOptions keep;
+  keep.dedup_parallel_edges = false;
+  b.add_edge(0, 1, 9);
+  b.add_edge(0, 1, 2);  // lighter parallel arc must win
+  b.add_edge(1, 2, 1);
+  const auto g = b.build(keep);
+  EngineConfig cfg;
+  for (const SolverKind k : {SolverKind::kAdds, SolverKind::kNf}) {
+    const auto res = run_solver(k, g, 0, cfg);
+    EXPECT_EQ(res.dist[1], 2u) << solver_name(k);
+    EXPECT_EQ(res.dist[2], 3u) << solver_name(k);
+  }
+}
+
+TEST(FailureInjection, ZeroishFloatWeightsStayPositive) {
+  // The float lane's generators guarantee strictly positive weights; the
+  // DIMACS reader clamps to positive too. Verify the invariant end to end.
+  const auto g = generate_graph<float>([] {
+    GraphSpec s;
+    s.family = GraphFamily::kErdosRenyi;
+    s.scale = 500;
+    s.a = 6;
+    s.weights = {WeightDist::kLongTail, 10};
+    s.seed = 77;
+    return s;
+  }());
+  for (const float w : g.weights()) EXPECT_GT(w, 0.0f);
+}
+
+}  // namespace
+}  // namespace adds

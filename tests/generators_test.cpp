@@ -1,0 +1,227 @@
+// Generator property tests: sizes, degrees, determinism and weight
+// distributions across all families (parameterized).
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+
+namespace adds {
+namespace {
+
+const WeightParams kUni{WeightDist::kUniform, 100};
+
+TEST(Generators, GridRoadShape) {
+  const auto g = make_grid_road<uint32_t>(10, 7, kUni, 1);
+  EXPECT_EQ(g.num_vertices(), 70u);
+  // 4-neighbour grid: (w-1)*h + w*(h-1) undirected edges, stored twice.
+  EXPECT_EQ(g.num_edges(), 2u * (9 * 7 + 10 * 6));
+  EXPECT_TRUE(is_symmetric(g));
+  // Corner degree 2, interior degree 4.
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(11), 4u);
+}
+
+TEST(Generators, KNeighborMeshDegree) {
+  const auto g = make_kneighbor_mesh<uint32_t>(20, 20, 2, kUni, 1);
+  EXPECT_EQ(g.num_vertices(), 400u);
+  // Interior vertex (far from borders): full Moore neighbourhood radius 2.
+  const VertexId interior = 10 * 20 + 10;
+  EXPECT_EQ(g.out_degree(interior), 24u);
+  EXPECT_TRUE(is_symmetric(g));
+}
+
+TEST(Generators, RmatIsPowerLawish) {
+  const auto g = make_rmat<uint32_t>(12, 8, 0.57, 0.19, 0.19, kUni, 3);
+  EXPECT_EQ(g.num_vertices(), 4096u);
+  // Undirected storage of ~8*4096 samples (minus dedup/self-loops).
+  EXPECT_GT(g.num_edges(), 40000u);
+  EXPECT_LE(g.num_edges(), 2u * 8 * 4096);
+  uint64_t max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    max_deg = std::max<uint64_t>(max_deg, g.out_degree(v));
+  // A hub far above the mean is the power-law signature.
+  EXPECT_GT(max_deg, 8 * g.average_degree());
+}
+
+TEST(Generators, ErdosRenyiDegreeConcentrates) {
+  const auto g = make_erdos_renyi<uint32_t>(20000, 10.0, kUni, 5);
+  EXPECT_EQ(g.num_vertices(), 20000u);
+  EXPECT_NEAR(g.average_degree(), 10.0, 0.5);
+}
+
+TEST(Generators, WattsStrogatzShape) {
+  const auto g = make_watts_strogatz<uint32_t>(1000, 6, 0.1, kUni, 7);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  EXPECT_NEAR(g.average_degree(), 6.0, 0.5);
+}
+
+TEST(Generators, CliqueChainShape) {
+  const auto g = make_clique_chain<uint32_t>(10, 8, kUni, 9);
+  EXPECT_EQ(g.num_vertices(), 80u);
+  // 10 cliques of C(8,2)=28 undirected edges + 9 bridges, stored twice.
+  EXPECT_EQ(g.num_edges(), 2u * (10 * 28 + 9));
+  const auto diam = pseudo_diameter(g);
+  EXPECT_GE(diam, 10u);  // must cross every clique
+}
+
+TEST(Generators, StarShape) {
+  const auto g = make_star<uint32_t>(100, kUni, 1);
+  EXPECT_EQ(g.out_degree(0), 99u);
+  for (VertexId v = 1; v < 100; ++v) EXPECT_EQ(g.out_degree(v), 1u);
+  EXPECT_EQ(pseudo_diameter(g), 2u);
+}
+
+TEST(Generators, ChainShape) {
+  const auto g = make_chain<uint32_t>(50, kUni, 1);
+  EXPECT_EQ(g.num_edges(), 2u * 49);
+  EXPECT_EQ(pseudo_diameter(g), 49u);
+}
+
+TEST(Generators, BinaryTreeShape) {
+  const auto g = make_binary_tree<uint32_t>(127, kUni, 1);
+  EXPECT_EQ(g.num_edges(), 2u * 126);
+  const auto diam = pseudo_diameter(g);
+  EXPECT_GE(diam, 10u);  // two leaf-to-leaf depths
+  EXPECT_LE(diam, 14u);
+}
+
+TEST(Generators, BadParametersThrow) {
+  EXPECT_THROW(make_grid_road<uint32_t>(0, 5, kUni, 1), Error);
+  EXPECT_THROW(make_rmat<uint32_t>(0, 8, 0.57, 0.19, 0.19, kUni, 1), Error);
+  EXPECT_THROW(make_rmat<uint32_t>(10, 8, 0.5, 0.3, 0.3, kUni, 1), Error);
+  EXPECT_THROW(make_erdos_renyi<uint32_t>(1, 2.0, kUni, 1), Error);
+  EXPECT_THROW(make_watts_strogatz<uint32_t>(100, 3, 0.1, kUni, 1), Error);
+  EXPECT_THROW(make_clique_chain<uint32_t>(3, 1, kUni, 1), Error);
+  EXPECT_THROW(make_kneighbor_mesh<uint32_t>(5, 5, 0, kUni, 1), Error);
+}
+
+// --- Parameterized determinism & weight-distribution sweep ----------------
+
+struct GenCase {
+  GraphFamily family;
+  WeightDist dist;
+};
+
+class GeneratorSweep : public testing::TestWithParam<GenCase> {
+ protected:
+  static GraphSpec spec_for(const GenCase& c, uint64_t seed) {
+    GraphSpec s;
+    s.family = c.family;
+    s.weights.dist = c.dist;
+    s.weights.max_weight = 1000;
+    s.seed = seed;
+    switch (c.family) {
+      case GraphFamily::kGridRoad:
+        s.scale = 20;
+        s.a = 20;
+        break;
+      case GraphFamily::kKNeighborMesh:
+        s.scale = 16;
+        s.a = 16;
+        s.b = 2;
+        break;
+      case GraphFamily::kRmat:
+        s.scale = 10;
+        s.a = 8;
+        break;
+      case GraphFamily::kErdosRenyi:
+        s.scale = 1000;
+        s.a = 6;
+        break;
+      case GraphFamily::kWattsStrogatz:
+        s.scale = 512;
+        s.a = 6;
+        s.b = 0.1;
+        break;
+      case GraphFamily::kCliqueChain:
+        s.scale = 16;
+        s.a = 8;
+        break;
+      case GraphFamily::kStar:
+      case GraphFamily::kChain:
+      case GraphFamily::kBinaryTree:
+        s.scale = 500;
+        break;
+    }
+    return s;
+  }
+};
+
+std::string sweep_name(const testing::TestParamInfo<GenCase>& info) {
+  std::string n = std::string(family_name(info.param.family)) + "_" +
+                  weight_dist_name(info.param.dist);
+  for (auto& c : n)
+    if (c == '-') c = '_';
+  return n;
+}
+
+TEST_P(GeneratorSweep, DeterministicForSameSeed) {
+  const auto s = spec_for(GetParam(), 77);
+  const auto a = generate_graph<uint32_t>(s);
+  const auto b = generate_graph<uint32_t>(s);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeIndex e = 0; e < a.num_edges(); ++e) {
+    ASSERT_EQ(a.edge_target(e), b.edge_target(e));
+    ASSERT_EQ(a.edge_weight(e), b.edge_weight(e));
+  }
+}
+
+TEST_P(GeneratorSweep, WeightsRespectDistribution) {
+  const auto s = spec_for(GetParam(), 78);
+  const auto g = generate_graph<uint32_t>(s);
+  ASSERT_GT(g.num_edges(), 0u);
+  uint32_t min_w = ~0u, max_w = 0;
+  for (const uint32_t w : g.weights()) {
+    min_w = std::min(min_w, w);
+    max_w = std::max(max_w, w);
+  }
+  EXPECT_GE(min_w, 1u);
+  switch (GetParam().dist) {
+    case WeightDist::kUnit:
+      EXPECT_EQ(max_w, 1u);
+      break;
+    case WeightDist::kUniform:
+    case WeightDist::kLongTail:
+      EXPECT_LE(max_w, 1000u);
+      EXPECT_GT(max_w, 1u);
+      break;
+  }
+  if (GetParam().dist == WeightDist::kLongTail && g.num_edges() > 500) {
+    // Long tail: median far below max.
+    std::vector<uint32_t> ws(g.weights().begin(), g.weights().end());
+    std::nth_element(ws.begin(), ws.begin() + ws.size() / 2, ws.end());
+    EXPECT_LT(ws[ws.size() / 2], 200u);
+  }
+}
+
+TEST_P(GeneratorSweep, FloatVariantMatchesTopology) {
+  const auto s = spec_for(GetParam(), 79);
+  const auto gi = generate_graph<uint32_t>(s);
+  const auto gf = generate_graph<float>(s);
+  ASSERT_EQ(gi.num_vertices(), gf.num_vertices());
+  ASSERT_EQ(gi.num_edges(), gf.num_edges());
+  for (EdgeIndex e = 0; e < gi.num_edges(); e += 17)
+    ASSERT_EQ(gi.edge_target(e), gf.edge_target(e));
+}
+
+std::vector<GenCase> sweep_cases() {
+  std::vector<GenCase> out;
+  for (const GraphFamily f :
+       {GraphFamily::kGridRoad, GraphFamily::kKNeighborMesh,
+        GraphFamily::kRmat, GraphFamily::kErdosRenyi,
+        GraphFamily::kWattsStrogatz, GraphFamily::kCliqueChain,
+        GraphFamily::kStar, GraphFamily::kChain, GraphFamily::kBinaryTree}) {
+    for (const WeightDist d :
+         {WeightDist::kUnit, WeightDist::kUniform, WeightDist::kLongTail}) {
+      out.push_back({f, d});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, GeneratorSweep,
+                         testing::ValuesIn(sweep_cases()), sweep_name);
+
+}  // namespace
+}  // namespace adds

@@ -1,0 +1,170 @@
+// CSR graph and GraphBuilder unit tests.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/transform.hpp"
+
+namespace adds {
+namespace {
+
+TEST(GraphBuilder, BuildsSimpleCsr) {
+  GraphBuilder<uint32_t> b{4};
+  b.add_edge(0, 1, 10);
+  b.add_edge(0, 2, 20);
+  b.add_edge(2, 3, 30);
+  const auto g = b.build();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+  EXPECT_EQ(g.out_degree(2), 1u);
+  EXPECT_EQ(g.edge_target(g.edge_begin(2)), 3u);
+  EXPECT_EQ(g.edge_weight(g.edge_begin(2)), 30u);
+}
+
+TEST(GraphBuilder, NeighborsSpanMatchesEdges) {
+  GraphBuilder<uint32_t> b{3};
+  b.add_edge(1, 0, 7);
+  b.add_edge(1, 2, 9);
+  const auto g = b.build();
+  const auto n = g.neighbors(1);
+  const auto w = g.neighbor_weights(1);
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_EQ(n[0], 0u);
+  EXPECT_EQ(n[1], 2u);
+  EXPECT_EQ(w[0], 7u);
+  EXPECT_EQ(w[1], 9u);
+}
+
+TEST(GraphBuilder, DedupKeepsLightestParallelEdge) {
+  GraphBuilder<uint32_t> b{2};
+  b.add_edge(0, 1, 50);
+  b.add_edge(0, 1, 10);
+  b.add_edge(0, 1, 30);
+  const auto g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge_weight(0), 10u);
+}
+
+TEST(GraphBuilder, DedupDisabledKeepsAll) {
+  GraphBuilder<uint32_t> b{2};
+  b.add_edge(0, 1, 50);
+  b.add_edge(0, 1, 10);
+  GraphBuilder<uint32_t>::BuildOptions opts;
+  opts.dedup_parallel_edges = false;
+  const auto g = b.build(opts);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphBuilder, SelfLoopsDroppedByDefault) {
+  GraphBuilder<uint32_t> b{2};
+  b.add_edge(0, 0, 5);
+  b.add_edge(0, 1, 5);
+  EXPECT_EQ(b.build().num_edges(), 1u);
+}
+
+TEST(GraphBuilder, SelfLoopsKeptWhenRequested) {
+  GraphBuilder<uint32_t> b{2};
+  b.add_edge(0, 0, 5);
+  GraphBuilder<uint32_t>::BuildOptions opts;
+  opts.drop_self_loops = false;
+  opts.dedup_parallel_edges = false;
+  EXPECT_EQ(b.build(opts).num_edges(), 1u);
+}
+
+TEST(GraphBuilder, UndirectedAddsBothArcs) {
+  GraphBuilder<uint32_t> b{2};
+  b.add_undirected_edge(0, 1, 3);
+  const auto g = b.build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+}
+
+TEST(CsrGraph, AveragesAndMax) {
+  GraphBuilder<uint32_t> b{4};
+  b.add_edge(0, 1, 10);
+  b.add_edge(1, 2, 20);
+  b.add_edge(2, 3, 60);
+  const auto g = b.build();
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.75);
+  EXPECT_DOUBLE_EQ(g.average_weight(), 30.0);
+  EXPECT_EQ(g.max_weight(), 60u);
+  EXPECT_GT(g.footprint_bytes(), 0u);
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  GraphBuilder<uint32_t> b{0};
+  const auto g = b.build();
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+  EXPECT_DOUBLE_EQ(g.average_weight(), 0.0);
+}
+
+TEST(CsrGraph, RawConstructorValidates) {
+  // targets out of range
+  EXPECT_THROW(CsrGraph<uint32_t>({0, 1}, {5}, {1u}), Error);
+  // offsets not ending at edge count
+  EXPECT_THROW(CsrGraph<uint32_t>({0, 2}, {0}, {1u}), Error);
+  // decreasing offsets
+  EXPECT_THROW(CsrGraph<uint32_t>({0, 2, 1}, {0, 0}, {1u, 1u}), Error);
+  // weights size mismatch
+  EXPECT_THROW(CsrGraph<uint32_t>({0, 1}, {0}, {}), Error);
+}
+
+TEST(CsrGraph, FloatWeightsWork) {
+  GraphBuilder<float> b{2};
+  b.add_edge(0, 1, 1.5f);
+  const auto g = b.build();
+  EXPECT_FLOAT_EQ(g.edge_weight(0), 1.5f);
+  EXPECT_DOUBLE_EQ(g.average_weight(), 1.5);
+}
+
+TEST(Transform, ReverseGraphInvertsArcs) {
+  GraphBuilder<uint32_t> b{3};
+  b.add_edge(0, 1, 5);
+  b.add_edge(0, 2, 7);
+  b.add_edge(1, 2, 9);
+  const auto g = b.build();
+  const auto r = reverse_graph(g);
+  EXPECT_EQ(r.num_edges(), 3u);
+  EXPECT_EQ(r.out_degree(0), 0u);
+  EXPECT_EQ(r.out_degree(1), 1u);
+  EXPECT_EQ(r.out_degree(2), 2u);
+  EXPECT_EQ(r.edge_target(r.edge_begin(1)), 0u);
+  EXPECT_EQ(r.edge_weight(r.edge_begin(1)), 5u);
+}
+
+TEST(Transform, DoubleReverseIsIdentityShape) {
+  GraphBuilder<uint32_t> b{5};
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 2);
+  b.add_edge(3, 1, 3);
+  const auto g = b.build();
+  const auto rr = reverse_graph(reverse_graph(g));
+  ASSERT_EQ(rr.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(rr.out_degree(v), g.out_degree(v));
+}
+
+TEST(Transform, SymmetryDetection) {
+  GraphBuilder<uint32_t> sym{3};
+  sym.add_undirected_edge(0, 1, 4);
+  sym.add_undirected_edge(1, 2, 6);
+  EXPECT_TRUE(is_symmetric(sym.build()));
+
+  GraphBuilder<uint32_t> asym{3};
+  asym.add_edge(0, 1, 4);
+  EXPECT_FALSE(is_symmetric(asym.build()));
+
+  // Same topology but asymmetric weights is NOT symmetric.
+  GraphBuilder<uint32_t> wasym{2};
+  wasym.add_edge(0, 1, 4);
+  wasym.add_edge(1, 0, 5);
+  EXPECT_FALSE(is_symmetric(wasym.build()));
+}
+
+}  // namespace
+}  // namespace adds

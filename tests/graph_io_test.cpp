@@ -1,0 +1,175 @@
+// File format tests: Galois binary GR, DIMACS text, MatrixMarket.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "graph/builder.hpp"
+#include "graph/dimacs.hpp"
+#include "graph/generators.hpp"
+#include "graph/gr_format.hpp"
+
+namespace adds {
+namespace {
+
+class GraphIoTest : public testing::Test {
+ protected:
+  void SetUp() override { std::filesystem::create_directories(dir_); }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+  const std::string dir_ = "test_tmp_io";
+};
+
+template <WeightType W>
+void expect_graphs_equal(const CsrGraph<W>& a, const CsrGraph<W>& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    ASSERT_EQ(a.edge_begin(v), b.edge_begin(v));
+    for (EdgeIndex e = a.edge_begin(v); e < a.edge_end(v); ++e) {
+      EXPECT_EQ(a.edge_target(e), b.edge_target(e));
+      EXPECT_EQ(a.edge_weight(e), b.edge_weight(e));
+    }
+  }
+}
+
+TEST_F(GraphIoTest, GrRoundTripInt) {
+  const auto g =
+      make_erdos_renyi<uint32_t>(500, 6.0, {WeightDist::kUniform, 100}, 11);
+  write_gr(g, path("g.gr"));
+  const auto g2 = read_gr<uint32_t>(path("g.gr"));
+  expect_graphs_equal(g, g2);
+}
+
+TEST_F(GraphIoTest, GrRoundTripFloat) {
+  const auto g =
+      make_erdos_renyi<float>(300, 4.0, {WeightDist::kUniform, 10}, 13);
+  write_gr(g, path("g.gr"));
+  const auto g2 = read_gr<float>(path("g.gr"));
+  expect_graphs_equal(g, g2);
+}
+
+TEST_F(GraphIoTest, GrRoundTripOddEdgeCount) {
+  // Odd edge counts exercise the 4-byte padding word.
+  GraphBuilder<uint32_t> b{3};
+  b.add_edge(0, 1, 1);
+  b.add_edge(0, 2, 2);
+  b.add_edge(1, 2, 3);
+  const auto g = b.build();
+  ASSERT_EQ(g.num_edges() % 2, 1u);
+  write_gr(g, path("odd.gr"));
+  expect_graphs_equal(g, read_gr<uint32_t>(path("odd.gr")));
+}
+
+TEST_F(GraphIoTest, GrMissingFileThrows) {
+  EXPECT_THROW(read_gr<uint32_t>(path("nope.gr")), Error);
+}
+
+TEST_F(GraphIoTest, GrTruncatedThrows) {
+  const auto g =
+      make_erdos_renyi<uint32_t>(100, 4.0, {WeightDist::kUniform, 10}, 5);
+  write_gr(g, path("t.gr"));
+  // Truncate the file in the middle of the edge data.
+  const auto full = std::filesystem::file_size(path("t.gr"));
+  std::filesystem::resize_file(path("t.gr"), full - 32);
+  EXPECT_THROW(read_gr<uint32_t>(path("t.gr")), Error);
+}
+
+TEST_F(GraphIoTest, GrBadVersionThrows) {
+  std::ofstream out(path("bad.gr"), std::ios::binary);
+  const uint64_t header[4] = {9, 4, 0, 0};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.close();
+  EXPECT_THROW(read_gr<uint32_t>(path("bad.gr")), Error);
+}
+
+TEST_F(GraphIoTest, DimacsRoundTrip) {
+  const auto g = make_grid_road<uint32_t>(6, 6, {WeightDist::kUniform, 50}, 3);
+  write_dimacs(g, path("g.dimacs"));
+  const auto g2 = read_dimacs<uint32_t>(path("g.dimacs"));
+  expect_graphs_equal(g, g2);
+}
+
+TEST_F(GraphIoTest, DimacsParsesHandWritten) {
+  std::ofstream out(path("hand.gr"));
+  out << "c a comment line\n"
+      << "p sp 3 2\n"
+      << "a 1 2 10\n"
+      << "a 2 3 20\n";
+  out.close();
+  const auto g = read_dimacs<uint32_t>(path("hand.gr"));
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge_target(g.edge_begin(0)), 1u);  // 1-based -> 0-based
+  EXPECT_EQ(g.edge_weight(g.edge_begin(0)), 10u);
+}
+
+TEST_F(GraphIoTest, DimacsEdgeCountMismatchThrows) {
+  std::ofstream out(path("bad.gr"));
+  out << "p sp 3 5\na 1 2 10\n";
+  out.close();
+  EXPECT_THROW(read_dimacs<uint32_t>(path("bad.gr")), Error);
+}
+
+TEST_F(GraphIoTest, DimacsArcBeforeProblemThrows) {
+  std::ofstream out(path("bad2.gr"));
+  out << "a 1 2 10\n";
+  out.close();
+  EXPECT_THROW(read_dimacs<uint32_t>(path("bad2.gr")), Error);
+}
+
+TEST_F(GraphIoTest, DimacsOutOfRangeVertexThrows) {
+  std::ofstream out(path("bad3.gr"));
+  out << "p sp 2 1\na 1 9 10\n";
+  out.close();
+  EXPECT_THROW(read_dimacs<uint32_t>(path("bad3.gr")), Error);
+}
+
+TEST_F(GraphIoTest, MatrixMarketGeneral) {
+  std::ofstream out(path("m.mtx"));
+  out << "%%MatrixMarket matrix coordinate real general\n"
+      << "% comment\n"
+      << "3 3 3\n"
+      << "1 2 5.0\n"
+      << "2 3 -7.0\n"  // negative weights become positive
+      << "1 1 9.0\n";  // self loop dropped
+  out.close();
+  const auto g = read_matrix_market<uint32_t>(path("m.mtx"));
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge_weight(g.edge_begin(0)), 5u);
+  EXPECT_EQ(g.edge_weight(g.edge_begin(1)), 7u);
+}
+
+TEST_F(GraphIoTest, MatrixMarketSymmetricExpands) {
+  std::ofstream out(path("s.mtx"));
+  out << "%%MatrixMarket matrix coordinate real symmetric\n"
+      << "3 3 2\n"
+      << "2 1 4.0\n"
+      << "3 1 6.0\n";
+  out.close();
+  const auto g = read_matrix_market<uint32_t>(path("s.mtx"));
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+}
+
+TEST_F(GraphIoTest, MatrixMarketPatternGetsUnitWeights) {
+  std::ofstream out(path("p.mtx"));
+  out << "%%MatrixMarket matrix coordinate pattern general\n"
+      << "2 2 1\n"
+      << "1 2\n";
+  out.close();
+  const auto g = read_matrix_market<uint32_t>(path("p.mtx"));
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge_weight(0), 1u);
+}
+
+TEST_F(GraphIoTest, MatrixMarketMissingBannerThrows) {
+  std::ofstream out(path("b.mtx"));
+  out << "3 3 0\n";
+  out.close();
+  EXPECT_THROW(read_matrix_market<uint32_t>(path("b.mtx")), Error);
+}
+
+}  // namespace
+}  // namespace adds

@@ -1,0 +1,101 @@
+// Real-thread BSP Near-Far engine tests: correctness across thread counts
+// and graph shapes, overflow failure mode, and repeated-run race exposure.
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "core/validate.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sssp/nearfar_host.hpp"
+
+namespace adds {
+namespace {
+
+class NearFarHost : public testing::TestWithParam<uint32_t> {};
+
+TEST_P(NearFarHost, MatchesDijkstraOnMixedGraphs) {
+  NearFarHostOptions opts;
+  opts.num_threads = GetParam();
+  const WeightParams wp{WeightDist::kUniform, 500};
+  const std::vector<IntGraph> graphs = {
+      make_grid_road<uint32_t>(30, 30, wp, 1),
+      make_rmat<uint32_t>(10, 8, 0.57, 0.19, 0.19, wp, 2),
+      make_watts_strogatz<uint32_t>(2048, 8, 0.05, wp, 3),
+  };
+  for (const auto& g : graphs) {
+    const VertexId source = pick_source(g);
+    const auto res = near_far_host(g, source, opts);
+    const auto oracle = dijkstra(g, source);
+    EXPECT_TRUE(validate_distances(res, oracle).ok());
+    EXPECT_GT(res.supersteps, 1u);
+    EXPECT_GE(res.work.items_processed, oracle.work.items_processed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, NearFarHost, testing::Values(1u, 2u, 4u, 8u),
+                         [](const auto& param_info) {
+                           return "threads_" +
+                                  std::to_string(param_info.param);
+                         });
+
+TEST(NearFarHostEngine, RepeatedRunsAllCorrect) {
+  const auto g = make_rmat<uint32_t>(9, 8, 0.57, 0.19, 0.19,
+                                     {WeightDist::kUniform, 100}, 7);
+  const VertexId source = pick_source(g);
+  const auto oracle = dijkstra(g, source);
+  NearFarHostOptions opts;
+  opts.num_threads = 4;
+  for (int run = 0; run < 15; ++run) {
+    const auto res = near_far_host(g, source, opts);
+    ASSERT_TRUE(validate_distances(res, oracle).ok()) << "run " << run;
+  }
+}
+
+TEST(NearFarHostEngine, OverflowThrowsCleanly) {
+  const auto g =
+      make_grid_road<uint32_t>(40, 40, {WeightDist::kUniform, 1000}, 4);
+  NearFarHostOptions opts;
+  opts.num_threads = 2;
+  opts.capacity_factor = 0.001;  // worklists of ~2 items: must overflow
+  EXPECT_THROW(near_far_host(g, 0, opts), Error);
+}
+
+TEST(NearFarHostEngine, ExplicitDeltaRespected) {
+  const auto g =
+      make_grid_road<uint32_t>(20, 20, {WeightDist::kUniform, 100}, 5);
+  const auto oracle = dijkstra(g, VertexId{0});
+  for (const double delta : {10.0, 1000.0, 1e9}) {
+    NearFarHostOptions opts;
+    opts.delta = delta;
+    const auto res = near_far_host(g, 0, opts);
+    EXPECT_TRUE(validate_distances(res, oracle).ok()) << "delta " << delta;
+  }
+  // A huge delta degenerates to Bellman-Ford: everything stays in Near.
+  NearFarHostOptions bf;
+  bf.delta = 1e12;
+  const auto res = near_far_host(g, 0, bf);
+  EXPECT_TRUE(validate_distances(res, oracle).ok());
+}
+
+TEST(NearFarHostEngine, RegisteredInSolverFrontend) {
+  const auto g =
+      make_grid_road<uint32_t>(15, 15, {WeightDist::kUniform, 50}, 6);
+  EngineConfig cfg;
+  const auto res = run_solver(SolverKind::kNfHost, g, 0, cfg);
+  EXPECT_EQ(res.solver, "nf-host");
+  const auto oracle = dijkstra(g, VertexId{0});
+  EXPECT_TRUE(validate_distances(res, oracle).ok());
+  EXPECT_EQ(parse_solver("nf-host"), SolverKind::kNfHost);
+}
+
+TEST(NearFarHostEngine, FloatVariantMatches) {
+  const auto g = make_watts_strogatz<float>(1024, 6, 0.1,
+                                            {WeightDist::kUniform, 100}, 8);
+  const VertexId source = pick_source(g);
+  const auto res = near_far_host(g, source, {});
+  const auto oracle = dijkstra(g, source);
+  EXPECT_TRUE(validate_distances(res, oracle).ok());
+}
+
+}  // namespace
+}  // namespace adds

@@ -1,0 +1,206 @@
+// Path reconstruction, validation reporting, experiment helpers, and the
+// records CSV cache round-trip.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/experiment.hpp"
+#include "core/paths.hpp"
+#include "core/validate.hpp"
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+
+namespace adds {
+namespace {
+
+TEST(Paths, ExtractsKnownRoute) {
+  // 0 -1- 1 -1- 2 with a heavy shortcut 0 -5- 2: route must go via 1.
+  GraphBuilder<uint32_t> b{3};
+  b.add_undirected_edge(0, 1, 1);
+  b.add_undirected_edge(1, 2, 1);
+  b.add_undirected_edge(0, 2, 5);
+  const auto g = b.build();
+  const auto res = dijkstra(g, VertexId{0});
+  const auto path = extract_path(g, res.dist, 0, 2);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[1], 1u);
+  EXPECT_EQ(path[2], 2u);
+}
+
+TEST(Paths, UnreachableTargetGivesEmptyPath) {
+  GraphBuilder<uint32_t> b{3};
+  b.add_undirected_edge(0, 1, 1);
+  const auto g = b.build();
+  const auto res = dijkstra(g, VertexId{0});
+  EXPECT_TRUE(extract_path(g, res.dist, 0, 2).empty());
+}
+
+TEST(Paths, SourceToItself) {
+  GraphBuilder<uint32_t> b{2};
+  b.add_undirected_edge(0, 1, 1);
+  const auto g = b.build();
+  const auto res = dijkstra(g, VertexId{0});
+  const auto path = extract_path(g, res.dist, 0, 0);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 0u);
+}
+
+TEST(Paths, DirectedGraphNeedsReverse) {
+  GraphBuilder<uint32_t> b{3};
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 3);
+  const auto g = b.build();
+  const auto rev = reverse_graph(g);
+  const auto res = dijkstra(g, VertexId{0});
+  const auto path = extract_path(rev, res.dist, 0, 2);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], 1u);
+}
+
+TEST(Paths, PathWeightsSumToDistance) {
+  const auto g =
+      make_grid_road<uint32_t>(15, 15, {WeightDist::kUniform, 100}, 3);
+  const auto res = dijkstra(g, VertexId{0});
+  const VertexId target = 15 * 15 - 1;
+  const auto path = extract_path(g, res.dist, 0, target);
+  ASSERT_GE(path.size(), 2u);
+  uint64_t total = 0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    // Find the edge path[i] -> path[i+1] and add its weight.
+    bool found = false;
+    for (EdgeIndex e = g.edge_begin(path[i]); e < g.edge_end(path[i]); ++e) {
+      if (g.edge_target(e) == path[i + 1]) {
+        total += g.edge_weight(e);
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "path uses a non-edge";
+  }
+  EXPECT_EQ(total, res.dist[target]);
+}
+
+TEST(Paths, ShortestPathTreeIsConsistent) {
+  const auto g =
+      make_erdos_renyi<uint32_t>(500, 6, {WeightDist::kUniform, 100}, 8);
+  const VertexId source = pick_source(g);
+  const auto res = dijkstra(g, source);
+  const auto parent = shortest_path_tree(g, res.dist, source);
+  EXPECT_EQ(parent[source], kInvalidVertex);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v == source) continue;
+    if (res.dist[v] == DistTraits<uint32_t>::infinity()) {
+      EXPECT_EQ(parent[v], kInvalidVertex);
+    } else {
+      ASSERT_NE(parent[v], kInvalidVertex);
+      EXPECT_LT(res.dist[parent[v]], res.dist[v]);
+    }
+  }
+}
+
+TEST(Paths, BogusDistanceArrayThrows) {
+  GraphBuilder<uint32_t> b{3};
+  b.add_undirected_edge(0, 1, 1);
+  b.add_undirected_edge(1, 2, 1);
+  const auto g = b.build();
+  std::vector<uint64_t> bogus{0, 5, 7};  // not a fixed point
+  EXPECT_THROW(extract_path(g, bogus, 0, 2), Error);
+  std::vector<uint64_t> wrong_size{0};
+  EXPECT_THROW(extract_path(g, wrong_size, 0, 2), Error);
+}
+
+TEST(Validate, ReportsMismatches) {
+  SsspResult<uint32_t> a, b;
+  a.dist = {0, 5, 9};
+  b.dist = {0, 5, 9};
+  EXPECT_TRUE(validate_distances(a, b).ok());
+  b.dist[2] = 10;
+  const auto rep = validate_distances(a, b);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.mismatches, 1u);
+  EXPECT_EQ(rep.first_mismatch, 2u);
+  EXPECT_NE(rep.summary().find("1 mismatches"), std::string::npos);
+  b.dist.pop_back();
+  EXPECT_THROW(validate_distances(a, b), Error);
+}
+
+TEST(Experiment, RatioHelpers) {
+  GraphRunRecord r;
+  r.spec.name = "g";
+  SolverOutcome fast, slow;
+  fast.time_us = 10;
+  fast.work.items_processed = 200;
+  slow.time_us = 40;
+  slow.work.items_processed = 100;
+  r.outcomes["adds"] = fast;
+  r.outcomes["nf"] = slow;
+  const std::vector<GraphRunRecord> recs{r};
+  const auto speed = speedup_ratios(recs, "adds", "nf");
+  ASSERT_EQ(speed.size(), 1u);
+  EXPECT_DOUBLE_EQ(speed[0], 4.0);
+  const auto work = work_ratios(recs, "adds", "nf");
+  ASSERT_EQ(work.size(), 1u);
+  EXPECT_DOUBLE_EQ(work[0], 2.0);
+  // Missing solver -> skipped, not a crash.
+  EXPECT_TRUE(speedup_ratios(recs, "adds", "nv").empty());
+}
+
+TEST(Experiment, RecordsCsvRoundTrip) {
+  const std::string dir = "test_tmp_records";
+  std::filesystem::create_directories(dir);
+  std::vector<GraphRunRecord> recs(2);
+  recs[0].spec.name = "alpha";
+  recs[0].spec.family = GraphFamily::kGridRoad;
+  recs[0].summary.num_vertices = 100;
+  recs[0].summary.num_edges = 400;
+  recs[0].summary.avg_degree = 4.0;
+  recs[0].summary.diameter = 17;
+  SolverOutcome o;
+  o.time_us = 123.5;
+  o.work.items_processed = 999;
+  o.work.relaxations = 4321;
+  o.supersteps = 7;
+  o.valid = true;
+  recs[0].outcomes["adds"] = o;
+  o.time_us = 400.25;
+  o.valid = false;
+  recs[0].outcomes["nf"] = o;
+  recs[1].spec.name = "beta";
+  recs[1].spec.family = GraphFamily::kRmat;
+  recs[1].outcomes["adds"] = o;
+
+  const std::string path = dir + "/r.csv";
+  save_records_csv(path, recs);
+  const auto loaded = load_records_csv(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].spec.name, "alpha");
+  EXPECT_EQ(loaded[0].spec.family, GraphFamily::kGridRoad);
+  EXPECT_EQ(loaded[0].summary.num_edges, 400u);
+  EXPECT_EQ(loaded[0].summary.diameter, 17u);
+  ASSERT_EQ(loaded[0].outcomes.size(), 2u);
+  EXPECT_NEAR(loaded[0].outcomes.at("adds").time_us, 123.5, 1e-3);
+  EXPECT_EQ(loaded[0].outcomes.at("adds").work.items_processed, 999u);
+  EXPECT_EQ(loaded[0].outcomes.at("adds").supersteps, 7u);
+  EXPECT_TRUE(loaded[0].outcomes.at("adds").valid);
+  EXPECT_FALSE(loaded[0].outcomes.at("nf").valid);
+  EXPECT_TRUE(load_records_csv(dir + "/missing.csv").empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Experiment, ConfigTagChangesWithModel) {
+  CorpusRunOptions a, b;
+  a.config = corpus_config();
+  b.config = corpus_config();
+  EXPECT_EQ(config_tag(a), config_tag(b));
+  b.config.adds.num_buckets = 2;
+  EXPECT_NE(config_tag(a), config_tag(b));
+  CorpusRunOptions c;
+  c.config = corpus_config(GpuSpec::rtx3090());
+  EXPECT_NE(config_tag(a), config_tag(c));
+}
+
+}  // namespace
+}  // namespace adds

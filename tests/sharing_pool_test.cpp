@@ -1,0 +1,111 @@
+// SharingPool (processor-sharing virtual-time executor) tests: rate math,
+// completion ordering, partial advancement, and utilization accounting.
+#include <gtest/gtest.h>
+
+#include "sim/sharing_pool.hpp"
+
+namespace adds {
+namespace {
+
+TEST(SharingPool, SingleJobRunsAtServerRate) {
+  SharingPool pool(4, /*server_rate=*/10.0, /*cap=*/100.0);
+  pool.submit(50.0);  // 50 edge units at 10/us -> 5us
+  std::vector<SharingPool::Completion> done;
+  pool.advance_to(10.0, done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0].t_us, 5.0, 1e-9);
+  EXPECT_EQ(pool.num_busy(), 0u);
+  EXPECT_DOUBLE_EQ(pool.now_us(), 10.0);
+}
+
+TEST(SharingPool, BandwidthCapSharesEqually) {
+  // 4 busy servers, cap 20/us -> each runs at 5/us (< server rate 10).
+  SharingPool pool(4, 10.0, 20.0);
+  for (int i = 0; i < 4; ++i) pool.submit(50.0);
+  EXPECT_DOUBLE_EQ(pool.share_rate(), 5.0);
+  std::vector<SharingPool::Completion> done;
+  pool.advance_to(100.0, done);
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_NEAR(done.back().t_us, 10.0, 1e-9);  // 50/5
+}
+
+TEST(SharingPool, SurvivorsSpeedUpAfterCompletion) {
+  SharingPool pool(2, 10.0, 10.0);  // cap shared: 5/us each while both busy
+  pool.submit(10.0);  // finishes first
+  pool.submit(20.0);
+  std::vector<SharingPool::Completion> done;
+  pool.advance_to(100.0, done);
+  ASSERT_EQ(done.size(), 2u);
+  // Job 1: 10 units at 5/us = 2us. Job 2: progressed 10 units by t=2, then
+  // runs alone at min(10, 10) = 10/us: remaining 10 units -> t=3.
+  EXPECT_NEAR(done[0].t_us, 2.0, 1e-9);
+  EXPECT_NEAR(done[1].t_us, 3.0, 1e-9);
+}
+
+TEST(SharingPool, AdvanceStopsBetweenCompletions) {
+  SharingPool pool(1, 10.0, 100.0);
+  pool.submit(100.0);  // needs 10us
+  std::vector<SharingPool::Completion> done;
+  pool.advance_to(4.0, done);
+  EXPECT_TRUE(done.empty());
+  EXPECT_EQ(pool.num_busy(), 1u);
+  EXPECT_NEAR(pool.busy_edges_remaining(), 60.0, 1e-9);
+  pool.advance_to(12.0, done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0].t_us, 10.0, 1e-9);
+}
+
+TEST(SharingPool, CompletionOrderIsDeterministicBySize) {
+  SharingPool pool(3, 10.0, 1000.0);
+  const uint64_t big = pool.submit(30.0);
+  const uint64_t small = pool.submit(10.0);
+  const uint64_t mid = pool.submit(20.0);
+  std::vector<SharingPool::Completion> done;
+  pool.advance_to(100.0, done);
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].job_id, small);
+  EXPECT_EQ(done[1].job_id, mid);
+  EXPECT_EQ(done[2].job_id, big);
+}
+
+TEST(SharingPool, UtilizationAccounting) {
+  SharingPool pool(4, 10.0, 100.0);
+  EXPECT_TRUE(pool.has_idle());
+  EXPECT_EQ(pool.num_idle(), 4u);
+  pool.submit(8.0);
+  pool.submit(12.0);
+  EXPECT_EQ(pool.num_busy(), 2u);
+  EXPECT_DOUBLE_EQ(pool.busy_edges_assigned(), 20.0);
+  EXPECT_EQ(pool.peak_busy(), 2u);
+  std::vector<SharingPool::Completion> done;
+  pool.advance_to(100.0, done);
+  EXPECT_DOUBLE_EQ(pool.busy_edges_assigned(), 0.0);
+  EXPECT_EQ(pool.jobs_completed(), 2u);
+  EXPECT_EQ(pool.peak_busy(), 2u);
+}
+
+TEST(SharingPool, NextCompletionTime) {
+  SharingPool pool(2, 10.0, 100.0);
+  EXPECT_EQ(pool.next_completion_time(), SharingPool::kInfinity);
+  pool.submit(40.0);
+  // Alone: min(10, 100/1) = 10/us -> completes at 4us.
+  EXPECT_NEAR(pool.next_completion_time(), 4.0, 1e-9);
+}
+
+TEST(SharingPool, ZeroSizeJobCompletesImmediately) {
+  SharingPool pool(1, 10.0, 100.0);
+  pool.submit(0.0);
+  std::vector<SharingPool::Completion> done;
+  pool.advance_to(1.0, done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0].t_us, 0.0, 1e-9);
+}
+
+TEST(SharingPool, InvalidConstructionThrows) {
+  EXPECT_THROW(SharingPool(0, 1.0, 1.0), Error);
+  EXPECT_THROW(SharingPool(1, 0.0, 1.0), Error);
+  EXPECT_THROW(SharingPool(1, 1.0, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace adds

@@ -1,0 +1,200 @@
+// Property-based SSSP tests: for randomized graphs across families and
+// seeds, every engine's output must be a valid SSSP fixed point, identical
+// to Dijkstra's, and the engines' work/structure counters must satisfy
+// basic sanity invariants.
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "core/validate.hpp"
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace adds {
+namespace {
+
+struct PropCase {
+  GraphFamily family;
+  uint64_t seed;
+};
+
+GraphSpec spec_for(const PropCase& c) {
+  GraphSpec s;
+  s.family = c.family;
+  s.seed = c.seed;
+  s.weights = {WeightDist::kUniform, 1000};
+  switch (c.family) {
+    case GraphFamily::kGridRoad:
+      s.scale = 40;
+      s.a = 40;
+      break;
+    case GraphFamily::kRmat:
+      s.scale = 11;
+      s.a = 8;
+      break;
+    case GraphFamily::kErdosRenyi:
+      s.scale = 3000;
+      s.a = 7;
+      break;
+    case GraphFamily::kWattsStrogatz:
+      s.scale = 2048;
+      s.a = 6;
+      s.b = 0.1;
+      break;
+    case GraphFamily::kCliqueChain:
+      s.scale = 50;
+      s.a = 12;
+      break;
+    default:
+      s.scale = 2000;
+      break;
+  }
+  return s;
+}
+
+/// A distance array is a valid SSSP fixed point iff dist[source] == 0,
+/// every edge satisfies the triangle inequality dist[v] <= dist[u] + w, and
+/// every finite-distance vertex other than the source has a witness
+/// predecessor edge achieving equality.
+template <WeightType W>
+void expect_fixed_point(const CsrGraph<W>& g, VertexId source,
+                        const std::vector<DistT<W>>& dist) {
+  using Dist = DistT<W>;
+  ASSERT_EQ(dist.size(), g.num_vertices());
+  ASSERT_EQ(dist[source], Dist{0});
+  std::vector<bool> has_witness(g.num_vertices(), false);
+  has_witness[source] = true;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (dist[u] == DistTraits<W>::infinity()) continue;
+    for (EdgeIndex e = g.edge_begin(u); e < g.edge_end(u); ++e) {
+      const VertexId v = g.edge_target(e);
+      const Dist nd = dist[u] + Dist(g.edge_weight(e));
+      ASSERT_LE(dist[v], nd) << "triangle inequality violated at edge " << u
+                             << "->" << v;
+      if (dist[v] == nd) has_witness[v] = true;
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (dist[v] != DistTraits<W>::infinity()) {
+      ASSERT_TRUE(has_witness[v]) << "vertex " << v << " lacks a witness";
+    }
+  }
+}
+
+class SsspProperties : public testing::TestWithParam<PropCase> {};
+
+TEST_P(SsspProperties, AllEnginesProduceTheUniqueFixedPoint) {
+  const auto g = generate_graph<uint32_t>(spec_for(GetParam()));
+  const VertexId source = pick_source(g, GetParam().seed);
+  EngineConfig cfg;
+
+  const auto oracle = dijkstra(g, source, &cfg.cpu);
+  expect_fixed_point(g, source, oracle.dist);
+
+  for (const SolverKind k :
+       {SolverKind::kAdds, SolverKind::kAddsHost, SolverKind::kNf,
+        SolverKind::kGunNf, SolverKind::kGunBf, SolverKind::kNv,
+        SolverKind::kCpuDs}) {
+    const auto res = run_solver(k, g, source, cfg);
+    expect_fixed_point(g, source, res.dist);
+    EXPECT_TRUE(validate_distances(res, oracle).ok()) << res.solver;
+  }
+}
+
+TEST_P(SsspProperties, WorkCountersAreConsistent) {
+  const auto g = generate_graph<uint32_t>(spec_for(GetParam()));
+  const VertexId source = pick_source(g, GetParam().seed);
+  EngineConfig cfg;
+
+  const auto oracle = dijkstra(g, source, &cfg.cpu);
+  const uint64_t reached = oracle.reached();
+  // Dijkstra processes each reached vertex exactly once.
+  EXPECT_EQ(oracle.work.items_processed, reached);
+  EXPECT_GE(oracle.work.pushes, reached);
+  EXPECT_GT(oracle.work.heap_ops, 0u);
+
+  for (const SolverKind k : {SolverKind::kAdds, SolverKind::kNf,
+                             SolverKind::kGunBf, SolverKind::kCpuDs}) {
+    const auto res = run_solver(k, g, source, cfg);
+    // No algorithm can settle all vertices with less work than Dijkstra.
+    EXPECT_GE(res.work.items_processed, reached - 1) << res.solver;
+    // Improvements at least cover first-time settlement of each vertex.
+    EXPECT_GE(res.work.improvements + 1, reached) << res.solver;
+    EXPECT_GT(res.work.relaxations, 0u) << res.solver;
+    EXPECT_GT(res.time_us, 0.0) << res.solver;
+  }
+}
+
+TEST_P(SsspProperties, FloatEnginesAgreeExactly) {
+  const auto spec = spec_for(GetParam());
+  const auto g = generate_graph<float>(spec);
+  const VertexId source = pick_source(g, GetParam().seed);
+  EngineConfig cfg;
+  const auto oracle = dijkstra(g, source, &cfg.cpu);
+  for (const SolverKind k :
+       {SolverKind::kAdds, SolverKind::kAddsHost, SolverKind::kNf}) {
+    const auto res = run_solver(k, g, source, cfg);
+    // The SSSP fixed point is unique even in float arithmetic: distances
+    // are min-over-paths of identically-ordered sums.
+    EXPECT_TRUE(validate_distances(res, oracle).ok()) << res.solver;
+  }
+}
+
+std::vector<PropCase> prop_cases() {
+  std::vector<PropCase> out;
+  for (const GraphFamily f :
+       {GraphFamily::kGridRoad, GraphFamily::kRmat, GraphFamily::kErdosRenyi,
+        GraphFamily::kWattsStrogatz, GraphFamily::kCliqueChain}) {
+    for (uint64_t seed : {101, 202, 303}) out.push_back({f, seed});
+  }
+  return out;
+}
+
+std::string prop_name(const testing::TestParamInfo<PropCase>& info) {
+  std::string n = std::string(family_name(info.param.family)) + "_s" +
+                  std::to_string(info.param.seed);
+  for (auto& c : n)
+    if (c == '-') c = '_';
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(FamiliesXSeeds, SsspProperties,
+                         testing::ValuesIn(prop_cases()), prop_name);
+
+// Weight-distribution edge cases exercised on one engine pair.
+TEST(SsspWeights, UnitWeightsReduceToBfs) {
+  GraphSpec s;
+  s.family = GraphFamily::kGridRoad;
+  s.scale = 30;
+  s.a = 30;
+  s.weights = {WeightDist::kUnit, 1};
+  s.seed = 5;
+  const auto g = generate_graph<uint32_t>(s);
+  EngineConfig cfg;
+  const auto res = run_solver(SolverKind::kAdds, g, 0, cfg);
+  const auto hops = bfs_hops(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (hops[v] == kUnreachedHops) {
+      EXPECT_EQ(res.dist[v], DistTraits<uint32_t>::infinity());
+    } else {
+      EXPECT_EQ(res.dist[v], hops[v]);
+    }
+  }
+}
+
+TEST(SsspWeights, LargeWeightsDoNotOverflow) {
+  // Chain of max-weight edges: total distance ~ n * 2^32 exceeds 32 bits;
+  // 64-bit distances must carry it.
+  GraphBuilder<uint32_t> b{1000};
+  const uint32_t w = std::numeric_limits<uint32_t>::max();
+  for (VertexId v = 0; v + 1 < 1000; ++v) b.add_undirected_edge(v, v + 1, w);
+  const auto g = b.build();
+  EngineConfig cfg;
+  const auto res = run_solver(SolverKind::kAdds, g, 0, cfg);
+  EXPECT_EQ(res.dist[999], uint64_t(999) * w);
+  const auto oracle = dijkstra(g, VertexId{0});
+  EXPECT_TRUE(validate_distances(res, oracle).ok());
+}
+
+}  // namespace
+}  // namespace adds

@@ -1,0 +1,70 @@
+// Translation cache tests: correctness vs direct reads, hit accounting,
+// and reset behaviour.
+#include <gtest/gtest.h>
+
+#include "queue/translation_cache.hpp"
+
+namespace adds {
+namespace {
+
+constexpr uint32_t kBlockWords = 64;
+
+struct Harness {
+  Harness() : pool(16, kBlockWords), bucket(pool, cfg()) {
+    bucket.ensure_capacity(8 * kBlockWords);
+    for (uint32_t i = 0; i < 6 * kBlockWords; ++i) bucket.push(i * 3 + 1);
+  }
+  static BucketConfig cfg() {
+    BucketConfig c;
+    c.segment_words = 8;
+    c.table_size = 16;
+    return c;
+  }
+  BlockPool pool;
+  Bucket bucket;
+};
+
+TEST(TranslationCache, MatchesDirectReads) {
+  Harness h;
+  TranslationCache<8> cache;
+  cache.reset();
+  for (uint32_t i = 0; i < 6 * kBlockWords; ++i)
+    ASSERT_EQ(cache.read(h.bucket, i), h.bucket.read_item(i));
+}
+
+TEST(TranslationCache, SequentialAccessHitsAlmostAlways) {
+  Harness h;
+  TranslationCache<8> cache;
+  cache.reset();
+  for (uint32_t i = 0; i < 6 * kBlockWords; ++i) cache.read(h.bucket, i);
+  // One miss per block boundary.
+  EXPECT_EQ(cache.misses(), 6u);
+  EXPECT_EQ(cache.hits(), 6u * kBlockWords - 6);
+}
+
+TEST(TranslationCache, StridedAccessAcrossManyBlocksThrashes) {
+  Harness h;
+  // A 2-entry cache with a 6-block working set must miss on conflict.
+  TranslationCache<2> cache;
+  cache.reset();
+  for (int round = 0; round < 3; ++round)
+    for (uint32_t b = 0; b < 6; ++b) cache.read(h.bucket, b * kBlockWords);
+  EXPECT_GT(cache.misses(), cache.hits());
+}
+
+TEST(TranslationCache, ResetClearsEverything) {
+  Harness h;
+  TranslationCache<8> cache;
+  cache.reset();
+  cache.read(h.bucket, 0);
+  cache.read(h.bucket, 1);
+  EXPECT_GT(cache.hits() + cache.misses(), 0u);
+  cache.reset();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  // Still correct after reset.
+  EXPECT_EQ(cache.read(h.bucket, 5), h.bucket.read_item(5));
+}
+
+}  // namespace
+}  // namespace adds

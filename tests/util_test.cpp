@@ -1,0 +1,286 @@
+// Unit tests for the utility substrate: RNG determinism, statistics,
+// distribution bins, tables, CSV, and CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace adds {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+TEST(Rng, SplitMixKnownSequenceIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroSameSeedSameStream) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroDifferentSeedsDiverge) {
+  Xoshiro256 a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.next_below(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Xoshiro256 rng(2);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8000; ++i) ++seen[rng.next_below(8)];
+  for (int b = 0; b < 8; ++b) EXPECT_GT(seen[b], 700) << "bucket " << b;
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Xoshiro256 rng(3);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.next_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    lo |= v == 5;
+    hi |= v == 8;
+  }
+  EXPECT_TRUE(lo && hi);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, MixSeedChangesWithBothArguments) {
+  EXPECT_NE(mix_seed(1, 2), mix_seed(1, 3));
+  EXPECT_NE(mix_seed(1, 2), mix_seed(2, 2));
+  EXPECT_EQ(mix_seed(5, 9), mix_seed(5, 9));
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+TEST(Stats, RunningStatBasics) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 6.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+}
+
+TEST(Stats, RunningStatMergeMatchesCombined) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, GeomeanKnownValues) {
+  EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(Stats, SpeedupBinsMatchPaperLayout) {
+  auto bins = BinnedDistribution::speedup_bins();
+  ASSERT_EQ(bins.num_bins(), 7u);
+  EXPECT_EQ(bins.label(0), "<0.9x");
+  EXPECT_EQ(bins.label(1), "0.9x-1.1x");
+  EXPECT_EQ(bins.label(6), ">=5x");
+  bins.add(0.5);   // bin 0
+  bins.add(1.0);   // bin 1
+  bins.add(1.1);   // bin 2 (half-open: 1.1 belongs to [1.1, 1.5))
+  bins.add(7.0);   // bin 6
+  EXPECT_EQ(bins.count(0), 1u);
+  EXPECT_EQ(bins.count(1), 1u);
+  EXPECT_EQ(bins.count(2), 1u);
+  EXPECT_EQ(bins.count(6), 1u);
+  EXPECT_EQ(bins.total(), 4u);
+  EXPECT_EQ(bins.percent(0), 25);
+  EXPECT_EQ(bins.cell(0), "1 (25%)");
+}
+
+TEST(Stats, WorkBinsMatchPaperLayout) {
+  auto bins = BinnedDistribution::work_bins();
+  ASSERT_EQ(bins.num_bins(), 7u);
+  EXPECT_EQ(bins.label(0), "<0.25x");
+  EXPECT_EQ(bins.label(6), ">=3x");
+}
+
+TEST(Stats, Log2HistogramBins) {
+  Log2Histogram h(8, 64);  // <8, 8-16, 16-32, 32-64, >=64
+  ASSERT_EQ(h.num_bins(), 5u);
+  h.add(1);
+  h.add(8);
+  h.add(15.9);
+  h.add(32);
+  h.add(100);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.label(0), "<8");
+  EXPECT_EQ(h.label(1), "8-16");
+  EXPECT_EQ(h.label(4), ">=64");
+}
+
+// ---------------------------------------------------------------------------
+// Table / formatting
+// ---------------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t("demo");
+  t.set_header({"a", "long-header"});
+  t.add_row({"xxxx", "y"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("| a    | long-header |"), std::string::npos);
+  EXPECT_NE(s.find("| xxxx | y           |"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_ratio(2.934), "2.93x");
+  EXPECT_EQ(fmt_time_us(999.0), "999.0 us");
+  EXPECT_EQ(fmt_time_us(1500.0), "1.50 ms");
+  EXPECT_EQ(fmt_time_us(2.5e6), "2.500 s");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(12), "12");
+  EXPECT_EQ(fmt_count(123), "123");
+  EXPECT_EQ(fmt_count(1234), "1,234");
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(Csv, WritesFileWithDirectories) {
+  const std::string path = "test_tmp/csv/deep/file.csv";
+  {
+    CsvWriter w(path);
+    w.write_header({"a", "b"});
+    w.write_row({"1", "x,y"});
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string l1, l2;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  EXPECT_EQ(l1, "a,b");
+  EXPECT_EQ(l2, "1,\"x,y\"");
+  std::filesystem::remove_all("test_tmp");
+}
+
+// ---------------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------------
+
+TEST(Cli, ParsesFlagsAndOptions) {
+  CliParser cli("prog", "desc");
+  cli.add_flag("verbose", "be loud");
+  cli.add_option("count", "how many", "5");
+  cli.add_option("name", "a name", "");
+  const char* argv[] = {"prog", "--verbose", "--count=12", "--name", "bob",
+                        "positional"};
+  ASSERT_TRUE(cli.parse(6, argv));
+  EXPECT_TRUE(cli.flag("verbose"));
+  EXPECT_EQ(cli.integer("count"), 12);
+  EXPECT_EQ(cli.str("name"), "bob");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  CliParser cli("prog", "desc");
+  cli.add_option("count", "how many", "5");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.integer("count"), 5);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliParser cli("prog", "desc");
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_THROW(cli.parse(2, argv), Error);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli("prog", "desc");
+  cli.add_option("count", "how many", "5");
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_THROW(cli.parse(2, argv), Error);
+}
+
+TEST(Cli, NonNumericValueThrows) {
+  CliParser cli("prog", "desc");
+  cli.add_option("count", "how many", "5");
+  const char* argv[] = {"prog", "--count=abc"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW(cli.integer("count"), Error);
+  EXPECT_THROW(cli.real("count"), Error);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("prog", "desc");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, RealValues) {
+  CliParser cli("prog", "desc");
+  cli.add_option("scale", "factor", "0.25");
+  const char* argv[] = {"prog", "--scale=1.5"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_DOUBLE_EQ(cli.real("scale"), 1.5);
+}
+
+}  // namespace
+}  // namespace adds

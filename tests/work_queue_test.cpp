@@ -1,0 +1,163 @@
+// WorkQueue (circular 32-bucket priority window) tests: priority mapping,
+// clipping, rotation, Δ updates, and statistics.
+#include <gtest/gtest.h>
+
+#include "queue/work_queue.hpp"
+
+namespace adds {
+namespace {
+
+WorkQueue::Config small_cfg(uint32_t buckets = 4) {
+  WorkQueue::Config cfg;
+  cfg.num_buckets = buckets;
+  cfg.bucket.segment_words = 8;
+  cfg.bucket.table_size = 4;
+  return cfg;
+}
+
+TEST(LogicalIndex, MapsDistancesToBuckets) {
+  // base 0, delta 10, 4 buckets: [0,10) [10,20) [20,30) [30,inf)
+  EXPECT_EQ(WorkQueue::logical_index(0.0, 0.0, 10.0, 4), 0u);
+  EXPECT_EQ(WorkQueue::logical_index(9.99, 0.0, 10.0, 4), 0u);
+  EXPECT_EQ(WorkQueue::logical_index(10.0, 0.0, 10.0, 4), 1u);
+  EXPECT_EQ(WorkQueue::logical_index(29.0, 0.0, 10.0, 4), 2u);
+}
+
+TEST(LogicalIndex, ClipsBeyondWindowToTail) {
+  EXPECT_EQ(WorkQueue::logical_index(30.0, 0.0, 10.0, 4), 3u);
+  EXPECT_EQ(WorkQueue::logical_index(1e12, 0.0, 10.0, 4), 3u);
+}
+
+TEST(LogicalIndex, BelowBaseMapsToHead) {
+  // Stale/raced items with distances below the window go to the head.
+  EXPECT_EQ(WorkQueue::logical_index(5.0, 100.0, 10.0, 4), 0u);
+  EXPECT_EQ(WorkQueue::logical_index(100.0, 100.0, 10.0, 4), 0u);
+}
+
+TEST(LogicalIndex, PaperExampleFigure6) {
+  // Figure 6: distances {5, 23, 40, 46}, 4 buckets.
+  // delta=20: [0,20)(5) [20,40)(23) [40,60)(40,46) — "best ordering" case
+  EXPECT_EQ(WorkQueue::logical_index(5, 0, 20, 4), 0u);
+  EXPECT_EQ(WorkQueue::logical_index(23, 0, 20, 4), 1u);
+  EXPECT_EQ(WorkQueue::logical_index(40, 0, 20, 4), 2u);
+  EXPECT_EQ(WorkQueue::logical_index(46, 0, 20, 4), 2u);
+  // delta=5: 23, 40, 46 all clip to the last bucket.
+  EXPECT_EQ(WorkQueue::logical_index(5, 0, 5, 4), 1u);
+  EXPECT_EQ(WorkQueue::logical_index(23, 0, 5, 4), 3u);
+  EXPECT_EQ(WorkQueue::logical_index(40, 0, 5, 4), 3u);
+  // delta=40: more items share the first bucket (parallelism).
+  EXPECT_EQ(WorkQueue::logical_index(5, 0, 40, 4), 0u);
+  EXPECT_EQ(WorkQueue::logical_index(23, 0, 40, 4), 0u);
+  EXPECT_EQ(WorkQueue::logical_index(46, 0, 40, 4), 1u);
+}
+
+TEST(WorkQueue, PushPlacesByPriority) {
+  BlockPool pool(32, 64);
+  WorkQueue q(pool, small_cfg());
+  q.set_delta(10.0);
+  q.ensure_capacity_all(16);
+  EXPECT_EQ(q.push(100, 5.0), 0u);
+  EXPECT_EQ(q.push(101, 15.0), 1u);
+  EXPECT_EQ(q.push(102, 35.0), 3u);
+  EXPECT_EQ(q.push(103, 999.0), 3u);  // clipped
+  EXPECT_EQ(q.pending_of(0), 1u);
+  EXPECT_EQ(q.pending_of(1), 1u);
+  EXPECT_EQ(q.pending_of(2), 0u);
+  EXPECT_EQ(q.pending_of(3), 2u);
+  EXPECT_EQ(q.total_pending(), 4u);
+}
+
+TEST(WorkQueue, AdvanceWindowRotatesAndShiftsBase) {
+  BlockPool pool(32, 64);
+  WorkQueue q(pool, small_cfg());
+  q.set_delta(10.0);
+  q.ensure_capacity_all(16);
+  q.push(7, 15.0);  // logical 1
+  EXPECT_TRUE(q.head_drained());
+  const uint32_t phys_of_1 = q.logical_to_physical(1);
+  q.advance_window();
+  EXPECT_EQ(q.window_position(), 1u);
+  EXPECT_DOUBLE_EQ(q.base_dist(), 10.0);
+  // The old logical-1 bucket is now the head.
+  EXPECT_EQ(q.logical_to_physical(0), phys_of_1);
+  EXPECT_EQ(q.pending_of(0), 1u);
+  // A push at distance 15 now lands in the head ([10, 20)).
+  EXPECT_EQ(q.push(8, 15.0), 0u);
+}
+
+TEST(WorkQueue, FullRotationCycle) {
+  BlockPool pool(64, 64);
+  WorkQueue q(pool, small_cfg(4));
+  q.set_delta(1.0);
+  q.ensure_capacity_all(16);
+  for (int round = 0; round < 10; ++round) {
+    // Drain-and-advance an empty window; base marches by delta each time.
+    ASSERT_TRUE(q.head_drained());
+    q.advance_window();
+  }
+  EXPECT_EQ(q.window_position(), 10u);
+  EXPECT_DOUBLE_EQ(q.base_dist(), 10.0);
+}
+
+TEST(WorkQueue, HeadDrainedTracksConsumption) {
+  BlockPool pool(32, 64);
+  WorkQueue q(pool, small_cfg());
+  q.set_delta(10.0);
+  q.ensure_capacity_all(16);
+  q.push(1, 0.0);
+  EXPECT_FALSE(q.head_drained());
+  Bucket& head = q.logical_bucket(0);
+  head.advance_read(head.scan_written_bound());
+  EXPECT_FALSE(q.head_drained());  // read but not completed
+  head.complete(1);
+  EXPECT_TRUE(q.head_drained());
+}
+
+TEST(WorkQueue, RetireRecyclesBlocksOnRotation) {
+  BlockPool pool(32, 64);
+  WorkQueue q(pool, small_cfg());
+  q.set_delta(10.0);
+  q.ensure_capacity_all(3 * 64);
+  Bucket& head = q.logical_bucket(0);
+  for (uint32_t i = 0; i < 2 * 64; ++i) q.push(i, 0.0);
+  head.advance_read(head.scan_written_bound());
+  head.complete(2 * 64);
+  const uint32_t freed = q.advance_window();
+  EXPECT_EQ(freed, 2u);
+}
+
+TEST(WorkQueue, SetDeltaAffectsSubsequentPushes) {
+  BlockPool pool(32, 64);
+  WorkQueue q(pool, small_cfg());
+  q.set_delta(10.0);
+  q.ensure_capacity_all(16);
+  EXPECT_EQ(q.push(1, 25.0), 2u);
+  q.set_delta(100.0);
+  EXPECT_EQ(q.push(2, 25.0), 0u);
+  EXPECT_DOUBLE_EQ(q.delta(), 100.0);
+}
+
+TEST(WorkQueue, RequiresAtLeastTwoBuckets) {
+  BlockPool pool(8, 64);
+  WorkQueue::Config cfg = small_cfg(1);
+  EXPECT_THROW(WorkQueue(pool, cfg), Error);
+}
+
+TEST(WorkQueue, InFlightAccounting) {
+  BlockPool pool(32, 64);
+  WorkQueue q(pool, small_cfg());
+  q.set_delta(10.0);
+  q.ensure_capacity_all(16);
+  q.push(1, 0.0);
+  q.push(2, 0.0);
+  EXPECT_EQ(q.total_in_flight(), 0u);
+  Bucket& head = q.logical_bucket(0);
+  head.advance_read(head.scan_written_bound());
+  EXPECT_EQ(q.total_in_flight(), 2u);
+  EXPECT_EQ(q.total_pending(), 0u);
+  head.complete(2);
+  EXPECT_EQ(q.total_in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace adds
