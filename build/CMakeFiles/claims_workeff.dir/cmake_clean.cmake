@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_workeff.dir/bench/claims_workeff.cpp.o"
+  "CMakeFiles/claims_workeff.dir/bench/claims_workeff.cpp.o.d"
+  "bench/claims_workeff"
+  "bench/claims_workeff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_workeff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

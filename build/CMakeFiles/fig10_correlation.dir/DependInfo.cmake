@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_correlation.cpp" "CMakeFiles/fig10_correlation.dir/bench/fig10_correlation.cpp.o" "gcc" "CMakeFiles/fig10_correlation.dir/bench/fig10_correlation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sssp/CMakeFiles/adds_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/adds_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/adds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

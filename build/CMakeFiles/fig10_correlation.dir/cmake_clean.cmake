@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_correlation.dir/bench/fig10_correlation.cpp.o"
+  "CMakeFiles/fig10_correlation.dir/bench/fig10_correlation.cpp.o.d"
+  "bench/fig10_correlation"
+  "bench/fig10_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

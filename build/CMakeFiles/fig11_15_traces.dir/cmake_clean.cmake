@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_15_traces.dir/bench/fig11_15_traces.cpp.o"
+  "CMakeFiles/fig11_15_traces.dir/bench/fig11_15_traces.cpp.o.d"
+  "bench/fig11_15_traces"
+  "bench/fig11_15_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_15_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_delta_constant.dir/bench/fig4_delta_constant.cpp.o"
+  "CMakeFiles/fig4_delta_constant.dir/bench/fig4_delta_constant.cpp.o.d"
+  "bench/fig4_delta_constant"
+  "bench/fig4_delta_constant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_delta_constant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_delta_constant.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_delta_sweep.dir/bench/fig7_delta_sweep.cpp.o"
+  "CMakeFiles/fig7_delta_sweep.dir/bench/fig7_delta_sweep.cpp.o.d"
+  "bench/fig7_delta_sweep"
+  "bench/fig7_delta_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_delta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

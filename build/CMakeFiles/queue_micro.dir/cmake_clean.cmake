@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_micro.dir/bench/queue_micro.cpp.o"
+  "CMakeFiles/queue_micro.dir/bench/queue_micro.cpp.o.d"
+  "bench/queue_micro"
+  "bench/queue_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

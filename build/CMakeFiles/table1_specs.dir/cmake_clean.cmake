@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_specs.dir/bench/table1_specs.cpp.o"
+  "CMakeFiles/table1_specs.dir/bench/table1_specs.cpp.o.d"
+  "bench/table1_specs"
+  "bench/table1_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_corpus.dir/bench/table2_corpus.cpp.o"
+  "CMakeFiles/table2_corpus.dir/bench/table2_corpus.cpp.o.d"
+  "bench/table2_corpus"
+  "bench/table2_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

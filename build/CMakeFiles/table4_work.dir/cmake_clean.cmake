@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_work.dir/bench/table4_work.cpp.o"
+  "CMakeFiles/table4_work.dir/bench/table4_work.cpp.o.d"
+  "bench/table4_work"
+  "bench/table4_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

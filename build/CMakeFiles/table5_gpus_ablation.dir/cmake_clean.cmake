@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_gpus_ablation.dir/bench/table5_gpus_ablation.cpp.o"
+  "CMakeFiles/table5_gpus_ablation.dir/bench/table5_gpus_ablation.cpp.o.d"
+  "bench/table5_gpus_ablation"
+  "bench/table5_gpus_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_gpus_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_tuning.dir/delta_tuning.cpp.o"
+  "CMakeFiles/delta_tuning.dir/delta_tuning.cpp.o.d"
+  "delta_tuning"
+  "delta_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_contrast.dir/scheduler_contrast.cpp.o"
+  "CMakeFiles/scheduler_contrast.dir/scheduler_contrast.cpp.o.d"
+  "scheduler_contrast"
+  "scheduler_contrast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_contrast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

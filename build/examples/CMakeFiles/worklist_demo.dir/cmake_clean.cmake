@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worklist_demo.dir/worklist_demo.cpp.o"
+  "CMakeFiles/worklist_demo.dir/worklist_demo.cpp.o.d"
+  "worklist_demo"
+  "worklist_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worklist_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

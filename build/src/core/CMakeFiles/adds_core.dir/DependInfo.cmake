@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytics.cpp" "src/core/CMakeFiles/adds_core.dir/analytics.cpp.o" "gcc" "src/core/CMakeFiles/adds_core.dir/analytics.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/adds_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/adds_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/paths.cpp" "src/core/CMakeFiles/adds_core.dir/paths.cpp.o" "gcc" "src/core/CMakeFiles/adds_core.dir/paths.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/adds_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/adds_core.dir/solver.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/adds_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/adds_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sssp/CMakeFiles/adds_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/adds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/adds_queue.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

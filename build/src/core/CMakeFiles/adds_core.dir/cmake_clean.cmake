@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adds_core.dir/analytics.cpp.o"
+  "CMakeFiles/adds_core.dir/analytics.cpp.o.d"
+  "CMakeFiles/adds_core.dir/experiment.cpp.o"
+  "CMakeFiles/adds_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/adds_core.dir/paths.cpp.o"
+  "CMakeFiles/adds_core.dir/paths.cpp.o.d"
+  "CMakeFiles/adds_core.dir/solver.cpp.o"
+  "CMakeFiles/adds_core.dir/solver.cpp.o.d"
+  "CMakeFiles/adds_core.dir/validate.cpp.o"
+  "CMakeFiles/adds_core.dir/validate.cpp.o.d"
+  "libadds_core.a"
+  "libadds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

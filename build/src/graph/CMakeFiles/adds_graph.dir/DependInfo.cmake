@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/analysis.cpp" "src/graph/CMakeFiles/adds_graph.dir/analysis.cpp.o" "gcc" "src/graph/CMakeFiles/adds_graph.dir/analysis.cpp.o.d"
+  "/root/repo/src/graph/corpus.cpp" "src/graph/CMakeFiles/adds_graph.dir/corpus.cpp.o" "gcc" "src/graph/CMakeFiles/adds_graph.dir/corpus.cpp.o.d"
+  "/root/repo/src/graph/dimacs.cpp" "src/graph/CMakeFiles/adds_graph.dir/dimacs.cpp.o" "gcc" "src/graph/CMakeFiles/adds_graph.dir/dimacs.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/adds_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/adds_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/gr_format.cpp" "src/graph/CMakeFiles/adds_graph.dir/gr_format.cpp.o" "gcc" "src/graph/CMakeFiles/adds_graph.dir/gr_format.cpp.o.d"
+  "/root/repo/src/graph/transform.cpp" "src/graph/CMakeFiles/adds_graph.dir/transform.cpp.o" "gcc" "src/graph/CMakeFiles/adds_graph.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

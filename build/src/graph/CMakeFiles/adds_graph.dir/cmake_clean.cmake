@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adds_graph.dir/analysis.cpp.o"
+  "CMakeFiles/adds_graph.dir/analysis.cpp.o.d"
+  "CMakeFiles/adds_graph.dir/corpus.cpp.o"
+  "CMakeFiles/adds_graph.dir/corpus.cpp.o.d"
+  "CMakeFiles/adds_graph.dir/dimacs.cpp.o"
+  "CMakeFiles/adds_graph.dir/dimacs.cpp.o.d"
+  "CMakeFiles/adds_graph.dir/generators.cpp.o"
+  "CMakeFiles/adds_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/adds_graph.dir/gr_format.cpp.o"
+  "CMakeFiles/adds_graph.dir/gr_format.cpp.o.d"
+  "CMakeFiles/adds_graph.dir/transform.cpp.o"
+  "CMakeFiles/adds_graph.dir/transform.cpp.o.d"
+  "libadds_graph.a"
+  "libadds_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adds_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

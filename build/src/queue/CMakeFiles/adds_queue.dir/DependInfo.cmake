@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queue/block_pool.cpp" "src/queue/CMakeFiles/adds_queue.dir/block_pool.cpp.o" "gcc" "src/queue/CMakeFiles/adds_queue.dir/block_pool.cpp.o.d"
+  "/root/repo/src/queue/bucket.cpp" "src/queue/CMakeFiles/adds_queue.dir/bucket.cpp.o" "gcc" "src/queue/CMakeFiles/adds_queue.dir/bucket.cpp.o.d"
+  "/root/repo/src/queue/work_queue.cpp" "src/queue/CMakeFiles/adds_queue.dir/work_queue.cpp.o" "gcc" "src/queue/CMakeFiles/adds_queue.dir/work_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adds_queue.dir/block_pool.cpp.o"
+  "CMakeFiles/adds_queue.dir/block_pool.cpp.o.d"
+  "CMakeFiles/adds_queue.dir/bucket.cpp.o"
+  "CMakeFiles/adds_queue.dir/bucket.cpp.o.d"
+  "CMakeFiles/adds_queue.dir/work_queue.cpp.o"
+  "CMakeFiles/adds_queue.dir/work_queue.cpp.o.d"
+  "libadds_queue.a"
+  "libadds_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adds_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

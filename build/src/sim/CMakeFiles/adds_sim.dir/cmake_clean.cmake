@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adds_sim.dir/gpu_spec.cpp.o"
+  "CMakeFiles/adds_sim.dir/gpu_spec.cpp.o.d"
+  "CMakeFiles/adds_sim.dir/trace.cpp.o"
+  "CMakeFiles/adds_sim.dir/trace.cpp.o.d"
+  "libadds_sim.a"
+  "libadds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sssp/adds_host.cpp" "src/sssp/CMakeFiles/adds_sssp.dir/adds_host.cpp.o" "gcc" "src/sssp/CMakeFiles/adds_sssp.dir/adds_host.cpp.o.d"
+  "/root/repo/src/sssp/adds_sim.cpp" "src/sssp/CMakeFiles/adds_sssp.dir/adds_sim.cpp.o" "gcc" "src/sssp/CMakeFiles/adds_sssp.dir/adds_sim.cpp.o.d"
+  "/root/repo/src/sssp/bellman_ford.cpp" "src/sssp/CMakeFiles/adds_sssp.dir/bellman_ford.cpp.o" "gcc" "src/sssp/CMakeFiles/adds_sssp.dir/bellman_ford.cpp.o.d"
+  "/root/repo/src/sssp/cpu_delta_stepping.cpp" "src/sssp/CMakeFiles/adds_sssp.dir/cpu_delta_stepping.cpp.o" "gcc" "src/sssp/CMakeFiles/adds_sssp.dir/cpu_delta_stepping.cpp.o.d"
+  "/root/repo/src/sssp/delta_controller.cpp" "src/sssp/CMakeFiles/adds_sssp.dir/delta_controller.cpp.o" "gcc" "src/sssp/CMakeFiles/adds_sssp.dir/delta_controller.cpp.o.d"
+  "/root/repo/src/sssp/dijkstra.cpp" "src/sssp/CMakeFiles/adds_sssp.dir/dijkstra.cpp.o" "gcc" "src/sssp/CMakeFiles/adds_sssp.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/sssp/nearfar.cpp" "src/sssp/CMakeFiles/adds_sssp.dir/nearfar.cpp.o" "gcc" "src/sssp/CMakeFiles/adds_sssp.dir/nearfar.cpp.o.d"
+  "/root/repo/src/sssp/nearfar_host.cpp" "src/sssp/CMakeFiles/adds_sssp.dir/nearfar_host.cpp.o" "gcc" "src/sssp/CMakeFiles/adds_sssp.dir/nearfar_host.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/adds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/adds_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

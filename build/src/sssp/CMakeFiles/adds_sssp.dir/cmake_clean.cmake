@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adds_sssp.dir/adds_host.cpp.o"
+  "CMakeFiles/adds_sssp.dir/adds_host.cpp.o.d"
+  "CMakeFiles/adds_sssp.dir/adds_sim.cpp.o"
+  "CMakeFiles/adds_sssp.dir/adds_sim.cpp.o.d"
+  "CMakeFiles/adds_sssp.dir/bellman_ford.cpp.o"
+  "CMakeFiles/adds_sssp.dir/bellman_ford.cpp.o.d"
+  "CMakeFiles/adds_sssp.dir/cpu_delta_stepping.cpp.o"
+  "CMakeFiles/adds_sssp.dir/cpu_delta_stepping.cpp.o.d"
+  "CMakeFiles/adds_sssp.dir/delta_controller.cpp.o"
+  "CMakeFiles/adds_sssp.dir/delta_controller.cpp.o.d"
+  "CMakeFiles/adds_sssp.dir/dijkstra.cpp.o"
+  "CMakeFiles/adds_sssp.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/adds_sssp.dir/nearfar.cpp.o"
+  "CMakeFiles/adds_sssp.dir/nearfar.cpp.o.d"
+  "CMakeFiles/adds_sssp.dir/nearfar_host.cpp.o"
+  "CMakeFiles/adds_sssp.dir/nearfar_host.cpp.o.d"
+  "libadds_sssp.a"
+  "libadds_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adds_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

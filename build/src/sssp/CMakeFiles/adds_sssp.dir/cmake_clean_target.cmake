@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadds_sssp.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adds_util.dir/cli.cpp.o"
+  "CMakeFiles/adds_util.dir/cli.cpp.o.d"
+  "CMakeFiles/adds_util.dir/csv.cpp.o"
+  "CMakeFiles/adds_util.dir/csv.cpp.o.d"
+  "CMakeFiles/adds_util.dir/log.cpp.o"
+  "CMakeFiles/adds_util.dir/log.cpp.o.d"
+  "CMakeFiles/adds_util.dir/stats.cpp.o"
+  "CMakeFiles/adds_util.dir/stats.cpp.o.d"
+  "CMakeFiles/adds_util.dir/table.cpp.o"
+  "CMakeFiles/adds_util.dir/table.cpp.o.d"
+  "libadds_util.a"
+  "libadds_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adds_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adds_host_stress_test.dir/adds_host_stress_test.cpp.o"
+  "CMakeFiles/adds_host_stress_test.dir/adds_host_stress_test.cpp.o.d"
+  "adds_host_stress_test"
+  "adds_host_stress_test.pdb"
+  "adds_host_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adds_host_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_pool_test.dir/block_pool_test.cpp.o"
+  "CMakeFiles/block_pool_test.dir/block_pool_test.cpp.o.d"
+  "block_pool_test"
+  "block_pool_test.pdb"
+  "block_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

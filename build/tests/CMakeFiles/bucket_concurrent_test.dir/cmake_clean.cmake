@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bucket_concurrent_test.dir/bucket_concurrent_test.cpp.o"
+  "CMakeFiles/bucket_concurrent_test.dir/bucket_concurrent_test.cpp.o.d"
+  "bucket_concurrent_test"
+  "bucket_concurrent_test.pdb"
+  "bucket_concurrent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bucket_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

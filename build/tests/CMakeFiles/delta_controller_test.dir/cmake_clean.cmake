@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_controller_test.dir/delta_controller_test.cpp.o"
+  "CMakeFiles/delta_controller_test.dir/delta_controller_test.cpp.o.d"
+  "delta_controller_test"
+  "delta_controller_test.pdb"
+  "delta_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearfar_host_test.dir/nearfar_host_test.cpp.o"
+  "CMakeFiles/nearfar_host_test.dir/nearfar_host_test.cpp.o.d"
+  "nearfar_host_test"
+  "nearfar_host_test.pdb"
+  "nearfar_host_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearfar_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paths_validate_test.dir/paths_validate_test.cpp.o"
+  "CMakeFiles/paths_validate_test.dir/paths_validate_test.cpp.o.d"
+  "paths_validate_test"
+  "paths_validate_test.pdb"
+  "paths_validate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paths_validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_pool_test.dir/sharing_pool_test.cpp.o"
+  "CMakeFiles/sharing_pool_test.dir/sharing_pool_test.cpp.o.d"
+  "sharing_pool_test"
+  "sharing_pool_test.pdb"
+  "sharing_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_correctness_test.dir/sssp_correctness_test.cpp.o"
+  "CMakeFiles/sssp_correctness_test.dir/sssp_correctness_test.cpp.o.d"
+  "sssp_correctness_test"
+  "sssp_correctness_test.pdb"
+  "sssp_correctness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_property_test.dir/sssp_property_test.cpp.o"
+  "CMakeFiles/sssp_property_test.dir/sssp_property_test.cpp.o.d"
+  "sssp_property_test"
+  "sssp_property_test.pdb"
+  "sssp_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

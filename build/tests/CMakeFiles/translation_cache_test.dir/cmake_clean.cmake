@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translation_cache_test.dir/translation_cache_test.cpp.o"
+  "CMakeFiles/translation_cache_test.dir/translation_cache_test.cpp.o.d"
+  "translation_cache_test"
+  "translation_cache_test.pdb"
+  "translation_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translation_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_io_test[1]_include.cmake")
+include("/root/repo/build/tests/generators_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/block_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/bucket_test[1]_include.cmake")
+include("/root/repo/build/tests/bucket_concurrent_test[1]_include.cmake")
+include("/root/repo/build/tests/work_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/translation_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/sharing_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/delta_controller_test[1]_include.cmake")
+include("/root/repo/build/tests/sssp_correctness_test[1]_include.cmake")
+include("/root/repo/build/tests/sssp_property_test[1]_include.cmake")
+include("/root/repo/build/tests/adds_host_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/paths_validate_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_options_test[1]_include.cmake")
+include("/root/repo/build/tests/analytics_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_model_test[1]_include.cmake")
+include("/root/repo/build/tests/astar_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/nearfar_host_test[1]_include.cmake")
