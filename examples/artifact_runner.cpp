@@ -12,14 +12,26 @@
 //
 //   ./artifact_runner --inputs=path/to/dir --solvers=adds,nf
 //   ./artifact_runner --corpus=smoke --solvers=adds,nf,gun-bf
+//
+// Robustness drive-through (docs/RESILIENCE.md): --resilient routes every
+// run through run_solver_guarded (watchdog/retry/fallback/audit) and
+// --fault-seed arms a deterministic fault plan, so the whole injection x
+// recovery matrix is reproducible from the command line:
+//
+//   ./artifact_runner --corpus=smoke --solvers=adds-host --resilient \
+//       --fault-seed=7 --fault-site=push.drop-before-publish --fault-prob=0.02
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <sstream>
 
+#include "core/resilience.hpp"
 #include "core/solver.hpp"
 #include "core/validate.hpp"
+#include "util/fault.hpp"
 #include "graph/analysis.hpp"
 #include "graph/corpus.hpp"
 #include "graph/generators.hpp"
@@ -55,6 +67,16 @@ int main(int argc, char** argv) {
   cli.add_option("corpus", "use a built-in corpus tier instead", "");
   cli.add_option("solvers", "comma list of solvers", "adds,nf");
   cli.add_option("out", "output directory", "artifact_out");
+  cli.add_flag("resilient",
+               "run through run_solver_guarded (watchdog/retry/fallback/"
+               "audit); prints a RunReport per run");
+  cli.add_option("fault-seed",
+                 "arm a deterministic fault plan with this seed (0 = off)",
+                 "0");
+  cli.add_option("fault-site", "site to arm, or 'all'", "all");
+  cli.add_option("fault-prob", "per-hit fire probability", "0.05");
+  cli.add_option("fault-delay-us", "stall/delay duration for delay sites",
+                 "200");
   if (!cli.parse(argc, argv)) return 0;
 
   // Collect (name, graph) inputs.
@@ -90,6 +112,30 @@ int main(int argc, char** argv) {
   fs::create_directories(out_dir);
   EngineConfig cfg;
 
+  // Optional deterministic fault plan, armed for the whole batch.
+  std::unique_ptr<fault::FaultPlan> plan;
+  std::optional<fault::FaultScope> fault_scope;
+  if (const uint64_t fseed = uint64_t(cli.integer("fault-seed")); fseed != 0) {
+    plan = std::make_unique<fault::FaultPlan>(fseed);
+    fault::FaultSpec spec;
+    spec.probability = cli.real("fault-prob");
+    spec.delay_us = uint32_t(cli.integer("fault-delay-us"));
+    if (const std::string site = cli.str("fault-site"); site == "all") {
+      plan->set_all(spec);
+    } else {
+      const auto s = fault::parse_site(site);
+      ADDS_REQUIRE(s.has_value(), "unknown fault site: " + site);
+      plan->set(*s, spec);
+    }
+    fault_scope.emplace(*plan);
+    std::printf("fault plan armed: seed=%llu site=%s prob=%g delay_us=%lld\n",
+                (unsigned long long)fseed, cli.str("fault-site").c_str(),
+                cli.real("fault-prob"),
+                (long long)cli.integer("fault-delay-us"));
+  }
+  const bool resilient = cli.flag("resilient");
+  ResiliencePolicy policy;  // defaults; deadline scales with each graph
+
   // Per-solver result files and distance dumps, artifact layout:
   //   <out>/<solver>_result            (name time work)
   //   <out>/<solver>_final_dist/<graph>.txt
@@ -100,13 +146,16 @@ int main(int argc, char** argv) {
     fs::create_directories(out_dir + "/" + sname + "_final_dist");
     for (const auto& [name, g] : inputs) {
       const VertexId source = pick_source(g);
-      auto res = run_solver(kind, g, source, cfg);
+      auto res = resilient ? run_solver_guarded(kind, g, source, cfg, policy)
+                           : run_solver(kind, g, source, cfg);
       result << name << ' ' << (res.time_us / 1e6) << ' '
              << res.work.items_processed << '\n';
       write_distances(out_dir + "/" + sname + "_final_dist/" + name + ".txt",
                       res.dist);
-      all[sname].push_back(std::move(res));
       std::fprintf(stderr, "\r[%s] %-28s", sname.c_str(), name.c_str());
+      if (res.resilience != nullptr)
+        std::fprintf(stderr, " {%s}\n", res.resilience->summary().c_str());
+      all[sname].push_back(std::move(res));
     }
     std::fprintf(stderr, "\n");
   }

@@ -1,0 +1,291 @@
+#include "core/resilience.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace adds {
+
+namespace {
+
+/// One-shot deadline timer. Arms on construction; if the attempt has not
+/// disarmed it by the deadline it sets the cancel token (which the host
+/// engine's manager loop polls and converts into queue abort + throw).
+/// Engines without cancellation support simply ignore the token — they are
+/// the deterministic fallback engines with no injected-hang sites.
+class Watchdog {
+ public:
+  Watchdog(double deadline_ms, std::atomic<bool>* cancel)
+      : cancel_(cancel),
+        deadline_ms_(deadline_ms),
+        thread_([this] { run(); }) {}
+
+  ~Watchdog() { disarm(); }
+
+  /// Idempotent: stops the timer and joins the thread.
+  void disarm() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  bool fired() const noexcept {
+    return fired_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lk(m_);
+    const auto deadline = std::chrono::duration<double, std::milli>(
+        deadline_ms_);
+    if (cv_.wait_for(lk, deadline, [this] { return done_; })) return;
+    fired_.store(true, std::memory_order_release);
+    cancel_->store(true, std::memory_order_release);
+  }
+
+  std::atomic<bool>* cancel_;
+  double deadline_ms_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::atomic<bool> fired_{false};
+  std::thread thread_;
+};
+
+}  // namespace
+
+const char* outcome_name(AttemptOutcome o) noexcept {
+  switch (o) {
+    case AttemptOutcome::kOk: return "ok";
+    case AttemptOutcome::kError: return "error";
+    case AttemptOutcome::kWatchdogAbort: return "watchdog-abort";
+    case AttemptOutcome::kAuditFail: return "audit-fail";
+  }
+  return "?";
+}
+
+std::string RunReport::summary() const {
+  uint64_t fault_fires = 0;
+  for (const auto& a : attempts) fault_fires += a.fault_fires;
+  std::ostringstream os;
+  os << (ok ? "ok" : "failed")
+     << " solver=" << (final_solver.empty() ? "-" : final_solver)
+     << " attempts=" << attempts.size() << " retries=" << retries
+     << " fallbacks=" << fallbacks << " watchdog_fires=" << watchdog_fires
+     << " audit_failures=" << audit_failures
+     << " fault_fires=" << fault_fires;
+  return os.str();
+}
+
+std::vector<SolverKind> default_fallback_chain(SolverKind kind) {
+  // Ordered from fastest/most fragile to slowest/hardest to kill. Kinds
+  // outside the canonical chain (BSP baselines, A* etc.) degrade straight
+  // to the reliable CPU engines.
+  static constexpr SolverKind canon[] = {
+      SolverKind::kAddsHost, SolverKind::kAdds, SolverKind::kCpuDs,
+      SolverKind::kDijkstra};
+  std::vector<SolverKind> chain{kind};
+  bool seen = false;
+  for (const SolverKind k : canon) {
+    if (k == kind) {
+      seen = true;
+      continue;
+    }
+    if (seen) chain.push_back(k);
+  }
+  if (!seen) {
+    chain.push_back(SolverKind::kCpuDs);
+    chain.push_back(SolverKind::kDijkstra);
+  }
+  return chain;
+}
+
+template <WeightType W>
+AuditReport audit_relaxation(const CsrGraph<W>& g, VertexId source,
+                             const std::vector<DistT<W>>& dist,
+                             uint64_t sample_edges, uint64_t seed) {
+  using Dist = DistT<W>;
+  AuditReport rep;
+  const VertexId n = g.num_vertices();
+  if (dist.size() != n) {
+    rep.violations = 1;
+    rep.first_violation = "distance array has " +
+                          std::to_string(dist.size()) + " entries, graph has " +
+                          std::to_string(n) + " vertices";
+    return rep;
+  }
+  if (n == 0) return rep;
+  if (dist[source] != Dist{0}) {
+    ++rep.violations;
+    rep.first_violation =
+        "dist[source=" + std::to_string(source) + "] != 0";
+  }
+
+  const auto check_vertex = [&](VertexId u) {
+    const Dist du = dist[u];
+    if (du == DistTraits<W>::infinity()) return;  // vacuous
+    const EdgeIndex end = g.edge_end(u);
+    for (EdgeIndex e = g.edge_begin(u); e < end; ++e) {
+      ++rep.edges_checked;
+      const VertexId v = g.edge_target(e);
+      // At the SSSP fixed point d[v] <= d[u] + w exactly (all engines
+      // compute this very expression); infinity on the left always fails,
+      // catching reached->unreached gaps too.
+      const Dist bound = du + Dist(g.edge_weight(e));
+      if (dist[v] > bound) {
+        if (rep.violations == 0)
+          rep.first_violation =
+              "d[" + std::to_string(v) + "] > d[" + std::to_string(u) +
+              "] + w on edge " + std::to_string(u) + "->" +
+              std::to_string(v);
+        ++rep.violations;
+      }
+    }
+  };
+
+  if (sample_edges >= g.num_edges()) {
+    for (VertexId u = 0; u < n; ++u) check_vertex(u);
+  } else {
+    // Vertex-sampled: deterministic in (seed); the draw cap keeps sparse /
+    // low-degree regions from spinning the sampler.
+    Xoshiro256 rng(seed);
+    const uint64_t max_draws = 4 * sample_edges + 64;
+    for (uint64_t i = 0;
+         i < max_draws && rep.edges_checked < sample_edges; ++i)
+      check_vertex(VertexId(rng.next_below(n)));
+  }
+  return rep;
+}
+
+template <WeightType W>
+double watchdog_deadline_ms(const CsrGraph<W>& g, const EngineConfig& cfg,
+                            const ResiliencePolicy& policy) {
+  // Modelled serial solve: every edge relaxed once, ~2 heap ops per vertex.
+  // Any healthy engine beats this by a wide margin; factor 50 on top means
+  // the watchdog only ever catches genuine wedges, not slow machines.
+  const double modelled_us =
+      cfg.cpu.dijkstra_us(g.num_edges(), 2ull * g.num_vertices());
+  double ms = modelled_us * 1e-3 * policy.watchdog_factor;
+  if (ms < policy.watchdog_min_ms) ms = policy.watchdog_min_ms;
+  if (policy.watchdog_max_ms > 0 && ms > policy.watchdog_max_ms)
+    ms = policy.watchdog_max_ms;
+  return ms;
+}
+
+template <WeightType W>
+SsspResult<W> run_solver_guarded(SolverKind kind, const CsrGraph<W>& g,
+                                 VertexId source, const EngineConfig& cfg,
+                                 const ResiliencePolicy& policy) {
+  auto report = std::make_shared<RunReport>();
+  const std::vector<SolverKind> chain =
+      !policy.fallback_chain.empty()
+          ? policy.fallback_chain
+          : (policy.enable_fallback ? default_fallback_chain(kind)
+                                    : std::vector<SolverKind>{kind});
+
+  EngineConfig local = cfg;
+  double backoff_ms = policy.retry_backoff_ms;
+  uint32_t attempt_index = 0;
+
+  for (size_t ci = 0; ci < chain.size(); ++ci) {
+    const SolverKind k = chain[ci];
+    if (ci > 0) ++report->fallbacks;
+    for (uint32_t attempt = 1; attempt <= policy.max_attempts_per_engine;
+         ++attempt) {
+      if (attempt > 1) {
+        ++report->retries;
+        // The most common recoverable adds-host failure is an undersized
+        // pool: retry with auto sizing (scaled from the graph) instead.
+        if (policy.resize_pool_on_retry && k == SolverKind::kAddsHost)
+          local.adds_host.pool_blocks = 0;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+        backoff_ms *= 2;
+      }
+      ++attempt_index;
+
+      AttemptRecord rec;
+      rec.solver = solver_name(k);
+      rec.attempt = attempt;
+
+      std::atomic<bool> cancel{false};
+      local.adds_host.cancel = &cancel;
+      if (policy.enable_watchdog)
+        rec.deadline_ms = watchdog_deadline_ms(g, local, policy);
+
+      const uint64_t fires_before = fault::total_fires();
+      WallTimer timer;
+      std::optional<Watchdog> dog;
+      if (policy.enable_watchdog) dog.emplace(rec.deadline_ms, &cancel);
+      try {
+        SsspResult<W> res = run_solver(k, g, source, local);
+        if (dog) dog->disarm();
+        rec.wall_ms = timer.elapsed_ms();
+        rec.fault_fires = fault::total_fires() - fires_before;
+        rec.watchdog_fired = dog.has_value() && dog->fired();
+        if (rec.watchdog_fired) ++report->watchdog_fires;
+
+        if (policy.enable_audit) {
+          const AuditReport audit = audit_relaxation(
+              g, source, res.dist, policy.audit_sample_edges,
+              mix_seed(policy.audit_seed, attempt_index));
+          rec.audit_checked = audit.edges_checked;
+          rec.audit_violations = audit.violations;
+          if (!audit.ok()) {
+            rec.outcome = AttemptOutcome::kAuditFail;
+            rec.error = audit.first_violation;
+            ++report->audit_failures;
+            report->attempts.push_back(rec);
+            continue;  // corrupted result: retry, never return it
+          }
+        }
+
+        rec.outcome = AttemptOutcome::kOk;
+        report->attempts.push_back(rec);
+        report->ok = true;
+        report->final_solver = rec.solver;
+        res.resilience = report;
+        return res;
+      } catch (const std::exception& e) {
+        if (dog) dog->disarm();
+        rec.wall_ms = timer.elapsed_ms();
+        rec.fault_fires = fault::total_fires() - fires_before;
+        rec.watchdog_fired = dog.has_value() && dog->fired();
+        rec.outcome = rec.watchdog_fired ? AttemptOutcome::kWatchdogAbort
+                                         : AttemptOutcome::kError;
+        rec.error = e.what();
+        if (rec.watchdog_fired) ++report->watchdog_fires;
+        report->attempts.push_back(rec);
+      }
+    }
+  }
+  std::string detail = report->summary();
+  if (!report->attempts.empty() && !report->attempts.back().error.empty())
+    detail += "; last error: " + report->attempts.back().error;
+  throw Error("run_solver_guarded: all engines exhausted [" + detail + "]");
+}
+
+#define ADDS_RESILIENCE_INST(W)                                           \
+  template AuditReport audit_relaxation<W>(                               \
+      const CsrGraph<W>&, VertexId, const std::vector<DistT<W>>&,         \
+      uint64_t, uint64_t);                                                \
+  template double watchdog_deadline_ms<W>(                                \
+      const CsrGraph<W>&, const EngineConfig&, const ResiliencePolicy&);  \
+  template SsspResult<W> run_solver_guarded<W>(                           \
+      SolverKind, const CsrGraph<W>&, VertexId, const EngineConfig&,      \
+      const ResiliencePolicy&);
+ADDS_RESILIENCE_INST(uint32_t)
+ADDS_RESILIENCE_INST(float)
+#undef ADDS_RESILIENCE_INST
+
+}  // namespace adds

@@ -1,0 +1,151 @@
+// Resilient solver runtime: watchdog, bounded retry, engine fallback and
+// result audits around run_solver().
+//
+// The asynchronous host engine can fail in ways a production service must
+// survive: pool exhaustion (adds::Error), a wedged termination sweep (hang),
+// or — under injected faults (util/fault.hpp) — lost publications and
+// stalled threads. run_solver_guarded() turns all of these into one
+// contract:
+//
+//   * a watchdog thread with a deadline scaled from graph size via the CPU
+//     cost model cancels a hung attempt (the host engine observes the
+//     cancel token, aborts its queue and throws);
+//   * failed attempts are retried a bounded number of times with the pool
+//     re-sized and exponential backoff between attempts;
+//   * when an engine keeps failing, an ordered fallback chain
+//     (adds-host -> adds -> cpu-ds -> dijkstra) degrades toward simpler,
+//     slower, harder-to-kill engines;
+//   * every candidate result passes a sampled relaxation audit
+//     (d[v] <= d[u] + w, source/unreached invariants) before being
+//     returned — a corrupted result triggers retry instead of escaping.
+//
+// Every attempt is recorded in a RunReport reachable through
+// SsspResult::resilience. See docs/RESILIENCE.md.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+
+namespace adds {
+
+/// Tuning knobs for run_solver_guarded. Defaults are production-ish;
+/// tests shrink the deadlines and attempt counts.
+struct ResiliencePolicy {
+  uint32_t max_attempts_per_engine = 2;
+
+  bool enable_watchdog = true;
+  /// Deadline = clamp(modelled serial Dijkstra time * factor, min, max).
+  /// The model is EngineConfig::cpu — deliberately generous: it bounds
+  /// *hangs*, not slowness.
+  double watchdog_factor = 50.0;
+  double watchdog_min_ms = 200.0;
+  double watchdog_max_ms = 60000.0;
+
+  bool enable_audit = true;
+  /// Edge sample size per audit; >= num_edges() means a full scan.
+  uint64_t audit_sample_edges = 1u << 16;
+  uint64_t audit_seed = 0x5eed;
+
+  bool enable_fallback = true;
+  /// Explicit chain override; empty derives the default chain from the
+  /// requested kind (adds-host -> adds -> cpu-ds -> dijkstra suffix).
+  std::vector<SolverKind> fallback_chain;
+
+  /// Base sleep before the first retry; doubles per subsequent retry.
+  double retry_backoff_ms = 5.0;
+  /// On retrying adds-host, re-run with an auto-sized pool (an explicitly
+  /// undersized pool_blocks is the most common recoverable failure).
+  bool resize_pool_on_retry = true;
+};
+
+enum class AttemptOutcome : uint8_t {
+  kOk,             // returned and passed the audit
+  kError,          // threw adds::Error
+  kWatchdogAbort,  // hung; watchdog cancelled it
+  kAuditFail,      // returned distances that violate relaxation invariants
+};
+const char* outcome_name(AttemptOutcome o) noexcept;
+
+struct AttemptRecord {
+  std::string solver;
+  uint32_t attempt = 0;  // 1-based, per engine
+  AttemptOutcome outcome = AttemptOutcome::kError;
+  std::string error;     // exception text when outcome == kError/kWatchdogAbort
+  double wall_ms = 0.0;
+  double deadline_ms = 0.0;    // watchdog deadline for this attempt (0 = off)
+  bool watchdog_fired = false;
+  uint64_t fault_fires = 0;    // injected-fault fires observed during attempt
+  uint64_t audit_checked = 0;  // edges checked by the audit
+  uint64_t audit_violations = 0;
+};
+
+/// Structured history of one guarded run.
+struct RunReport {
+  std::vector<AttemptRecord> attempts;
+  uint32_t watchdog_fires = 0;
+  uint32_t audit_failures = 0;
+  uint32_t retries = 0;    // extra attempts on the same engine
+  uint32_t fallbacks = 0;  // engine switches
+  bool ok = false;
+  std::string final_solver;  // engine that produced the returned result
+
+  /// One line: "ok solver=adds attempts=3 watchdog=1 audit_fail=0 ...".
+  std::string summary() const;
+};
+
+/// Verdict of the sampled relaxation audit.
+struct AuditReport {
+  uint64_t edges_checked = 0;
+  uint64_t violations = 0;
+  std::string first_violation;  // human-readable description
+  bool ok() const noexcept { return violations == 0; }
+};
+
+/// Cheap post-run result audit. Checks, over a deterministic sample of
+/// `sample_edges` edges (full scan when >= num_edges):
+///   * dist.size() == num_vertices and dist[source] == 0;
+///   * triangle inequality at the fixed point: finite d[u] implies
+///     d[v] <= d[u] + w(u,v) for every sampled edge (u,v) — in particular
+///     v cannot be unreached when u is reached.
+/// A violated sample proves the result is not the SSSP fixed point.
+template <WeightType W>
+AuditReport audit_relaxation(const CsrGraph<W>& g, VertexId source,
+                             const std::vector<DistT<W>>& dist,
+                             uint64_t sample_edges, uint64_t seed);
+
+/// Watchdog deadline for one attempt, scaled from graph size through the
+/// policy and the config's CPU cost model.
+template <WeightType W>
+double watchdog_deadline_ms(const CsrGraph<W>& g, const EngineConfig& cfg,
+                            const ResiliencePolicy& policy);
+
+/// The default fallback chain starting at `kind` (kind itself first).
+std::vector<SolverKind> default_fallback_chain(SolverKind kind);
+
+/// Runs `kind` under the full guard stack. On success the result carries
+/// the RunReport in SsspResult::resilience. Throws adds::Error when every
+/// engine in the chain exhausted its attempts (the report text is embedded
+/// in the exception message); the call never hangs past the watchdog
+/// deadlines and never returns distances that failed the audit.
+template <WeightType W>
+SsspResult<W> run_solver_guarded(SolverKind kind, const CsrGraph<W>& g,
+                                 VertexId source, const EngineConfig& cfg,
+                                 const ResiliencePolicy& policy = {});
+
+#define ADDS_RESILIENCE_EXTERN(W)                                         \
+  extern template AuditReport audit_relaxation<W>(                        \
+      const CsrGraph<W>&, VertexId, const std::vector<DistT<W>>&,         \
+      uint64_t, uint64_t);                                                \
+  extern template double watchdog_deadline_ms<W>(                         \
+      const CsrGraph<W>&, const EngineConfig&, const ResiliencePolicy&);  \
+  extern template SsspResult<W> run_solver_guarded<W>(                    \
+      SolverKind, const CsrGraph<W>&, VertexId, const EngineConfig&,      \
+      const ResiliencePolicy&);
+ADDS_RESILIENCE_EXTERN(uint32_t)
+ADDS_RESILIENCE_EXTERN(float)
+#undef ADDS_RESILIENCE_EXTERN
+
+}  // namespace adds

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/fault.hpp"
+
 namespace adds {
 
 namespace {
@@ -23,6 +25,8 @@ BlockPool::BlockPool(uint32_t num_blocks, uint32_t block_words)
 }
 
 BlockId BlockPool::allocate() {
+  ADDS_REQUIRE(!fault::fire(fault::Site::kPoolAllocFail),
+               "injected fault: pool.alloc_fail");
   ADDS_REQUIRE(!free_.empty(),
                "BlockPool exhausted: increase pool size (num_blocks)");
   const BlockId id = free_.back();

@@ -33,7 +33,9 @@
 
 #include "queue/block_pool.hpp"
 #include "queue/wrap.hpp"
+#include "util/backoff.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace adds {
 
@@ -60,15 +62,18 @@ class Bucket {
     return resv_ptr_.fetch_add(count, std::memory_order_relaxed);
   }
 
-  /// Spins until storage for indices < `end` has been mapped by the
-  /// manager. Returns false if the queue was aborted while waiting (the
-  /// caller must then drop its write — results are being discarded anyway).
+  /// Waits (capped-backoff, not an unbounded spin) until storage for
+  /// indices < `end` has been mapped by the manager. Returns false if the
+  /// queue was aborted while waiting (the caller must then drop its write —
+  /// results are being discarded anyway). The backoff cap bounds abort
+  /// reaction latency to ~one sleep quantum.
   [[nodiscard]] bool wait_allocated(uint32_t end) const noexcept {
+    Backoff backoff;
     while (wrap_lt(alloc_limit_.load(std::memory_order_acquire), end)) {
       if (abort_flag_ != nullptr &&
           abort_flag_->load(std::memory_order_acquire))
         return false;
-      std::this_thread::yield();
+      backoff.pause();
     }
     return true;
   }
@@ -91,10 +96,17 @@ class Bucket {
   /// reserve + wait + write + publish for a single item. On abort the item
   /// is dropped (a reserved-but-never-published slot; the scan will treat
   /// the segment as incomplete, which no longer matters once aborted).
+  ///
+  /// Fault sites (no-ops unless a FaultPlan is armed — util/fault.hpp):
+  /// `push.drop-before-publish` loses the reservation without publishing,
+  /// wedging the segment scan exactly like a crashed writer; `push.delay`
+  /// widens the write→publish window to stress the partial-segment scan.
   void push(uint32_t item) noexcept {
     const uint32_t idx = reserve(1);
     if (!wait_allocated(idx + 1)) return;
+    if (fault::fire(fault::Site::kPushDropBeforePublish)) return;
     write(idx, item);
+    fault::delay(fault::Site::kPushDelay, abort_flag_);
     publish(idx, 1);
   }
 

@@ -61,9 +61,16 @@ class WorkQueue {
 
   // ---- Worker (writer) side -----------------------------------------------
 
+  /// Returned by push() after request_abort(): the item was dropped, no
+  /// slot was reserved, nothing was published.
+  static constexpr uint32_t kPushAborted = 0xffffffffu;
+
   /// Pushes a work item with priority `dist` using a racy snapshot of the
   /// window parameters. Returns the logical index used (for stats/tests).
+  /// After request_abort() this is a no-op returning kPushAborted — an
+  /// aborted queue is in teardown and must not accept new publications.
   uint32_t push(uint32_t item, double dist) noexcept {
+    if (abort_.load(std::memory_order_acquire)) return kPushAborted;
     const uint64_t pos = params_.position.load(std::memory_order_acquire);
     const double base = params_.base_dist.load(std::memory_order_relaxed);
     const double delta = params_.delta.load(std::memory_order_relaxed);
@@ -128,13 +135,18 @@ class WorkQueue {
   }
 
   /// Error-path teardown: unblocks every writer spinning in
-  /// wait_allocated (their pending items are dropped). Irreversible.
+  /// wait_allocated (their pending items are dropped) and turns every
+  /// subsequent push() into a kPushAborted no-op. Irreversible; see
+  /// docs/QUEUE_PROTOCOL.md §"Abort and teardown".
   void request_abort() noexcept {
     abort_.store(true, std::memory_order_release);
   }
   bool aborted() const noexcept {
     return abort_.load(std::memory_order_acquire);
   }
+  /// The shared abort flag (for watchdogs and abort-observing fault
+  /// delays; the flag outlives every worker by construction).
+  const std::atomic<bool>& abort_flag() const noexcept { return abort_; }
 
   // ---- Whole-queue statistics (manager side) -------------------------------
 

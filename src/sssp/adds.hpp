@@ -15,6 +15,8 @@
 //     under true concurrency and doubles as a usable parallel CPU SSSP.
 #pragma once
 
+#include <atomic>
+
 #include "graph/csr_graph.hpp"
 #include "sim/cost_model.hpp"
 #include "sssp/delta_controller.hpp"
@@ -54,6 +56,11 @@ struct AddsHostOptions {
   uint32_t pool_blocks = 0;      // 0: sized automatically from the graph
   uint32_t segment_words = 32;
   DeltaControllerOptions controller;
+  /// Optional external cancellation (e.g. a watchdog — core/resilience.hpp).
+  /// When it becomes true the manager aborts the queue, tears the run down
+  /// and throws adds::Error; partial results are discarded. The pointee
+  /// must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 template <WeightType W>

@@ -27,6 +27,8 @@
 #include "queue/work_queue.hpp"
 #include "sssp/atomic_dist.hpp"
 #include "sssp/delta_heuristic.hpp"
+#include "util/backoff.hpp"
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 
 namespace adds {
@@ -49,14 +51,19 @@ void worker_main(WorkerContext<W>& ctx) {
   const CsrGraph<W>& g = *ctx.graph;
   TranslationCache<8> cache;
 
+  Backoff idle_backoff;
   while (true) {
     bool should_exit = false;
     const auto assignment = ctx.flag->poll(should_exit);
     if (should_exit) return;
     if (!assignment) {
-      std::this_thread::yield();
+      idle_backoff.pause();
       continue;
     }
+    idle_backoff.reset();
+    // Injected worker stall: the assignment sits un-processed (in-flight),
+    // exactly like a preempted/wedged WTB. Bounded and abort-observing.
+    fault::delay(fault::Site::kWorkerStall, &ctx.queue->abort_flag());
 
     Bucket& bucket = ctx.queue->physical_bucket(assignment->phys_bucket);
     cache.reset();
@@ -210,7 +217,23 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
   // --- Manager loop ---------------------------------------------------------
   uint64_t clean_sweeps = 0;
   uint64_t assigned_items_outstanding = 0;  // manager's own view
+  Backoff sweep_backoff;
   while (true) {
+    // External cancellation (watchdog) or a prior abort: tear down. The
+    // throw unwinds through WorkerShutdown, which aborts the queue (again,
+    // idempotent), terminates the flags and joins the workers.
+    if ((opts.cancel != nullptr &&
+         opts.cancel->load(std::memory_order_acquire)) ||
+        queue.aborted()) {
+      queue.request_abort();
+      throw Error("adds-host: run aborted (watchdog or external cancel)");
+    }
+    // Injected manager stall: one sweep goes missing, as if the MTB were
+    // preempted. Observes both cancel and queue abort so a multi-second
+    // stall cannot out-wait the watchdog's recovery.
+    fault::delay(fault::Site::kManagerScanStall, opts.cancel,
+                 &queue.abort_flag());
+
     // Harvest completions: a flag that returned to idle finished its range.
     for (uint32_t i = 0; i < opts.num_workers; ++i) {
       if (tracks[i].active && flags[i].is_idle()) {
@@ -253,6 +276,10 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
         a.count = k;
         b.advance_read(b.read_ptr() + k);
         tracks[i] = {true, a};
+        // Injected delivery delay: the range is accounted as handed out but
+        // the worker has not seen its flag yet (a late AF write).
+        fault::delay(fault::Site::kAfDeliveryDelay, opts.cancel,
+                     &queue.abort_flag());
         flags[i].assign(a);
         avail -= k;
         assigned_items_outstanding += k;
@@ -283,7 +310,15 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
     } else {
       clean_sweeps = 0;
     }
-    std::this_thread::yield();
+    // Back off only on truly idle sweeps (no work anywhere): while items
+    // are pending or in flight the manager keeps its full tick rate so
+    // completion harvesting and assignment latency are unaffected. The cap
+    // bounds the added termination latency.
+    if (assigned_any || queue.total_pending() > 0 ||
+        queue.total_in_flight() > 0)
+      sweep_backoff.reset();
+    else
+      sweep_backoff.pause();
   }
 
   for (auto& flag : flags) flag.terminate();

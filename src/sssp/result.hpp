@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -10,6 +11,8 @@
 #include "sim/trace.hpp"
 
 namespace adds {
+
+struct RunReport;  // core/resilience.hpp — guarded-run attempt history
 
 /// Work counters. `items_processed` is the paper's work-efficiency metric:
 /// the number of worklist entries whose edges were actually relaxed
@@ -46,6 +49,10 @@ struct SsspResult {
   uint64_t window_advances = 0;                  // ADDS
   ParallelismTrace trace{};                      // Figures 11-15
   std::vector<std::pair<double, double>> delta_history;  // (t_us, delta)
+
+  /// Attempt/watchdog/audit history; set only by run_solver_guarded
+  /// (core/resilience.hpp), null for plain run_solver results.
+  std::shared_ptr<const RunReport> resilience;
 
   uint64_t reached() const noexcept {
     uint64_t n = 0;

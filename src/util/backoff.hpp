@@ -1,0 +1,55 @@
+// Capped exponential backoff for spin-wait loops.
+//
+// The queue's wait loops (writers in `Bucket::wait_allocated`, the host
+// engine's idle workers, the manager between empty sweeps) used to be pure
+// `yield()` spins: cheap when the wait is short, but they burn a core for
+// the whole wait and — worse — turn N stalled threads into N cores of
+// scheduler pressure exactly when the system is wedged. Backoff keeps the
+// first iterations as yields (short waits stay fast) and then sleeps with
+// doubling duration capped low enough that abort/teardown signals are still
+// observed within a bounded latency (the cap, ~128us by default, bounds the
+// time between re-checks of whatever condition the loop polls).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace adds {
+
+class Backoff {
+ public:
+  /// `max_sleep_us` bounds the sleep between condition re-checks, and hence
+  /// the worst-case reaction latency of the loop to its exit condition.
+  explicit Backoff(uint32_t max_sleep_us = 128) noexcept
+      : max_sleep_us_(max_sleep_us) {}
+
+  /// One wait step: yield for the first few iterations, then sleep with
+  /// exponentially growing (capped) duration.
+  void pause() noexcept {
+    if (spins_ < kYieldPhase) {
+      ++spins_;
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+    if (sleep_us_ < max_sleep_us_) {
+      sleep_us_ *= 2;
+      if (sleep_us_ > max_sleep_us_) sleep_us_ = max_sleep_us_;
+    }
+  }
+
+  /// Call when the awaited condition made progress.
+  void reset() noexcept {
+    spins_ = 0;
+    sleep_us_ = 1;
+  }
+
+ private:
+  static constexpr uint32_t kYieldPhase = 16;
+  uint32_t max_sleep_us_;
+  uint32_t spins_ = 0;
+  uint32_t sleep_us_ = 1;
+};
+
+}  // namespace adds

@@ -1,0 +1,101 @@
+#include "util/fault.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace adds::fault {
+
+namespace {
+std::atomic<FaultPlan*> g_active_plan{nullptr};
+}  // namespace
+
+const char* site_name(Site s) noexcept {
+  switch (s) {
+    case Site::kPoolAllocFail: return "pool.alloc_fail";
+    case Site::kPushDelay: return "push.delay";
+    case Site::kPushDropBeforePublish: return "push.drop-before-publish";
+    case Site::kManagerScanStall: return "manager.scan.stall";
+    case Site::kAfDeliveryDelay: return "af.delivery.delay";
+    case Site::kWorkerStall: return "worker.stall";
+  }
+  return "?";
+}
+
+std::optional<Site> parse_site(const std::string& name) {
+  for (size_t i = 0; i < kNumSites; ++i) {
+    const Site s = Site(i);
+    if (name == site_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+bool FaultPlan::roll(Site s) noexcept {
+  SiteState& st = sites_[size_t(s)];
+  if (st.spec.probability <= 0.0) return false;
+  if (st.fires.load(std::memory_order_relaxed) >= st.spec.max_fires)
+    return false;
+  const uint64_t hit = st.hits.fetch_add(1, std::memory_order_relaxed);
+  if (st.spec.probability < 1.0) {
+    // Decision = f(seed, site, hit index): replayable regardless of which
+    // thread took the hit.
+    SplitMix64 sm(mix_seed(seed_ ^ (0x51731ull * (size_t(s) + 1)), hit));
+    const double u = double(sm.next() >> 11) * 0x1.0p-53;
+    if (u >= st.spec.probability) return false;
+  }
+  // The cap re-check is racy across threads (may overshoot by a few fires
+  // under contention); the counter stays exact, the cap is best-effort.
+  st.fires.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void arm(FaultPlan& plan) noexcept {
+  g_active_plan.store(&plan, std::memory_order_release);
+  g_fault_armed.store(true, std::memory_order_release);
+}
+
+void disarm() noexcept {
+  g_fault_armed.store(false, std::memory_order_release);
+  g_active_plan.store(nullptr, std::memory_order_release);
+}
+
+FaultPlan* active_plan() noexcept {
+  return g_active_plan.load(std::memory_order_acquire);
+}
+
+uint64_t total_fires() noexcept {
+  const FaultPlan* p = active_plan();
+  return p != nullptr ? p->total_fires() : 0;
+}
+
+namespace detail {
+
+bool fire_slow(Site s) noexcept {
+  FaultPlan* p = g_active_plan.load(std::memory_order_acquire);
+  return p != nullptr && p->roll(s);
+}
+
+bool delay_slow(Site s, const std::atomic<bool>* abort_a,
+                const std::atomic<bool>* abort_b) noexcept {
+  FaultPlan* p = g_active_plan.load(std::memory_order_acquire);
+  if (p == nullptr || !p->roll(s)) return false;
+  // Sleep in short chunks so an injected multi-second stall still reacts to
+  // abort within ~100us — the watchdog's request_abort must never be
+  // out-waited by the fault it is recovering from.
+  constexpr uint32_t kChunkUs = 100;
+  uint32_t remaining = p->spec(s).delay_us;
+  while (remaining > 0) {
+    if ((abort_a != nullptr && abort_a->load(std::memory_order_acquire)) ||
+        (abort_b != nullptr && abort_b->load(std::memory_order_acquire)))
+      return true;
+    const uint32_t step = remaining < kChunkUs ? remaining : kChunkUs;
+    std::this_thread::sleep_for(std::chrono::microseconds(step));
+    remaining -= step;
+  }
+  return true;
+}
+
+}  // namespace detail
+
+}  // namespace adds::fault

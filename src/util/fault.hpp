@@ -1,0 +1,160 @@
+// Deterministic fault injection for the concurrent solver runtime.
+//
+// The queue protocol's failure modes (pool exhaustion, stalled workers,
+// lost publications, wedged termination) are provoked *on demand* through
+// named injection sites threaded into the hot layers. A seed-driven
+// `FaultPlan` decides, per site and per hit, whether the fault fires; the
+// decision sequence is a pure function of (seed, site, hit index), so a
+// failing run is replayable bit-for-bit from its seed even though thread
+// interleavings vary.
+//
+// Cost discipline: every site is a single relaxed load of `g_fault_armed`
+// followed by a never-taken branch while no plan is armed — benches see a
+// cold flag and nothing else. Arming is global and test/CLI scoped (see
+// `FaultScope`); production paths never arm.
+//
+// Site catalogue (docs/RESILIENCE.md):
+//   pool.alloc_fail          BlockPool::allocate throws adds::Error
+//   push.delay               Bucket::push sleeps between write and publish
+//   push.drop-before-publish Bucket::push drops a reserved slot unpublished
+//                            (wedges the segment scan -> termination hang)
+//   manager.scan.stall       adds_host MTB loop sleeps one sweep
+//   af.delivery.delay        adds_host delays an assignment-flag delivery
+//   worker.stall             adds_host WTB sleeps before processing a range
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace adds::fault {
+
+enum class Site : uint8_t {
+  kPoolAllocFail = 0,
+  kPushDelay,
+  kPushDropBeforePublish,
+  kManagerScanStall,
+  kAfDeliveryDelay,
+  kWorkerStall,
+};
+inline constexpr size_t kNumSites = 6;
+
+const char* site_name(Site s) noexcept;
+std::optional<Site> parse_site(const std::string& name);
+
+/// Per-site behaviour. A site with probability 0 never fires.
+struct FaultSpec {
+  double probability = 0.0;  // chance each hit fires (deterministic roll)
+  uint64_t max_fires = ~0ull;  // stop firing after this many fires
+  uint32_t delay_us = 0;       // sleep duration for stall/delay sites
+};
+
+/// A seed-driven schedule of faults across all sites. Thread-safe: writers
+/// and the manager roll concurrently; counters are relaxed atomics (exact
+/// totals, ordering-free). The plan must outlive its armed scope *and* any
+/// threads still inside solver code (arm around whole runs, not mid-run).
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed = 1) noexcept : seed_(seed) {}
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  FaultPlan& set(Site s, const FaultSpec& spec) noexcept {
+    sites_[size_t(s)].spec = spec;
+    return *this;
+  }
+  /// Arms every site with the same spec (CLI `--fault-site=all`).
+  FaultPlan& set_all(const FaultSpec& spec) noexcept {
+    for (auto& st : sites_) st.spec = spec;
+    return *this;
+  }
+
+  uint64_t seed() const noexcept { return seed_; }
+  const FaultSpec& spec(Site s) const noexcept {
+    return sites_[size_t(s)].spec;
+  }
+
+  /// Rolls the site's dice for one hit. Called through fault::fire().
+  bool roll(Site s) noexcept;
+
+  // ---- Counters (relaxed; read for RunReport / assertions) ---------------
+  uint64_t hits(Site s) const noexcept {
+    return sites_[size_t(s)].hits.load(std::memory_order_relaxed);
+  }
+  uint64_t fires(Site s) const noexcept {
+    return sites_[size_t(s)].fires.load(std::memory_order_relaxed);
+  }
+  uint64_t total_fires() const noexcept {
+    uint64_t n = 0;
+    for (const auto& st : sites_)
+      n += st.fires.load(std::memory_order_relaxed);
+    return n;
+  }
+
+ private:
+  struct SiteState {
+    FaultSpec spec;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> fires{0};
+  };
+  std::array<SiteState, kNumSites> sites_;
+  uint64_t seed_;
+};
+
+// ---- Global arming ---------------------------------------------------------
+
+/// Fast-path flag, inline so sites compile to one relaxed load + branch.
+inline std::atomic<bool> g_fault_armed{false};
+
+/// Arms `plan` globally. Only one plan may be armed at a time; the caller
+/// owns the plan and must disarm before destroying it.
+void arm(FaultPlan& plan) noexcept;
+void disarm() noexcept;
+inline bool armed() noexcept {
+  return g_fault_armed.load(std::memory_order_relaxed);
+}
+
+/// The currently armed plan (nullptr when disarmed).
+FaultPlan* active_plan() noexcept;
+
+/// Total fires across all sites of the armed plan (0 when disarmed).
+uint64_t total_fires() noexcept;
+
+/// RAII arm/disarm for tests and the CLI.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultPlan& plan) noexcept { arm(plan); }
+  ~FaultScope() { disarm(); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+namespace detail {
+bool fire_slow(Site s) noexcept;
+/// Fires the site and, if it fires, sleeps spec.delay_us in short chunks,
+/// returning early when either abort flag becomes true. Returns whether the
+/// site fired.
+bool delay_slow(Site s, const std::atomic<bool>* abort_a,
+                const std::atomic<bool>* abort_b) noexcept;
+}  // namespace detail
+
+// ---- Hot-path site checks --------------------------------------------------
+
+/// True when the site fires this hit. No-op (false) unless a plan is armed.
+inline bool fire(Site s) noexcept {
+  if (!armed()) return false;
+  return detail::fire_slow(s);
+}
+
+/// Stall/delay site: rolls and, on fire, sleeps the site's delay_us while
+/// observing up to two abort flags. No-op unless a plan is armed.
+inline void delay(Site s, const std::atomic<bool>* abort_a = nullptr,
+                  const std::atomic<bool>* abort_b = nullptr) noexcept {
+  if (!armed()) return;
+  detail::delay_slow(s, abort_a, abort_b);
+}
+
+}  // namespace adds::fault

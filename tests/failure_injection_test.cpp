@@ -3,6 +3,10 @@
 // threads), never silently corrupt results.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "core/solver.hpp"
 #include "core/validate.hpp"
 #include "graph/builder.hpp"
@@ -53,6 +57,38 @@ TEST(FailureInjection, QueueAbortUnblocksWriters) {
   writer.join();
   EXPECT_TRUE(returned.load());
   EXPECT_TRUE(queue.aborted());
+}
+
+TEST(FailureInjection, AbortLatencyBounded) {
+  // wait_allocated spins with a capped exponential backoff (yields, then
+  // sleeps of at most 128us). A writer parked deep in the sleep phase must
+  // still observe request_abort quickly — the cap bounds reaction latency.
+  BlockPool pool(4, 64);
+  WorkQueue::Config cfg;
+  cfg.num_buckets = 2;
+  cfg.bucket.segment_words = 8;
+  cfg.bucket.table_size = 4;
+  WorkQueue queue(pool, cfg);
+
+  std::atomic<bool> returned{false};
+  std::thread writer([&] {
+    queue.push(7, 0.0);
+    returned.store(true, std::memory_order_release);
+  });
+  // Let the writer's backoff escalate to its longest sleeps.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_FALSE(returned.load());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  queue.request_abort();
+  writer.join();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_TRUE(returned.load());
+  // Worst case is one max-length sleep (~128us) plus scheduling noise; a
+  // 250ms bound leaves two orders of magnitude of slack for slow CI.
+  EXPECT_LT(ms, 250.0);
 }
 
 TEST(FailureInjection, EmptyGraphsAreHandledByAllSolvers) {

@@ -1,0 +1,113 @@
+// FaultPlan unit tests: seed-determinism, per-site isolation, fire caps,
+// counters, arming semantics, and the disarmed fast path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/fault.hpp"
+
+namespace adds {
+namespace {
+
+using fault::FaultPlan;
+using fault::FaultScope;
+using fault::FaultSpec;
+using fault::Site;
+
+std::vector<bool> roll_sequence(uint64_t seed, Site site, double p, int n) {
+  FaultPlan plan(seed);
+  plan.set(site, {p, ~0ull, 0});
+  std::vector<bool> out;
+  out.reserve(size_t(n));
+  for (int i = 0; i < n; ++i) out.push_back(plan.roll(site));
+  return out;
+}
+
+TEST(FaultPlan, SameSeedSameDecisionSequence) {
+  const auto a = roll_sequence(42, Site::kPushDelay, 0.5, 200);
+  const auto b = roll_sequence(42, Site::kPushDelay, 0.5, 200);
+  EXPECT_EQ(a, b);
+  // Sanity: p=0.5 over 200 rolls fires somewhere strictly inside (0, 200).
+  const auto fires = size_t(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 200u);
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  const auto a = roll_sequence(1, Site::kPushDelay, 0.5, 200);
+  const auto b = roll_sequence(2, Site::kPushDelay, 0.5, 200);
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultPlan, SitesRollIndependently) {
+  // Same seed, different sites: independent decision streams.
+  const auto a = roll_sequence(7, Site::kPushDelay, 0.5, 200);
+  const auto b = roll_sequence(7, Site::kWorkerStall, 0.5, 200);
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultPlan, ProbabilityEndpoints) {
+  FaultPlan plan(9);
+  plan.set(Site::kPoolAllocFail, {1.0, ~0ull, 0});
+  plan.set(Site::kPushDelay, {0.0, ~0ull, 0});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(plan.roll(Site::kPoolAllocFail));
+    EXPECT_FALSE(plan.roll(Site::kPushDelay));
+  }
+  // Unarmed sites never fire.
+  EXPECT_FALSE(plan.roll(Site::kManagerScanStall));
+  EXPECT_EQ(plan.hits(Site::kManagerScanStall), 0u);
+}
+
+TEST(FaultPlan, MaxFiresCapsTheSite) {
+  FaultPlan plan(3);
+  plan.set(Site::kPushDropBeforePublish, {1.0, 2, 0});
+  int fires = 0;
+  for (int i = 0; i < 100; ++i)
+    if (plan.roll(Site::kPushDropBeforePublish)) ++fires;
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(plan.fires(Site::kPushDropBeforePublish), 2u);
+}
+
+TEST(FaultPlan, CountersTrackHitsAndFires) {
+  FaultPlan plan(11);
+  plan.set(Site::kAfDeliveryDelay, {0.25, ~0ull, 0});
+  uint64_t fired = 0;
+  for (int i = 0; i < 400; ++i)
+    if (plan.roll(Site::kAfDeliveryDelay)) ++fired;
+  EXPECT_EQ(plan.hits(Site::kAfDeliveryDelay), 400u);
+  EXPECT_EQ(plan.fires(Site::kAfDeliveryDelay), fired);
+  EXPECT_EQ(plan.total_fires(), fired);
+}
+
+TEST(FaultPlan, ArmDisarmGatesTheGlobalCheck) {
+  EXPECT_FALSE(fault::armed());
+  EXPECT_FALSE(fault::fire(Site::kPoolAllocFail));
+  {
+    FaultPlan plan(5);
+    plan.set(Site::kPoolAllocFail, {1.0, ~0ull, 0});
+    FaultScope scope(plan);
+    EXPECT_TRUE(fault::armed());
+    EXPECT_EQ(fault::active_plan(), &plan);
+    EXPECT_TRUE(fault::fire(Site::kPoolAllocFail));
+    EXPECT_EQ(fault::total_fires(), 1u);
+  }
+  EXPECT_FALSE(fault::armed());
+  EXPECT_EQ(fault::active_plan(), nullptr);
+  EXPECT_FALSE(fault::fire(Site::kPoolAllocFail));
+  EXPECT_EQ(fault::total_fires(), 0u);
+}
+
+TEST(FaultPlan, SiteNamesRoundTrip) {
+  for (size_t i = 0; i < fault::kNumSites; ++i) {
+    const Site s = Site(i);
+    const auto parsed = fault::parse_site(fault::site_name(s));
+    ASSERT_TRUE(parsed.has_value()) << fault::site_name(s);
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(fault::parse_site("no.such.site").has_value());
+}
+
+}  // namespace
+}  // namespace adds

@@ -1,0 +1,224 @@
+// Resilient runtime tests: watchdog recovery from an injected hang, retry
+// with pool re-sizing, the relaxation audit, fallback-chain construction,
+// and the RunReport surfaced through SsspResult.
+#include <gtest/gtest.h>
+
+#include "core/resilience.hpp"
+#include "core/validate.hpp"
+#include "graph/generators.hpp"
+#include "sssp/dijkstra.hpp"
+#include "util/fault.hpp"
+
+namespace adds {
+namespace {
+
+using fault::FaultPlan;
+using fault::FaultScope;
+using fault::Site;
+
+IntGraph small_grid() {
+  return make_grid_road<uint32_t>(30, 30, {WeightDist::kUniform, 1000}, 3);
+}
+
+TEST(Resilience, GuardedRunWithoutFaultsIsPlain) {
+  const auto g = small_grid();
+  const auto oracle = dijkstra(g, VertexId{0});
+  EngineConfig cfg;
+  const auto res = run_solver_guarded(SolverKind::kAddsHost, g, 0, cfg);
+  EXPECT_TRUE(validate_distances(res, oracle).ok());
+  ASSERT_NE(res.resilience, nullptr);
+  const RunReport& rep = *res.resilience;
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.final_solver, "adds-host");
+  ASSERT_EQ(rep.attempts.size(), 1u);
+  EXPECT_EQ(rep.attempts[0].outcome, AttemptOutcome::kOk);
+  EXPECT_EQ(rep.retries, 0u);
+  EXPECT_EQ(rep.fallbacks, 0u);
+  EXPECT_EQ(rep.watchdog_fires, 0u);
+  EXPECT_GT(rep.attempts[0].audit_checked, 0u);
+  EXPECT_NE(rep.summary().find("ok"), std::string::npos);
+}
+
+TEST(Resilience, WatchdogRecoversFromManagerStall) {
+  // The manager wedges on every sweep (30s injected stall, p=1): the
+  // attempt can only end through the watchdog -> cancel -> abort -> throw
+  // path, after which the chain degrades to an engine with no fault sites
+  // and still produces Dijkstra-exact output.
+  const auto g = small_grid();
+  const auto oracle = dijkstra(g, VertexId{0});
+
+  EngineConfig cfg;
+  cfg.adds_host.num_workers = 3;
+  ResiliencePolicy policy;
+  policy.max_attempts_per_engine = 1;
+  policy.watchdog_min_ms = 300.0;
+  policy.retry_backoff_ms = 1.0;
+
+  FaultPlan plan(99);
+  plan.set(Site::kManagerScanStall, {1.0, ~0ull, 30'000'000});
+  FaultScope scope(plan);
+
+  const auto res =
+      run_solver_guarded(SolverKind::kAddsHost, g, 0, cfg, policy);
+  EXPECT_TRUE(validate_distances(res, oracle).ok());
+  ASSERT_NE(res.resilience, nullptr);
+  const RunReport& rep = *res.resilience;
+  EXPECT_TRUE(rep.ok);
+  EXPECT_GE(rep.watchdog_fires, 1u);
+  EXPECT_GE(rep.fallbacks, 1u);
+  EXPECT_NE(rep.final_solver, "adds-host");
+  ASSERT_GE(rep.attempts.size(), 2u);
+  EXPECT_EQ(rep.attempts[0].outcome, AttemptOutcome::kWatchdogAbort);
+  EXPECT_TRUE(rep.attempts[0].watchdog_fired);
+}
+
+TEST(Resilience, UndersizedPoolIsRetriedWithAutoSizing) {
+  const auto g =
+      make_grid_road<uint32_t>(60, 60, {WeightDist::kUniform, 1000}, 3);
+  const auto oracle = dijkstra(g, VertexId{0});
+
+  EngineConfig cfg;
+  cfg.adds_host.num_workers = 4;
+  cfg.adds_host.block_words = 64;
+  cfg.adds_host.pool_blocks = 9;  // exhausts immediately
+  ResiliencePolicy policy;
+  policy.max_attempts_per_engine = 2;
+  policy.retry_backoff_ms = 1.0;
+  // The tiny 64-word blocks make even a healthy run allocator-bound and
+  // slower than the default 200ms deadline floor; give it real headroom so
+  // the watchdog only sees genuine wedges here.
+  policy.watchdog_min_ms = 5000.0;
+
+  const auto res =
+      run_solver_guarded(SolverKind::kAddsHost, g, 0, cfg, policy);
+  EXPECT_TRUE(validate_distances(res, oracle).ok());
+  ASSERT_NE(res.resilience, nullptr);
+  const RunReport& rep = *res.resilience;
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.final_solver, "adds-host");  // recovered, not fallen back
+  EXPECT_EQ(rep.retries, 1u);
+  ASSERT_EQ(rep.attempts.size(), 2u);
+  EXPECT_EQ(rep.attempts[0].outcome, AttemptOutcome::kError);
+  EXPECT_EQ(rep.attempts[1].outcome, AttemptOutcome::kOk);
+}
+
+TEST(Resilience, AuditAcceptsCorrectDistances) {
+  const auto g = small_grid();
+  const auto oracle = dijkstra(g, VertexId{0});
+  const auto full =
+      audit_relaxation(g, 0, oracle.dist, ~0ull, 1);
+  EXPECT_TRUE(full.ok());
+  EXPECT_EQ(full.edges_checked, g.num_edges());
+  // Sampled mode checks a subset and still accepts.
+  const auto sampled = audit_relaxation(g, 0, oracle.dist, 128, 1);
+  EXPECT_TRUE(sampled.ok());
+  EXPECT_GE(sampled.edges_checked, 128u);
+}
+
+TEST(Resilience, AuditRejectsCorruptedDistances) {
+  const auto g = small_grid();
+  auto res = dijkstra(g, VertexId{0});
+
+  // Inflate one reached non-source vertex: the in-edge that defined its
+  // distance now violates d[v] <= d[u] + w.
+  auto corrupt = res.dist;
+  VertexId victim = kInvalidVertex;
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    if (corrupt[v] != DistTraits<uint32_t>::infinity()) {
+      victim = v;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidVertex);
+  corrupt[victim] += 1000000;
+  const auto audit = audit_relaxation(g, 0, corrupt, ~0ull, 1);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_GT(audit.violations, 0u);
+  EXPECT_FALSE(audit.first_violation.empty());
+
+  // A reached vertex marked unreached is also caught (inf > d[u] + w).
+  auto lost = res.dist;
+  lost[victim] = DistTraits<uint32_t>::infinity();
+  EXPECT_FALSE(audit_relaxation(g, 0, lost, ~0ull, 1).ok());
+
+  // Corrupted source.
+  auto bad_source = res.dist;
+  bad_source[0] = 5;
+  EXPECT_FALSE(audit_relaxation(g, 0, bad_source, ~0ull, 1).ok());
+
+  // Wrong-sized array.
+  std::vector<DistT<uint32_t>> short_dist(g.num_vertices() - 1, 0);
+  EXPECT_FALSE(audit_relaxation(g, 0, short_dist, ~0ull, 1).ok());
+}
+
+TEST(Resilience, WatchdogDeadlineScalesAndClamps) {
+  EngineConfig cfg;
+  ResiliencePolicy policy;
+  policy.watchdog_min_ms = 10.0;
+  policy.watchdog_max_ms = 1000.0;
+  const auto small = make_grid_road<uint32_t>(10, 10, {}, 1);
+  const auto big = make_grid_road<uint32_t>(200, 200, {}, 1);
+  const double d_small = watchdog_deadline_ms(small, cfg, policy);
+  const double d_big = watchdog_deadline_ms(big, cfg, policy);
+  EXPECT_GE(d_small, policy.watchdog_min_ms);
+  EXPECT_LE(d_big, policy.watchdog_max_ms);
+  EXPECT_LE(d_small, d_big);
+}
+
+TEST(Resilience, DefaultFallbackChains) {
+  using K = SolverKind;
+  EXPECT_EQ(default_fallback_chain(K::kAddsHost),
+            (std::vector<K>{K::kAddsHost, K::kAdds, K::kCpuDs,
+                            K::kDijkstra}));
+  EXPECT_EQ(default_fallback_chain(K::kAdds),
+            (std::vector<K>{K::kAdds, K::kCpuDs, K::kDijkstra}));
+  EXPECT_EQ(default_fallback_chain(K::kDijkstra),
+            (std::vector<K>{K::kDijkstra}));
+  // Kinds outside the canonical chain degrade to the CPU engines.
+  EXPECT_EQ(default_fallback_chain(K::kNf),
+            (std::vector<K>{K::kNf, K::kCpuDs, K::kDijkstra}));
+}
+
+TEST(Resilience, DisabledFallbackExhaustsAndThrows) {
+  // Permanent allocation failure with fallback off: bounded attempts, then
+  // a clean adds::Error carrying the report summary — never a hang.
+  const auto g = small_grid();
+  EngineConfig cfg;
+  ResiliencePolicy policy;
+  policy.enable_fallback = false;
+  policy.max_attempts_per_engine = 2;
+  policy.retry_backoff_ms = 1.0;
+
+  FaultPlan plan(5);
+  plan.set(Site::kPoolAllocFail, {1.0, ~0ull, 0});
+  FaultScope scope(plan);
+  try {
+    run_solver_guarded(SolverKind::kAddsHost, g, 0, cfg, policy);
+    FAIL() << "expected adds::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("exhausted"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("pool.alloc_fail"),
+              std::string::npos);
+  }
+}
+
+TEST(Resilience, FloatLaneGuardedRun) {
+  const auto g = generate_graph<float>([] {
+    GraphSpec s;
+    s.family = GraphFamily::kErdosRenyi;
+    s.scale = 400;
+    s.a = 6;
+    s.weights = {WeightDist::kUniform, 10};
+    s.seed = 21;
+    return s;
+  }());
+  const auto oracle = dijkstra(g, VertexId{0});
+  EngineConfig cfg;
+  const auto res = run_solver_guarded(SolverKind::kAddsHost, g, 0, cfg);
+  EXPECT_TRUE(validate_distances(res, oracle).ok());
+  ASSERT_NE(res.resilience, nullptr);
+  EXPECT_TRUE(res.resilience->ok);
+}
+
+}  // namespace
+}  // namespace adds

@@ -143,6 +143,26 @@ TEST(WorkQueue, RequiresAtLeastTwoBuckets) {
   EXPECT_THROW(WorkQueue(pool, cfg), Error);
 }
 
+TEST(WorkQueue, PushAfterAbortIsNoOp) {
+  // After request_abort the queue is tearing down: push must not reserve,
+  // write, or publish anything — it returns the kPushAborted sentinel and
+  // leaves all accounting untouched (docs/QUEUE_PROTOCOL.md, "Abort and
+  // teardown").
+  BlockPool pool(32, 64);
+  WorkQueue q(pool, small_cfg());
+  q.set_delta(10.0);
+  q.ensure_capacity_all(16);
+  q.push(1, 5.0);
+  const uint64_t pending_before = q.total_pending();
+
+  q.request_abort();
+  EXPECT_TRUE(q.aborted());
+  EXPECT_EQ(q.push(2, 5.0), WorkQueue::kPushAborted);
+  EXPECT_EQ(q.push(3, 999.0), WorkQueue::kPushAborted);
+  EXPECT_EQ(q.total_pending(), pending_before);
+  EXPECT_EQ(q.total_in_flight(), 0u);
+}
+
 TEST(WorkQueue, InFlightAccounting) {
   BlockPool pool(32, 64);
   WorkQueue q(pool, small_cfg());
