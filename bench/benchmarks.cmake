@@ -31,3 +31,13 @@ target_link_libraries(queue_micro PRIVATE adds benchmark::benchmark
   adds_warnings)
 set_target_properties(queue_micro PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Repeatable host-perf suite (push write-combining A/B + solver trajectory;
+# emits BENCH_perf.json). The smoke tier doubles as a ctest entry so a crash
+# is caught locally and in CI; it carries the `perf` label, which the
+# sanitizer CI jobs exclude (timing under ASan/TSan is meaningless).
+adds_add_bench(perf_suite)
+add_test(NAME perf_smoke
+  COMMAND perf_suite --smoke --reps=1
+          --out=${CMAKE_BINARY_DIR}/BENCH_perf.json)
+set_tests_properties(perf_smoke PROPERTIES LABELS perf TIMEOUT 600)

@@ -54,6 +54,37 @@ BENCHMARK(BM_BucketPush)
     ->Iterations(1 << 18)
     ->UseRealTime();
 
+/// Write-combined multi-writer push: each thread stages 64 items locally
+/// and flushes them with one push_batch — the contended-path A/B against
+/// BM_BucketPush (same items, ~1/64th of the resv_ptr traffic).
+void BM_BucketPushCombined(benchmark::State& state) {
+  constexpr uint32_t kBatch = 64;
+  if (state.thread_index() == 0) {
+    const uint32_t total =
+        uint32_t(state.max_iterations) * uint32_t(state.threads()) + 64;
+    g_harness = std::make_unique<BucketHarness>(
+        total / kBlockWords + 4, total);
+  }
+  uint32_t stage[kBatch];
+  uint32_t n = 0;
+  for (auto _ : state) {
+    stage[n++] = 42;
+    if (n == kBatch) {
+      g_harness->bucket.push_batch(stage, n);
+      n = 0;
+    }
+  }
+  if (n > 0) g_harness->bucket.push_batch(stage, n);
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) g_harness.reset();
+}
+BENCHMARK(BM_BucketPushCombined)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Iterations(1 << 18)
+    ->UseRealTime();
+
 /// Batched reservation: reserve(k) + k stores + one publish per segment.
 void BM_BucketReservePublishBatch(benchmark::State& state) {
   const uint32_t batch = uint32_t(state.range(0));

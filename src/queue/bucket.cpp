@@ -33,9 +33,20 @@ Bucket::~Bucket() {
   }
 }
 
-void Bucket::publish(uint32_t start, uint32_t count) noexcept {
-  // One release-increment per covered segment. The release ordering makes
-  // the preceding item stores visible to whoever acquires the WCC value.
+uint32_t Bucket::publish(uint32_t start, uint32_t count) noexcept {
+  // Fast path: the whole range lies inside one segment — true for every
+  // single-item push and for most combiner flushes (lane capacity is
+  // usually <= segment_words). One release-increment, no loop setup.
+  const uint32_t first_seg_end =
+      (start & ~(segment_words_ - 1)) + segment_words_;
+  if (start + count <= first_seg_end) {
+    wcc_[wcc_slot(start)].fetch_add(count, std::memory_order_release);
+    return 1;
+  }
+  // General path: one release-increment per covered segment. The release
+  // ordering makes the preceding item stores visible to whoever acquires
+  // the WCC value.
+  uint32_t ops = 0;
   while (count > 0) {
     const uint32_t seg_base = start & ~(segment_words_ - 1);
     const uint32_t in_seg =
@@ -43,7 +54,9 @@ void Bucket::publish(uint32_t start, uint32_t count) noexcept {
     wcc_[wcc_slot(start)].fetch_add(in_seg, std::memory_order_release);
     start += in_seg;
     count -= in_seg;
+    ++ops;
   }
+  return ops;
 }
 
 uint32_t Bucket::ensure_capacity(uint32_t slack) {

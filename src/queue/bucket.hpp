@@ -91,7 +91,9 @@ class Bucket {
 
   /// Publishes `count` consecutive writes starting at `start`: one WCC
   /// increment per covered segment, release-ordered after the stores.
-  void publish(uint32_t start, uint32_t count) noexcept;
+  /// Returns the number of WCC increments performed (the batch path's
+  /// atomic-op accounting; a single-item push always returns 1).
+  uint32_t publish(uint32_t start, uint32_t count) noexcept;
 
   /// reserve + wait + write + publish for a single item. On abort the item
   /// is dropped (a reserved-but-never-published slot; the scan will treat
@@ -108,6 +110,25 @@ class Bucket {
     write(idx, item);
     fault::delay(fault::Site::kPushDelay, abort_flag_);
     publish(idx, 1);
+  }
+
+  /// Batched push: one reserve(count) + `count` plain stores + one
+  /// publish() covering every touched segment — the write-combined
+  /// counterpart of push() (the CPU analog of the paper's warp-aggregated
+  /// ENQUEUE). Returns the number of WCC increments performed, or 0 when
+  /// the whole batch was dropped: either the queue aborted while waiting
+  /// for storage, or `push.drop-before-publish` fired, which abandons the
+  /// *entire* reservation unpublished — wedging the segment scan exactly
+  /// like a writer that crashed mid-batch. `push.delay` widens the
+  /// write→publish window for the whole batch at once.
+  uint32_t push_batch(const uint32_t* items, uint32_t count) noexcept {
+    if (count == 0) return 0;
+    const uint32_t start = reserve(count);
+    if (!wait_allocated(start + count)) return 0;
+    if (fault::fire(fault::Site::kPushDropBeforePublish)) return 0;
+    for (uint32_t i = 0; i < count; ++i) write(start + i, items[i]);
+    fault::delay(fault::Site::kPushDelay, abort_flag_);
+    return publish(start, count);
   }
 
   /// Work completion: processing of `count` previously assigned items done.

@@ -1,0 +1,117 @@
+// Per-worker push write combining — the host analog of the paper's
+// warp-aggregated ENQUEUE (§5.2).
+//
+// On the GPU, threads of a warp that all improved a vertex elect a leader
+// that performs one resv_ptr fetch-add for the whole warp; each thread then
+// writes its own slot and the leader publishes once. On host threads the
+// equivalent contention killer is temporal rather than spatial: a worker
+// *stages* improved vertices in small per-logical-bucket lanes and flushes
+// a full lane with a single reserve(B) + B plain stores + one WCC
+// increment per covered segment (Bucket::push_batch), instead of paying
+// two shared-cache-line atomics per item.
+//
+// Protocol obligations (docs/QUEUE_PROTOCOL.md §"Write combining"):
+//
+//   * A staged item is invisible to the manager — no reservation exists
+//     for it yet. The worker MUST flush_all() before completing the
+//     assignment that spawned the items (before Bucket::complete /
+//     AssignmentFlag::done), so that "CWC == resv_ptr implies every
+//     spawned item is published" keeps holding.
+//   * Lanes are keyed by the logical bucket computed at staging time; a
+//     flush re-maps the lane through the *current* window parameters
+//     (via WorkQueue::push_batch with a representative distance), so a
+//     rotation between staging and flushing misplaces the batch by at
+//     most the usual racy-snapshot amount — schedule quality, never
+//     correctness.
+//   * After WorkQueue::request_abort() a flush drops its items, exactly
+//     like the single-item kPushAborted no-op; results are being
+//     discarded anyway.
+//
+// Not thread-safe: one combiner per worker thread, by design.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "queue/work_queue.hpp"
+
+namespace adds {
+
+/// Write-combining accounting, merged into WorkStats by the host engine.
+struct CombinerStats {
+  uint64_t staged = 0;         // items handed to push()
+  uint64_t flushes = 0;        // batch publications attempted
+  uint64_t flushed_items = 0;  // items actually published
+  uint64_t dropped = 0;        // items lost to abort/fault drops
+  uint64_t reserve_ops = 0;    // resv_ptr fetch-adds issued
+  uint64_t publish_ops = 0;    // WCC fetch-adds issued
+};
+
+class PushCombiner {
+ public:
+  /// One lane per logical bucket of `queue`, each holding up to
+  /// `lane_capacity` staged items before it auto-flushes.
+  explicit PushCombiner(WorkQueue& queue, uint32_t lane_capacity = 64)
+      : queue_(queue),
+        capacity_(std::max(1u, lane_capacity)),
+        lanes_(queue.num_buckets()) {
+    for (Lane& lane : lanes_) lane.items.resize(capacity_);
+  }
+
+  uint32_t lane_capacity() const noexcept { return capacity_; }
+
+  /// Stages one item under the current window snapshot; flushes the lane
+  /// when it reaches capacity.
+  void push(uint32_t item, double dist) {
+    const uint32_t logical = WorkQueue::logical_index(
+        dist, queue_.base_dist(), queue_.delta(), queue_.num_buckets());
+    Lane& lane = lanes_[logical];
+    if (lane.count == 0) lane.rep_dist = dist;
+    lane.items[lane.count++] = item;
+    ++stats_.staged;
+    if (lane.count >= capacity_) flush_lane(logical);
+  }
+
+  /// Mandatory flush point: publishes every staged item. Must run before
+  /// the worker's CWC increment for the assignment that spawned them.
+  void flush_all() {
+    for (uint32_t l = 0; l < lanes_.size(); ++l) flush_lane(l);
+  }
+
+  /// Staged items not yet flushed (all lanes).
+  uint32_t staged_pending() const noexcept {
+    uint32_t n = 0;
+    for (const Lane& lane : lanes_) n += lane.count;
+    return n;
+  }
+
+  const CombinerStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Lane {
+    std::vector<uint32_t> items;  // fixed capacity_, first `count` valid
+    uint32_t count = 0;
+    double rep_dist = 0.0;  // distance of the first staged item
+  };
+
+  void flush_lane(uint32_t logical) {
+    Lane& lane = lanes_[logical];
+    if (lane.count == 0) return;
+    const WorkQueue::BatchToken t =
+        queue_.push_batch(lane.items.data(), lane.count, lane.rep_dist);
+    ++stats_.flushes;
+    stats_.reserve_ops += t.reserved ? 1 : 0;
+    stats_.publish_ops += t.publish_ops;
+    stats_.flushed_items += t.published;
+    stats_.dropped += lane.count - t.published;
+    lane.count = 0;
+  }
+
+  WorkQueue& queue_;
+  const uint32_t capacity_;
+  std::vector<Lane> lanes_;
+  CombinerStats stats_;
+};
+
+}  // namespace adds

@@ -80,6 +80,39 @@ class WorkQueue {
     return logical;
   }
 
+  /// Outcome of a batched push: which logical bucket the batch landed in
+  /// and the atomic-op cost actually paid (for write-combining stats).
+  struct BatchToken {
+    uint32_t logical = 0;      // logical bucket used (tail-clipped)
+    uint32_t published = 0;    // items published (0 when the batch dropped)
+    uint32_t publish_ops = 0;  // WCC increments performed
+    bool reserved = false;     // a resv_ptr fetch-add was issued
+  };
+
+  /// Pushes `count` items that share one priority band in a single
+  /// reserve/write/publish round trip (see PushCombiner). The batch is
+  /// placed by `dist` under the same racy window snapshot as push(); all
+  /// items land in that one bucket, so callers must group items by
+  /// priority *before* flushing. After request_abort() this is a no-op
+  /// (`published == 0`, `reserved == false`), matching kPushAborted
+  /// single-push semantics; a batch dropped mid-flush (abort while waiting
+  /// for storage, or an injected fault) reports `reserved` with
+  /// `published == 0` — the reservation is abandoned unpublished.
+  BatchToken push_batch(const uint32_t* items, uint32_t count,
+                        double dist) noexcept {
+    BatchToken t;
+    if (count == 0) return t;
+    if (abort_.load(std::memory_order_acquire)) return t;
+    const uint64_t pos = params_.position.load(std::memory_order_acquire);
+    const double base = params_.base_dist.load(std::memory_order_relaxed);
+    const double delta = params_.delta.load(std::memory_order_relaxed);
+    t.logical = logical_index(dist, base, delta, num_buckets());
+    t.reserved = true;
+    t.publish_ops = physical(pos, t.logical).push_batch(items, count);
+    if (t.publish_ops > 0) t.published = count;
+    return t;
+  }
+
   /// Direct access for engines that computed the bucket themselves.
   Bucket& physical_bucket(uint32_t phys) noexcept { return *buckets_[phys]; }
   const Bucket& physical_bucket(uint32_t phys) const noexcept {

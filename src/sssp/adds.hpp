@@ -55,6 +55,14 @@ struct AddsHostOptions {
   uint32_t block_words = 4096;   // pool block size (64Ki on the GPU)
   uint32_t pool_blocks = 0;      // 0: sized automatically from the graph
   uint32_t segment_words = 32;
+  /// Per-worker push write combining (queue/push_combiner.hpp): improved
+  /// vertices are staged per logical bucket and flushed as one batched
+  /// reserve/publish — the host analog of the paper's warp-aggregated
+  /// enqueue. Results are identical either way; the toggle exists for A/B
+  /// benchmarking (bench/perf_suite.cpp).
+  bool write_combining = true;
+  /// Staged items per combiner lane before it auto-flushes.
+  uint32_t combine_capacity = 64;
   DeltaControllerOptions controller;
   /// Optional external cancellation (e.g. a watchdog — core/resilience.hpp).
   /// When it becomes true the manager aborts the queue, tears the run down

@@ -19,10 +19,12 @@
 #include "sssp/adds.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "queue/assignment.hpp"
+#include "queue/push_combiner.hpp"
 #include "queue/translation_cache.hpp"
 #include "queue/work_queue.hpp"
 #include "sssp/atomic_dist.hpp"
@@ -42,20 +44,67 @@ struct WorkerContext {
   WorkQueue* queue = nullptr;
   AtomicDistArray<DistT<W>>* dist = nullptr;
   AssignmentFlag* flag = nullptr;
+  uint32_t combine_capacity = 0;  // 0: single-item pushes (combining off)
   WorkStats stats;  // thread-local; merged after join
 };
+
+/// Pulls the CSR row bounds of `u` toward the cache ahead of use.
+template <WeightType W>
+inline void prefetch_row_offsets(const CsrGraph<W>& g, VertexId u) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(g.offsets().data() + u, 0 /*read*/, 3 /*high locality*/);
+#else
+  (void)g;
+  (void)u;
+#endif
+}
 
 template <WeightType W>
 void worker_main(WorkerContext<W>& ctx) {
   using Dist = DistT<W>;
   const CsrGraph<W>& g = *ctx.graph;
+  const VertexId* const targets = g.targets().data();
+  const W* const weights = g.weights().data();
   TranslationCache<8> cache;
+  std::optional<PushCombiner> combiner;
+  if (ctx.combine_capacity > 0)
+    combiner.emplace(*ctx.queue, ctx.combine_capacity);
+
+  // Relaxes one row; pushes go through the combiner when enabled.
+  const auto relax_row = [&](VertexId u) {
+    const Dist du = ctx.dist->load(u);
+    if (du == DistTraits<W>::infinity()) {
+      // Only possible for a corrupt queue; the push that enqueued u set a
+      // finite distance first.
+      ++ctx.stats.stale_skipped;
+      return;
+    }
+    ++ctx.stats.items_processed;
+    const EdgeIndex begin = g.edge_begin(u);
+    const EdgeIndex end = g.edge_end(u);
+    ctx.stats.relaxations += end - begin;
+    for (EdgeIndex e = begin; e < end; ++e) {
+      const VertexId v = targets[e];
+      const Dist nd = du + Dist(weights[e]);
+      if (ctx.dist->fetch_min(v, nd)) {
+        ++ctx.stats.improvements;
+        ++ctx.stats.pushes;
+        if (combiner) {
+          combiner->push(v, double(nd));
+        } else if (ctx.queue->push(v, double(nd)) !=
+                   WorkQueue::kPushAborted) {
+          ++ctx.stats.queue_reserve_ops;
+          ++ctx.stats.queue_publish_ops;
+        }
+      }
+    }
+  };
 
   Backoff idle_backoff;
   while (true) {
     bool should_exit = false;
     const auto assignment = ctx.flag->poll(should_exit);
-    if (should_exit) return;
+    if (should_exit) break;
     if (!assignment) {
       idle_backoff.pause();
       continue;
@@ -67,34 +116,38 @@ void worker_main(WorkerContext<W>& ctx) {
 
     Bucket& bucket = ctx.queue->physical_bucket(assignment->phys_bucket);
     cache.reset();
+    // Row-batched relaxation with one-ahead software prefetch: the next
+    // item's vertex id is resolved and its CSR row offsets prefetched
+    // while the current row is being relaxed, hiding the offsets-array
+    // miss behind the current row's edge work.
+    VertexId u = VertexId(cache.read(bucket, assignment->start));
+    prefetch_row_offsets(g, u);
     for (uint32_t i = 0; i < assignment->count; ++i) {
-      const VertexId u =
-          VertexId(cache.read(bucket, assignment->start + i));
-      const Dist du = ctx.dist->load(u);
-      if (du == DistTraits<W>::infinity()) {
-        // Only possible for a corrupt queue; the push that enqueued u set a
-        // finite distance first.
-        ++ctx.stats.stale_skipped;
-        continue;
+      VertexId next = 0;
+      if (i + 1 < assignment->count) {
+        next = VertexId(cache.read(bucket, assignment->start + i + 1));
+        prefetch_row_offsets(g, next);
       }
-      ++ctx.stats.items_processed;
-      const EdgeIndex end = g.edge_end(u);
-      for (EdgeIndex e = g.edge_begin(u); e < end; ++e) {
-        ++ctx.stats.relaxations;
-        const VertexId v = g.edge_target(e);
-        const Dist nd = du + Dist(g.edge_weight(e));
-        if (ctx.dist->fetch_min(v, nd)) {
-          ++ctx.stats.improvements;
-          ++ctx.stats.pushes;
-          ctx.queue->push(v, double(nd));
-        }
-      }
+      relax_row(u);
+      u = next;
     }
-    // Publication order matters: all pushes above happen before the
+    // Publication order matters: all pushes above — including every item
+    // still staged in the combiner — must be published before the
     // release-increment of the source bucket's CWC, so when the manager
     // observes CWC == resv_ptr it also observes every spawned item.
+    if (combiner) combiner->flush_all();
     bucket.complete(assignment->count);
     ctx.flag->done();
+  }
+  // A worker only exits between assignments, so its lanes are empty; the
+  // defensive flush keeps the no-staged-items-while-idle invariant even if
+  // termination raced an abort (push_batch no-ops on an aborted queue).
+  if (combiner) {
+    combiner->flush_all();
+    ctx.stats.queue_reserve_ops += combiner->stats().reserve_ops;
+    ctx.stats.queue_publish_ops += combiner->stats().publish_ops;
+    ctx.stats.batch_flushes += combiner->stats().flushes;
+    ctx.stats.combined_items += combiner->stats().flushed_items;
   }
 }
 
@@ -154,27 +207,38 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
     contexts[i].queue = &queue;
     contexts[i].dist = &dist;
     contexts[i].flag = &flags[i];
+    contexts[i].combine_capacity =
+        opts.write_combining ? opts.combine_capacity : 0;
     workers.emplace_back(worker_main<W>, std::ref(contexts[i]));
   }
-  // If the manager loop throws (e.g. BlockPool exhaustion on an undersized
-  // pool), workers must still be told to exit and joined — destroying a
-  // joinable std::thread calls std::terminate.
+  // Single teardown path for both the normal and the error exit. If the
+  // manager loop throws (e.g. BlockPool exhaustion on an undersized pool),
+  // the destructor aborts the queue (unblocking writers stuck in
+  // wait_allocated) before joining — destroying a joinable std::thread
+  // calls std::terminate. The normal exit calls join_workers(false)
+  // explicitly; the destructor is then a no-op.
   struct WorkerShutdown {
     WorkQueue* queue;
     std::vector<AssignmentFlag>* flags;
     std::vector<std::thread>* workers;
-    ~WorkerShutdown() {
-      queue->request_abort();  // unblock writers stuck in wait_allocated
+    bool joined = false;
+    void join_workers(bool abort) {
+      if (joined) return;
+      if (abort) queue->request_abort();
       for (auto& f : *flags) f.terminate();
       for (auto& w : *workers)
         if (w.joinable()) w.join();
+      joined = true;
     }
+    ~WorkerShutdown() { join_workers(true); }
   } shutdown{&queue, &flags, &workers};
 
   // Seed the source.
   queue.ensure_capacity_all(opts.chunk_items * 2);
   queue.push(source, 0.0);
   ++r.work.pushes;
+  ++r.work.queue_reserve_ops;
+  ++r.work.queue_publish_ops;
 
   // --- Manager-side completion-frontier tracking ---------------------------
   //
@@ -216,7 +280,6 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
 
   // --- Manager loop ---------------------------------------------------------
   uint64_t clean_sweeps = 0;
-  uint64_t assigned_items_outstanding = 0;  // manager's own view
   Backoff sweep_backoff;
   while (true) {
     // External cancellation (watchdog) or a prior abort: tear down. The
@@ -282,7 +345,7 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
                      &queue.abort_flag());
         flags[i].assign(a);
         avail -= k;
-        assigned_items_outstanding += k;
+        r.work.assigned_items += k;
         assigned_any = true;
       }
     }
@@ -321,8 +384,7 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
       sweep_backoff.pause();
   }
 
-  for (auto& flag : flags) flag.terminate();
-  for (auto& w : workers) w.join();
+  shutdown.join_workers(false);  // clean exit: no abort, idempotent join
 
   for (const auto& ctx : contexts) r.work.merge(ctx.stats);
   for (VertexId v = 0; v < g.num_vertices(); ++v) r.dist[v] = dist.load(v);
@@ -330,7 +392,6 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
     r.delta_history.emplace_back(double(sw), d);
   r.wall_ms = timer.elapsed_ms();
   r.time_us = r.wall_ms * 1e3;  // the host engine's time is real time
-  (void)assigned_items_outstanding;
   return r;
 }
 

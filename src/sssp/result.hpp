@@ -25,6 +25,14 @@ struct WorkStats {
   uint64_t pushes = 0;           // worklist insertions
   uint64_t heap_ops = 0;         // Dijkstra only
 
+  // Queue-cost accounting (adds-host): how many shared-cache-line atomics
+  // the insertions actually cost, and how much write combining batched.
+  uint64_t queue_reserve_ops = 0;  // resv_ptr fetch-adds issued
+  uint64_t queue_publish_ops = 0;  // WCC fetch-adds issued
+  uint64_t batch_flushes = 0;      // combiner batch publications
+  uint64_t combined_items = 0;     // items pushed through batch flushes
+  uint64_t assigned_items = 0;     // items handed to workers (manager side)
+
   void merge(const WorkStats& o) noexcept {
     items_processed += o.items_processed;
     relaxations += o.relaxations;
@@ -32,6 +40,11 @@ struct WorkStats {
     stale_skipped += o.stale_skipped;
     pushes += o.pushes;
     heap_ops += o.heap_ops;
+    queue_reserve_ops += o.queue_reserve_ops;
+    queue_publish_ops += o.queue_publish_ops;
+    batch_flushes += o.batch_flushes;
+    combined_items += o.combined_items;
+    assigned_items += o.assigned_items;
   }
 };
 

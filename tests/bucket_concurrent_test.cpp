@@ -1,6 +1,7 @@
 // Concurrency stress tests for the SRMW bucket protocol: many real writer
 // threads race against one manager thread. Every pushed value must be
-// observed exactly once and in a state the scan proved fully written.
+// observed exactly once and in a state the scan proved fully written —
+// whether it arrived through single-item pushes or write-combined batches.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -9,6 +10,7 @@
 
 #include "queue/bucket.hpp"
 #include "queue/wrap.hpp"
+#include "util/fault.hpp"
 
 namespace adds {
 namespace {
@@ -24,8 +26,12 @@ BucketConfig stress_cfg() {
 
 /// Writers push disjoint value ranges; the manager scans, consumes, marks
 /// complete, and retires when drained. Returns per-value observation counts.
+/// With `batched`, writers stage values locally and emit them through
+/// push_batch with cycling batch sizes (1..23, crossing segment and block
+/// boundaries) — the write-combined flush path under full contention.
 std::vector<uint32_t> run_stress(uint32_t num_writers,
-                                 uint32_t items_per_writer) {
+                                 uint32_t items_per_writer,
+                                 bool batched = false) {
   BlockPool pool(16, kBlockWords);
   Bucket bucket(pool, stress_cfg());
   bucket.ensure_capacity(4 * kBlockWords);
@@ -38,9 +44,28 @@ std::vector<uint32_t> run_stress(uint32_t num_writers,
   writers.reserve(num_writers);
   for (uint32_t w = 0; w < num_writers; ++w) {
     writers.emplace_back([&, w] {
-      for (uint32_t i = 0; i < items_per_writer; ++i) {
-        bucket.push(w * items_per_writer + i);
-        if ((i & 63) == 0) std::this_thread::yield();
+      if (batched) {
+        std::vector<uint32_t> stage;
+        uint32_t batch = 1 + (w % 23);
+        for (uint32_t i = 0; i < items_per_writer; ++i) {
+          stage.push_back(w * items_per_writer + i);
+          if (stage.size() >= batch) {
+            ASSERT_GT(bucket.push_batch(stage.data(),
+                                        uint32_t(stage.size())),
+                      0u);
+            stage.clear();
+            batch = 1 + (batch % 23);
+            std::this_thread::yield();
+          }
+        }
+        if (!stage.empty())
+          ASSERT_GT(
+              bucket.push_batch(stage.data(), uint32_t(stage.size())), 0u);
+      } else {
+        for (uint32_t i = 0; i < items_per_writer; ++i) {
+          bucket.push(w * items_per_writer + i);
+          if ((i & 63) == 0) std::this_thread::yield();
+        }
       }
     });
   }
@@ -92,6 +117,24 @@ TEST_P(BucketStress, EveryItemSeenExactlyOnce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(WriterCounts, BucketStress,
+                         testing::Values(1u, 2u, 4u, 8u),
+                         [](const auto& param_info) {
+                           return "writers_" +
+                                  std::to_string(param_info.param);
+                         });
+
+class BucketBatchStress : public testing::TestWithParam<uint32_t> {};
+
+TEST_P(BucketBatchStress, BatchedWritersEveryItemSeenExactlyOnce) {
+  const uint32_t writers = GetParam();
+  const auto seen = run_stress(writers, 4000, /*batched=*/true);
+  for (size_t v = 0; v < seen.size(); ++v) {
+    ASSERT_EQ(seen[v], 1u) << "value " << v << " seen " << seen[v]
+                           << " times";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WriterCounts, BucketBatchStress,
                          testing::Values(1u, 2u, 4u, 8u),
                          [](const auto& param_info) {
                            return "writers_" +

@@ -25,6 +25,10 @@ using fault::Site;
 struct SiteCase {
   Site site;
   FaultSpec spec;
+  // Write combining on (default) routes pushes through batched flushes, so
+  // the push-site injections fire inside PushCombiner::flush_lane; off
+  // exercises the legacy single-item path.
+  bool combining = true;
 };
 
 class FaultMatrix : public ::testing::TestWithParam<SiteCase> {};
@@ -34,9 +38,13 @@ TEST_P(FaultMatrix, GuardedRunSurvivesInjection) {
       make_grid_road<uint32_t>(30, 30, {WeightDist::kUniform, 1000}, 3);
   const auto oracle = dijkstra(g, VertexId{0});
 
+  const SiteCase& c = GetParam();
+
   EngineConfig cfg;
   cfg.adds_host.num_workers = 3;
   cfg.adds_host.block_words = 256;  // small blocks: more allocator traffic
+  cfg.adds_host.write_combining = c.combining;
+  cfg.adds_host.combine_capacity = 16;  // small lanes: frequent batch flushes
 
   ResiliencePolicy policy;
   policy.max_attempts_per_engine = 1;  // go straight down the chain
@@ -44,7 +52,6 @@ TEST_P(FaultMatrix, GuardedRunSurvivesInjection) {
   policy.retry_backoff_ms = 1.0;
   policy.audit_sample_edges = ~0ull;   // full audit on these tiny graphs
 
-  const SiteCase& c = GetParam();
   uint64_t total_fires = 0;
   for (uint64_t seed = 1; seed <= 5; ++seed) {
     FaultPlan plan(seed);
@@ -80,11 +87,16 @@ INSTANTIATE_TEST_SUITE_P(
         // Late assignment-flag delivery.
         SiteCase{Site::kAfDeliveryDelay, {0.1, ~0ull, 500}},
         // Worker preemption with an assignment in flight.
-        SiteCase{Site::kWorkerStall, {0.1, ~0ull, 1000}}),
+        SiteCase{Site::kWorkerStall, {0.1, ~0ull, 1000}},
+        // The push sites again with combining disabled: the injections must
+        // be survivable on the single-item path too.
+        SiteCase{Site::kPushDelay, {0.05, ~0ull, 200}, false},
+        SiteCase{Site::kPushDropBeforePublish, {0.05, ~0ull, 0}, false}),
     [](const ::testing::TestParamInfo<SiteCase>& info) {
       std::string name = fault::site_name(info.param.site);
       for (char& ch : name)
         if (ch == '.' || ch == '-') ch = '_';
+      if (!info.param.combining) name += "_single";
       return name;
     });
 
