@@ -41,3 +41,11 @@ add_test(NAME perf_smoke
   COMMAND perf_suite --smoke --reps=1
           --out=${CMAKE_BINARY_DIR}/BENCH_perf.json)
 set_tests_properties(perf_smoke PROPERTIES LABELS perf TIMEOUT 600)
+
+# Deterministic chaos soak: randomized faults x undersized pools x mid-run
+# cancels x watchdog deadlines, every survivor validated against Dijkstra.
+# The smoke tier runs a fixed seed so CI failures replay exactly; the `soak`
+# label lets sanitizer jobs exclude it alongside `perf`.
+adds_add_bench(soak_suite)
+add_test(NAME soak_smoke COMMAND soak_suite --smoke --seed=42)
+set_tests_properties(soak_smoke PROPERTIES LABELS "perf;soak" TIMEOUT 60)

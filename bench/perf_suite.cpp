@@ -21,8 +21,11 @@
 // Emits BENCH_perf.json (schema adds-perf-suite-v1) so future PRs can
 // compare trend points; CI's perf-smoke job uploads it as an artifact.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -32,11 +35,13 @@
 #include "core/validate.hpp"
 #include "graph/analysis.hpp"
 #include "graph/generators.hpp"
+#include "queue/assignment.hpp"
 #include "queue/block_pool.hpp"
 #include "queue/bucket.hpp"
 #include "queue/push_combiner.hpp"
 #include "queue/work_queue.hpp"
 #include "queue/wrap.hpp"
+#include "util/backoff.hpp"
 #include "sssp/adds.hpp"
 #include "sssp/cpu_delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
@@ -190,6 +195,90 @@ PushMicroResult run_push_micro(uint32_t writers, uint64_t items_per_writer,
   return r;
 }
 
+// ---- 1b. Manager->worker handoff latency ------------------------------------
+
+struct HandoffResult {
+  std::string mode;  // "poll-backoff" (PR-2 baseline) | "event"
+  uint64_t rounds = 0;
+  double mean_us = 0;
+  double p99_us = 0;
+};
+
+/// One manager thread assigns a range to one idle worker every ~200us (so
+/// the worker is parked/deep in its idle wait when the assignment lands —
+/// the ROADMAP's idle-handoff case), and the worker timestamps how long
+/// assign() -> observation took. `event_driven` uses AssignmentFlag::wait
+/// (the engine's real path); the baseline reproduces the old poll loop:
+/// poll() under a capped-backoff sleep, whose ~128us cap was the latency
+/// floor this PR removes.
+HandoffResult run_handoff_micro(bool event_driven, uint32_t rounds) {
+  AssignmentFlag flag;
+  std::atomic<int64_t> assigned_at_ns{0};
+  std::vector<double> lat_us;
+  lat_us.reserve(rounds);
+
+  std::thread worker([&] {
+    bool should_exit = false;
+    while (!should_exit) {
+      std::optional<Assignment> a;
+      if (event_driven) {
+        a = flag.wait(should_exit);
+      } else {
+        Backoff backoff;
+        while (!(a = flag.poll(should_exit)) && !should_exit)
+          backoff.pause();
+      }
+      if (!a) continue;
+      const auto now = std::chrono::steady_clock::now()
+                           .time_since_epoch()
+                           .count();
+      lat_us.push_back(
+          double(now - assigned_at_ns.load(std::memory_order_relaxed)) /
+          1e3);
+      flag.done();
+    }
+  });
+
+  for (uint32_t i = 0; i < rounds; ++i) {
+    while (!flag.is_idle()) std::this_thread::yield();
+    // Let the worker sink all the way into steady-state idle (past the
+    // poll loop's backoff ramp, ~260us cumulative) before assigning — the
+    // regime where PR-2's capped backoff pays its 128us sleep quantum on
+    // every handoff. The park is jittered (deterministically) so the
+    // assign lands at varying phases of the sleep schedule instead of
+    // phase-locking to it.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(500 + (i * 37) % 400));
+    assigned_at_ns.store(
+        std::chrono::steady_clock::now().time_since_epoch().count(),
+        std::memory_order_relaxed);
+    flag.assign({0, 0, 1});
+  }
+  while (!flag.is_idle()) std::this_thread::yield();
+  flag.terminate();
+  worker.join();
+
+  std::sort(lat_us.begin(), lat_us.end());
+  HandoffResult r;
+  r.mode = event_driven ? "event" : "poll-backoff";
+  r.rounds = rounds;
+  double sum = 0;
+  for (const double v : lat_us) sum += v;
+  r.mean_us = lat_us.empty() ? 0 : sum / double(lat_us.size());
+  r.p99_us =
+      lat_us.empty() ? 0 : lat_us[size_t(double(lat_us.size() - 1) * 0.99)];
+  return r;
+}
+
+std::string handoff_json(const HandoffResult& r) {
+  JsonObj o;
+  o.field("mode", r.mode)
+      .field("rounds", r.rounds)
+      .field("mean_us", r.mean_us)
+      .field("p99_us", r.p99_us);
+  return o.str();
+}
+
 // ---- 2. Solver suite --------------------------------------------------------
 
 struct SolverRun {
@@ -322,6 +411,20 @@ int main(int argc, char** argv) {
                          " items; manager consumes concurrently");
   micro_table.print();
 
+  // --- Handoff latency ------------------------------------------------------
+  const uint32_t handoff_rounds = smoke ? 300 : 2000;
+  const auto handoff_poll = run_handoff_micro(false, handoff_rounds);
+  const auto handoff_event = run_handoff_micro(true, handoff_rounds);
+  TextTable handoff_table(
+      "Manager->worker assignment handoff latency (idle worker)");
+  handoff_table.set_header({"mode", "rounds", "mean", "p99"});
+  for (const auto& h : {handoff_poll, handoff_event})
+    handoff_table.add_row({h.mode, std::to_string(h.rounds),
+                           fmt_time_us(h.mean_us), fmt_time_us(h.p99_us)});
+  handoff_table.add_footer(
+      "poll-backoff reproduces the PR-2 idle loop (128us sleep cap)");
+  handoff_table.print();
+
   // --- Solver suite ---------------------------------------------------------
   std::vector<GraphSpec> specs;
   {
@@ -427,6 +530,9 @@ int main(int argc, char** argv) {
              uint64_t(std::thread::hardware_concurrency()))
       .field("contended_push_speedup_4w", contended_speedup)
       .raw("push_micro", json_array(micro_elems))
+      .raw("handoff_latency",
+           json_array({handoff_json(handoff_poll),
+                       handoff_json(handoff_event)}))
       .raw("solver_runs", json_array(run_elems));
 
   const std::string out_path = cli.str("out");

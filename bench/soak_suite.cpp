@@ -1,0 +1,341 @@
+// Chaos soak harness for the resilient host engine (ISSUE 3 tentpole).
+//
+// Draws a deterministic sequence of adversarial configurations — tiny and
+// auto-sized pools, every fault-injection site (including pool.exhausted),
+// aggressive and generous watchdog deadlines, write combining on/off, the
+// overload governor on/off, mid-run cancels — runs each one, and holds the
+// survivors to the only contract that matters:
+//
+//   * a run that returns a result must match the Dijkstra oracle exactly;
+//   * a guarded run must return (the chain ends in engines with no
+//     injection sites), and an unguarded run may only fail by throwing
+//     adds::Error — never by hanging (the smoke tier is a ctest entry with
+//     a hard timeout) and never by silent corruption.
+//
+// Fully deterministic per --seed: every run's configuration derives from a
+// SplitMix64 stream, so a failure line like `run=17 seed=0x...` replays
+// exactly. The summary table counts outcomes; the process exits nonzero on
+// any contract violation.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/resilience.hpp"
+#include "core/validate.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sssp/adds.hpp"
+#include "sssp/dijkstra.hpp"
+#include "util/event.hpp"
+#include "util/fault.hpp"
+
+using namespace adds;
+
+namespace {
+
+// SplitMix64: tiny, deterministic, and good enough to decorrelate every
+// configuration dimension from one master seed.
+struct SplitMix64 {
+  uint64_t state;
+  uint64_t next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  uint64_t below(uint64_t n) { return next() % n; }
+  double unit() { return double(next() >> 11) / double(1ull << 53); }
+};
+
+enum class RunMode : uint8_t {
+  kPlain,       // raw adds_host, no external interference
+  kMidCancel,   // raw adds_host + a canceller thread firing mid-run
+  kGuarded,     // run_solver_guarded (watchdog + retry + fallback + audit)
+};
+
+struct SoakConfig {
+  uint64_t run_seed = 0;
+  GraphSpec graph;
+  AddsHostOptions host;
+  RunMode mode = RunMode::kPlain;
+  bool inject = false;  // false: fault-free control run
+  fault::Site site = fault::Site::kPoolAllocFail;
+  fault::FaultSpec spec;
+  double watchdog_min_ms = 0;  // guarded mode only
+  double cancel_after_ms = 0;  // mid-cancel mode only
+};
+
+SoakConfig draw_config(SplitMix64& rng, bool smoke) {
+  SoakConfig c;
+  c.run_seed = rng.next();
+
+  // Graph: small enough that a soak run takes milliseconds, varied enough
+  // to move the bucket/window shapes around.
+  switch (rng.below(3)) {
+    case 0: {
+      const uint64_t side = smoke ? 24 + rng.below(16) : 30 + rng.below(40);
+      c.graph.name = "grid_" + std::to_string(side);
+      c.graph.family = GraphFamily::kGridRoad;
+      c.graph.scale = side;
+      c.graph.a = double(side);
+      break;
+    }
+    case 1: {
+      const uint64_t scale = smoke ? 9 : 10 + rng.below(2);
+      c.graph.name = "rmat_" + std::to_string(scale);
+      c.graph.family = GraphFamily::kRmat;
+      c.graph.scale = scale;
+      c.graph.a = 8;
+      break;
+    }
+    default: {
+      const uint64_t side = smoke ? 16 + rng.below(12) : 24 + rng.below(24);
+      c.graph.name = "mesh_" + std::to_string(side);
+      c.graph.family = GraphFamily::kKNeighborMesh;
+      c.graph.scale = side;
+      c.graph.a = double(side);
+      c.graph.b = 2;
+      break;
+    }
+  }
+  c.graph.weights = {WeightDist::kUniform, 1000, 1};
+  c.graph.seed = rng.next();
+
+  c.host.num_workers = 2 + uint32_t(rng.below(3));
+  c.host.num_buckets = 8;
+  c.host.block_words = uint32_t(64u << rng.below(3));  // 64/128/256
+  c.host.write_combining = rng.below(2) == 0;
+  c.host.pool_governor = rng.below(8) != 0;  // mostly governed
+  // Pool: auto-sized, or deliberately tiny so the governor has to spill
+  // (ungoverned tiny pools are expected to throw — that is part of the
+  // matrix: fail-fast must stay clean under chaos too).
+  if (rng.below(2) == 0)
+    c.host.pool_blocks =
+        c.host.num_buckets + 2 + uint32_t(rng.below(24));
+
+  // Fault site (or a fault-free control run). pool.exhausted leans on the
+  // governor; the others stress publication, scheduling and allocator
+  // hard-failure paths.
+  static constexpr fault::Site kSites[] = {
+      fault::Site::kPoolExhausted, fault::Site::kPoolAllocFail,
+      fault::Site::kPushDelay,     fault::Site::kPushDropBeforePublish,
+      fault::Site::kManagerScanStall,
+      fault::Site::kAfDeliveryDelay,
+      fault::Site::kWorkerStall,
+  };
+  const uint64_t pick = rng.below(sizeof(kSites) / sizeof(kSites[0]) + 1);
+  c.inject = pick != 0;
+  if (c.inject) c.site = kSites[pick - 1];
+  switch (c.inject ? c.site : fault::Site(0xff)) {
+    case fault::Site::kPoolExhausted:
+      c.spec = {0.1 + 0.4 * rng.unit(), ~0ull, 0};
+      break;
+    case fault::Site::kPoolAllocFail:
+      c.spec = {0.1, 1 + rng.below(4), 0};
+      break;
+    case fault::Site::kPushDelay:
+      c.spec = {0.05, ~0ull, uint32_t(100 + rng.below(400))};
+      break;
+    case fault::Site::kPushDropBeforePublish:
+      c.spec = {0.02 + 0.05 * rng.unit(), 1 + rng.below(8), 0};
+      break;
+    case fault::Site::kManagerScanStall:
+    case fault::Site::kAfDeliveryDelay:
+    case fault::Site::kWorkerStall:
+      c.spec = {0.1, ~0ull, uint32_t(200 + rng.below(smoke ? 300 : 1500))};
+      break;
+    default:
+      break;
+  }
+
+  switch (rng.below(3)) {
+    case 0: c.mode = RunMode::kPlain; break;
+    case 1: c.mode = RunMode::kMidCancel; break;
+    default: c.mode = RunMode::kGuarded; break;
+  }
+  c.watchdog_min_ms =
+      rng.below(2) == 0 ? 50.0 : (smoke ? 400.0 : 2000.0);  // aggressive/normal
+  c.cancel_after_ms = 1.0 + 20.0 * rng.unit();
+  return c;
+}
+
+struct Tally {
+  uint64_t ok = 0;             // returned and validated
+  uint64_t clean_error = 0;    // threw adds::Error (accepted for raw modes)
+  uint64_t cancelled = 0;      // mid-cancel runs observed the cancel
+  uint64_t fault_fires = 0;
+  uint64_t spilled_items = 0;
+  uint64_t governed_spill_runs = 0;
+  uint64_t violations = 0;     // wrong result / unexpected failure shape
+};
+
+const char* mode_name(RunMode m) {
+  switch (m) {
+    case RunMode::kPlain: return "plain";
+    case RunMode::kMidCancel: return "mid-cancel";
+    case RunMode::kGuarded: return "guarded";
+  }
+  return "?";
+}
+
+/// Runs one drawn configuration. Returns a violation description, or "".
+std::string run_one(const SoakConfig& c, Tally& t) {
+  const auto g = generate_graph<uint32_t>(c.graph);
+  const VertexId src = pick_source(g);
+  const auto oracle = dijkstra(g, src);
+
+  fault::FaultPlan plan(c.run_seed);
+  if (c.inject) plan.set(c.site, c.spec);
+  fault::FaultScope scope(plan);
+
+  const auto check = [&](const SsspResult<uint32_t>& res) -> std::string {
+    if (!validate_distances(res, oracle).ok())
+      return "result diverged from Dijkstra oracle";
+    ++t.ok;
+    t.spilled_items += res.health.spilled_items;
+    if (res.health.spilled_items > 0) ++t.governed_spill_runs;
+    return "";
+  };
+
+  std::string violation;
+  switch (c.mode) {
+    case RunMode::kPlain:
+    case RunMode::kMidCancel: {
+      // Raw adds_host has no watchdog, and several sites (dropped
+      // publication, a starved tiny pool with the governor off) wedge the
+      // termination protocol by design. A deadline canceller bounds every
+      // raw run; mid-cancel mode additionally fires an early cancel to
+      // exercise prompt teardown from deep-parked states.
+      std::atomic<bool> cancel{false};
+      std::atomic<bool> finished{false};
+      Event cancel_event;
+      AddsHostOptions opts = c.host;
+      opts.cancel = &cancel;
+      opts.cancel_event = &cancel_event;
+      const double deadline_ms =
+          c.mode == RunMode::kMidCancel ? c.cancel_after_ms : 2000.0;
+      std::thread canceller([&] {
+        const auto step = std::chrono::milliseconds(1);
+        auto waited = std::chrono::duration<double, std::milli>(0);
+        while (!finished.load(std::memory_order_acquire) &&
+               waited.count() < deadline_ms) {
+          std::this_thread::sleep_for(step);
+          waited += step;
+        }
+        cancel.store(true, std::memory_order_release);
+        cancel_event.notify_all();
+      });
+      try {
+        // A fast run may legitimately finish before the cancel lands.
+        violation = check(adds_host(g, src, opts));
+      } catch (const Error&) {
+        if (c.mode == RunMode::kMidCancel)
+          ++t.cancelled;
+        else
+          ++t.clean_error;  // fail-fast/wedge/deadline: clean throw only
+      }
+      finished.store(true, std::memory_order_release);
+      canceller.join();
+      break;
+    }
+    case RunMode::kGuarded: {
+      EngineConfig cfg;
+      cfg.adds_host = c.host;
+      ResiliencePolicy policy;
+      policy.watchdog_min_ms = c.watchdog_min_ms;
+      policy.retry_backoff_ms = 1.0;
+      policy.max_attempts_per_engine = 2;
+      try {
+        violation = check(run_solver_guarded(SolverKind::kAddsHost, g, src,
+                                             cfg, policy));
+      } catch (const Error& e) {
+        // The fallback chain ends in fault-free engines: a guarded run
+        // must always produce a result.
+        violation = std::string("guarded run threw: ") + e.what();
+      }
+      break;
+    }
+  }
+  t.fault_fires += plan.total_fires();
+  return violation;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("soak_suite",
+                "deterministic chaos soak for the resilient host engine "
+                "(faults x tiny pools x cancels x deadlines)");
+  cli.add_flag("smoke", "short CI tier (fits the 60s soak_smoke budget)");
+  cli.add_flag("verbose", "print each run's drawn configuration to stderr");
+  cli.add_option("runs", "number of randomized runs (0: tier default)", "0");
+  cli.add_option("seed", "master seed for the configuration stream", "42");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool smoke = cli.flag("smoke");
+  const uint64_t master_seed = uint64_t(cli.integer("seed"));
+  uint64_t runs = uint64_t(cli.integer("runs"));
+  if (runs == 0) runs = smoke ? 40 : 400;
+
+  SplitMix64 rng{master_seed};
+  Tally tally;
+  std::vector<std::string> failures;
+
+  const bool verbose = cli.flag("verbose");
+  for (uint64_t i = 0; i < runs; ++i) {
+    const SoakConfig c = draw_config(rng, smoke);
+    if (verbose) {
+      std::fprintf(stderr,
+                   "run=%llu seed=0x%llx graph=%s mode=%s site=%s pool=%u "
+                   "governor=%d combining=%d workers=%u block_words=%u\n",
+                   (unsigned long long)i, (unsigned long long)c.run_seed,
+                   c.graph.name.c_str(), mode_name(c.mode),
+                   c.inject ? fault::site_name(c.site) : "none",
+                   c.host.pool_blocks, int(c.host.pool_governor),
+                   int(c.host.write_combining), c.host.num_workers,
+                   c.host.block_words);
+      std::fflush(stderr);
+    }
+    const std::string violation = run_one(c, tally);
+    if (!violation.empty()) {
+      ++tally.violations;
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "run=%llu seed=0x%llx graph=%s mode=%s site=%s "
+                    "pool=%u governor=%d: %s",
+                    (unsigned long long)i,
+                    (unsigned long long)c.run_seed, c.graph.name.c_str(),
+                    mode_name(c.mode), c.inject ? fault::site_name(c.site) : "none",
+                    c.host.pool_blocks, int(c.host.pool_governor),
+                    violation.c_str());
+      failures.push_back(buf);
+      std::fprintf(stderr, "VIOLATION %s\n", buf);
+    }
+  }
+
+  TextTable table("Chaos soak (" + std::to_string(runs) + " runs, seed " +
+                  std::to_string(master_seed) + ")");
+  table.set_header({"outcome", "count"});
+  table.add_row({"ok (validated)", std::to_string(tally.ok)});
+  table.add_row({"clean adds::Error", std::to_string(tally.clean_error)});
+  table.add_row({"cancelled mid-run", std::to_string(tally.cancelled)});
+  table.add_row({"contract violations", std::to_string(tally.violations)});
+  table.add_row({"fault fires", std::to_string(tally.fault_fires)});
+  table.add_row({"runs that spilled", std::to_string(tally.governed_spill_runs)});
+  table.add_row({"items spilled", std::to_string(tally.spilled_items)});
+  table.add_footer(
+      "every returned result validated against Dijkstra; nonzero "
+      "violations fail the process");
+  table.print();
+
+  if (!failures.empty()) {
+    std::fprintf(stderr, "\n%zu contract violation(s):\n", failures.size());
+    for (const auto& f : failures) std::fprintf(stderr, "  %s\n", f.c_str());
+    return 1;
+  }
+  return 0;
+}

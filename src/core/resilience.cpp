@@ -22,8 +22,13 @@ namespace {
 /// the deterministic fallback engines with no injected-hang sites.
 class Watchdog {
  public:
-  Watchdog(double deadline_ms, std::atomic<bool>* cancel)
+  /// `cancel_event`, when given, is notified right after the cancel token
+  /// is set so an engine parked on it observes the cancel immediately
+  /// (the host engine's manager and workers are event-driven waits).
+  Watchdog(double deadline_ms, std::atomic<bool>* cancel,
+           Event* cancel_event = nullptr)
       : cancel_(cancel),
+        cancel_event_(cancel_event),
         deadline_ms_(deadline_ms),
         thread_([this] { run(); }) {}
 
@@ -43,22 +48,32 @@ class Watchdog {
     return fired_.load(std::memory_order_acquire);
   }
 
+  /// Valid only after fired() returned true (the release/acquire pair on
+  /// fired_ orders the write).
+  std::chrono::steady_clock::time_point fired_at() const noexcept {
+    return fired_at_;
+  }
+
  private:
   void run() {
     std::unique_lock<std::mutex> lk(m_);
     const auto deadline = std::chrono::duration<double, std::milli>(
         deadline_ms_);
     if (cv_.wait_for(lk, deadline, [this] { return done_; })) return;
+    fired_at_ = std::chrono::steady_clock::now();
     fired_.store(true, std::memory_order_release);
     cancel_->store(true, std::memory_order_release);
+    if (cancel_event_ != nullptr) cancel_event_->notify_all();
   }
 
   std::atomic<bool>* cancel_;
+  Event* cancel_event_;
   double deadline_ms_;
   std::mutex m_;
   std::condition_variable cv_;
   bool done_ = false;
   std::atomic<bool> fired_{false};
+  std::chrono::steady_clock::time_point fired_at_{};
   std::thread thread_;
 };
 
@@ -76,7 +91,11 @@ const char* outcome_name(AttemptOutcome o) noexcept {
 
 std::string RunReport::summary() const {
   uint64_t fault_fires = 0;
-  for (const auto& a : attempts) fault_fires += a.fault_fires;
+  uint64_t spilled = 0;
+  for (const auto& a : attempts) {
+    fault_fires += a.fault_fires;
+    spilled += a.health.spilled_items;
+  }
   std::ostringstream os;
   os << (ok ? "ok" : "failed")
      << " solver=" << (final_solver.empty() ? "-" : final_solver)
@@ -84,6 +103,9 @@ std::string RunReport::summary() const {
      << " fallbacks=" << fallbacks << " watchdog_fires=" << watchdog_fires
      << " audit_failures=" << audit_failures
      << " fault_fires=" << fault_fires;
+  if (spilled > 0) os << " spilled_items=" << spilled;
+  if (resized_pool_blocks > 0)
+    os << " resized_pool=" << resized_pool_blocks;
   return os.str();
 }
 
@@ -204,10 +226,16 @@ SsspResult<W> run_solver_guarded(SolverKind kind, const CsrGraph<W>& g,
          ++attempt) {
       if (attempt > 1) {
         ++report->retries;
-        // The most common recoverable adds-host failure is an undersized
-        // pool: retry with auto sizing (scaled from the graph) instead.
-        if (policy.resize_pool_on_retry && k == SolverKind::kAddsHost)
-          local.adds_host.pool_blocks = 0;
+        // The most common adds-host failure the governor cannot absorb is
+        // a hopelessly undersized pool: retry with the auto sizing (scaled
+        // from the graph) and record the size so the report shows what the
+        // retry actually ran with.
+        if (policy.resize_pool_on_retry && k == SolverKind::kAddsHost) {
+          local.adds_host.pool_blocks = auto_pool_blocks(
+              g.num_edges(), local.adds_host.block_words,
+              local.adds_host.num_buckets);
+          report->resized_pool_blocks = local.adds_host.pool_blocks;
+        }
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(backoff_ms));
         backoff_ms *= 2;
@@ -219,21 +247,33 @@ SsspResult<W> run_solver_guarded(SolverKind kind, const CsrGraph<W>& g,
       rec.attempt = attempt;
 
       std::atomic<bool> cancel{false};
+      Event cancel_event;
       local.adds_host.cancel = &cancel;
+      local.adds_host.cancel_event = &cancel_event;
       if (policy.enable_watchdog)
         rec.deadline_ms = watchdog_deadline_ms(g, local, policy);
 
       const uint64_t fires_before = fault::total_fires();
       WallTimer timer;
       std::optional<Watchdog> dog;
-      if (policy.enable_watchdog) dog.emplace(rec.deadline_ms, &cancel);
+      if (policy.enable_watchdog)
+        dog.emplace(rec.deadline_ms, &cancel, &cancel_event);
+      const auto cancel_latency_ms = [&]() {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - dog->fired_at())
+            .count();
+      };
       try {
         SsspResult<W> res = run_solver(k, g, source, local);
         if (dog) dog->disarm();
         rec.wall_ms = timer.elapsed_ms();
         rec.fault_fires = fault::total_fires() - fires_before;
         rec.watchdog_fired = dog.has_value() && dog->fired();
-        if (rec.watchdog_fired) ++report->watchdog_fires;
+        if (rec.watchdog_fired) {
+          ++report->watchdog_fires;
+          rec.cancel_latency_ms = cancel_latency_ms();
+        }
+        rec.health = res.health;
 
         if (policy.enable_audit) {
           const AuditReport audit = audit_relaxation(
@@ -264,7 +304,13 @@ SsspResult<W> run_solver_guarded(SolverKind kind, const CsrGraph<W>& g,
         rec.outcome = rec.watchdog_fired ? AttemptOutcome::kWatchdogAbort
                                          : AttemptOutcome::kError;
         rec.error = e.what();
-        if (rec.watchdog_fired) ++report->watchdog_fires;
+        if (rec.watchdog_fired) {
+          ++report->watchdog_fires;
+          // Fire -> teardown-complete: the unwound attempt has joined its
+          // workers by the time the throw reaches us, so this measures the
+          // full event-driven cancellation path.
+          rec.cancel_latency_ms = cancel_latency_ms();
+        }
         report->attempts.push_back(rec);
       }
     }

@@ -77,9 +77,16 @@ struct AttemptRecord {
   double wall_ms = 0.0;
   double deadline_ms = 0.0;    // watchdog deadline for this attempt (0 = off)
   bool watchdog_fired = false;
+  /// Watchdog fire -> attempt teardown complete, in ms (< 0: watchdog did
+  /// not fire). Bounded by the event-driven cancel path: the watchdog
+  /// notifies the engine's cancel event after setting the token.
+  double cancel_latency_ms = -1.0;
   uint64_t fault_fires = 0;    // injected-fault fires observed during attempt
   uint64_t audit_checked = 0;  // edges checked by the audit
   uint64_t audit_violations = 0;
+  /// Pool/spill health of the attempt (adds-host; zeros for other engines
+  /// and for attempts that threw before producing a result).
+  QueueHealth health;
 };
 
 /// Structured history of one guarded run.
@@ -89,6 +96,8 @@ struct RunReport {
   uint32_t audit_failures = 0;
   uint32_t retries = 0;    // extra attempts on the same engine
   uint32_t fallbacks = 0;  // engine switches
+  /// Pool size applied by resize_pool_on_retry (0: the resize never fired).
+  uint32_t resized_pool_blocks = 0;
   bool ok = false;
   std::string final_solver;  // engine that produced the returned result
 

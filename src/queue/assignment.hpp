@@ -6,11 +6,19 @@
 // is no contention between workers, and the acquire/release handshake on the
 // state word transfers visibility of both the assignment fields and the
 // published queue items.
+//
+// Waiting is event-driven: an idle worker parks on the flag's eventcount
+// (util/event.hpp) in wait(), and assign()/terminate() wake it directly —
+// a handoff costs microseconds instead of the old capped-backoff sleep
+// quantum. The non-blocking poll() remains for callers that interleave the
+// flag with other work.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <optional>
+
+#include "util/event.hpp"
 
 namespace adds {
 
@@ -31,16 +39,23 @@ class AssignmentFlag {
     return state_.load(std::memory_order_acquire) == kIdle;
   }
 
-  /// Precondition: is_idle(). Publishes `a` to the worker.
+  /// Precondition: is_idle(). Publishes `a` to the worker and wakes it.
   void assign(const Assignment& a) noexcept {
     assignment_ = a;
     state_.store(kAssigned, std::memory_order_release);
+    event_.notify_all();
   }
 
-  /// Tells the worker to exit once it next polls.
+  /// Tells the worker to exit once it next polls; wakes a parked worker.
   void terminate() noexcept {
     state_.store(kTerminate, std::memory_order_release);
+    event_.notify_all();
   }
+
+  /// Optional event notified when the worker returns to idle, so a parked
+  /// manager learns of completions without polling. The pointee must
+  /// outlive the worker.
+  void set_done_event(Event* e) noexcept { done_event_ = e; }
 
   // ---- Worker side --------------------------------------------------------
 
@@ -58,12 +73,33 @@ class AssignmentFlag {
     return assignment_;
   }
 
-  /// Worker finished the current assignment; flag returns to idle.
-  void done() noexcept { state_.store(kIdle, std::memory_order_release); }
+  /// Blocking poll: parks on the flag's event until the state leaves idle,
+  /// then reports like poll(). The idle worker's wait loop.
+  std::optional<Assignment> wait(bool& should_exit) noexcept {
+    event_.await([this]() noexcept {
+      return state_.load(std::memory_order_acquire) != kIdle;
+    });
+    return poll(should_exit);
+  }
+
+  /// Worker finished the current assignment; flag returns to idle. A CAS,
+  /// not a store: terminate() may land while the worker is mid-assignment,
+  /// and a blind kIdle store would clobber it — the worker would then park
+  /// in wait() forever while the manager blocks in join. If the CAS loses
+  /// to a racing terminate the flag stays kTerminate and the worker's next
+  /// wait()/poll() reports should_exit.
+  void done() noexcept {
+    uint32_t expected = kAssigned;
+    state_.compare_exchange_strong(expected, kIdle, std::memory_order_release,
+                                   std::memory_order_relaxed);
+    if (done_event_ != nullptr) done_event_->notify_all();
+  }
 
  private:
   std::atomic<uint32_t> state_{kIdle};
   Assignment assignment_{};
+  Event event_;
+  Event* done_event_ = nullptr;
 };
 
 }  // namespace adds

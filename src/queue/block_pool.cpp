@@ -28,13 +28,25 @@ BlockId BlockPool::allocate() {
   ADDS_REQUIRE(!fault::fire(fault::Site::kPoolAllocFail),
                "injected fault: pool.alloc_fail");
   ADDS_REQUIRE(!free_.empty(),
-               "BlockPool exhausted: increase pool size (num_blocks)");
+               "BlockPool exhausted: blocks_in_use=" +
+                   std::to_string(blocks_in_use()) +
+                   " peak_blocks_in_use=" + std::to_string(peak_in_use_) +
+                   " num_blocks=" + std::to_string(num_blocks_) +
+                   "; increase pool size (num_blocks)");
   const BlockId id = free_.back();
   free_.pop_back();
   ADDS_ASSERT_MSG(!live_[id], "allocator invariant: block already live");
   live_[id] = true;
   peak_in_use_ = std::max(peak_in_use_, blocks_in_use());
   return id;
+}
+
+BlockId BlockPool::try_allocate() {
+  ADDS_REQUIRE(!fault::fire(fault::Site::kPoolAllocFail),
+               "injected fault: pool.alloc_fail");
+  if (free_.empty() || fault::fire(fault::Site::kPoolExhausted))
+    return kInvalidBlock;
+  return allocate();
 }
 
 void BlockPool::release(BlockId id) {

@@ -46,6 +46,15 @@ class BlockPool {
   /// sizing the slab is the embedder's responsibility, as on the GPU.
   BlockId allocate();
 
+  /// Manager-thread only. Like allocate() but reports exhaustion as
+  /// kInvalidBlock instead of throwing — the pool-pressure governor's
+  /// best-effort path, where an empty pool is a survivable state the
+  /// caller degrades around (spill) rather than an error. The
+  /// `pool.exhausted` fault site makes this path report a dry pool on
+  /// demand; the hard-failure site `pool.alloc_fail` still throws here,
+  /// preserving its contract of an unrecoverable allocator fault.
+  BlockId try_allocate();
+
   /// Manager-thread only. Double-free is an assertion failure.
   void release(BlockId id);
 

@@ -59,7 +59,7 @@ uint32_t Bucket::publish(uint32_t start, uint32_t count) noexcept {
   return ops;
 }
 
-uint32_t Bucket::ensure_capacity(uint32_t slack) {
+uint32_t Bucket::ensure_capacity(uint32_t slack, bool best_effort) {
   uint32_t mapped = 0;
   const uint32_t resv = resv_ptr_.load(std::memory_order_relaxed);
   uint32_t alloc = alloc_limit_.load(std::memory_order_relaxed);
@@ -78,7 +78,8 @@ uint32_t Bucket::ensure_capacity(uint32_t slack) {
         wrap_lt(freed_limit_, prev_region_end)) {
       break;  // table full: writers must wait for consumption to catch up
     }
-    const BlockId b = pool_.allocate();
+    const BlockId b = best_effort ? pool_.try_allocate() : pool_.allocate();
+    if (b == kInvalidBlock) break;  // pool dry: governed caller spills
     // Zero the WCCs of the region before exposing it to writers.
     const uint32_t first_wcc = wcc_slot(alloc);
     const uint32_t segs = block_words_ / segment_words_;
@@ -93,7 +94,70 @@ uint32_t Bucket::ensure_capacity(uint32_t slack) {
     // place; writers acquire alloc_limit_ before touching either.
     alloc_limit_.store(alloc, std::memory_order_release);
   }
+  // Wake writers parked on the old limit (no-op when nobody waits).
+  if (mapped > 0) notify_waiters();
   return mapped;
+}
+
+uint32_t Bucket::shrink_capacity(uint32_t keep_slack) {
+  const uint32_t alloc = alloc_limit_.load(std::memory_order_relaxed);
+  uint32_t resv = resv_ptr_.load(std::memory_order_relaxed);
+  if (wrap_lt(alloc, resv)) return 0;  // starved: nothing above resv mapped
+  // Keep the block containing resv + keep_slack; candidates are the whole
+  // blocks strictly above it.
+  const uint32_t keep_end = resv + keep_slack;
+  const uint32_t new_alloc =
+      (keep_end + block_words_ - 1) & ~(block_words_ - 1);
+  if (!wrap_lt(new_alloc, alloc)) return 0;
+  // Publish the lowered limit, then confirm no reservation reached the
+  // region being reclaimed (see the handshake comment in the header).
+  alloc_limit_.store(new_alloc, std::memory_order_seq_cst);
+  resv = resv_ptr_.load(std::memory_order_seq_cst);
+  if (wrap_lt(new_alloc, resv)) {
+    // A writer raced into the region: restore and bail. Raising the limit
+    // is always safe (the table entries were never touched).
+    alloc_limit_.store(alloc, std::memory_order_seq_cst);
+    notify_waiters();
+    return 0;
+  }
+  uint32_t freed = 0;
+  for (uint32_t base = new_alloc; wrap_lt(base, alloc);
+       base += block_words_) {
+    auto& slot = table_[table_slot(base)];
+    const BlockId b = slot.load(std::memory_order_relaxed);
+    ADDS_ASSERT(b != kInvalidBlock);
+    slot.store(kInvalidBlock, std::memory_order_relaxed);
+    pool_.release(b);
+    --mapped_blocks_;
+    ++freed;
+  }
+  return freed;
+}
+
+uint32_t Bucket::realign_drained() noexcept {
+  const uint32_t resv = resv_ptr_.load(std::memory_order_acquire);
+  if (resv == freed_limit_) return 0;  // nothing mapped was ever used
+  const uint32_t boundary =
+      (resv + block_words_ - 1) & ~(block_words_ - 1);
+  const uint32_t pad = boundary - resv;
+  if (pad == 0) return 0;  // already aligned; normal recycling applies
+  if (cwc_.load(std::memory_order_acquire) != resv || read_ptr_ != resv)
+    return 0;  // not drained
+  // Coverage for the dead slots must exist before they are reserved:
+  // a writer racing past the CAS starts exactly at `boundary` and must
+  // not be left waiting on capacity accounting that skipped the pad.
+  if (wrap_lt(alloc_limit_.load(std::memory_order_relaxed), boundary)) {
+    // The straddling block is mapped (resv lies in it), so the limit can
+    // always be raised to its end without allocating.
+    alloc_limit_.store(boundary, std::memory_order_seq_cst);
+  }
+  uint32_t expected = resv;
+  if (!resv_ptr_.compare_exchange_strong(expected, boundary,
+                                         std::memory_order_seq_cst))
+    return 0;  // a writer raced a real reservation in; try another tick
+  read_ptr_ = boundary;
+  complete(pad);  // keep CWC == resv so retire/drain accounting balances
+  return pad;
 }
 
 uint32_t Bucket::scan_written_bound() noexcept {

@@ -33,8 +33,8 @@
 
 #include "queue/block_pool.hpp"
 #include "queue/wrap.hpp"
-#include "util/backoff.hpp"
 #include "util/error.hpp"
+#include "util/event.hpp"
 #include "util/fault.hpp"
 
 namespace adds {
@@ -62,21 +62,35 @@ class Bucket {
     return resv_ptr_.fetch_add(count, std::memory_order_relaxed);
   }
 
-  /// Waits (capped-backoff, not an unbounded spin) until storage for
-  /// indices < `end` has been mapped by the manager. Returns false if the
-  /// queue was aborted while waiting (the caller must then drop its write —
-  /// results are being discarded anyway). The backoff cap bounds abort
-  /// reaction latency to ~one sleep quantum.
+  /// Waits until storage for indices < `end` has been mapped by the
+  /// manager. Returns false if the queue was aborted while waiting (the
+  /// caller must then drop its write — results are being discarded
+  /// anyway). Blocked writers park on the bucket's capacity event:
+  /// `ensure_capacity` and `notify_waiters` (the abort path) wake them in
+  /// microseconds; the event's safety tick still bounds reaction latency
+  /// when the abort flag is flipped without a notify.
+  ///
+  /// The coverage check loads alloc_limit_ seq_cst (free on mainstream
+  /// ISAs): it is one side of the shrink_capacity handshake — see there.
   [[nodiscard]] bool wait_allocated(uint32_t end) const noexcept {
-    Backoff backoff;
-    while (wrap_lt(alloc_limit_.load(std::memory_order_acquire), end)) {
+    if (!wrap_lt(alloc_limit_.load(std::memory_order_seq_cst), end))
+      return true;
+    bool aborted = false;
+    capacity_event_.await([&]() noexcept {
       if (abort_flag_ != nullptr &&
-          abort_flag_->load(std::memory_order_acquire))
-        return false;
-      backoff.pause();
-    }
-    return true;
+          abort_flag_->load(std::memory_order_acquire)) {
+        aborted = true;
+        return true;
+      }
+      return !wrap_lt(alloc_limit_.load(std::memory_order_acquire), end);
+    });
+    return !aborted;
   }
+
+  /// Wakes writers parked in wait_allocated so they re-check their
+  /// predicate. Called by ensure_capacity after mapping and by the owner
+  /// (WorkQueue) after setting the abort flag.
+  void notify_waiters() const noexcept { capacity_event_.notify_all(); }
 
   /// Wires the shared abort flag (set by WorkQueue) that unblocks writers
   /// when the manager tears the queue down on an error path.
@@ -141,8 +155,69 @@ class Bucket {
   /// Ensures at least `slack` writable slots exist beyond resv_ptr by
   /// mapping new blocks. Limited by translation-table wrap (a slot can only
   /// be remapped once its previous block was recycled) and pool capacity.
+  /// With `best_effort` an exhausted pool stops the mapping loop instead of
+  /// throwing (the pressure governor's path: the manager spills and
+  /// retries); without it exhaustion throws adds::Error as before.
   /// Returns the number of blocks newly mapped.
-  uint32_t ensure_capacity(uint32_t slack);
+  uint32_t ensure_capacity(uint32_t slack, bool best_effort = false);
+
+  /// Unmaps whole blocks of *unreserved* capacity from the top of the
+  /// allocation window, keeping at least `keep_slack` writable slots, and
+  /// returns them to the pool — the pressure governor's reclaim for slack
+  /// that was mapped ahead of demand and then went cold. Returns blocks
+  /// freed.
+  ///
+  /// Safety handshake with racing writers (all four operations seq_cst,
+  /// which costs nothing on the coverage-check load): the manager lowers
+  /// alloc_limit_ first, then re-reads resv_ptr_. A writer reserves
+  /// (an RMW on resv_ptr_) and then checks coverage (a load of
+  /// alloc_limit_). In the single total order of seq_cst operations either
+  /// the writer's RMW precedes the manager's re-read — the manager sees the
+  /// reservation, restores the old limit and frees nothing — or the
+  /// manager's re-read precedes the RMW, in which case the lowered store
+  /// also precedes the writer's coverage load, the writer observes the
+  /// lowered limit and parks. Either way no writer ever holds coverage
+  /// inside a freed block.
+  uint32_t shrink_capacity(uint32_t keep_slack);
+
+  /// Realigns a *drained* bucket (cwc == read == resv) to the next block
+  /// boundary so the block containing resv_ptr — otherwise pinned forever,
+  /// because recycling only frees blocks wholly below the completed bound —
+  /// becomes recyclable. The dead slots in [old resv, boundary) are skipped:
+  /// read_ptr jumps over them and the CWC is padded by the same amount, so
+  /// the drained/retire accounting stays balanced. The caller must feed the
+  /// returned pad through its completion-frontier bookkeeping (as a
+  /// completed range starting at the pre-call read_ptr) and then recycle.
+  ///
+  /// Returns the pad (0: bucket not drained, already aligned, or a writer
+  /// raced a reservation in — all no-ops). Safe against racing writers: the
+  /// jump is a CAS on resv_ptr from the drained value, so a concurrent
+  /// reservation either lands before (CAS fails, nothing happens) or after
+  /// (it starts at the boundary, outside the region being retired).
+  uint32_t realign_drained() noexcept;
+
+  /// Manager-side non-blocking batched push, used to replay spilled items.
+  /// Reserves via CAS only when `alloc_limit` already covers the whole
+  /// batch, so the caller can never end up in wait_allocated — essential
+  /// for the manager, which must not block on capacity only it can map.
+  /// (A racing worker fetch-add just fails the CAS; `alloc_limit` is
+  /// monotone, so a successful CAS implies coverage of the claimed range.)
+  /// Returns the WCC increments performed, or 0 when capacity is currently
+  /// insufficient — the caller maps more blocks or keeps the items spilled.
+  uint32_t try_push_batch(const uint32_t* items, uint32_t count) noexcept {
+    if (count == 0) return 0;
+    uint32_t resv = resv_ptr_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (wrap_lt(alloc_limit_.load(std::memory_order_acquire),
+                  resv + count))
+        return 0;
+      if (resv_ptr_.compare_exchange_weak(resv, resv + count,
+                                          std::memory_order_relaxed))
+        break;
+    }
+    for (uint32_t i = 0; i < count; ++i) write(resv + i, items[i]);
+    return publish(resv, count);
+  }
 
   /// Computes the largest index bound such that every slot in
   /// [read_ptr, bound) is known fully written. Does not modify read_ptr.
@@ -204,6 +279,14 @@ class Bucket {
                 resv_ptr_.load(std::memory_order_relaxed));
     return head > 0 ? uint32_t(head) : 0;
   }
+  /// True when writers have reserved past the allocated limit — they are
+  /// parked in wait_allocated until the manager maps more blocks. The
+  /// pressure governor treats a starved bucket as the strongest spill
+  /// trigger.
+  bool writers_starved() const noexcept {
+    return wrap_lt(alloc_limit_.load(std::memory_order_relaxed),
+                   resv_ptr_.load(std::memory_order_relaxed));
+  }
   uint32_t mapped_blocks() const noexcept { return mapped_blocks_; }
   uint32_t segment_words() const noexcept { return segment_words_; }
   uint32_t block_words() const noexcept { return block_words_; }
@@ -251,6 +334,10 @@ class Bucket {
 
   // Optional shared teardown signal (see set_abort_flag).
   const std::atomic<bool>* abort_flag_ = nullptr;
+
+  // Wakes writers parked in wait_allocated (capacity mapped, or abort).
+  // Mutable: waiting on a const bucket does not change queue state.
+  mutable Event capacity_event_;
 };
 
 }  // namespace adds

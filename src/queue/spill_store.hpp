@@ -1,0 +1,92 @@
+// Heap-backed overflow store for pool-pressure spills (manager-private).
+//
+// The block pool is a fixed pre-allocated slab; when it runs low, the
+// pressure governor in the host engine drains *published but unassigned*
+// ranges out of the coldest tail buckets into this store and recycles
+// their blocks — bucket memory degrades from slab to ordinary heap vectors
+// instead of the run dying on `BlockPool exhausted`. (Related stepping-
+// algorithm queue designs treat bucket memory as elastic for the same
+// reason; here elasticity is an overload mode, not the steady state.)
+//
+// Items are keyed by their absolute priority band: the queue's window
+// position plus the logical bucket index at spill time. A band is *ready*
+// once the window position has advanced to it — every distance that mapped
+// to the band now lies at or below the head bucket's range, so replaying
+// its items into the head preserves the schedule up to the approximation
+// the queue already accepts (see docs/QUEUE_PROTOCOL.md). Forced drains
+// (drain_any) exist for the endgame where only spilled work remains and
+// the window has nothing left to advance over.
+//
+// Single-threaded by contract: only the manager (MTB) touches the store,
+// exactly like the allocator it backstops.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace adds {
+
+class SpillStore {
+ public:
+  void add(uint64_t band, uint32_t item) {
+    bands_[band].push_back(item);
+    ++size_;
+    if (size_ > peak_size_) peak_size_ = size_;
+  }
+
+  bool empty() const noexcept { return size_ == 0; }
+  uint64_t size() const noexcept { return size_; }
+  /// High-water mark of heap-resident items (QueueHealth).
+  uint64_t peak_size() const noexcept { return peak_size_; }
+
+  /// True when at least one band at or below `head_band` holds items.
+  bool ready(uint64_t head_band) const noexcept {
+    return size_ > 0 && bands_.begin()->first <= head_band;
+  }
+
+  /// Pops up to `max_items` items from ready bands (<= head_band), lowest
+  /// band first, invoking fn(item) for each. Returns items drained.
+  template <class Fn>
+  uint64_t drain_ready(uint64_t head_band, uint64_t max_items, Fn&& fn) {
+    uint64_t drained = 0;
+    while (drained < max_items && ready(head_band))
+      drained += drain_front(max_items - drained, fn);
+    return drained;
+  }
+
+  /// Pops up to `max_items` items from the lowest bands regardless of the
+  /// window position (forced replay when the queue has fully drained and
+  /// only spilled work remains). Returns items drained.
+  template <class Fn>
+  uint64_t drain_any(uint64_t max_items, Fn&& fn) {
+    uint64_t drained = 0;
+    while (drained < max_items && size_ > 0)
+      drained += drain_front(max_items - drained, fn);
+    return drained;
+  }
+
+ private:
+  /// Drains up to `max_items` from the lowest band; erases it when empty.
+  template <class Fn>
+  uint64_t drain_front(uint64_t max_items, Fn&& fn) {
+    auto it = bands_.begin();
+    std::vector<uint32_t>& v = it->second;
+    uint64_t drained = 0;
+    while (drained < max_items && !v.empty()) {
+      fn(v.back());
+      v.pop_back();
+      ++drained;
+    }
+    size_ -= drained;
+    if (v.empty()) bands_.erase(it);
+    return drained;
+  }
+
+  std::map<uint64_t, std::vector<uint32_t>> bands_;
+  uint64_t size_ = 0;
+  uint64_t peak_size_ = 0;
+};
+
+}  // namespace adds

@@ -167,12 +167,15 @@ class WorkQueue {
     for (auto& b : buckets_) b->ensure_capacity(slack);
   }
 
-  /// Error-path teardown: unblocks every writer spinning in
+  /// Error-path teardown: unblocks every writer parked in
   /// wait_allocated (their pending items are dropped) and turns every
-  /// subsequent push() into a kPushAborted no-op. Irreversible; see
-  /// docs/QUEUE_PROTOCOL.md §"Abort and teardown".
+  /// subsequent push() into a kPushAborted no-op. The per-bucket event
+  /// notification makes the wakeup immediate rather than waiting out a
+  /// poll quantum. Irreversible; see docs/QUEUE_PROTOCOL.md §"Abort and
+  /// teardown".
   void request_abort() noexcept {
     abort_.store(true, std::memory_order_release);
+    for (auto& b : buckets_) b->notify_waiters();
   }
   bool aborted() const noexcept {
     return abort_.load(std::memory_order_acquire);

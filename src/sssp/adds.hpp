@@ -21,6 +21,7 @@
 #include "sim/cost_model.hpp"
 #include "sssp/delta_controller.hpp"
 #include "sssp/result.hpp"
+#include "util/event.hpp"
 
 namespace adds {
 
@@ -69,7 +70,30 @@ struct AddsHostOptions {
   /// and throws adds::Error; partial results are discarded. The pointee
   /// must outlive the call.
   const std::atomic<bool>* cancel = nullptr;
+  /// Optional wakeup paired with `cancel`: the canceller notifies it after
+  /// setting the token and a parked manager observes the cancel in
+  /// microseconds. Without it a cancel set silently is still picked up
+  /// within the event safety tick (~1ms). The pointee must outlive the
+  /// call. The engine also uses this event as its worker-completion wakeup.
+  Event* cancel_event = nullptr;
+  /// In-run overload governance. On: the manager watches the pool's free-
+  /// block low-water mark and, under pressure, spills cold tail buckets to
+  /// heap (queue/spill_store.hpp) and replays them as the window advances —
+  /// an undersized or fault-starved pool degrades to bounded slowdown
+  /// instead of throwing, and restart-with-a-bigger-pool becomes the last
+  /// resort. Off restores the fail-fast behavior (pool exhaustion throws).
+  bool pool_governor = true;
 };
+
+/// The host engine's automatic pool sizing (pool_blocks == 0): capacity
+/// for several generations of the edge set plus window slack. Exposed so
+/// the resilient runtime can record the size it retries with.
+inline uint32_t auto_pool_blocks(uint64_t num_edges, uint32_t block_words,
+                                 uint32_t num_buckets) noexcept {
+  const uint64_t want =
+      4 * num_edges / block_words + 4ull * num_buckets + 16;
+  return want < 65000 ? uint32_t(want) : 65000u;
+}
 
 template <WeightType W>
 SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,

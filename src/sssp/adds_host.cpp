@@ -19,17 +19,19 @@
 #include "sssp/adds.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "queue/assignment.hpp"
 #include "queue/push_combiner.hpp"
+#include "queue/spill_store.hpp"
 #include "queue/translation_cache.hpp"
 #include "queue/work_queue.hpp"
 #include "sssp/atomic_dist.hpp"
 #include "sssp/delta_heuristic.hpp"
-#include "util/backoff.hpp"
 #include "util/fault.hpp"
 #include "util/timer.hpp"
 
@@ -100,16 +102,14 @@ void worker_main(WorkerContext<W>& ctx) {
     }
   };
 
-  Backoff idle_backoff;
   while (true) {
+    // Event-driven idle wait: the worker parks on its flag and the
+    // manager's assign()/terminate() wakes it directly — the handoff no
+    // longer pays the old capped-backoff sleep quantum.
     bool should_exit = false;
-    const auto assignment = ctx.flag->poll(should_exit);
+    const auto assignment = ctx.flag->wait(should_exit);
     if (should_exit) break;
-    if (!assignment) {
-      idle_backoff.pause();
-      continue;
-    }
-    idle_backoff.reset();
+    if (!assignment) continue;
     // Injected worker stall: the assignment sits un-processed (in-flight),
     // exactly like a preempted/wedged WTB. Bounded and abort-observing.
     fault::delay(fault::Site::kWorkerStall, &ctx.queue->abort_flag());
@@ -168,12 +168,9 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
 
   // --- Construct the queue ----------------------------------------------
   uint32_t pool_blocks = opts.pool_blocks;
-  if (pool_blocks == 0) {
-    // Capacity for several generations of the edge set plus window slack.
-    const uint64_t want =
-        4 * g.num_edges() / opts.block_words + 4ull * opts.num_buckets + 16;
-    pool_blocks = uint32_t(std::min<uint64_t>(want, 65000));
-  }
+  if (pool_blocks == 0)
+    pool_blocks =
+        auto_pool_blocks(g.num_edges(), opts.block_words, opts.num_buckets);
   BlockPool pool(pool_blocks, opts.block_words);
   WorkQueue::Config qcfg;
   qcfg.num_buckets = opts.num_buckets;
@@ -198,6 +195,12 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
   dist.store(source, Dist{0});
 
   // --- Launch workers ------------------------------------------------------
+  // The manager's wakeup event: workers notify it on completion, and a
+  // canceller that provides AddsHostOptions::cancel_event shares it so a
+  // cancel reaches a parked manager immediately. (An external event must
+  // outlive the run; workers are joined before return either way.)
+  Event local_wake;
+  Event& wake = opts.cancel_event != nullptr ? *opts.cancel_event : local_wake;
   std::vector<AssignmentFlag> flags(opts.num_workers);
   std::vector<WorkerContext<W>> contexts(opts.num_workers);
   std::vector<std::thread> workers;
@@ -207,6 +210,7 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
     contexts[i].queue = &queue;
     contexts[i].dist = &dist;
     contexts[i].flag = &flags[i];
+    flags[i].set_done_event(&wake);
     contexts[i].combine_capacity =
         opts.write_combining ? opts.combine_capacity : 0;
     workers.emplace_back(worker_main<W>, std::ref(contexts[i]));
@@ -233,8 +237,27 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
     ~WorkerShutdown() { join_workers(true); }
   } shutdown{&queue, &flags, &workers};
 
-  // Seed the source.
-  queue.ensure_capacity_all(opts.chunk_items * 2);
+  // Seed the source. Governed mode maps capacity best-effort (a pool
+  // smaller than the demand is a survivable state) but the head bucket
+  // must be writable for the seed itself.
+  if (opts.pool_governor) {
+    // Head first — on a pool smaller than one-block-per-bucket the head
+    // must win — and with retries, so a transient allocator fault
+    // (pool.exhausted injection) cannot kill the run at the doorstep.
+    Bucket& head = queue.logical_bucket(0);
+    for (uint32_t tries = 0; head.writable_slack() == 0 && tries < 64;
+         ++tries)
+      head.ensure_capacity(opts.chunk_items * 2, /*best_effort=*/true);
+    ADDS_REQUIRE(head.writable_slack() > 0,
+                 "adds-host: pool too small to map the head bucket "
+                 "(pool_blocks=" +
+                     std::to_string(pool_blocks) + ")");
+    for (uint32_t l = 1; l < opts.num_buckets; ++l)
+      queue.logical_bucket(l).ensure_capacity(opts.chunk_items * 2,
+                                              /*best_effort=*/true);
+  } else {
+    queue.ensure_capacity_all(opts.chunk_items * 2);
+  }
   queue.push(source, 0.0);
   ++r.work.pushes;
   ++r.work.queue_reserve_ops;
@@ -278,9 +301,111 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
   };
   std::vector<BucketFrontier> frontiers(opts.num_buckets);
 
+  // --- Pool-pressure governor state ----------------------------------------
+  //
+  // Free-block watermarks partition pool state into pressure levels:
+  // elevated (<= ~1/4 free) rations cold-tail capacity; critical (<= ~1/8
+  // free) additionally spills published-but-unassigned tail ranges into a
+  // heap-backed store and recycles their blocks, replaying them once the
+  // window reaches their priority band. An undersized pool thus degrades
+  // to bounded slowdown instead of throwing; the resilient runtime's
+  // restart-with-a-bigger-pool remains only as the last resort behind the
+  // wedge timeout below.
+  const uint32_t full_slack = opts.chunk_items * opts.num_workers + 64;
+  const uint32_t elevated_floor = std::max(4u, pool.num_blocks() / 4);
+  const uint32_t critical_floor = std::max(2u, pool.num_blocks() / 8);
+  SpillStore spill;
+  r.health.pool_blocks = pool_blocks;
+  r.health.min_free_blocks = pool.free_blocks();
+  std::vector<uint32_t> replay_buf;
+
+  const auto classify = [&](uint32_t free) noexcept {
+    return free <= critical_floor    ? PoolPressure::kCritical
+           : free <= elevated_floor  ? PoolPressure::kElevated
+                                     : PoolPressure::kNone;
+  };
+
+  // Drains published-but-unassigned ranges from the coldest buckets
+  // (highest logical first, never below `floor_logical`, never the head)
+  // until the pool recovers to `target_free`. The spilled range is
+  // CWC-completed and fed to the completion frontier exactly like an
+  // assigned-and-finished range — retirement accounting cannot tell the
+  // difference — and its blocks recycle immediately.
+  const auto spill_pass = [&](uint32_t target_free, uint32_t floor_logical) {
+    uint64_t spilled = 0;
+    const uint32_t floor = std::max(floor_logical, 1u);
+    for (uint32_t l = opts.num_buckets; l-- > floor;) {
+      if (pool.free_blocks() >= target_free) break;
+      Bucket& b = queue.logical_bucket(l);
+      const uint32_t start = b.read_ptr();
+      const uint32_t bound = b.scan_written_bound();
+      const uint32_t avail = bound - start;
+      if (avail == 0) continue;
+      const uint64_t band = queue.window_position() + l;
+      for (uint32_t i = 0; i < avail; ++i)
+        spill.add(band, b.read_item(start + i));
+      b.advance_read(bound);
+      b.complete(avail);
+      const uint32_t phys = queue.logical_to_physical(l);
+      frontiers[phys].complete({phys, start, avail});
+      r.health.spilled_blocks_freed +=
+          b.recycle_below(frontiers[phys].frontier);
+      spilled += avail;
+    }
+    if (spilled > 0) {
+      ++r.health.spill_events;
+      r.health.spilled_items += spilled;
+    }
+    return spilled;
+  };
+
+  // Replays spilled items whose band the window has reached (or, when
+  // `force`, any items — the endgame where only spilled work remains)
+  // into the head bucket. Uses the manager-only non-blocking push: the
+  // manager must never wait on capacity that it alone can map. Items a
+  // dry pool cannot take back stay spilled for a later sweep.
+  const auto replay_pass = [&](bool force) {
+    if (spill.empty() || queue.aborted()) return uint64_t{0};
+    Bucket& head = queue.logical_bucket(0);
+    const uint64_t head_band = queue.window_position();
+    uint64_t replayed = 0;
+    for (;;) {
+      if (!(force ? !spill.empty() : spill.ready(head_band))) break;
+      replay_buf.clear();
+      const auto take = [&](uint32_t v) { replay_buf.push_back(v); };
+      if (force)
+        spill.drain_any(opts.chunk_items, take);
+      else
+        spill.drain_ready(head_band, opts.chunk_items, take);
+      if (replay_buf.empty()) break;
+      const uint32_t n = uint32_t(replay_buf.size());
+      if (head.writable_slack() < n)
+        head.ensure_capacity(2 * n, /*best_effort=*/true);
+      uint32_t ops = head.try_push_batch(replay_buf.data(), n);
+      if (ops == 0) {
+        // Racing workers consumed the slack between the check and the
+        // reservation CAS; map once more and retry.
+        head.ensure_capacity(2 * n, /*best_effort=*/true);
+        ops = head.try_push_batch(replay_buf.data(), n);
+      }
+      if (ops == 0) {
+        // The pool cannot back the batch right now: keep the items
+        // spilled (parked at the head band so they stay ready).
+        for (uint32_t v : replay_buf) spill.add(head_band, v);
+        break;
+      }
+      replayed += n;
+      ++r.work.queue_reserve_ops;
+      r.work.queue_publish_ops += ops;
+    }
+    r.health.replayed_items += replayed;
+    return replayed;
+  };
+
   // --- Manager loop ---------------------------------------------------------
   uint64_t clean_sweeps = 0;
-  Backoff sweep_backoff;
+  double last_progress_ms = timer.elapsed_ms();
+  constexpr double kWedgeMs = 250.0;  // overload wedge -> fail-fast bound
   while (true) {
     // External cancellation (watchdog) or a prior abort: tear down. The
     // throw unwinds through WorkerShutdown, which aborts the queue (again,
@@ -298,16 +423,102 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
                  &queue.abort_flag());
 
     // Harvest completions: a flag that returned to idle finished its range.
+    uint32_t harvested = 0;
     for (uint32_t i = 0; i < opts.num_workers; ++i) {
       if (tracks[i].active && flags[i].is_idle()) {
         frontiers[tracks[i].a.phys_bucket].complete(tracks[i].a);
         tracks[i].active = false;
+        ++harvested;
       }
     }
+    uint32_t recycled = 0;
     for (uint32_t b = 0; b < opts.num_buckets; ++b)
-      queue.physical_bucket(b).recycle_below(frontiers[b].frontier);
+      recycled += queue.physical_bucket(b).recycle_below(frontiers[b].frontier);
 
-    queue.ensure_capacity_all(opts.chunk_items * opts.num_workers + 64);
+    // Provision write capacity. Ungoverned mode preserves the fail-fast
+    // contract: a dry pool throws out of ensure_capacity_all.
+    uint64_t spilled = 0;
+    uint32_t mapped = 0;
+    bool starved_now = false;
+    const uint32_t active = std::max(1u, controller.active_buckets());
+    if (!opts.pool_governor) {
+      queue.ensure_capacity_all(full_slack);
+    } else {
+      const uint32_t free = pool.free_blocks();
+      if (free < r.health.min_free_blocks) r.health.min_free_blocks = free;
+      const PoolPressure lvl = classify(free);
+      if (lvl > r.health.peak_pressure) r.health.peak_pressure = lvl;
+      // Critical pressure: recover free blocks up front from cold tails.
+      if (lvl == PoolPressure::kCritical)
+        spilled += spill_pass(elevated_floor, active);
+      // Under pressure, also reclaim capacity that was mapped ahead of
+      // demand on buckets that have since gone cold — slack parked beyond
+      // a cold tail's resv_ptr is pool memory nothing will touch until
+      // the window gets there, and shrink hands it back safely even
+      // against racing writers. A drained bucket additionally pins the
+      // block containing its resv_ptr (recycling frees only blocks wholly
+      // below the completed bound); realigning it to the block boundary
+      // unpins that too, with the skipped pad run through the completion
+      // frontier like any finished range.
+      const auto reclaim_idle = [&](uint32_t l) -> uint32_t {
+        Bucket& b = queue.logical_bucket(l);
+        const uint32_t start = b.read_ptr();
+        const uint32_t pad = b.realign_drained();
+        if (pad == 0) return 0;
+        const uint32_t phys = queue.logical_to_physical(l);
+        frontiers[phys].complete({phys, start, pad});
+        return b.recycle_below(frontiers[phys].frontier);
+      };
+      uint32_t shrunk = 0;
+      if (lvl != PoolPressure::kNone) {
+        for (uint32_t l = active + 1; l < opts.num_buckets; ++l) {
+          shrunk +=
+              queue.logical_bucket(l).shrink_capacity(opts.segment_words);
+          shrunk += reclaim_idle(l);
+        }
+      }
+      // Map best-effort: hot buckets (the assignable window) get full
+      // slack; under pressure cold tails are rationed to one segment so
+      // the head wins the remaining blocks.
+      for (uint32_t l = 0; l < opts.num_buckets; ++l) {
+        const bool hot = l <= active;
+        const uint32_t slack = (hot || lvl == PoolPressure::kNone)
+                                   ? full_slack
+                                   : opts.segment_words;
+        mapped += queue.logical_bucket(l).ensure_capacity(
+            slack, /*best_effort=*/true);
+      }
+      const auto any_starved = [&]() {
+        for (uint32_t l = 0; l < opts.num_buckets; ++l)
+          if (queue.logical_bucket(l).writers_starved()) return true;
+        return false;
+      };
+      if (any_starved()) {
+        // Writers are parked on capacity the pool cannot back: spill
+        // everything spillable and strip every non-starved bucket beyond
+        // the head down to zero slack (parked writers trump prefetched
+        // capacity and schedule quality), then aim the recovered blocks
+        // at the starved buckets and the head.
+        spilled += spill_pass(pool.num_blocks(), 1);
+        for (uint32_t l = 1; l < opts.num_buckets; ++l) {
+          Bucket& b = queue.logical_bucket(l);
+          if (!b.writers_starved()) {
+            shrunk += b.shrink_capacity(0);
+            shrunk += reclaim_idle(l);
+          }
+        }
+        for (uint32_t l = 0; l < opts.num_buckets; ++l) {
+          Bucket& b = queue.logical_bucket(l);
+          if (b.writers_starved())
+            mapped += b.ensure_capacity(opts.segment_words,
+                                        /*best_effort=*/true);
+        }
+        mapped += queue.logical_bucket(0).ensure_capacity(
+            full_slack, /*best_effort=*/true);
+        starved_now = any_starved();
+      }
+      recycled += shrunk;
+    }
 
     // Retire drained head buckets while work remains elsewhere.
     const uint64_t pending = queue.total_pending();
@@ -321,9 +532,12 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
       ++advances;
     }
 
+    // Replay spilled work whose priority band the window has reached.
+    uint64_t replayed = 0;
+    if (opts.pool_governor && !spill.empty()) replayed += replay_pass(false);
+
     // Assign published ranges from the active buckets to idle workers.
     bool assigned_any = false;
-    const uint32_t active = controller.active_buckets();
     for (uint32_t logical = 0; logical < active; ++logical) {
       Bucket& b = queue.logical_bucket(logical);
       uint32_t bound = b.scan_written_bound();
@@ -362,29 +576,82 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
     if (controller.update(sig)) queue.set_delta(controller.delta());
 
     // Termination: two consecutive clean sweeps (no pending work anywhere,
-    // nothing in flight, every worker idle).
+    // nothing in flight, every worker idle) — and, under governance, an
+    // empty spill store: heap-resident items are still live work, so the
+    // endgame force-replays them before the queue may be declared done.
     bool all_idle = true;
     for (auto& flag : flags) all_idle &= flag.is_idle();
     bool all_drained = true;
     for (uint32_t i = 0; i < opts.num_buckets; ++i)
       all_drained &= queue.physical_bucket(i).drained();
     if (!assigned_any && all_idle && all_drained) {
-      if (++clean_sweeps >= 2) break;
+      if (opts.pool_governor && !spill.empty()) {
+        replayed += replay_pass(true);
+        clean_sweeps = 0;
+      } else if (++clean_sweeps >= 2) {
+        break;
+      }
     } else {
       clean_sweeps = 0;
     }
-    // Back off only on truly idle sweeps (no work anywhere): while items
-    // are pending or in flight the manager keeps its full tick rate so
-    // completion harvesting and assignment latency are unaffected. The cap
-    // bounds the added termination latency.
-    if (assigned_any || queue.total_pending() > 0 ||
-        queue.total_in_flight() > 0)
-      sweep_backoff.reset();
-    else
-      sweep_backoff.pause();
+
+    // Wedge fail-fast: governance is supposed to keep an overloaded run
+    // moving. If writers stay starved (or spilled work cannot re-enter)
+    // with zero progress of any kind for kWedgeMs, the pool is too small
+    // even for spill mode — throw so the resilient runtime's
+    // restart-with-resize (its last resort now) takes over. Never fires on
+    // non-pool wedges (lost publications etc.); those belong to the
+    // watchdog, as before.
+    const bool progressed = assigned_any || harvested > 0 || recycled > 0 ||
+                            mapped > 0 || spilled > 0 || replayed > 0 ||
+                            advances > 0;
+    if (progressed) {
+      last_progress_ms = timer.elapsed_ms();
+    } else if (opts.pool_governor && (starved_now || !spill.empty()) &&
+               timer.elapsed_ms() - last_progress_ms > kWedgeMs &&
+               !queue.aborted() &&
+               (opts.cancel == nullptr ||
+                !opts.cancel->load(std::memory_order_acquire))) {
+      throw Error(
+          "adds-host: pool exhausted beyond spill governance (pool_blocks=" +
+          std::to_string(pool_blocks) +
+          ", free=" + std::to_string(pool.free_blocks()) +
+          ", spilled_items=" + std::to_string(r.health.spilled_items) +
+          "): increase pool_blocks");
+    }
+
+    // Sweep pacing. While every worker is busy there is nothing to do
+    // until a completion: park on the wake event (worker done() and
+    // cancel_event notify it) instead of burning a core re-scanning; the
+    // timeout keeps the park bounded. In every other state keep the full
+    // tick rate — assignment and harvest latency are unaffected, and the
+    // clean-sweep exit stays on the yield path.
+    bool all_busy = true;
+    for (uint32_t i = 0; i < opts.num_workers; ++i)
+      all_busy &= tracks[i].active;
+    if (!assigned_any && all_busy) {
+      wake.await_for(
+          [&]() noexcept {
+            if ((opts.cancel != nullptr &&
+                 opts.cancel->load(std::memory_order_acquire)) ||
+                queue.aborted())
+              return true;
+            for (uint32_t i = 0; i < opts.num_workers; ++i)
+              if (tracks[i].active && flags[i].is_idle()) return true;
+            return false;
+          },
+          std::chrono::microseconds(250));
+    } else if (!assigned_any) {
+      std::this_thread::yield();
+    }
   }
 
   shutdown.join_workers(false);  // clean exit: no abort, idempotent join
+
+  r.health.peak_blocks_in_use = pool.peak_blocks_in_use();
+  if (pool.free_blocks() < r.health.min_free_blocks)
+    r.health.min_free_blocks = pool.free_blocks();
+  r.health.spill_peak_items = spill.peak_size();
 
   for (const auto& ctx : contexts) r.work.merge(ctx.stats);
   for (VertexId v = 0; v < g.num_vertices(); ++v) r.dist[v] = dist.load(v);

@@ -14,6 +14,39 @@ namespace adds {
 
 struct RunReport;  // core/resilience.hpp — guarded-run attempt history
 
+/// Pool-pressure severity observed by the host engine's overload governor
+/// (thresholds on the allocator's free-block count; docs/RESILIENCE.md).
+enum class PoolPressure : uint8_t {
+  kNone = 0,      // free blocks comfortably above the watermarks
+  kElevated = 1,  // free <= ~1/4 of the pool: tail capacity rationed
+  kCritical = 2,  // free <= ~1/8 of the pool: tail buckets spilled to heap
+};
+
+inline const char* pool_pressure_name(PoolPressure p) noexcept {
+  switch (p) {
+    case PoolPressure::kNone: return "none";
+    case PoolPressure::kElevated: return "elevated";
+    case PoolPressure::kCritical: return "critical";
+  }
+  return "?";
+}
+
+/// Queue/pool health snapshot of one adds-host run — the overload
+/// governor's observability surface (zeros for other engines). Reached
+/// through SsspResult::health and copied into the guarded runtime's
+/// AttemptRecord.
+struct QueueHealth {
+  uint32_t pool_blocks = 0;          // slab size the run used
+  uint32_t peak_blocks_in_use = 0;   // allocator high-water mark
+  uint32_t min_free_blocks = 0;      // allocator low-water mark
+  PoolPressure peak_pressure = PoolPressure::kNone;
+  uint64_t spill_events = 0;         // governor spill sweeps
+  uint64_t spilled_items = 0;        // items moved slab -> heap
+  uint64_t replayed_items = 0;       // items pushed back from the heap
+  uint64_t spill_peak_items = 0;     // heap-resident item high-water mark
+  uint64_t spilled_blocks_freed = 0; // blocks recycled by spill sweeps
+};
+
 /// Work counters. `items_processed` is the paper's work-efficiency metric:
 /// the number of worklist entries whose edges were actually relaxed
 /// (work efficiency = 1 / items_processed).
@@ -53,6 +86,7 @@ struct SsspResult {
   std::string solver;
   std::vector<DistT<W>> dist;  // per-vertex distance (infinity = unreached)
   WorkStats work;
+  QueueHealth health;  // adds-host pool/spill health (zeros elsewhere)
 
   double time_us = 0.0;   // modelled (virtual) execution time
   double wall_ms = 0.0;   // real host time spent producing the result

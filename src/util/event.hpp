@@ -1,0 +1,146 @@
+// Eventcount: a blocking wait primitive for the queue's idle loops.
+//
+// The protocol's wait loops (a writer in `Bucket::wait_allocated`, an idle
+// worker on its assignment flag, the manager between empty sweeps) used to
+// poll with a capped-backoff sleep (util/backoff.hpp): robust, but the cap
+// puts a ~128us floor under every manager→worker handoff and under
+// abort/cancel reaction latency. `Event` replaces the sleep phase with a
+// real block on a condition variable while keeping the poll loop's shape:
+// the caller still owns its predicate over ordinary atomics, and the event
+// only decides *when to re-check*.
+//
+// Design (a classic mutex+condvar eventcount):
+//
+//   * `notify_all()` is cheap when nobody waits: one seq_cst fence plus a
+//     relaxed load of the waiter count — no lock, no syscall. Hot paths
+//     (assignment delivery, capacity mapping) can call it unconditionally.
+//   * A waiter registers itself (waiter count++), fences, and re-checks the
+//     predicate before sleeping; a notifier changes state first, fences,
+//     then checks for waiters. The two seq_cst fences form a Dekker-style
+//     handshake: whichever side fences later sees the other's write, so a
+//     waiter can never sleep through a notification that followed its
+//     registration (see the comment in notify_all()).
+//   * Sleeps take the epoch under the mutex and wait for it to change;
+//     notify bumps the epoch under the same mutex. A notification between
+//     the predicate re-check and the cv wait is therefore also never lost.
+//   * Every sleep is additionally time-bounded (kSafetyTickUs). State in
+//     this codebase is plain atomics that *external* code may flip without
+//     knowing about the event (tests poking an abort flag, a cancel token
+//     set by a watchdog built before events existed); the tick turns such
+//     un-notified transitions from a hang into a bounded-latency wakeup,
+//     exactly like the old capped backoff — but only as a safety net, not
+//     as the expected wakeup path.
+//
+// All members are either atomics or accessed under the mutex; the type is
+// TSan-clean by construction. Waiters may call await concurrently.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace adds {
+
+class Event {
+ public:
+  Event() = default;
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  /// Wakes every current waiter. Call *after* making the awaited state
+  /// change visible (a release store or RMW on the predicate's atomics).
+  void notify_all() noexcept {
+    // Handshake with await(): the waiter does [waiters++; fence; pred?],
+    // we do [state change; fence; waiters?]. In the seq_cst fence order
+    // one side precedes the other. If our fence is first, the waiter's
+    // predicate re-check (after its fence) sees the state change and it
+    // never sleeps. If the waiter's fence is first, our load below sees
+    // waiters > 0 and we take the slow path, whose epoch bump under the
+    // mutex wakes (or forestalls) its cv wait.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_relaxed) == 0) return;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      epoch_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until `pred()` returns true. The predicate must be cheap,
+  /// noexcept, and read only atomics (it runs on every wakeup, including
+  /// spurious ones and safety ticks).
+  template <class Pred>
+  void await(Pred&& pred) noexcept {
+    if (pred()) return;
+    // Spin phase: short waits (the common handoff case) never pay for the
+    // mutex. Mirrors Backoff's yield phase.
+    for (uint32_t i = 0; i < kSpinIters; ++i) {
+      std::this_thread::yield();
+      if (pred()) return;
+    }
+    while (!sleep_once(pred, kSafetyTickUs)) {
+    }
+  }
+
+  /// Blocks until `pred()` returns true or `timeout` elapses; returns the
+  /// final pred(). No spin phase — callers on a timed wait are already
+  /// latency-insensitive relative to the timeout.
+  template <class Pred>
+  bool await_for(Pred&& pred, std::chrono::microseconds timeout) noexcept {
+    if (pred()) return true;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return pred();
+      const auto left =
+          std::chrono::duration_cast<std::chrono::microseconds>(deadline -
+                                                                now);
+      const uint32_t slice_us = static_cast<uint32_t>(
+          left.count() < int64_t(kSafetyTickUs) ? left.count()
+                                                : int64_t(kSafetyTickUs));
+      if (sleep_once(pred, slice_us)) return true;
+    }
+  }
+
+ private:
+  /// One registered sleep of at most `max_us`. Returns pred().
+  template <class Pred>
+  bool sleep_once(Pred&& pred, uint32_t max_us) noexcept {
+    // Epoch must be read before registration: a notify that lands after
+    // this read either bumps the epoch (our cv wait predicate is already
+    // satisfied) or skipped the bump because it saw no waiters — in which
+    // case the fence pair below guarantees our predicate re-check sees its
+    // state change.
+    const uint64_t e = epoch_.load(std::memory_order_acquire);
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    bool satisfied = pred();
+    if (!satisfied) {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_.wait_for(lk, std::chrono::microseconds(max_us), [&]() noexcept {
+        return epoch_.load(std::memory_order_relaxed) != e;
+      });
+      lk.unlock();
+      satisfied = pred();
+    }
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+    return satisfied;
+  }
+
+  static constexpr uint32_t kSpinIters = 32;
+  /// Upper bound on one un-notified sleep (the safety net for state flipped
+  /// without notify_all); bounds worst-case reaction latency like the old
+  /// backoff cap did, at ~1ms instead of 128us because it is not the
+  /// expected wakeup path.
+  static constexpr uint32_t kSafetyTickUs = 1000;
+
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint32_t> waiters_{0};
+  std::mutex m_;
+  std::condition_variable cv_;
+};
+
+}  // namespace adds

@@ -19,6 +19,7 @@ const char* site_name(Site s) noexcept {
     case Site::kManagerScanStall: return "manager.scan.stall";
     case Site::kAfDeliveryDelay: return "af.delivery.delay";
     case Site::kWorkerStall: return "worker.stall";
+    case Site::kPoolExhausted: return "pool.exhausted";
   }
   return "?";
 }

@@ -21,6 +21,8 @@
 //   manager.scan.stall       adds_host MTB loop sleeps one sweep
 //   af.delivery.delay        adds_host delays an assignment-flag delivery
 //   worker.stall             adds_host WTB sleeps before processing a range
+//   pool.exhausted           BlockPool::try_allocate reports an empty pool
+//                            (soft pressure: the spill governor absorbs it)
 #pragma once
 
 #include <array>
@@ -38,8 +40,9 @@ enum class Site : uint8_t {
   kManagerScanStall,
   kAfDeliveryDelay,
   kWorkerStall,
+  kPoolExhausted,
 };
-inline constexpr size_t kNumSites = 6;
+inline constexpr size_t kNumSites = 7;
 
 const char* site_name(Site s) noexcept;
 std::optional<Site> parse_site(const std::string& name);

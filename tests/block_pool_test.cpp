@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 #include "queue/block_pool.hpp"
 
@@ -23,6 +24,38 @@ TEST(BlockPool, ExhaustionThrows) {
   pool.allocate();
   pool.allocate();
   EXPECT_THROW(pool.allocate(), Error);
+}
+
+TEST(BlockPool, ExhaustionErrorCarriesUsageCounters) {
+  // The operator-facing message must say how big the pool was and how much
+  // of it was in use, not just that it ran dry.
+  BlockPool pool(3, 64);
+  pool.allocate();
+  const auto b = pool.allocate();
+  pool.allocate();
+  pool.release(b);
+  pool.allocate();
+  try {
+    pool.allocate();
+    FAIL() << "allocate() past exhaustion did not throw";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("blocks_in_use=3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("peak_blocks_in_use=3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("num_blocks=3"), std::string::npos) << msg;
+  }
+}
+
+TEST(BlockPool, TryAllocateReturnsInvalidWhenEmpty) {
+  BlockPool pool(2, 64);
+  const BlockId a = pool.try_allocate();
+  const BlockId b = pool.try_allocate();
+  EXPECT_NE(a, kInvalidBlock);
+  EXPECT_NE(b, kInvalidBlock);
+  EXPECT_EQ(pool.try_allocate(), kInvalidBlock);  // soft: no throw
+  EXPECT_EQ(pool.blocks_in_use(), 2u);
+  pool.release(a);
+  EXPECT_NE(pool.try_allocate(), kInvalidBlock);
 }
 
 TEST(BlockPool, ReleaseMakesBlockReusable) {

@@ -58,9 +58,10 @@ std::vector<uint32_t> run_stress(uint32_t num_writers,
             std::this_thread::yield();
           }
         }
-        if (!stage.empty())
+        if (!stage.empty()) {
           ASSERT_GT(
               bucket.push_batch(stage.data(), uint32_t(stage.size())), 0u);
+        }
       } else {
         for (uint32_t i = 0; i < items_per_writer; ++i) {
           bucket.push(w * items_per_writer + i);

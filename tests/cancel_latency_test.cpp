@@ -1,0 +1,103 @@
+// Cancellation-latency regression tests: with the event-driven wakeup
+// path, a cancel against a wedged adds-host run — workers parked on their
+// assignment flags, nothing published — must be observed and fully torn
+// down in single-digit milliseconds. The old capped-backoff poll put a
+// ~128us floor under *each* wait in the teardown chain; the budget here
+// (5ms) has slack for scheduler noise but fails if any wait regresses to
+// safety-tick polling (~1ms per hop) or worse.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/resilience.hpp"
+#include "graph/generators.hpp"
+#include "sssp/adds.hpp"
+#include "util/event.hpp"
+#include "util/fault.hpp"
+
+namespace adds {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+constexpr double kBudgetMs = 5.0;
+
+TEST(CancelLatency, ParkedRunCancelsWithinBudget) {
+  // Drop the very first push (the source seed) before publication: the
+  // reservation keeps the queue logically non-empty so the run can never
+  // terminate, but nothing is ever published, so every worker parks on its
+  // assignment flag and the manager finds no work — the deepest-idle state
+  // the engine has. A cancel must cut through it.
+  const auto g =
+      make_grid_road<uint32_t>(40, 40, {WeightDist::kUniform, 1000}, 3);
+  fault::FaultPlan plan(1);
+  plan.set(fault::Site::kPushDropBeforePublish, {1.0, 1, 0});
+  fault::FaultScope scope(plan);
+
+  std::atomic<bool> cancel{false};
+  Event cancel_event;
+  AddsHostOptions opts;
+  opts.num_workers = 4;
+  opts.cancel = &cancel;
+  opts.cancel_event = &cancel_event;
+
+  std::atomic<bool> threw{false};
+  std::thread run([&] {
+    EXPECT_THROW(adds_host(g, 0, opts), Error);
+    threw.store(true, std::memory_order_release);
+  });
+  // Let the run reach the parked steady state.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_FALSE(threw.load(std::memory_order_acquire));
+
+  const auto t0 = Clock::now();
+  cancel.store(true, std::memory_order_release);
+  cancel_event.notify_all();
+  run.join();  // returns only after full teardown (workers joined)
+  const double latency = ms_since(t0);
+  EXPECT_TRUE(threw.load(std::memory_order_acquire));
+  EXPECT_LT(latency, kBudgetMs) << "cancel->teardown took " << latency
+                                << " ms";
+}
+
+TEST(CancelLatency, WatchdogRecordsCancelLatency) {
+  // Same wedge under the guarded runtime: the watchdog fires, notifies the
+  // engine's cancel event, and the attempt record must carry a measured
+  // fire->teardown latency within the same budget.
+  const auto g =
+      make_grid_road<uint32_t>(40, 40, {WeightDist::kUniform, 1000}, 3);
+  fault::FaultPlan plan(1);
+  plan.set(fault::Site::kPushDropBeforePublish, {1.0, 1, 0});
+  fault::FaultScope scope(plan);
+
+  EngineConfig cfg;
+  cfg.adds_host.num_workers = 4;
+  ResiliencePolicy policy;
+  policy.max_attempts_per_engine = 1;
+  policy.watchdog_min_ms = 150.0;  // fire quickly; the run is wedged anyway
+  policy.retry_backoff_ms = 1.0;
+
+  const auto res =
+      run_solver_guarded(SolverKind::kAddsHost, g, 0, cfg, policy);
+  ASSERT_NE(res.resilience, nullptr);
+  const RunReport& rep = *res.resilience;
+  ASSERT_GE(rep.attempts.size(), 1u);
+  const AttemptRecord& first = rep.attempts[0];
+  EXPECT_EQ(first.outcome, AttemptOutcome::kWatchdogAbort);
+  EXPECT_TRUE(first.watchdog_fired);
+  EXPECT_GE(first.cancel_latency_ms, 0.0);
+  EXPECT_LT(first.cancel_latency_ms, kBudgetMs);
+  // The wedged engine was cancelled; the chain still produced a result.
+  EXPECT_TRUE(rep.ok);
+  EXPECT_NE(rep.final_solver, "adds-host");
+}
+
+}  // namespace
+}  // namespace adds

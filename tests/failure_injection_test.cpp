@@ -18,9 +18,10 @@ namespace adds {
 namespace {
 
 TEST(FailureInjection, HostEnginePoolExhaustionThrowsCleanly) {
-  // A pool far too small for the workload: the manager's ensure_capacity
-  // must throw adds::Error, and adds_host must unwind without hanging its
-  // worker threads (workers could be spinning in wait_allocated).
+  // With the overload governor disabled, a pool far too small for the
+  // workload is fail-fast: the manager's ensure_capacity must throw
+  // adds::Error, and adds_host must unwind without hanging its worker
+  // threads (workers could be parked in wait_allocated).
   const auto g = make_grid_road<uint32_t>(60, 60,
                                           {WeightDist::kUniform, 1000}, 3);
   AddsHostOptions opts;
@@ -28,12 +29,34 @@ TEST(FailureInjection, HostEnginePoolExhaustionThrowsCleanly) {
   opts.num_buckets = 8;
   opts.block_words = 64;
   opts.pool_blocks = 9;  // 8 buckets + 1 block: exhausts immediately
+  opts.pool_governor = false;
   EXPECT_THROW(adds_host(g, 0, opts), Error);
   // The process is still healthy: a correctly sized run succeeds afterwards.
   opts.pool_blocks = 0;  // auto sizing
   const auto res = adds_host(g, 0, opts);
   const auto oracle = dijkstra(g, VertexId{0});
   EXPECT_TRUE(validate_distances(res, oracle).ok());
+}
+
+TEST(FailureInjection, GovernorSurvivesUndersizedPoolInRun) {
+  // Same undersized workload with the governor on: instead of throwing,
+  // the manager spills cold tail buckets to heap, replays them as the
+  // window advances, and the run completes correctly in-process.
+  const auto g = make_grid_road<uint32_t>(60, 60,
+                                          {WeightDist::kUniform, 1000}, 3);
+  AddsHostOptions opts;
+  opts.num_workers = 4;
+  opts.num_buckets = 8;
+  opts.block_words = 64;
+  opts.pool_blocks = 12;  // 8 buckets + a handful of spare blocks
+  const auto res = adds_host(g, 0, opts);
+  const auto oracle = dijkstra(g, VertexId{0});
+  EXPECT_TRUE(validate_distances(res, oracle).ok());
+  EXPECT_EQ(res.health.pool_blocks, 12u);
+  EXPECT_GE(res.health.peak_pressure, PoolPressure::kElevated);
+  EXPECT_GT(res.health.spill_events, 0u);
+  EXPECT_GT(res.health.spilled_items, 0u);
+  EXPECT_EQ(res.health.replayed_items, res.health.spilled_items);
 }
 
 TEST(FailureInjection, QueueAbortUnblocksWriters) {

@@ -29,6 +29,12 @@ struct SiteCase {
   // the push-site injections fire inside PushCombiner::flush_lane; off
   // exercises the legacy single-item path.
   bool combining = true;
+  // Nonzero: run on a deliberately tiny pool (this many blocks). Used with
+  // pool.exhausted to force real pressure onto the spill governor.
+  uint32_t pool_blocks = 0;
+  // The site must be absorbed in-run by the governor: the guarded run must
+  // finish on adds-host itself with zero fallbacks, with spilled work.
+  bool expect_no_fallback = false;
 };
 
 class FaultMatrix : public ::testing::TestWithParam<SiteCase> {};
@@ -45,6 +51,7 @@ TEST_P(FaultMatrix, GuardedRunSurvivesInjection) {
   cfg.adds_host.block_words = 256;  // small blocks: more allocator traffic
   cfg.adds_host.write_combining = c.combining;
   cfg.adds_host.combine_capacity = 16;  // small lanes: frequent batch flushes
+  if (c.pool_blocks != 0) cfg.adds_host.pool_blocks = c.pool_blocks;
 
   ResiliencePolicy policy;
   policy.max_attempts_per_engine = 1;  // go straight down the chain
@@ -53,6 +60,7 @@ TEST_P(FaultMatrix, GuardedRunSurvivesInjection) {
   policy.audit_sample_edges = ~0ull;   // full audit on these tiny graphs
 
   uint64_t total_fires = 0;
+  uint64_t total_spilled = 0;
   for (uint64_t seed = 1; seed <= 5; ++seed) {
     FaultPlan plan(seed);
     plan.set(c.site, c.spec);
@@ -63,7 +71,18 @@ TEST_P(FaultMatrix, GuardedRunSurvivesInjection) {
         << fault::site_name(c.site) << " seed " << seed;
     ASSERT_NE(res.resilience, nullptr);
     EXPECT_TRUE(res.resilience->ok);
+    if (c.expect_no_fallback) {
+      // The governor must absorb the overload in-run: same engine, no
+      // retries down the chain, spill machinery actually engaged.
+      EXPECT_EQ(res.resilience->fallbacks, 0u)
+          << fault::site_name(c.site) << " seed " << seed;
+      EXPECT_EQ(res.resilience->final_solver, "adds-host");
+      total_spilled += res.health.spilled_items;
+    }
     total_fires += plan.total_fires();
+  }
+  if (c.expect_no_fallback) {
+    EXPECT_GT(total_spilled, 0u);
   }
   // The matrix must actually exercise the site: across 5 seeds at these
   // probabilities at least one injection fires.
@@ -91,7 +110,12 @@ INSTANTIATE_TEST_SUITE_P(
         // The push sites again with combining disabled: the injections must
         // be survivable on the single-item path too.
         SiteCase{Site::kPushDelay, {0.05, ~0ull, 200}, false},
-        SiteCase{Site::kPushDropBeforePublish, {0.05, ~0ull, 0}, false}),
+        SiteCase{Site::kPushDropBeforePublish, {0.05, ~0ull, 0}, false},
+        // Soft pool exhaustion on an undersized pool: try_allocate reports
+        // an empty pool, the spill governor absorbs the pressure, and the
+        // run must finish on adds-host with no fallback at all.
+        SiteCase{Site::kPoolExhausted, {0.3, ~0ull, 0}, true, 12, true},
+        SiteCase{Site::kPoolExhausted, {0.3, ~0ull, 0}, false, 12, true}),
     [](const ::testing::TestParamInfo<SiteCase>& info) {
       std::string name = fault::site_name(info.param.site);
       for (char& ch : name)

@@ -81,6 +81,10 @@ TEST(Resilience, UndersizedPoolIsRetriedWithAutoSizing) {
   cfg.adds_host.num_workers = 4;
   cfg.adds_host.block_words = 64;
   cfg.adds_host.pool_blocks = 9;  // exhausts immediately
+  // Fail-fast mode: this test exercises the *restart* path. With the
+  // governor on the engine would instead spill in-run and never throw
+  // (covered by FailureInjection.GovernorSurvivesUndersizedPoolInRun).
+  cfg.adds_host.pool_governor = false;
   ResiliencePolicy policy;
   policy.max_attempts_per_engine = 2;
   policy.retry_backoff_ms = 1.0;
@@ -100,6 +104,10 @@ TEST(Resilience, UndersizedPoolIsRetriedWithAutoSizing) {
   ASSERT_EQ(rep.attempts.size(), 2u);
   EXPECT_EQ(rep.attempts[0].outcome, AttemptOutcome::kError);
   EXPECT_EQ(rep.attempts[1].outcome, AttemptOutcome::kOk);
+  // The report records the pool size the retry ran with.
+  EXPECT_EQ(rep.resized_pool_blocks,
+            auto_pool_blocks(g.num_edges(), cfg.adds_host.block_words,
+                             cfg.adds_host.num_buckets));
 }
 
 TEST(Resilience, AuditAcceptsCorrectDistances) {

@@ -1,0 +1,166 @@
+// SpillStore unit tests plus the overload-governor acceptance tests: an
+// adds-host run on a pool a quarter of its measured peak demand (with and
+// without fault injection) must complete in-run through spill/replay — no
+// restart, no fallback — and validate against the Dijkstra oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/resilience.hpp"
+#include "core/validate.hpp"
+#include "graph/generators.hpp"
+#include "queue/spill_store.hpp"
+#include "sssp/adds.hpp"
+#include "sssp/dijkstra.hpp"
+#include "util/fault.hpp"
+
+namespace adds {
+namespace {
+
+TEST(SpillStore, StartsEmpty) {
+  SpillStore s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.peak_size(), 0u);
+  EXPECT_FALSE(s.ready(~0ull));
+  EXPECT_EQ(s.drain_any(10, [](uint32_t) { FAIL(); }), 0u);
+}
+
+TEST(SpillStore, ReadyTracksLowestBandAgainstHead) {
+  SpillStore s;
+  s.add(7, 100);
+  s.add(9, 200);
+  EXPECT_FALSE(s.ready(6));  // window not there yet
+  EXPECT_TRUE(s.ready(7));
+  EXPECT_TRUE(s.ready(42));
+}
+
+TEST(SpillStore, DrainReadyTakesLowestBandsOnly) {
+  SpillStore s;
+  s.add(3, 30);
+  s.add(3, 31);
+  s.add(5, 50);
+  s.add(9, 90);
+  std::vector<uint32_t> out;
+  const auto take = [&](uint32_t v) { out.push_back(v); };
+  EXPECT_EQ(s.drain_ready(5, 100, take), 3u);  // bands 3 and 5, not 9
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_FALSE(s.ready(5));
+  EXPECT_TRUE(s.ready(9));
+}
+
+TEST(SpillStore, DrainRespectsMaxItemsAcrossCalls) {
+  SpillStore s;
+  for (uint32_t i = 0; i < 10; ++i) s.add(1, i);
+  std::vector<uint32_t> out;
+  const auto take = [&](uint32_t v) { out.push_back(v); };
+  EXPECT_EQ(s.drain_ready(1, 4, take), 4u);
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_EQ(s.drain_any(4, take), 4u);
+  EXPECT_EQ(s.drain_any(100, take), 2u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_EQ(s.peak_size(), 10u);  // high-water mark survives the drain
+}
+
+TEST(SpillStore, DrainAnyIgnoresWindowPosition) {
+  SpillStore s;
+  s.add(100, 1);
+  s.add(200, 2);
+  uint64_t n = 0;
+  EXPECT_EQ(s.drain_any(10, [&](uint32_t) { ++n; }), 2u);
+  EXPECT_EQ(n, 2u);
+  EXPECT_TRUE(s.empty());
+}
+
+// --- Governor acceptance: quarter-of-peak pool completes in-run ------------
+
+// Measures peak block demand of a healthy auto-sized run, then re-runs on
+// a pool clamped to a quarter of that peak. The governed engine must
+// finish by itself (adds_host throws on failure — there is no fallback
+// here), spill machinery must have engaged, and the result must be exact.
+// Callers may arm a FaultScope before calling.
+void run_quarter_pool(bool combining) {
+  const auto g =
+      make_grid_road<uint32_t>(50, 50, {WeightDist::kUniform, 1000}, 3);
+  const auto oracle = dijkstra(g, VertexId{0});
+
+  AddsHostOptions opts;
+  opts.num_workers = 4;
+  opts.num_buckets = 8;
+  opts.block_words = 64;  // small blocks: real allocator traffic
+  opts.write_combining = combining;
+
+  const auto healthy = adds_host(g, 0, opts);
+  ASSERT_TRUE(validate_distances(healthy, oracle).ok());
+  const uint32_t peak = healthy.health.peak_blocks_in_use;
+  ASSERT_GT(peak, 0u);
+
+  opts.pool_blocks = std::max(opts.num_buckets + 4, peak / 4);
+  ASSERT_LT(opts.pool_blocks, peak);  // genuinely undersized
+
+  const auto res = adds_host(g, 0, opts);
+  EXPECT_TRUE(validate_distances(res, oracle).ok());
+  EXPECT_EQ(res.health.pool_blocks, opts.pool_blocks);
+  EXPECT_GT(res.health.spill_events, 0u);
+  EXPECT_GT(res.health.spilled_items, 0u);
+  EXPECT_GT(res.health.spilled_blocks_freed, 0u);
+  EXPECT_GE(res.health.peak_pressure, PoolPressure::kElevated);
+  EXPECT_LE(res.health.peak_blocks_in_use, opts.pool_blocks);
+}
+
+TEST(SpillGovernor, QuarterPeakPoolCompletesInRun) { run_quarter_pool(true); }
+
+TEST(SpillGovernor, QuarterPeakPoolCompletesWithoutCombining) {
+  run_quarter_pool(false);
+}
+
+TEST(SpillGovernor, QuarterPeakPoolSurvivesExhaustionInjection) {
+  // On top of the undersized pool, 20% of try_allocate calls report an
+  // empty pool: the governor must still carry the run to completion.
+  fault::FaultPlan plan(17);
+  plan.set(fault::Site::kPoolExhausted, {0.2, ~0ull, 0});
+  fault::FaultScope scope(plan);
+  run_quarter_pool(true);
+}
+
+TEST(SpillGovernor, GuardedQuarterPoolRunNeedsNoFallback) {
+  // Same shape under the resilient runtime: the report must show zero
+  // retries and zero fallbacks — the governor, not the guard stack,
+  // absorbed the overload — and the attempt record carries the health.
+  const auto g =
+      make_grid_road<uint32_t>(50, 50, {WeightDist::kUniform, 1000}, 3);
+  const auto oracle = dijkstra(g, VertexId{0});
+
+  EngineConfig cfg;
+  cfg.adds_host.num_workers = 4;
+  cfg.adds_host.block_words = 64;
+  const auto healthy = adds_host(g, 0, cfg.adds_host);
+  const uint32_t peak = healthy.health.peak_blocks_in_use;
+  ASSERT_GT(peak, 0u);
+  cfg.adds_host.pool_blocks =
+      std::max(cfg.adds_host.num_buckets + 4, peak / 4);
+
+  ResiliencePolicy policy;
+  policy.retry_backoff_ms = 1.0;
+  policy.watchdog_min_ms = 5000.0;  // tiny blocks are slow; bound hangs only
+  const auto res =
+      run_solver_guarded(SolverKind::kAddsHost, g, 0, cfg, policy);
+  EXPECT_TRUE(validate_distances(res, oracle).ok());
+  ASSERT_NE(res.resilience, nullptr);
+  const RunReport& rep = *res.resilience;
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.final_solver, "adds-host");
+  EXPECT_EQ(rep.retries, 0u);
+  EXPECT_EQ(rep.fallbacks, 0u);
+  EXPECT_EQ(rep.resized_pool_blocks, 0u);  // the resize path never fired
+  ASSERT_EQ(rep.attempts.size(), 1u);
+  EXPECT_GT(rep.attempts[0].health.spilled_items, 0u);
+  EXPECT_NE(rep.summary().find("spilled_items="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adds
