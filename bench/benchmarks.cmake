@@ -49,3 +49,13 @@ set_tests_properties(perf_smoke PROPERTIES LABELS perf TIMEOUT 600)
 adds_add_bench(soak_suite)
 add_test(NAME soak_smoke COMMAND soak_suite --smoke --seed=42)
 set_tests_properties(soak_smoke PROPERTIES LABELS "perf;soak" TIMEOUT 60)
+
+# Serving-layer benchmark: warm-engine vs cold-start latency, result-cache
+# hit rate and admission-control shedding, all Dijkstra-validated (emits
+# BENCH_service.json). Fixed generator seeds; the smoke tier doubles as the
+# ctest entry CI's service-smoke job runs.
+adds_add_bench(service_suite)
+add_test(NAME service_smoke
+  COMMAND service_suite --smoke
+          --out=${CMAKE_BINARY_DIR}/BENCH_service.json)
+set_tests_properties(service_smoke PROPERTIES LABELS perf TIMEOUT 300)

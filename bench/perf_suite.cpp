@@ -425,6 +425,55 @@ int main(int argc, char** argv) {
       "poll-backoff reproduces the PR-2 idle loop (128us sleep cap)");
   handoff_table.print();
 
+  // --- Manager-inline micro -------------------------------------------------
+  // Tail-latency datapoint for manager self-execution: with one worker and
+  // tiny chunks, end-of-bucket leftovers are frequent, and relaying each
+  // through a worker handoff costs two flag round-trips. A/B the
+  // manager_inline_items knob on a small road grid (the leftover-heavy
+  // shape) and record how much traffic the inline path absorbed.
+  struct InlineAB {
+    bool enabled = false;
+    double wall_ms = 0;
+    uint64_t inline_ranges = 0;
+    uint64_t inline_items = 0;
+  };
+  std::vector<InlineAB> inline_ab;
+  {
+    const auto g = make_grid_road<uint32_t>(smoke ? 48 : 128,
+                                            smoke ? 48 : 128,
+                                            {WeightDist::kUniform, 100}, 5);
+    const VertexId src = pick_source(g);
+    const auto oracle = dijkstra(g, src);
+    TextTable it("Manager inline execution of tiny leftovers (1 worker)");
+    it.set_header({"inline", "wall", "inline ranges", "inline items"});
+    for (const bool enabled : {false, true}) {
+      AddsHostOptions opts;
+      opts.num_workers = 1;
+      opts.chunk_items = 16;
+      opts.manager_inline_items = enabled ? 16 : 0;
+      InlineAB ab;
+      ab.enabled = enabled;
+      ab.wall_ms = 1e300;
+      for (uint32_t rep = 0; rep < reps; ++rep) {
+        const auto r = adds_host(g, src, opts);
+        if (!validate_distances(r, oracle).ok()) {
+          std::fprintf(stderr, "FATAL: manager-inline A/B diverged\n");
+          return 1;
+        }
+        if (r.wall_ms < ab.wall_ms) {
+          ab.wall_ms = r.wall_ms;
+          ab.inline_ranges = r.work.inline_ranges;
+          ab.inline_items = r.work.inline_items;
+        }
+      }
+      inline_ab.push_back(ab);
+      it.add_row({enabled ? "on" : "off", fmt_time_us(ab.wall_ms * 1e3),
+                  fmt_count(ab.inline_ranges), fmt_count(ab.inline_items)});
+    }
+    it.add_footer("threshold = 16 items; governed mode, spill on dry pool");
+    it.print();
+  }
+
   // --- Solver suite ---------------------------------------------------------
   std::vector<GraphSpec> specs;
   {
@@ -533,6 +582,18 @@ int main(int argc, char** argv) {
       .raw("handoff_latency",
            json_array({handoff_json(handoff_poll),
                        handoff_json(handoff_event)}))
+      .raw("manager_inline", [&] {
+        std::vector<std::string> elems;
+        for (const auto& ab : inline_ab) {
+          JsonObj o;
+          o.field("enabled", ab.enabled)
+              .field("wall_ms", ab.wall_ms)
+              .field("inline_ranges", ab.inline_ranges)
+              .field("inline_items", ab.inline_items);
+          elems.push_back(o.str());
+        }
+        return json_array(elems);
+      }())
       .raw("solver_runs", json_array(run_elems));
 
   const std::string out_path = cli.str("out");

@@ -1,0 +1,259 @@
+// Serving-layer benchmark: what does a warm engine actually buy?
+//
+// The query-service story (docs/SERVICE.md) rests on three measurable
+// claims, and this suite measures all of them deterministically (fixed
+// generator seeds; wall numbers vary by machine, ratios are the signal):
+//
+//   1. warm vs cold: on small graphs — the regime an interactive query
+//      service lives in — per-query setup (thread spawn, pool allocation,
+//      first-touch faulting) dominates the solve itself. One-shot
+//      construction per query (cold) is compared against a reused
+//      HostEngine (warm) on the same query stream.
+//   2. cache: the same stream through the full SsspService with the result
+//      cache on — repeated sources collapse to O(1) lookups.
+//   3. overload: a submit burst beyond the admission queue bound must shed
+//      (typed kOverloaded), not stall or fail, and everything admitted
+//      must still complete correctly.
+//
+// Every cold/warm/service result is validated against Dijkstra before its
+// timing counts — a latency number for a wrong answer is worthless.
+//
+// Emits BENCH_service.json (schema adds-service-suite-v1): warm/cold
+// latency percentiles per graph, aggregate speedup, cache hit rate, shed
+// counts. CI's service-smoke job uploads it as an artifact.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/validate.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "service/sssp_service.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/host_engine.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+using namespace adds;
+
+namespace {
+
+struct PhaseStats {
+  std::vector<double> lat_ms;
+  double wall_ms = 0;
+
+  double p(double q) const {
+    return lat_ms.empty() ? 0.0 : percentile(lat_ms, q);
+  }
+  double qps() const {
+    return wall_ms > 0 ? double(lat_ms.size()) / (wall_ms / 1e3) : 0.0;
+  }
+};
+
+std::string phase_json(const PhaseStats& s) {
+  std::ostringstream o;
+  o << "{\"queries\":" << s.lat_ms.size() << ",\"wall_ms\":" << s.wall_ms
+    << ",\"p50_ms\":" << s.p(50) << ",\"p99_ms\":" << s.p(99)
+    << ",\"qps\":" << s.qps() << "}";
+  return o.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("service_suite",
+                "warm-engine vs cold-start serving benchmark; emits "
+                "BENCH_service.json");
+  cli.add_flag("smoke", "short run for CI");
+  cli.add_option("out", "JSON output path", "BENCH_service.json");
+  cli.add_option("queries", "queries per graph (over 8 sources)", "0");
+  cli.add_option("workers", "worker threads per engine", "4");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool smoke = cli.flag("smoke");
+  const uint32_t n_queries =
+      cli.integer("queries") > 0 ? uint32_t(cli.integer("queries"))
+                                 : (smoke ? 24u : 96u);
+  constexpr uint32_t kSources = 8;
+
+  AddsHostOptions eng_opts;
+  eng_opts.num_workers = uint32_t(cli.integer("workers"));
+
+  // The small-graph family: the serving regime. Fixed seeds throughout.
+  struct Family {
+    const char* name;
+    uint64_t side;
+    uint64_t seed;
+  };
+  const std::vector<Family> graphs = {
+      {"grid_12x12", 12, 7}, {"grid_16x16", 16, 8}, {"grid_24x24", 24, 9}};
+
+  std::vector<std::string> graph_json;
+  double cold_total_ms = 0, warm_total_ms = 0;
+  uint64_t total_queries = 0;
+  bool all_valid = true;
+
+  TextTable t("warm engine vs cold start (per-query latency, " +
+              std::to_string(n_queries) + " queries/graph)");
+  t.set_header({"graph", "cold p50", "cold p99", "warm p50", "warm p99",
+                "speedup", "svc p50", "hit rate"});
+
+  for (const Family& fam : graphs) {
+    const auto g = make_grid_road<uint32_t>(
+        uint32_t(fam.side), uint32_t(fam.side), {WeightDist::kUniform, 100},
+        fam.seed);
+    std::vector<SsspResult<uint32_t>> oracles;
+    for (VertexId s = 0; s < kSources; ++s) oracles.push_back(dijkstra(g, s));
+    const auto check = [&](const SsspResult<uint32_t>& r, VertexId s,
+                           const char* phase) {
+      if (!validate_distances(r, oracles[s]).ok()) {
+        std::fprintf(stderr, "FATAL: %s/%s source %u diverged from Dijkstra\n",
+                     fam.name, phase, s);
+        all_valid = false;
+      }
+    };
+
+    // Cold: a fresh engine per query — worker spawn + pool build + solve.
+    PhaseStats cold;
+    {
+      WallTimer phase_timer;
+      for (uint32_t i = 0; i < n_queries; ++i) {
+        const VertexId s = VertexId(i % kSources);
+        WallTimer qt;
+        HostEngine<uint32_t> engine(eng_opts);
+        const auto r = engine.solve(g, s);
+        cold.lat_ms.push_back(qt.elapsed_ms());
+        check(r, s, "cold");
+      }
+      cold.wall_ms = phase_timer.elapsed_ms();
+    }
+
+    // Warm: one engine, same stream. First query pays the build; it is
+    // measured like the rest (an honest p99, not a trimmed one).
+    PhaseStats warm;
+    {
+      HostEngine<uint32_t> engine(eng_opts);
+      WallTimer phase_timer;
+      for (uint32_t i = 0; i < n_queries; ++i) {
+        const VertexId s = VertexId(i % kSources);
+        WallTimer qt;
+        const auto r = engine.solve(g, s);
+        warm.lat_ms.push_back(qt.elapsed_ms());
+        check(r, s, "warm");
+      }
+      warm.wall_ms = phase_timer.elapsed_ms();
+    }
+
+    // Full service with the result cache: the repeated-source stream
+    // collapses onto kSources engine runs.
+    PhaseStats svc_phase;
+    double hit_rate = 0;
+    {
+      ServiceConfig cfg;
+      cfg.num_engines = 1;
+      cfg.engine = eng_opts;
+      cfg.max_queue_depth = n_queries + 1;
+      SsspService<uint32_t> svc(cfg);
+      svc.set_graph(g);
+      WallTimer phase_timer;
+      for (uint32_t i = 0; i < n_queries; ++i) {
+        const VertexId s = VertexId(i % kSources);
+        const auto out = svc.query(s);  // throws on any non-ok status
+        svc_phase.lat_ms.push_back(out.latency_ms);
+        check(*out.result, s, "service");
+      }
+      svc_phase.wall_ms = phase_timer.elapsed_ms();
+      hit_rate = svc.report().cache_hit_rate;
+    }
+
+    cold_total_ms += cold.wall_ms;
+    warm_total_ms += warm.wall_ms;
+    total_queries += n_queries;
+    const double speedup =
+        warm.wall_ms > 0 ? cold.wall_ms / warm.wall_ms : 0.0;
+    t.add_row({fam.name, fmt_double(cold.p(50), 3), fmt_double(cold.p(99), 3),
+               fmt_double(warm.p(50), 3), fmt_double(warm.p(99), 3),
+               fmt_ratio(speedup), fmt_double(svc_phase.p(50), 3),
+               fmt_double(hit_rate, 2)});
+
+    std::ostringstream gj;
+    gj << "{\"graph\":\"" << fam.name << "\",\"vertices\":"
+       << g.num_vertices() << ",\"cold\":" << phase_json(cold)
+       << ",\"warm\":" << phase_json(warm)
+       << ",\"service\":" << phase_json(svc_phase)
+       << ",\"warm_speedup\":" << speedup << ",\"cache_hit_rate\":"
+       << hit_rate << "}";
+    graph_json.push_back(gj.str());
+  }
+  const double agg_speedup =
+      warm_total_ms > 0 ? cold_total_ms / warm_total_ms : 0.0;
+  t.add_footer("all latencies Dijkstra-validated; cold = engine built per "
+               "query, warm = one engine reused");
+  t.print();
+  std::printf("aggregate warm-vs-cold throughput speedup: %s\n",
+              fmt_ratio(agg_speedup).c_str());
+
+  // Overload burst: a medium graph keeps the single engine busy long
+  // enough that an instant burst overruns the 4-deep admission queue.
+  uint64_t burst_ok = 0, burst_shed = 0, burst_other = 0;
+  {
+    const auto big = make_grid_road<uint32_t>(
+        smoke ? 80 : 160, smoke ? 80 : 160, {WeightDist::kUniform, 500}, 11);
+    const auto oracle = dijkstra(big, VertexId{0});
+    ServiceConfig cfg;
+    cfg.num_engines = 1;
+    cfg.engine = eng_opts;
+    cfg.max_queue_depth = 4;
+    cfg.cache_entries = 0;  // every accepted query must really run
+    SsspService<uint32_t> svc(cfg);
+    svc.set_graph(big);
+    const uint32_t burst = smoke ? 24 : 64;
+    std::vector<std::future<QueryOutcome<uint32_t>>> futs;
+    futs.reserve(burst);
+    for (uint32_t i = 0; i < burst; ++i) futs.push_back(svc.submit(0));
+    for (auto& f : futs) {
+      const auto out = f.get();
+      if (out.status == QueryStatus::kOk) {
+        ++burst_ok;
+        if (!validate_distances(*out.result, oracle).ok()) {
+          std::fprintf(stderr, "FATAL: overload survivor diverged\n");
+          all_valid = false;
+        }
+      } else if (out.status == QueryStatus::kOverloaded) {
+        ++burst_shed;
+      } else {
+        ++burst_other;
+      }
+    }
+    std::printf(
+        "overload burst: %u submitted -> %llu ok, %llu shed, %llu other\n",
+        burst, (unsigned long long)burst_ok, (unsigned long long)burst_shed,
+        (unsigned long long)burst_other);
+  }
+
+  std::ostringstream root;
+  root << "{\"schema\":\"adds-service-suite-v1\",\"mode\":\""
+       << (smoke ? "smoke" : "full") << "\",\"queries_per_graph\":"
+       << n_queries << ",\"workers\":" << eng_opts.num_workers
+       << ",\"aggregate_warm_speedup\":" << agg_speedup
+       << ",\"total_queries\":" << total_queries << ",\"graphs\":[";
+  for (size_t i = 0; i < graph_json.size(); ++i)
+    root << (i ? "," : "") << graph_json[i];
+  root << "],\"overload\":{\"ok\":" << burst_ok << ",\"shed\":" << burst_shed
+       << ",\"other\":" << burst_other << "}}";
+
+  const std::string out_path = cli.str("out");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << root.str() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  // Correctness is the gate; a shed-free burst also means the overload
+  // phase never actually exercised admission control.
+  return (all_valid && burst_shed > 0 && burst_other == 0) ? 0 : 1;
+}

@@ -36,8 +36,10 @@
 #include "graph/corpus.hpp"
 #include "graph/generators.hpp"
 #include "graph/gr_format.hpp"
+#include "service/sssp_service.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 using namespace adds;
 namespace fs = std::filesystem;
@@ -77,6 +79,15 @@ int main(int argc, char** argv) {
   cli.add_option("fault-prob", "per-hit fire probability", "0.05");
   cli.add_option("fault-delay-us", "stall/delay duration for delay sites",
                  "200");
+  cli.add_option("queries",
+                 "batch mode: N queries per graph through the warm-engine "
+                 "service (0 = off)",
+                 "0");
+  cli.add_option("sources",
+                 "source-vertex file for --queries, one id per line "
+                 "(default: deterministic picks)",
+                 "");
+  cli.add_option("engines", "warm engines for --queries mode", "2");
   if (!cli.parse(argc, argv)) return 0;
 
   // Collect (name, graph) inputs.
@@ -96,6 +107,55 @@ int main(int argc, char** argv) {
       inputs.emplace_back(spec.name, generate_graph<uint32_t>(spec));
   }
   std::printf("%zu input graphs\n", inputs.size());
+
+  // --queries / --sources: route a query batch per graph through the
+  // warm-engine service instead of the one-shot artifact loop. Each graph
+  // gets a fresh service (the cache keys on the graph fingerprint, so a
+  // swap would invalidate it anyway); throughput and cache behaviour come
+  // from the ServiceReport.
+  const int64_t batch_n = cli.integer("queries");
+  const std::string sources_file = cli.str("sources");
+  if (batch_n > 0 || !sources_file.empty()) {
+    std::vector<uint64_t> script;
+    if (!sources_file.empty()) {
+      std::ifstream sf(sources_file);
+      ADDS_REQUIRE(sf.is_open(), "cannot open " + sources_file);
+      uint64_t v;
+      while (sf >> v) script.push_back(v);
+      ADDS_REQUIRE(!script.empty(), "no sources in " + sources_file);
+    }
+    const size_t n = batch_n > 0 ? size_t(batch_n) : script.size();
+
+    TextTable t("service batch (" + std::to_string(n) + " queries per graph)");
+    t.set_header({"graph", "ok", "hits", "shed", "p50 ms", "p99 ms", "qps"});
+    bool batch_ok = true;
+    for (const auto& [gname, g] : inputs) {
+      ServiceConfig scfg;
+      scfg.num_engines = uint32_t(cli.integer("engines"));
+      SsspService<uint32_t> svc(scfg);
+      svc.set_graph(g);
+      WallTimer timer;
+      std::vector<std::future<QueryOutcome<uint32_t>>> futs;
+      futs.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t raw = script.empty()
+                                 ? pick_source(g, uint64_t(i))
+                                 : script[i % script.size()];
+        futs.push_back(svc.submit(VertexId(raw % g.num_vertices())));
+      }
+      uint64_t ok = 0;
+      for (auto& f : futs) ok += f.get().status == QueryStatus::kOk;
+      const double secs = timer.elapsed_ms() / 1e3;
+      const auto rep = svc.report();
+      batch_ok &= ok == n && rep.failed == 0;
+      t.add_row({gname, std::to_string(ok), std::to_string(rep.cache_hits),
+                 std::to_string(rep.shed), fmt_double(rep.latency.p50, 3),
+                 fmt_double(rep.latency.p99, 3),
+                 fmt_double(secs > 0 ? double(n) / secs : 0.0, 0)});
+    }
+    t.print();
+    return batch_ok ? 0 : 1;
+  }
 
   std::vector<SolverKind> solvers;
   {

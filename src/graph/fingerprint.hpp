@@ -1,0 +1,47 @@
+// Structural graph fingerprints for cache keys.
+//
+// The query service caches SSSP results keyed by (graph, source, solver
+// config); the graph component is a 64-bit FNV-1a digest over the CSR
+// arrays. Collisions would silently serve a wrong cached result, so the
+// full topology and every weight byte go into the hash — O(V + E), paid
+// once per set_graph(), never per query.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace adds {
+
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline uint64_t fnv1a_bytes(const void* data, size_t n,
+                            uint64_t h = kFnvOffset) noexcept {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Order-sensitive digest of the CSR structure and weights. Two graphs
+/// with equal fingerprints are treated as identical by the result cache.
+template <WeightType W>
+uint64_t graph_fingerprint(const CsrGraph<W>& g) noexcept {
+  uint64_t h = kFnvOffset;
+  const uint64_t nv = g.num_vertices();
+  const uint64_t ne = g.num_edges();
+  h = fnv1a_bytes(&nv, sizeof(nv), h);
+  h = fnv1a_bytes(&ne, sizeof(ne), h);
+  h = fnv1a_bytes(g.offsets().data(),
+                  g.offsets().size() * sizeof(g.offsets()[0]), h);
+  h = fnv1a_bytes(g.targets().data(),
+                  g.targets().size() * sizeof(g.targets()[0]), h);
+  h = fnv1a_bytes(g.weights().data(),
+                  g.weights().size() * sizeof(g.weights()[0]), h);
+  return h;
+}
+
+}  // namespace adds

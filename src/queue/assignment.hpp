@@ -54,8 +54,14 @@ class AssignmentFlag {
 
   /// Optional event notified when the worker returns to idle, so a parked
   /// manager learns of completions without polling. The pointee must
-  /// outlive the worker.
-  void set_done_event(Event* e) noexcept { done_event_ = e; }
+  /// outlive the worker. Atomic because a warm engine rebinds it per query
+  /// after observing idle, while the previous done()'s trailing notify
+  /// read may still be in flight — the worker then notifies the *new*
+  /// event, which is harmless (eventcount waiters re-check their
+  /// predicate), but the pointer read/write itself must not tear.
+  void set_done_event(Event* e) noexcept {
+    done_event_.store(e, std::memory_order_release);
+  }
 
   // ---- Worker side --------------------------------------------------------
 
@@ -92,14 +98,15 @@ class AssignmentFlag {
     uint32_t expected = kAssigned;
     state_.compare_exchange_strong(expected, kIdle, std::memory_order_release,
                                    std::memory_order_relaxed);
-    if (done_event_ != nullptr) done_event_->notify_all();
+    if (Event* ev = done_event_.load(std::memory_order_acquire))
+      ev->notify_all();
   }
 
  private:
   std::atomic<uint32_t> state_{kIdle};
   Assignment assignment_{};
   Event event_;
-  Event* done_event_ = nullptr;
+  std::atomic<Event*> done_event_{nullptr};
 };
 
 }  // namespace adds

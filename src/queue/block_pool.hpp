@@ -42,6 +42,11 @@ class BlockPool {
   /// High-water mark of simultaneously live blocks.
   uint32_t peak_blocks_in_use() const noexcept { return peak_in_use_; }
 
+  /// Rewinds the high-water mark (manager-thread only). Warm engines call
+  /// this between queries so each run's QueueHealth reports its own peak
+  /// instead of the engine-lifetime maximum; live blocks are unaffected.
+  void reset_stats() noexcept { peak_in_use_ = blocks_in_use(); }
+
   /// Manager-thread only. Throws adds::Error when the pool is exhausted —
   /// sizing the slab is the embedder's responsibility, as on the GPU.
   BlockId allocate();

@@ -33,6 +33,34 @@ Bucket::~Bucket() {
   }
 }
 
+uint32_t Bucket::reset() noexcept {
+  // Same sweep as the destructor: everything mapped in [freed_limit_,
+  // alloc_limit_) goes back to the pool. Quiesced by contract, so the
+  // relaxed loads read the final values of the previous run.
+  uint32_t freed = 0;
+  const uint32_t alloc = alloc_limit_.load(std::memory_order_relaxed);
+  for (uint32_t base = freed_limit_; wrap_lt(base, alloc);
+       base += block_words_) {
+    auto& slot = table_[table_slot(base)];
+    const BlockId b = slot.load(std::memory_order_relaxed);
+    if (b != kInvalidBlock) {
+      pool_.release(b);
+      ++freed;
+    }
+  }
+  for (auto& t : table_) t.store(kInvalidBlock, std::memory_order_relaxed);
+  for (auto& w : wcc_) w.store(0, std::memory_order_relaxed);
+  resv_ptr_.store(0, std::memory_order_relaxed);
+  cwc_.store(0, std::memory_order_relaxed);
+  read_ptr_ = 0;
+  freed_limit_ = 0;
+  mapped_blocks_ = 0;
+  // Release-publish the rewound limit last, mirroring construction order:
+  // the next run's writers acquire alloc_limit_ before touching the table.
+  alloc_limit_.store(0, std::memory_order_release);
+  return freed;
+}
+
 uint32_t Bucket::publish(uint32_t start, uint32_t count) noexcept {
   // Fast path: the whole range lies inside one segment — true for every
   // single-item push and for most combiner flushes (lane capacity is

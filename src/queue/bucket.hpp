@@ -247,6 +247,15 @@ class Bucket {
   /// region, and becomes tail work after rotation. Returns blocks freed.
   uint32_t retire() { return recycle_below(read_ptr_); }
 
+  /// Quiesced-only reuse hook (warm engines — docs/QUEUE_PROTOCOL.md
+  /// §"Reset and reuse"): returns every still-mapped block to the pool and
+  /// rewinds all counters, translation entries and WCCs to the
+  /// freshly-constructed state. The caller must guarantee that no writer
+  /// or reader thread touches the bucket concurrently — there is no
+  /// handshake here; reset between runs, with every worker idle-parked.
+  /// The abort-flag wiring survives the reset. Returns blocks freed.
+  uint32_t reset() noexcept;
+
   // ---- Shared read access -------------------------------------------------
 
   /// Reads a published item. Safe for the manager after scan_written_bound()

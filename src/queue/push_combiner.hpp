@@ -88,6 +88,20 @@ class PushCombiner {
 
   const CombinerStats& stats() const noexcept { return stats_; }
 
+  /// Returns the accumulated counters and zeroes them. Warm engines merge
+  /// combiner stats into the per-worker WorkStats after every assignment's
+  /// flush_all(), so a combiner that outlives one query never leaks counts
+  /// into the next query's accounting.
+  CombinerStats take_stats() noexcept {
+    CombinerStats s = stats_;
+    stats_ = CombinerStats{};
+    return s;
+  }
+
+  /// The queue the lanes publish into (warm engines re-create the combiner
+  /// when the engine rebuilds its queue for a larger graph).
+  const WorkQueue* queue() const noexcept { return &queue_; }
+
  private:
   struct Lane {
     std::vector<uint32_t> items;  // fixed capacity_, first `count` valid

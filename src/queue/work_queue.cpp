@@ -23,6 +23,18 @@ uint32_t WorkQueue::advance_window() {
   return freed;
 }
 
+uint32_t WorkQueue::reset() noexcept {
+  uint32_t freed = 0;
+  for (auto& b : buckets_) freed += b->reset();
+  params_.position.store(0, std::memory_order_relaxed);
+  params_.base_dist.store(0.0, std::memory_order_relaxed);
+  params_.delta.store(1.0, std::memory_order_relaxed);
+  // Release-clear last: a writer that acquires a false abort flag must also
+  // observe the rewound buckets and window parameters.
+  abort_.store(false, std::memory_order_release);
+  return freed;
+}
+
 uint64_t WorkQueue::total_pending() const noexcept {
   uint64_t total = 0;
   for (const auto& b : buckets_) total += b->pending_estimate();

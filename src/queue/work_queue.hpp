@@ -180,6 +180,15 @@ class WorkQueue {
   bool aborted() const noexcept {
     return abort_.load(std::memory_order_acquire);
   }
+
+  /// Quiesced-only reuse hook (docs/QUEUE_PROTOCOL.md §"Reset and reuse"):
+  /// rewinds the window to position 0 / base 0 / delta 1, resets every
+  /// bucket (returning all mapped blocks to the pool) and clears the abort
+  /// flag — including after an aborted run, which is otherwise
+  /// irreversible. The caller must guarantee no writer or reader thread
+  /// touches the queue concurrently; warm engines reset between queries
+  /// with every worker idle-parked. Returns blocks freed.
+  uint32_t reset() noexcept;
   /// The shared abort flag (for watchdogs and abort-observing fault
   /// delays; the flag outlives every worker by construction).
   const std::atomic<bool>& abort_flag() const noexcept { return abort_; }

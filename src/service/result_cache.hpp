@@ -1,0 +1,145 @@
+// LRU result cache for the SSSP query service.
+//
+// Keyed by (graph fingerprint, source vertex, solver-config digest): a hit
+// is only valid if the query would have run the same algorithm over the
+// same graph from the same source. Values are shared_ptr<const SsspResult>
+// so a hit is O(1) regardless of graph size and the entry can be handed to
+// callers while eviction proceeds underneath.
+//
+// Not thread-safe by itself — the service serializes access under its own
+// mutex (cache operations are microseconds; a finer lock would buy
+// nothing).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "graph/fingerprint.hpp"
+#include "sssp/adds.hpp"
+
+namespace adds {
+
+struct CacheKey {
+  uint64_t graph_fp = 0;
+  VertexId source = 0;
+  uint64_t config_digest = 0;
+
+  bool operator==(const CacheKey& o) const noexcept {
+    return graph_fp == o.graph_fp && source == o.source &&
+           config_digest == o.config_digest;
+  }
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& k) const noexcept {
+    uint64_t h = k.graph_fp;
+    h = fnv1a_bytes(&k.source, sizeof(k.source), h);
+    h = fnv1a_bytes(&k.config_digest, sizeof(k.config_digest), h);
+    return size_t(h);
+  }
+};
+
+/// Digest of the AddsHostOptions fields that select *which* result the
+/// engine computes or how it schedules it. Worker count and pool sizing do
+/// not change distances, but they do change the WorkStats/QueueHealth
+/// payload a cached result carries — so they are included: a cache entry
+/// reproduces the full result of an identical configuration.
+inline uint64_t options_digest(const AddsHostOptions& o) noexcept {
+  uint64_t h = kFnvOffset;
+  const auto mix = [&h](const auto& v) { h = fnv1a_bytes(&v, sizeof(v), h); };
+  mix(o.num_workers);
+  mix(o.num_buckets);
+  mix(o.delta);
+  mix(o.heuristic_c);
+  mix(o.dynamic_delta);
+  mix(o.chunk_items);
+  mix(o.block_words);
+  mix(o.pool_blocks);
+  mix(o.segment_words);
+  mix(o.write_combining);
+  mix(o.combine_capacity);
+  mix(o.manager_inline_items);
+  mix(o.pool_governor);
+  return h;
+}
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;      // capacity-driven removals
+  uint64_t invalidations = 0;  // entries dropped by graph swap / clear
+};
+
+template <WeightType W>
+class ResultCache {
+ public:
+  using Value = std::shared_ptr<const SsspResult<W>>;
+
+  /// `capacity` == 0 disables the cache (every lookup misses, inserts
+  /// drop).
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  size_t capacity() const noexcept { return capacity_; }
+  size_t size() const noexcept { return map_.size(); }
+  const CacheStats& stats() const noexcept { return stats_; }
+
+  /// Returns the cached result and promotes the entry to most-recent, or
+  /// null on miss. `count_miss=false` is for the service's dequeue-time
+  /// re-check: the submit-time lookup already charged that query one miss,
+  /// and a second charge would deflate the hit rate.
+  Value lookup(const CacheKey& key, bool count_miss = true) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      if (count_miss) ++stats_.misses;
+      return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    return it->second->value;
+  }
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entry when at capacity.
+  void insert(const CacheKey& key, Value value) {
+    if (capacity_ == 0) return;
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->value = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(lru_.back().key);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+    lru_.push_front(Entry{key, std::move(value)});
+    map_.emplace(key, lru_.begin());
+    ++stats_.insertions;
+  }
+
+  /// Drops every entry (graph swap: all fingerprints are stale).
+  void invalidate_all() {
+    stats_.invalidations += map_.size();
+    map_.clear();
+    lru_.clear();
+  }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    Value value;
+  };
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<CacheKey, typename std::list<Entry>::iterator,
+                     CacheKeyHash>
+      map_;
+  CacheStats stats_;
+};
+
+}  // namespace adds

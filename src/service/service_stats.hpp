@@ -1,0 +1,107 @@
+// Service-level observability: latency percentiles, queue depth, engine
+// utilization and cache effectiveness on one report struct — the serving
+// analog of the per-run QueueHealth.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sssp/result.hpp"
+#include "util/stats.hpp"
+
+namespace adds {
+
+/// Order statistics over the most recent `capacity` samples (a ring — the
+/// service reports *recent* latency, not lifetime latency, so a burst of
+/// slow queries is visible even after millions of fast ones).
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(size_t capacity = 2048)
+      : capacity_(std::max<size_t>(1, capacity)) {
+    samples_.reserve(capacity_);
+  }
+
+  void add(double ms) {
+    if (samples_.size() < capacity_) {
+      samples_.push_back(ms);
+    } else {
+      samples_[next_] = ms;
+      next_ = (next_ + 1) % capacity_;
+    }
+    ++total_;
+  }
+
+  uint64_t total() const noexcept { return total_; }
+
+  struct Summary {
+    uint64_t count = 0;  // lifetime samples (window may be smaller)
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double mean = 0.0;
+    double max = 0.0;
+  };
+
+  Summary summary() const {
+    Summary s;
+    s.count = total_;
+    if (samples_.empty()) return s;
+    std::vector<double> xs = samples_;
+    s.p50 = percentile(xs, 50.0);
+    s.p90 = percentile(xs, 90.0);
+    s.p99 = percentile(xs, 99.0);
+    double sum = 0.0, mx = xs.front();
+    for (double x : xs) {
+      sum += x;
+      mx = std::max(mx, x);
+    }
+    s.mean = sum / double(xs.size());
+    s.max = mx;
+    return s;
+  }
+
+ private:
+  size_t capacity_;
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+  std::vector<double> samples_;
+};
+
+/// Point-in-time snapshot returned by SsspService::report().
+struct ServiceReport {
+  // Admission and completion counters.
+  uint64_t submitted = 0;
+  uint64_t completed = 0;         // kOk results (computed or cached)
+  uint64_t failed = 0;            // kFailed
+  uint64_t shed = 0;              // kOverloaded (admission queue full)
+  uint64_t cancelled = 0;         // kCancelled
+  uint64_t deadline_expired = 0;  // kDeadlineExpired
+
+  // Result cache effectiveness.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_invalidations = 0;
+  size_t cache_entries = 0;
+  double cache_hit_rate = 0.0;  // hits / (hits + misses), 0 when idle
+
+  // Scheduler state.
+  uint32_t queue_depth = 0;       // queries waiting for an engine now
+  uint32_t peak_queue_depth = 0;  // high-water mark since construction
+  uint32_t engines = 0;
+  uint64_t engine_queries = 0;       // queries actually run on an engine
+  double engine_busy_ms = 0.0;       // summed engine solve time
+  double engine_utilization = 0.0;   // busy / (uptime * engines), [0,1]
+  double uptime_ms = 0.0;
+
+  // End-to-end latency of completed queries (submit -> outcome), recent
+  // window.
+  LatencyRecorder::Summary latency;
+
+  // Pool/queue health of the most recent engine-executed query — the
+  // per-run QueueHealth surfaced at service level.
+  QueueHealth last_health;
+};
+
+}  // namespace adds

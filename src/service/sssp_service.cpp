@@ -1,0 +1,370 @@
+#include "service/sssp_service.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "service/result_cache.hpp"
+#include "util/timer.hpp"
+
+namespace adds {
+
+const char* query_status_name(QueryStatus s) noexcept {
+  switch (s) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kOverloaded: return "overloaded";
+    case QueryStatus::kDeadlineExpired: return "deadline-expired";
+    case QueryStatus::kCancelled: return "cancelled";
+    case QueryStatus::kFailed: return "failed";
+    case QueryStatus::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+template <WeightType W>
+struct SsspService<W>::Impl {
+  struct Pending {
+    uint64_t id = 0;
+    VertexId source = 0;
+    QueryOptions q;
+    double deadline_ms = 0.0;  // resolved (query override or default)
+    double submit_ms = 0.0;    // uptime-clock submit timestamp
+    std::shared_ptr<const CsrGraph<W>> graph;  // snapshot at submit
+    CacheKey key;
+    bool cacheable = false;
+    std::promise<QueryOutcome<W>> promise;
+  };
+
+  ServiceConfig cfg;
+  WallTimer uptime;
+  uint64_t config_digest = 0;
+
+  mutable std::mutex m;
+  std::condition_variable cv;  // dispatchers park here for work
+  std::deque<std::unique_ptr<Pending>> waiting;
+  bool stopping = false;
+  std::shared_ptr<const CsrGraph<W>> graph;
+  uint64_t graph_fp = 0;
+  ResultCache<W> cache;
+  LatencyRecorder recorder;
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t shed = 0;
+  uint64_t cancelled = 0;
+  uint64_t deadline_expired = 0;
+  uint32_t peak_depth = 0;
+  uint64_t engine_queries = 0;
+  double engine_busy_ms = 0.0;
+  QueueHealth last_health;
+
+  std::vector<std::unique_ptr<HostEngine<W>>> engines;
+  std::vector<std::thread> dispatchers;
+  std::mutex join_m;
+  bool joined = false;
+
+  explicit Impl(const ServiceConfig& c)
+      : cfg(c),
+        config_digest(options_digest(c.engine)),
+        cache(c.cache_entries) {
+    ADDS_REQUIRE(cfg.num_engines >= 1, "sssp-service: need at least one engine");
+    engines.reserve(cfg.num_engines);
+    dispatchers.reserve(cfg.num_engines);
+    for (uint32_t i = 0; i < cfg.num_engines; ++i)
+      engines.push_back(std::make_unique<HostEngine<W>>(cfg.engine));
+    for (uint32_t i = 0; i < cfg.num_engines; ++i)
+      dispatchers.emplace_back([this, i] { dispatch_loop(i); });
+  }
+
+  /// One dispatcher per engine: pulls admitted queries and runs them on
+  /// its warm engine until shutdown drains the queue.
+  void dispatch_loop(uint32_t engine_idx) {
+    HostEngine<W>& engine = *engines[engine_idx];
+    for (;;) {
+      std::unique_ptr<Pending> p;
+      {
+        std::unique_lock<std::mutex> lk(m);
+        cv.wait(lk, [this] { return stopping || !waiting.empty(); });
+        if (waiting.empty()) return;  // stopping && drained
+        p = std::move(waiting.front());
+        waiting.pop_front();
+      }
+      run_one(engine, std::move(p));
+    }
+  }
+
+  void run_one(HostEngine<W>& engine, std::unique_ptr<Pending> p) {
+    QueryOutcome<W> out;
+    out.query_id = p->id;
+    const double start_ms = uptime.elapsed_ms();
+    out.queue_ms = start_ms - p->submit_ms;
+
+    const auto charge_engine = [&] {
+      std::lock_guard<std::mutex> lk(m);
+      engine_busy_ms += uptime.elapsed_ms() - start_ms;
+      ++engine_queries;
+    };
+    const auto finish = [&](QueryStatus st) {
+      out.status = st;
+      out.latency_ms = uptime.elapsed_ms() - p->submit_ms;
+      {
+        std::lock_guard<std::mutex> lk(m);
+        switch (st) {
+          case QueryStatus::kOk:
+            ++completed;
+            recorder.add(out.latency_ms);
+            break;
+          case QueryStatus::kFailed: ++failed; break;
+          case QueryStatus::kCancelled: ++cancelled; break;
+          case QueryStatus::kDeadlineExpired: ++deadline_expired; break;
+          case QueryStatus::kOverloaded:
+          case QueryStatus::kShutdown: break;  // not produced here
+        }
+      }
+      p->promise.set_value(std::move(out));
+    };
+    const auto cancelled_now = [&] {
+      return p->q.cancel != nullptr &&
+             p->q.cancel->load(std::memory_order_acquire);
+    };
+
+    // Conditions that already hold after the queue wait are honoured
+    // without burning an engine on a result nobody wants.
+    if (cancelled_now()) return finish(QueryStatus::kCancelled);
+    if (p->deadline_ms > 0.0 && out.queue_ms >= p->deadline_ms)
+      return finish(QueryStatus::kDeadlineExpired);
+
+    // A twin query may have completed while this one waited in the
+    // admission queue: serve it from the cache instead of burning an
+    // engine on a recomputation.
+    if (p->cacheable) {
+      std::shared_ptr<const SsspResult<W>> v;
+      {
+        std::lock_guard<std::mutex> lk(m);
+        v = cache.lookup(p->key, /*count_miss=*/false);
+      }
+      if (v) {
+        out.result = std::move(v);
+        out.cache_hit = true;
+        return finish(QueryStatus::kOk);
+      }
+    }
+
+    QueryControl ctl;
+    ctl.cancel = p->q.cancel;
+    ctl.deadline_ms =
+        p->deadline_ms > 0.0 ? p->deadline_ms - out.queue_ms : 0.0;
+
+    const auto publish_ok = [&](SsspResult<W>&& r) {
+      auto sp = std::make_shared<const SsspResult<W>>(std::move(r));
+      {
+        std::lock_guard<std::mutex> lk(m);
+        last_health = sp->health;
+        if (p->cacheable) cache.insert(p->key, sp);
+      }
+      out.result = std::move(sp);
+      finish(QueryStatus::kOk);
+    };
+
+    try {
+      SsspResult<W> r = engine.solve(*p->graph, p->source, ctl);
+      charge_engine();
+      return publish_ok(std::move(r));
+    } catch (const DeadlineError&) {
+      charge_engine();
+      return finish(QueryStatus::kDeadlineExpired);
+    } catch (const Error& e) {
+      charge_engine();
+      if (cancelled_now()) return finish(QueryStatus::kCancelled);
+      if (!cfg.guarded_fallback) {
+        out.error = e.what();
+        return finish(QueryStatus::kFailed);
+      }
+      // The warm engine gave up (e.g. a pool wedge beyond governance, or
+      // an injected fault): route the query through the guarded one-shot
+      // runtime — watchdog, pool-resized retries, engine fallback chain —
+      // before declaring failure.
+      try {
+        EngineConfig ecfg;
+        ecfg.adds_host = cfg.engine;
+        SsspResult<W> r = run_solver_guarded(SolverKind::kAddsHost, *p->graph,
+                                             p->source, ecfg, cfg.resilience);
+        return publish_ok(std::move(r));
+      } catch (const Error& e2) {
+        out.error =
+            std::string(e.what()) + "; guarded fallback: " + e2.what();
+        return finish(QueryStatus::kFailed);
+      }
+    }
+  }
+
+  std::future<QueryOutcome<W>> submit(VertexId source, const QueryOptions& q) {
+    auto p = std::make_unique<Pending>();
+    p->source = source;
+    p->q = q;
+    std::future<QueryOutcome<W>> fut = p->promise.get_future();
+
+    {
+      std::unique_lock<std::mutex> lk(m);
+      if (stopping) {
+        QueryOutcome<W> out;
+        out.status = QueryStatus::kShutdown;
+        out.error = "service is shut down";
+        p->promise.set_value(std::move(out));
+        return fut;
+      }
+      ADDS_REQUIRE(graph != nullptr, "sssp-service: no graph set");
+      ADDS_REQUIRE(source < graph->num_vertices(),
+                   "sssp-service: source vertex out of range");
+      p->id = ++submitted;
+      p->submit_ms = uptime.elapsed_ms();
+      p->graph = graph;
+      p->deadline_ms =
+          q.deadline_ms > 0.0 ? q.deadline_ms : cfg.default_deadline_ms;
+      p->cacheable = !q.bypass_cache && cache.capacity() > 0;
+      p->key = CacheKey{graph_fp, source, config_digest};
+
+      if (p->cacheable) {
+        if (auto v = cache.lookup(p->key)) {
+          QueryOutcome<W> out;
+          out.status = QueryStatus::kOk;
+          out.result = std::move(v);
+          out.cache_hit = true;
+          out.query_id = p->id;
+          out.latency_ms = uptime.elapsed_ms() - p->submit_ms;
+          ++completed;
+          recorder.add(out.latency_ms);
+          p->promise.set_value(std::move(out));
+          return fut;
+        }
+      }
+      if (waiting.size() >= cfg.max_queue_depth) {
+        // Graceful shedding: reject now rather than queue into an
+        // unbounded backlog the deadline will kill anyway.
+        ++shed;
+        QueryOutcome<W> out;
+        out.status = QueryStatus::kOverloaded;
+        out.query_id = p->id;
+        out.error = "admission queue full (max_queue_depth=" +
+                    std::to_string(cfg.max_queue_depth) + ")";
+        p->promise.set_value(std::move(out));
+        return fut;
+      }
+      waiting.push_back(std::move(p));
+      peak_depth = std::max<uint32_t>(peak_depth, uint32_t(waiting.size()));
+    }
+    cv.notify_one();
+    return fut;
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lk(m);
+      stopping = true;
+    }
+    cv.notify_all();
+    std::lock_guard<std::mutex> jk(join_m);
+    if (joined) return;
+    for (auto& d : dispatchers)
+      if (d.joinable()) d.join();
+    joined = true;
+  }
+
+  ServiceReport report() const {
+    std::lock_guard<std::mutex> lk(m);
+    ServiceReport rep;
+    rep.submitted = submitted;
+    rep.completed = completed;
+    rep.failed = failed;
+    rep.shed = shed;
+    rep.cancelled = cancelled;
+    rep.deadline_expired = deadline_expired;
+    const CacheStats& cs = cache.stats();
+    rep.cache_hits = cs.hits;
+    rep.cache_misses = cs.misses;
+    rep.cache_evictions = cs.evictions;
+    rep.cache_invalidations = cs.invalidations;
+    rep.cache_entries = cache.size();
+    const uint64_t looked = cs.hits + cs.misses;
+    rep.cache_hit_rate = looked ? double(cs.hits) / double(looked) : 0.0;
+    rep.queue_depth = uint32_t(waiting.size());
+    rep.peak_queue_depth = peak_depth;
+    rep.engines = uint32_t(engines.size());
+    rep.engine_queries = engine_queries;
+    rep.engine_busy_ms = engine_busy_ms;
+    rep.uptime_ms = uptime.elapsed_ms();
+    if (rep.uptime_ms > 0.0 && !engines.empty())
+      rep.engine_utilization = std::min(
+          1.0, engine_busy_ms / (rep.uptime_ms * double(engines.size())));
+    rep.latency = recorder.summary();
+    rep.last_health = last_health;
+    return rep;
+  }
+};
+
+template <WeightType W>
+SsspService<W>::SsspService(const ServiceConfig& cfg)
+    : impl_(std::make_unique<Impl>(cfg)) {}
+
+template <WeightType W>
+SsspService<W>::~SsspService() {
+  impl_->shutdown();
+}
+
+template <WeightType W>
+void SsspService<W>::set_graph(std::shared_ptr<const CsrGraph<W>> g) {
+  ADDS_REQUIRE(g != nullptr, "sssp-service: null graph");
+  // The O(V + E) digest runs outside the lock; only the publish is
+  // serialized.
+  const uint64_t fp = graph_fingerprint(*g);
+  std::lock_guard<std::mutex> lk(impl_->m);
+  impl_->graph = std::move(g);
+  impl_->graph_fp = fp;
+  // Every cached entry keys on the old fingerprint: a lookup could never
+  // hit again, so dropping them wholesale only trades dead weight for
+  // capacity.
+  impl_->cache.invalidate_all();
+}
+
+template <WeightType W>
+void SsspService<W>::set_graph(CsrGraph<W> g) {
+  set_graph(std::make_shared<const CsrGraph<W>>(std::move(g)));
+}
+
+template <WeightType W>
+std::future<QueryOutcome<W>> SsspService<W>::submit(VertexId source,
+                                                    const QueryOptions& q) {
+  return impl_->submit(source, q);
+}
+
+template <WeightType W>
+QueryOutcome<W> SsspService<W>::query(VertexId source, const QueryOptions& q) {
+  QueryOutcome<W> out = submit(source, q).get();
+  if (out.status != QueryStatus::kOk)
+    throw ServiceError(
+        out.status,
+        "sssp-service: query " + std::to_string(out.query_id) + " " +
+            query_status_name(out.status) +
+            (out.error.empty() ? "" : (": " + out.error)));
+  return out;
+}
+
+template <WeightType W>
+ServiceReport SsspService<W>::report() const {
+  return impl_->report();
+}
+
+template <WeightType W>
+void SsspService<W>::shutdown() {
+  impl_->shutdown();
+}
+
+template class SsspService<uint32_t>;
+template class SsspService<float>;
+
+}  // namespace adds

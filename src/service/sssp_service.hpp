@@ -1,0 +1,153 @@
+// SsspService — a long-lived SSSP query service over a pool of warm
+// HostEngines (the tentpole of the serving layer).
+//
+// Architecture:
+//
+//   submit(source) ──▶ admission queue (bounded) ──▶ dispatcher threads
+//                        │  full → shed kOverloaded     (one per engine)
+//                        │                                  │
+//                        └── result cache (LRU) ◀── warm HostEngine solve
+//
+//   * Admission control: the waiting queue is bounded
+//     (ServiceConfig::max_queue_depth); a submit that finds it full is shed
+//     immediately with QueryStatus::kOverloaded instead of queueing into an
+//     unbounded backlog — the service degrades by rejecting, never by
+//     growing latency without bound.
+//   * Warm engines: each dispatcher owns one HostEngine whose worker
+//     threads and block pool persist across queries (src/sssp/
+//     host_engine.hpp); a query pays relaxation work, not thread spawns or
+//     slab allocation.
+//   * Result cache: LRU keyed by (graph fingerprint, source, solver-config
+//     digest); invalidated wholesale on set_graph(). Hits are served at
+//     submit time without touching an engine.
+//   * Per-query deadline and cancel ride the engine's QueryControl; an
+//     engine failure can fall back to the guarded one-shot runtime
+//     (core/resilience.hpp) when ServiceConfig::guarded_fallback is on.
+//
+// Graph snapshots: set_graph() publishes a shared_ptr; every query captures
+// the snapshot current at submit time, so a swap mid-flight never pulls the
+// graph out from under a running engine.
+//
+// All public methods are thread-safe.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "core/resilience.hpp"
+#include "graph/csr_graph.hpp"
+#include "service/service_stats.hpp"
+#include "sssp/host_engine.hpp"
+
+namespace adds {
+
+enum class QueryStatus : uint8_t {
+  kOk = 0,
+  kOverloaded,       // shed at admission: queue full
+  kDeadlineExpired,  // deadline elapsed (in queue or mid-solve)
+  kCancelled,        // caller's cancel token fired
+  kFailed,           // engine (and fallback, if enabled) failed
+  kShutdown,         // submitted after shutdown()
+};
+
+const char* query_status_name(QueryStatus s) noexcept;
+
+/// Typed error thrown by the synchronous query() for any non-kOk outcome,
+/// so callers can switch on status() instead of parsing what().
+class ServiceError : public Error {
+ public:
+  ServiceError(QueryStatus status, const std::string& what)
+      : Error(what), status_(status) {}
+  QueryStatus status() const noexcept { return status_; }
+
+ private:
+  QueryStatus status_;
+};
+
+struct ServiceConfig {
+  /// Warm engines == dispatcher threads == concurrent queries in flight.
+  uint32_t num_engines = 2;
+  /// Admission bound: queries waiting for an engine beyond the ones in
+  /// flight. A full queue sheds new submits with kOverloaded.
+  uint32_t max_queue_depth = 64;
+  /// LRU result-cache entries; 0 disables caching.
+  size_t cache_entries = 128;
+  /// Default per-query wall-clock budget; 0 = unbounded. Overridable per
+  /// query.
+  double default_deadline_ms = 0.0;
+  /// Solver configuration shared by every engine (also part of the cache
+  /// key via options_digest).
+  AddsHostOptions engine;
+  /// On engine failure, retry the query through run_solver_guarded
+  /// (watchdog + resize + fallback chain) before reporting kFailed.
+  bool guarded_fallback = true;
+  /// Policy for that guarded retry.
+  ResiliencePolicy resilience;
+};
+
+struct QueryOptions {
+  /// Per-query deadline override; 0 uses ServiceConfig::default_deadline_ms.
+  double deadline_ms = 0.0;
+  /// Optional cancel token, observed in-queue and mid-solve. Must outlive
+  /// the query's completion.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Skip cache lookup and insertion for this query.
+  bool bypass_cache = false;
+};
+
+template <WeightType W>
+struct QueryOutcome {
+  QueryStatus status = QueryStatus::kFailed;
+  /// The distances (and full run accounting); non-null iff status == kOk.
+  /// Shared with the cache — treat as immutable.
+  std::shared_ptr<const SsspResult<W>> result;
+  bool cache_hit = false;
+  uint64_t query_id = 0;
+  double latency_ms = 0.0;  // submit -> outcome
+  double queue_ms = 0.0;    // time spent waiting for an engine
+  std::string error;        // diagnostic for kFailed
+};
+
+template <WeightType W>
+class SsspService {
+ public:
+  explicit SsspService(const ServiceConfig& cfg = {});
+  ~SsspService();  // implies shutdown()
+
+  SsspService(const SsspService&) = delete;
+  SsspService& operator=(const SsspService&) = delete;
+
+  /// Publishes the graph served by subsequent queries and invalidates the
+  /// result cache. In-flight queries keep the snapshot they captured.
+  void set_graph(std::shared_ptr<const CsrGraph<W>> g);
+  void set_graph(CsrGraph<W> g);
+
+  /// Asynchronous query. Never throws for per-query conditions: shedding,
+  /// deadline, cancel and failure all arrive as the future's
+  /// QueryOutcome::status. Throws adds::Error only for misuse (no graph
+  /// set, source out of range).
+  std::future<QueryOutcome<W>> submit(VertexId source,
+                                      const QueryOptions& q = {});
+
+  /// Synchronous convenience: submit + wait; throws ServiceError for any
+  /// non-kOk status.
+  QueryOutcome<W> query(VertexId source, const QueryOptions& q = {});
+
+  /// Point-in-time service statistics.
+  ServiceReport report() const;
+
+  /// Stops admission (subsequent submits report kShutdown), completes every
+  /// already-admitted query, then stops the dispatchers. Idempotent.
+  void shutdown();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+extern template class SsspService<uint32_t>;
+extern template class SsspService<float>;
+
+}  // namespace adds

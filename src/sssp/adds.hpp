@@ -76,6 +76,17 @@ struct AddsHostOptions {
   /// within the event safety tick (~1ms). The pointee must outlive the
   /// call. The engine also uses this event as its worker-completion wakeup.
   Event* cancel_event = nullptr;
+  /// Manager-side self-execution of tiny assignments: when at most this
+  /// many safely-readable items remain in an active bucket after the
+  /// assignment pass and no worker is idle-parked, the manager relaxes the
+  /// range itself instead of letting it wait a sweep for a worker to free
+  /// up — the MTB "may execute small assignments itself" refinement at
+  /// host scale. The manager's resulting pushes are buffered and published
+  /// through the non-blocking batch path (it must never park in
+  /// wait_allocated on capacity only it can map); items a dry pool cannot
+  /// take spill to the heap store. Active in governed mode only; 0
+  /// disables. Counted in WorkStats::inline_ranges / inline_items.
+  uint32_t manager_inline_items = 16;
   /// In-run overload governance. On: the manager watches the pool's free-
   /// block low-water mark and, under pressure, spills cold tail buckets to
   /// heap (queue/spill_store.hpp) and replays them as the window advances —

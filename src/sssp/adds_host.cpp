@@ -16,13 +16,20 @@
 // Distances live in a shared AtomicDistArray with CAS fetch-min. An item is
 // just a vertex id (as in the paper); a popped vertex is relaxed against
 // its *current* distance, so a stale pop costs redundant-but-correct work.
-#include "sssp/adds.hpp"
+//
+// The engine is packaged as a warm, reusable HostEngine (host_engine.hpp):
+// worker threads and the pool/queue pair outlive a single query, and each
+// solve() rewinds the queue with the quiesced-only reset() hooks. The
+// classic one-shot adds_host() entry point is a thin wrapper that builds a
+// throwaway engine.
+#include "sssp/host_engine.hpp"
 
 #include <algorithm>
 #include <chrono>
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "queue/assignment.hpp"
@@ -39,7 +46,10 @@ namespace adds {
 
 namespace {
 
-/// Everything one worker thread needs.
+/// Everything one worker thread needs. The flag pointer is stable for the
+/// worker's lifetime; every other field is per-query: the engine retargets
+/// them between queries while the worker is idle-parked, and the
+/// assignment flag's release/acquire handshake carries them across.
 template <WeightType W>
 struct WorkerContext {
   const CsrGraph<W>* graph = nullptr;
@@ -47,7 +57,7 @@ struct WorkerContext {
   AtomicDistArray<DistT<W>>* dist = nullptr;
   AssignmentFlag* flag = nullptr;
   uint32_t combine_capacity = 0;  // 0: single-item pushes (combining off)
-  WorkStats stats;  // thread-local; merged after join
+  WorkStats stats;  // per-query; manager zeroes before, reads after
 };
 
 /// Pulls the CSR row bounds of `u` toward the cache ahead of use.
@@ -61,61 +71,74 @@ inline void prefetch_row_offsets(const CsrGraph<W>& g, VertexId u) noexcept {
 #endif
 }
 
+/// Persistent worker loop: parks on the assignment flag between ranges —
+/// and between whole queries — until the engine terminates the flag at
+/// destruction. Per-query pointers are re-read on every assignment.
 template <WeightType W>
 void worker_main(WorkerContext<W>& ctx) {
   using Dist = DistT<W>;
-  const CsrGraph<W>& g = *ctx.graph;
-  const VertexId* const targets = g.targets().data();
-  const W* const weights = g.weights().data();
   TranslationCache<8> cache;
+  // The combiner references one WorkQueue; it is rebuilt lazily when the
+  // engine swaps queues (pool regrowth for a larger graph). Lanes are
+  // always empty while parked, so a stale combiner never holds items.
   std::optional<PushCombiner> combiner;
-  if (ctx.combine_capacity > 0)
-    combiner.emplace(*ctx.queue, ctx.combine_capacity);
-
-  // Relaxes one row; pushes go through the combiner when enabled.
-  const auto relax_row = [&](VertexId u) {
-    const Dist du = ctx.dist->load(u);
-    if (du == DistTraits<W>::infinity()) {
-      // Only possible for a corrupt queue; the push that enqueued u set a
-      // finite distance first.
-      ++ctx.stats.stale_skipped;
-      return;
-    }
-    ++ctx.stats.items_processed;
-    const EdgeIndex begin = g.edge_begin(u);
-    const EdgeIndex end = g.edge_end(u);
-    ctx.stats.relaxations += end - begin;
-    for (EdgeIndex e = begin; e < end; ++e) {
-      const VertexId v = targets[e];
-      const Dist nd = du + Dist(weights[e]);
-      if (ctx.dist->fetch_min(v, nd)) {
-        ++ctx.stats.improvements;
-        ++ctx.stats.pushes;
-        if (combiner) {
-          combiner->push(v, double(nd));
-        } else if (ctx.queue->push(v, double(nd)) !=
-                   WorkQueue::kPushAborted) {
-          ++ctx.stats.queue_reserve_ops;
-          ++ctx.stats.queue_publish_ops;
-        }
-      }
-    }
-  };
 
   while (true) {
     // Event-driven idle wait: the worker parks on its flag and the
-    // manager's assign()/terminate() wakes it directly — the handoff no
-    // longer pays the old capped-backoff sleep quantum.
+    // manager's assign()/terminate() wakes it directly.
     bool should_exit = false;
     const auto assignment = ctx.flag->wait(should_exit);
     if (should_exit) break;
     if (!assignment) continue;
+
+    const CsrGraph<W>& g = *ctx.graph;
+    WorkQueue& queue = *ctx.queue;
+    AtomicDistArray<Dist>& dist = *ctx.dist;
+    const VertexId* const targets = g.targets().data();
+    const W* const weights = g.weights().data();
+    if (ctx.combine_capacity == 0) {
+      combiner.reset();
+    } else if (!combiner || combiner->queue() != &queue ||
+               combiner->lane_capacity() != ctx.combine_capacity) {
+      combiner.emplace(queue, ctx.combine_capacity);
+    }
+
     // Injected worker stall: the assignment sits un-processed (in-flight),
     // exactly like a preempted/wedged WTB. Bounded and abort-observing.
-    fault::delay(fault::Site::kWorkerStall, &ctx.queue->abort_flag());
+    fault::delay(fault::Site::kWorkerStall, &queue.abort_flag());
 
-    Bucket& bucket = ctx.queue->physical_bucket(assignment->phys_bucket);
+    Bucket& bucket = queue.physical_bucket(assignment->phys_bucket);
     cache.reset();
+
+    // Relaxes one row; pushes go through the combiner when enabled.
+    const auto relax_row = [&](VertexId u) {
+      const Dist du = dist.load(u);
+      if (du == DistTraits<W>::infinity()) {
+        // Only possible for a corrupt queue; the push that enqueued u set a
+        // finite distance first.
+        ++ctx.stats.stale_skipped;
+        return;
+      }
+      ++ctx.stats.items_processed;
+      const EdgeIndex begin = g.edge_begin(u);
+      const EdgeIndex end = g.edge_end(u);
+      ctx.stats.relaxations += end - begin;
+      for (EdgeIndex e = begin; e < end; ++e) {
+        const VertexId v = targets[e];
+        const Dist nd = du + Dist(weights[e]);
+        if (dist.fetch_min(v, nd)) {
+          ++ctx.stats.improvements;
+          ++ctx.stats.pushes;
+          if (combiner) {
+            combiner->push(v, double(nd));
+          } else if (queue.push(v, double(nd)) != WorkQueue::kPushAborted) {
+            ++ctx.stats.queue_reserve_ops;
+            ++ctx.stats.queue_publish_ops;
+          }
+        }
+      }
+    };
+
     // Row-batched relaxation with one-ahead software prefetch: the next
     // item's vertex id is resolved and its CSR row offsets prefetched
     // while the current row is being relaxed, hiding the offsets-array
@@ -135,107 +158,192 @@ void worker_main(WorkerContext<W>& ctx) {
     // still staged in the combiner — must be published before the
     // release-increment of the source bucket's CWC, so when the manager
     // observes CWC == resv_ptr it also observes every spawned item.
-    if (combiner) combiner->flush_all();
+    if (combiner) {
+      combiner->flush_all();
+      // Harvest the combiner's atomic-op accounting into this query's
+      // stats now: the combiner outlives the query, and counters left in
+      // it would leak into the next query's WorkStats.
+      const CombinerStats cs = combiner->take_stats();
+      ctx.stats.queue_reserve_ops += cs.reserve_ops;
+      ctx.stats.queue_publish_ops += cs.publish_ops;
+      ctx.stats.batch_flushes += cs.flushes;
+      ctx.stats.combined_items += cs.flushed_items;
+    }
     bucket.complete(assignment->count);
     ctx.flag->done();
   }
-  // A worker only exits between assignments, so its lanes are empty; the
-  // defensive flush keeps the no-staged-items-while-idle invariant even if
-  // termination raced an abort (push_batch no-ops on an aborted queue).
-  if (combiner) {
-    combiner->flush_all();
-    ctx.stats.queue_reserve_ops += combiner->stats().reserve_ops;
-    ctx.stats.queue_publish_ops += combiner->stats().publish_ops;
-    ctx.stats.batch_flushes += combiner->stats().flushes;
-    ctx.stats.combined_items += combiner->stats().flushed_items;
-  }
+  // A worker only exits between assignments (terminate() is only sent with
+  // the engine quiescent), so its lanes are empty and there is nothing to
+  // flush or account.
 }
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// HostEngine
+// ---------------------------------------------------------------------------
+
 template <WeightType W>
-SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
-                        const AddsHostOptions& opts) {
+struct HostEngine<W>::Impl {
   using Dist = DistT<W>;
+
+  AddsHostOptions opts_;
+  DeltaControllerOptions copts_;  // resolved controller options
+  std::unique_ptr<BlockPool> pool_;
+  std::unique_ptr<WorkQueue> queue_;
+  std::optional<DeltaController> controller_;
+  Event engine_wake_;  // completion wake when the query brings no event
+  std::vector<AssignmentFlag> flags_;
+  std::vector<WorkerContext<W>> contexts_;
+  std::vector<std::thread> workers_;
+  uint64_t queries_ = 0;
+  bool dirty_ = false;  // queue carries a previous query's state
+
+  explicit Impl(const AddsHostOptions& o)
+      : opts_(o), flags_(o.num_workers), contexts_(o.num_workers) {
+    copts_ = opts_.controller;
+    copts_.enabled = opts_.dynamic_delta;
+    copts_.max_active_buckets = std::min<uint32_t>(
+        copts_.max_active_buckets, opts_.num_buckets - 1);
+    // flags_/contexts_ are never resized after this point: the worker
+    // threads hold references into them for the engine's lifetime.
+    workers_.reserve(opts_.num_workers);
+    for (uint32_t i = 0; i < opts_.num_workers; ++i) {
+      contexts_[i].flag = &flags_[i];
+      workers_.emplace_back(worker_main<W>, std::ref(contexts_[i]));
+    }
+  }
+
+  ~Impl() {
+    // The engine is quiescent between solves (solve() returns or throws
+    // only with every worker idle-parked), so terminate lands on parked
+    // workers and the join is immediate.
+    for (auto& f : flags_) f.terminate();
+    for (auto& w : workers_)
+      if (w.joinable()) w.join();
+  }
+
+  /// Sizes (or re-sizes) the pool/queue pair for `g`. Kept across queries;
+  /// rebuilt only when a larger graph needs a bigger slab than the current
+  /// one. Buckets hold a reference into the pool, so the queue is
+  /// destroyed first on rebuild.
+  void provision(const CsrGraph<W>& g) {
+    const uint32_t want =
+        opts_.pool_blocks != 0
+            ? opts_.pool_blocks
+            : auto_pool_blocks(g.num_edges(), opts_.block_words,
+                               opts_.num_buckets);
+    if (pool_ && want <= pool_->num_blocks()) return;
+    queue_.reset();
+    pool_.reset();
+    pool_ = std::make_unique<BlockPool>(want, opts_.block_words);
+    WorkQueue::Config qcfg;
+    qcfg.num_buckets = opts_.num_buckets;
+    qcfg.bucket.segment_words = opts_.segment_words;
+    qcfg.bucket.table_size = 64;
+    queue_ = std::make_unique<WorkQueue>(*pool_, qcfg);
+    dirty_ = false;
+  }
+
+  /// Error-path quiesce: aborts the queue (parked writers drop out, fault
+  /// delays cut short) and waits until every worker is idle-parked, so the
+  /// exception leaves solve() with the engine reusable. The threads are
+  /// NOT joined — the next solve() resets the queue (clearing the abort
+  /// flag) and runs on the same warm pool.
+  void quiesce(Event& wake) noexcept {
+    queue_->request_abort();
+    const auto all_idle = [this]() noexcept {
+      for (auto& f : flags_)
+        if (!f.is_idle()) return false;
+      return true;
+    };
+    while (!all_idle())
+      wake.await_for(all_idle, std::chrono::microseconds(500));
+    dirty_ = true;
+  }
+
+  SsspResult<W> solve(const CsrGraph<W>& g, VertexId source,
+                      const QueryControl& ctl);
+};
+
+template <WeightType W>
+SsspResult<W> HostEngine<W>::Impl::solve(const CsrGraph<W>& g,
+                                         VertexId source,
+                                         const QueryControl& ctl) {
+  const AddsHostOptions& opts = opts_;
   WallTimer timer;
 
   SsspResult<W> r;
   r.solver = "adds-host";
   r.dist.assign(g.num_vertices(), DistTraits<W>::infinity());
-  if (g.empty()) return r;
+  if (g.empty()) {
+    ++queries_;
+    return r;
+  }
   ADDS_REQUIRE(source < g.num_vertices(), "source vertex out of range");
-  ADDS_REQUIRE(opts.num_workers >= 1, "need at least one worker");
 
-  // --- Construct the queue ----------------------------------------------
-  uint32_t pool_blocks = opts.pool_blocks;
-  if (pool_blocks == 0)
-    pool_blocks =
-        auto_pool_blocks(g.num_edges(), opts.block_words, opts.num_buckets);
-  BlockPool pool(pool_blocks, opts.block_words);
-  WorkQueue::Config qcfg;
-  qcfg.num_buckets = opts.num_buckets;
-  qcfg.bucket.segment_words = opts.segment_words;
-  qcfg.bucket.table_size = 64;
-  WorkQueue queue(pool, qcfg);
+  // --- Rewind (or build) the warm queue -----------------------------------
+  provision(g);
+  WorkQueue& queue = *queue_;
+  BlockPool& pool = *pool_;
+  if (dirty_) {
+    // Reset-safety invariant (docs/QUEUE_PROTOCOL.md §"Reset and reuse"):
+    // a quiesced reset returns every mapped block, so each query starts
+    // from the freshly-constructed state with a full pool.
+    queue.reset();
+    ADDS_ASSERT_MSG(pool.blocks_in_use() == 0,
+                    "queue reset left blocks mapped");
+    dirty_ = false;
+  }
+  pool.reset_stats();
+  dirty_ = true;  // from here on the queue carries this query's state
 
   const double initial_delta =
       opts.delta > 0.0 ? opts.delta : static_delta(g, opts.heuristic_c);
   queue.set_delta(initial_delta);
-
-  DeltaControllerOptions copts = opts.controller;
-  copts.enabled = opts.dynamic_delta;
-  copts.max_active_buckets = std::min<uint32_t>(copts.max_active_buckets,
-                                                opts.num_buckets - 1);
-  // Host-scale saturation: all workers busy with a chunk each.
-  DeltaController controller(
-      copts, double(opts.num_workers) * double(opts.chunk_items),
-      initial_delta);
+  const double saturation =
+      double(opts.num_workers) * double(opts.chunk_items);
+  if (!controller_)
+    controller_.emplace(copts_, saturation, initial_delta);
+  else
+    controller_->reset(saturation, initial_delta);
+  DeltaController& controller = *controller_;
 
   AtomicDistArray<Dist> dist(g.num_vertices(), DistTraits<W>::infinity());
   dist.store(source, Dist{0});
 
-  // --- Launch workers ------------------------------------------------------
+  // --- Bind the warm workers to this query ---------------------------------
   // The manager's wakeup event: workers notify it on completion, and a
-  // canceller that provides AddsHostOptions::cancel_event shares it so a
+  // canceller that provides QueryControl::cancel_event shares it so a
   // cancel reaches a parked manager immediately. (An external event must
-  // outlive the run; workers are joined before return either way.)
-  Event local_wake;
-  Event& wake = opts.cancel_event != nullptr ? *opts.cancel_event : local_wake;
-  std::vector<AssignmentFlag> flags(opts.num_workers);
-  std::vector<WorkerContext<W>> contexts(opts.num_workers);
-  std::vector<std::thread> workers;
-  workers.reserve(opts.num_workers);
+  // outlive the call; the engine quiesces before returning either way.)
+  Event& wake = ctl.cancel_event != nullptr ? *ctl.cancel_event : engine_wake_;
   for (uint32_t i = 0; i < opts.num_workers; ++i) {
-    contexts[i].graph = &g;
-    contexts[i].queue = &queue;
-    contexts[i].dist = &dist;
-    contexts[i].flag = &flags[i];
-    flags[i].set_done_event(&wake);
-    contexts[i].combine_capacity =
+    contexts_[i].graph = &g;
+    contexts_[i].queue = &queue;
+    contexts_[i].dist = &dist;
+    contexts_[i].combine_capacity =
         opts.write_combining ? opts.combine_capacity : 0;
-    workers.emplace_back(worker_main<W>, std::ref(contexts[i]));
+    contexts_[i].stats.reset();
+    flags_[i].set_done_event(&wake);
   }
-  // Single teardown path for both the normal and the error exit. If the
-  // manager loop throws (e.g. BlockPool exhaustion on an undersized pool),
-  // the destructor aborts the queue (unblocking writers stuck in
-  // wait_allocated) before joining — destroying a joinable std::thread
-  // calls std::terminate. The normal exit calls join_workers(false)
-  // explicitly; the destructor is then a no-op.
-  struct WorkerShutdown {
-    WorkQueue* queue;
-    std::vector<AssignmentFlag>* flags;
-    std::vector<std::thread>* workers;
-    bool joined = false;
-    void join_workers(bool abort) {
-      if (joined) return;
-      if (abort) queue->request_abort();
-      for (auto& f : *flags) f.terminate();
-      for (auto& w : *workers)
-        if (w.joinable()) w.join();
-      joined = true;
+  // The context writes above happen-before each worker's first wait()
+  // acquire via the assign() release store — workers are idle-parked and
+  // cannot observe the fields until an assignment arrives.
+
+  // Single teardown path for the error exit. If the manager loop throws
+  // (pool wedge, cancel, deadline, injected fault), the guard aborts the
+  // queue and waits for every worker to park idle before the exception
+  // propagates — the engine stays quiescent and reusable. The clean exit
+  // disarms it: termination already implies all-idle.
+  struct QuiesceGuard {
+    Impl* engine;
+    Event* wake;
+    bool armed = true;
+    ~QuiesceGuard() {
+      if (armed) engine->quiesce(*wake);
     }
-    ~WorkerShutdown() { join_workers(true); }
-  } shutdown{&queue, &flags, &workers};
+  } guard{this, &wake};
 
   // Seed the source. Governed mode maps capacity best-effort (a pool
   // smaller than the demand is a survivable state) but the head bucket
@@ -251,7 +359,7 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
     ADDS_REQUIRE(head.writable_slack() > 0,
                  "adds-host: pool too small to map the head bucket "
                  "(pool_blocks=" +
-                     std::to_string(pool_blocks) + ")");
+                     std::to_string(pool.num_blocks()) + ")");
     for (uint32_t l = 1; l < opts.num_buckets; ++l)
       queue.logical_bucket(l).ensure_capacity(opts.chunk_items * 2,
                                               /*best_effort=*/true);
@@ -315,7 +423,7 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
   const uint32_t elevated_floor = std::max(4u, pool.num_blocks() / 4);
   const uint32_t critical_floor = std::max(2u, pool.num_blocks() / 8);
   SpillStore spill;
-  r.health.pool_blocks = pool_blocks;
+  r.health.pool_blocks = pool.num_blocks();
   r.health.min_free_blocks = pool.free_blocks();
   std::vector<uint32_t> replay_buf;
 
@@ -402,30 +510,122 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
     return replayed;
   };
 
+  // --- Manager-side inline execution (tiny assignments) --------------------
+  //
+  // When a bucket's leftover safely-readable range is below the inline
+  // threshold and every worker is busy, the manager relaxes it itself
+  // instead of letting it wait a sweep for a worker to free up. Its pushes
+  // are buffered here and published through the non-blocking batch path —
+  // the manager must never park in wait_allocated on capacity that only it
+  // can map — with leftovers spilled to the heap store (governed mode
+  // only, which is why the feature is gated on the governor).
+  std::vector<std::pair<uint32_t, double>> inline_out;
+  std::vector<uint32_t> inline_batch;
+  const auto inline_flush_pushes = [&]() {
+    while (!inline_out.empty()) {
+      const double base = queue.base_dist();
+      const double delta = queue.delta();
+      // Peel one logical bucket's worth per round; ranges are tiny.
+      const uint32_t want = WorkQueue::logical_index(
+          inline_out.front().second, base, delta, opts.num_buckets);
+      inline_batch.clear();
+      size_t kept = 0;
+      for (const auto& [v, d] : inline_out) {
+        if (WorkQueue::logical_index(d, base, delta, opts.num_buckets) ==
+            want)
+          inline_batch.push_back(v);
+        else
+          inline_out[kept++] = {v, d};
+      }
+      inline_out.resize(kept);
+      Bucket& tb = queue.logical_bucket(want);
+      const uint32_t n = uint32_t(inline_batch.size());
+      if (tb.writable_slack() < n)
+        tb.ensure_capacity(2 * n, /*best_effort=*/true);
+      uint32_t ops = tb.try_push_batch(inline_batch.data(), n);
+      if (ops == 0) {
+        tb.ensure_capacity(2 * n, /*best_effort=*/true);
+        ops = tb.try_push_batch(inline_batch.data(), n);
+      }
+      if (ops == 0) {
+        // Dry pool: park the items in the heap store at their band; the
+        // replay path feeds them back when blocks free up.
+        const uint64_t band = queue.window_position() + want;
+        for (uint32_t v : inline_batch) spill.add(band, v);
+        r.health.spilled_items += n;
+      } else {
+        ++r.work.queue_reserve_ops;
+        r.work.queue_publish_ops += ops;
+      }
+    }
+  };
+  const auto inline_execute = [&](Bucket& b, uint32_t logical,
+                                  uint32_t count) {
+    const uint32_t start = b.read_ptr();
+    for (uint32_t i = 0; i < count; ++i) {
+      const VertexId u = VertexId(b.read_item(start + i));
+      const Dist du = dist.load(u);
+      if (du == DistTraits<W>::infinity()) {
+        ++r.work.stale_skipped;
+        continue;
+      }
+      ++r.work.items_processed;
+      const EdgeIndex begin = g.edge_begin(u);
+      const EdgeIndex end = g.edge_end(u);
+      r.work.relaxations += end - begin;
+      for (EdgeIndex e = begin; e < end; ++e) {
+        const VertexId v = g.targets()[e];
+        const Dist nd = du + Dist(g.weights()[e]);
+        if (dist.fetch_min(v, nd)) {
+          ++r.work.improvements;
+          ++r.work.pushes;
+          inline_out.emplace_back(uint32_t(v), double(nd));
+        }
+      }
+    }
+    // Same retirement sequence as a spilled range: read, advance,
+    // CWC-complete, frontier — downstream accounting cannot tell an
+    // inline-executed range from a worker-executed one.
+    b.advance_read(start + count);
+    b.complete(count);
+    const uint32_t phys = queue.logical_to_physical(logical);
+    frontiers[phys].complete({phys, start, count});
+    inline_flush_pushes();
+    ++r.work.inline_ranges;
+    r.work.inline_items += count;
+  };
+
   // --- Manager loop ---------------------------------------------------------
   uint64_t clean_sweeps = 0;
   double last_progress_ms = timer.elapsed_ms();
   constexpr double kWedgeMs = 250.0;  // overload wedge -> fail-fast bound
   while (true) {
     // External cancellation (watchdog) or a prior abort: tear down. The
-    // throw unwinds through WorkerShutdown, which aborts the queue (again,
-    // idempotent), terminates the flags and joins the workers.
-    if ((opts.cancel != nullptr &&
-         opts.cancel->load(std::memory_order_acquire)) ||
+    // throw unwinds through the quiesce guard, which aborts the queue
+    // (again, idempotent) and waits for the workers to park.
+    if ((ctl.cancel != nullptr &&
+         ctl.cancel->load(std::memory_order_acquire)) ||
         queue.aborted()) {
       queue.request_abort();
       throw Error("adds-host: run aborted (watchdog or external cancel)");
     }
+    // Per-query wall-clock budget, enforced on the manager's own sweep
+    // cadence — deadline enforcement costs no extra thread.
+    if (ctl.deadline_ms > 0.0 && timer.elapsed_ms() > ctl.deadline_ms) {
+      queue.request_abort();
+      throw DeadlineError("adds-host: query deadline exceeded (" +
+                          std::to_string(ctl.deadline_ms) + " ms)");
+    }
     // Injected manager stall: one sweep goes missing, as if the MTB were
     // preempted. Observes both cancel and queue abort so a multi-second
     // stall cannot out-wait the watchdog's recovery.
-    fault::delay(fault::Site::kManagerScanStall, opts.cancel,
+    fault::delay(fault::Site::kManagerScanStall, ctl.cancel,
                  &queue.abort_flag());
 
     // Harvest completions: a flag that returned to idle finished its range.
     uint32_t harvested = 0;
     for (uint32_t i = 0; i < opts.num_workers; ++i) {
-      if (tracks[i].active && flags[i].is_idle()) {
+      if (tracks[i].active && flags_[i].is_idle()) {
         frontiers[tracks[i].a.phys_bucket].complete(tracks[i].a);
         tracks[i].active = false;
         ++harvested;
@@ -433,7 +633,8 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
     }
     uint32_t recycled = 0;
     for (uint32_t b = 0; b < opts.num_buckets; ++b)
-      recycled += queue.physical_bucket(b).recycle_below(frontiers[b].frontier);
+      recycled +=
+          queue.physical_bucket(b).recycle_below(frontiers[b].frontier);
 
     // Provision write capacity. Ungoverned mode preserves the fail-fast
     // contract: a dry pool throws out of ensure_capacity_all.
@@ -545,7 +746,7 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
       if (avail == 0) continue;
       for (uint32_t i = 0; i < opts.num_workers; ++i) {
         if (avail == 0) break;
-        if (tracks[i].active || !flags[i].is_idle()) continue;
+        if (tracks[i].active || !flags_[i].is_idle()) continue;
         const uint32_t k = std::min(avail, opts.chunk_items);
         Assignment a;
         a.phys_bucket = queue.logical_to_physical(logical);
@@ -555,11 +756,19 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
         tracks[i] = {true, a};
         // Injected delivery delay: the range is accounted as handed out but
         // the worker has not seen its flag yet (a late AF write).
-        fault::delay(fault::Site::kAfDeliveryDelay, opts.cancel,
+        fault::delay(fault::Site::kAfDeliveryDelay, ctl.cancel,
                      &queue.abort_flag());
-        flags[i].assign(a);
+        flags_[i].assign(a);
         avail -= k;
         r.work.assigned_items += k;
+        assigned_any = true;
+      }
+      // Tiny-assignment self-execution: a sub-threshold leftover with no
+      // idle worker (the loop above exhausted them) would otherwise idle a
+      // full sweep; the manager relaxes it inline instead.
+      if (opts.pool_governor && opts.manager_inline_items > 0 &&
+          avail > 0 && avail <= opts.manager_inline_items) {
+        inline_execute(b, logical, avail);
         assigned_any = true;
       }
     }
@@ -580,7 +789,7 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
     // empty spill store: heap-resident items are still live work, so the
     // endgame force-replays them before the queue may be declared done.
     bool all_idle = true;
-    for (auto& flag : flags) all_idle &= flag.is_idle();
+    for (auto& flag : flags_) all_idle &= flag.is_idle();
     bool all_drained = true;
     for (uint32_t i = 0; i < opts.num_buckets; ++i)
       all_drained &= queue.physical_bucket(i).drained();
@@ -610,11 +819,11 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
     } else if (opts.pool_governor && (starved_now || !spill.empty()) &&
                timer.elapsed_ms() - last_progress_ms > kWedgeMs &&
                !queue.aborted() &&
-               (opts.cancel == nullptr ||
-                !opts.cancel->load(std::memory_order_acquire))) {
+               (ctl.cancel == nullptr ||
+                !ctl.cancel->load(std::memory_order_acquire))) {
       throw Error(
           "adds-host: pool exhausted beyond spill governance (pool_blocks=" +
-          std::to_string(pool_blocks) +
+          std::to_string(pool.num_blocks()) +
           ", free=" + std::to_string(pool.free_blocks()) +
           ", spilled_items=" + std::to_string(r.health.spilled_items) +
           "): increase pool_blocks");
@@ -632,12 +841,12 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
     if (!assigned_any && all_busy) {
       wake.await_for(
           [&]() noexcept {
-            if ((opts.cancel != nullptr &&
-                 opts.cancel->load(std::memory_order_acquire)) ||
+            if ((ctl.cancel != nullptr &&
+                 ctl.cancel->load(std::memory_order_acquire)) ||
                 queue.aborted())
               return true;
             for (uint32_t i = 0; i < opts.num_workers; ++i)
-              if (tracks[i].active && flags[i].is_idle()) return true;
+              if (tracks[i].active && flags_[i].is_idle()) return true;
             return false;
           },
           std::chrono::microseconds(250));
@@ -646,20 +855,72 @@ SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
     }
   }
 
-  shutdown.join_workers(false);  // clean exit: no abort, idempotent join
+  // Clean termination implies every worker is idle-parked (the clean-sweep
+  // condition checked it), so the engine is already quiescent: disarm the
+  // guard instead of aborting the queue.
+  guard.armed = false;
 
   r.health.peak_blocks_in_use = pool.peak_blocks_in_use();
   if (pool.free_blocks() < r.health.min_free_blocks)
     r.health.min_free_blocks = pool.free_blocks();
   r.health.spill_peak_items = spill.peak_size();
 
-  for (const auto& ctx : contexts) r.work.merge(ctx.stats);
+  for (const auto& ctx : contexts_) r.work.merge(ctx.stats);
   for (VertexId v = 0; v < g.num_vertices(); ++v) r.dist[v] = dist.load(v);
   for (const auto& [sw, d] : controller.history())
     r.delta_history.emplace_back(double(sw), d);
   r.wall_ms = timer.elapsed_ms();
   r.time_us = r.wall_ms * 1e3;  // the host engine's time is real time
+  ++queries_;
   return r;
+}
+
+template <WeightType W>
+HostEngine<W>::HostEngine(const AddsHostOptions& opts) {
+  ADDS_REQUIRE(opts.num_workers >= 1, "need at least one worker");
+  ADDS_REQUIRE(opts.num_buckets >= 2, "need at least two buckets");
+  impl_ = std::make_unique<Impl>(opts);
+}
+
+template <WeightType W>
+HostEngine<W>::~HostEngine() = default;
+
+template <WeightType W>
+SsspResult<W> HostEngine<W>::solve(const CsrGraph<W>& g, VertexId source,
+                                   const QueryControl& ctl) {
+  return impl_->solve(g, source, ctl);
+}
+
+template <WeightType W>
+const AddsHostOptions& HostEngine<W>::options() const noexcept {
+  return impl_->opts_;
+}
+
+template <WeightType W>
+uint64_t HostEngine<W>::queries_served() const noexcept {
+  return impl_->queries_;
+}
+
+template <WeightType W>
+uint32_t HostEngine<W>::pool_blocks() const noexcept {
+  return impl_->pool_ ? impl_->pool_->num_blocks() : 0;
+}
+
+template class HostEngine<uint32_t>;
+template class HostEngine<float>;
+
+// ---------------------------------------------------------------------------
+// One-shot entry point
+// ---------------------------------------------------------------------------
+
+template <WeightType W>
+SsspResult<W> adds_host(const CsrGraph<W>& g, VertexId source,
+                        const AddsHostOptions& opts) {
+  HostEngine<W> engine(opts);
+  QueryControl ctl;
+  ctl.cancel = opts.cancel;
+  ctl.cancel_event = opts.cancel_event;
+  return engine.solve(g, source, ctl);
 }
 
 template SsspResult<uint32_t> adds_host<uint32_t>(const CsrGraph<uint32_t>&,

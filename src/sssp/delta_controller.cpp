@@ -19,6 +19,19 @@ DeltaController::DeltaController(const DeltaControllerOptions& opts,
   history_.emplace_back(0, delta_);
 }
 
+void DeltaController::reset(double saturation_edges, double initial_delta) {
+  ADDS_REQUIRE(saturation_edges > 0, "saturation must be positive");
+  saturation_edges_ = saturation_edges;
+  initial_delta_ =
+      std::clamp(initial_delta, opts_.min_delta, opts_.max_delta);
+  delta_ = initial_delta_;
+  active_buckets_ = opts_.min_active_buckets;
+  last_change_switch_ = 0;
+  updates_since_change_ = 0;
+  history_.clear();
+  history_.emplace_back(0, delta_);
+}
+
 void DeltaController::set_delta(double d, uint64_t at_switch) {
   delta_ = std::clamp(d, opts_.min_delta, opts_.max_delta);
   last_change_switch_ = at_switch;

@@ -62,6 +62,12 @@ class DeltaController {
   /// One controller step; returns true if Δ changed.
   bool update(const Signals& s);
 
+  /// Reuse hook for warm engines: re-initializes the controller for a new
+  /// run (fresh Δ, minimum active buckets, cleared history/settle clocks)
+  /// without reallocating it. Equivalent to constructing with the same
+  /// options and the given saturation/initial Δ.
+  void reset(double saturation_edges, double initial_delta);
+
   double delta() const noexcept { return delta_; }
   uint32_t active_buckets() const noexcept { return active_buckets_; }
   double utilization(double assigned_edges) const noexcept {

@@ -1,0 +1,95 @@
+// Warm, reusable host SSSP engine (the serving building block).
+//
+// adds_host() pays a fixed cost per call that has nothing to do with the
+// query: it spawns num_workers threads, allocates a BlockPool slab and a
+// WorkQueue, and tears all of it down again. For one-shot runs that is
+// noise; for a query service answering many small queries it dominates.
+// HostEngine hoists that setup into construction and keeps it warm:
+//
+//   * worker threads are spawned once and park on their assignment flags
+//     between queries (util/event.hpp eventcount — an idle engine burns no
+//     CPU);
+//   * the BlockPool / WorkQueue pair is allocated lazily on first use and
+//     kept; solve() rewinds it with the quiesced-only reset() hooks
+//     (docs/QUEUE_PROTOCOL.md §"Reset and reuse") instead of reallocating,
+//     and only rebuilds when a larger graph needs a bigger slab;
+//   * per-query state (distance array, Δ controller, work counters) is
+//     re-initialized per solve; WorkStats are zeroed on the persistent
+//     worker contexts so no counter leaks across queries.
+//
+// Thread-safety: an engine serves ONE query at a time — solve() is not
+// reentrant and must not be called concurrently. A pool of engines behind
+// a dispatcher (src/service/sssp_service.hpp) provides concurrency.
+//
+// Error handling: if a solve throws (pool wedge, cancel, deadline, injected
+// fault), the engine aborts the queue, waits for every worker to park idle,
+// and rethrows. The engine stays usable: the next solve() resets the queue
+// (which also clears the otherwise-irreversible abort flag) and runs on the
+// same warm threads. This quiesce-instead-of-join discipline is what makes
+// the worker pool reusable across failed queries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "graph/csr_graph.hpp"
+#include "sssp/adds.hpp"
+
+namespace adds {
+
+/// Thrown by HostEngine::solve when QueryControl::deadline_ms elapses
+/// before the run finishes. A distinct type so the service layer can map
+/// it to QueryStatus::kDeadlineExpired without string-matching.
+class DeadlineError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Per-query control surface. All pointees must outlive the solve() call.
+struct QueryControl {
+  /// External cancellation token (watchdog or caller). When it becomes
+  /// true the manager aborts the queue and throws adds::Error.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Wakeup paired with `cancel`; also used as this query's completion
+  /// event so a parked manager reacts in microseconds.
+  Event* cancel_event = nullptr;
+  /// Wall-clock budget for this query; <= 0 means unbounded. Checked by
+  /// the manager each sweep — enforcement costs no extra thread — and
+  /// reported as DeadlineError.
+  double deadline_ms = 0.0;
+};
+
+/// A warm adds-host solver: construction spawns the worker threads, each
+/// solve() runs one query on them. Options are fixed at construction
+/// (they size the worker pool and queue geometry).
+template <WeightType W>
+class HostEngine {
+ public:
+  explicit HostEngine(const AddsHostOptions& opts = {});
+  ~HostEngine();
+
+  HostEngine(const HostEngine&) = delete;
+  HostEngine& operator=(const HostEngine&) = delete;
+
+  /// Runs one SSSP query on the warm worker pool. Identical semantics and
+  /// result contents to adds_host(); reuses the queue via reset() between
+  /// calls. Not reentrant.
+  SsspResult<W> solve(const CsrGraph<W>& g, VertexId source,
+                      const QueryControl& ctl = {});
+
+  const AddsHostOptions& options() const noexcept;
+  /// Queries completed successfully since construction.
+  uint64_t queries_served() const noexcept;
+  /// Current slab size in blocks (0 until the first solve sizes it).
+  uint32_t pool_blocks() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+extern template class HostEngine<uint32_t>;
+extern template class HostEngine<float>;
+
+}  // namespace adds

@@ -65,6 +65,8 @@ struct WorkStats {
   uint64_t batch_flushes = 0;      // combiner batch publications
   uint64_t combined_items = 0;     // items pushed through batch flushes
   uint64_t assigned_items = 0;     // items handed to workers (manager side)
+  uint64_t inline_ranges = 0;      // tiny ranges the manager ran itself
+  uint64_t inline_items = 0;       // items relaxed inline by the manager
 
   void merge(const WorkStats& o) noexcept {
     items_processed += o.items_processed;
@@ -78,7 +80,15 @@ struct WorkStats {
     batch_flushes += o.batch_flushes;
     combined_items += o.combined_items;
     assigned_items += o.assigned_items;
+    inline_ranges += o.inline_ranges;
+    inline_items += o.inline_items;
   }
+
+  /// Zeroes every counter. Warm engines reset the per-worker stats objects
+  /// at the start of each query: the objects outlive a single run, and a
+  /// stale counter would silently leak one query's work into the next
+  /// result's accounting.
+  void reset() noexcept { *this = WorkStats{}; }
 };
 
 template <WeightType W>

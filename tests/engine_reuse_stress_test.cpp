@@ -1,0 +1,107 @@
+// Warm-engine endurance under fault injection: one HostEngine serves many
+// back-to-back queries while every injection site fires. A query may fail
+// (that is what injections are for — the deadline acts as the watchdog),
+// but every result that IS returned must match Dijkstra, and the engine
+// must stay serviceable afterwards: a single warm engine is the unit the
+// whole service's availability rests on.
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/host_engine.hpp"
+#include "util/fault.hpp"
+
+namespace adds {
+namespace {
+
+using fault::FaultPlan;
+using fault::FaultScope;
+using fault::FaultSpec;
+using fault::Site;
+
+struct ReuseCase {
+  Site site;
+  FaultSpec spec;
+};
+
+std::string case_name(const testing::TestParamInfo<ReuseCase>& info) {
+  std::string n = fault::site_name(info.param.site);
+  for (char& c : n)
+    if (c == '.' || c == '-') c = '_';
+  return n;
+}
+
+class EngineReuseStress : public testing::TestWithParam<ReuseCase> {};
+
+TEST_P(EngineReuseStress, WarmEngineSurvivesInjectedQueries) {
+  const ReuseCase& c = GetParam();
+  const auto g = make_grid_road<uint32_t>(30, 30,
+                                          {WeightDist::kUniform, 1000}, 3);
+  const auto oracle = dijkstra(g, VertexId{0});
+
+  AddsHostOptions opts;
+  opts.num_workers = 3;
+  opts.block_words = 256;  // small blocks: more allocator traffic
+  opts.combine_capacity = 16;
+  HostEngine<uint32_t> engine(opts);
+
+  // The per-query deadline plays the watchdog: a wedged attempt (e.g. a
+  // dropped publication stalling termination) is cut loose and the engine
+  // quiesces for the next query.
+  QueryControl ctl;
+  ctl.deadline_ms = 2000.0;
+
+  constexpr int kQueries = 8;
+  uint64_t fired = 0;
+  int succeeded = 0, failed = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    FaultPlan plan(uint64_t(i) + 1);
+    plan.set(c.site, c.spec);
+    {
+      FaultScope scope(plan);
+      try {
+        const auto res = engine.solve(g, 0, ctl);
+        ++succeeded;
+        EXPECT_TRUE(validate_distances(res, oracle).ok())
+            << fault::site_name(c.site) << " query " << i;
+      } catch (const Error&) {
+        ++failed;  // injected failure: allowed, engine must recover
+      }
+    }
+    fired += plan.total_fires();
+  }
+  EXPECT_EQ(succeeded + failed, kQueries);
+  // The schedule must have actually exercised the site across the seeds.
+  EXPECT_GT(fired, 0u) << fault::site_name(c.site);
+
+  // Endurance: after all injected queries — including any aborted ones —
+  // the same warm engine answers a clean query correctly.
+  const auto clean = engine.solve(g, 0);
+  EXPECT_TRUE(validate_distances(clean, oracle).ok());
+  EXPECT_EQ(engine.queries_served(), uint64_t(succeeded) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSites, EngineReuseStress,
+    testing::Values(
+        // Hard allocator fault: the attempt throws; reuse must recover.
+        ReuseCase{Site::kPoolAllocFail, {0.3, ~0ull, 0}},
+        // Widened write->publish window across reuse cycles.
+        ReuseCase{Site::kPushDelay, {0.05, ~0ull, 200}},
+        // Lost publication: wedges termination; the deadline frees the
+        // engine and the next query must start from a clean reset.
+        ReuseCase{Site::kPushDropBeforePublish, {0.05, ~0ull, 0}},
+        // Manager preemption jitter.
+        ReuseCase{Site::kManagerScanStall, {0.2, ~0ull, 1000}},
+        // Late assignment-flag delivery.
+        ReuseCase{Site::kAfDeliveryDelay, {0.1, ~0ull, 500}},
+        // Worker preemption with an assignment in flight.
+        ReuseCase{Site::kWorkerStall, {0.1, ~0ull, 1000}},
+        // Dry-pool reports: the governor spills/replays, run after run.
+        ReuseCase{Site::kPoolExhausted, {0.4, ~0ull, 0}}),
+    case_name);
+
+}  // namespace
+}  // namespace adds

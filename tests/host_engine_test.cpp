@@ -1,0 +1,200 @@
+// Warm HostEngine: correctness and accounting across reuse — the invariant
+// the whole serving layer leans on is that query N+1 on a warm engine is
+// indistinguishable (results AND stats) from query N+1 on a cold one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/validate.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/host_engine.hpp"
+
+namespace adds {
+namespace {
+
+AddsHostOptions small_opts() {
+  AddsHostOptions o;
+  o.num_workers = 3;
+  o.chunk_items = 32;
+  o.block_words = 256;
+  return o;
+}
+
+TEST(HostEngine, WarmReuseMatchesDijkstraAcrossQueries) {
+  const auto g = make_rmat<uint32_t>(10, 8, 0.57, 0.19, 0.19,
+                                     {WeightDist::kUniform, 500}, 11);
+  HostEngine<uint32_t> engine(small_opts());
+  const VertexId sources[] = {pick_source(g), 0, 1, 7, pick_source(g), 3};
+  for (VertexId s : sources) {
+    const auto res = engine.solve(g, s);
+    const auto oracle = dijkstra(g, s);
+    const auto rep = validate_distances(res, oracle);
+    EXPECT_TRUE(rep.ok()) << "source " << s << ": " << rep.summary();
+  }
+  EXPECT_EQ(engine.queries_served(), 6u);
+  EXPECT_GT(engine.pool_blocks(), 0u);
+}
+
+TEST(HostEngine, WorkStatsDoNotAccumulateAcrossQueries) {
+  // Regression: with per-worker stats objects living as long as the
+  // engine, a missing reset (or a combiner merged only at thread exit)
+  // doubles every counter on the second run. Identical queries must report
+  // statistically identical work.
+  const auto g = make_grid_road<uint32_t>(24, 24, {WeightDist::kUniform, 200},
+                                          5);
+  HostEngine<uint32_t> engine(small_opts());
+  const VertexId s = pick_source(g);
+  const auto r1 = engine.solve(g, s);
+  const auto r2 = engine.solve(g, s);
+  EXPECT_TRUE(validate_distances(r1, r2).ok());
+
+  ASSERT_GT(r1.work.items_processed, 0u);
+  ASSERT_GT(r1.work.pushes, 0u);
+  ASSERT_GT(r1.work.queue_publish_ops, 0u);
+  // A leak shows up as ~2x; scheduling noise stays well under 1.5x.
+  EXPECT_LE(r2.work.items_processed, r1.work.items_processed * 3 / 2);
+  EXPECT_LE(r2.work.pushes, r1.work.pushes * 3 / 2);
+  EXPECT_LE(r2.work.relaxations, r1.work.relaxations * 3 / 2);
+  EXPECT_LE(r2.work.queue_publish_ops, r1.work.queue_publish_ops * 3 / 2);
+  EXPECT_LE(r2.work.combined_items, r1.work.combined_items * 3 / 2 + 64);
+  // Per-query pool peaks, not engine-lifetime peaks.
+  EXPECT_GT(r2.health.peak_blocks_in_use, 0u);
+  EXPECT_LE(r2.health.peak_blocks_in_use, r1.health.pool_blocks);
+}
+
+TEST(HostEngine, WorkStatsResetZeroesEveryCounter) {
+  WorkStats s;
+  s.items_processed = 1;
+  s.relaxations = 2;
+  s.improvements = 3;
+  s.pushes = 4;
+  s.queue_reserve_ops = 5;
+  s.queue_publish_ops = 6;
+  s.batch_flushes = 7;
+  s.combined_items = 8;
+  s.assigned_items = 9;
+  s.inline_ranges = 10;
+  s.inline_items = 11;
+  s.stale_skipped = 12;
+  s.heap_ops = 13;
+  s.reset();
+  WorkStats fresh;
+  fresh.merge(s);
+  EXPECT_EQ(fresh.items_processed, 0u);
+  EXPECT_EQ(fresh.relaxations, 0u);
+  EXPECT_EQ(fresh.improvements, 0u);
+  EXPECT_EQ(fresh.pushes, 0u);
+  EXPECT_EQ(fresh.queue_reserve_ops, 0u);
+  EXPECT_EQ(fresh.queue_publish_ops, 0u);
+  EXPECT_EQ(fresh.batch_flushes, 0u);
+  EXPECT_EQ(fresh.combined_items, 0u);
+  EXPECT_EQ(fresh.assigned_items, 0u);
+  EXPECT_EQ(fresh.inline_ranges, 0u);
+  EXPECT_EQ(fresh.inline_items, 0u);
+  EXPECT_EQ(fresh.stale_skipped, 0u);
+  EXPECT_EQ(fresh.heap_ops, 0u);
+}
+
+TEST(HostEngine, ReusesAcrossDifferentGraphsAndRegrowsPool) {
+  HostEngine<uint32_t> engine(small_opts());
+  const auto small = make_grid_road<uint32_t>(10, 10,
+                                              {WeightDist::kUniform, 100}, 1);
+  const auto big = make_rmat<uint32_t>(11, 8, 0.57, 0.19, 0.19,
+                                       {WeightDist::kUniform, 500}, 2);
+
+  const auto r1 = engine.solve(small, 0);
+  const uint32_t small_pool = engine.pool_blocks();
+  EXPECT_TRUE(validate_distances(r1, dijkstra(small, VertexId{0})).ok());
+
+  const auto r2 = engine.solve(big, 0);
+  EXPECT_GE(engine.pool_blocks(), small_pool);  // regrown for the big graph
+  EXPECT_TRUE(validate_distances(r2, dijkstra(big, VertexId{0})).ok());
+
+  // Back to the small graph on the big pool: no rebuild, still correct.
+  const auto r3 = engine.solve(small, 5);
+  EXPECT_TRUE(validate_distances(r3, dijkstra(small, VertexId{5})).ok());
+  EXPECT_EQ(engine.queries_served(), 3u);
+}
+
+TEST(HostEngine, RecoversAfterCancelledQuery) {
+  const auto g = make_grid_road<uint32_t>(30, 30, {WeightDist::kUniform, 300},
+                                          9);
+  HostEngine<uint32_t> engine(small_opts());
+  std::atomic<bool> cancel{true};  // pre-set: aborts on the first sweep
+  QueryControl ctl;
+  ctl.cancel = &cancel;
+  EXPECT_THROW(engine.solve(g, 0, ctl), Error);
+
+  // The abort is cleared by the next query's reset; the same warm engine
+  // must produce a correct result.
+  const auto res = engine.solve(g, 0);
+  EXPECT_TRUE(validate_distances(res, dijkstra(g, VertexId{0})).ok());
+}
+
+TEST(HostEngine, DeadlineThrowsDistinctTypeAndEngineSurvives) {
+  const auto g = make_grid_road<uint32_t>(60, 60, {WeightDist::kUniform, 500},
+                                          13);
+  HostEngine<uint32_t> engine(small_opts());
+  QueryControl ctl;
+  ctl.deadline_ms = 1e-3;  // expires on the first manager sweep
+  bool deadline_seen = false;
+  try {
+    engine.solve(g, 0, ctl);
+  } catch (const DeadlineError&) {
+    deadline_seen = true;
+  }
+  EXPECT_TRUE(deadline_seen);
+
+  const auto res = engine.solve(g, 0);
+  EXPECT_TRUE(validate_distances(res, dijkstra(g, VertexId{0})).ok());
+}
+
+TEST(HostEngine, ManagerInlineExecutionFiresAndStaysCorrect) {
+  // One worker + tiny chunks: the manager regularly finds sub-threshold
+  // leftovers with nobody idle, so the inline path gets real traffic.
+  AddsHostOptions opts;
+  opts.num_workers = 1;
+  opts.chunk_items = 16;
+  opts.manager_inline_items = 16;
+  const auto g = make_rmat<uint32_t>(10, 8, 0.57, 0.19, 0.19,
+                                     {WeightDist::kUniform, 400}, 17);
+  HostEngine<uint32_t> engine(opts);
+  const VertexId s = pick_source(g);
+  const auto res = engine.solve(g, s);
+  EXPECT_TRUE(validate_distances(res, dijkstra(g, s)).ok());
+  EXPECT_GT(res.work.inline_ranges, 0u);
+  EXPECT_GT(res.work.inline_items, 0u);
+  EXPECT_GE(res.work.inline_items, res.work.inline_ranges);
+
+  // And with the knob off, the counters stay silent.
+  opts.manager_inline_items = 0;
+  HostEngine<uint32_t> off(opts);
+  const auto res_off = off.solve(g, s);
+  EXPECT_TRUE(validate_distances(res_off, dijkstra(g, s)).ok());
+  EXPECT_EQ(res_off.work.inline_ranges, 0u);
+  EXPECT_EQ(res_off.work.inline_items, 0u);
+}
+
+TEST(HostEngine, FloatVariantReusesCorrectly) {
+  const auto g = make_grid_road<float>(20, 20, {WeightDist::kUniform, 100}, 3);
+  HostEngine<float> engine;
+  for (VertexId s : {VertexId{0}, VertexId{17}, VertexId{0}}) {
+    const auto res = engine.solve(g, s);
+    EXPECT_TRUE(validate_distances(res, dijkstra(g, s)).ok());
+  }
+}
+
+TEST(HostEngine, OneShotWrapperStillWorks) {
+  // adds_host() is now a thin wrapper over a throwaway engine; its
+  // semantics must be unchanged.
+  const auto g = make_grid_road<uint32_t>(15, 15, {WeightDist::kUniform, 50},
+                                          21);
+  const auto res = adds_host(g, 0, small_opts());
+  EXPECT_EQ(res.solver, "adds-host");
+  EXPECT_TRUE(validate_distances(res, dijkstra(g, VertexId{0})).ok());
+}
+
+}  // namespace
+}  // namespace adds

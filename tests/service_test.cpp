@@ -1,0 +1,338 @@
+// SsspService: admission control, result cache, deadlines/cancel, report
+// accounting, and concurrent dispatch over warm engines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/validate.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "service/result_cache.hpp"
+#include "service/sssp_service.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace adds {
+namespace {
+
+ServiceConfig small_service(uint32_t engines = 1) {
+  ServiceConfig cfg;
+  cfg.num_engines = engines;
+  cfg.engine.num_workers = 2;
+  cfg.engine.chunk_items = 32;
+  cfg.guarded_fallback = false;  // tests want the raw engine outcome
+  return cfg;
+}
+
+IntGraph test_graph(uint64_t seed = 1) {
+  return make_grid_road<uint32_t>(20, 20, {WeightDist::kUniform, 200}, seed);
+}
+
+void expect_valid(const QueryOutcome<uint32_t>& out, const IntGraph& g,
+                  VertexId s) {
+  ASSERT_EQ(out.status, QueryStatus::kOk);
+  ASSERT_NE(out.result, nullptr);
+  const auto rep = validate_distances(*out.result, dijkstra(g, s));
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+// ---- Result cache (unit) ---------------------------------------------------
+
+TEST(ResultCache, LruEvictsOldestAndCounts) {
+  ResultCache<uint32_t> cache(2);
+  const auto mk = [] {
+    auto r = std::make_shared<SsspResult<uint32_t>>();
+    return std::shared_ptr<const SsspResult<uint32_t>>(std::move(r));
+  };
+  const CacheKey a{1, 1, 1}, b{1, 2, 1}, c{1, 3, 1};
+  EXPECT_EQ(cache.lookup(a), nullptr);  // miss
+  cache.insert(a, mk());
+  cache.insert(b, mk());
+  EXPECT_NE(cache.lookup(a), nullptr);  // a is now most-recent
+  cache.insert(c, mk());                // evicts b (LRU)
+  EXPECT_EQ(cache.lookup(b), nullptr);
+  EXPECT_NE(cache.lookup(a), nullptr);
+  EXPECT_NE(cache.lookup(c), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().hits, 3u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  cache.invalidate_all();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(ResultCache, ZeroCapacityDisables) {
+  ResultCache<uint32_t> cache(0);
+  const CacheKey k{1, 1, 1};
+  cache.insert(k, std::make_shared<const SsspResult<uint32_t>>());
+  EXPECT_EQ(cache.lookup(k), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCache, OptionsDigestSeparatesConfigs) {
+  AddsHostOptions a, b;
+  b.delta = 42.0;
+  EXPECT_NE(options_digest(a), options_digest(b));
+  AddsHostOptions c;
+  EXPECT_EQ(options_digest(a), options_digest(c));
+}
+
+TEST(GraphFingerprint, SensitiveToWeightsAndShape) {
+  const auto g1 = test_graph(1);
+  const auto g2 = test_graph(2);  // same shape, different weights
+  EXPECT_NE(graph_fingerprint(g1), graph_fingerprint(g2));
+  EXPECT_EQ(graph_fingerprint(g1), graph_fingerprint(test_graph(1)));
+}
+
+// ---- Service ---------------------------------------------------------------
+
+TEST(SsspService, CacheHitServesSameResultAndCounts) {
+  const auto g = test_graph();
+  SsspService<uint32_t> svc(small_service());
+  svc.set_graph(g);
+
+  const auto first = svc.query(0);
+  EXPECT_FALSE(first.cache_hit);
+  expect_valid(first, g, 0);
+
+  const auto second = svc.query(0);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.result.get(), first.result.get());  // shared entry
+
+  const auto rep = svc.report();
+  EXPECT_EQ(rep.cache_hits, 1u);
+  EXPECT_EQ(rep.cache_misses, 1u);
+  EXPECT_EQ(rep.completed, 2u);
+  EXPECT_GT(rep.cache_hit_rate, 0.0);
+  EXPECT_EQ(rep.engine_queries, 1u);  // the hit never touched an engine
+}
+
+TEST(SsspService, BypassCacheComputesFresh) {
+  const auto g = test_graph();
+  SsspService<uint32_t> svc(small_service());
+  svc.set_graph(g);
+  svc.query(3);
+  QueryOptions q;
+  q.bypass_cache = true;
+  const auto out = svc.query(3, q);
+  EXPECT_FALSE(out.cache_hit);
+  expect_valid(out, g, 3);
+}
+
+TEST(SsspService, GraphSwapInvalidatesCache) {
+  const auto g1 = test_graph(1);
+  const auto g2 = test_graph(2);
+  SsspService<uint32_t> svc(small_service());
+  svc.set_graph(g1);
+  svc.query(5);
+  svc.set_graph(g2);
+  const auto rep1 = svc.report();
+  EXPECT_GE(rep1.cache_invalidations, 1u);
+  EXPECT_EQ(rep1.cache_entries, 0u);
+
+  // Same source, new graph: must be a miss AND the new graph's distances.
+  const auto out = svc.query(5);
+  EXPECT_FALSE(out.cache_hit);
+  expect_valid(out, g2, 5);
+}
+
+TEST(SsspService, CacheEvictionUnderTinyCapacity) {
+  ServiceConfig cfg = small_service();
+  cfg.cache_entries = 2;
+  const auto g = test_graph();
+  SsspService<uint32_t> svc(cfg);
+  svc.set_graph(g);
+  for (VertexId s = 0; s < 5; ++s) svc.query(s);
+  const auto rep = svc.report();
+  EXPECT_GE(rep.cache_evictions, 3u);
+  EXPECT_LE(rep.cache_entries, 2u);
+}
+
+TEST(SsspService, OverloadShedsWithTypedStatus) {
+  // One engine, queue depth 1, a graph slow enough that a burst cannot
+  // drain instantly: most of the burst must shed as kOverloaded.
+  ServiceConfig cfg = small_service(1);
+  cfg.max_queue_depth = 1;
+  const auto g = make_grid_road<uint32_t>(120, 120,
+                                          {WeightDist::kUniform, 500}, 3);
+  SsspService<uint32_t> svc(cfg);
+  svc.set_graph(g);
+
+  QueryOptions q;
+  q.bypass_cache = true;
+  std::vector<std::future<QueryOutcome<uint32_t>>> futs;
+  for (int i = 0; i < 16; ++i) futs.push_back(svc.submit(0, q));
+  uint32_t ok = 0, shed = 0;
+  for (auto& f : futs) {
+    auto out = f.get();
+    if (out.status == QueryStatus::kOk) {
+      ++ok;
+      ASSERT_NE(out.result, nullptr);
+    } else {
+      ASSERT_EQ(out.status, QueryStatus::kOverloaded);
+      EXPECT_EQ(out.result, nullptr);
+      ++shed;
+    }
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(shed, 0u);
+  const auto rep = svc.report();
+  EXPECT_EQ(rep.shed, shed);
+  EXPECT_EQ(rep.completed, ok);
+
+  // The synchronous API reports shedding as a typed exception.
+  bool typed = false;
+  for (int i = 0; i < 64 && !typed; ++i) {
+    // Re-fill the pipeline, then race one more in.
+    std::vector<std::future<QueryOutcome<uint32_t>>> refill;
+    for (int j = 0; j < 4; ++j) refill.push_back(svc.submit(0, q));
+    try {
+      svc.query(0, q);
+    } catch (const ServiceError& e) {
+      EXPECT_EQ(e.status(), QueryStatus::kOverloaded);
+      typed = true;
+    }
+    for (auto& f : refill) f.get();
+  }
+  EXPECT_TRUE(typed);
+}
+
+TEST(SsspService, DeadlineExpiredInQueueOrSolve) {
+  ServiceConfig cfg = small_service(1);
+  cfg.default_deadline_ms = 1e-3;  // everything expires immediately
+  const auto g = make_grid_road<uint32_t>(80, 80,
+                                          {WeightDist::kUniform, 300}, 7);
+  SsspService<uint32_t> svc(cfg);
+  svc.set_graph(g);
+  QueryOptions q;
+  q.bypass_cache = true;
+  const auto out = svc.submit(0, q).get();
+  EXPECT_EQ(out.status, QueryStatus::kDeadlineExpired);
+  EXPECT_EQ(svc.report().deadline_expired, 1u);
+
+  // Per-query override beats the default; the engine survived the abort.
+  q.deadline_ms = 60000.0;
+  const auto ok = svc.submit(0, q).get();
+  expect_valid(ok, g, 0);
+}
+
+TEST(SsspService, PreCancelledQueryReportsCancelled) {
+  const auto g = test_graph();
+  SsspService<uint32_t> svc(small_service());
+  svc.set_graph(g);
+  std::atomic<bool> cancel{true};
+  QueryOptions q;
+  q.cancel = &cancel;
+  q.bypass_cache = true;
+  const auto out = svc.submit(0, q).get();
+  EXPECT_EQ(out.status, QueryStatus::kCancelled);
+  EXPECT_EQ(svc.report().cancelled, 1u);
+}
+
+TEST(SsspService, ConcurrentMixedQueriesAllValidate) {
+  const auto g = make_rmat<uint32_t>(9, 8, 0.57, 0.19, 0.19,
+                                     {WeightDist::kUniform, 300}, 19);
+  ServiceConfig cfg = small_service(3);
+  cfg.max_queue_depth = 256;
+  SsspService<uint32_t> svc(cfg);
+  svc.set_graph(g);
+
+  // 48 queries over 8 sources from 4 submitting threads: engine
+  // concurrency, cache hits and repeated sources all at once.
+  constexpr int kThreads = 4, kPerThread = 12;
+  std::vector<std::future<QueryOutcome<uint32_t>>> futs(kThreads *
+                                                        kPerThread);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const VertexId s = VertexId((t * kPerThread + i) % 8);
+        futs[size_t(t * kPerThread + i)] = svc.submit(s);
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+
+  std::vector<SsspResult<uint32_t>> oracles;
+  for (VertexId s = 0; s < 8; ++s) oracles.push_back(dijkstra(g, s));
+  for (size_t i = 0; i < futs.size(); ++i) {
+    auto out = futs[i].get();
+    ASSERT_EQ(out.status, QueryStatus::kOk) << out.error;
+    const VertexId s = VertexId(i % 8);  // matches the submit rule above
+    EXPECT_TRUE(validate_distances(*out.result, oracles[s]).ok())
+        << "slot " << i;
+  }
+  const auto rep = svc.report();
+  EXPECT_EQ(rep.submitted, uint64_t(kThreads * kPerThread));
+  EXPECT_EQ(rep.completed, uint64_t(kThreads * kPerThread));
+  EXPECT_EQ(rep.failed, 0u);
+  EXPECT_GT(rep.cache_hits, 0u);  // 48 queries over 8 sources must hit
+  EXPECT_GE(rep.latency.count, uint64_t(kThreads * kPerThread));
+  EXPECT_GE(rep.engine_utilization, 0.0);
+  EXPECT_LE(rep.engine_utilization, 1.0);
+
+  // Every cached distance vector equals the oracle for its source.
+  for (VertexId s = 0; s < 8; ++s) {
+    const auto out = svc.query(s);
+    expect_valid(out, g, s);
+  }
+}
+
+TEST(SsspService, ReportTracksQueueDepthAndEngines) {
+  const auto g = test_graph();
+  ServiceConfig cfg = small_service(2);
+  SsspService<uint32_t> svc(cfg);
+  svc.set_graph(g);
+  svc.query(0);
+  const auto rep = svc.report();
+  EXPECT_EQ(rep.engines, 2u);
+  EXPECT_EQ(rep.queue_depth, 0u);
+  EXPECT_GT(rep.uptime_ms, 0.0);
+  EXPECT_GT(rep.engine_busy_ms, 0.0);
+  EXPECT_GT(rep.last_health.pool_blocks, 0u);
+  EXPECT_GT(rep.latency.p50, 0.0);
+  EXPECT_GE(rep.latency.p99, rep.latency.p50);
+}
+
+TEST(SsspService, ShutdownRejectsNewQueries) {
+  const auto g = test_graph();
+  SsspService<uint32_t> svc(small_service());
+  svc.set_graph(g);
+  svc.query(0);
+  svc.shutdown();
+  const auto out = svc.submit(1).get();
+  EXPECT_EQ(out.status, QueryStatus::kShutdown);
+  try {
+    svc.query(2);
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.status(), QueryStatus::kShutdown);
+  }
+  svc.shutdown();  // idempotent
+}
+
+TEST(SsspService, SubmitWithoutGraphThrows) {
+  SsspService<uint32_t> svc(small_service());
+  EXPECT_THROW(svc.submit(0), Error);
+  const auto g = test_graph();
+  svc.set_graph(g);
+  EXPECT_THROW(svc.submit(g.num_vertices()), Error);  // out of range
+}
+
+TEST(SsspService, FloatWeightsServeCorrectly) {
+  const auto g = make_grid_road<float>(15, 15, {WeightDist::kUniform, 100},
+                                       23);
+  ServiceConfig cfg;
+  cfg.num_engines = 1;
+  cfg.engine.num_workers = 2;
+  SsspService<float> svc(cfg);
+  svc.set_graph(g);
+  const auto out = svc.query(0);
+  ASSERT_EQ(out.status, QueryStatus::kOk);
+  EXPECT_TRUE(validate_distances(*out.result, dijkstra(g, VertexId{0})).ok());
+}
+
+}  // namespace
+}  // namespace adds

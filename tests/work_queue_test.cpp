@@ -179,5 +179,84 @@ TEST(WorkQueue, InFlightAccounting) {
   EXPECT_EQ(q.total_in_flight(), 0u);
 }
 
+// ---- Reset and reuse (docs/QUEUE_PROTOCOL.md §"Reset and reuse") ----------
+
+TEST(WorkQueueReset, RewindsToFreshStateAndFreesEveryBlock) {
+  BlockPool pool(32, 64);
+  WorkQueue q(pool, small_cfg());
+  q.set_delta(10.0);
+  q.ensure_capacity_all(16);
+  // Leave the queue mid-everything: pending items, an in-flight (read but
+  // not completed) range, and an advanced window.
+  for (uint32_t i = 0; i < 12; ++i) q.push(i, double(i) * 4.0);
+  Bucket& head = q.logical_bucket(0);
+  head.advance_read(head.read_ptr() + 1);
+  ASSERT_GT(pool.blocks_in_use(), 0u);
+
+  const uint32_t freed = q.reset();
+  EXPECT_GT(freed, 0u);
+  EXPECT_EQ(pool.blocks_in_use(), 0u);  // the reset-safety invariant
+  EXPECT_EQ(q.total_pending(), 0u);
+  EXPECT_EQ(q.total_in_flight(), 0u);
+  EXPECT_EQ(q.window_position(), 0u);
+  EXPECT_DOUBLE_EQ(q.base_dist(), 0.0);
+  EXPECT_DOUBLE_EQ(q.delta(), 1.0);
+
+  // The queue behaves exactly like a freshly constructed one.
+  q.set_delta(10.0);
+  q.ensure_capacity_all(16);
+  EXPECT_EQ(q.push(100, 5.0), 0u);
+  EXPECT_EQ(q.push(101, 15.0), 1u);
+  EXPECT_EQ(q.push(102, 999.0), 3u);
+  EXPECT_EQ(q.pending_of(0), 1u);
+  EXPECT_EQ(q.pending_of(1), 1u);
+  EXPECT_EQ(q.pending_of(3), 1u);
+  EXPECT_EQ(q.total_pending(), 3u);
+}
+
+TEST(WorkQueueReset, ClearsTheOtherwiseIrreversibleAbort) {
+  BlockPool pool(32, 64);
+  WorkQueue q(pool, small_cfg());
+  q.set_delta(10.0);
+  q.ensure_capacity_all(16);
+  q.push(1, 5.0);
+  q.request_abort();
+  ASSERT_TRUE(q.aborted());
+  ASSERT_EQ(q.push(2, 5.0), WorkQueue::kPushAborted);
+
+  q.reset();
+  EXPECT_FALSE(q.aborted());
+  EXPECT_EQ(pool.blocks_in_use(), 0u);
+  q.set_delta(10.0);
+  q.ensure_capacity_all(16);
+  EXPECT_EQ(q.push(3, 5.0), 0u);
+  EXPECT_EQ(q.total_pending(), 1u);
+}
+
+TEST(WorkQueueReset, ManyReuseCyclesNeverLeakBlocks) {
+  // Warm-engine pattern: push / drain / rotate / reset, repeatedly. Every
+  // cycle must hand the whole pool back; a single leaked block here
+  // compounds across a service's lifetime.
+  BlockPool pool(32, 64);
+  WorkQueue q(pool, small_cfg());
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    q.set_delta(5.0);
+    q.ensure_capacity_all(32);
+    for (uint32_t i = 0; i < 40; ++i) q.push(i, double(i % 20));
+    // Drain the head and rotate once, mid-stream like the manager does.
+    Bucket& head = q.logical_bucket(0);
+    const uint32_t bound = head.scan_written_bound();
+    const uint32_t n = bound - head.read_ptr();
+    head.advance_read(bound);
+    head.complete(n);
+    ASSERT_TRUE(q.head_drained());
+    q.advance_window();
+    q.reset();
+    ASSERT_EQ(pool.blocks_in_use(), 0u) << "cycle " << cycle;
+    ASSERT_EQ(pool.free_blocks(), pool.num_blocks()) << "cycle " << cycle;
+    ASSERT_EQ(q.window_position(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace adds
