@@ -50,6 +50,16 @@ adds_add_bench(soak_suite)
 add_test(NAME soak_smoke COMMAND soak_suite --smoke --seed=42)
 set_tests_properties(soak_smoke PROPERTIES LABELS "perf;soak" TIMEOUT 60)
 
+# Service-level chaos: faults wedge k of 3 pooled engines mid-solve; the
+# supervisor must quarantine + rebuild them while the pool keeps answering,
+# and every post-recovery serve validates against Dijkstra. Separate ctest
+# entry so CI's supervisor-chaos job runs exactly this phase under a hard
+# wall-clock cap.
+add_test(NAME supervisor_chaos_smoke
+  COMMAND soak_suite --service-chaos --smoke --seed=42)
+set_tests_properties(supervisor_chaos_smoke
+  PROPERTIES LABELS "perf;soak" TIMEOUT 120)
+
 # Serving-layer benchmark: warm-engine vs cold-start latency, result-cache
 # hit rate and admission-control shedding, all Dijkstra-validated (emits
 # BENCH_service.json). Fixed generator seeds; the smoke tier doubles as the

@@ -16,9 +16,16 @@
 // SplitMix64 stream, so a failure line like `run=17 seed=0x...` replays
 // exactly. The summary table counts outcomes; the process exits nonzero on
 // any contract violation.
+//
+// --service-chaos switches to the service-level phase (ISSUE 5): faults are
+// injected into a pooled SsspService mid-solve and the supervisor must
+// quarantine + rebuild the wedged engines while the pool keeps answering —
+// zero hangs, zero wrong distances, recovery visible in ServiceReport and
+// reconstructible from the flight-recorder dump.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +35,7 @@
 #include "core/validate.hpp"
 #include "graph/analysis.hpp"
 #include "graph/generators.hpp"
+#include "service/sssp_service.hpp"
 #include "sssp/adds.hpp"
 #include "sssp/dijkstra.hpp"
 #include "util/event.hpp"
@@ -264,6 +272,206 @@ std::string run_one(const SoakConfig& c, Tally& t) {
   return violation;
 }
 
+// ---------------------------------------------------------------------------
+// Service-level chaos: supervision under fire
+// ---------------------------------------------------------------------------
+
+void dump_flight(const SsspService<uint32_t>& svc) {
+  const auto events = svc.flight_dump();
+  std::fprintf(stderr, "flight recorder (%zu events):\n", events.size());
+  for (const auto& e : events)
+    std::fprintf(stderr, "  %s\n", format_flight_event(e).c_str());
+}
+
+template <typename Pred>
+bool poll_until(Pred&& pred, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+bool flight_has(const std::vector<StampedFlightEvent>& events, FlightKind k) {
+  for (const auto& e : events)
+    if (e.ev.kind == uint16_t(k)) return true;
+  return false;
+}
+
+struct SupervisionTotals {
+  uint64_t kills = 0;
+  uint64_t quarantines = 0;
+  uint64_t rebuilds = 0;
+};
+
+/// One round: arm faults, burst queries at a 3-engine service, require the
+/// supervisor to kill/quarantine/rebuild the wedged engines while the pool
+/// keeps answering; then disarm and require full recovery plus clean
+/// serves. Returns the number of contract violations (and dumps the flight
+/// recorder on the first one).
+uint64_t service_chaos_round(uint64_t round, uint64_t seed, bool smoke,
+                             bool verbose, Tally& t,
+                             SupervisionTotals& totals) {
+  const uint64_t side = smoke ? 28 : 36;
+  GraphSpec spec;
+  spec.name = "grid_" + std::to_string(side);
+  spec.family = GraphFamily::kGridRoad;
+  spec.scale = side;
+  spec.a = double(side);
+  spec.weights = {WeightDist::kUniform, 1000, 1};
+  spec.seed = seed;
+  const auto g = generate_graph<uint32_t>(spec);
+
+  constexpr VertexId kSources = 6;
+  std::vector<SsspResult<uint32_t>> oracles;
+  for (VertexId s = 0; s < kSources; ++s) oracles.push_back(dijkstra(g, s));
+
+  ServiceConfig cfg;
+  cfg.num_engines = 3;
+  cfg.max_queue_depth = 128;
+  cfg.cache_entries = 0;      // every query must touch an engine
+  cfg.guarded_fallback = false;  // the supervisor IS the recovery story
+  cfg.engine.num_workers = 2;
+  cfg.engine.chunk_items = 32;
+  cfg.supervisor.tick_ms = 1.0;
+  cfg.supervisor.wedge_ms = 120.0;
+  cfg.supervisor.quarantine_after_errors = 1;
+  cfg.supervisor.probe_deadline_ms = 500.0;
+  cfg.supervisor.max_probe_failures = 100;  // recovery, not retirement
+  SsspService<uint32_t> svc(cfg);
+  svc.set_graph(g);
+
+  uint64_t violations = 0;
+  const auto violation = [&](const std::string& what) {
+    ++violations;
+    std::fprintf(stderr, "VIOLATION service-chaos round=%llu seed=0x%llx: %s\n",
+                 (unsigned long long)round, (unsigned long long)seed,
+                 what.c_str());
+    if (violations == 1) dump_flight(svc);
+  };
+
+  // Phase A — chaos burst. A limited budget of dropped publications wedges
+  // k of the 3 engines mid-solve; stalls add scheduling noise. Every
+  // future must resolve (hang = violation); every kOk must match Dijkstra.
+  uint64_t ok_during = 0, failed_during = 0;
+  {
+    fault::FaultPlan plan(seed);
+    plan.set(fault::Site::kPushDropBeforePublish, {1.0, /*max_fires=*/2, 0});
+    plan.set(fault::Site::kWorkerStall, {0.05, ~0ull, 1000});
+    fault::FaultScope scope(plan);
+
+    const int burst = smoke ? 24 : 48;
+    QueryOptions q;
+    std::vector<std::future<QueryOutcome<uint32_t>>> futs;
+    for (int i = 0; i < burst; ++i)
+      futs.push_back(svc.submit(VertexId(i % kSources), q));
+    for (int i = 0; i < burst; ++i) {
+      if (futs[size_t(i)].wait_for(std::chrono::seconds(60)) !=
+          std::future_status::ready) {
+        violation("query hung under faults (future never resolved)");
+        return violations;  // cannot safely continue this round
+      }
+      const auto out = futs[size_t(i)].get();
+      if (out.status == QueryStatus::kOk) {
+        ++ok_during;
+        if (!validate_distances(*out.result,
+                                oracles[size_t(i) % kSources]).ok())
+          violation("chaos-phase result diverged from Dijkstra oracle");
+      } else {
+        ++failed_during;  // typed failure under injected faults: accepted
+      }
+    }
+    t.fault_fires += plan.total_fires();
+  }
+  if (ok_during == 0)
+    violation("pool stopped answering during the chaos burst");
+
+  // Phase B — recovery. With faults disarmed the rebuilder must return
+  // every quarantined slot to service: full availability, nothing retired.
+  if (!poll_until(
+          [&] {
+            const auto rep = svc.report();
+            return rep.engines_available == cfg.num_engines;
+          },
+          20000))
+    violation("engines never returned to full availability after disarm");
+
+  // Phase C — clean serves. Every source must now produce a validated
+  // fresh result.
+  for (VertexId s = 0; s < kSources; ++s) {
+    const auto out = svc.submit(s).get();
+    if (out.status != QueryStatus::kOk) {
+      violation("post-recovery query failed: " + out.error);
+      continue;
+    }
+    if (!validate_distances(*out.result, oracles[s]).ok())
+      violation("post-recovery result diverged from Dijkstra oracle");
+    ++t.ok;
+  }
+
+  const auto rep = svc.report();
+  totals.kills += rep.supervisor_kills;
+  totals.quarantines += rep.quarantines;
+  totals.rebuilds += rep.rebuilds;
+  if (verbose)
+    std::fprintf(stderr,
+                 "round=%llu kills=%llu quarantines=%llu rebuilds=%llu "
+                 "ok_during=%llu failed_during=%llu flight_events=%llu\n",
+                 (unsigned long long)round,
+                 (unsigned long long)rep.supervisor_kills,
+                 (unsigned long long)rep.quarantines,
+                 (unsigned long long)rep.rebuilds,
+                 (unsigned long long)ok_during,
+                 (unsigned long long)failed_during,
+                 (unsigned long long)rep.flight_events);
+
+  // The episode must be reconstructible from the flight recorder.
+  const auto events = svc.flight_dump();
+  if (rep.quarantines > 0 &&
+      (!flight_has(events, FlightKind::kEngineQuarantined) ||
+       !flight_has(events, FlightKind::kEngineRecovered)))
+    violation("flight recorder is missing the quarantine/recovery events");
+  return violations;
+}
+
+int run_service_chaos(uint64_t master_seed, uint64_t rounds, bool smoke,
+                      bool verbose) {
+  SplitMix64 rng{master_seed};
+  Tally tally;
+  SupervisionTotals totals;
+  for (uint64_t r = 0; r < rounds; ++r)
+    tally.violations +=
+        service_chaos_round(r, rng.next(), smoke, verbose, tally, totals);
+
+  // The suite's reason to exist: supervision must actually have engaged.
+  // A plan that never wedged an engine proves nothing about recovery.
+  if (totals.quarantines == 0 || totals.rebuilds == 0) {
+    ++tally.violations;
+    std::fprintf(stderr,
+                 "VIOLATION service-chaos: supervision never engaged "
+                 "(quarantines=%llu rebuilds=%llu)\n",
+                 (unsigned long long)totals.quarantines,
+                 (unsigned long long)totals.rebuilds);
+  }
+
+  TextTable table("Service chaos (" + std::to_string(rounds) +
+                  " rounds, seed " + std::to_string(master_seed) + ")");
+  table.set_header({"outcome", "count"});
+  table.add_row({"validated post-recovery serves", std::to_string(tally.ok)});
+  table.add_row({"contract violations", std::to_string(tally.violations)});
+  table.add_row({"fault fires", std::to_string(tally.fault_fires)});
+  table.add_row({"supervisor kills", std::to_string(totals.kills)});
+  table.add_row({"quarantines", std::to_string(totals.quarantines)});
+  table.add_row({"rebuilds", std::to_string(totals.rebuilds)});
+  table.add_footer(
+      "faults wedge k of 3 pooled engines mid-solve; the supervisor must "
+      "quarantine + rebuild while the pool keeps answering");
+  table.print();
+  return tally.violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -272,6 +480,9 @@ int main(int argc, char** argv) {
                 "(faults x tiny pools x cancels x deadlines)");
   cli.add_flag("smoke", "short CI tier (fits the 60s soak_smoke budget)");
   cli.add_flag("verbose", "print each run's drawn configuration to stderr");
+  cli.add_flag("service-chaos",
+               "service-level phase: fault k of N pooled engines mid-solve "
+               "and require supervised quarantine + rebuild + clean serves");
   cli.add_option("runs", "number of randomized runs (0: tier default)", "0");
   cli.add_option("seed", "master seed for the configuration stream", "42");
   if (!cli.parse(argc, argv)) return 0;
@@ -279,6 +490,11 @@ int main(int argc, char** argv) {
   const bool smoke = cli.flag("smoke");
   const uint64_t master_seed = uint64_t(cli.integer("seed"));
   uint64_t runs = uint64_t(cli.integer("runs"));
+
+  if (cli.flag("service-chaos")) {
+    if (runs == 0) runs = smoke ? 2 : 6;
+    return run_service_chaos(master_seed, runs, smoke, cli.flag("verbose"));
+  }
   if (runs == 0) runs = smoke ? 40 : 400;
 
   SplitMix64 rng{master_seed};

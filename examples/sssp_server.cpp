@@ -67,6 +67,8 @@ int main(int argc, char** argv) {
   cli.add_option("queue-depth", "admission queue bound", "64");
   cli.add_option("cache-entries", "result cache capacity (0 = off)", "128");
   cli.add_option("deadline-ms", "default per-query deadline (0 = none)", "0");
+  cli.add_flag("dump-flightrec",
+               "dump the service flight recorder to stderr after the run");
   if (!cli.parse(argc, argv)) return 0;
 
   const IntGraph g = load_graph(cli);
@@ -140,5 +142,22 @@ int main(int argc, char** argv) {
                (unsigned long long)rep.failed, rep.cache_hit_rate,
                (unsigned long long)rep.cache_hits, rep.latency.p50,
                rep.latency.p99, rep.engine_utilization);
+  std::fprintf(stderr,
+               "health %s | engines %u available / %u retired | "
+               "kills %llu quarantines %llu rebuilds %llu | stale hits %llu\n",
+               service_health_name(rep.health), rep.engines_available,
+               rep.engines_retired, (unsigned long long)rep.supervisor_kills,
+               (unsigned long long)rep.quarantines,
+               (unsigned long long)rep.rebuilds,
+               (unsigned long long)rep.stale_hits);
+
+  if (cli.flag("dump-flightrec")) {
+    // The postmortem view: the same ring the service dumps on engine
+    // retirement, printed oldest-first so the run reads as a timeline.
+    const auto events = svc.flight_dump();
+    std::fprintf(stderr, "flight recorder (%zu events):\n", events.size());
+    for (const auto& e : events)
+      std::fprintf(stderr, "  %s\n", format_flight_event(e).c_str());
+  }
   return 0;
 }

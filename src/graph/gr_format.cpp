@@ -34,6 +34,16 @@ CsrGraph<W> read_gr(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   ADDS_REQUIRE(f != nullptr, "cannot open GR file: " + path);
 
+  // Actual file size, measured before any allocation: the header's node
+  // and edge counts size three large vectors below, and a corrupted count
+  // must fail with a typed error, not an allocation bomb.
+  ADDS_REQUIRE(std::fseek(f.get(), 0, SEEK_END) == 0,
+               "cannot seek GR file: " + path);
+  const long file_size_l = std::ftell(f.get());
+  ADDS_REQUIRE(file_size_l >= 0, "cannot size GR file: " + path);
+  const uint64_t file_size = uint64_t(file_size_l);
+  std::rewind(f.get());
+
   uint64_t header[4];
   read_exact(f.get(), header, sizeof(header), "header");
   const uint64_t version = header[0];
@@ -44,6 +54,14 @@ CsrGraph<W> read_gr(const std::string& path) {
   ADDS_REQUIRE(edge_ty_size == sizeof(W),
                "GR edge data size mismatch in " + path);
   ADDS_REQUIRE(num_nodes < kInvalidVertex, "GR node count too large");
+  ADDS_REQUIRE(num_edges < (uint64_t(1) << 56), "GR edge count too large");
+  const uint64_t expected = sizeof(header) + num_nodes * sizeof(uint64_t) +
+                            num_edges * sizeof(uint32_t) +
+                            (num_edges % 2 != 0 ? sizeof(uint32_t) : 0) +
+                            num_edges * sizeof(W);
+  ADDS_REQUIRE(file_size >= expected,
+               "GR header inconsistent with file size (truncated?) in " +
+                   path);
 
   std::vector<uint64_t> out_idx(num_nodes);
   read_exact(f.get(), out_idx.data(), num_nodes * sizeof(uint64_t), "outIdx");
@@ -59,11 +77,24 @@ CsrGraph<W> read_gr(const std::string& path) {
   std::vector<W> weights(num_edges);
   read_exact(f.get(), weights.data(), num_edges * sizeof(W), "edgeData");
 
-  // GR stores end offsets; CsrGraph wants a leading 0.
+  // GR stores end offsets; CsrGraph wants a leading 0. The offsets must be
+  // non-decreasing and bounded by the edge count, or downstream degree
+  // arithmetic (edge_end - edge_begin on unsigned types) underflows into
+  // out-of-bounds CSR walks.
   std::vector<EdgeIndex> offsets(num_nodes + 1, 0);
-  for (uint64_t i = 0; i < num_nodes; ++i) offsets[i + 1] = out_idx[i];
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    ADDS_REQUIRE(out_idx[i] >= offsets[i] && out_idx[i] <= num_edges,
+                 "GR outIdx not monotonic in " + path);
+    offsets[i + 1] = out_idx[i];
+  }
   ADDS_REQUIRE(offsets.back() == num_edges,
                "GR outIdx inconsistent with edge count in " + path);
+  // Every edge target must name a vertex of this graph: a single
+  // out-of-range id would be an out-of-bounds distance-array access in
+  // every solver that relaxes the edge.
+  for (uint64_t e = 0; e < num_edges; ++e)
+    ADDS_REQUIRE(targets[e] < num_nodes,
+                 "GR edge target out of range in " + path);
 
   return CsrGraph<W>(std::move(offsets), std::move(targets),
                      std::move(weights));

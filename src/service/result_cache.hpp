@@ -128,6 +128,25 @@ class ResultCache {
     lru_.clear();
   }
 
+  /// Drops only the entries of one graph fingerprint. The brownout stale
+  /// window uses this: set_graph keeps the outgoing generation servable
+  /// for a bounded time, then the supervisor purges exactly that
+  /// generation when the window closes. O(entries); runs off the hot path.
+  size_t invalidate_fp(uint64_t graph_fp) {
+    size_t dropped = 0;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->key.graph_fp == graph_fp) {
+        map_.erase(it->key);
+        it = lru_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    stats_.invalidations += dropped;
+    return dropped;
+  }
+
  private:
   struct Entry {
     CacheKey key;

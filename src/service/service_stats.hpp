@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "service/supervisor.hpp"
 #include "sssp/result.hpp"
 #include "util/stats.hpp"
 
@@ -68,6 +69,17 @@ class LatencyRecorder {
   std::vector<double> samples_;
 };
 
+/// Per-engine supervision snapshot inside ServiceReport. `state ==
+/// EngineState::kRetired` is the typed permanently-out signal.
+struct EngineStatus {
+  EngineState state = EngineState::kIdle;
+  uint64_t queries = 0;        // dispatched to this slot
+  uint64_t kills = 0;          // supervisor interrupts delivered
+  uint64_t quarantines = 0;    // times pulled from service
+  uint64_t rebuilds = 0;       // reconstructions completed
+  uint32_t probe_failures = 0; // consecutive failed post-rebuild probes
+};
+
 /// Point-in-time snapshot returned by SsspService::report().
 struct ServiceReport {
   // Admission and completion counters.
@@ -102,6 +114,21 @@ struct ServiceReport {
   // Pool/queue health of the most recent engine-executed query — the
   // per-run QueueHealth surfaced at service level.
   QueueHealth last_health;
+
+  // Supervision and degradation (all zero / kHealthy / empty when the
+  // supervisor is disabled).
+  ServiceHealth health = ServiceHealth::kHealthy;
+  uint64_t health_transitions = 0;
+  uint32_t engines_available = 0;  // kIdle + kBusy right now
+  uint32_t engines_retired = 0;    // permanently out (typed kEngineRetired)
+  uint64_t supervisor_kills = 0;   // wedged queries interrupted
+  uint64_t quarantines = 0;        // slot pulls (all engines, lifetime)
+  uint64_t rebuilds = 0;           // engine reconstructions completed
+  uint64_t probe_failures = 0;     // failed post-rebuild probes, lifetime
+  uint64_t stale_hits = 0;         // brownout bounded-staleness serves
+  uint64_t brownout_clamped = 0;   // deadlines clamped by brownout
+  uint64_t flight_events = 0;      // lifetime flight-recorder events
+  std::vector<EngineStatus> engine_status;  // one entry per engine slot
 };
 
 }  // namespace adds

@@ -10,6 +10,8 @@
 
 #include "core/solver.hpp"
 #include "service/result_cache.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace adds {
@@ -26,6 +28,23 @@ const char* query_status_name(QueryStatus s) noexcept {
   return "?";
 }
 
+// Thread model (supervisor enabled):
+//
+//   N dispatchers   one per engine slot; run queries while their slot is
+//                   kIdle, park while it is quarantined/rebuilding, exit
+//                   when it retires or the service drains.
+//   1 supervisor    ticks every tick_ms: wedge detection (interrupt + mark
+//                   for quarantine), health-band updates, shedding the
+//                   backlog when no engine is available, closing the stale
+//                   cache window.
+//   1 rebuilder     owns quarantined slots: destroys the engine (joins its
+//                   workers), constructs a fresh one, runs a probe query,
+//                   and either returns the slot to service or retires it.
+//
+// All slot state transitions happen under `m`. The only cross-thread
+// engine touch outside `m` is HostEngine::interrupt(), which is designed
+// for exactly that, and the rebuilder's destroy/construct/probe of a slot
+// it owns (state kRebuilding keeps everyone else away).
 template <WeightType W>
 struct SsspService<W>::Impl {
   struct Pending {
@@ -41,37 +60,58 @@ struct SsspService<W>::Impl {
   };
 
   ServiceConfig cfg;
+  const bool supervise;
   WallTimer uptime;
   uint64_t config_digest = 0;
 
   mutable std::mutex m;
-  std::condition_variable cv;  // dispatchers park here for work
+  std::condition_variable cv;      // dispatchers park here for work
+  std::condition_variable sup_cv;  // supervisor tick / shutdown wake
+  std::condition_variable rb_cv;   // rebuilder parks here
   std::deque<std::unique_ptr<Pending>> waiting;
+  std::deque<uint32_t> rebuild_queue;  // slot indices awaiting rebuild
   bool stopping = false;
+  std::atomic<bool> stop_flag{false};  // mirrors `stopping` for probes
   std::shared_ptr<const CsrGraph<W>> graph;
   uint64_t graph_fp = 0;
+  // Brownout stale window: entries of `stale_fp` stay servable until
+  // `stale_deadline_ms` (uptime clock), then the supervisor purges them.
+  uint64_t stale_fp = 0;
+  double stale_deadline_ms = 0.0;
   ResultCache<W> cache;
   LatencyRecorder recorder;
+  HealthGovernor governor;
+  FlightRecorder flightrec;
   uint64_t submitted = 0;
   uint64_t completed = 0;
   uint64_t failed = 0;
   uint64_t shed = 0;
   uint64_t cancelled = 0;
   uint64_t deadline_expired = 0;
+  uint64_t stale_hits = 0;
+  uint64_t brownout_clamped = 0;
+  uint64_t probe_failures_total = 0;
   uint32_t peak_depth = 0;
   uint64_t engine_queries = 0;
   double engine_busy_ms = 0.0;
   QueueHealth last_health;
 
+  std::vector<EngineSupervision> sup;
   std::vector<std::unique_ptr<HostEngine<W>>> engines;
   std::vector<std::thread> dispatchers;
+  std::thread supervisor_thread;
+  std::thread rebuilder_thread;
   std::mutex join_m;
   bool joined = false;
 
   explicit Impl(const ServiceConfig& c)
       : cfg(c),
+        supervise(c.supervisor.enabled),
         config_digest(options_digest(c.engine)),
-        cache(c.cache_entries) {
+        cache(c.cache_entries),
+        governor(c.supervisor),
+        flightrec(c.supervisor.flight_recorder_events),
+        sup(c.num_engines) {
     ADDS_REQUIRE(cfg.num_engines >= 1, "sssp-service: need at least one engine");
     engines.reserve(cfg.num_engines);
     dispatchers.reserve(cfg.num_engines);
@@ -79,28 +119,112 @@ struct SsspService<W>::Impl {
       engines.push_back(std::make_unique<HostEngine<W>>(cfg.engine));
     for (uint32_t i = 0; i < cfg.num_engines; ++i)
       dispatchers.emplace_back([this, i] { dispatch_loop(i); });
+    if (supervise) {
+      supervisor_thread = std::thread([this] { supervisor_loop(); });
+      rebuilder_thread = std::thread([this] { rebuild_loop(); });
+    }
   }
 
-  /// One dispatcher per engine: pulls admitted queries and runs them on
-  /// its warm engine until shutdown drains the queue.
-  void dispatch_loop(uint32_t engine_idx) {
-    HostEngine<W>& engine = *engines[engine_idx];
+  // --- flight recorder -----------------------------------------------------
+
+  void record(FlightKind kind, uint16_t engine_idx, uint64_t b, uint32_t a = 0,
+              uint32_t c = 0) noexcept {
+    FlightEvent e;
+    e.t_ms = float(uptime.elapsed_ms());
+    e.kind = uint16_t(kind);
+    e.engine = engine_idx;
+    e.a = a;
+    e.c = c;
+    e.b = b;
+    flightrec.record(e);
+  }
+
+  void record_query(FlightKind kind, const Pending& p,
+                    uint16_t engine_idx = FlightEvent::kNoEngine,
+                    uint32_t c = 0) noexcept {
+    record(kind, engine_idx, p.id, uint32_t(p.source), c);
+  }
+
+  /// On retirement the flight recorder *is* the postmortem: dump it to the
+  /// log right there, while the interleaving that killed the engine is
+  /// still in the ring.
+  void dump_flight_to_log(const char* why) {
+    const auto events = flightrec.dump();
+    ADDS_LOG_WARN("sssp-service: flight recorder dump (%s), %zu events",
+                  why, events.size());
+    for (const auto& e : events)
+      ADDS_LOG_WARN("  %s", format_flight_event(e).c_str());
+  }
+
+  // --- engine availability -------------------------------------------------
+
+  uint32_t count_available() const noexcept {  // call under m
+    uint32_t n = 0;
+    for (const auto& s : sup)
+      n += s.state == EngineState::kIdle || s.state == EngineState::kBusy;
+    return n;
+  }
+
+  uint32_t count_retired() const noexcept {  // call under m
+    uint32_t n = 0;
+    for (const auto& s : sup) n += s.state == EngineState::kRetired;
+    return n;
+  }
+
+  // --- dispatcher ----------------------------------------------------------
+
+  /// One dispatcher per engine slot. The predicate is slot-local: a
+  /// quarantined slot's dispatcher parks (its engine is being rebuilt
+  /// under it) and resumes when the rebuilder returns the slot to kIdle.
+  void dispatch_loop(uint32_t i) {
     for (;;) {
       std::unique_ptr<Pending> p;
       {
         std::unique_lock<std::mutex> lk(m);
-        cv.wait(lk, [this] { return stopping || !waiting.empty(); });
-        if (waiting.empty()) return;  // stopping && drained
+        cv.wait(lk, [&] {
+          const EngineState st = sup[i].state;
+          return st == EngineState::kRetired ||
+                 (st == EngineState::kIdle && !waiting.empty()) || stopping;
+        });
+        const EngineState st = sup[i].state;
+        if (st == EngineState::kRetired) return;
+        if (st != EngineState::kIdle) {
+          // Quarantined/rebuilding while stopping: the rebuilder abandons
+          // in-flight rebuilds at shutdown, so there is nothing to wait
+          // for — the post-join sweep fails any leftover queries.
+          if (stopping) return;
+          continue;
+        }
+        if (waiting.empty()) {
+          if (stopping) return;
+          continue;
+        }
         p = std::move(waiting.front());
         waiting.pop_front();
+        EngineSupervision& s = sup[i];
+        s.state = EngineState::kBusy;
+        s.kill_reason = KillReason::kNone;
+        s.active_query = p->id;
+        s.busy_since_ms = uptime.elapsed_ms();
+        s.pulse_seen = s.beacon.pulse.load(std::memory_order_relaxed);
+        s.last_pulse_ms = s.busy_since_ms;
+        ++s.queries;
       }
-      run_one(engine, std::move(p));
+      run_one(i, std::move(p));
+      {
+        std::lock_guard<std::mutex> lk(m);
+        // run_one may have quarantined the slot; only a still-busy slot
+        // returns to idle here.
+        if (sup[i].state == EngineState::kBusy)
+          sup[i].state = EngineState::kIdle;
+      }
     }
   }
 
-  void run_one(HostEngine<W>& engine, std::unique_ptr<Pending> p) {
+  void run_one(uint32_t engine_idx, std::unique_ptr<Pending> p) {
     QueryOutcome<W> out;
     out.query_id = p->id;
+    out.graph_fp = p->key.graph_fp;
     const double start_ms = uptime.elapsed_ms();
     out.queue_ms = start_ms - p->submit_ms;
 
@@ -125,6 +249,24 @@ struct SsspService<W>::Impl {
           case QueryStatus::kOverloaded:
           case QueryStatus::kShutdown: break;  // not produced here
         }
+      }
+      switch (st) {
+        case QueryStatus::kOk:
+          record_query(out.cache_hit ? FlightKind::kQueryCacheHit
+                                     : FlightKind::kQueryDone,
+                       *p, uint16_t(engine_idx),
+                       out.cache_hit ? 1 : uint32_t(out.latency_ms * 1000.0));
+          break;
+        case QueryStatus::kFailed:
+          record_query(FlightKind::kQueryFailed, *p, uint16_t(engine_idx));
+          break;
+        case QueryStatus::kCancelled:
+          record_query(FlightKind::kQueryCancelled, *p, uint16_t(engine_idx));
+          break;
+        case QueryStatus::kDeadlineExpired:
+          record_query(FlightKind::kQueryDeadline, *p, uint16_t(engine_idx));
+          break;
+        default: break;
       }
       p->promise.set_value(std::move(out));
     };
@@ -159,6 +301,7 @@ struct SsspService<W>::Impl {
     ctl.cancel = p->q.cancel;
     ctl.deadline_ms =
         p->deadline_ms > 0.0 ? p->deadline_ms - out.queue_ms : 0.0;
+    ctl.beacon = supervise ? &sup[engine_idx].beacon : nullptr;
 
     const auto publish_ok = [&](SsspResult<W>&& r) {
       auto sp = std::make_shared<const SsspResult<W>>(std::move(r));
@@ -171,18 +314,70 @@ struct SsspService<W>::Impl {
       finish(QueryStatus::kOk);
     };
 
+    const uint64_t fault_fires_before = fault::total_fires();
+    const auto note_faults = [&] {
+      const uint64_t delta = fault::total_fires() - fault_fires_before;
+      if (delta > 0)
+        record_query(FlightKind::kFaultObserved, *p, uint16_t(engine_idx),
+                     uint32_t(delta));
+    };
+
     try {
-      SsspResult<W> r = engine.solve(*p->graph, p->source, ctl);
+      SsspResult<W> r = engines[engine_idx]->solve(*p->graph, p->source, ctl);
       charge_engine();
+      note_faults();
+      if (supervise) {
+        std::lock_guard<std::mutex> lk(m);
+        EngineSupervision& s = sup[engine_idx];
+        s.consecutive_errors = 0;
+        // A kill that raced a clean completion: the engine proved alive,
+        // ignore the mark. The stray abort flag is cleared by the next
+        // solve's queue reset.
+        s.kill_reason = KillReason::kNone;
+      }
       return publish_ok(std::move(r));
     } catch (const DeadlineError&) {
       charge_engine();
+      note_faults();
       return finish(QueryStatus::kDeadlineExpired);
     } catch (const Error& e) {
       charge_engine();
+      note_faults();
       if (cancelled_now()) return finish(QueryStatus::kCancelled);
-      if (!cfg.guarded_fallback) {
-        out.error = e.what();
+
+      bool quarantined_now = false;
+      ServiceHealth health_now = ServiceHealth::kHealthy;
+      if (supervise) {
+        std::lock_guard<std::mutex> lk(m);
+        EngineSupervision& s = sup[engine_idx];
+        const bool killed = s.kill_reason == KillReason::kWedge;
+        if (!killed) ++s.consecutive_errors;
+        s.kill_reason = KillReason::kNone;
+        if (killed ||
+            s.consecutive_errors >= cfg.supervisor.quarantine_after_errors) {
+          s.state = EngineState::kQuarantined;
+          s.consecutive_errors = 0;
+          ++s.quarantines;
+          record(FlightKind::kEngineQuarantined, uint16_t(engine_idx), p->id,
+                 killed ? 0 : s.consecutive_errors);
+          rebuild_queue.push_back(engine_idx);
+          quarantined_now = true;
+        }
+        health_now = governor.state();
+      }
+      if (quarantined_now) rb_cv.notify_one();
+
+      // Guarded fallback is a luxury of a healthy service: in brownout the
+      // one-shot runtime (fresh threads, fresh pool, retries) would pile
+      // load onto a service already degraded — fail typed instead.
+      const bool allow_fallback =
+          cfg.guarded_fallback &&
+          (!supervise || health_now == ServiceHealth::kHealthy);
+      if (!allow_fallback) {
+        out.error = quarantined_now
+                        ? std::string("engine quarantined after failure: ") +
+                              e.what()
+                        : e.what();
         return finish(QueryStatus::kFailed);
       }
       // The warm engine gave up (e.g. a pool wedge beyond governance, or
@@ -202,6 +397,162 @@ struct SsspService<W>::Impl {
       }
     }
   }
+
+  // --- supervisor ----------------------------------------------------------
+
+  void shed_waiting_locked(const char* why, FlightKind kind) {
+    const bool is_shutdown = kind == FlightKind::kShutdownDrain;
+    while (!waiting.empty()) {
+      std::unique_ptr<Pending> p = std::move(waiting.front());
+      waiting.pop_front();
+      if (!is_shutdown) ++shed;
+      QueryOutcome<W> out;
+      out.status = is_shutdown ? QueryStatus::kShutdown
+                               : QueryStatus::kOverloaded;
+      out.query_id = p->id;
+      out.graph_fp = p->key.graph_fp;
+      out.latency_ms = uptime.elapsed_ms() - p->submit_ms;
+      out.error = why;
+      record_query(kind, *p);
+      p->promise.set_value(std::move(out));
+    }
+  }
+
+  void supervisor_loop() {
+    std::unique_lock<std::mutex> lk(m);
+    while (!stopping) {
+      const double now = uptime.elapsed_ms();
+
+      // Wedge detection: a busy slot whose pulse froze gets its query
+      // killed via the engine's own abort path. The dispatcher observes
+      // the thrown abort, sees kill_reason, and quarantines the slot.
+      for (uint32_t i = 0; i < sup.size(); ++i) {
+        EngineSupervision& s = sup[i];
+        if (s.state != EngineState::kBusy) continue;
+        if (s.kill_reason != KillReason::kNone) continue;  // already shot
+        if (beacon_wedged(s, now, cfg.supervisor.wedge_ms)) {
+          s.kill_reason = KillReason::kWedge;
+          ++s.kills;
+          record(FlightKind::kEngineWedged, uint16_t(i), s.active_query,
+                 uint32_t(now - std::max(s.last_pulse_ms, s.busy_since_ms)));
+          // interrupt() is cheap (sticky abort + wake) and safe to call
+          // under m: the engine mutex it takes is leaf-level.
+          engines[i]->interrupt();
+        }
+      }
+
+      // Health band.
+      HealthSignals sig;
+      sig.load = cfg.max_queue_depth > 0
+                     ? double(waiting.size()) / double(cfg.max_queue_depth)
+                     : 0.0;
+      sig.engines_available = count_available();
+      sig.engines_in_fleet = uint32_t(sup.size()) - count_retired();
+      if (cfg.supervisor.brownout_p99_ms > 0.0)
+        sig.p99_ms = recorder.summary().p99;
+      const ServiceHealth before = governor.state();
+      if (governor.update(sig))
+        record(FlightKind::kHealthTransition, FlightEvent::kNoEngine, 0,
+               (uint32_t(before) << 8) | uint32_t(governor.state()),
+               sig.engines_available);
+
+      // Shedding: with zero available engines nothing will ever drain the
+      // backlog — fail it typed now instead of letting callers hang on
+      // futures no dispatcher can complete.
+      if (sig.engines_available == 0 && !waiting.empty())
+        shed_waiting_locked("shed: no engines available",
+                            FlightKind::kQueryShed);
+
+      // Stale-window close: purge the previous graph generation once its
+      // bounded staleness budget is spent.
+      if (stale_fp != 0 && now >= stale_deadline_ms) {
+        const size_t dropped = cache.invalidate_fp(stale_fp);
+        record(FlightKind::kStaleWindowExpired, FlightEvent::kNoEngine,
+               stale_fp, uint32_t(dropped));
+        stale_fp = 0;
+      }
+
+      sup_cv.wait_for(lk, std::chrono::duration<double, std::milli>(
+                              cfg.supervisor.tick_ms));
+    }
+  }
+
+  // --- rebuilder -----------------------------------------------------------
+
+  /// Owns quarantined slots end to end: destroy (joins the wedged engine's
+  /// workers — safe, the failed solve quiesced them), rebuild, probe, and
+  /// either return to service or retire. One slot at a time: rebuilds are
+  /// rare and serializing them caps the memory spike of an extra
+  /// pool+worker set to one.
+  void rebuild_loop() {
+    std::unique_lock<std::mutex> lk(m);
+    for (;;) {
+      rb_cv.wait(lk, [&] { return stopping || !rebuild_queue.empty(); });
+      if (stopping) return;
+      const uint32_t i = rebuild_queue.front();
+      rebuild_queue.pop_front();
+      sup[i].state = EngineState::kRebuilding;
+      auto probe_graph = graph;  // current generation, not the old query's
+
+      lk.unlock();
+      std::string probe_err;
+      bool ok = true;
+      try {
+        engines[i].reset();  // join workers, free pool
+        engines[i] = std::make_unique<HostEngine<W>>(cfg.engine);
+      } catch (const Error& e) {
+        ok = false;
+        probe_err = std::string("rebuild failed: ") + e.what();
+      }
+      if (ok && probe_graph && !probe_graph->empty()) {
+        QueryControl ctl;
+        ctl.cancel = &stop_flag;
+        ctl.deadline_ms = cfg.supervisor.probe_deadline_ms;
+        ctl.beacon = &sup[i].beacon;
+        try {
+          engines[i]->solve(*probe_graph, VertexId{0}, ctl);
+        } catch (const Error& e) {
+          ok = false;
+          probe_err = e.what();
+        }
+      }
+      lk.lock();
+
+      if (stopping) return;  // abandoned mid-rebuild; shutdown sweeps up
+      EngineSupervision& s = sup[i];
+      ++s.rebuilds;
+      record(FlightKind::kEngineRebuilt, uint16_t(i), 0, uint32_t(s.rebuilds));
+      if (ok) {
+        s.probe_failures = 0;
+        s.consecutive_errors = 0;
+        s.state = EngineState::kIdle;
+        record(FlightKind::kEngineRecovered, uint16_t(i), 0);
+        cv.notify_all();  // slot is serviceable again
+      } else {
+        ++s.probe_failures;
+        ++probe_failures_total;
+        record(FlightKind::kEngineProbeFailed, uint16_t(i), 0,
+               s.probe_failures);
+        ADDS_LOG_WARN(
+            "sssp-service: engine %u post-rebuild probe failed (%u/%u): %s",
+            i, s.probe_failures, cfg.supervisor.max_probe_failures,
+            probe_err.c_str());
+        if (s.probe_failures >= cfg.supervisor.max_probe_failures) {
+          s.state = EngineState::kRetired;
+          record(FlightKind::kEngineRetired, uint16_t(i), 0,
+                 s.probe_failures);
+          ADDS_LOG_WARN("sssp-service: engine %u permanently retired", i);
+          dump_flight_to_log("engine retired");
+          cv.notify_all();  // its dispatcher exits
+        } else {
+          s.state = EngineState::kQuarantined;
+          rebuild_queue.push_back(i);  // try again
+        }
+      }
+    }
+  }
+
+  // --- admission -----------------------------------------------------------
 
   std::future<QueryOutcome<W>> submit(VertexId source, const QueryOptions& q) {
     auto p = std::make_unique<Pending>();
@@ -229,19 +580,69 @@ struct SsspService<W>::Impl {
       p->cacheable = !q.bypass_cache && cache.capacity() > 0;
       p->key = CacheKey{graph_fp, source, config_digest};
 
+      const ServiceHealth health = supervise ? governor.state()
+                                             : ServiceHealth::kHealthy;
+      if (health == ServiceHealth::kBrownout) {
+        // Degraded-mode deadline clamp: spend less engine time per query
+        // while capacity is short.
+        const double clamp = cfg.supervisor.brownout_deadline_clamp_ms;
+        if (clamp > 0.0 &&
+            (p->deadline_ms <= 0.0 || p->deadline_ms > clamp)) {
+          p->deadline_ms = clamp;
+          ++brownout_clamped;
+        }
+      }
+
       if (p->cacheable) {
         if (auto v = cache.lookup(p->key)) {
           QueryOutcome<W> out;
           out.status = QueryStatus::kOk;
           out.result = std::move(v);
           out.cache_hit = true;
+          out.graph_fp = graph_fp;
           out.query_id = p->id;
           out.latency_ms = uptime.elapsed_ms() - p->submit_ms;
           ++completed;
           recorder.add(out.latency_ms);
+          record_query(FlightKind::kQueryCacheHit, *p);
           p->promise.set_value(std::move(out));
           return fut;
         }
+        // Brownout bounded-staleness serve: a miss on the current
+        // generation may still hit the previous one while its window is
+        // open. The outcome says so (stale=true, old fingerprint).
+        if (health == ServiceHealth::kBrownout && stale_fp != 0 &&
+            uptime.elapsed_ms() < stale_deadline_ms) {
+          const CacheKey old_key{stale_fp, source, config_digest};
+          if (auto v = cache.lookup(old_key, /*count_miss=*/false)) {
+            QueryOutcome<W> out;
+            out.status = QueryStatus::kOk;
+            out.result = std::move(v);
+            out.cache_hit = true;
+            out.stale = true;
+            out.graph_fp = stale_fp;
+            out.query_id = p->id;
+            out.latency_ms = uptime.elapsed_ms() - p->submit_ms;
+            ++completed;
+            ++stale_hits;
+            recorder.add(out.latency_ms);
+            record_query(FlightKind::kQueryStaleHit, *p);
+            p->promise.set_value(std::move(out));
+            return fut;
+          }
+        }
+      }
+
+      if (health == ServiceHealth::kShedding) {
+        ++shed;
+        QueryOutcome<W> out;
+        out.status = QueryStatus::kOverloaded;
+        out.query_id = p->id;
+        out.graph_fp = graph_fp;
+        out.error = "service shedding: no engines available";
+        record_query(FlightKind::kQueryShed, *p);
+        p->promise.set_value(std::move(out));
+        return fut;
       }
       if (waiting.size() >= cfg.max_queue_depth) {
         // Graceful shedding: reject now rather than queue into an
@@ -250,28 +651,76 @@ struct SsspService<W>::Impl {
         QueryOutcome<W> out;
         out.status = QueryStatus::kOverloaded;
         out.query_id = p->id;
+        out.graph_fp = graph_fp;
         out.error = "admission queue full (max_queue_depth=" +
                     std::to_string(cfg.max_queue_depth) + ")";
+        record_query(FlightKind::kQueryShed, *p);
         p->promise.set_value(std::move(out));
         return fut;
       }
+      record_query(FlightKind::kQueryAdmit, *p);
       waiting.push_back(std::move(p));
       peak_depth = std::max<uint32_t>(peak_depth, uint32_t(waiting.size()));
     }
-    cv.notify_one();
+    // notify_all, not notify_one: with per-slot predicates a notify_one
+    // could land on a parked quarantined slot's dispatcher, which would
+    // swallow the wake without running the query.
+    cv.notify_all();
     return fut;
   }
+
+  void set_graph(std::shared_ptr<const CsrGraph<W>> g, uint64_t fp) {
+    std::lock_guard<std::mutex> lk(m);
+    const uint64_t old_fp = graph_fp;
+    graph = std::move(g);
+    graph_fp = fp;
+    const double window = supervise ? cfg.supervisor.stale_serve_ms : 0.0;
+    if (window > 0.0 && old_fp != 0 && old_fp != fp) {
+      // Keep the outgoing generation servable (brownout only) for the
+      // bounded window; at most one old generation is ever retained.
+      if (stale_fp != 0 && stale_fp != fp) cache.invalidate_fp(stale_fp);
+      stale_fp = old_fp;
+      stale_deadline_ms = uptime.elapsed_ms() + window;
+    } else {
+      // Every cached entry keys on the old fingerprint: a lookup could
+      // never hit again, so dropping them wholesale only trades dead
+      // weight for capacity.
+      cache.invalidate_all();
+      stale_fp = 0;
+    }
+    record(FlightKind::kGraphSwap, FlightEvent::kNoEngine, fp, 0,
+           uint32_t(window));
+  }
+
+  // --- teardown ------------------------------------------------------------
 
   void shutdown() {
     {
       std::lock_guard<std::mutex> lk(m);
       stopping = true;
     }
+    stop_flag.store(true, std::memory_order_release);
     cv.notify_all();
+    sup_cv.notify_all();
+    rb_cv.notify_all();
     std::lock_guard<std::mutex> jk(join_m);
     if (joined) return;
+    if (supervisor_thread.joinable()) supervisor_thread.join();
+    if (rebuilder_thread.joinable()) rebuilder_thread.join();
     for (auto& d : dispatchers)
       if (d.joinable()) d.join();
+    // Belt-and-braces drain: anything still waiting (its slot quarantined
+    // at the wrong moment, or every dispatcher exited first) gets a typed
+    // kShutdown instead of a forever-pending future.
+    {
+      std::lock_guard<std::mutex> lk(m);
+      if (!waiting.empty()) {
+        const uint32_t n = uint32_t(waiting.size());
+        shed_waiting_locked("service shut down while queued",
+                            FlightKind::kShutdownDrain);
+        record(FlightKind::kShutdownDrain, FlightEvent::kNoEngine, 0, n);
+      }
+    }
     joined = true;
   }
 
@@ -303,6 +752,28 @@ struct SsspService<W>::Impl {
           1.0, engine_busy_ms / (rep.uptime_ms * double(engines.size())));
     rep.latency = recorder.summary();
     rep.last_health = last_health;
+    rep.health = supervise ? governor.state() : ServiceHealth::kHealthy;
+    rep.health_transitions = governor.transitions();
+    rep.engines_available = count_available();
+    rep.engines_retired = count_retired();
+    rep.stale_hits = stale_hits;
+    rep.brownout_clamped = brownout_clamped;
+    rep.probe_failures = probe_failures_total;
+    rep.flight_events = flightrec.recorded();
+    rep.engine_status.reserve(sup.size());
+    for (const auto& s : sup) {
+      EngineStatus es;
+      es.state = s.state;
+      es.queries = s.queries;
+      es.kills = s.kills;
+      es.quarantines = s.quarantines;
+      es.rebuilds = s.rebuilds;
+      es.probe_failures = s.probe_failures;
+      rep.engine_status.push_back(es);
+      rep.supervisor_kills += s.kills;
+      rep.quarantines += s.quarantines;
+      rep.rebuilds += s.rebuilds;
+    }
     return rep;
   }
 };
@@ -322,13 +793,7 @@ void SsspService<W>::set_graph(std::shared_ptr<const CsrGraph<W>> g) {
   // The O(V + E) digest runs outside the lock; only the publish is
   // serialized.
   const uint64_t fp = graph_fingerprint(*g);
-  std::lock_guard<std::mutex> lk(impl_->m);
-  impl_->graph = std::move(g);
-  impl_->graph_fp = fp;
-  // Every cached entry keys on the old fingerprint: a lookup could never
-  // hit again, so dropping them wholesale only trades dead weight for
-  // capacity.
-  impl_->cache.invalidate_all();
+  impl_->set_graph(std::move(g), fp);
 }
 
 template <WeightType W>
@@ -357,6 +822,11 @@ QueryOutcome<W> SsspService<W>::query(VertexId source, const QueryOptions& q) {
 template <WeightType W>
 ServiceReport SsspService<W>::report() const {
   return impl_->report();
+}
+
+template <WeightType W>
+std::vector<StampedFlightEvent> SsspService<W>::flight_dump() const {
+  return impl_->flightrec.dump();
 }
 
 template <WeightType W>

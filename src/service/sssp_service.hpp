@@ -35,6 +35,7 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/resilience.hpp"
 #include "graph/csr_graph.hpp"
@@ -82,9 +83,13 @@ struct ServiceConfig {
   AddsHostOptions engine;
   /// On engine failure, retry the query through run_solver_guarded
   /// (watchdog + resize + fallback chain) before reporting kFailed.
+  /// Suspended while the service is in brownout or worse.
   bool guarded_fallback = true;
   /// Policy for that guarded retry.
   ResiliencePolicy resilience;
+  /// Self-healing: engine supervision, brownout degradation and the
+  /// flight recorder (service/supervisor.hpp).
+  SupervisorConfig supervisor;
 };
 
 struct QueryOptions {
@@ -104,6 +109,14 @@ struct QueryOutcome {
   /// Shared with the cache — treat as immutable.
   std::shared_ptr<const SsspResult<W>> result;
   bool cache_hit = false;
+  /// Brownout bounded-staleness serve: the result belongs to the previous
+  /// graph generation (its fingerprint is in graph_fp). Always false for
+  /// engine-computed and same-generation cached results.
+  bool stale = false;
+  /// Fingerprint of the graph this result was computed over. For fresh
+  /// results this equals the fingerprint current at submit; for stale
+  /// serves it is the previous generation's.
+  uint64_t graph_fp = 0;
   uint64_t query_id = 0;
   double latency_ms = 0.0;  // submit -> outcome
   double queue_ms = 0.0;    // time spent waiting for an engine
@@ -137,6 +150,11 @@ class SsspService {
 
   /// Point-in-time service statistics.
   ServiceReport report() const;
+
+  /// Snapshot of the flight recorder (oldest surviving event first).
+  /// Cheap enough for a periodic scrape; primarily for postmortems —
+  /// format with format_flight_event().
+  std::vector<StampedFlightEvent> flight_dump() const;
 
   /// Stops admission (subsequent submits report kShutdown), completes every
   /// already-admitted query, then stops the dispatchers. Idempotent.

@@ -1,0 +1,140 @@
+#include "service/supervisor.hpp"
+
+#include <cstdio>
+
+namespace adds {
+
+const char* service_health_name(ServiceHealth h) noexcept {
+  switch (h) {
+    case ServiceHealth::kHealthy: return "healthy";
+    case ServiceHealth::kBrownout: return "brownout";
+    case ServiceHealth::kShedding: return "shedding";
+  }
+  return "?";
+}
+
+const char* engine_state_name(EngineState s) noexcept {
+  switch (s) {
+    case EngineState::kIdle: return "idle";
+    case EngineState::kBusy: return "busy";
+    case EngineState::kQuarantined: return "quarantined";
+    case EngineState::kRebuilding: return "rebuilding";
+    case EngineState::kRetired: return "retired";
+  }
+  return "?";
+}
+
+bool HealthGovernor::update(const HealthSignals& s) noexcept {
+  ServiceHealth next;
+  const bool fleet_degraded = s.engines_available < s.engines_in_fleet;
+  const bool p99_over = cfg_.brownout_p99_ms > 0.0 &&
+                        s.p99_ms > cfg_.brownout_p99_ms;
+  if (s.engines_available == 0) {
+    next = ServiceHealth::kShedding;
+  } else if (state_ == ServiceHealth::kShedding) {
+    // Capacity just returned: always pass through brownout so the backlog
+    // drains under degraded rules before the service claims healthy.
+    next = ServiceHealth::kBrownout;
+  } else if (fleet_degraded || p99_over || s.load >= cfg_.brownout_enter_load) {
+    next = ServiceHealth::kBrownout;
+  } else if (state_ == ServiceHealth::kBrownout &&
+             s.load > cfg_.brownout_exit_load) {
+    next = ServiceHealth::kBrownout;  // hysteresis: hold until drained
+  } else {
+    next = ServiceHealth::kHealthy;
+  }
+  if (next == state_) return false;
+  state_ = next;
+  ++transitions_;
+  return true;
+}
+
+bool beacon_wedged(EngineSupervision& slot, double now_ms,
+                   double wedge_ms) noexcept {
+  const uint64_t pulse = slot.beacon.pulse.load(std::memory_order_relaxed);
+  if (pulse != slot.pulse_seen) {
+    slot.pulse_seen = pulse;
+    slot.last_pulse_ms = now_ms;
+    return false;
+  }
+  // No pulse since the last look. The reference point is the later of
+  // "went busy" and "last pulse" so a slot that was dispatched moments ago
+  // is not judged by a stale timestamp from its previous query.
+  const double quiet_since =
+      slot.last_pulse_ms > slot.busy_since_ms ? slot.last_pulse_ms
+                                              : slot.busy_since_ms;
+  return now_ms - quiet_since > wedge_ms;
+}
+
+const char* flight_kind_name(FlightKind k) noexcept {
+  switch (k) {
+    case FlightKind::kQueryAdmit: return "query-admit";
+    case FlightKind::kQueryCacheHit: return "query-cache-hit";
+    case FlightKind::kQueryStaleHit: return "query-stale-hit";
+    case FlightKind::kQueryShed: return "query-shed";
+    case FlightKind::kQueryDone: return "query-done";
+    case FlightKind::kQueryFailed: return "query-failed";
+    case FlightKind::kQueryDeadline: return "query-deadline";
+    case FlightKind::kQueryCancelled: return "query-cancelled";
+    case FlightKind::kEngineWedged: return "engine-wedged";
+    case FlightKind::kEngineQuarantined: return "engine-quarantined";
+    case FlightKind::kEngineRebuilt: return "engine-rebuilt";
+    case FlightKind::kEngineRecovered: return "engine-recovered";
+    case FlightKind::kEngineProbeFailed: return "engine-probe-failed";
+    case FlightKind::kEngineRetired: return "engine-retired";
+    case FlightKind::kHealthTransition: return "health-transition";
+    case FlightKind::kGraphSwap: return "graph-swap";
+    case FlightKind::kStaleWindowExpired: return "stale-window-expired";
+    case FlightKind::kFaultObserved: return "fault-observed";
+    case FlightKind::kShutdownDrain: return "shutdown-drain";
+  }
+  return "?";
+}
+
+std::string format_flight_event(const StampedFlightEvent& e) {
+  char buf[192];
+  const FlightKind kind = FlightKind(e.ev.kind);
+  int n = std::snprintf(buf, sizeof(buf), "#%llu +%.3fms ",
+                        (unsigned long long)e.seq, double(e.ev.t_ms));
+  if (e.ev.engine != FlightEvent::kNoEngine)
+    n += std::snprintf(buf + n, sizeof(buf) - size_t(n), "engine %u ",
+                       unsigned(e.ev.engine));
+  switch (kind) {
+    case FlightKind::kHealthTransition:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "health %s -> %s (available=%u)",
+                    service_health_name(ServiceHealth(e.ev.a >> 8)),
+                    service_health_name(ServiceHealth(e.ev.a & 0xff)),
+                    e.ev.c);
+      break;
+    case FlightKind::kGraphSwap:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "graph-swap fp=%016llx stale-window=%ums",
+                    (unsigned long long)e.ev.b, e.ev.c);
+      break;
+    case FlightKind::kStaleWindowExpired:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "stale-window-expired fp=%016llx dropped=%u",
+                    (unsigned long long)e.ev.b, e.ev.a);
+      break;
+    case FlightKind::kQueryDone:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "query-done q=%llu source=%u latency=%.3fms",
+                    (unsigned long long)e.ev.b, e.ev.a,
+                    double(e.ev.c) / 1000.0);
+      break;
+    case FlightKind::kEngineWedged:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "engine-wedged q=%llu pulse-age=%ums",
+                    (unsigned long long)e.ev.b, e.ev.a);
+      break;
+    default:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n), "%s a=%u c=%u b=%llu",
+                    flight_kind_name(kind), e.ev.a, e.ev.c,
+                    (unsigned long long)e.ev.b);
+      break;
+  }
+  return std::string(buf);
+}
+
+}  // namespace adds

@@ -1,0 +1,205 @@
+// Supervision vocabulary and policy for the self-healing SSSP service.
+//
+// Three cooperating pieces, all driven from SsspService's supervisor
+// thread (service/sssp_service.cpp):
+//
+//   * Engine supervision. Every engine slot carries an EngineSupervision
+//     board entry: the ProgressBeacon its solves publish into, a state
+//     machine (kIdle -> kBusy -> kQuarantined -> kRebuilding -> back, or
+//     kRetired for good), and failure bookkeeping. The wedge policy below
+//     turns "busy but the pulse stopped" into a kill decision; the service
+//     then cancels the stuck query via HostEngine::interrupt(), quarantines
+//     the slot, and rebuilds the engine (fresh workers + pool) off the
+//     serving path. Engines that fail `max_probe_failures` consecutive
+//     post-rebuild probe queries are retired permanently — EngineState::
+//     kRetired is the typed signal in ServiceReport::engine_status.
+//
+//   * Brownout degradation. HealthGovernor is a hysteresis state machine
+//     kHealthy -> kBrownout -> kShedding over queue load, engine
+//     availability and (optionally) p99 latency. Brownout is the
+//     degrade-before-refuse band: the service serves bounded-staleness
+//     cache hits, clamps deadlines and disables the expensive one-shot
+//     fallback; shedding (no engines at all) rejects outright.
+//
+//   * Flight recorder vocabulary. FlightKind is the service's event enum
+//     for util/flight_recorder.hpp, with a formatter so a dump reads as a
+//     timeline, not hex.
+//
+// Everything here is policy + plain data; the mechanism (threads, locks,
+// promises) stays in sssp_service.cpp, which keeps these transitions unit
+// testable without spinning up a service.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sssp/host_engine.hpp"
+#include "util/flight_recorder.hpp"
+
+namespace adds {
+
+/// Service-wide health band. Ordered: higher is worse.
+enum class ServiceHealth : uint8_t {
+  kHealthy = 0,   // full service: fresh results, fallback armed
+  kBrownout = 1,  // degraded: stale serves, clamped deadlines, no fallback
+  kShedding = 2,  // no engine capacity: reject every new query
+};
+
+const char* service_health_name(ServiceHealth h) noexcept;
+
+/// Engine slot lifecycle. kRetired is terminal and typed into
+/// ServiceReport — the service never routes to a retired slot again.
+enum class EngineState : uint8_t {
+  kIdle = 0,         // warm, waiting for a query
+  kBusy = 1,         // running a query
+  kQuarantined = 2,  // pulled from service, awaiting rebuild
+  kRebuilding = 3,   // rebuilder owns it: fresh engine + probe query
+  kRetired = 4,      // failed too many probes; permanently out
+};
+
+const char* engine_state_name(EngineState s) noexcept;
+
+/// Why the supervisor killed a slot's running query (recorded on the slot
+/// between the interrupt and the dispatcher observing the thrown abort).
+enum class KillReason : uint8_t {
+  kNone = 0,
+  kWedge = 1,  // busy with a frozen pulse beyond wedge_ms
+};
+
+struct SupervisorConfig {
+  /// Master switch. Off = PR4 behavior: no supervisor thread, no health
+  /// machine, engines are never quarantined.
+  bool enabled = true;
+  /// Supervisor sweep cadence.
+  double tick_ms = 2.0;
+  /// A busy engine whose beacon pulse has not advanced for this long is
+  /// declared wedged and its query killed. Must comfortably exceed the
+  /// engine's own 250ms in-run wedge bound so the engine gets first try
+  /// at failing fast itself.
+  double wedge_ms = 500.0;
+  /// Consecutive non-deadline engine errors (without a supervisor kill)
+  /// that quarantine a slot — a poisoned engine that *returns* errors
+  /// instead of wedging.
+  uint32_t quarantine_after_errors = 2;
+  /// Probe queries a rebuilt engine may fail consecutively before the slot
+  /// is permanently retired.
+  uint32_t max_probe_failures = 3;
+  /// Deadline for each post-rebuild probe query.
+  double probe_deadline_ms = 1000.0;
+  /// Queue load (depth / max_depth) at which brownout engages, and the
+  /// lower watermark it must drain to before recovery (hysteresis).
+  double brownout_enter_load = 0.75;
+  double brownout_exit_load = 0.50;
+  /// p99 latency that engages brownout; 0 disables the latency signal.
+  double brownout_p99_ms = 0.0;
+  /// In brownout, per-query deadlines are clamped to at most this budget;
+  /// 0 disables clamping.
+  double brownout_deadline_clamp_ms = 0.0;
+  /// After set_graph, entries of the *previous* fingerprint stay servable
+  /// to brownout-mode queries for this long; 0 keeps the PR4 behavior
+  /// (invalidate everything immediately).
+  double stale_serve_ms = 0.0;
+  /// Flight-recorder ring capacity (events).
+  size_t flight_recorder_events = 4096;
+};
+
+/// Inputs to one HealthGovernor::update() decision.
+struct HealthSignals {
+  double load = 0.0;  // waiting / max_queue_depth
+  uint32_t engines_available = 0;  // kIdle + kBusy
+  uint32_t engines_in_fleet = 0;   // all non-retired slots
+  double p99_ms = 0.0;             // recent completed-query p99
+};
+
+/// The kHealthy -> kBrownout -> kShedding state machine. Pure policy: no
+/// threads, no clock — feed it signals, read the band.
+///
+///            load >= enter  OR  engine down  OR  p99 over
+///   kHealthy ────────────────────────────────────────────▶ kBrownout
+///            ◀────────────────────────────────────────────
+///            load <= exit  AND  full fleet  AND  p99 ok
+///
+///            available == 0                 available > 0
+///   (any) ────────────────▶ kShedding ────────────────────▶ kBrownout
+///
+/// Shedding always re-enters through brownout: capacity just came back
+/// from zero, the backlog drains before the service claims healthy.
+class HealthGovernor {
+ public:
+  explicit HealthGovernor(const SupervisorConfig& cfg) : cfg_(cfg) {}
+
+  ServiceHealth state() const noexcept { return state_; }
+  uint64_t transitions() const noexcept { return transitions_; }
+
+  /// Applies one signal snapshot; returns true when the band changed.
+  bool update(const HealthSignals& s) noexcept;
+
+ private:
+  SupervisorConfig cfg_;
+  ServiceHealth state_ = ServiceHealth::kHealthy;
+  uint64_t transitions_ = 0;
+};
+
+/// Per-engine supervision board entry. Owned by the service, mutated under
+/// its mutex except for `beacon`, which the engine's manager thread writes
+/// lock-free while a solve runs.
+struct EngineSupervision {
+  ProgressBeacon beacon;
+  EngineState state = EngineState::kIdle;
+  KillReason kill_reason = KillReason::kNone;
+  uint64_t active_query = 0;   // query id while kBusy
+  double busy_since_ms = 0.0;  // uptime timestamp of the dispatch
+  double last_pulse_ms = 0.0;  // uptime timestamp of the last pulse change
+  uint64_t pulse_seen = 0;     // beacon.pulse value behind last_pulse_ms
+  uint32_t consecutive_errors = 0;
+  uint32_t probe_failures = 0;
+  uint64_t queries = 0;      // queries dispatched to this slot
+  uint64_t kills = 0;        // supervisor interrupts delivered
+  uint64_t quarantines = 0;  // times pulled from service
+  uint64_t rebuilds = 0;     // engine reconstructions completed
+};
+
+/// Wedge policy, factored out of the supervisor thread so it is testable
+/// with a hand-rolled beacon. Reads the slot's beacon, refreshes the
+/// pulse bookkeeping, and returns true when a kBusy slot has gone
+/// `wedge_ms` with no pulse. Call only on busy slots.
+bool beacon_wedged(EngineSupervision& slot, double now_ms,
+                   double wedge_ms) noexcept;
+
+// ---------------------------------------------------------------------------
+// Flight-recorder vocabulary
+// ---------------------------------------------------------------------------
+
+/// Service event kinds for FlightEvent::kind. Payload conventions:
+/// `engine` = slot index (kNoEngine for service-wide events), `b` = query
+/// id or graph fingerprint, `a`/`c` = per-kind small payloads documented
+/// at each enumerator.
+enum class FlightKind : uint16_t {
+  kQueryAdmit = 1,      // a=source, b=query id
+  kQueryCacheHit = 2,   // a=source, b=query id, c=1 when dequeue-time twin
+  kQueryStaleHit = 3,   // a=source, b=query id (brownout stale serve)
+  kQueryShed = 4,       // a=source, b=query id (admission or drain shed)
+  kQueryDone = 5,       // a=source, b=query id, c=latency us
+  kQueryFailed = 6,     // a=source, b=query id
+  kQueryDeadline = 7,   // a=source, b=query id
+  kQueryCancelled = 8,  // a=source, b=query id
+  kEngineWedged = 9,       // a=pulse-age ms, b=query id
+  kEngineQuarantined = 10, // a=consecutive errors, b=query id
+  kEngineRebuilt = 11,     // a=rebuild count
+  kEngineRecovered = 12,   // a=probe failures cleared
+  kEngineProbeFailed = 13, // a=probe failure count
+  kEngineRetired = 14,     // a=probe failure count (terminal)
+  kHealthTransition = 15,  // a=(from<<8)|to, c=available engines
+  kGraphSwap = 16,         // b=new fingerprint, c=stale window ms
+  kStaleWindowExpired = 17,  // b=purged fingerprint, a=entries dropped
+  kFaultObserved = 18,     // a=fault fires seen during the query, b=query id
+  kShutdownDrain = 19,     // a=queries swept to kShutdown at teardown
+};
+
+const char* flight_kind_name(FlightKind k) noexcept;
+
+/// Renders one dumped event as a single human-readable line (no trailing
+/// newline): "#42 +12.345ms engine 1 engine-wedged q=17 ...".
+std::string format_flight_event(const StampedFlightEvent& e);
+
+}  // namespace adds

@@ -26,6 +26,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -198,6 +199,10 @@ struct HostEngine<W>::Impl {
   std::vector<std::thread> workers_;
   uint64_t queries_ = 0;
   bool dirty_ = false;  // queue carries a previous query's state
+  /// Serializes interrupt() (any thread) against provision()'s queue/pool
+  /// swap (the solving thread). Never held across a wait — both critical
+  /// sections are a handful of stores.
+  std::mutex interrupt_m_;
 
   explicit Impl(const AddsHostOptions& o)
       : opts_(o), flags_(o.num_workers), contexts_(o.num_workers) {
@@ -234,6 +239,10 @@ struct HostEngine<W>::Impl {
             : auto_pool_blocks(g.num_edges(), opts_.block_words,
                                opts_.num_buckets);
     if (pool_ && want <= pool_->num_blocks()) return;
+    // The swap is guarded so a concurrent interrupt() never dereferences a
+    // queue mid-destruction. interrupt() on the new queue before this solve
+    // arms is absorbed by the fresh (un-aborted) state being dirty-reset.
+    std::lock_guard<std::mutex> lk(interrupt_m_);
     queue_.reset();
     pool_.reset();
     pool_ = std::make_unique<BlockPool>(want, opts_.block_words);
@@ -243,6 +252,17 @@ struct HostEngine<W>::Impl {
     qcfg.bucket.table_size = 64;
     queue_ = std::make_unique<WorkQueue>(*pool_, qcfg);
     dirty_ = false;
+  }
+
+  /// Supervisor kill switch: sets the queue's sticky abort from any thread
+  /// and wakes a parked manager. The running solve observes the abort on
+  /// its next sweep and throws; between queries the next solve's reset()
+  /// clears the flag, so a late interrupt can cost at most one spurious
+  /// abort of the query it raced with.
+  void interrupt() noexcept {
+    std::lock_guard<std::mutex> lk(interrupt_m_);
+    if (queue_) queue_->request_abort();
+    engine_wake_.notify_all();
   }
 
   /// Error-path quiesce: aborts the queue (parked writers drop out, fault
@@ -318,6 +338,7 @@ SsspResult<W> HostEngine<W>::Impl::solve(const CsrGraph<W>& g,
   // cancel reaches a parked manager immediately. (An external event must
   // outlive the call; the engine quiesces before returning either way.)
   Event& wake = ctl.cancel_event != nullptr ? *ctl.cancel_event : engine_wake_;
+  if (ctl.beacon != nullptr) ctl.beacon->begin_solve();
   for (uint32_t i = 0; i < opts.num_workers; ++i) {
     contexts_[i].graph = &g;
     contexts_[i].queue = &queue;
@@ -814,6 +835,18 @@ SsspResult<W> HostEngine<W>::Impl::solve(const CsrGraph<W>& g,
     const bool progressed = assigned_any || harvested > 0 || recycled > 0 ||
                             mapped > 0 || spilled > 0 || replayed > 0 ||
                             advances > 0;
+    // Heartbeat for the external supervisor: sweeps always tick, the pulse
+    // only on progress — so "sweeping but pulse frozen" is the wedge
+    // signature regardless of *why* the queue is stuck (lost publication,
+    // stalled worker, dry pool beyond governance).
+    if (ctl.beacon != nullptr) {
+      ctl.beacon->sweeps.fetch_add(1, std::memory_order_relaxed);
+      if (progressed) ctl.beacon->pulse.fetch_add(1, std::memory_order_relaxed);
+      ctl.beacon->window_advances.store(r.window_advances,
+                                        std::memory_order_relaxed);
+      ctl.beacon->assigned_items.store(r.work.assigned_items,
+                                       std::memory_order_relaxed);
+    }
     if (progressed) {
       last_progress_ms = timer.elapsed_ms();
     } else if (opts.pool_governor && (starved_now || !spill.empty()) &&
@@ -889,6 +922,11 @@ template <WeightType W>
 SsspResult<W> HostEngine<W>::solve(const CsrGraph<W>& g, VertexId source,
                                    const QueryControl& ctl) {
   return impl_->solve(g, source, ctl);
+}
+
+template <WeightType W>
+void HostEngine<W>::interrupt() noexcept {
+  impl_->interrupt();
 }
 
 template <WeightType W>

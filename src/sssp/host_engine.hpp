@@ -46,6 +46,33 @@ class DeadlineError : public Error {
   using Error::Error;
 };
 
+/// Heartbeat published by the manager loop while a solve runs, so an
+/// external supervisor can tell a long query from a wedged one without
+/// touching the engine. `pulse` bumps only on sweeps that made real
+/// progress (assignments, harvests, recycles, window advances) — a manager
+/// spinning over a stuck queue keeps `sweeps` ticking but freezes `pulse`,
+/// which is exactly the signature a wedge detector needs. All fields are
+/// relaxed atomics: they are monitoring data, not synchronization.
+struct ProgressBeacon {
+  /// Monotonic across queries; changes whenever a sweep progressed.
+  std::atomic<uint64_t> pulse{0};
+  /// Manager sweeps in the current solve (ticks even when wedged).
+  std::atomic<uint64_t> sweeps{0};
+  /// Head-bucket switches in the current solve.
+  std::atomic<uint64_t> window_advances{0};
+  /// Items handed to workers in the current solve.
+  std::atomic<uint64_t> assigned_items{0};
+
+  /// Called by the engine when a solve binds to this beacon: per-solve
+  /// gauges rewind, the pulse bumps (binding itself is progress).
+  void begin_solve() noexcept {
+    sweeps.store(0, std::memory_order_relaxed);
+    window_advances.store(0, std::memory_order_relaxed);
+    assigned_items.store(0, std::memory_order_relaxed);
+    pulse.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
 /// Per-query control surface. All pointees must outlive the solve() call.
 struct QueryControl {
   /// External cancellation token (watchdog or caller). When it becomes
@@ -58,6 +85,9 @@ struct QueryControl {
   /// the manager each sweep — enforcement costs no extra thread — and
   /// reported as DeadlineError.
   double deadline_ms = 0.0;
+  /// Optional heartbeat sink the manager publishes progress into each
+  /// sweep. Null disables publication (one branch per sweep).
+  ProgressBeacon* beacon = nullptr;
 };
 
 /// A warm adds-host solver: construction spawns the worker threads, each
@@ -77,6 +107,15 @@ class HostEngine {
   /// calls. Not reentrant.
   SsspResult<W> solve(const CsrGraph<W>& g, VertexId source,
                       const QueryControl& ctl = {});
+
+  /// Asynchronously aborts whatever the engine is doing, from any thread.
+  /// The running solve (if any) throws adds::Error once its manager sweep
+  /// observes the abort; the engine quiesces and stays reusable — the next
+  /// solve's queue reset clears the sticky abort flag. An interrupt that
+  /// lands between queries is absorbed by that same reset. This is the
+  /// supervisor's kill switch: unlike QueryControl::cancel (owned by the
+  /// caller of solve), interrupt() needs no cooperation from the query.
+  void interrupt() noexcept;
 
   const AddsHostOptions& options() const noexcept;
   /// Queries completed successfully since construction.

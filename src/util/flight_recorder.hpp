@@ -1,0 +1,151 @@
+// Lock-free fixed-size flight recorder: the last N structured events,
+// always recordable, dumpable at any moment from any thread.
+//
+// The serving layer generates events on every hot path (query admitted,
+// engine quarantined, health transition...). Recording must therefore be
+// wait-free for writers — a mutex-protected log would serialize the very
+// threads whose interleaving a postmortem needs to see. The ring gives up
+// the opposite guarantee instead: a reader may observe a torn slot while a
+// lap-behind writer is overwriting it, and simply skips it.
+//
+// Protocol (per slot, seqlock-flavoured):
+//
+//   writer: seq   = head.fetch_add(1)            // global ticket
+//           slot  = slots[seq % capacity]
+//           stamp = ((seq + 1) << 1) | 1         // odd: write in progress
+//           ...store payload words (relaxed atomics)...
+//           stamp = (seq + 1) << 1               // even: published
+//
+//   reader: s1 = stamp; skip if zero or odd
+//           copy payload
+//           s2 = stamp; keep only if s1 == s2    // no writer lapped us
+//
+// The payload is packed into three uint64 words stored with relaxed
+// atomics, so a torn read is merely *stale*, never undefined behaviour —
+// the stamp re-check discards it. This keeps the recorder clean under
+// TSan, which a classic plain-write seqlock is not.
+//
+// Event semantics (what `kind`, `a`, `b` mean) belong to the layer that
+// records them; the service's vocabulary lives in service/supervisor.hpp.
+#pragma once
+
+#include <atomic>
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace adds {
+
+/// One structured event. POD on purpose: it must pack into three machine
+/// words (see FlightRecorder::Slot) and carry no ownership.
+struct FlightEvent {
+  /// Recorder-relative timestamp supplied by the caller (the service uses
+  /// its uptime clock). Float: 0.1ms resolution over days is plenty for
+  /// ordering a postmortem, and it keeps the payload in three words.
+  float t_ms = 0.0f;
+  /// Caller-defined event vocabulary (e.g. service FlightKind).
+  uint16_t kind = 0;
+  /// Engine slot index, or kNoEngine for service-wide events.
+  uint16_t engine = 0xffff;
+  /// Small payloads; meaning is per-kind (source vertex, state pair...).
+  uint32_t a = 0;
+  uint32_t c = 0;
+  /// Large payload; meaning is per-kind (query id, graph fingerprint...).
+  uint64_t b = 0;
+
+  static constexpr uint16_t kNoEngine = 0xffff;
+};
+
+/// A FlightEvent plus the global sequence number it was recorded under.
+/// Dumps are ordered by `seq`; gaps mean the ring lapped those events.
+struct StampedFlightEvent {
+  uint64_t seq = 0;
+  FlightEvent ev;
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity` is rounded up to a power of two (min 2) so the slot index
+  /// is a mask, not a division, on the record path.
+  explicit FlightRecorder(size_t capacity = 4096) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_ = std::vector<Slot>(cap);
+    mask_ = cap - 1;
+  }
+
+  size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Lifetime events recorded (>= capacity means the ring has wrapped).
+  uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Wait-free for practical purposes: one fetch_add plus five relaxed
+  /// stores. Never blocks, never allocates, callable from any thread
+  /// (including under locks — it takes none).
+  void record(const FlightEvent& e) noexcept {
+    const uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[seq & mask_];
+    const uint64_t published = (seq + 1) << 1;
+    s.stamp.store(published | 1, std::memory_order_release);
+    uint64_t w0 = 0;
+    uint32_t t_bits;
+    static_assert(sizeof(t_bits) == sizeof(e.t_ms));
+    std::memcpy(&t_bits, &e.t_ms, sizeof(t_bits));
+    w0 = uint64_t(t_bits) | (uint64_t(e.kind) << 32) |
+         (uint64_t(e.engine) << 48);
+    s.w0.store(w0, std::memory_order_relaxed);
+    s.w1.store(uint64_t(e.a) | (uint64_t(e.c) << 32),
+               std::memory_order_relaxed);
+    s.w2.store(e.b, std::memory_order_relaxed);
+    s.stamp.store(published, std::memory_order_release);
+  }
+
+  /// Snapshot of the surviving events, oldest first. O(capacity); intended
+  /// for postmortems and shutdown dumps, not the hot path. Torn slots
+  /// (a writer lapped the ring mid-copy) are skipped, not blocked on.
+  std::vector<StampedFlightEvent> dump() const {
+    std::vector<StampedFlightEvent> out;
+    out.reserve(slots_.size());
+    for (const Slot& s : slots_) {
+      const uint64_t s1 = s.stamp.load(std::memory_order_acquire);
+      if (s1 == 0 || (s1 & 1)) continue;  // empty or mid-write
+      const uint64_t w0 = s.w0.load(std::memory_order_relaxed);
+      const uint64_t w1 = s.w1.load(std::memory_order_relaxed);
+      const uint64_t w2 = s.w2.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.stamp.load(std::memory_order_relaxed) != s1) continue;  // lapped
+      StampedFlightEvent e;
+      e.seq = (s1 >> 1) - 1;
+      const uint32_t t_bits = uint32_t(w0);
+      std::memcpy(&e.ev.t_ms, &t_bits, sizeof(e.ev.t_ms));
+      e.ev.kind = uint16_t(w0 >> 32);
+      e.ev.engine = uint16_t(w0 >> 48);
+      e.ev.a = uint32_t(w1);
+      e.ev.c = uint32_t(w1 >> 32);
+      e.ev.b = w2;
+      out.push_back(e);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const StampedFlightEvent& x, const StampedFlightEvent& y) {
+                return x.seq < y.seq;
+              });
+    return out;
+  }
+
+ private:
+  struct Slot {
+    /// 0 = never written; even = published, (stamp >> 1) - 1 is the seq;
+    /// odd = a writer owns the slot right now.
+    std::atomic<uint64_t> stamp{0};
+    std::atomic<uint64_t> w0{0}, w1{0}, w2{0};
+  };
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  std::atomic<uint64_t> head_{0};
+};
+
+}  // namespace adds

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -311,6 +313,119 @@ TEST(SsspService, ShutdownRejectsNewQueries) {
     EXPECT_EQ(e.status(), QueryStatus::kShutdown);
   }
   svc.shutdown();  // idempotent
+}
+
+TEST(SsspService, ShutdownRacingAdmissionNeverHangsOrDropsFutures) {
+  // Regression for the shutdown-vs-admission race: a query admitted while
+  // the service is draining must resolve with a typed status — never a
+  // forever-pending future, a broken promise, or a use-after-drain. The
+  // loop restarts the service each round so the race window (submitters
+  // mid-push while shutdown() joins the dispatchers) is hit repeatedly;
+  // run under TSan this also proves the teardown path is data-race free.
+  const auto g = test_graph();
+  for (int round = 0; round < 10; ++round) {
+    ServiceConfig cfg = small_service(2);
+    cfg.max_queue_depth = 8;
+    SsspService<uint32_t> svc(cfg);
+    svc.set_graph(g);
+
+    std::vector<std::future<QueryOutcome<uint32_t>>> futs;
+    std::mutex futs_m;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 3; ++t) {
+      submitters.emplace_back([&, t] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        QueryOptions q;
+        q.bypass_cache = true;
+        for (int i = 0; i < 6; ++i) {
+          auto f = svc.submit(VertexId((t * 6 + i) % 16), q);
+          std::lock_guard<std::mutex> lk(futs_m);
+          futs.push_back(std::move(f));
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    svc.shutdown();  // races the submitters above
+    for (auto& th : submitters) th.join();
+
+    for (auto& f : futs) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+                std::future_status::ready)
+          << "hung future in round " << round;
+      const auto out = f.get();
+      EXPECT_TRUE(out.status == QueryStatus::kOk ||
+                  out.status == QueryStatus::kShutdown ||
+                  out.status == QueryStatus::kOverloaded)
+          << "round " << round << " status "
+          << query_status_name(out.status);
+      if (out.status == QueryStatus::kOk) EXPECT_NE(out.result, nullptr);
+    }
+  }
+}
+
+TEST(SsspService, GraphSwapRacingQueriesNeverMixesFingerprints) {
+  // Two same-shape graphs with different weights: a distance vector
+  // computed for one is silently wrong for the other, so the fingerprint
+  // attached to every outcome is the only proof of which graph it belongs
+  // to. While set_graph churns between them, every kOk result must carry
+  // a fingerprint of one of the two graphs AND validate against exactly
+  // that graph's oracle — a cache serving across the swap would fail here.
+  const auto g1 = test_graph(1);
+  const auto g2 = test_graph(2);
+  const uint64_t fp1 = graph_fingerprint(g1);
+  const uint64_t fp2 = graph_fingerprint(g2);
+  ASSERT_EQ(g1.num_vertices(), g2.num_vertices());
+  ASSERT_NE(fp1, fp2);
+
+  ServiceConfig cfg = small_service(2);
+  cfg.max_queue_depth = 256;
+  SsspService<uint32_t> svc(cfg);
+  svc.set_graph(g1);
+
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    bool one = false;
+    while (!stop.load(std::memory_order_acquire)) {
+      svc.set_graph(one ? g1 : g2);
+      one = !one;
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kQueries = 120, kSources = 6;
+  std::vector<std::future<QueryOutcome<uint32_t>>> futs;
+  for (int i = 0; i < kQueries; ++i)
+    futs.push_back(svc.submit(VertexId(i % kSources)));
+  stop.store(true, std::memory_order_release);
+  swapper.join();
+  svc.set_graph(g2);  // settle on g2 for the epilogue
+
+  std::vector<SsspResult<uint32_t>> o1, o2;
+  for (VertexId s = 0; s < kSources; ++s) {
+    o1.push_back(dijkstra(g1, s));
+    o2.push_back(dijkstra(g2, s));
+  }
+  for (int i = 0; i < kQueries; ++i) {
+    const auto out = futs[size_t(i)].get();
+    if (out.status != QueryStatus::kOk) continue;  // shed under churn: fine
+    ASSERT_NE(out.result, nullptr);
+    EXPECT_FALSE(out.stale);  // no brownout here, stale serving is off
+    ASSERT_TRUE(out.graph_fp == fp1 || out.graph_fp == fp2)
+        << "query " << i << " carries unknown fingerprint " << out.graph_fp;
+    const auto& oracle = out.graph_fp == fp1 ? o1[size_t(i % kSources)]
+                                             : o2[size_t(i % kSources)];
+    EXPECT_TRUE(validate_distances(*out.result, oracle).ok())
+        << "query " << i << " distances do not match its fingerprint";
+  }
+
+  // After the churn settles, every serve must be the current generation.
+  for (VertexId s = 0; s < kSources; ++s) {
+    const auto out = svc.query(s);
+    ASSERT_EQ(out.status, QueryStatus::kOk);
+    EXPECT_EQ(out.graph_fp, fp2);
+    EXPECT_TRUE(validate_distances(*out.result, o2[s]).ok());
+  }
 }
 
 TEST(SsspService, SubmitWithoutGraphThrows) {
