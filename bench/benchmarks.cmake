@@ -60,6 +60,15 @@ add_test(NAME supervisor_chaos_smoke
 set_tests_properties(supervisor_chaos_smoke
   PROPERTIES LABELS "perf;soak" TIMEOUT 120)
 
+# Multi-tenant blast-radius chaos: domain-scoped faults wedge 1 of 3 catalog
+# tenants; the other two must take zero typed damage (no shed, quarantine,
+# or brownout) while every survivor result validates against its own graph's
+# Dijkstra oracle, and the victim must recover through its circuit breaker.
+add_test(NAME tenant_chaos_smoke
+  COMMAND soak_suite --tenant-chaos --smoke --seed=42)
+set_tests_properties(tenant_chaos_smoke
+  PROPERTIES LABELS "perf;soak" TIMEOUT 120)
+
 # Serving-layer benchmark: warm-engine vs cold-start latency, result-cache
 # hit rate and admission-control shedding, all Dijkstra-validated (emits
 # BENCH_service.json). Fixed generator seeds; the smoke tier doubles as the

@@ -436,6 +436,229 @@ uint64_t service_chaos_round(uint64_t round, uint64_t seed, bool smoke,
   return violations;
 }
 
+// ---------------------------------------------------------------------------
+// Tenant-level chaos: blast-radius containment under fire
+// ---------------------------------------------------------------------------
+
+/// One round: three tenants on one pool, domain-scoped faults wedge exactly
+/// one of them. Contract: every future resolves; the two SURVIVOR tenants
+/// take zero typed damage (no shed, no quarantine, no brownout transition,
+/// breaker closed) and every survivor result matches its own graph's
+/// Dijkstra oracle; after disarm the victim recovers through its breaker's
+/// half-open trial and all three tenants serve clean.
+uint64_t tenant_chaos_round(uint64_t round, uint64_t seed, bool smoke,
+                            bool verbose, Tally& t,
+                            SupervisionTotals& totals) {
+  constexpr int kTenants = 3;
+  constexpr VertexId kSources = 4;
+  const uint64_t side = smoke ? 24 : 32;
+
+  std::vector<std::shared_ptr<const IntGraph>> graphs;
+  std::vector<uint64_t> fps;
+  std::vector<std::vector<SsspResult<uint32_t>>> oracles(kTenants);
+  for (int k = 0; k < kTenants; ++k) {
+    GraphSpec spec;
+    spec.name = "grid_t" + std::to_string(k);
+    spec.family = GraphFamily::kGridRoad;
+    spec.scale = side;
+    spec.a = double(side);
+    spec.weights = {WeightDist::kUniform, 1000, 1};
+    spec.seed = seed + uint64_t(k);
+    graphs.push_back(std::make_shared<const IntGraph>(
+        generate_graph<uint32_t>(spec)));
+    fps.push_back(graph_fingerprint(*graphs.back()));
+    for (VertexId s = 0; s < kSources; ++s)
+      oracles[size_t(k)].push_back(dijkstra(*graphs.back(), s));
+  }
+
+  ServiceConfig cfg;
+  cfg.num_engines = 3;
+  cfg.max_queue_depth = 128;
+  cfg.cache_entries = 0;         // every query must touch an engine
+  cfg.guarded_fallback = false;  // containment IS the recovery story
+  cfg.engine.num_workers = 2;
+  cfg.engine.chunk_items = 32;
+  cfg.supervisor.tick_ms = 1.0;
+  cfg.supervisor.wedge_ms = 120.0;
+  cfg.supervisor.quarantine_after_errors = 1;
+  cfg.supervisor.probe_deadline_ms = 500.0;
+  cfg.supervisor.max_probe_failures = 100;  // recovery, not retirement
+  cfg.tenant.engine_share = 0.34;  // each tenant: at most 1 of the 3 slots
+  cfg.tenant.breaker_open_after = 3;
+  cfg.tenant.breaker_cooldown_ms = 150.0;
+  SsspService<uint32_t> svc(cfg);
+  svc.set_graph(graphs[0]);
+  for (int k = 1; k < kTenants; ++k) svc.publish_graph(graphs[size_t(k)]);
+
+  const size_t victim = size_t(round) % kTenants;
+
+  uint64_t violations = 0;
+  const auto violation = [&](const std::string& what) {
+    ++violations;
+    std::fprintf(stderr, "VIOLATION tenant-chaos round=%llu seed=0x%llx: %s\n",
+                 (unsigned long long)round, (unsigned long long)seed,
+                 what.c_str());
+    if (violations == 1) dump_flight(svc);
+  };
+
+  // Phase A — scoped chaos burst. The plan only fires inside the victim's
+  // fault domain: its queries wedge and stall, the survivors' solves (and
+  // the rebuilder's probes, which run in domain 0) never see it.
+  uint64_t victim_failures = 0, survivor_ok = 0;
+  {
+    fault::FaultPlan plan(seed);
+    plan.set(fault::Site::kPushDropBeforePublish, {1.0, /*max_fires=*/3, 0});
+    plan.set(fault::Site::kWorkerStall, {0.05, ~0ull, 500});
+    plan.restrict_domain(fps[victim]);
+    fault::FaultScope scope(plan);
+
+    const int burst = (smoke ? 8 : 16) * kTenants;
+    std::vector<std::future<QueryOutcome<uint32_t>>> futs;
+    std::vector<size_t> owner;
+    for (int i = 0; i < burst; ++i) {
+      const size_t k = size_t(i) % kTenants;
+      QueryOptions q;
+      q.graph_fp = fps[k];
+      futs.push_back(svc.submit(VertexId(i / kTenants) % kSources, q));
+      owner.push_back(k);
+    }
+    for (int i = 0; i < burst; ++i) {
+      if (futs[size_t(i)].wait_for(std::chrono::seconds(60)) !=
+          std::future_status::ready) {
+        violation("query hung under tenant-scoped faults");
+        return violations;  // cannot safely continue this round
+      }
+      const auto out = futs[size_t(i)].get();
+      const size_t k = owner[size_t(i)];
+      if (k == victim) {
+        // The victim may fail, quarantine or succeed — all typed, all
+        // accepted; the blast just must not leave its bulkhead.
+        if (out.status == QueryStatus::kOk) {
+          if (!validate_distances(*out.result,
+                                  oracles[k][size_t(i / kTenants) % kSources])
+                   .ok())
+            violation("victim kOk result diverged from its oracle");
+        } else {
+          ++victim_failures;
+        }
+        continue;
+      }
+      if (out.status != QueryStatus::kOk) {
+        violation("survivor tenant took typed damage: " +
+                  std::string(query_status_name(out.status)) +
+                  (out.error.empty() ? "" : ": " + out.error));
+        continue;
+      }
+      if (!validate_distances(*out.result,
+                              oracles[k][size_t(i / kTenants) % kSources])
+               .ok())
+        violation("survivor result diverged from its own graph's oracle");
+      ++survivor_ok;
+    }
+    t.fault_fires += plan.total_fires();
+  }
+  if (survivor_ok == 0)
+    violation("survivor tenants stopped answering during the blast");
+  if (victim_failures == 0)
+    violation("chaos never bit the victim (round proves nothing)");
+
+  // Phase B — recovery. Slots return; the victim's breaker half-opens
+  // after its cooldown and the trial query closes it.
+  if (!poll_until(
+          [&] { return svc.report().engines_available == cfg.num_engines; },
+          20000))
+    violation("engines never returned to full availability after disarm");
+  {
+    QueryOptions q;
+    q.graph_fp = fps[victim];
+    bool recovered = false;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(20);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto out = svc.submit(0, q).get();
+      if (out.status == QueryStatus::kOk) {
+        if (!validate_distances(*out.result, oracles[victim][0]).ok())
+          violation("victim post-recovery result diverged from its oracle");
+        recovered = true;
+        break;
+      }
+      // kTenantQuarantined while the cooldown runs is the breaker working.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!recovered) violation("victim tenant never recovered after disarm");
+  }
+
+  // Phase C — the containment ledger. Survivor rows must be pristine.
+  const auto rep = svc.report();
+  for (size_t k = 0; k < size_t(kTenants); ++k) {
+    const TenantStatus* row = nullptr;
+    for (const auto& ts : rep.tenants)
+      if (ts.graph_fp == fps[k]) row = &ts;
+    if (row == nullptr) {
+      violation("tenant row missing from the report");
+      continue;
+    }
+    if (k == victim) continue;
+    if (row->health != ServiceHealth::kHealthy)
+      violation("survivor ended degraded (cross-tenant brownout)");
+    if (row->health_transitions != 0)
+      violation("survivor's governor transitioned during the blast");
+    if (row->breaker != BreakerState::kClosed || row->breaker_opens != 0)
+      violation("survivor's circuit breaker was disturbed");
+    if (row->shed != 0 || row->quarantined != 0 || row->failed != 0)
+      violation("survivor counted typed damage (shed/quarantine/failure)");
+  }
+
+  totals.kills += rep.supervisor_kills;
+  totals.quarantines += rep.quarantines;
+  totals.rebuilds += rep.rebuilds;
+  if (verbose)
+    std::fprintf(stderr,
+                 "round=%llu victim=%zu victim_failures=%llu survivor_ok=%llu "
+                 "kills=%llu quarantines=%llu rebinds=%llu\n",
+                 (unsigned long long)round, victim,
+                 (unsigned long long)victim_failures,
+                 (unsigned long long)survivor_ok,
+                 (unsigned long long)rep.supervisor_kills,
+                 (unsigned long long)rep.quarantines,
+                 (unsigned long long)rep.engine_rebinds);
+  t.ok += survivor_ok;
+  return violations;
+}
+
+int run_tenant_chaos(uint64_t master_seed, uint64_t rounds, bool smoke,
+                     bool verbose) {
+  SplitMix64 rng{master_seed};
+  Tally tally;
+  SupervisionTotals totals;
+  for (uint64_t r = 0; r < rounds; ++r)
+    tally.violations +=
+        tenant_chaos_round(r, rng.next(), smoke, verbose, tally, totals);
+
+  // Containment only counts if the blast actually poisoned slots.
+  if (totals.quarantines == 0) {
+    ++tally.violations;
+    std::fprintf(stderr,
+                 "VIOLATION tenant-chaos: the victim never poisoned an "
+                 "engine (quarantines=0)\n");
+  }
+
+  TextTable table("Tenant chaos (" + std::to_string(rounds) +
+                  " rounds, seed " + std::to_string(master_seed) + ")");
+  table.set_header({"outcome", "count"});
+  table.add_row({"validated survivor serves", std::to_string(tally.ok)});
+  table.add_row({"contract violations", std::to_string(tally.violations)});
+  table.add_row({"fault fires", std::to_string(tally.fault_fires)});
+  table.add_row({"supervisor kills", std::to_string(totals.kills)});
+  table.add_row({"quarantines", std::to_string(totals.quarantines)});
+  table.add_row({"rebuilds", std::to_string(totals.rebuilds)});
+  table.add_footer(
+      "domain-scoped faults wedge 1 of 3 tenants; the other two must take "
+      "zero typed damage and every survivor result validates");
+  table.print();
+  return tally.violations == 0 ? 0 : 1;
+}
+
 int run_service_chaos(uint64_t master_seed, uint64_t rounds, bool smoke,
                       bool verbose) {
   SplitMix64 rng{master_seed};
@@ -483,6 +706,9 @@ int main(int argc, char** argv) {
   cli.add_flag("service-chaos",
                "service-level phase: fault k of N pooled engines mid-solve "
                "and require supervised quarantine + rebuild + clean serves");
+  cli.add_flag("tenant-chaos",
+               "multi-tenant phase: wedge 1 of 3 catalog tenants with "
+               "domain-scoped faults and require zero cross-tenant damage");
   cli.add_option("runs", "number of randomized runs (0: tier default)", "0");
   cli.add_option("seed", "master seed for the configuration stream", "42");
   if (!cli.parse(argc, argv)) return 0;
@@ -494,6 +720,10 @@ int main(int argc, char** argv) {
   if (cli.flag("service-chaos")) {
     if (runs == 0) runs = smoke ? 2 : 6;
     return run_service_chaos(master_seed, runs, smoke, cli.flag("verbose"));
+  }
+  if (cli.flag("tenant-chaos")) {
+    if (runs == 0) runs = smoke ? 2 : 6;
+    return run_tenant_chaos(master_seed, runs, smoke, cli.flag("verbose"));
   }
   if (runs == 0) runs = smoke ? 40 : 400;
 

@@ -20,6 +20,7 @@
 //
 //   ./artifact_runner --corpus=smoke --solvers=adds-host --resilient \
 //       --fault-seed=7 --fault-site=push.drop-before-publish --fault-prob=0.02
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -108,11 +109,12 @@ int main(int argc, char** argv) {
   }
   std::printf("%zu input graphs\n", inputs.size());
 
-  // --queries / --sources: route a query batch per graph through the
-  // warm-engine service instead of the one-shot artifact loop. Each graph
-  // gets a fresh service (the cache keys on the graph fingerprint, so a
-  // swap would invalidate it anyway); throughput and cache behaviour come
-  // from the ServiceReport.
+  // --queries / --sources: route a query batch through the warm-engine
+  // service instead of the one-shot artifact loop. Every input graph is
+  // published as a tenant of ONE shared service (the first is the default
+  // route) and the batch interleaves across tenants, so the run exercises
+  // the catalog, keyed engine binding and the per-tenant bulkheads; the
+  // summary prints one tenant row per graph.
   const int64_t batch_n = cli.integer("queries");
   const std::string sources_file = cli.str("sources");
   if (batch_n > 0 || !sources_file.empty()) {
@@ -126,33 +128,66 @@ int main(int argc, char** argv) {
     }
     const size_t n = batch_n > 0 ? size_t(batch_n) : script.size();
 
-    TextTable t("service batch (" + std::to_string(n) + " queries per graph)");
-    t.set_header({"graph", "ok", "hits", "shed", "p50 ms", "p99 ms", "qps"});
-    bool batch_ok = true;
-    for (const auto& [gname, g] : inputs) {
-      ServiceConfig scfg;
-      scfg.num_engines = uint32_t(cli.integer("engines"));
-      SsspService<uint32_t> svc(scfg);
-      svc.set_graph(g);
-      WallTimer timer;
-      std::vector<std::future<QueryOutcome<uint32_t>>> futs;
-      futs.reserve(n);
-      for (size_t i = 0; i < n; ++i) {
+    ServiceConfig scfg;
+    scfg.num_engines = uint32_t(cli.integer("engines"));
+    // Every input graph stays resident for the whole batch — the default
+    // catalog capacity would LRU-evict the early tenants of a big corpus —
+    // and the whole batch must be admissible: the runner submits
+    // n × tenants queries in one burst before draining any of them.
+    scfg.tenant.catalog_graphs =
+        std::max(scfg.tenant.catalog_graphs, inputs.size());
+    scfg.max_queue_depth = uint32_t(std::max<size_t>(
+        scfg.max_queue_depth, n * inputs.size()));
+    SsspService<uint32_t> svc(scfg);
+    std::vector<uint64_t> fps;
+    for (size_t k = 0; k < inputs.size(); ++k)
+      fps.push_back(k == 0 ? svc.set_graph(inputs[k].second)
+                           : svc.publish_graph(inputs[k].second));
+
+    WallTimer timer;
+    std::vector<std::pair<size_t, std::future<QueryOutcome<uint32_t>>>> futs;
+    futs.reserve(n * inputs.size());
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t k = 0; k < inputs.size(); ++k) {
+        const auto& g = inputs[k].second;
         const uint64_t raw = script.empty()
                                  ? pick_source(g, uint64_t(i))
                                  : script[i % script.size()];
-        futs.push_back(svc.submit(VertexId(raw % g.num_vertices())));
+        QueryOptions q;
+        q.graph_fp = fps[k];
+        futs.emplace_back(
+            k, svc.submit(VertexId(raw % g.num_vertices()), q));
       }
-      uint64_t ok = 0;
-      for (auto& f : futs) ok += f.get().status == QueryStatus::kOk;
-      const double secs = timer.elapsed_ms() / 1e3;
-      const auto rep = svc.report();
-      batch_ok &= ok == n && rep.failed == 0;
-      t.add_row({gname, std::to_string(ok), std::to_string(rep.cache_hits),
-                 std::to_string(rep.shed), fmt_double(rep.latency.p50, 3),
-                 fmt_double(rep.latency.p99, 3),
-                 fmt_double(secs > 0 ? double(n) / secs : 0.0, 0)});
     }
+    std::vector<uint64_t> ok_per(inputs.size(), 0);
+    for (auto& [k, f] : futs) ok_per[k] += f.get().status == QueryStatus::kOk;
+    const double secs = timer.elapsed_ms() / 1e3;
+    const auto rep = svc.report();
+
+    TextTable t("service batch (" + std::to_string(n) +
+                " queries per graph, " + std::to_string(inputs.size()) +
+                " co-resident tenants)");
+    t.set_header({"graph", "ok", "health", "breaker", "queue", "hits",
+                  "shed", "quarantined"});
+    bool batch_ok = true;
+    for (size_t k = 0; k < inputs.size(); ++k) {
+      const TenantStatus* row = nullptr;
+      for (const auto& ts : rep.tenants)
+        if (ts.graph_fp == fps[k]) row = &ts;
+      ADDS_REQUIRE(row != nullptr, "tenant row missing from report");
+      batch_ok &= ok_per[k] == n && row->failed == 0;
+      t.add_row({inputs[k].first, std::to_string(ok_per[k]),
+                 service_health_name(row->health),
+                 breaker_state_name(row->breaker),
+                 std::to_string(row->waiting) + "/" +
+                     std::to_string(row->queue_quota),
+                 std::to_string(row->cache_hits), std::to_string(row->shed),
+                 std::to_string(row->quarantined)});
+    }
+    t.add_footer("p50 " + fmt_double(rep.latency.p50, 3) + " ms, p99 " +
+                 fmt_double(rep.latency.p99, 3) + " ms, " +
+                 fmt_double(secs > 0 ? double(futs.size()) / secs : 0.0, 0) +
+                 " qps across the pool");
     t.print();
     return batch_ok ? 0 : 1;
   }

@@ -1,26 +1,32 @@
 // Long-lived SSSP query server over the warm-engine service.
 //
-// Loads one graph, spins up an SsspService (pre-spawned engines, admission
-// queue, result cache) and then answers a query script from a file or
-// stdin, one query per line:
+// Loads one or more graphs into the service's GraphCatalog — repeat
+// --graph / --corpus-graph to publish several tenants; the first one given
+// becomes the default route — then spins up an SsspService (pre-spawned
+// engines, admission queue, result cache, per-tenant bulkheads) and
+// answers a query script from a file or stdin, one query per line:
 //
-//     <source-vertex> [deadline_ms]
+//     <source-vertex> [deadline_ms] [graph-index]
 //
-// Blank lines and `#` comments are skipped. Every query becomes one CSV
-// row on stdout (or --out), including shed / expired / failed ones, so the
-// stream is a complete account of what the service did:
+// `graph-index` picks the tenant by load order (0 = the default); omitted
+// queries route to the default graph. Blank lines and `#` comments are
+// skipped. Every query becomes one CSV row on stdout (or --out), including
+// shed / quarantined / failed ones, so the stream is a complete account of
+// what the service did:
 //
-//     id,source,status,cache_hit,queue_ms,latency_ms,reached,dist_checksum
+//     id,source,graph,status,cache_hit,queue_ms,latency_ms,reached,dist_checksum
 //
 // The final ServiceReport (latency percentiles, cache hit rate, engine
-// utilization, shed count) goes to stderr.
+// utilization, shed count) goes to stderr, followed by one bulkhead row
+// per resident tenant (health, breaker, quota, cache slice).
 //
 //   ./sssp_server --corpus-graph=smoke-road < queries.txt
 //   printf '0\n5\n0\n' | ./sssp_server --corpus-graph=smoke-rmat --engines=2
-//   ./sssp_server --graph=road.gr --queries=burst.txt --deadline-ms=50
+//   ./sssp_server --graph=road.gr --graph=social.gr --queries=burst.txt
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <vector>
 
@@ -34,17 +40,30 @@ using namespace adds;
 
 namespace {
 
-IntGraph load_graph(const CliParser& cli) {
-  if (const std::string path = cli.str("graph"); !path.empty())
-    return read_gr<uint32_t>(path);
-  const std::string want = cli.str("corpus-graph");
+IntGraph load_corpus_graph(const std::string& want) {
   for (const CorpusTier tier :
        {CorpusTier::kSmoke, CorpusTier::kDefault, CorpusTier::kFull}) {
     for (const auto& spec : corpus_specs(tier))
       if (spec.name == want) return generate_graph<uint32_t>(spec);
   }
-  throw Error("sssp_server: no corpus graph named '" + want +
-              "' (and no --graph file given)");
+  throw Error("sssp_server: no corpus graph named '" + want + "'");
+}
+
+/// Every --graph file, then every --corpus-graph name, in command-line
+/// order; the smoke-road default only applies when neither was given.
+std::vector<std::shared_ptr<const IntGraph>> load_graphs(
+    const CliParser& cli) {
+  std::vector<std::shared_ptr<const IntGraph>> graphs;
+  for (const std::string& path : cli.list("graph"))
+    graphs.push_back(
+        std::make_shared<const IntGraph>(read_gr<uint32_t>(path)));
+  for (const std::string& name : cli.list("corpus-graph"))
+    graphs.push_back(
+        std::make_shared<const IntGraph>(load_corpus_graph(name)));
+  if (graphs.empty())
+    graphs.push_back(std::make_shared<const IntGraph>(
+        load_corpus_graph(cli.str("corpus-graph"))));
+  return graphs;
 }
 
 uint64_t dist_checksum(const std::vector<uint64_t>& dist) {
@@ -53,13 +72,35 @@ uint64_t dist_checksum(const std::vector<uint64_t>& dist) {
                                     dist.size() * sizeof(dist[0]));
 }
 
+void print_tenant_rows(const ServiceReport& rep) {
+  for (const auto& t : rep.tenants)
+    std::fprintf(
+        stderr,
+        "tenant %016llx%s%s | health %s (%llu transitions) | breaker %s "
+        "(%llu opens) | ok %llu failed %llu shed %llu quarantined %llu | "
+        "queue %u/%u engines %u/%u | cache %llu hits / %llu misses "
+        "(%zu entries)\n",
+        (unsigned long long)t.graph_fp, t.is_default ? " [default]" : "",
+        t.pinned ? " [pinned]" : "", service_health_name(t.health),
+        (unsigned long long)t.health_transitions,
+        breaker_state_name(t.breaker), (unsigned long long)t.breaker_opens,
+        (unsigned long long)t.completed, (unsigned long long)t.failed,
+        (unsigned long long)t.shed, (unsigned long long)t.quarantined,
+        t.waiting, t.queue_quota, t.occupancy, t.engine_cap,
+        (unsigned long long)t.cache_hits, (unsigned long long)t.cache_misses,
+        t.cache_entries);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli("sssp_server",
                 "serve SSSP queries from a script over a warm engine pool");
-  cli.add_option("graph", "Galois binary .gr graph file", "");
-  cli.add_option("corpus-graph", "built-in corpus graph name", "smoke-road");
+  cli.add_option("graph",
+                 "Galois binary .gr graph file (repeatable; first given "
+                 "graph is the default route)", "");
+  cli.add_option("corpus-graph",
+                 "built-in corpus graph name (repeatable)", "smoke-road");
   cli.add_option("queries", "query script file ('-' = stdin)", "-");
   cli.add_option("out", "CSV output file ('-' = stdout)", "-");
   cli.add_option("engines", "warm engines (dispatcher threads)", "2");
@@ -71,9 +112,7 @@ int main(int argc, char** argv) {
                "dump the service flight recorder to stderr after the run");
   if (!cli.parse(argc, argv)) return 0;
 
-  const IntGraph g = load_graph(cli);
-  std::fprintf(stderr, "graph: %u vertices, %llu edges\n", g.num_vertices(),
-               (unsigned long long)g.num_edges());
+  const auto graphs = load_graphs(cli);
 
   ServiceConfig cfg;
   cfg.num_engines = uint32_t(cli.integer("engines"));
@@ -82,7 +121,16 @@ int main(int argc, char** argv) {
   cfg.default_deadline_ms = cli.real("deadline-ms");
   cfg.engine.num_workers = uint32_t(cli.integer("workers"));
   SsspService<uint32_t> svc(cfg);
-  svc.set_graph(g);
+
+  std::vector<uint64_t> fps;
+  fps.push_back(svc.set_graph(graphs[0]));
+  for (size_t i = 1; i < graphs.size(); ++i)
+    fps.push_back(svc.publish_graph(graphs[i]));
+  for (size_t i = 0; i < graphs.size(); ++i)
+    std::fprintf(stderr, "graph %zu: %016llx, %u vertices, %llu edges%s\n",
+                 i, (unsigned long long)fps[i], graphs[i]->num_vertices(),
+                 (unsigned long long)graphs[i]->num_edges(),
+                 i == 0 ? " (default)" : "");
 
   std::ifstream qfile;
   const bool from_stdin = cli.str("queries") == "-";
@@ -100,13 +148,18 @@ int main(int argc, char** argv) {
     ADDS_REQUIRE(ofile.is_open(), "cannot write " + cli.str("out"));
   }
   std::ostream& csv = to_stdout ? std::cout : ofile;
-  csv << "id,source,status,cache_hit,queue_ms,latency_ms,reached,"
+  csv << "id,source,graph,status,cache_hit,queue_ms,latency_ms,reached,"
          "dist_checksum\n";
 
   // Submit every script line, then drain the futures in order. The bounded
   // admission queue does the pacing: a burst larger than the queue simply
   // sheds, and the shed rows land in the CSV like any other outcome.
-  std::vector<std::pair<VertexId, std::future<QueryOutcome<uint32_t>>>> futs;
+  struct Pending {
+    VertexId source;
+    size_t graph_idx;
+    std::future<QueryOutcome<uint32_t>> fut;
+  };
+  std::vector<Pending> futs;
   std::string line;
   while (std::getline(in, line)) {
     const size_t first = line.find_first_not_of(" \t");
@@ -117,14 +170,21 @@ int main(int argc, char** argv) {
                  "sssp_server: bad query line: " + line);
     QueryOptions q;
     ls >> q.deadline_ms;  // optional; 0 = service default
-    futs.emplace_back(VertexId(source), svc.submit(VertexId(source), q));
+    size_t graph_idx = 0;
+    if (ls >> graph_idx) {
+      ADDS_REQUIRE(graph_idx < fps.size(),
+                   "sssp_server: graph index out of range: " + line);
+      q.graph_fp = fps[graph_idx];
+    }
+    futs.push_back({VertexId(source), graph_idx,
+                    svc.submit(VertexId(source), q)});
   }
 
   uint64_t ok = 0;
-  for (auto& [source, fut] : futs) {
-    const QueryOutcome<uint32_t> out = fut.get();
+  for (auto& p : futs) {
+    const QueryOutcome<uint32_t> out = p.fut.get();
     ok += out.status == QueryStatus::kOk;
-    csv << out.query_id << ',' << source << ','
+    csv << out.query_id << ',' << p.source << ',' << p.graph_idx << ','
         << query_status_name(out.status) << ',' << (out.cache_hit ? 1 : 0)
         << ',' << out.queue_ms << ',' << out.latency_ms << ','
         << (out.result ? out.result->reached() : 0) << ','
@@ -150,6 +210,7 @@ int main(int argc, char** argv) {
                (unsigned long long)rep.quarantines,
                (unsigned long long)rep.rebuilds,
                (unsigned long long)rep.stale_hits);
+  print_tenant_rows(rep);
 
   if (cli.flag("dump-flightrec")) {
     // The postmortem view: the same ring the service dumps on engine

@@ -1,0 +1,164 @@
+#include "service/graph_catalog.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace adds {
+
+const char* catalog_status_name(CatalogStatus s) noexcept {
+  switch (s) {
+    case CatalogStatus::kOk: return "ok";
+    case CatalogStatus::kUnknownGraph: return "unknown-graph";
+    case CatalogStatus::kCatalogFull: return "catalog-full";
+  }
+  return "?";
+}
+
+template <WeightType W>
+typename GraphCatalog<W>::EntryList::iterator GraphCatalog<W>::find_locked(
+    uint64_t fp) noexcept {
+  return std::find_if(entries_.begin(), entries_.end(),
+                      [fp](const Entry& e) { return e.fp == fp; });
+}
+
+template <WeightType W>
+void GraphCatalog<W>::touch_locked(typename EntryList::iterator it) {
+  if (it != entries_.begin()) std::rotate(entries_.begin(), it, it + 1);
+}
+
+template <WeightType W>
+uint64_t GraphCatalog<W>::publish(Snapshot g, bool pinned, uint64_t fp_hint) {
+  ADDS_REQUIRE(g != nullptr, "graph-catalog: null graph");
+  const uint64_t fp = fp_hint != 0 ? fp_hint : graph_fingerprint(*g);
+
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = find_locked(fp);
+  if (it != entries_.end()) {
+    // Same fingerprint = same content; refresh the snapshot (the caller's
+    // copy may be a distinct allocation) and the pin, promote to MRU.
+    it->graph = std::move(g);
+    it->pinned = pinned;
+    ++it->publishes;
+    ++stats_.republishes;
+    touch_locked(it);
+    return fp;
+  }
+
+  if (max_graphs_ > 0 && entries_.size() >= max_graphs_) {
+    // Evict the LRU unpinned resident. Pinned tenants are load-bearing
+    // (someone promised them residency): if they fill the catalog the
+    // publish fails typed instead of breaking that promise.
+    auto victim = entries_.end();
+    for (auto e = entries_.begin(); e != entries_.end(); ++e)
+      if (!e->pinned) victim = e;  // last unpinned = least recently used
+    if (victim == entries_.end()) {
+      ++stats_.pin_refusals;
+      throw CatalogError(CatalogStatus::kCatalogFull,
+                         "graph-catalog: at capacity (" +
+                             std::to_string(max_graphs_) +
+                             ") and every resident tenant is pinned");
+    }
+    const uint64_t evicted_fp = victim->fp;
+    entries_.erase(victim);
+    ++stats_.evictions;
+    if (evict_hook_) evict_hook_(evicted_fp);
+  }
+
+  Entry e;
+  e.fp = fp;
+  e.graph = std::move(g);
+  e.pinned = pinned;
+  e.publishes = 1;
+  entries_.insert(entries_.begin(), std::move(e));
+  ++stats_.publishes;
+  return fp;
+}
+
+template <WeightType W>
+typename GraphCatalog<W>::Snapshot GraphCatalog<W>::lookup(uint64_t graph_fp) {
+  if (Snapshot s = try_lookup(graph_fp)) return s;
+  char fp_hex[32];
+  std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                (unsigned long long)graph_fp);
+  throw CatalogError(CatalogStatus::kUnknownGraph,
+                     std::string("graph-catalog: unknown graph fp=") + fp_hex);
+}
+
+template <WeightType W>
+typename GraphCatalog<W>::Snapshot GraphCatalog<W>::try_lookup(
+    uint64_t graph_fp) noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = find_locked(graph_fp);
+  if (it == entries_.end()) {
+    ++stats_.unknown_lookups;
+    return nullptr;
+  }
+  ++it->lookups;
+  touch_locked(it);
+  return entries_.front().graph;
+}
+
+template <WeightType W>
+bool GraphCatalog<W>::retire(uint64_t graph_fp) noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = find_locked(graph_fp);
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  ++stats_.retires;
+  return true;
+}
+
+template <WeightType W>
+bool GraphCatalog<W>::set_pinned(uint64_t graph_fp, bool pinned) noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = find_locked(graph_fp);
+  if (it == entries_.end()) return false;
+  it->pinned = pinned;
+  return true;
+}
+
+template <WeightType W>
+bool GraphCatalog<W>::contains(uint64_t graph_fp) const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const Entry& e : entries_)
+    if (e.fp == graph_fp) return true;
+  return false;
+}
+
+template <WeightType W>
+size_t GraphCatalog<W>::size() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+template <WeightType W>
+std::vector<CatalogEntryInfo> GraphCatalog<W>::entries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<CatalogEntryInfo> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    CatalogEntryInfo info;
+    info.graph_fp = e.fp;
+    info.pinned = e.pinned;
+    info.vertices = e.graph->num_vertices();
+    info.edges = e.graph->num_edges();
+    info.lookups = e.lookups;
+    info.publishes = e.publishes;
+    info.use_count = e.graph.use_count();
+    out.push_back(info);
+  }
+  return out;
+}
+
+template <WeightType W>
+CatalogStats GraphCatalog<W>::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+template class GraphCatalog<uint32_t>;
+template class GraphCatalog<float>;
+
+}  // namespace adds

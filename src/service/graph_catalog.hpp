@@ -1,0 +1,170 @@
+// GraphCatalog — the multi-tenant graph registry behind SsspService.
+//
+// A tenant is a graph: the catalog maps graph fingerprint (graph/
+// fingerprint.hpp) to a refcounted CSR snapshot and owns the residency
+// policy for the set of graphs a service instance is willing to serve.
+//
+// Lifetime rules (the whole point of the class):
+//
+//   * Snapshots are shared_ptr<const CsrGraph>. publish() stores one ref;
+//     every consumer — an in-flight query's Pending record, a cache entry's
+//     provenance, an engine's keyed binding — holds its own. retire() and
+//     eviction drop only the catalog's ref, so a snapshot is NEVER freed
+//     while anything still references it; it dies when the last in-flight
+//     holder lets go. ASan/TSan verify this under churn in
+//     tests/graph_catalog_test.cpp.
+//   * Lookups of a fingerprint that was never published (or already
+//     retired/evicted) fail typed: lookup() throws CatalogError with
+//     CatalogStatus::kUnknownGraph; try_lookup() returns null and counts.
+//   * Residency is bounded (`max_graphs`; 0 = unbounded). publish() over
+//     capacity evicts the least-recently-used UNPINNED entry; pinned
+//     tenants are never evicted — if every resident is pinned the publish
+//     itself fails typed (kCatalogFull) rather than silently dropping a
+//     tenant someone promised to keep.
+//   * An eviction hook (set_evict_hook) tells the owner which fingerprint
+//     left residency so dependent state (cache entries, tenant governors,
+//     engine bindings) can be torn down under the owner's own lock. The
+//     hook runs synchronously under the catalog mutex and must not call
+//     back into the catalog.
+//
+// Thread-safety: all methods are safe to call concurrently (one leaf
+// mutex). SsspService additionally serializes its calls under the service
+// mutex; the internal lock makes the catalog independently usable (tests,
+// tools) and keeps the lock ordering service-mutex -> catalog-mutex.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/fingerprint.hpp"
+#include "util/error.hpp"
+
+namespace adds {
+
+/// Typed catalog failure. Ordered like severity is not meaningful here;
+/// these are distinct conditions, not bands.
+enum class CatalogStatus : uint8_t {
+  kOk = 0,
+  kUnknownGraph = 1,  // fingerprint not resident (never published/retired)
+  kCatalogFull = 2,   // at capacity and every resident tenant is pinned
+};
+
+const char* catalog_status_name(CatalogStatus s) noexcept;
+
+/// Thrown by GraphCatalog for typed failures (lookup of an unknown
+/// fingerprint, publish into a fully-pinned catalog).
+class CatalogError : public Error {
+ public:
+  CatalogError(CatalogStatus status, const std::string& what)
+      : Error(what), status_(status) {}
+  CatalogStatus status() const noexcept { return status_; }
+
+ private:
+  CatalogStatus status_;
+};
+
+/// Point-in-time view of one resident tenant (report/debug surface).
+struct CatalogEntryInfo {
+  uint64_t graph_fp = 0;
+  bool pinned = false;
+  uint64_t vertices = 0;
+  uint64_t edges = 0;
+  uint64_t lookups = 0;    // successful lookups of this entry
+  uint64_t publishes = 0;  // times (re)published under this fingerprint
+  /// Live references to the snapshot right now, catalog's own included —
+  /// >1 means queries/cache/bindings still hold it. Racy by nature
+  /// (shared_ptr::use_count); monitoring data, not synchronization.
+  long use_count = 0;
+};
+
+struct CatalogStats {
+  uint64_t publishes = 0;       // first-time publications
+  uint64_t republishes = 0;     // refreshes of an already-resident fp
+  uint64_t retires = 0;         // explicit retire() removals
+  uint64_t evictions = 0;       // capacity-driven LRU removals
+  uint64_t unknown_lookups = 0; // lookups that failed kUnknownGraph
+  uint64_t pin_refusals = 0;    // publishes rejected kCatalogFull
+};
+
+template <WeightType W>
+class GraphCatalog {
+ public:
+  using Snapshot = std::shared_ptr<const CsrGraph<W>>;
+
+  /// `max_graphs` bounds residency; 0 = unbounded (no eviction ever).
+  explicit GraphCatalog(size_t max_graphs = 0) : max_graphs_(max_graphs) {}
+
+  GraphCatalog(const GraphCatalog&) = delete;
+  GraphCatalog& operator=(const GraphCatalog&) = delete;
+
+  /// Called with the fingerprint of every entry the catalog evicts for
+  /// capacity. Runs under the catalog mutex — must not re-enter the
+  /// catalog. Set once, before concurrent use.
+  void set_evict_hook(std::function<void(uint64_t)> hook) {
+    evict_hook_ = std::move(hook);
+  }
+
+  /// Makes `g` resident under its content fingerprint and returns that
+  /// fingerprint. Re-publishing a resident fingerprint refreshes the
+  /// snapshot and its pin (cheap: the fingerprint already matched, the
+  /// content is identical). Over capacity the LRU unpinned entry is
+  /// evicted first; throws CatalogError(kCatalogFull) when every resident
+  /// is pinned. `fp_hint` skips the O(V+E) fingerprint walk when the
+  /// caller already computed it (must match; 0 = compute here).
+  uint64_t publish(Snapshot g, bool pinned = false, uint64_t fp_hint = 0);
+
+  /// Snapshot of a resident graph, promoting it to most-recently-used.
+  /// Throws CatalogError(kUnknownGraph) for a non-resident fingerprint.
+  Snapshot lookup(uint64_t graph_fp);
+
+  /// Like lookup() but returns null instead of throwing (still counts the
+  /// miss in stats().unknown_lookups).
+  Snapshot try_lookup(uint64_t graph_fp) noexcept;
+
+  /// Drops the catalog's reference; in-flight holders keep theirs. Returns
+  /// false when the fingerprint was not resident. Does NOT run the evict
+  /// hook (the caller asked; it already knows).
+  bool retire(uint64_t graph_fp) noexcept;
+
+  /// Pins or unpins a resident tenant. Returns false when not resident.
+  bool set_pinned(uint64_t graph_fp, bool pinned) noexcept;
+
+  bool contains(uint64_t graph_fp) const noexcept;
+  size_t size() const noexcept;
+  size_t capacity() const noexcept { return max_graphs_; }
+
+  /// All resident tenants, most-recently-used first.
+  std::vector<CatalogEntryInfo> entries() const;
+  CatalogStats stats() const;
+
+ private:
+  struct Entry {
+    uint64_t fp = 0;
+    Snapshot graph;
+    bool pinned = false;
+    uint64_t lookups = 0;
+    uint64_t publishes = 0;
+  };
+  using EntryList = std::vector<Entry>;  // front = most recent
+
+  // Under mu_. Linear scans throughout: residency is a handful to a few
+  // dozen graphs, far below the crossover where a map + intrusive list
+  // would pay for its complexity.
+  typename EntryList::iterator find_locked(uint64_t fp) noexcept;
+  void touch_locked(typename EntryList::iterator it);
+
+  mutable std::mutex mu_;
+  size_t max_graphs_;
+  EntryList entries_;
+  CatalogStats stats_;
+  std::function<void(uint64_t)> evict_hook_;
+};
+
+extern template class GraphCatalog<uint32_t>;
+extern template class GraphCatalog<float>;
+
+}  // namespace adds

@@ -73,18 +73,38 @@ struct CacheStats {
   uint64_t invalidations = 0;  // entries dropped by graph swap / clear
 };
 
+/// Per-fingerprint (per-tenant) slice of the cache counters, surfaced in
+/// ServiceReport::tenants.
+struct TenantCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  size_t entries = 0;  // resident entries of this fingerprint right now
+};
+
 template <WeightType W>
 class ResultCache {
  public:
   using Value = std::shared_ptr<const SsspResult<W>>;
 
   /// `capacity` == 0 disables the cache (every lookup misses, inserts
-  /// drop).
-  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+  /// drop). `per_fp_cap` bounds how many entries any one graph fingerprint
+  /// may hold (tenant-fair eviction: a hot tenant recycles its own LRU
+  /// entry instead of evicting other tenants' results); 0 = uncapped.
+  explicit ResultCache(size_t capacity, size_t per_fp_cap = 0)
+      : capacity_(capacity), per_fp_cap_(per_fp_cap) {}
 
   size_t capacity() const noexcept { return capacity_; }
+  size_t per_fp_cap() const noexcept { return per_fp_cap_; }
   size_t size() const noexcept { return map_.size(); }
   const CacheStats& stats() const noexcept { return stats_; }
+
+  /// Per-fingerprint counters (zeroes for a never-seen fingerprint). Kept
+  /// across invalidation — the counters describe tenant traffic, not the
+  /// current residency.
+  TenantCacheStats tenant_stats(uint64_t graph_fp) const {
+    const auto it = by_fp_.find(graph_fp);
+    return it != by_fp_.end() ? it->second : TenantCacheStats{};
+  }
 
   /// Returns the cached result and promotes the entry to most-recent, or
   /// null on miss. `count_miss=false` is for the service's dequeue-time
@@ -93,16 +113,21 @@ class ResultCache {
   Value lookup(const CacheKey& key, bool count_miss = true) {
     const auto it = map_.find(key);
     if (it == map_.end()) {
-      if (count_miss) ++stats_.misses;
+      if (count_miss) {
+        ++stats_.misses;
+        ++by_fp_[key.graph_fp].misses;
+      }
       return nullptr;
     }
     lru_.splice(lru_.begin(), lru_, it->second);
     ++stats_.hits;
+    ++by_fp_[key.graph_fp].hits;
     return it->second->value;
   }
 
-  /// Inserts (or refreshes) an entry, evicting the least-recently-used
-  /// entry when at capacity.
+  /// Inserts (or refreshes) an entry. A tenant over its per-fingerprint
+  /// cap recycles its own least-recently-used entry; a full cache evicts
+  /// the global LRU entry.
   void insert(const CacheKey& key, Value value) {
     if (capacity_ == 0) return;
     const auto it = map_.find(key);
@@ -111,27 +136,30 @@ class ResultCache {
       lru_.splice(lru_.begin(), lru_, it->second);
       return;
     }
-    if (map_.size() >= capacity_) {
-      map_.erase(lru_.back().key);
-      lru_.pop_back();
+    if (per_fp_cap_ > 0 && by_fp_[key.graph_fp].entries >= per_fp_cap_) {
+      evict_lru_of_fp(key.graph_fp);
+    } else if (map_.size() >= capacity_) {
+      erase_entry(std::prev(lru_.end()));
       ++stats_.evictions;
     }
     lru_.push_front(Entry{key, std::move(value)});
     map_.emplace(key, lru_.begin());
+    ++by_fp_[key.graph_fp].entries;
     ++stats_.insertions;
   }
 
-  /// Drops every entry (graph swap: all fingerprints are stale).
+  /// Drops every entry (full reset; per-tenant hit/miss history is kept).
   void invalidate_all() {
     stats_.invalidations += map_.size();
     map_.clear();
     lru_.clear();
+    for (auto& [fp, ts] : by_fp_) ts.entries = 0;
   }
 
-  /// Drops only the entries of one graph fingerprint. The brownout stale
-  /// window uses this: set_graph keeps the outgoing generation servable
-  /// for a bounded time, then the supervisor purges exactly that
-  /// generation when the window closes. O(entries); runs off the hot path.
+  /// Drops only the entries of one graph fingerprint: a tenant retiring or
+  /// being evicted from the catalog takes exactly its own results with it,
+  /// and the brownout stale window purges exactly the outgoing generation
+  /// when it closes. O(entries); runs off the hot path.
   size_t invalidate_fp(uint64_t graph_fp) {
     size_t dropped = 0;
     for (auto it = lru_.begin(); it != lru_.end();) {
@@ -143,6 +171,8 @@ class ResultCache {
         ++it;
       }
     }
+    const auto fit = by_fp_.find(graph_fp);
+    if (fit != by_fp_.end()) fit->second.entries = 0;
     stats_.invalidations += dropped;
     return dropped;
   }
@@ -152,12 +182,35 @@ class ResultCache {
     CacheKey key;
     Value value;
   };
+  using LruIter = typename std::list<Entry>::iterator;
+
+  void erase_entry(LruIter it) {
+    const auto fit = by_fp_.find(it->key.graph_fp);
+    if (fit != by_fp_.end() && fit->second.entries > 0)
+      --fit->second.entries;
+    map_.erase(it->key);
+    lru_.erase(it);
+  }
+
+  /// Evicts the least-recently-used entry of `graph_fp` (the per-tenant
+  /// cap guarantees one exists when this is called). Scans from the LRU
+  /// end; caps are small so the walk is short.
+  void evict_lru_of_fp(uint64_t graph_fp) {
+    for (auto it = std::prev(lru_.end());; --it) {
+      if (it->key.graph_fp == graph_fp) {
+        erase_entry(it);
+        ++stats_.evictions;
+        return;
+      }
+      if (it == lru_.begin()) return;  // unreachable while counts are right
+    }
+  }
 
   size_t capacity_;
+  size_t per_fp_cap_;
   std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<CacheKey, typename std::list<Entry>::iterator,
-                     CacheKeyHash>
-      map_;
+  std::unordered_map<CacheKey, LruIter, CacheKeyHash> map_;
+  std::unordered_map<uint64_t, TenantCacheStats> by_fp_;
   CacheStats stats_;
 };
 

@@ -78,6 +78,39 @@ struct EngineStatus {
   uint64_t quarantines = 0;    // times pulled from service
   uint64_t rebuilds = 0;       // reconstructions completed
   uint32_t probe_failures = 0; // consecutive failed post-rebuild probes
+  uint64_t bound_fp = 0;       // tenant this warm engine last solved for
+  uint64_t rebinds = 0;        // times the slot switched tenants
+};
+
+/// Per-tenant snapshot inside ServiceReport: one row per catalog-resident
+/// graph. The isolation invariants read directly off this: a faulted
+/// tenant shows health/breaker damage here while every other row stays
+/// kHealthy/kClosed with zero sheds.
+struct TenantStatus {
+  uint64_t graph_fp = 0;
+  bool pinned = false;
+  bool is_default = false;  // set_graph routes fp-less queries here
+  ServiceHealth health = ServiceHealth::kHealthy;
+  uint64_t health_transitions = 0;
+  BreakerState breaker = BreakerState::kClosed;
+  uint32_t breaker_failures = 0;  // consecutive, resets on success
+  uint64_t breaker_opens = 0;     // lifetime
+  // Admission / completion, this tenant only.
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t shed = 0;         // kOverloaded (quota or tenant shedding)
+  uint64_t quarantined = 0;  // kTenantQuarantined (open breaker)
+  uint64_t stale_hits = 0;
+  // Result-cache slice.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  size_t cache_entries = 0;
+  // Bulkhead state right now.
+  uint32_t waiting = 0;      // queued queries of this tenant
+  uint32_t queue_quota = 0;  // max queued (floor(queue_share * depth))
+  uint32_t occupancy = 0;    // engine slots held (busy + attributed faults)
+  uint32_t engine_cap = 0;   // max slots (floor(engine_share * engines))
 };
 
 /// Point-in-time snapshot returned by SsspService::report().
@@ -89,6 +122,8 @@ struct ServiceReport {
   uint64_t shed = 0;              // kOverloaded (admission queue full)
   uint64_t cancelled = 0;         // kCancelled
   uint64_t deadline_expired = 0;  // kDeadlineExpired
+  uint64_t unknown_graph = 0;     // kUnknownGraph (non-resident fp)
+  uint64_t tenant_quarantined = 0;  // kTenantQuarantined (open breaker)
 
   // Result cache effectiveness.
   uint64_t cache_hits = 0;
@@ -129,6 +164,14 @@ struct ServiceReport {
   uint64_t brownout_clamped = 0;   // deadlines clamped by brownout
   uint64_t flight_events = 0;      // lifetime flight-recorder events
   std::vector<EngineStatus> engine_status;  // one entry per engine slot
+
+  // Tenancy (empty / zero with no graphs published).
+  std::vector<TenantStatus> tenants;  // one row per resident graph, by fp
+  size_t catalog_residents = 0;
+  uint64_t catalog_publishes = 0;   // first-time publications
+  uint64_t catalog_retires = 0;
+  uint64_t catalog_evictions = 0;   // capacity-driven LRU removals
+  uint64_t engine_rebinds = 0;      // keyed-binding switches, all slots
 };
 
 }  // namespace adds

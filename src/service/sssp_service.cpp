@@ -8,7 +8,10 @@
 #include <utility>
 #include <vector>
 
+#include <unordered_map>
+
 #include "core/solver.hpp"
+#include "service/graph_catalog.hpp"
 #include "service/result_cache.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
@@ -24,6 +27,8 @@ const char* query_status_name(QueryStatus s) noexcept {
     case QueryStatus::kCancelled: return "cancelled";
     case QueryStatus::kFailed: return "failed";
     case QueryStatus::kShutdown: return "shutdown";
+    case QueryStatus::kUnknownGraph: return "unknown-graph";
+    case QueryStatus::kTenantQuarantined: return "tenant-quarantined";
   }
   return "?";
 }
@@ -59,6 +64,25 @@ struct SsspService<W>::Impl {
     std::promise<QueryOutcome<W>> promise;
   };
 
+  /// Per-tenant bulkhead state, one per catalog-resident graph. Created at
+  /// publish, torn down at retire/evict. All under `m`.
+  struct Tenant {
+    explicit Tenant(const ServiceConfig& c)
+        : breaker(c.tenant.breaker_open_after, c.tenant.breaker_cooldown_ms),
+          governor(c.supervisor),
+          recorder(512) {}
+    TenantBreaker breaker;
+    HealthGovernor governor;
+    LatencyRecorder recorder;  // this tenant's completions (p99 signal)
+    uint32_t waiting = 0;      // queued queries of this tenant
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t shed = 0;
+    uint64_t quarantined = 0;
+    uint64_t stale_hits = 0;
+  };
+
   ServiceConfig cfg;
   const bool supervise;
   WallTimer uptime;
@@ -72,15 +96,24 @@ struct SsspService<W>::Impl {
   std::deque<uint32_t> rebuild_queue;  // slot indices awaiting rebuild
   bool stopping = false;
   std::atomic<bool> stop_flag{false};  // mirrors `stopping` for probes
-  std::shared_ptr<const CsrGraph<W>> graph;
-  uint64_t graph_fp = 0;
-  // Brownout stale window: entries of `stale_fp` stay servable until
-  // `stale_deadline_ms` (uptime clock), then the supervisor purges them.
+  // Tenancy: the catalog owns graph residency; `default_fp` is where
+  // fp-less queries route (the last set_graph). The catalog has its own
+  // leaf mutex but every service-side call happens under `m`, which also
+  // guards `tenants` consistency with residency.
+  GraphCatalog<W> catalog;
+  std::unordered_map<uint64_t, Tenant> tenants;
+  uint64_t default_fp = 0;
+  // Per-tenant bulkhead bounds, resolved once from TenantPolicy.
+  const uint32_t tenant_queue_quota;
+  const uint32_t tenant_engine_cap;
+  // Brownout stale window (default tenant only): entries of `stale_fp`
+  // stay servable until `stale_deadline_ms` (uptime clock), then the
+  // supervisor closes the window (and purges the entries if that
+  // generation is no longer catalog-resident).
   uint64_t stale_fp = 0;
   double stale_deadline_ms = 0.0;
   ResultCache<W> cache;
   LatencyRecorder recorder;
-  HealthGovernor governor;
   FlightRecorder flightrec;
   uint64_t submitted = 0;
   uint64_t completed = 0;
@@ -88,6 +121,8 @@ struct SsspService<W>::Impl {
   uint64_t shed = 0;
   uint64_t cancelled = 0;
   uint64_t deadline_expired = 0;
+  uint64_t unknown_graph = 0;
+  uint64_t tenant_quarantined = 0;
   uint64_t stale_hits = 0;
   uint64_t brownout_clamped = 0;
   uint64_t probe_failures_total = 0;
@@ -97,6 +132,10 @@ struct SsspService<W>::Impl {
   QueueHealth last_health;
 
   std::vector<EngineSupervision> sup;
+  /// Keyed-binding snapshot refs, one per slot: the graph behind
+  /// sup[i].bound_fp. An idle bound engine counts as a snapshot holder
+  /// (the catalog contract), released on rebind, retire/evict and rebuild.
+  std::vector<std::shared_ptr<const CsrGraph<W>>> bound_graphs;
   std::vector<std::unique_ptr<HostEngine<W>>> engines;
   std::vector<std::thread> dispatchers;
   std::thread supervisor_thread;
@@ -104,15 +143,25 @@ struct SsspService<W>::Impl {
   std::mutex join_m;
   bool joined = false;
 
+  static uint32_t share_of(double share, uint32_t total) noexcept {
+    if (share >= 1.0 || total == 0) return total;
+    const double f = share > 0.0 ? share : 0.0;
+    return std::max<uint32_t>(1, uint32_t(f * double(total)));
+  }
+
   explicit Impl(const ServiceConfig& c)
       : cfg(c),
         supervise(c.supervisor.enabled),
         config_digest(options_digest(c.engine)),
-        cache(c.cache_entries),
-        governor(c.supervisor),
+        catalog(c.tenant.catalog_graphs),
+        tenant_queue_quota(share_of(c.tenant.queue_share, c.max_queue_depth)),
+        tenant_engine_cap(share_of(c.tenant.engine_share, c.num_engines)),
+        cache(c.cache_entries, c.tenant.cache_entries_per_tenant),
         flightrec(c.supervisor.flight_recorder_events),
-        sup(c.num_engines) {
+        sup(c.num_engines),
+        bound_graphs(c.num_engines) {
     ADDS_REQUIRE(cfg.num_engines >= 1, "sssp-service: need at least one engine");
+    catalog.set_evict_hook([this](uint64_t fp) { on_evicted_locked(fp); });
     engines.reserve(cfg.num_engines);
     dispatchers.reserve(cfg.num_engines);
     for (uint32_t i = 0; i < cfg.num_engines; ++i)
@@ -171,11 +220,147 @@ struct SsspService<W>::Impl {
     return n;
   }
 
+  // --- tenancy helpers (all under m) ----------------------------------------
+
+  Tenant* tenant_for(uint64_t fp) noexcept {
+    const auto it = tenants.find(fp);
+    return it != tenants.end() ? &it->second : nullptr;
+  }
+
+  /// This tenant's view of engine availability: idle/busy slots plus
+  /// quarantined/rebuilding slots some OTHER tenant poisoned (from this
+  /// tenant's perspective that capacity is merely in maintenance, not
+  /// gone). Only the offending tenant perceives its own blast damage —
+  /// the per-tenant governor feeds on this, which is what keeps tenant B
+  /// kHealthy while tenant A wedges engines.
+  uint32_t tenant_view_available(uint64_t fp) const noexcept {
+    uint32_t n = 0;
+    for (const auto& s : sup) {
+      if (s.state == EngineState::kIdle || s.state == EngineState::kBusy)
+        ++n;
+      else if (s.state != EngineState::kRetired && s.fault_fp != 0 &&
+               s.fault_fp != fp)
+        ++n;
+    }
+    return n;
+  }
+
+  /// Engine slots a tenant currently holds: busy slots running its
+  /// queries plus quarantined/rebuilding slots its queries poisoned. The
+  /// bulkhead cap compares against this, so a tenant whose queries keep
+  /// wedging engines runs out of *its own* share instead of serially
+  /// taking down the fleet.
+  uint32_t tenant_occupancy(uint64_t fp) const noexcept {
+    uint32_t n = 0;
+    for (const auto& s : sup) {
+      if (s.state == EngineState::kBusy && s.active_fp == fp)
+        ++n;
+      else if ((s.state == EngineState::kQuarantined ||
+                s.state == EngineState::kRebuilding) &&
+               s.fault_fp == fp)
+        ++n;
+    }
+    return n;
+  }
+
+  /// Service-wide health = the worst band across tenants. A single-tenant
+  /// service degenerates to the old semantics exactly.
+  ServiceHealth worst_health() const noexcept {
+    ServiceHealth worst = ServiceHealth::kHealthy;
+    for (const auto& [fp, t] : tenants)
+      worst = std::max(worst, t.governor.state());
+    return worst;
+  }
+
+  /// Sheds queued queries matching `pred` with a typed status. Returns how
+  /// many were swept.
+  template <typename Pred>
+  uint32_t shed_matching_locked(Pred&& pred, QueryStatus status,
+                                const char* why, FlightKind kind) {
+    uint32_t swept = 0;
+    for (auto it = waiting.begin(); it != waiting.end();) {
+      if (!pred(**it)) {
+        ++it;
+        continue;
+      }
+      std::unique_ptr<Pending> p = std::move(*it);
+      it = waiting.erase(it);
+      ++swept;
+      if (Tenant* t = tenant_for(p->key.graph_fp)) {
+        if (t->waiting > 0) --t->waiting;
+        if (status == QueryStatus::kOverloaded) ++t->shed;
+        if (status == QueryStatus::kTenantQuarantined) ++t->quarantined;
+      }
+      if (status == QueryStatus::kOverloaded) ++shed;
+      if (status == QueryStatus::kTenantQuarantined) ++tenant_quarantined;
+      if (status == QueryStatus::kUnknownGraph) ++unknown_graph;
+      QueryOutcome<W> out;
+      out.status = status;
+      out.query_id = p->id;
+      out.graph_fp = p->key.graph_fp;
+      out.latency_ms = uptime.elapsed_ms() - p->submit_ms;
+      out.error = why;
+      record_query(kind, *p);
+      p->promise.set_value(std::move(out));
+    }
+    return swept;
+  }
+
+  /// Capacity-eviction hook (runs inside catalog.publish, under m): the
+  /// evicted tenant takes its cache entries, bulkhead state, queued
+  /// queries and engine bindings with it.
+  void on_evicted_locked(uint64_t fp) {
+    const size_t dropped = cache.invalidate_fp(fp);
+    drop_tenant_locked(fp);
+    record(FlightKind::kGraphEvicted, FlightEvent::kNoEngine, fp,
+           uint32_t(dropped));
+    ADDS_LOG_WARN("sssp-service: graph %016llx evicted from catalog "
+                  "(%zu cache entries dropped)",
+                  (unsigned long long)fp, dropped);
+  }
+
+  /// Shared retire/evict teardown: queued queries resolve kUnknownGraph,
+  /// bindings release their snapshot refs, the Tenant record goes away.
+  void drop_tenant_locked(uint64_t fp) {
+    shed_matching_locked(
+        [fp](const Pending& p) { return p.key.graph_fp == fp; },
+        QueryStatus::kUnknownGraph, "graph left the catalog while queued",
+        FlightKind::kUnknownGraph);
+    for (uint32_t i = 0; i < sup.size(); ++i) {
+      if (sup[i].bound_fp == fp) {
+        sup[i].bound_fp = 0;
+        bound_graphs[i].reset();
+      }
+    }
+    tenants.erase(fp);
+    if (default_fp == fp) default_fp = 0;
+    if (stale_fp == fp) stale_fp = 0;
+  }
+
   // --- dispatcher ----------------------------------------------------------
+
+  /// First queued query whose tenant is under its engine cap; among the
+  /// eligible, one matching this slot's keyed binding wins (no rebind, and
+  /// its warm pool is already sized for that graph). FIFO otherwise.
+  /// Returns waiting.end() when nothing is runnable. O(queue * engines) —
+  /// both are small and bounded. Call under m.
+  typename std::deque<std::unique_ptr<Pending>>::iterator pick_locked(
+      uint32_t slot) noexcept {
+    auto pick = waiting.end();
+    for (auto it = waiting.begin(); it != waiting.end(); ++it) {
+      const uint64_t fp = (*it)->key.graph_fp;
+      if (tenant_occupancy(fp) >= tenant_engine_cap) continue;
+      if (fp == sup[slot].bound_fp) return it;  // affinity hit
+      if (pick == waiting.end()) pick = it;     // first eligible (FIFO)
+    }
+    return pick;
+  }
 
   /// One dispatcher per engine slot. The predicate is slot-local: a
   /// quarantined slot's dispatcher parks (its engine is being rebuilt
   /// under it) and resumes when the rebuilder returns the slot to kIdle.
+  /// A queue whose every entry belongs to capped tenants parks everyone;
+  /// occupancy releases (run_one return, rebuild completion) notify.
   void dispatch_loop(uint32_t i) {
     for (;;) {
       std::unique_ptr<Pending> p;
@@ -195,13 +380,34 @@ struct SsspService<W>::Impl {
           if (stopping) return;
           continue;
         }
-        if (waiting.empty()) {
+        const auto it = pick_locked(i);
+        if (it == waiting.end()) {
           if (stopping) return;
+          // Everything queued belongs to tenants at their engine cap;
+          // park until an occupancy release re-notifies. At shutdown the
+          // post-join sweep resolves what remains.
+          if (!waiting.empty())
+            cv.wait_for(lk, std::chrono::milliseconds(1));
           continue;
         }
-        p = std::move(waiting.front());
-        waiting.pop_front();
+        p = std::move(*it);
+        waiting.erase(it);
         EngineSupervision& s = sup[i];
+        if (Tenant* t = tenant_for(p->key.graph_fp))
+          if (t->waiting > 0) --t->waiting;
+        // Keyed binding: rebind the warm engine to this query's tenant if
+        // it last served another (the engine itself rewinds via the next
+        // solve's WorkQueue::reset — this is bookkeeping plus the
+        // snapshot ref that keeps the bound graph catalog-safe).
+        if (s.bound_fp != p->key.graph_fp) {
+          if (s.bound_fp != 0) {
+            ++s.rebinds;
+            record(FlightKind::kEngineRebound, uint16_t(i), p->key.graph_fp);
+          }
+          s.bound_fp = p->key.graph_fp;
+        }
+        bound_graphs[i] = p->graph;
+        s.active_fp = p->key.graph_fp;
         s.state = EngineState::kBusy;
         s.kill_reason = KillReason::kNone;
         s.active_query = p->id;
@@ -218,6 +424,10 @@ struct SsspService<W>::Impl {
         if (sup[i].state == EngineState::kBusy)
           sup[i].state = EngineState::kIdle;
       }
+      // The slot released occupancy (back to idle, or quarantined with the
+      // fault attributed): queries of other tenants capped a moment ago —
+      // or parked sibling dispatchers — may be runnable now.
+      cv.notify_all();
     }
   }
 
@@ -238,16 +448,27 @@ struct SsspService<W>::Impl {
       out.latency_ms = uptime.elapsed_ms() - p->submit_ms;
       {
         std::lock_guard<std::mutex> lk(m);
+        Tenant* t = tenant_for(p->key.graph_fp);
         switch (st) {
           case QueryStatus::kOk:
             ++completed;
             recorder.add(out.latency_ms);
+            if (t) {
+              ++t->completed;
+              t->recorder.add(out.latency_ms);
+            }
             break;
-          case QueryStatus::kFailed: ++failed; break;
+          case QueryStatus::kFailed:
+            ++failed;
+            if (t) ++t->failed;
+            break;
           case QueryStatus::kCancelled: ++cancelled; break;
           case QueryStatus::kDeadlineExpired: ++deadline_expired; break;
           case QueryStatus::kOverloaded:
-          case QueryStatus::kShutdown: break;  // not produced here
+          case QueryStatus::kShutdown:
+          case QueryStatus::kUnknownGraph:
+          case QueryStatus::kTenantQuarantined:
+            break;  // not produced here
         }
       }
       switch (st) {
@@ -302,6 +523,10 @@ struct SsspService<W>::Impl {
     ctl.deadline_ms =
         p->deadline_ms > 0.0 ? p->deadline_ms - out.queue_ms : 0.0;
     ctl.beacon = supervise ? &sup[engine_idx].beacon : nullptr;
+    // Tenant-scoped chaos: the solve executes in this tenant's fault
+    // domain, so a domain-restricted FaultPlan wedges exactly this graph's
+    // queries (rebuild probes run in domain 0 and stay clean).
+    ctl.fault_domain = p->key.graph_fp;
 
     const auto publish_ok = [&](SsspResult<W>&& r) {
       auto sp = std::make_shared<const SsspResult<W>>(std::move(r));
@@ -334,6 +559,12 @@ struct SsspService<W>::Impl {
         // ignore the mark. The stray abort flag is cleared by the next
         // solve's queue reset.
         s.kill_reason = KillReason::kNone;
+        // Tenant breaker: an end-to-end engine success resets the failure
+        // streak; from half-open it is the recovery proof that closes.
+        if (Tenant* t = tenant_for(p->key.graph_fp))
+          if (t->breaker.on_success())
+            record(FlightKind::kBreakerClosed, FlightEvent::kNoEngine,
+                   p->key.graph_fp);
       }
       return publish_ok(std::move(r));
     } catch (const DeadlineError&) {
@@ -346,6 +577,7 @@ struct SsspService<W>::Impl {
       if (cancelled_now()) return finish(QueryStatus::kCancelled);
 
       bool quarantined_now = false;
+      bool breaker_opened = false;
       ServiceHealth health_now = ServiceHealth::kHealthy;
       if (supervise) {
         std::lock_guard<std::mutex> lk(m);
@@ -358,14 +590,38 @@ struct SsspService<W>::Impl {
           s.state = EngineState::kQuarantined;
           s.consecutive_errors = 0;
           ++s.quarantines;
+          // Blast-radius attribution: the slot is out of service because
+          // THIS tenant's query poisoned it. Other tenants' availability
+          // views (and so their governors) ignore this slot's outage.
+          s.fault_fp = p->key.graph_fp;
           record(FlightKind::kEngineQuarantined, uint16_t(engine_idx), p->id,
                  killed ? 0 : s.consecutive_errors);
           rebuild_queue.push_back(engine_idx);
           quarantined_now = true;
         }
-        health_now = governor.state();
+        // Tenant breaker: every engine failure (wedge kill or error)
+        // counts against the offending tenant only.
+        if (Tenant* t = tenant_for(p->key.graph_fp)) {
+          if (t->breaker.on_failure(uptime.elapsed_ms())) {
+            breaker_opened = true;
+            record(FlightKind::kBreakerOpen, FlightEvent::kNoEngine,
+                   p->key.graph_fp, t->breaker.consecutive_failures());
+            // Sweep the quarantined tenant's backlog typed: those queries
+            // would only feed more failures into the same graph.
+            const uint64_t fp = p->key.graph_fp;
+            shed_matching_locked(
+                [fp](const Pending& q) { return q.key.graph_fp == fp; },
+                QueryStatus::kTenantQuarantined,
+                "tenant circuit breaker opened",
+                FlightKind::kQueryQuarantined);
+          }
+          health_now = t->governor.state();
+        }
       }
       if (quarantined_now) rb_cv.notify_one();
+      if (breaker_opened)
+        ADDS_LOG_WARN("sssp-service: tenant %016llx circuit breaker opened",
+                      (unsigned long long)p->key.graph_fp);
 
       // Guarded fallback is a luxury of a healthy service: in brownout the
       // one-shot runtime (fresh threads, fresh pool, retries) would pile
@@ -402,20 +658,10 @@ struct SsspService<W>::Impl {
 
   void shed_waiting_locked(const char* why, FlightKind kind) {
     const bool is_shutdown = kind == FlightKind::kShutdownDrain;
-    while (!waiting.empty()) {
-      std::unique_ptr<Pending> p = std::move(waiting.front());
-      waiting.pop_front();
-      if (!is_shutdown) ++shed;
-      QueryOutcome<W> out;
-      out.status = is_shutdown ? QueryStatus::kShutdown
-                               : QueryStatus::kOverloaded;
-      out.query_id = p->id;
-      out.graph_fp = p->key.graph_fp;
-      out.latency_ms = uptime.elapsed_ms() - p->submit_ms;
-      out.error = why;
-      record_query(kind, *p);
-      p->promise.set_value(std::move(out));
-    }
+    shed_matching_locked([](const Pending&) { return true; },
+                         is_shutdown ? QueryStatus::kShutdown
+                                     : QueryStatus::kOverloaded,
+                         why, kind);
   }
 
   void supervisor_loop() {
@@ -441,32 +687,51 @@ struct SsspService<W>::Impl {
         }
       }
 
-      // Health band.
-      HealthSignals sig;
-      sig.load = cfg.max_queue_depth > 0
-                     ? double(waiting.size()) / double(cfg.max_queue_depth)
-                     : 0.0;
-      sig.engines_available = count_available();
-      sig.engines_in_fleet = uint32_t(sup.size()) - count_retired();
-      if (cfg.supervisor.brownout_p99_ms > 0.0)
-        sig.p99_ms = recorder.summary().p99;
-      const ServiceHealth before = governor.state();
-      if (governor.update(sig))
-        record(FlightKind::kHealthTransition, FlightEvent::kNoEngine, 0,
-               (uint32_t(before) << 8) | uint32_t(governor.state()),
-               sig.engines_available);
+      // Per-tenant health bands. Each tenant's governor sees ITS view of
+      // the fleet (a slot another tenant poisoned still counts as capacity
+      // for this one) and its own queue pressure and latency — wedges and
+      // brownout stay scoped to the offending graph.
+      const uint32_t fleet = uint32_t(sup.size()) - count_retired();
+      for (auto& [fp, t] : tenants) {
+        HealthSignals sig;
+        sig.load = tenant_queue_quota > 0
+                       ? double(t.waiting) / double(tenant_queue_quota)
+                       : 0.0;
+        sig.engines_available = tenant_view_available(fp);
+        sig.engines_in_fleet = fleet;
+        if (cfg.supervisor.brownout_p99_ms > 0.0)
+          sig.p99_ms = t.recorder.summary().p99;
+        const ServiceHealth before = t.governor.state();
+        if (t.governor.update(sig)) {
+          record(FlightKind::kTenantHealth, FlightEvent::kNoEngine, fp,
+                 (uint32_t(before) << 8) | uint32_t(t.governor.state()));
+          record(FlightKind::kHealthTransition, FlightEvent::kNoEngine, fp,
+                 (uint32_t(before) << 8) | uint32_t(t.governor.state()),
+                 sig.engines_available);
+        }
 
-      // Shedding: with zero available engines nothing will ever drain the
-      // backlog — fail it typed now instead of letting callers hang on
-      // futures no dispatcher can complete.
-      if (sig.engines_available == 0 && !waiting.empty())
-        shed_waiting_locked("shed: no engines available",
-                            FlightKind::kQueryShed);
+        // Shedding, tenant-scoped: when THIS tenant's availability view is
+        // zero nothing will ever drain its backlog — fail it typed now
+        // instead of letting its callers hang. Other tenants' queues are
+        // untouched (their engines are fine).
+        if (sig.engines_available == 0 && t.waiting > 0) {
+          const uint64_t shed_fp = fp;
+          shed_matching_locked(
+              [shed_fp](const Pending& p) {
+                return p.key.graph_fp == shed_fp;
+              },
+              QueryStatus::kOverloaded, "shed: no engines available",
+              FlightKind::kQueryShed);
+        }
+      }
 
-      // Stale-window close: purge the previous graph generation once its
-      // bounded staleness budget is spent.
+      // Stale-window close: stop serving the previous default generation
+      // once its bounded staleness budget is spent. Its entries are
+      // dropped only if the graph also left the catalog — a still-resident
+      // tenant keeps them for queries that target it explicitly.
       if (stale_fp != 0 && now >= stale_deadline_ms) {
-        const size_t dropped = cache.invalidate_fp(stale_fp);
+        const size_t dropped =
+            catalog.contains(stale_fp) ? 0 : cache.invalidate_fp(stale_fp);
         record(FlightKind::kStaleWindowExpired, FlightEvent::kNoEngine,
                stale_fp, uint32_t(dropped));
         stale_fp = 0;
@@ -492,7 +757,19 @@ struct SsspService<W>::Impl {
       const uint32_t i = rebuild_queue.front();
       rebuild_queue.pop_front();
       sup[i].state = EngineState::kRebuilding;
-      auto probe_graph = graph;  // current generation, not the old query's
+      // The rebuilt slot starts unbound; drop the old binding's snapshot
+      // ref now (the engine it belonged to is about to be destroyed).
+      sup[i].bound_fp = 0;
+      bound_graphs[i].reset();
+      // Probe on the default tenant's graph (any resident one if no
+      // default is set) — current generation, not the old query's. Probes
+      // run in fault domain 0, so tenant-scoped chaos never fails them.
+      auto probe_graph = catalog.try_lookup(default_fp);
+      if (!probe_graph) {
+        const auto residents = catalog.entries();
+        if (!residents.empty())
+          probe_graph = catalog.try_lookup(residents.front().graph_fp);
+      }
 
       lk.unlock();
       std::string probe_err;
@@ -525,6 +802,7 @@ struct SsspService<W>::Impl {
       if (ok) {
         s.probe_failures = 0;
         s.consecutive_errors = 0;
+        s.fault_fp = 0;  // blast damage repaired; attribution cleared
         s.state = EngineState::kIdle;
         record(FlightKind::kEngineRecovered, uint16_t(i), 0);
         cv.notify_all();  // slot is serviceable again
@@ -569,18 +847,61 @@ struct SsspService<W>::Impl {
         p->promise.set_value(std::move(out));
         return fut;
       }
-      ADDS_REQUIRE(graph != nullptr, "sssp-service: no graph set");
-      ADDS_REQUIRE(source < graph->num_vertices(),
-                   "sssp-service: source vertex out of range");
+      // Tenant resolution: an explicit fingerprint routes to that tenant;
+      // 0 routes to the set_graph default. Misuse (no graph anywhere)
+      // still throws; a *wrong* fingerprint is a per-query condition and
+      // resolves typed.
+      ADDS_REQUIRE(q.graph_fp != 0 || default_fp != 0,
+                   "sssp-service: no graph set");
+      const uint64_t fp = q.graph_fp != 0 ? q.graph_fp : default_fp;
       p->id = ++submitted;
       p->submit_ms = uptime.elapsed_ms();
-      p->graph = graph;
+      p->graph = catalog.try_lookup(fp);
+      if (p->graph == nullptr) {
+        ++unknown_graph;
+        QueryOutcome<W> out;
+        out.status = QueryStatus::kUnknownGraph;
+        out.query_id = p->id;
+        out.graph_fp = fp;
+        out.error = "graph not resident in catalog";
+        record_query(FlightKind::kUnknownGraph, *p);
+        p->promise.set_value(std::move(out));
+        return fut;
+      }
+      ADDS_REQUIRE(source < p->graph->num_vertices(),
+                   "sssp-service: source vertex out of range");
+      Tenant& ten = tenants.at(fp);  // resident => tenant state exists
+      ++ten.submitted;
       p->deadline_ms =
           q.deadline_ms > 0.0 ? q.deadline_ms : cfg.default_deadline_ms;
       p->cacheable = !q.bypass_cache && cache.capacity() > 0;
-      p->key = CacheKey{graph_fp, source, config_digest};
+      p->key = CacheKey{fp, source, config_digest};
 
-      const ServiceHealth health = supervise ? governor.state()
+      // Circuit breaker: an open tenant rejects typed before any queue or
+      // engine resource is spent on it. The cooldown check lives inside
+      // admit() — an expired cooldown half-opens here and lets the query
+      // through as the trial.
+      if (supervise && ten.breaker.enabled()) {
+        const BreakerState before = ten.breaker.state();
+        const auto verdict = ten.breaker.admit(p->submit_ms);
+        if (before == BreakerState::kOpen &&
+            ten.breaker.state() == BreakerState::kHalfOpen)
+          record(FlightKind::kBreakerHalfOpen, FlightEvent::kNoEngine, fp);
+        if (verdict == TenantBreaker::Admit::kReject) {
+          ++tenant_quarantined;
+          ++ten.quarantined;
+          QueryOutcome<W> out;
+          out.status = QueryStatus::kTenantQuarantined;
+          out.query_id = p->id;
+          out.graph_fp = fp;
+          out.error = "tenant circuit breaker open";
+          record_query(FlightKind::kQueryQuarantined, *p);
+          p->promise.set_value(std::move(out));
+          return fut;
+        }
+      }
+
+      const ServiceHealth health = supervise ? ten.governor.state()
                                              : ServiceHealth::kHealthy;
       if (health == ServiceHealth::kBrownout) {
         // Degraded-mode deadline clamp: spend less engine time per query
@@ -599,20 +920,23 @@ struct SsspService<W>::Impl {
           out.status = QueryStatus::kOk;
           out.result = std::move(v);
           out.cache_hit = true;
-          out.graph_fp = graph_fp;
+          out.graph_fp = fp;
           out.query_id = p->id;
           out.latency_ms = uptime.elapsed_ms() - p->submit_ms;
           ++completed;
+          ++ten.completed;
           recorder.add(out.latency_ms);
+          ten.recorder.add(out.latency_ms);
           record_query(FlightKind::kQueryCacheHit, *p);
           p->promise.set_value(std::move(out));
           return fut;
         }
-        // Brownout bounded-staleness serve: a miss on the current
-        // generation may still hit the previous one while its window is
-        // open. The outcome says so (stale=true, old fingerprint).
-        if (health == ServiceHealth::kBrownout && stale_fp != 0 &&
-            uptime.elapsed_ms() < stale_deadline_ms) {
+        // Brownout bounded-staleness serve (default tenant only — the
+        // stale generation is the graph set_graph replaced): a miss on
+        // the current generation may still hit the previous one while its
+        // window is open. The outcome says so (stale=true, old fp).
+        if (health == ServiceHealth::kBrownout && fp == default_fp &&
+            stale_fp != 0 && uptime.elapsed_ms() < stale_deadline_ms) {
           const CacheKey old_key{stale_fp, source, config_digest};
           if (auto v = cache.lookup(old_key, /*count_miss=*/false)) {
             QueryOutcome<W> out;
@@ -624,8 +948,11 @@ struct SsspService<W>::Impl {
             out.query_id = p->id;
             out.latency_ms = uptime.elapsed_ms() - p->submit_ms;
             ++completed;
+            ++ten.completed;
             ++stale_hits;
+            ++ten.stale_hits;
             recorder.add(out.latency_ms);
+            ten.recorder.add(out.latency_ms);
             record_query(FlightKind::kQueryStaleHit, *p);
             p->promise.set_value(std::move(out));
             return fut;
@@ -633,32 +960,44 @@ struct SsspService<W>::Impl {
         }
       }
 
-      if (health == ServiceHealth::kShedding) {
+      const auto shed_overloaded = [&](const std::string& why,
+                                       bool tenant_scoped) {
         ++shed;
+        ++ten.shed;
         QueryOutcome<W> out;
         out.status = QueryStatus::kOverloaded;
         out.query_id = p->id;
-        out.graph_fp = graph_fp;
-        out.error = "service shedding: no engines available";
-        record_query(FlightKind::kQueryShed, *p);
+        out.graph_fp = fp;
+        out.error = why;
+        record_query(tenant_scoped ? FlightKind::kTenantShed
+                                   : FlightKind::kQueryShed,
+                     *p);
         p->promise.set_value(std::move(out));
+      };
+
+      if (health == ServiceHealth::kShedding) {
+        shed_overloaded("service shedding: no engines available", false);
+        return fut;
+      }
+      // Per-tenant admission quota: a tenant burst sheds ITS OWN traffic
+      // once its queue share is spent; other tenants keep queueing into
+      // the remaining depth.
+      if (ten.waiting >= tenant_queue_quota) {
+        shed_overloaded("tenant admission quota full (queue_quota=" +
+                            std::to_string(tenant_queue_quota) + ")",
+                        true);
         return fut;
       }
       if (waiting.size() >= cfg.max_queue_depth) {
         // Graceful shedding: reject now rather than queue into an
         // unbounded backlog the deadline will kill anyway.
-        ++shed;
-        QueryOutcome<W> out;
-        out.status = QueryStatus::kOverloaded;
-        out.query_id = p->id;
-        out.graph_fp = graph_fp;
-        out.error = "admission queue full (max_queue_depth=" +
-                    std::to_string(cfg.max_queue_depth) + ")";
-        record_query(FlightKind::kQueryShed, *p);
-        p->promise.set_value(std::move(out));
+        shed_overloaded("admission queue full (max_queue_depth=" +
+                            std::to_string(cfg.max_queue_depth) + ")",
+                        false);
         return fut;
       }
       record_query(FlightKind::kQueryAdmit, *p);
+      ++ten.waiting;
       waiting.push_back(std::move(p));
       peak_depth = std::max<uint32_t>(peak_depth, uint32_t(waiting.size()));
     }
@@ -669,23 +1008,73 @@ struct SsspService<W>::Impl {
     return fut;
   }
 
+  // --- tenancy surface -------------------------------------------------------
+
+  /// Shared publish path (under m): catalog residency (possibly evicting
+  /// the LRU unpinned tenant through the hook) plus this service's Tenant
+  /// bulkhead record.
+  uint64_t publish_locked(std::shared_ptr<const CsrGraph<W>> g, bool pinned,
+                          uint64_t fp) {
+    catalog.publish(std::move(g), pinned, fp);  // may run on_evicted_locked
+    const auto [it, fresh] = tenants.try_emplace(fp, cfg);
+    if (fresh && supervise) {
+      // Seed the new tenant's band from the signals as they stand instead
+      // of assuming kHealthy until the next supervisor tick — a submit
+      // racing that tick must already see the configured policy.
+      HealthSignals sig;
+      sig.engines_available = tenant_view_available(fp);
+      sig.engines_in_fleet = uint32_t(sup.size()) - count_retired();
+      it->second.governor.update(sig);
+    }
+    record(FlightKind::kGraphPublished, FlightEvent::kNoEngine, fp,
+           uint32_t(catalog.size()), pinned ? 1 : 0);
+    return fp;
+  }
+
+  uint64_t publish(std::shared_ptr<const CsrGraph<W>> g, bool pinned,
+                   uint64_t fp) {
+    std::lock_guard<std::mutex> lk(m);
+    return publish_locked(std::move(g), pinned, fp);
+  }
+
+  bool retire(uint64_t fp) {
+    std::lock_guard<std::mutex> lk(m);
+    if (!catalog.retire(fp)) return false;
+    const size_t dropped = cache.invalidate_fp(fp);
+    drop_tenant_locked(fp);
+    record(FlightKind::kGraphRetired, FlightEvent::kNoEngine, fp,
+           uint32_t(dropped));
+    return true;
+  }
+
+  std::vector<uint64_t> residents() const {
+    std::vector<uint64_t> fps;
+    for (const auto& e : catalog.entries()) fps.push_back(e.graph_fp);
+    return fps;
+  }
+
+  /// set_graph = publish(pinned) + default routing. The outgoing default
+  /// is unpinned but stays resident, and — deliberately — its cache
+  /// entries are NOT invalidated: they are still correct for queries that
+  /// target its fingerprint, and publishing tenant B must never cost
+  /// tenant A its cache. Dead entries die by LRU or when their graph
+  /// leaves the catalog.
   void set_graph(std::shared_ptr<const CsrGraph<W>> g, uint64_t fp) {
     std::lock_guard<std::mutex> lk(m);
-    const uint64_t old_fp = graph_fp;
-    graph = std::move(g);
-    graph_fp = fp;
+    const uint64_t old_fp = default_fp;
+    publish_locked(std::move(g), /*pinned=*/true, fp);
+    if (old_fp != 0 && old_fp != fp) catalog.set_pinned(old_fp, false);
+    default_fp = fp;
     const double window = supervise ? cfg.supervisor.stale_serve_ms : 0.0;
     if (window > 0.0 && old_fp != 0 && old_fp != fp) {
-      // Keep the outgoing generation servable (brownout only) for the
-      // bounded window; at most one old generation is ever retained.
-      if (stale_fp != 0 && stale_fp != fp) cache.invalidate_fp(stale_fp);
+      // Keep the outgoing generation servable to default-routed brownout
+      // queries for the bounded window; at most one old generation is ever
+      // retained in that role.
+      if (stale_fp != 0 && stale_fp != fp && !catalog.contains(stale_fp))
+        cache.invalidate_fp(stale_fp);
       stale_fp = old_fp;
       stale_deadline_ms = uptime.elapsed_ms() + window;
-    } else {
-      // Every cached entry keys on the old fingerprint: a lookup could
-      // never hit again, so dropping them wholesale only trades dead
-      // weight for capacity.
-      cache.invalidate_all();
+    } else if (old_fp != fp) {
       stale_fp = 0;
     }
     record(FlightKind::kGraphSwap, FlightEvent::kNoEngine, fp, 0,
@@ -733,6 +1122,8 @@ struct SsspService<W>::Impl {
     rep.shed = shed;
     rep.cancelled = cancelled;
     rep.deadline_expired = deadline_expired;
+    rep.unknown_graph = unknown_graph;
+    rep.tenant_quarantined = tenant_quarantined;
     const CacheStats& cs = cache.stats();
     rep.cache_hits = cs.hits;
     rep.cache_misses = cs.misses;
@@ -752,8 +1143,11 @@ struct SsspService<W>::Impl {
           1.0, engine_busy_ms / (rep.uptime_ms * double(engines.size())));
     rep.latency = recorder.summary();
     rep.last_health = last_health;
-    rep.health = supervise ? governor.state() : ServiceHealth::kHealthy;
-    rep.health_transitions = governor.transitions();
+    // Service-wide health is the worst band across tenants — a
+    // single-tenant service reads exactly as before.
+    rep.health = supervise ? worst_health() : ServiceHealth::kHealthy;
+    for (const auto& [fp, t] : tenants)
+      rep.health_transitions += t.governor.transitions();
     rep.engines_available = count_available();
     rep.engines_retired = count_retired();
     rep.stale_hits = stale_hits;
@@ -769,10 +1163,52 @@ struct SsspService<W>::Impl {
       es.quarantines = s.quarantines;
       es.rebuilds = s.rebuilds;
       es.probe_failures = s.probe_failures;
+      es.bound_fp = s.bound_fp;
+      es.rebinds = s.rebinds;
       rep.engine_status.push_back(es);
       rep.supervisor_kills += s.kills;
       rep.quarantines += s.quarantines;
       rep.rebuilds += s.rebuilds;
+      rep.engine_rebinds += s.rebinds;
+    }
+    // Tenancy: one row per resident graph, catalog residency joined with
+    // this service's bulkhead state and the cache's per-fp slice.
+    const auto residents = catalog.entries();
+    const CatalogStats cat = catalog.stats();
+    rep.catalog_residents = residents.size();
+    rep.catalog_publishes = cat.publishes;
+    rep.catalog_retires = cat.retires;
+    rep.catalog_evictions = cat.evictions;
+    rep.tenants.reserve(residents.size());
+    for (const auto& ent : residents) {
+      TenantStatus ts;
+      ts.graph_fp = ent.graph_fp;
+      ts.pinned = ent.pinned;
+      ts.is_default = ent.graph_fp == default_fp;
+      const auto it = tenants.find(ent.graph_fp);
+      if (it != tenants.end()) {
+        const Tenant& t = it->second;
+        ts.health = supervise ? t.governor.state() : ServiceHealth::kHealthy;
+        ts.health_transitions = t.governor.transitions();
+        ts.breaker = t.breaker.state();
+        ts.breaker_failures = t.breaker.consecutive_failures();
+        ts.breaker_opens = t.breaker.opens();
+        ts.submitted = t.submitted;
+        ts.completed = t.completed;
+        ts.failed = t.failed;
+        ts.shed = t.shed;
+        ts.quarantined = t.quarantined;
+        ts.stale_hits = t.stale_hits;
+        ts.waiting = t.waiting;
+      }
+      const TenantCacheStats tcs = cache.tenant_stats(ent.graph_fp);
+      ts.cache_hits = tcs.hits;
+      ts.cache_misses = tcs.misses;
+      ts.cache_entries = tcs.entries;
+      ts.queue_quota = tenant_queue_quota;
+      ts.occupancy = tenant_occupancy(ent.graph_fp);
+      ts.engine_cap = tenant_engine_cap;
+      rep.tenants.push_back(ts);
     }
     return rep;
   }
@@ -788,17 +1224,42 @@ SsspService<W>::~SsspService() {
 }
 
 template <WeightType W>
-void SsspService<W>::set_graph(std::shared_ptr<const CsrGraph<W>> g) {
+uint64_t SsspService<W>::set_graph(std::shared_ptr<const CsrGraph<W>> g) {
   ADDS_REQUIRE(g != nullptr, "sssp-service: null graph");
   // The O(V + E) digest runs outside the lock; only the publish is
   // serialized.
   const uint64_t fp = graph_fingerprint(*g);
   impl_->set_graph(std::move(g), fp);
+  return fp;
 }
 
 template <WeightType W>
-void SsspService<W>::set_graph(CsrGraph<W> g) {
-  set_graph(std::make_shared<const CsrGraph<W>>(std::move(g)));
+uint64_t SsspService<W>::set_graph(CsrGraph<W> g) {
+  return set_graph(std::make_shared<const CsrGraph<W>>(std::move(g)));
+}
+
+template <WeightType W>
+uint64_t SsspService<W>::publish_graph(std::shared_ptr<const CsrGraph<W>> g,
+                                       bool pinned) {
+  ADDS_REQUIRE(g != nullptr, "sssp-service: null graph");
+  const uint64_t fp = graph_fingerprint(*g);
+  return impl_->publish(std::move(g), pinned, fp);
+}
+
+template <WeightType W>
+uint64_t SsspService<W>::publish_graph(CsrGraph<W> g, bool pinned) {
+  return publish_graph(std::make_shared<const CsrGraph<W>>(std::move(g)),
+                       pinned);
+}
+
+template <WeightType W>
+bool SsspService<W>::retire_graph(uint64_t graph_fp) {
+  return impl_->retire(graph_fp);
+}
+
+template <WeightType W>
+std::vector<uint64_t> SsspService<W>::resident_graphs() const {
+  return impl_->residents();
 }
 
 template <WeightType W>

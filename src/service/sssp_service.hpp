@@ -24,9 +24,23 @@
 //     engine failure can fall back to the guarded one-shot runtime
 //     (core/resilience.hpp) when ServiceConfig::guarded_fallback is on.
 //
-// Graph snapshots: set_graph() publishes a shared_ptr; every query captures
-// the snapshot current at submit time, so a swap mid-flight never pulls the
-// graph out from under a running engine.
+// Multi-tenancy (service/graph_catalog.hpp): every published graph is a
+// tenant, keyed by fingerprint. QueryOptions::graph_fp routes a query to
+// its tenant (0 = the set_graph default). Fault containment is per tenant:
+// each tenant has its own admission quota (a bounded share of the queue),
+// its own HealthGovernor (a wedging tenant browns out alone; the report's
+// service-wide `health` is the worst band across tenants), a circuit
+// breaker (repeated failures open it — typed kTenantQuarantined — with
+// automatic half-open retry after cooldown) and a bounded engine share
+// (busy slots plus slots its queries poisoned), so no tenant can take the
+// whole fleet down. Engines carry a keyed binding to the tenant they last
+// solved for; dispatch rebinds an idle engine on demand (cheap: the warm
+// queue rewinds via WorkQueue::reset).
+//
+// Graph snapshots: publish/set_graph store shared_ptrs; every query
+// captures the snapshot current at submit time, so a swap, retire or
+// eviction mid-flight never pulls the graph out from under a running
+// engine.
 //
 // All public methods are thread-safe.
 #pragma once
@@ -39,6 +53,7 @@
 
 #include "core/resilience.hpp"
 #include "graph/csr_graph.hpp"
+#include "service/graph_catalog.hpp"
 #include "service/service_stats.hpp"
 #include "sssp/host_engine.hpp"
 
@@ -51,6 +66,8 @@ enum class QueryStatus : uint8_t {
   kCancelled,        // caller's cancel token fired
   kFailed,           // engine (and fallback, if enabled) failed
   kShutdown,         // submitted after shutdown()
+  kUnknownGraph,     // QueryOptions::graph_fp is not catalog-resident
+  kTenantQuarantined,  // the tenant's circuit breaker is open
 };
 
 const char* query_status_name(QueryStatus s) noexcept;
@@ -90,6 +107,10 @@ struct ServiceConfig {
   /// Self-healing: engine supervision, brownout degradation and the
   /// flight recorder (service/supervisor.hpp).
   SupervisorConfig supervisor;
+  /// Multi-tenant bulkheads: per-tenant queue/engine shares, the circuit
+  /// breaker and catalog/cache residency bounds (service/supervisor.hpp).
+  /// Defaults are single-tenant transparent.
+  TenantPolicy tenant;
 };
 
 struct QueryOptions {
@@ -100,6 +121,10 @@ struct QueryOptions {
   const std::atomic<bool>* cancel = nullptr;
   /// Skip cache lookup and insertion for this query.
   bool bypass_cache = false;
+  /// Target graph: a fingerprint returned by publish_graph()/set_graph().
+  /// 0 routes to the default tenant (the last set_graph). A non-resident
+  /// fingerprint resolves typed kUnknownGraph.
+  uint64_t graph_fp = 0;
 };
 
 template <WeightType W>
@@ -132,10 +157,33 @@ class SsspService {
   SsspService(const SsspService&) = delete;
   SsspService& operator=(const SsspService&) = delete;
 
-  /// Publishes the graph served by subsequent queries and invalidates the
-  /// result cache. In-flight queries keep the snapshot they captured.
-  void set_graph(std::shared_ptr<const CsrGraph<W>> g);
-  void set_graph(CsrGraph<W> g);
+  /// Publishes `g` as the DEFAULT tenant: sugar for publish_graph(pinned)
+  /// plus default routing for fp-less queries. The previous default is
+  /// unpinned but stays catalog-resident — its cached results remain
+  /// servable to queries that target its fingerprint explicitly (and, in
+  /// brownout, through the bounded stale window). In-flight queries keep
+  /// the snapshot they captured. Returns the new default's fingerprint.
+  uint64_t set_graph(std::shared_ptr<const CsrGraph<W>> g);
+  uint64_t set_graph(CsrGraph<W> g);
+
+  /// Makes `g` catalog-resident under its content fingerprint and returns
+  /// that fingerprint (the tenant key for QueryOptions::graph_fp). Over
+  /// catalog capacity the LRU unpinned tenant is evicted (its cache
+  /// entries dropped, its bulkhead state torn down); throws
+  /// CatalogError(kCatalogFull) when every resident is pinned.
+  uint64_t publish_graph(std::shared_ptr<const CsrGraph<W>> g,
+                         bool pinned = false);
+  uint64_t publish_graph(CsrGraph<W> g, bool pinned = false);
+
+  /// Removes a tenant: new lookups of `graph_fp` resolve kUnknownGraph,
+  /// its cached results and queued queries are dropped, engine bindings
+  /// released. In-flight queries finish on the snapshot they hold — the
+  /// catalog never frees a referenced snapshot. Returns false when the
+  /// fingerprint was not resident.
+  bool retire_graph(uint64_t graph_fp);
+
+  /// Fingerprints of every catalog-resident graph (MRU first).
+  std::vector<uint64_t> resident_graphs() const;
 
   /// Asynchronous query. Never throws for per-query conditions: shedding,
   /// deadline, cancel and failure all arrive as the future's

@@ -24,6 +24,15 @@ const char* engine_state_name(EngineState s) noexcept {
   return "?";
 }
 
+const char* breaker_state_name(BreakerState s) noexcept {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
 bool HealthGovernor::update(const HealthSignals& s) noexcept {
   ServiceHealth next;
   const bool fleet_degraded = s.engines_available < s.engines_in_fleet;
@@ -87,6 +96,17 @@ const char* flight_kind_name(FlightKind k) noexcept {
     case FlightKind::kStaleWindowExpired: return "stale-window-expired";
     case FlightKind::kFaultObserved: return "fault-observed";
     case FlightKind::kShutdownDrain: return "shutdown-drain";
+    case FlightKind::kGraphPublished: return "graph-published";
+    case FlightKind::kGraphRetired: return "graph-retired";
+    case FlightKind::kGraphEvicted: return "graph-evicted";
+    case FlightKind::kBreakerOpen: return "breaker-open";
+    case FlightKind::kBreakerHalfOpen: return "breaker-half-open";
+    case FlightKind::kBreakerClosed: return "breaker-closed";
+    case FlightKind::kQueryQuarantined: return "query-quarantined";
+    case FlightKind::kTenantShed: return "tenant-shed";
+    case FlightKind::kTenantHealth: return "tenant-health";
+    case FlightKind::kEngineRebound: return "engine-rebound";
+    case FlightKind::kUnknownGraph: return "unknown-graph";
   }
   return "?";
 }
@@ -127,6 +147,39 @@ std::string format_flight_event(const StampedFlightEvent& e) {
       std::snprintf(buf + n, sizeof(buf) - size_t(n),
                     "engine-wedged q=%llu pulse-age=%ums",
                     (unsigned long long)e.ev.b, e.ev.a);
+      break;
+    case FlightKind::kGraphPublished:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "graph-published fp=%016llx residents=%u pinned=%u",
+                    (unsigned long long)e.ev.b, e.ev.a, e.ev.c);
+      break;
+    case FlightKind::kGraphRetired:
+    case FlightKind::kGraphEvicted:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "%s fp=%016llx cache-dropped=%u",
+                    flight_kind_name(kind), (unsigned long long)e.ev.b,
+                    e.ev.a);
+      break;
+    case FlightKind::kBreakerOpen:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "breaker-open fp=%016llx failures=%u",
+                    (unsigned long long)e.ev.b, e.ev.a);
+      break;
+    case FlightKind::kBreakerHalfOpen:
+    case FlightKind::kBreakerClosed:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n), "%s fp=%016llx",
+                    flight_kind_name(kind), (unsigned long long)e.ev.b);
+      break;
+    case FlightKind::kTenantHealth:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "tenant-health fp=%016llx %s -> %s",
+                    (unsigned long long)e.ev.b,
+                    service_health_name(ServiceHealth(e.ev.a >> 8)),
+                    service_health_name(ServiceHealth(e.ev.a & 0xff)));
+      break;
+    case FlightKind::kEngineRebound:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "engine-rebound fp=%016llx", (unsigned long long)e.ev.b);
       break;
     default:
       std::snprintf(buf + n, sizeof(buf) - size_t(n), "%s a=%u c=%u b=%llu",

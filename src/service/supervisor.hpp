@@ -66,6 +66,102 @@ enum class KillReason : uint8_t {
   kWedge = 1,  // busy with a frozen pulse beyond wedge_ms
 };
 
+/// Per-tenant circuit-breaker state (classic three-state machine).
+enum class BreakerState : uint8_t {
+  kClosed = 0,    // tenant serving normally
+  kOpen = 1,      // tenant quarantined: submits rejected kTenantQuarantined
+  kHalfOpen = 2,  // cooldown elapsed: trial queries probe the tenant
+};
+
+const char* breaker_state_name(BreakerState s) noexcept;
+
+/// Per-tenant bulkhead knobs. Defaults are single-tenant-transparent: with
+/// one graph and shares of 1.0 the service behaves exactly as before the
+/// catalog existed.
+struct TenantPolicy {
+  /// Each tenant may occupy at most floor(queue_share * max_queue_depth)
+  /// admission-queue slots (>= 1); beyond that ITS submits shed
+  /// kOverloaded while other tenants keep queueing.
+  double queue_share = 1.0;
+  /// Each tenant may hold at most floor(engine_share * num_engines) engine
+  /// slots (>= 1) — busy slots running its queries plus quarantined/
+  /// rebuilding slots its queries poisoned. A wedging tenant can never
+  /// take down more than its share of the fleet.
+  double engine_share = 1.0;
+  /// Circuit breaker: after `breaker_open_after` consecutive engine
+  /// failures (wedge kills or errors) the tenant's breaker opens — its
+  /// queued queries are swept and new submits reject typed
+  /// kTenantQuarantined until `breaker_cooldown_ms` elapses, then the
+  /// breaker half-opens and trial queries decide (success closes, failure
+  /// reopens). 0 disables the breaker.
+  uint32_t breaker_open_after = 3;
+  double breaker_cooldown_ms = 250.0;
+  /// Residency bound handed to the GraphCatalog (0 = unbounded).
+  size_t catalog_graphs = 8;
+  /// Per-fingerprint result-cache entry cap (tenant-fair eviction; 0 =
+  /// uncapped, any tenant may fill the whole cache).
+  size_t cache_entries_per_tenant = 0;
+};
+
+/// The kClosed -> kOpen -> kHalfOpen breaker, pure policy like
+/// HealthGovernor: no threads, no clock reads — the owner feeds timestamps.
+class TenantBreaker {
+ public:
+  TenantBreaker(uint32_t open_after, double cooldown_ms) noexcept
+      : open_after_(open_after), cooldown_ms_(cooldown_ms) {}
+
+  BreakerState state() const noexcept { return state_; }
+  uint32_t consecutive_failures() const noexcept { return failures_; }
+  uint64_t opens() const noexcept { return opens_; }
+  bool enabled() const noexcept { return open_after_ > 0; }
+
+  /// Admission decision for one query at `now_ms`. An open breaker whose
+  /// cooldown elapsed transitions to half-open here (lazily — no timer
+  /// thread) and admits the query as a trial.
+  enum class Admit : uint8_t { kAllow, kTrial, kReject };
+  Admit admit(double now_ms) noexcept {
+    if (!enabled() || state_ == BreakerState::kClosed) return Admit::kAllow;
+    if (state_ == BreakerState::kOpen) {
+      if (now_ms - open_since_ms_ < cooldown_ms_) return Admit::kReject;
+      state_ = BreakerState::kHalfOpen;
+    }
+    return Admit::kTrial;
+  }
+
+  /// One engine failure (wedge kill or error) attributed to this tenant.
+  /// Returns true when this failure OPENED the breaker (the caller sweeps
+  /// the tenant's backlog and records the event). A half-open trial
+  /// failure reopens immediately — one bad probe is proof enough.
+  bool on_failure(double now_ms) noexcept {
+    ++failures_;
+    if (!enabled() || state_ == BreakerState::kOpen) return false;
+    if (state_ == BreakerState::kHalfOpen || failures_ >= open_after_) {
+      state_ = BreakerState::kOpen;
+      open_since_ms_ = now_ms;
+      ++opens_;
+      return true;
+    }
+    return false;
+  }
+
+  /// One engine success for this tenant. Returns true when it CLOSED a
+  /// half-open breaker (recovery proven end to end).
+  bool on_success() noexcept {
+    failures_ = 0;
+    if (state_ != BreakerState::kHalfOpen) return false;
+    state_ = BreakerState::kClosed;
+    return true;
+  }
+
+ private:
+  uint32_t open_after_;
+  double cooldown_ms_;
+  BreakerState state_ = BreakerState::kClosed;
+  uint32_t failures_ = 0;
+  double open_since_ms_ = 0.0;
+  uint64_t opens_ = 0;
+};
+
 struct SupervisorConfig {
   /// Master switch. Off = PR4 behavior: no supervisor thread, no health
   /// machine, engines are never quarantined.
@@ -157,6 +253,24 @@ struct EngineSupervision {
   uint64_t kills = 0;        // supervisor interrupts delivered
   uint64_t quarantines = 0;  // times pulled from service
   uint64_t rebuilds = 0;     // engine reconstructions completed
+  // --- tenancy (all under the service mutex) -------------------------------
+  /// Fingerprint of the query the slot is running (valid while kBusy);
+  /// counts toward that tenant's engine occupancy.
+  uint64_t active_fp = 0;
+  /// Blast-radius attribution: the tenant whose query poisoned this slot,
+  /// set at quarantine and cleared when the rebuilt slot returns to
+  /// service. A quarantined/rebuilding slot counts as UNAVAILABLE only in
+  /// the offending tenant's availability view — every other tenant still
+  /// sees it as capacity coming back, so one tenant's wedge cannot brown
+  /// the others out.
+  uint64_t fault_fp = 0;
+  /// Keyed engine binding: the tenant this warm engine last solved for.
+  /// Binding is affinity metadata plus a snapshot reference (bound_graph
+  /// in the service keeps the graph alive for the catalog's lifetime
+  /// contract); rebinding is cheap — the next solve's WorkQueue::reset
+  /// rewinds the warm queue for the new graph.
+  uint64_t bound_fp = 0;
+  uint64_t rebinds = 0;  // times the slot switched tenants
 };
 
 /// Wedge policy, factored out of the supervisor thread so it is testable
@@ -194,6 +308,18 @@ enum class FlightKind : uint16_t {
   kStaleWindowExpired = 17,  // b=purged fingerprint, a=entries dropped
   kFaultObserved = 18,     // a=fault fires seen during the query, b=query id
   kShutdownDrain = 19,     // a=queries swept to kShutdown at teardown
+  // --- tenancy (PR6) ---------------------------------------------------
+  kGraphPublished = 20,    // b=fingerprint, a=residents after, c=pinned
+  kGraphRetired = 21,      // b=fingerprint, a=cache entries dropped
+  kGraphEvicted = 22,      // b=fingerprint, a=cache entries dropped
+  kBreakerOpen = 23,       // b=fingerprint, a=consecutive failures
+  kBreakerHalfOpen = 24,   // b=fingerprint
+  kBreakerClosed = 25,     // b=fingerprint
+  kQueryQuarantined = 26,  // a=source, b=query id (open-breaker reject)
+  kTenantShed = 27,        // a=source, b=query id (per-tenant quota shed)
+  kTenantHealth = 28,      // b=fingerprint, a=(from<<8)|to
+  kEngineRebound = 29,     // engine=slot, b=new bound fingerprint
+  kUnknownGraph = 30,      // a=source, b=query id (non-resident fp)
 };
 
 const char* flight_kind_name(FlightKind k) noexcept;

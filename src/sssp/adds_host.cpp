@@ -58,6 +58,7 @@ struct WorkerContext {
   AtomicDistArray<DistT<W>>* dist = nullptr;
   AssignmentFlag* flag = nullptr;
   uint32_t combine_capacity = 0;  // 0: single-item pushes (combining off)
+  uint64_t fault_domain = 0;      // query's fault domain (util/fault.hpp)
   WorkStats stats;  // per-query; manager zeroes before, reads after
 };
 
@@ -95,6 +96,9 @@ void worker_main(WorkerContext<W>& ctx) {
     const CsrGraph<W>& g = *ctx.graph;
     WorkQueue& queue = *ctx.queue;
     AtomicDistArray<Dist>& dist = *ctx.dist;
+    // Adopt the query's fault domain for this assignment: domain-restricted
+    // fault plans only hit workers executing the tagged query.
+    fault::set_thread_domain(ctx.fault_domain);
     const VertexId* const targets = g.targets().data();
     const W* const weights = g.weights().data();
     if (ctx.combine_capacity == 0) {
@@ -339,12 +343,16 @@ SsspResult<W> HostEngine<W>::Impl::solve(const CsrGraph<W>& g,
   // outlive the call; the engine quiesces before returning either way.)
   Event& wake = ctl.cancel_event != nullptr ? *ctl.cancel_event : engine_wake_;
   if (ctl.beacon != nullptr) ctl.beacon->begin_solve();
+  // The manager loop below runs on this thread: adopt the query's fault
+  // domain for its injection sites (scan stall, AF delivery delay).
+  fault::ThreadDomainScope fault_domain_scope(ctl.fault_domain);
   for (uint32_t i = 0; i < opts.num_workers; ++i) {
     contexts_[i].graph = &g;
     contexts_[i].queue = &queue;
     contexts_[i].dist = &dist;
     contexts_[i].combine_capacity =
         opts.write_combining ? opts.combine_capacity : 0;
+    contexts_[i].fault_domain = ctl.fault_domain;
     contexts_[i].stats.reset();
     flags_[i].set_done_event(&wake);
   }

@@ -88,6 +88,12 @@ struct QueryControl {
   /// Optional heartbeat sink the manager publishes progress into each
   /// sweep. Null disables publication (one branch per sweep).
   ProgressBeacon* beacon = nullptr;
+  /// Fault-injection domain this query executes in (util/fault.hpp). The
+  /// engine propagates it to the manager loop and every worker assignment,
+  /// so a domain-restricted FaultPlan hits exactly the queries tagged with
+  /// its domain. 0 (the default) matches only unrestricted plans — pure
+  /// test/chaos machinery, free on production paths.
+  uint64_t fault_domain = 0;
 };
 
 /// A warm adds-host solver: construction spawns the worker threads, each

@@ -55,6 +55,7 @@ bool CliParser::parse(int argc, const char* const* argv) {
       ADDS_REQUIRE(i + 1 < argc, "missing value for --" + name);
       o.value = argv[++i];
     }
+    if (!o.is_flag) o.values.push_back(o.value);
   }
   if (flag("help")) {
     std::fputs(help_text().c_str(), stdout);
@@ -91,6 +92,12 @@ double CliParser::real(const std::string& name) const {
   ADDS_REQUIRE(end && *end == '\0' && !v.empty(),
                "option --" + name + " expects a number, got '" + v + "'");
   return out;
+}
+
+std::vector<std::string> CliParser::list(const std::string& name) const {
+  auto it = opts_.find(name);
+  ADDS_REQUIRE(it != opts_.end(), "option not declared: --" + name);
+  return it->second.values;
 }
 
 std::string CliParser::help_text() const {

@@ -31,6 +31,11 @@ class CliParser {
   int64_t integer(const std::string& name) const;
   double real(const std::string& name) const;
 
+  /// Every occurrence of a repeatable option, in command-line order.
+  /// Empty if the option was never given (the default value is NOT
+  /// included — callers that want a fallback check empty() themselves).
+  std::vector<std::string> list(const std::string& name) const;
+
   /// Positional arguments left over after option parsing.
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -39,7 +44,8 @@ class CliParser {
  private:
   struct Opt {
     std::string help;
-    std::string value;   // current value (default until parsed)
+    std::string value;   // current value (default until parsed; last wins)
+    std::vector<std::string> values;  // every parsed occurrence, in order
     bool is_flag = false;
     bool seen = false;
   };

@@ -72,15 +72,24 @@ uint64_t total_fires() noexcept {
 
 namespace detail {
 
+namespace {
+/// Domain gate: a restricted plan only fires on threads executing inside
+/// the matching fault domain. Checked before roll() so filtered hits do
+/// not perturb the deterministic decision sequence of the target domain.
+inline bool domain_matches(const FaultPlan& p) noexcept {
+  return p.domain() == 0 || p.domain() == thread_domain();
+}
+}  // namespace
+
 bool fire_slow(Site s) noexcept {
   FaultPlan* p = g_active_plan.load(std::memory_order_acquire);
-  return p != nullptr && p->roll(s);
+  return p != nullptr && domain_matches(*p) && p->roll(s);
 }
 
 bool delay_slow(Site s, const std::atomic<bool>* abort_a,
                 const std::atomic<bool>* abort_b) noexcept {
   FaultPlan* p = g_active_plan.load(std::memory_order_acquire);
-  if (p == nullptr || !p->roll(s)) return false;
+  if (p == nullptr || !domain_matches(*p) || !p->roll(s)) return false;
   // Sleep in short chunks so an injected multi-second stall still reacts to
   // abort within ~100us — the watchdog's request_abort must never be
   // out-waited by the fault it is recovering from.

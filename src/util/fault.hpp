@@ -75,6 +75,18 @@ class FaultPlan {
     return *this;
   }
 
+  /// Restricts the plan to one fault domain (0 = fire everywhere, the
+  /// default). When non-zero, a site only fires on threads whose current
+  /// fault domain (set_thread_domain) matches — the multi-tenant chaos
+  /// harness keys domains by graph fingerprint so an armed plan wedges
+  /// exactly one tenant's solves while every other tenant (and the
+  /// rebuilder's probe queries, which run in domain 0) stays clean.
+  FaultPlan& restrict_domain(uint64_t domain) noexcept {
+    domain_ = domain;
+    return *this;
+  }
+  uint64_t domain() const noexcept { return domain_; }
+
   uint64_t seed() const noexcept { return seed_; }
   const FaultSpec& spec(Site s) const noexcept {
     return sites_[size_t(s)].spec;
@@ -105,6 +117,35 @@ class FaultPlan {
   };
   std::array<SiteState, kNumSites> sites_;
   uint64_t seed_;
+  uint64_t domain_ = 0;  // 0 = all threads; set before arming, never after
+};
+
+// ---- Fault domains ---------------------------------------------------------
+
+/// The calling thread's fault domain. Solver threads inherit the domain of
+/// the query they execute (HostEngine sets it from QueryControl::
+/// fault_domain on the manager and on every worker assignment); threads
+/// that never touch it sit in domain 0 and match only unrestricted plans.
+inline thread_local uint64_t t_fault_domain = 0;
+
+inline void set_thread_domain(uint64_t domain) noexcept {
+  t_fault_domain = domain;
+}
+inline uint64_t thread_domain() noexcept { return t_fault_domain; }
+
+/// RAII domain override for a scope (the engine's manager loop).
+class ThreadDomainScope {
+ public:
+  explicit ThreadDomainScope(uint64_t domain) noexcept
+      : prev_(t_fault_domain) {
+    t_fault_domain = domain;
+  }
+  ~ThreadDomainScope() { t_fault_domain = prev_; }
+  ThreadDomainScope(const ThreadDomainScope&) = delete;
+  ThreadDomainScope& operator=(const ThreadDomainScope&) = delete;
+
+ private:
+  uint64_t prev_;
 };
 
 // ---- Global arming ---------------------------------------------------------

@@ -73,6 +73,36 @@ TEST(ResultCache, ZeroCapacityDisables) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(ResultCache, PerFingerprintCapRecyclesOwnEntriesOnly) {
+  // Tenant-fair eviction: with a per-fp cap, a hot tenant that overflows
+  // its slice recycles ITS OWN least-recent entry; quieter tenants'
+  // entries survive even though global capacity had room to spare.
+  ResultCache<uint32_t> cache(/*capacity=*/8, /*per_fp_cap=*/2);
+  const auto mk = [] {
+    return std::make_shared<const SsspResult<uint32_t>>();
+  };
+  const uint64_t hot = 1, quiet = 2;
+  cache.insert({quiet, 1, 1}, mk());
+  cache.insert({hot, 1, 1}, mk());
+  cache.insert({hot, 2, 1}, mk());
+  cache.insert({hot, 3, 1}, mk());  // over cap: recycles hot's LRU {hot,1}
+  EXPECT_EQ(cache.lookup({hot, 1, 1}), nullptr);
+  EXPECT_NE(cache.lookup({hot, 2, 1}), nullptr);
+  EXPECT_NE(cache.lookup({hot, 3, 1}), nullptr);
+  EXPECT_NE(cache.lookup({quiet, 1, 1}), nullptr);  // untouched by the flood
+  EXPECT_EQ(cache.tenant_stats(hot).entries, 2u);
+  EXPECT_EQ(cache.tenant_stats(quiet).entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // Invalidating one fingerprint drops its entries but keeps its
+  // hit/miss history (the counters describe traffic, not residency).
+  const auto hot_hits = cache.tenant_stats(hot).hits;
+  cache.invalidate_fp(hot);
+  EXPECT_EQ(cache.tenant_stats(hot).entries, 0u);
+  EXPECT_EQ(cache.tenant_stats(hot).hits, hot_hits);
+  EXPECT_NE(cache.lookup({quiet, 1, 1}), nullptr);
+}
+
 TEST(ResultCache, OptionsDigestSeparatesConfigs) {
   AddsHostOptions a, b;
   b.delta = 42.0;
@@ -123,21 +153,36 @@ TEST(SsspService, BypassCacheComputesFresh) {
   expect_valid(out, g, 3);
 }
 
-TEST(SsspService, GraphSwapInvalidatesCache) {
+TEST(SsspService, GraphSwapMissesOldCacheWithoutCrossTenantInvalidation) {
   const auto g1 = test_graph(1);
   const auto g2 = test_graph(2);
+  const uint64_t fp1 = graph_fingerprint(g1);
   SsspService<uint32_t> svc(small_service());
   svc.set_graph(g1);
   svc.query(5);
   svc.set_graph(g2);
-  const auto rep1 = svc.report();
-  EXPECT_GE(rep1.cache_invalidations, 1u);
-  EXPECT_EQ(rep1.cache_entries, 0u);
 
-  // Same source, new graph: must be a miss AND the new graph's distances.
+  // Same source, new graph: must be a miss AND the new graph's distances
+  // (the cache keys on the fingerprint, so the old entry can never leak).
   const auto out = svc.query(5);
   EXPECT_FALSE(out.cache_hit);
   expect_valid(out, g2, 5);
+
+  // Publishing g2 did NOT invalidate g1's result: the old generation stays
+  // catalog-resident (unpinned) and its entry still serves queries that
+  // target its fingerprint explicitly.
+  EXPECT_EQ(svc.report().cache_invalidations, 0u);
+  QueryOptions q;
+  q.graph_fp = fp1;
+  const auto old_gen = svc.query(5, q);
+  EXPECT_TRUE(old_gen.cache_hit);
+  EXPECT_EQ(old_gen.graph_fp, fp1);
+  expect_valid(old_gen, g1, 5);
+
+  // Retiring g1 takes exactly its entries with it, typed thereafter.
+  EXPECT_TRUE(svc.retire_graph(fp1));
+  EXPECT_EQ(svc.submit(5, q).get().status, QueryStatus::kUnknownGraph);
+  EXPECT_GE(svc.report().cache_invalidations, 1u);
 }
 
 TEST(SsspService, CacheEvictionUnderTinyCapacity) {
@@ -359,7 +404,9 @@ TEST(SsspService, ShutdownRacingAdmissionNeverHangsOrDropsFutures) {
                   out.status == QueryStatus::kOverloaded)
           << "round " << round << " status "
           << query_status_name(out.status);
-      if (out.status == QueryStatus::kOk) EXPECT_NE(out.result, nullptr);
+      if (out.status == QueryStatus::kOk) {
+        EXPECT_NE(out.result, nullptr);
+      }
     }
   }
 }
