@@ -76,5 +76,16 @@ set_tests_properties(tenant_chaos_smoke
 adds_add_bench(service_suite)
 add_test(NAME service_smoke
   COMMAND service_suite --smoke
-          --out=${CMAKE_BINARY_DIR}/BENCH_service.json)
+          --out=${CMAKE_BINARY_DIR}/BENCH_service.json
+          --batch-out=${CMAKE_BINARY_DIR}/BENCH_batch_all.json)
 set_tests_properties(service_smoke PROPERTIES LABELS perf TIMEOUT 300)
+
+# Batched multi-source phase alone: K independent solves vs one
+# solve_batch on the serving-regime road grid, every lane
+# Dijkstra-validated, exit nonzero unless the aggregate speedup clears 3x
+# (emits BENCH_batch.json). Fixed seeds; CI's batch-smoke job runs
+# exactly this.
+add_test(NAME batch_smoke
+  COMMAND service_suite --smoke --phase=batch
+          --batch-out=${CMAKE_BINARY_DIR}/BENCH_batch.json)
+set_tests_properties(batch_smoke PROPERTIES LABELS perf TIMEOUT 300)

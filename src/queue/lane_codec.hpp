@@ -1,0 +1,45 @@
+// Lane encoding for batched multi-source solves.
+//
+// The queue layer treats a work item as an opaque uint32_t end to end —
+// buckets, spill store, translation cache and combiner never interpret it.
+// Batched solves exploit that: a work item becomes (lane, node) packed into
+// the one word, where `lane` selects which query of the batch the node
+// belongs to. The whole bucket structure is shared by every lane; only the
+// endpoints (the relaxation loop and the seeds) encode and decode.
+//
+//   item = (lane << kLaneShift) | node
+//
+// kLaneBits = 4 caps a batch at 16 lanes and a batched graph at 2^28
+// vertices (268M — far beyond the host engine's serving regime). A
+// single-source solve never encodes: lane 0 with the full 32-bit node
+// space, bit-for-bit the classic item, so the non-batched path is
+// unchanged down to the stored words.
+//
+// Invariant (docs/QUEUE_PROTOCOL.md §"Lane items"): the scheduler may
+// reorder, spill, replay or batch items freely, but nothing between a
+// push and its pop rewrites the word — a lane bit pattern pushed is the
+// lane bit pattern popped. Lanes cannot cross.
+#pragma once
+
+#include <cstdint>
+
+namespace adds {
+
+inline constexpr uint32_t kLaneBits = 4;
+inline constexpr uint32_t kMaxLanes = 1u << kLaneBits;          // 16
+inline constexpr uint32_t kLaneShift = 32 - kLaneBits;          // 28
+inline constexpr uint32_t kLaneNodeMask = (1u << kLaneShift) - 1;
+/// Largest vertex count a batched (multi-lane) solve can address.
+inline constexpr uint64_t kMaxLaneVertices = uint64_t(kLaneNodeMask) + 1;
+
+inline constexpr uint32_t lane_encode(uint32_t lane, uint32_t node) noexcept {
+  return (lane << kLaneShift) | node;
+}
+inline constexpr uint32_t lane_of(uint32_t item) noexcept {
+  return item >> kLaneShift;
+}
+inline constexpr uint32_t node_of(uint32_t item) noexcept {
+  return item & kLaneNodeMask;
+}
+
+}  // namespace adds

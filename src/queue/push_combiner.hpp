@@ -27,6 +27,17 @@
 //     like the single-item kPushAborted no-op; results are being
 //     discarded anyway.
 //
+// Batched multi-source solves add a lane-binning multisplit on the flush
+// path (the host analog of the GPU multisplit primitive): when the query
+// carries more than one lane (queue/lane_codec.hpp), a staging lane's
+// items are counting-sorted into per-query-lane contiguous segments before
+// the batched publish, so a consumer walking the published range relaxes
+// runs of same-lane items against one contiguous dist row instead of
+// ping-ponging across rows. The split permutes the staged words — it never
+// rewrites one: every item leaves the flush with the lane bits it was
+// staged with (the no-loss / no-cross-contamination invariant the
+// combiner.lane-split fault site exists to attack).
+//
 // Not thread-safe: one combiner per worker thread, by design.
 #pragma once
 
@@ -34,7 +45,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "queue/lane_codec.hpp"
 #include "queue/work_queue.hpp"
+#include "util/fault.hpp"
 
 namespace adds {
 
@@ -46,20 +59,27 @@ struct CombinerStats {
   uint64_t dropped = 0;        // items lost to abort/fault drops
   uint64_t reserve_ops = 0;    // resv_ptr fetch-adds issued
   uint64_t publish_ops = 0;    // WCC fetch-adds issued
+  uint64_t lane_splits = 0;    // multisplit passes (batched queries only)
 };
 
 class PushCombiner {
  public:
   /// One lane per logical bucket of `queue`, each holding up to
   /// `lane_capacity` staged items before it auto-flushes.
-  explicit PushCombiner(WorkQueue& queue, uint32_t lane_capacity = 64)
+  /// `query_lanes` > 1 turns on the lane-binning multisplit at flush time
+  /// (items carry lane bits per queue/lane_codec.hpp).
+  explicit PushCombiner(WorkQueue& queue, uint32_t lane_capacity = 64,
+                        uint32_t query_lanes = 1)
       : queue_(queue),
         capacity_(std::max(1u, lane_capacity)),
+        query_lanes_(std::min(std::max(1u, query_lanes), kMaxLanes)),
         lanes_(queue.num_buckets()) {
     for (Lane& lane : lanes_) lane.items.resize(capacity_);
+    if (query_lanes_ > 1) scratch_.resize(capacity_);
   }
 
   uint32_t lane_capacity() const noexcept { return capacity_; }
+  uint32_t query_lanes() const noexcept { return query_lanes_; }
 
   /// Stages one item under the current window snapshot; flushes the lane
   /// when it reaches capacity.
@@ -109,9 +129,33 @@ class PushCombiner {
     double rep_dist = 0.0;  // distance of the first staged item
   };
 
+  /// Counting-sort multisplit: permutes `lane`'s first `count` items into
+  /// per-query-lane contiguous segments (stable within a segment). The
+  /// injected lane-split stall lands between the histogram and the
+  /// scatter — the widest window in which a preemption could observe the
+  /// half-built permutation — and observes the queue's abort flag so a
+  /// chaos stall never out-waits a watchdog.
+  void multisplit(Lane& lane) {
+    uint32_t counts[kMaxLanes] = {0};
+    for (uint32_t i = 0; i < lane.count; ++i)
+      ++counts[lane_of(lane.items[i])];
+    fault::delay(fault::Site::kLaneSplit, &queue_.abort_flag());
+    uint32_t offsets[kMaxLanes];
+    uint32_t running = 0;
+    for (uint32_t l = 0; l < kMaxLanes; ++l) {
+      offsets[l] = running;
+      running += counts[l];
+    }
+    for (uint32_t i = 0; i < lane.count; ++i)
+      scratch_[offsets[lane_of(lane.items[i])]++] = lane.items[i];
+    lane.items.swap(scratch_);
+    ++stats_.lane_splits;
+  }
+
   void flush_lane(uint32_t logical) {
     Lane& lane = lanes_[logical];
     if (lane.count == 0) return;
+    if (query_lanes_ > 1 && lane.count > 1) multisplit(lane);
     const WorkQueue::BatchToken t =
         queue_.push_batch(lane.items.data(), lane.count, lane.rep_dist);
     ++stats_.flushes;
@@ -124,7 +168,9 @@ class PushCombiner {
 
   WorkQueue& queue_;
   const uint32_t capacity_;
+  const uint32_t query_lanes_;
   std::vector<Lane> lanes_;
+  std::vector<uint32_t> scratch_;  // multisplit scatter target
   CombinerStats stats_;
 };
 

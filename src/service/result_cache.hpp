@@ -15,6 +15,8 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "graph/fingerprint.hpp"
 #include "sssp/adds.hpp"
@@ -71,6 +73,7 @@ struct CacheStats {
   uint64_t insertions = 0;
   uint64_t evictions = 0;      // capacity-driven removals
   uint64_t invalidations = 0;  // entries dropped by graph swap / clear
+  uint64_t batch_fills = 0;    // entries inserted via insert_batch passes
 };
 
 /// Per-fingerprint (per-tenant) slice of the cache counters, surfaced in
@@ -146,6 +149,20 @@ class ResultCache {
     map_.emplace(key, lru_.begin());
     ++by_fp_[key.graph_fp].entries;
     ++stats_.insertions;
+  }
+
+  /// Inserts every (key, value) pair of one batched solve in a single
+  /// pass. Semantically identical to calling insert() per pair — the point
+  /// is bookkeeping and locking discipline: the service takes its mutex
+  /// ONCE around this call to fill K lanes' results, instead of K
+  /// lock/unlock round-trips, and `batch_fills` counts how many entries
+  /// arrived this way (surfaced in ServiceReport::batch_fills).
+  void insert_batch(std::vector<std::pair<CacheKey, Value>> entries) {
+    if (capacity_ == 0) return;
+    for (auto& [key, value] : entries) {
+      insert(key, std::move(value));
+      ++stats_.batch_fills;
+    }
   }
 
   /// Drops every entry (full reset; per-tenant hit/miss history is kept).

@@ -125,6 +125,11 @@ struct ServiceReport {
   uint64_t unknown_graph = 0;     // kUnknownGraph (non-resident fp)
   uint64_t tenant_quarantined = 0;  // kTenantQuarantined (open breaker)
 
+  // Batched dispatch (same-graph queue coalescing into one solve_batch).
+  uint64_t batches = 0;          // solve_batch dispatches (>= 2 lanes each)
+  uint64_t batched_queries = 0;  // queries served through those dispatches
+  uint64_t batch_fills = 0;      // cache entries filled by batched solves
+
   // Result cache effectiveness.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;

@@ -129,6 +129,8 @@ struct SsspService<W>::Impl {
   uint32_t peak_depth = 0;
   uint64_t engine_queries = 0;
   double engine_busy_ms = 0.0;
+  uint64_t batches = 0;          // solve_batch dispatches (>= 2 lanes)
+  uint64_t batched_queries = 0;  // queries served through those dispatches
   QueueHealth last_health;
 
   std::vector<EngineSupervision> sup;
@@ -161,6 +163,9 @@ struct SsspService<W>::Impl {
         sup(c.num_engines),
         bound_graphs(c.num_engines) {
     ADDS_REQUIRE(cfg.num_engines >= 1, "sssp-service: need at least one engine");
+    // Lane arithmetic caps a batch at kMaxLanes; 0 is treated as "no
+    // coalescing", same as 1.
+    cfg.max_batch_lanes = std::max(1u, std::min(cfg.max_batch_lanes, kMaxLanes));
     catalog.set_evict_hook([this](uint64_t fp) { on_evicted_locked(fp); });
     engines.reserve(cfg.num_engines);
     dispatchers.reserve(cfg.num_engines);
@@ -364,6 +369,7 @@ struct SsspService<W>::Impl {
   void dispatch_loop(uint32_t i) {
     for (;;) {
       std::unique_ptr<Pending> p;
+      std::vector<std::unique_ptr<Pending>> batch;
       {
         std::unique_lock<std::mutex> lk(m);
         cv.wait(lk, [&] {
@@ -415,8 +421,49 @@ struct SsspService<W>::Impl {
         s.pulse_seen = s.beacon.pulse.load(std::memory_order_relaxed);
         s.last_pulse_ms = s.busy_since_ms;
         ++s.queries;
+        // Queue coalescing: fold other waiting queries for the SAME graph
+        // into this dispatch as lanes of one batched solve — K queries pay
+        // the traversal's fixed scheduling costs once. A repeated source
+        // shares a lane (it does not consume a new one), but TOTAL members
+        // are still capped at max_batch_lanes: one dispatch may never
+        // swallow a whole burst, or a single engine failure would fail
+        // every query in flight while the rest of the pool sat idle — the
+        // leftovers spread across the other slots instead. Tenant
+        // bulkheads are preserved: all members are one tenant's traffic
+        // on one slot.
+        if (cfg.max_batch_lanes > 1 &&
+            p->graph->num_vertices() <= kMaxLaneVertices) {
+          std::vector<VertexId> lane_sources{p->source};
+          for (auto wit = waiting.begin();
+               wit != waiting.end() &&
+               batch.size() + 1 < cfg.max_batch_lanes;) {
+            if ((*wit)->key.graph_fp != p->key.graph_fp) {
+              ++wit;
+              continue;
+            }
+            const VertexId src = (*wit)->source;
+            const bool shares_lane =
+                std::find(lane_sources.begin(), lane_sources.end(), src) !=
+                lane_sources.end();
+            if (!shares_lane && lane_sources.size() >= cfg.max_batch_lanes) {
+              ++wit;
+              continue;
+            }
+            if (!shares_lane) lane_sources.push_back(src);
+            if (Tenant* t = tenant_for((*wit)->key.graph_fp))
+              if (t->waiting > 0) --t->waiting;
+            ++s.queries;
+            batch.push_back(std::move(*wit));
+            wit = waiting.erase(wit);
+          }
+        }
       }
-      run_one(i, std::move(p));
+      if (batch.empty()) {
+        run_one(i, std::move(p));
+      } else {
+        batch.insert(batch.begin(), std::move(p));
+        run_batch(i, std::move(batch));
+      }
       {
         std::lock_guard<std::mutex> lk(m);
         // run_one may have quarantined the slot; only a still-busy slot
@@ -650,6 +697,288 @@ struct SsspService<W>::Impl {
         out.error =
             std::string(e.what()) + "; guarded fallback: " + e2.what();
         return finish(QueryStatus::kFailed);
+      }
+    }
+  }
+
+  /// Runs K coalesced same-graph queries as lanes of ONE batched solve
+  /// (HostEngine::solve_batch). Mirrors run_one's lifecycle per member —
+  /// precheck, execute, finish typed — but the engine is charged once,
+  /// supervision sees one success/failure event per batch, and every
+  /// cacheable lane result is installed in a single locked pass
+  /// (ResultCache::insert_batch). The batch deadline is the minimum over
+  /// its members; a member's cancel detaches only its lane when it owns
+  /// the lane alone, and resolves at fan-out when the lane is shared.
+  /// Batches never take the guarded one-shot fallback: K fresh-thread
+  /// retries would multiply recovery load exactly when the engine just
+  /// proved unhealthy — members fail typed and retry individually
+  /// (docs/SERVICE.md §"Batched dispatch").
+  void run_batch(uint32_t engine_idx,
+                 std::vector<std::unique_ptr<Pending>> members) {
+    struct Slot {
+      std::unique_ptr<Pending> p;
+      QueryOutcome<W> out;
+      uint32_t lane = 0;
+      bool done = false;
+    };
+    const double start_ms = uptime.elapsed_ms();
+    std::vector<Slot> slots;
+    slots.reserve(members.size());
+    for (auto& mp : members) {
+      Slot s;
+      s.out.query_id = mp->id;
+      s.out.graph_fp = mp->key.graph_fp;
+      s.out.queue_ms = start_ms - mp->submit_ms;
+      s.p = std::move(mp);
+      slots.push_back(std::move(s));
+    }
+
+    const auto member_cancelled = [](const Slot& s) {
+      return s.p->q.cancel != nullptr &&
+             s.p->q.cancel->load(std::memory_order_acquire);
+    };
+    const auto finish = [&](Slot& s, QueryStatus st) {
+      s.out.status = st;
+      s.out.latency_ms = uptime.elapsed_ms() - s.p->submit_ms;
+      {
+        std::lock_guard<std::mutex> lk(m);
+        Tenant* t = tenant_for(s.p->key.graph_fp);
+        switch (st) {
+          case QueryStatus::kOk:
+            ++completed;
+            recorder.add(s.out.latency_ms);
+            if (t) {
+              ++t->completed;
+              t->recorder.add(s.out.latency_ms);
+            }
+            break;
+          case QueryStatus::kFailed:
+            ++failed;
+            if (t) ++t->failed;
+            break;
+          case QueryStatus::kCancelled: ++cancelled; break;
+          case QueryStatus::kDeadlineExpired: ++deadline_expired; break;
+          default: break;  // not produced here
+        }
+      }
+      switch (st) {
+        case QueryStatus::kOk:
+          record_query(s.out.cache_hit ? FlightKind::kQueryCacheHit
+                                       : FlightKind::kQueryDone,
+                       *s.p, uint16_t(engine_idx),
+                       s.out.cache_hit ? 1
+                                       : uint32_t(s.out.latency_ms * 1000.0));
+          break;
+        case QueryStatus::kFailed:
+          record_query(FlightKind::kQueryFailed, *s.p, uint16_t(engine_idx));
+          break;
+        case QueryStatus::kCancelled:
+          record_query(FlightKind::kQueryCancelled, *s.p,
+                       uint16_t(engine_idx));
+          break;
+        case QueryStatus::kDeadlineExpired:
+          record_query(FlightKind::kQueryDeadline, *s.p, uint16_t(engine_idx));
+          break;
+        default: break;
+      }
+      s.p->promise.set_value(std::move(s.out));
+      s.done = true;
+    };
+
+    // Per-member prechecks, same as run_one's preamble: conditions that
+    // already hold after the queue wait resolve without burning a lane.
+    for (Slot& s : slots) {
+      if (member_cancelled(s)) {
+        finish(s, QueryStatus::kCancelled);
+      } else if (s.p->deadline_ms > 0.0 && s.out.queue_ms >= s.p->deadline_ms) {
+        finish(s, QueryStatus::kDeadlineExpired);
+      }
+    }
+    {
+      // Dequeue-time cache recheck, one lock for the whole batch (a twin
+      // may have completed while these members queued).
+      std::lock_guard<std::mutex> lk(m);
+      for (Slot& s : slots) {
+        if (s.done || !s.p->cacheable) continue;
+        if (auto v = cache.lookup(s.p->key, /*count_miss=*/false)) {
+          s.out.result = std::move(v);
+          s.out.cache_hit = true;
+        }
+      }
+    }
+    for (Slot& s : slots)
+      if (!s.done && s.out.cache_hit) finish(s, QueryStatus::kOk);
+
+    std::vector<Slot*> live;
+    for (Slot& s : slots)
+      if (!s.done) live.push_back(&s);
+    if (live.empty()) return;
+    if (live.size() == 1) {
+      // The batch collapsed to one query: run the singleton path — it
+      // keeps the guarded fallback and per-query supervision shape.
+      return run_one(engine_idx, std::move(live.front()->p));
+    }
+
+    const uint64_t fp = live.front()->p->key.graph_fp;
+    const std::shared_ptr<const CsrGraph<W>> graph = live.front()->p->graph;
+
+    // Distinct sources become lanes; members repeating a source share one.
+    std::vector<LaneQuery> lanes;
+    for (Slot* s : live) {
+      uint32_t lane = uint32_t(lanes.size());
+      for (uint32_t l = 0; l < lanes.size(); ++l) {
+        if (lanes[l].source == s->p->source) {
+          lane = l;
+          break;
+        }
+      }
+      if (lane == lanes.size()) lanes.push_back(LaneQuery{s->p->source, nullptr});
+      s->lane = lane;
+    }
+    // A lane owned by exactly one member carries that member's cancel so a
+    // fired cancel detaches the lane mid-solve; a shared lane solves for
+    // everyone and a cancelled member resolves at fan-out instead.
+    std::vector<uint32_t> owners(lanes.size(), 0);
+    for (Slot* s : live) ++owners[s->lane];
+    for (Slot* s : live)
+      if (owners[s->lane] == 1) lanes[s->lane].cancel = s->p->q.cancel;
+
+    QueryControl ctl;
+    double min_deadline = 0.0;
+    for (Slot* s : live) {
+      if (s->p->deadline_ms <= 0.0) continue;
+      const double remaining = s->p->deadline_ms - s->out.queue_ms;
+      if (min_deadline <= 0.0 || remaining < min_deadline)
+        min_deadline = remaining;
+    }
+    ctl.deadline_ms = min_deadline;
+    ctl.beacon = supervise ? &sup[engine_idx].beacon : nullptr;
+    ctl.fault_domain = fp;
+
+    {
+      std::lock_guard<std::mutex> lk(m);
+      ++batches;
+      batched_queries += live.size();
+    }
+    const auto charge_engine = [&] {
+      std::lock_guard<std::mutex> lk(m);
+      engine_busy_ms += uptime.elapsed_ms() - start_ms;
+      ++engine_queries;
+    };
+    const uint64_t fault_fires_before = fault::total_fires();
+    const auto note_faults = [&] {
+      const uint64_t delta = fault::total_fires() - fault_fires_before;
+      if (delta > 0)
+        record_query(FlightKind::kFaultObserved, *live.front()->p,
+                     uint16_t(engine_idx), uint32_t(delta));
+    };
+
+    try {
+      BatchResult<W> br = engines[engine_idx]->solve_batch(*graph, lanes, ctl);
+      charge_engine();
+      note_faults();
+      if (supervise) {
+        std::lock_guard<std::mutex> lk(m);
+        EngineSupervision& es = sup[engine_idx];
+        es.consecutive_errors = 0;
+        es.kill_reason = KillReason::kNone;
+        if (Tenant* t = tenant_for(fp))
+          if (t->breaker.on_success())
+            record(FlightKind::kBreakerClosed, FlightEvent::kNoEngine, fp);
+      }
+      // One shared_ptr per ok lane; every member of the lane shares it
+      // (same immutability contract as a cache hit).
+      std::vector<std::shared_ptr<const SsspResult<W>>> lane_results(
+          lanes.size());
+      for (uint32_t l = 0; l < lanes.size(); ++l) {
+        if (br.lanes[l].status != LaneStatus::kOk) continue;
+        lane_results[l] = std::make_shared<const SsspResult<W>>(
+            std::move(br.lanes[l].result));
+      }
+      // Cache fill: one entry per distinct ok lane with a cacheable
+      // member (members of a lane share the key), installed with the
+      // health snapshot under ONE lock acquisition.
+      std::vector<std::pair<CacheKey, typename ResultCache<W>::Value>> fills;
+      std::vector<bool> filled(lanes.size(), false);
+      for (Slot* s : live) {
+        if (!s->p->cacheable || filled[s->lane] || !lane_results[s->lane])
+          continue;
+        fills.emplace_back(s->p->key, lane_results[s->lane]);
+        filled[s->lane] = true;
+      }
+      {
+        std::lock_guard<std::mutex> lk(m);
+        last_health = br.health;
+        if (!fills.empty()) cache.insert_batch(std::move(fills));
+      }
+      for (Slot* s : live) {
+        if (member_cancelled(*s) || !lane_results[s->lane]) {
+          finish(*s, QueryStatus::kCancelled);
+          continue;
+        }
+        s->out.result = lane_results[s->lane];
+        finish(*s, QueryStatus::kOk);
+      }
+    } catch (const DeadlineError&) {
+      charge_engine();
+      note_faults();
+      // The min-over-members deadline elapsed: the shared traversal is
+      // gone, so every remaining member expires together (documented
+      // batching tradeoff — a short-deadline member caps the batch).
+      for (Slot* s : live) finish(*s, QueryStatus::kDeadlineExpired);
+    } catch (const Error& e) {
+      charge_engine();
+      note_faults();
+      bool quarantined_now = false;
+      bool breaker_opened = false;
+      if (supervise) {
+        std::lock_guard<std::mutex> lk(m);
+        EngineSupervision& es = sup[engine_idx];
+        const bool killed = es.kill_reason == KillReason::kWedge;
+        if (!killed) ++es.consecutive_errors;
+        es.kill_reason = KillReason::kNone;
+        if (killed ||
+            es.consecutive_errors >= cfg.supervisor.quarantine_after_errors) {
+          es.state = EngineState::kQuarantined;
+          es.consecutive_errors = 0;
+          ++es.quarantines;
+          es.fault_fp = fp;
+          record(FlightKind::kEngineQuarantined, uint16_t(engine_idx),
+                 live.front()->p->id, killed ? 0 : es.consecutive_errors);
+          rebuild_queue.push_back(engine_idx);
+          quarantined_now = true;
+        }
+        // One breaker event per batch: the engine failed once, not K
+        // times — K counts would open the breaker on a single incident.
+        if (Tenant* t = tenant_for(fp)) {
+          if (t->breaker.on_failure(uptime.elapsed_ms())) {
+            breaker_opened = true;
+            record(FlightKind::kBreakerOpen, FlightEvent::kNoEngine, fp,
+                   t->breaker.consecutive_failures());
+            shed_matching_locked(
+                [fp](const Pending& q) { return q.key.graph_fp == fp; },
+                QueryStatus::kTenantQuarantined,
+                "tenant circuit breaker opened",
+                FlightKind::kQueryQuarantined);
+          }
+        }
+      }
+      if (quarantined_now) rb_cv.notify_one();
+      if (breaker_opened)
+        ADDS_LOG_WARN("sssp-service: tenant %016llx circuit breaker opened",
+                      (unsigned long long)fp);
+      const std::string err =
+          quarantined_now
+              ? std::string("engine quarantined after batch failure: ") +
+                    e.what()
+              : std::string(e.what());
+      for (Slot* s : live) {
+        if (member_cancelled(*s)) {
+          finish(*s, QueryStatus::kCancelled);
+          continue;
+        }
+        s->out.error = err;
+        finish(*s, QueryStatus::kFailed);
       }
     }
   }
@@ -1124,7 +1453,10 @@ struct SsspService<W>::Impl {
     rep.deadline_expired = deadline_expired;
     rep.unknown_graph = unknown_graph;
     rep.tenant_quarantined = tenant_quarantined;
+    rep.batches = batches;
+    rep.batched_queries = batched_queries;
     const CacheStats& cs = cache.stats();
+    rep.batch_fills = cs.batch_fills;
     rep.cache_hits = cs.hits;
     rep.cache_misses = cs.misses;
     rep.cache_evictions = cs.evictions;

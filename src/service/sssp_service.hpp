@@ -98,6 +98,18 @@ struct ServiceConfig {
   /// Solver configuration shared by every engine (also part of the cache
   /// key via options_digest).
   AddsHostOptions engine;
+  /// Queue coalescing: when a dispatcher picks a query and finds more
+  /// queries for the SAME graph fingerprint waiting, it folds up to this
+  /// many distinct sources into one HostEngine::solve_batch call — K
+  /// queries pay the traversal's fixed scheduling costs once
+  /// (docs/SERVICE.md §"Batched dispatch"). Clamped to kMaxLanes;
+  /// 1 disables coalescing. Repeated sources within a batch share one
+  /// lane, but total members per dispatch are also capped here so a
+  /// burst spreads across the pool instead of riding one engine. The
+  /// batch deadline is the minimum over its members; a member's cancel
+  /// detaches only its lane (or resolves at fan-out when the lane is
+  /// shared). Batches do not use the guarded fallback.
+  uint32_t max_batch_lanes = 8;
   /// On engine failure, retry the query through run_solver_guarded
   /// (watchdog + resize + fallback chain) before reporting kFailed.
   /// Suspended while the service is in brownout or worse.

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "queue/assignment.hpp"
+#include "queue/lane_codec.hpp"
 #include "queue/push_combiner.hpp"
 #include "queue/spill_store.hpp"
 #include "queue/translation_cache.hpp"
@@ -59,6 +60,14 @@ struct WorkerContext {
   AssignmentFlag* flag = nullptr;
   uint32_t combine_capacity = 0;  // 0: single-item pushes (combining off)
   uint64_t fault_domain = 0;      // query's fault domain (util/fault.hpp)
+  // Batched multi-source state (null/1 for classic single-source solves).
+  // Work items carry their lane in the top bits; dist/parent are lane-major
+  // [lane * V + v] so one lane's relaxations walk one contiguous row.
+  uint32_t num_lanes = 1;
+  const std::atomic<bool>* lane_dead = nullptr;   // [num_lanes] detach flags
+  std::atomic<uint64_t>* lane_pushed = nullptr;   // [num_lanes] this worker
+  std::atomic<uint64_t>* lane_popped = nullptr;   // [num_lanes] this worker
+  std::atomic<VertexId>* parent = nullptr;        // [num_lanes * V] or null
   WorkStats stats;  // per-query; manager zeroes before, reads after
 };
 
@@ -104,8 +113,9 @@ void worker_main(WorkerContext<W>& ctx) {
     if (ctx.combine_capacity == 0) {
       combiner.reset();
     } else if (!combiner || combiner->queue() != &queue ||
-               combiner->lane_capacity() != ctx.combine_capacity) {
-      combiner.emplace(queue, ctx.combine_capacity);
+               combiner->lane_capacity() != ctx.combine_capacity ||
+               combiner->query_lanes() != ctx.num_lanes) {
+      combiner.emplace(queue, ctx.combine_capacity, ctx.num_lanes);
     }
 
     // Injected worker stall: the assignment sits un-processed (in-flight),
@@ -116,12 +126,37 @@ void worker_main(WorkerContext<W>& ctx) {
     cache.reset();
 
     // Relaxes one row; pushes go through the combiner when enabled.
-    const auto relax_row = [&](VertexId u) {
-      const Dist du = dist.load(u);
+    // Batched solves decode (lane, node) from the item and relax against
+    // the lane's contiguous dist row; the lane-counter discipline
+    // (docs/QUEUE_PROTOCOL.md §"Per-lane termination") is: count a spawned
+    // push BEFORE it becomes poppable, count the pop only AFTER the row is
+    // fully relaxed — so a lane whose pushed == popped has truly drained.
+    const uint32_t num_lanes = ctx.num_lanes;
+    const size_t V = g.num_vertices();
+    const auto relax_row = [&](uint32_t item) {
+      uint32_t lane = 0;
+      VertexId u = VertexId(item);
+      if (num_lanes > 1) {
+        lane = lane_of(item);
+        u = VertexId(node_of(item));
+      }
+      if (ctx.lane_dead != nullptr &&
+          ctx.lane_dead[lane].load(std::memory_order_relaxed)) {
+        // Detached lane: consume the item without edge work so the lane
+        // drains out of the shared queue at pop speed.
+        ++ctx.stats.lane_dropped;
+        if (ctx.lane_popped != nullptr)
+          ctx.lane_popped[lane].fetch_add(1, std::memory_order_release);
+        return;
+      }
+      const size_t base = size_t(lane) * V;
+      const Dist du = dist.load(base + u);
       if (du == DistTraits<W>::infinity()) {
         // Only possible for a corrupt queue; the push that enqueued u set a
         // finite distance first.
         ++ctx.stats.stale_skipped;
+        if (ctx.lane_popped != nullptr)
+          ctx.lane_popped[lane].fetch_add(1, std::memory_order_release);
         return;
       }
       ++ctx.stats.items_processed;
@@ -131,33 +166,44 @@ void worker_main(WorkerContext<W>& ctx) {
       for (EdgeIndex e = begin; e < end; ++e) {
         const VertexId v = targets[e];
         const Dist nd = du + Dist(weights[e]);
-        if (dist.fetch_min(v, nd)) {
+        if (dist.fetch_min(base + v, nd)) {
+          if (ctx.parent != nullptr)
+            ctx.parent[base + v].store(u, std::memory_order_relaxed);
           ++ctx.stats.improvements;
           ++ctx.stats.pushes;
+          const uint32_t out =
+              num_lanes > 1 ? lane_encode(lane, uint32_t(v)) : uint32_t(v);
+          if (ctx.lane_pushed != nullptr)
+            ctx.lane_pushed[lane].fetch_add(1, std::memory_order_relaxed);
           if (combiner) {
-            combiner->push(v, double(nd));
-          } else if (queue.push(v, double(nd)) != WorkQueue::kPushAborted) {
+            combiner->push(out, double(nd));
+          } else if (queue.push(out, double(nd)) != WorkQueue::kPushAborted) {
             ++ctx.stats.queue_reserve_ops;
             ++ctx.stats.queue_publish_ops;
           }
         }
       }
+      if (ctx.lane_popped != nullptr)
+        ctx.lane_popped[lane].fetch_add(1, std::memory_order_release);
     };
 
     // Row-batched relaxation with one-ahead software prefetch: the next
     // item's vertex id is resolved and its CSR row offsets prefetched
     // while the current row is being relaxed, hiding the offsets-array
     // miss behind the current row's edge work.
-    VertexId u = VertexId(cache.read(bucket, assignment->start));
-    prefetch_row_offsets(g, u);
+    const auto node_for_prefetch = [num_lanes](uint32_t item) noexcept {
+      return VertexId(num_lanes > 1 ? node_of(item) : item);
+    };
+    uint32_t item = cache.read(bucket, assignment->start);
+    prefetch_row_offsets(g, node_for_prefetch(item));
     for (uint32_t i = 0; i < assignment->count; ++i) {
-      VertexId next = 0;
+      uint32_t next = 0;
       if (i + 1 < assignment->count) {
-        next = VertexId(cache.read(bucket, assignment->start + i + 1));
-        prefetch_row_offsets(g, next);
+        next = cache.read(bucket, assignment->start + i + 1);
+        prefetch_row_offsets(g, node_for_prefetch(next));
       }
-      relax_row(u);
-      u = next;
+      relax_row(item);
+      item = next;
     }
     // Publication order matters: all pushes above — including every item
     // still staged in the combiner — must be published before the
@@ -173,6 +219,7 @@ void worker_main(WorkerContext<W>& ctx) {
       ctx.stats.queue_publish_ops += cs.publish_ops;
       ctx.stats.batch_flushes += cs.flushes;
       ctx.stats.combined_items += cs.flushed_items;
+      ctx.stats.lane_splits += cs.lane_splits;
     }
     bucket.complete(assignment->count);
     ctx.flag->done();
@@ -232,16 +279,17 @@ struct HostEngine<W>::Impl {
       if (w.joinable()) w.join();
   }
 
-  /// Sizes (or re-sizes) the pool/queue pair for `g`. Kept across queries;
-  /// rebuilt only when a larger graph needs a bigger slab than the current
-  /// one. Buckets hold a reference into the pool, so the queue is
-  /// destroyed first on rebuild.
-  void provision(const CsrGraph<W>& g) {
+  /// Sizes (or re-sizes) the pool/queue pair for `g` carrying `num_lanes`
+  /// concurrent query lanes (a K-lane batch holds up to K times the live
+  /// items of one query). Kept across queries; rebuilt only when a larger
+  /// graph needs a bigger slab than the current one. Buckets hold a
+  /// reference into the pool, so the queue is destroyed first on rebuild.
+  void provision(const CsrGraph<W>& g, uint32_t num_lanes) {
     const uint32_t want =
         opts_.pool_blocks != 0
             ? opts_.pool_blocks
-            : auto_pool_blocks(g.num_edges(), opts_.block_words,
-                               opts_.num_buckets);
+            : auto_pool_blocks(g.num_edges() * uint64_t(num_lanes),
+                               opts_.block_words, opts_.num_buckets);
     if (pool_ && want <= pool_->num_blocks()) return;
     // The swap is guarded so a concurrent interrupt() never dereferences a
     // queue mid-destruction. interrupt() on the new queue before this solve
@@ -286,28 +334,54 @@ struct HostEngine<W>::Impl {
     dirty_ = true;
   }
 
-  SsspResult<W> solve(const CsrGraph<W>& g, VertexId source,
-                      const QueryControl& ctl);
+  /// The one traversal both entry points share. `lanes` carries one source
+  /// per query lane; `batched` arms the per-lane machinery (lane counters,
+  /// parent recording, settle observation) — solve() passes a single lane
+  /// with batched=false, which keeps every lane pointer null and the item
+  /// words un-encoded: bit-identical to the classic single-source path.
+  BatchResult<W> run(const CsrGraph<W>& g, const std::vector<LaneQuery>& lanes,
+                     const QueryControl& ctl, bool batched);
 };
 
 template <WeightType W>
-SsspResult<W> HostEngine<W>::Impl::solve(const CsrGraph<W>& g,
-                                         VertexId source,
-                                         const QueryControl& ctl) {
+BatchResult<W> HostEngine<W>::Impl::run(const CsrGraph<W>& g,
+                                        const std::vector<LaneQuery>& lanes,
+                                        const QueryControl& ctl,
+                                        bool batched) {
   const AddsHostOptions& opts = opts_;
   WallTimer timer;
 
+  const uint32_t num_lanes = uint32_t(lanes.size());
+  const size_t V = g.num_vertices();
+  ADDS_REQUIRE(num_lanes >= 1, "solve_batch: need at least one lane");
+  ADDS_REQUIRE(num_lanes <= kMaxLanes,
+               "solve_batch: at most " + std::to_string(kMaxLanes) +
+                   " lanes per batch");
+  if (num_lanes > 1)
+    ADDS_REQUIRE(uint64_t(V) <= kMaxLaneVertices,
+                 "solve_batch: multi-lane batches address at most 2^28 "
+                 "vertices (lane bits live in the item's top bits)");
+
+  // `r` is the run's aggregate ledger: the manager loop below accounts all
+  // shared-traversal costs into r.work / r.health exactly as the classic
+  // single-source solve did. Batched extraction fans it out into
+  // BatchResult at the end; the single-source path moves it into lane 0.
+  BatchResult<W> br;
+  br.lanes.resize(num_lanes);
   SsspResult<W> r;
-  r.solver = "adds-host";
-  r.dist.assign(g.num_vertices(), DistTraits<W>::infinity());
+  r.solver = batched ? "adds-host-batch" : "adds-host";
+  if (!batched) r.dist.assign(V, DistTraits<W>::infinity());
   if (g.empty()) {
     ++queries_;
-    return r;
+    for (auto& o : br.lanes) o.result.solver = r.solver;
+    if (!batched) br.lanes[0].result = std::move(r);
+    return br;
   }
-  ADDS_REQUIRE(source < g.num_vertices(), "source vertex out of range");
+  for (const LaneQuery& lq : lanes)
+    ADDS_REQUIRE(lq.source < g.num_vertices(), "source vertex out of range");
 
   // --- Rewind (or build) the warm queue -----------------------------------
-  provision(g);
+  provision(g, num_lanes);
   WorkQueue& queue = *queue_;
   BlockPool& pool = *pool_;
   if (dirty_) {
@@ -333,8 +407,49 @@ SsspResult<W> HostEngine<W>::Impl::solve(const CsrGraph<W>& g,
     controller_->reset(saturation, initial_delta);
   DeltaController& controller = *controller_;
 
-  AtomicDistArray<Dist> dist(g.num_vertices(), DistTraits<W>::infinity());
-  dist.store(source, Dist{0});
+  // Lane-major distances: lane l's row is dist[l*V .. l*V+V). A relaxation
+  // only ever touches its own row, so lanes share the traversal but never
+  // an address. Parent recording and the per-lane drain counters exist
+  // only for batched runs — single-source solves keep every pointer null
+  // and pay nothing.
+  AtomicDistArray<Dist> dist(size_t(num_lanes) * V, DistTraits<W>::infinity());
+  for (uint32_t l = 0; l < num_lanes; ++l)
+    dist.store(size_t(l) * V + lanes[l].source, Dist{0});
+
+  std::unique_ptr<std::atomic<VertexId>[]> parent;
+  std::unique_ptr<std::atomic<bool>[]> lane_dead;
+  // Counter layout: one row of num_lanes per worker plus one manager row
+  // (seeds and inline execution), so every writer owns its cells and the
+  // manager sums rows without contention.
+  std::unique_ptr<std::atomic<uint64_t>[]> lane_pushed;
+  std::unique_ptr<std::atomic<uint64_t>[]> lane_popped;
+  std::vector<LaneStatus> lane_status(num_lanes, LaneStatus::kOk);
+  std::vector<double> lane_settle_ms(num_lanes, 0.0);
+  std::vector<bool> lane_settled(num_lanes, false);
+  const uint32_t counter_rows = opts.num_workers + 1;
+  if (batched) {
+    parent = std::make_unique<std::atomic<VertexId>[]>(size_t(num_lanes) * V);
+    for (size_t i = 0; i < size_t(num_lanes) * V; ++i)
+      parent[i].store(kInvalidVertex, std::memory_order_relaxed);
+    lane_dead = std::make_unique<std::atomic<bool>[]>(num_lanes);
+    for (uint32_t l = 0; l < num_lanes; ++l)
+      lane_dead[l].store(false, std::memory_order_relaxed);
+    lane_pushed = std::make_unique<std::atomic<uint64_t>[]>(
+        size_t(counter_rows) * num_lanes);
+    lane_popped = std::make_unique<std::atomic<uint64_t>[]>(
+        size_t(counter_rows) * num_lanes);
+    for (size_t i = 0; i < size_t(counter_rows) * num_lanes; ++i) {
+      lane_pushed[i].store(0, std::memory_order_relaxed);
+      lane_popped[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  // Manager-owned counter row (seeding and inline execution below).
+  std::atomic<uint64_t>* const mgr_pushed =
+      batched ? lane_pushed.get() + size_t(opts.num_workers) * num_lanes
+              : nullptr;
+  std::atomic<uint64_t>* const mgr_popped =
+      batched ? lane_popped.get() + size_t(opts.num_workers) * num_lanes
+              : nullptr;
 
   // --- Bind the warm workers to this query ---------------------------------
   // The manager's wakeup event: workers notify it on completion, and a
@@ -353,6 +468,13 @@ SsspResult<W> HostEngine<W>::Impl::solve(const CsrGraph<W>& g,
     contexts_[i].combine_capacity =
         opts.write_combining ? opts.combine_capacity : 0;
     contexts_[i].fault_domain = ctl.fault_domain;
+    contexts_[i].num_lanes = num_lanes;
+    contexts_[i].lane_dead = lane_dead.get();
+    contexts_[i].lane_pushed =
+        batched ? lane_pushed.get() + size_t(i) * num_lanes : nullptr;
+    contexts_[i].lane_popped =
+        batched ? lane_popped.get() + size_t(i) * num_lanes : nullptr;
+    contexts_[i].parent = parent.get();
     contexts_[i].stats.reset();
     flags_[i].set_done_event(&wake);
   }
@@ -395,10 +517,17 @@ SsspResult<W> HostEngine<W>::Impl::solve(const CsrGraph<W>& g,
   } else {
     queue.ensure_capacity_all(opts.chunk_items * 2);
   }
-  queue.push(source, 0.0);
-  ++r.work.pushes;
-  ++r.work.queue_reserve_ops;
-  ++r.work.queue_publish_ops;
+  for (uint32_t l = 0; l < num_lanes; ++l) {
+    const uint32_t seed = num_lanes > 1
+                              ? lane_encode(l, uint32_t(lanes[l].source))
+                              : uint32_t(lanes[l].source);
+    if (mgr_pushed != nullptr)
+      mgr_pushed[l].fetch_add(1, std::memory_order_relaxed);
+    queue.push(seed, 0.0);
+    ++r.work.pushes;
+    ++r.work.queue_reserve_ops;
+    ++r.work.queue_publish_ops;
+  }
 
   // --- Manager-side completion-frontier tracking ---------------------------
   //
@@ -592,10 +721,22 @@ SsspResult<W> HostEngine<W>::Impl::solve(const CsrGraph<W>& g,
                                   uint32_t count) {
     const uint32_t start = b.read_ptr();
     for (uint32_t i = 0; i < count; ++i) {
-      const VertexId u = VertexId(b.read_item(start + i));
-      const Dist du = dist.load(u);
+      const uint32_t item = b.read_item(start + i);
+      const uint32_t lane = num_lanes > 1 ? lane_of(item) : 0;
+      const VertexId u =
+          num_lanes > 1 ? VertexId(node_of(item)) : VertexId(item);
+      if (lane_dead != nullptr &&
+          lane_dead[lane].load(std::memory_order_relaxed)) {
+        ++r.work.lane_dropped;
+        mgr_popped[lane].fetch_add(1, std::memory_order_release);
+        continue;
+      }
+      const size_t base = size_t(lane) * V;
+      const Dist du = dist.load(base + u);
       if (du == DistTraits<W>::infinity()) {
         ++r.work.stale_skipped;
+        if (mgr_popped != nullptr)
+          mgr_popped[lane].fetch_add(1, std::memory_order_release);
         continue;
       }
       ++r.work.items_processed;
@@ -605,12 +746,20 @@ SsspResult<W> HostEngine<W>::Impl::solve(const CsrGraph<W>& g,
       for (EdgeIndex e = begin; e < end; ++e) {
         const VertexId v = g.targets()[e];
         const Dist nd = du + Dist(g.weights()[e]);
-        if (dist.fetch_min(v, nd)) {
+        if (dist.fetch_min(base + v, nd)) {
+          if (parent != nullptr)
+            parent[base + v].store(u, std::memory_order_relaxed);
           ++r.work.improvements;
           ++r.work.pushes;
-          inline_out.emplace_back(uint32_t(v), double(nd));
+          if (mgr_pushed != nullptr)
+            mgr_pushed[lane].fetch_add(1, std::memory_order_relaxed);
+          inline_out.emplace_back(
+              num_lanes > 1 ? lane_encode(lane, uint32_t(v)) : uint32_t(v),
+              double(nd));
         }
       }
+      if (mgr_popped != nullptr)
+        mgr_popped[lane].fetch_add(1, std::memory_order_release);
     }
     // Same retirement sequence as a spilled range: read, advance,
     // CWC-complete, frontier — downstream accounting cannot tell an
@@ -650,6 +799,46 @@ SsspResult<W> HostEngine<W>::Impl::solve(const CsrGraph<W>& g,
     // stall cannot out-wait the watchdog's recovery.
     fault::delay(fault::Site::kManagerScanStall, ctl.cancel,
                  &queue.abort_flag());
+
+    // --- Per-lane control (batched runs only) ------------------------------
+    if (batched) {
+      // Lane cancellation DETACHES the lane instead of aborting the batch:
+      // the dead flag makes every worker consume the lane's queued items
+      // without edge work, so the lane drains at pop speed while the other
+      // lanes keep solving.
+      for (uint32_t l = 0; l < num_lanes; ++l) {
+        if (lanes[l].cancel != nullptr &&
+            lane_status[l] == LaneStatus::kOk &&
+            lanes[l].cancel->load(std::memory_order_acquire)) {
+          lane_dead[l].store(true, std::memory_order_release);
+          lane_status[l] = LaneStatus::kCancelled;
+        }
+      }
+      // Per-lane settle observation: a lane whose pushed == popped has no
+      // item anywhere — staged, published, spilled or in flight (pushes are
+      // counted before an item becomes visible, pops only after its row is
+      // fully relaxed). Reading every popped cell BEFORE every pushed cell
+      // makes the equality a sound snapshot: popped is monotone, pops
+      // happen-after their push, and the popped increments are releases —
+      // so popped(t1) == pushed(t2) with t1 < t2 pins both counters at t2.
+      // This is observability (per-lane completion times); the global
+      // two-clean-sweeps termination below stays authoritative.
+      for (uint32_t l = 0; l < num_lanes; ++l) {
+        if (lane_settled[l]) continue;
+        uint64_t popped = 0;
+        for (uint32_t w = 0; w < counter_rows; ++w)
+          popped += lane_popped[size_t(w) * num_lanes + l].load(
+              std::memory_order_acquire);
+        uint64_t pushed = 0;
+        for (uint32_t w = 0; w < counter_rows; ++w)
+          pushed += lane_pushed[size_t(w) * num_lanes + l].load(
+              std::memory_order_acquire);
+        if (pushed > 0 && pushed == popped) {
+          lane_settled[l] = true;
+          lane_settle_ms[l] = timer.elapsed_ms();
+        }
+      }
+    }
 
     // Harvest completions: a flag that returned to idle finished its range.
     uint32_t harvested = 0;
@@ -907,13 +1096,101 @@ SsspResult<W> HostEngine<W>::Impl::solve(const CsrGraph<W>& g,
   r.health.spill_peak_items = spill.peak_size();
 
   for (const auto& ctx : contexts_) r.work.merge(ctx.stats);
-  for (VertexId v = 0; v < g.num_vertices(); ++v) r.dist[v] = dist.load(v);
   for (const auto& [sw, d] : controller.history())
     r.delta_history.emplace_back(double(sw), d);
   r.wall_ms = timer.elapsed_ms();
   r.time_us = r.wall_ms * 1e3;  // the host engine's time is real time
+  br.window_advances = r.window_advances;
+  br.wall_ms = r.wall_ms;
+
+  if (!batched) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) r.dist[v] = dist.load(v);
+    br.work = r.work;
+    br.health = r.health;
+    br.lanes[0].result = std::move(r);
+    ++queries_;
+    return br;
+  }
+
+  // --- Batched extraction ---------------------------------------------------
+  //
+  // Per-lane dist rows copy out directly. The parent tree needs a certify
+  // pass first: parent stores are relaxed side-writes racing with fetch_min
+  // winners, so a recorded parent can be a predecessor whose relaxation
+  // won an intermediate distance that was later improved again. One O(E)
+  // sweep per lane checks every recorded parent for tightness
+  // (dist[p] + w(p,v) == dist[v]) and collects a tight fallback for every
+  // vertex whose record fails; the repair loop swaps those in. Final
+  // distances ARE final shortest distances, so every reached non-source
+  // vertex has a tight predecessor and the repaired tree is exact.
+  std::vector<uint8_t> certified(V);
+  std::vector<VertexId> fallback(V);
+  for (uint32_t l = 0; l < num_lanes; ++l) {
+    LaneOutcome<W>& o = br.lanes[l];
+    o.status = lane_status[l];
+    o.settle_ms = lane_settle_ms[l];
+    SsspResult<W>& res = o.result;
+    res.solver = r.solver;
+    if (o.status != LaneStatus::kOk) continue;  // detached: no usable state
+
+    const size_t base = size_t(l) * V;
+    res.dist.resize(V);
+    for (size_t v = 0; v < V; ++v) res.dist[v] = dist.load(base + v);
+
+    // This lane's slice of the shared traversal (batch-wide costs and the
+    // scheduling accounting live on br.work).
+    uint64_t popped = 0, pushed = 0;
+    for (uint32_t w = 0; w < counter_rows; ++w) {
+      popped += lane_popped[size_t(w) * num_lanes + l].load(
+          std::memory_order_relaxed);
+      pushed += lane_pushed[size_t(w) * num_lanes + l].load(
+          std::memory_order_relaxed);
+    }
+    res.work.items_processed = popped;
+    res.work.pushes = pushed;
+    res.health = r.health;
+    res.window_advances = r.window_advances;
+    res.wall_ms = r.wall_ms;
+    res.time_us = r.time_us;
+
+    std::fill(certified.begin(), certified.end(), uint8_t{0});
+    std::fill(fallback.begin(), fallback.end(), kInvalidVertex);
+    for (VertexId u = 0; u < VertexId(V); ++u) {
+      const Dist du = res.dist[u];
+      if (du == DistTraits<W>::infinity()) continue;
+      const EdgeIndex ub = g.edge_begin(u), ue = g.edge_end(u);
+      for (EdgeIndex e = ub; e < ue; ++e) {
+        const VertexId v = g.targets()[e];
+        if (du + Dist(g.weights()[e]) != res.dist[v]) continue;
+        if (parent[base + v].load(std::memory_order_relaxed) == u)
+          certified[v] = 1;
+        else if (fallback[v] == kInvalidVertex)
+          fallback[v] = u;
+      }
+    }
+    const VertexId src = lanes[l].source;
+    res.parent.assign(V, kInvalidVertex);
+    uint64_t repairs = 0;
+    for (size_t v = 0; v < V; ++v) {
+      if (res.dist[v] == DistTraits<W>::infinity()) continue;
+      if (VertexId(v) == src) {
+        res.parent[v] = src;
+        continue;
+      }
+      if (certified[v]) {
+        res.parent[v] = parent[base + v].load(std::memory_order_relaxed);
+      } else {
+        res.parent[v] = fallback[v];
+        ++repairs;
+      }
+    }
+    res.work.parent_repairs = repairs;
+    r.work.parent_repairs += repairs;
+  }
+  br.work = r.work;
+  br.health = r.health;
   ++queries_;
-  return r;
+  return br;
 }
 
 template <WeightType W>
@@ -929,7 +1206,17 @@ HostEngine<W>::~HostEngine() = default;
 template <WeightType W>
 SsspResult<W> HostEngine<W>::solve(const CsrGraph<W>& g, VertexId source,
                                    const QueryControl& ctl) {
-  return impl_->solve(g, source, ctl);
+  std::vector<LaneQuery> lanes(1);
+  lanes[0].source = source;
+  BatchResult<W> br = impl_->run(g, lanes, ctl, /*batched=*/false);
+  return std::move(br.lanes[0].result);
+}
+
+template <WeightType W>
+BatchResult<W> HostEngine<W>::solve_batch(const CsrGraph<W>& g,
+                                          const std::vector<LaneQuery>& lanes,
+                                          const QueryControl& ctl) {
+  return impl_->run(g, lanes, ctl, /*batched=*/true);
 }
 
 template <WeightType W>
@@ -974,5 +1261,25 @@ template SsspResult<uint32_t> adds_host<uint32_t>(const CsrGraph<uint32_t>&,
                                                   const AddsHostOptions&);
 template SsspResult<float> adds_host<float>(const CsrGraph<float>&, VertexId,
                                             const AddsHostOptions&);
+
+template <WeightType W>
+BatchResult<W> adds_host_batch(const CsrGraph<W>& g,
+                               const std::vector<VertexId>& sources,
+                               const AddsHostOptions& opts) {
+  HostEngine<W> engine(opts);
+  std::vector<LaneQuery> lanes(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) lanes[i].source = sources[i];
+  QueryControl ctl;
+  ctl.cancel = opts.cancel;
+  ctl.cancel_event = opts.cancel_event;
+  return engine.solve_batch(g, lanes, ctl);
+}
+
+template BatchResult<uint32_t> adds_host_batch<uint32_t>(
+    const CsrGraph<uint32_t>&, const std::vector<VertexId>&,
+    const AddsHostOptions&);
+template BatchResult<float> adds_host_batch<float>(const CsrGraph<float>&,
+                                                   const std::vector<VertexId>&,
+                                                   const AddsHostOptions&);
 
 }  // namespace adds

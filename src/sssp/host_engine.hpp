@@ -32,8 +32,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "queue/lane_codec.hpp"
 #include "sssp/adds.hpp"
 
 namespace adds {
@@ -96,6 +98,51 @@ struct QueryControl {
   uint64_t fault_domain = 0;
 };
 
+// ---- Batched multi-source solves -------------------------------------------
+
+/// One query lane of a batched solve: a source plus an optional per-lane
+/// cancel. A fired lane cancel DETACHES the lane — its queued items drain
+/// without edge work and its outcome reports kCancelled — while every
+/// other lane keeps solving; contrast QueryControl::cancel, which aborts
+/// the whole batch. Pointees must outlive the solve_batch call.
+struct LaneQuery {
+  VertexId source = 0;
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+enum class LaneStatus : uint8_t {
+  kOk = 0,
+  kCancelled,  // the lane's cancel token fired; result is partial garbage
+};
+
+/// Per-lane outcome of a batched solve.
+template <WeightType W>
+struct LaneOutcome {
+  LaneStatus status = LaneStatus::kOk;
+  /// Full per-lane result: this lane's dist row, its certified parent
+  /// tree, and this lane's slice of the shared traversal's accounting
+  /// (items popped/pushed on this lane; batch-wide costs live on
+  /// BatchResult::work). Meaningless when status != kOk.
+  SsspResult<W> result;
+  /// Wall time at which the lane's work drained (its pushed == popped
+  /// settle point, observed on the manager's sweep cadence) — lanes
+  /// complete independently even though extraction happens once at the
+  /// end. 0 when the lane settled only at global termination.
+  double settle_ms = 0.0;
+};
+
+/// Result of relaxing K sources through one traversal.
+template <WeightType W>
+struct BatchResult {
+  std::vector<LaneOutcome<W>> lanes;
+  /// Aggregate accounting of the shared traversal (every lane's work plus
+  /// the shared scheduling costs — this is what the batch actually cost).
+  WorkStats work;
+  QueueHealth health;
+  double wall_ms = 0.0;
+  uint64_t window_advances = 0;
+};
+
 /// A warm adds-host solver: construction spawns the worker threads, each
 /// solve() runs one query on them. Options are fixed at construction
 /// (they size the worker pool and queue geometry).
@@ -113,6 +160,21 @@ class HostEngine {
   /// calls. Not reentrant.
   SsspResult<W> solve(const CsrGraph<W>& g, VertexId source,
                       const QueryControl& ctl = {});
+
+  /// Relaxes every lane's source through ONE shared traversal: one bucket
+  /// structure, one manager sweep cadence, one pool — work items carry
+  /// their lane in the top bits (queue/lane_codec.hpp) and distances live
+  /// in a lane-major [lane * V + v] array, so K queries pay the fixed
+  /// scheduling costs (window rotations, capacity management, assignment
+  /// sweeps) once instead of K times. Requires 1 <= lanes.size() <=
+  /// kMaxLanes and, for multi-lane batches, num_vertices <= 2^28.
+  ///
+  /// `ctl` governs the whole batch (its deadline/cancel fail every lane);
+  /// LaneQuery::cancel detaches one lane without disturbing the rest. Not
+  /// reentrant, same as solve().
+  BatchResult<W> solve_batch(const CsrGraph<W>& g,
+                             const std::vector<LaneQuery>& lanes,
+                             const QueryControl& ctl = {});
 
   /// Asynchronously aborts whatever the engine is doing, from any thread.
   /// The running solve (if any) throws adds::Error once its manager sweep
@@ -136,5 +198,19 @@ class HostEngine {
 
 extern template class HostEngine<uint32_t>;
 extern template class HostEngine<float>;
+
+/// One-shot batched entry point (throwaway engine), the batch analog of
+/// adds_host(): every source becomes a lane of a single shared traversal.
+template <WeightType W>
+BatchResult<W> adds_host_batch(const CsrGraph<W>& g,
+                               const std::vector<VertexId>& sources,
+                               const AddsHostOptions& opts = {});
+
+extern template BatchResult<uint32_t> adds_host_batch<uint32_t>(
+    const CsrGraph<uint32_t>&, const std::vector<VertexId>&,
+    const AddsHostOptions&);
+extern template BatchResult<float> adds_host_batch<float>(
+    const CsrGraph<float>&, const std::vector<VertexId>&,
+    const AddsHostOptions&);
 
 }  // namespace adds

@@ -68,6 +68,11 @@ struct WorkStats {
   uint64_t inline_ranges = 0;      // tiny ranges the manager ran itself
   uint64_t inline_items = 0;       // items relaxed inline by the manager
 
+  // Batched multi-source accounting (zeros for single-source runs).
+  uint64_t lane_splits = 0;    // combiner multisplit passes
+  uint64_t lane_dropped = 0;   // items skipped because their lane detached
+  uint64_t parent_repairs = 0; // parent entries fixed by the certify pass
+
   void merge(const WorkStats& o) noexcept {
     items_processed += o.items_processed;
     relaxations += o.relaxations;
@@ -82,6 +87,9 @@ struct WorkStats {
     assigned_items += o.assigned_items;
     inline_ranges += o.inline_ranges;
     inline_items += o.inline_items;
+    lane_splits += o.lane_splits;
+    lane_dropped += o.lane_dropped;
+    parent_repairs += o.parent_repairs;
   }
 
   /// Zeroes every counter. Warm engines reset the per-worker stats objects
@@ -95,6 +103,11 @@ template <WeightType W>
 struct SsspResult {
   std::string solver;
   std::vector<DistT<W>> dist;  // per-vertex distance (infinity = unreached)
+  /// Shortest-path-tree predecessor per vertex; parent[source] == source,
+  /// kInvalidVertex for unreached. Populated by batched solves
+  /// (HostEngine::solve_batch certifies it at extraction); empty for
+  /// engines that only compute distances.
+  std::vector<VertexId> parent;
   WorkStats work;
   QueueHealth health;  // adds-host pool/spill health (zeros elsewhere)
 

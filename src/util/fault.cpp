@@ -20,6 +20,7 @@ const char* site_name(Site s) noexcept {
     case Site::kAfDeliveryDelay: return "af.delivery.delay";
     case Site::kWorkerStall: return "worker.stall";
     case Site::kPoolExhausted: return "pool.exhausted";
+    case Site::kLaneSplit: return "combiner.lane-split";
   }
   return "?";
 }

@@ -23,6 +23,10 @@
 //   worker.stall             adds_host WTB sleeps before processing a range
 //   pool.exhausted           BlockPool::try_allocate reports an empty pool
 //                            (soft pressure: the spill governor absorbs it)
+//   combiner.lane-split      PushCombiner stalls mid-multisplit, between the
+//                            lane histogram and the scatter (a preempted
+//                            batched flush; staged items must neither be
+//                            lost nor cross lanes)
 #pragma once
 
 #include <array>
@@ -41,8 +45,9 @@ enum class Site : uint8_t {
   kAfDeliveryDelay,
   kWorkerStall,
   kPoolExhausted,
+  kLaneSplit,
 };
-inline constexpr size_t kNumSites = 7;
+inline constexpr size_t kNumSites = 8;
 
 const char* site_name(Site s) noexcept;
 std::optional<Site> parse_site(const std::string& name);

@@ -1,0 +1,264 @@
+// Batched multi-source solves: K query lanes through one traversal.
+//
+// The contract under test: every lane of solve_batch produces exactly the
+// distances (and a valid shortest-path tree) that K independent solves
+// would, lanes complete and cancel independently, the engine stays warm
+// and reusable across batched and single-source queries, and the
+// combiner.lane-split fault site cannot make lanes lose or cross items.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/validate.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/host_engine.hpp"
+#include "util/fault.hpp"
+
+namespace adds {
+namespace {
+
+AddsHostOptions small_opts() {
+  AddsHostOptions o;
+  o.num_workers = 3;
+  o.chunk_items = 32;
+  o.block_words = 256;
+  return o;
+}
+
+std::vector<LaneQuery> make_lanes(const std::vector<VertexId>& sources) {
+  std::vector<LaneQuery> lanes(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) lanes[i].source = sources[i];
+  return lanes;
+}
+
+/// Parent-tree oracle check: parent[source] == source, unreached vertices
+/// carry kInvalidVertex, every other reached vertex has a TIGHT recorded
+/// predecessor (dist[p] + w(p,v) == dist[v] for an actual edge p->v), and
+/// walking parents from any vertex reaches the source in < V steps.
+template <WeightType W>
+void check_parent_tree(const CsrGraph<W>& g, const SsspResult<W>& r,
+                       VertexId source) {
+  ASSERT_EQ(r.parent.size(), g.num_vertices());
+  ASSERT_EQ(r.parent[source], source);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (r.dist[v] == DistTraits<W>::infinity()) {
+      EXPECT_EQ(r.parent[v], kInvalidVertex) << "unreached " << v;
+      continue;
+    }
+    if (v == source) continue;
+    const VertexId p = r.parent[v];
+    ASSERT_NE(p, kInvalidVertex) << "reached vertex " << v << " parentless";
+    ASSERT_LT(p, g.num_vertices());
+    // The recorded edge must exist and be tight.
+    bool tight = false;
+    for (EdgeIndex e = g.edge_begin(p); e < g.edge_end(p); ++e)
+      if (g.targets()[e] == v &&
+          r.dist[p] + DistT<W>(g.weights()[e]) == r.dist[v])
+        tight = true;
+    EXPECT_TRUE(tight) << "parent " << p << " -> " << v << " not tight";
+  }
+  // Acyclic: every chain lands on the source within V hops.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (r.dist[v] == DistTraits<W>::infinity()) continue;
+    VertexId cur = v;
+    uint32_t hops = 0;
+    while (cur != source) {
+      cur = r.parent[cur];
+      ASSERT_NE(cur, kInvalidVertex);
+      ASSERT_LE(++hops, g.num_vertices()) << "parent cycle via " << v;
+    }
+  }
+}
+
+TEST(BatchSolve, EveryLaneMatchesItsDijkstraOracle) {
+  const auto g =
+      make_grid_road<uint32_t>(24, 24, {WeightDist::kUniform, 200}, 5);
+  HostEngine<uint32_t> engine(small_opts());
+  const std::vector<VertexId> sources = {0, 17, 203, 511, pick_source(g), 42};
+  const auto br = engine.solve_batch(g, make_lanes(sources));
+
+  ASSERT_EQ(br.lanes.size(), sources.size());
+  EXPECT_GT(br.work.items_processed, 0u);
+  for (size_t l = 0; l < sources.size(); ++l) {
+    const auto& o = br.lanes[l];
+    EXPECT_EQ(o.status, LaneStatus::kOk);
+    EXPECT_EQ(o.result.solver, "adds-host-batch");
+    const auto oracle = dijkstra(g, sources[l]);
+    const auto rep = validate_distances(o.result, oracle);
+    EXPECT_TRUE(rep.ok()) << "lane " << l << ": " << rep.summary();
+    check_parent_tree(g, o.result, sources[l]);
+    // Per-lane slice of the shared traversal: each lane did real work.
+    EXPECT_GT(o.result.work.items_processed, 0u) << "lane " << l;
+    EXPECT_GT(o.result.work.pushes, 0u) << "lane " << l;
+  }
+  EXPECT_EQ(engine.queries_served(), 1u);
+  // The shared traversal ran the multisplit (write combining is on).
+  EXPECT_GT(br.work.lane_splits, 0u);
+}
+
+TEST(BatchSolve, FloatLanesMatchOracle) {
+  const auto g = make_grid_road<float>(16, 16, {WeightDist::kUniform, 100}, 3);
+  HostEngine<float> engine(small_opts());
+  const std::vector<VertexId> sources = {0, 99, 255};
+  const auto br = engine.solve_batch(g, make_lanes(sources));
+  for (size_t l = 0; l < sources.size(); ++l) {
+    const auto oracle = dijkstra(g, sources[l]);
+    EXPECT_TRUE(validate_distances(br.lanes[l].result, oracle).ok())
+        << "lane " << l;
+  }
+}
+
+TEST(BatchSolve, DuplicateSourcesYieldIdenticalLanes) {
+  // The engine does not dedup (the service does); duplicate sources are
+  // simply independent lanes that must agree exactly.
+  const auto g =
+      make_grid_road<uint32_t>(16, 16, {WeightDist::kUniform, 150}, 7);
+  HostEngine<uint32_t> engine(small_opts());
+  const auto br = engine.solve_batch(g, make_lanes({5, 5, 5}));
+  ASSERT_EQ(br.lanes.size(), 3u);
+  for (const auto& o : br.lanes) {
+    ASSERT_EQ(o.status, LaneStatus::kOk);
+    EXPECT_EQ(o.result.dist, br.lanes[0].result.dist);
+  }
+}
+
+TEST(BatchSolve, SingleLaneBatchMatchesSingleSourceSolve) {
+  const auto g =
+      make_grid_road<uint32_t>(20, 20, {WeightDist::kUniform, 300}, 2);
+  HostEngine<uint32_t> engine(small_opts());
+  const VertexId s = pick_source(g);
+  const auto br = engine.solve_batch(g, make_lanes({s}));
+  const auto single = engine.solve(g, s);
+  ASSERT_EQ(br.lanes.size(), 1u);
+  EXPECT_EQ(br.lanes[0].result.dist, single.dist);
+  // Batched solves certify a parent tree even for one lane; the classic
+  // path stays distance-only.
+  check_parent_tree(g, br.lanes[0].result, s);
+  EXPECT_TRUE(single.parent.empty());
+  EXPECT_EQ(engine.queries_served(), 2u);
+}
+
+TEST(BatchSolve, WarmEngineInterleavesBatchedAndSingleQueries) {
+  // Lane-count changes force combiner rebuilds on the warm workers; state
+  // must never leak between a K-lane batch and the single-source query
+  // that follows it on the same threads.
+  const auto g =
+      make_grid_road<uint32_t>(20, 20, {WeightDist::kUniform, 250}, 9);
+  HostEngine<uint32_t> engine(small_opts());
+  const auto oracle0 = dijkstra(g, VertexId{0});
+  const auto oracle7 = dijkstra(g, VertexId{7});
+
+  for (int round = 0; round < 3; ++round) {
+    const auto br = engine.solve_batch(g, make_lanes({0, 7, 200, 399}));
+    EXPECT_TRUE(validate_distances(br.lanes[0].result, oracle0).ok());
+    EXPECT_TRUE(validate_distances(br.lanes[1].result, oracle7).ok());
+    const auto single = engine.solve(g, 0);
+    EXPECT_TRUE(validate_distances(single, oracle0).ok());
+    // Single-source runs must not carry batch accounting.
+    EXPECT_EQ(single.work.lane_splits, 0u);
+    EXPECT_EQ(single.work.lane_dropped, 0u);
+  }
+  EXPECT_EQ(engine.queries_served(), 6u);
+}
+
+TEST(BatchSolve, PerLaneCancelDetachesOnlyThatLane) {
+  const auto g =
+      make_grid_road<uint32_t>(32, 32, {WeightDist::kUniform, 400}, 4);
+  HostEngine<uint32_t> engine(small_opts());
+  std::atomic<bool> cancel_lane1{true};  // fired before the batch starts
+  auto lanes = make_lanes({3, 700, 512});
+  lanes[1].cancel = &cancel_lane1;
+
+  const auto br = engine.solve_batch(g, lanes);
+  ASSERT_EQ(br.lanes.size(), 3u);
+  EXPECT_EQ(br.lanes[1].status, LaneStatus::kCancelled);
+  EXPECT_TRUE(br.lanes[1].result.dist.empty());
+  for (size_t l : {size_t{0}, size_t{2}}) {
+    ASSERT_EQ(br.lanes[l].status, LaneStatus::kOk) << "lane " << l;
+    const auto oracle = dijkstra(g, lanes[l].source);
+    EXPECT_TRUE(validate_distances(br.lanes[l].result, oracle).ok())
+        << "lane " << l;
+  }
+  // The engine absorbed the detach and stays warm.
+  const auto after = engine.solve(g, 3);
+  EXPECT_TRUE(validate_distances(after, dijkstra(g, VertexId{3})).ok());
+}
+
+TEST(BatchSolve, BatchDeadlineFailsTheWholeBatch) {
+  const auto g =
+      make_grid_road<uint32_t>(120, 120, {WeightDist::kUniform, 1000}, 6);
+  AddsHostOptions o = small_opts();
+  o.num_workers = 1;  // slow it down so the deadline reliably lands mid-run
+  HostEngine<uint32_t> engine(o);
+  QueryControl ctl;
+  ctl.deadline_ms = 0.01;
+  EXPECT_THROW(engine.solve_batch(g, make_lanes({0, 1, 2, 3}), ctl),
+               DeadlineError);
+  // Reusable after the failure path.
+  const auto r = engine.solve_batch(g, make_lanes({0, 9}));
+  EXPECT_EQ(r.lanes[0].status, LaneStatus::kOk);
+}
+
+TEST(BatchSolve, RejectsOversizedAndOutOfRangeBatches) {
+  const auto g =
+      make_grid_road<uint32_t>(8, 8, {WeightDist::kUniform, 50}, 1);
+  HostEngine<uint32_t> engine(small_opts());
+  std::vector<VertexId> too_many(kMaxLanes + 1, 0);
+  EXPECT_THROW(engine.solve_batch(g, make_lanes(too_many)), Error);
+  EXPECT_THROW(engine.solve_batch(g, {}), Error);
+  EXPECT_THROW(engine.solve_batch(g, make_lanes({g.num_vertices()})), Error);
+}
+
+// ---- Fault-matrix rows for the lane-split site ------------------------------
+//
+// combiner.lane-split stalls a worker between the multisplit histogram and
+// its scatter — the widest window in which the half-built permutation
+// exists. Across seeds, every lane of a batched run under the armed site
+// must still match its oracle: the stall may cost time, never items and
+// never lane isolation.
+
+class LaneSplitFaultMatrix : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LaneSplitFaultMatrix, BatchSurvivesInjectedSplitStall) {
+  const auto g =
+      make_grid_road<uint32_t>(24, 24, {WeightDist::kUniform, 500}, 3);
+  const std::vector<VertexId> sources = {0, 111, 333, 555};
+  std::vector<SsspResult<uint32_t>> oracles;
+  for (VertexId s : sources) oracles.push_back(dijkstra(g, s));
+
+  fault::FaultPlan plan(GetParam());
+  plan.set(fault::Site::kLaneSplit, {0.3, ~0ull, 500});
+  fault::FaultScope scope(plan);
+
+  AddsHostOptions o = small_opts();
+  o.combine_capacity = 16;  // frequent flushes: many split windows
+  HostEngine<uint32_t> engine(o);
+  const auto br = engine.solve_batch(g, make_lanes(sources));
+  EXPECT_GT(plan.fires(fault::Site::kLaneSplit), 0u);
+  for (size_t l = 0; l < sources.size(); ++l) {
+    ASSERT_EQ(br.lanes[l].status, LaneStatus::kOk);
+    EXPECT_TRUE(validate_distances(br.lanes[l].result, oracles[l]).ok())
+        << "seed " << GetParam() << " lane " << l;
+    check_parent_tree(g, br.lanes[l].result, sources[l]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LaneSplitFaultMatrix,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BatchSolve, OneShotEntryPointMatchesOracles) {
+  const auto g =
+      make_grid_road<uint32_t>(12, 12, {WeightDist::kUniform, 100}, 8);
+  const std::vector<VertexId> sources = {0, 70, 143};
+  const auto br = adds_host_batch(g, sources, small_opts());
+  for (size_t l = 0; l < sources.size(); ++l)
+    EXPECT_TRUE(
+        validate_distances(br.lanes[l].result, dijkstra(g, sources[l])).ok())
+        << "lane " << l;
+}
+
+}  // namespace
+}  // namespace adds

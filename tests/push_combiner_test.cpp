@@ -4,10 +4,12 @@
 // may ever be lost or duplicated by a flush racing a rotation).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
 
+#include "queue/lane_codec.hpp"
 #include "queue/push_combiner.hpp"
 #include "queue/work_queue.hpp"
 #include "queue/wrap.hpp"
@@ -138,6 +140,144 @@ TEST(PushCombiner, InjectedDelayFiresInsideBatchFlush) {
   // The delayed batch still publishes completely.
   EXPECT_EQ(q.logical_bucket(0).scan_written_bound(),
             q.logical_bucket(0).read_ptr() + 4u);
+}
+
+TEST(PushCombiner, MultisplitBinsLanesContiguouslyAndLosesNothing) {
+  // Batched queries: a flushed staging lane must leave with its items
+  // counting-sorted into per-query-lane contiguous segments, with every
+  // item's lane bits exactly as staged.
+  BlockPool pool(32, 64);
+  WorkQueue q(pool, small_cfg());
+  q.set_delta(10.0);
+  q.ensure_capacity_all(64);
+
+  PushCombiner comb(q, 64, /*query_lanes=*/4);
+  EXPECT_EQ(comb.query_lanes(), 4u);
+  std::vector<uint32_t> pushed;
+  for (uint32_t i = 0; i < 32; ++i) {
+    const uint32_t item = lane_encode(i % 4, 1000 + i);
+    pushed.push_back(item);
+    comb.push(item, 5.0);  // one logical bucket: one staging lane
+  }
+  comb.flush_all();
+  EXPECT_EQ(comb.stats().lane_splits, 1u);
+  EXPECT_EQ(comb.stats().flushed_items, 32u);
+  EXPECT_EQ(comb.stats().dropped, 0u);
+
+  Bucket& head = q.logical_bucket(0);
+  const uint32_t start = head.read_ptr();
+  ASSERT_EQ(head.scan_written_bound() - start, 32u);
+  std::vector<uint32_t> seen;
+  for (uint32_t i = 0; i < 32; ++i) seen.push_back(head.read_item(start + i));
+  // Per-lane contiguous: lane ids are non-decreasing across the batch.
+  for (uint32_t i = 1; i < 32; ++i)
+    EXPECT_LE(lane_of(seen[i - 1]), lane_of(seen[i])) << "position " << i;
+  // No loss, no duplication, no bit rewrites: same multiset.
+  std::sort(pushed.begin(), pushed.end());
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(pushed, seen);
+}
+
+TEST(PushCombiner, SingleQueryLaneNeverSplits) {
+  // The classic single-source configuration must not pay (or count) any
+  // multisplit work, whatever bit patterns the items carry.
+  BlockPool pool(32, 64);
+  WorkQueue q(pool, small_cfg());
+  q.set_delta(10.0);
+  q.ensure_capacity_all(64);
+
+  PushCombiner comb(q, 8);
+  for (uint32_t i = 0; i < 16; ++i) comb.push(0xF0000000u | i, 5.0);
+  comb.flush_all();
+  EXPECT_EQ(comb.stats().lane_splits, 0u);
+  EXPECT_EQ(comb.stats().flushed_items, 16u);
+}
+
+TEST(PushCombiner, WedgedLaneSplitLosesNoLaneAndCrossesNone) {
+  // A writer stalled mid-multisplit (between histogram and scatter) while
+  // the manager rotates the window underneath: every item must still be
+  // observed exactly once WITH the lane bits it was staged with. Losing an
+  // item starves a query lane; rewriting lane bits leaks one query's
+  // relaxation into another's distance row — both are protocol violations,
+  // not schedule noise.
+  constexpr uint32_t kWriters = 4;  // writer w pushes only lane-w items
+  constexpr uint32_t kPerWriter = 2000;
+  constexpr uint32_t kTotal = kWriters * kPerWriter;
+
+  BlockPool pool(64, 256);
+  WorkQueue::Config cfg;
+  cfg.num_buckets = 4;
+  cfg.bucket.segment_words = 16;
+  cfg.bucket.table_size = 8;
+  WorkQueue q(pool, cfg);
+  q.set_delta(50.0);
+  q.ensure_capacity_all(512);
+
+  fault::FaultPlan plan(9);
+  plan.set(fault::Site::kLaneSplit, {0.25, ~0ull, 300});
+  fault::FaultScope scope(plan);
+
+  std::vector<uint32_t> seen(kTotal, 0);
+  std::atomic<bool> writers_done{false};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (uint32_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      PushCombiner comb(q, 16, /*query_lanes=*/kWriters);
+      for (uint32_t i = 0; i < kPerWriter; ++i) {
+        const uint32_t node = w * kPerWriter + i;
+        comb.push(lane_encode(w, node), double(i % 400));
+        if ((i & 255) == 0) std::this_thread::yield();
+      }
+      comb.flush_all();
+      EXPECT_EQ(comb.stats().dropped, 0u);
+      EXPECT_EQ(comb.stats().flushed_items, uint64_t(kPerWriter));
+      EXPECT_GT(comb.stats().lane_splits, 0u);
+    });
+  }
+
+  std::thread manager([&] {
+    uint64_t consumed = 0;
+    while (true) {
+      q.ensure_capacity_all(512);
+      for (uint32_t logical = 0; logical < cfg.num_buckets; ++logical) {
+        Bucket& b = q.logical_bucket(logical);
+        const uint32_t bound = b.scan_written_bound();
+        uint32_t count = 0;
+        for (uint32_t idx = b.read_ptr(); wrap_lt(idx, bound); ++idx) {
+          const uint32_t item = b.read_item(idx);
+          const uint32_t node = node_of(item);
+          ASSERT_LT(node, kTotal);
+          // Lane bits must match the writer that owns this node range:
+          // a mismatch means the split crossed lanes.
+          ASSERT_EQ(lane_of(item), node / kPerWriter) << "node " << node;
+          ++seen[node];
+          ++count;
+        }
+        if (count > 0) {
+          b.advance_read(bound);
+          b.complete(count);
+          consumed += count;
+        }
+        b.recycle_below(b.read_ptr());
+      }
+      if (q.head_drained() && q.total_pending() + q.total_in_flight() > 0)
+        q.advance_window();
+      if (writers_done.load(std::memory_order_acquire) &&
+          consumed >= kTotal && q.total_pending() == 0)
+        break;
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& t : writers) t.join();
+  writers_done.store(true, std::memory_order_release);
+  manager.join();
+
+  EXPECT_GT(plan.fires(fault::Site::kLaneSplit), 0u);
+  for (size_t v = 0; v < seen.size(); ++v)
+    ASSERT_EQ(seen[v], 1u) << "node " << v << " seen " << seen[v] << " times";
 }
 
 TEST(PushCombiner, RotationBoundaryStressLosesNothing) {

@@ -315,7 +315,10 @@ TEST(SsspService, ConcurrentMixedQueriesAllValidate) {
   EXPECT_EQ(rep.submitted, uint64_t(kThreads * kPerThread));
   EXPECT_EQ(rep.completed, uint64_t(kThreads * kPerThread));
   EXPECT_EQ(rep.failed, 0u);
-  EXPECT_GT(rep.cache_hits, 0u);  // 48 queries over 8 sources must hit
+  // 48 queries over 8 sources must be served economically: either a
+  // cache hit or a shared lane of a coalesced batch (repeated sources
+  // that land in one dispatch never reach the cache — they fan out).
+  EXPECT_GT(rep.cache_hits + rep.batched_queries, 0u);
   EXPECT_GE(rep.latency.count, uint64_t(kThreads * kPerThread));
   EXPECT_GE(rep.engine_utilization, 0.0);
   EXPECT_LE(rep.engine_utilization, 1.0);
