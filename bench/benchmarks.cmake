@@ -69,6 +69,16 @@ add_test(NAME tenant_chaos_smoke
 set_tests_properties(tenant_chaos_smoke
   PROPERTIES LABELS "perf;soak" TIMEOUT 120)
 
+# Live-delta chaos: the default graph is rewritten under a query burst while
+# injected repair.delta faults fail half the warm repairs; every survivor is
+# Dijkstra-validated on the exact graph generation its outcome claims (stale
+# answers against the ancestor they name, fresh against the child), and the
+# fleet must converge to the final generation once the storm passes.
+add_test(NAME delta_chaos_smoke
+  COMMAND soak_suite --delta-chaos --smoke --seed=42)
+set_tests_properties(delta_chaos_smoke
+  PROPERTIES LABELS "perf;soak" TIMEOUT 120)
+
 # Serving-layer benchmark: warm-engine vs cold-start latency, result-cache
 # hit rate and admission-control shedding, all Dijkstra-validated (emits
 # BENCH_service.json). Fixed generator seeds; the smoke tier doubles as the
@@ -77,7 +87,8 @@ adds_add_bench(service_suite)
 add_test(NAME service_smoke
   COMMAND service_suite --smoke
           --out=${CMAKE_BINARY_DIR}/BENCH_service.json
-          --batch-out=${CMAKE_BINARY_DIR}/BENCH_batch_all.json)
+          --batch-out=${CMAKE_BINARY_DIR}/BENCH_batch_all.json
+          --delta-out=${CMAKE_BINARY_DIR}/BENCH_delta_all.json)
 set_tests_properties(service_smoke PROPERTIES LABELS perf TIMEOUT 300)
 
 # Batched multi-source phase alone: K independent solves vs one
@@ -89,3 +100,13 @@ add_test(NAME batch_smoke
   COMMAND service_suite --smoke --phase=batch
           --batch-out=${CMAKE_BINARY_DIR}/BENCH_batch.json)
 set_tests_properties(batch_smoke PROPERTIES LABELS perf TIMEOUT 300)
+
+# Delta-repair phase alone: warm in-place repair vs cold re-solve of the
+# child snapshot across delta sizes, every round validated against the
+# child's Dijkstra oracle and certified by verify_repair; exits nonzero
+# unless a 1-edge delta repairs at least 2x faster than a full recompute
+# (emits BENCH_delta.json). CI's delta-smoke job runs exactly this.
+add_test(NAME delta_smoke
+  COMMAND service_suite --smoke --phase=delta
+          --delta-out=${CMAKE_BINARY_DIR}/BENCH_delta.json)
+set_tests_properties(delta_smoke PROPERTIES LABELS perf TIMEOUT 300)

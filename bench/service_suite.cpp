@@ -21,19 +21,28 @@
 // Emits BENCH_service.json (schema adds-service-suite-v1): warm/cold
 // latency percentiles per graph, aggregate speedup, cache hit rate, shed
 // counts. CI's service-smoke job uploads it as an artifact.
+//
+// --phase=delta runs the delta-repair phase alone (also part of `all`):
+// warm in-place SSSP repair vs cold re-solve of the child snapshot across
+// delta sizes, every round validated against the child's Dijkstra oracle
+// and certified by verify_repair; emits BENCH_delta.json and gates on a
+// small delta repairing at least 2x faster than a full recompute.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "../tests/oracle_util.hpp"
 #include "bench_common.hpp"
 #include "core/validate.hpp"
 #include "graph/analysis.hpp"
+#include "graph/delta.hpp"
 #include "graph/generators.hpp"
 #include "service/sssp_service.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/host_engine.hpp"
+#include "sssp/repair.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -71,16 +80,21 @@ int main(int argc, char** argv) {
   cli.add_option("out", "JSON output path", "BENCH_service.json");
   cli.add_option("batch-out", "batched-phase JSON output path",
                  "BENCH_batch.json");
-  cli.add_option("phase", "phases to run: all | batch", "all");
+  cli.add_option("delta-out", "delta-phase JSON output path",
+                 "BENCH_delta.json");
+  cli.add_option("phase", "phases to run: all | batch | delta", "all");
   cli.add_option("queries", "queries per graph (over 8 sources)", "0");
   cli.add_option("workers", "worker threads per engine", "4");
   if (!cli.parse(argc, argv)) return 0;
 
   const bool smoke = cli.flag("smoke");
   const std::string phase_sel = cli.str("phase");
-  ADDS_REQUIRE(phase_sel == "all" || phase_sel == "batch",
-               "service_suite: --phase must be all or batch");
-  const bool run_main = phase_sel != "batch";
+  ADDS_REQUIRE(phase_sel == "all" || phase_sel == "batch" ||
+                   phase_sel == "delta",
+               "service_suite: --phase must be all, batch or delta");
+  const bool run_main = phase_sel == "all";
+  const bool run_batch = phase_sel == "all" || phase_sel == "batch";
+  const bool run_delta = phase_sel == "all" || phase_sel == "delta";
   const uint32_t n_queries =
       cli.integer("queries") > 0 ? uint32_t(cli.integer("queries"))
                                  : (smoke ? 24u : 96u);
@@ -252,7 +266,7 @@ int main(int argc, char** argv) {
   // batch's aggregate-throughput win must show. Every lane of every
   // round is Dijkstra-validated before its timing counts.
   double batch_speedup = 0.0;
-  {
+  if (run_batch) {
     const uint32_t side = smoke ? 8 : 12;
     const auto g = make_grid_road<uint32_t>(
         side, side, {WeightDist::kUniform, 200}, 13);
@@ -319,6 +333,119 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", bpath.c_str());
   }
 
+  // Delta-repair phase: warm in-place repair vs cold re-solve of the child
+  // snapshot, across delta sizes, on one warm engine (both sides reuse the
+  // same threads and pools — the difference measured is relaxation work,
+  // not spin-up). Every round's repaired tree is validated against a cold
+  // Dijkstra solve of the child AND certified by verify_repair before its
+  // timing counts. The gate: a small delta must repair at least 2x faster
+  // than recomputing the child from scratch — otherwise the live-delta
+  // pipeline's reason to exist (ISSUE 8) is gone.
+  double delta_small_speedup = 0.0;
+  if (run_delta) {
+    const uint32_t side = smoke ? 64 : 128;
+    const auto g = make_grid_road<uint32_t>(
+        side, side, {WeightDist::kUniform, 200}, 17);
+    const VertexId src = 0;
+    const auto parent_oracle = dijkstra(g, src);
+    HostEngine<uint32_t> engine(eng_opts);
+    engine.solve(g, src);  // untimed warmup: threads, pools, page cache
+
+    const uint32_t rounds = smoke ? 4 : 8;
+    const std::vector<uint32_t> sizes = {1, 4, 16, 64};
+    struct DeltaRow {
+      uint32_t changes = 0;
+      double repair_ms = 0, cold_ms = 0;
+      uint64_t frontier = 0, invalidated = 0;
+    };
+    std::vector<DeltaRow> rows;
+    bool all_exact = true;
+
+    TextTable dt("delta repair vs cold re-solve (grid_" +
+                 std::to_string(side) + "x" + std::to_string(side) + ", " +
+                 std::to_string(rounds) + " rounds/size, warm engine)");
+    dt.set_header({"delta edges", "repair ms", "cold ms", "speedup",
+                   "avg frontier", "avg invalidated"});
+    for (const uint32_t k : sizes) {
+      DeltaRow row;
+      row.changes = k;
+      for (uint32_t round = 0; round < rounds; ++round) {
+        const auto delta =
+            oracle::make_test_delta(g, k, 0, 1000ull * k + round);
+        const auto res = apply_delta(g, delta);
+        const auto child_oracle = dijkstra(res.graph, src);
+
+        WallTimer rt;
+        const auto plan =
+            plan_repair(g, res.graph, res, parent_oracle.dist, src);
+        const auto repaired = engine.solve_repair(res.graph, src, plan);
+        row.repair_ms += rt.elapsed_ms();
+        row.frontier += plan.frontier.size();
+        row.invalidated += plan.invalidated;
+
+        WallTimer ct;
+        const auto cold = engine.solve(res.graph, src);
+        row.cold_ms += ct.elapsed_ms();
+
+        if (!validate_distances(repaired, child_oracle).ok() ||
+            !verify_repair(res.graph, src, repaired.dist).exact) {
+          std::fprintf(stderr,
+                       "FATAL: repair (k=%u round=%u) diverged from the "
+                       "child oracle\n",
+                       k, round);
+          all_exact = false;
+        }
+        if (!validate_distances(cold, child_oracle).ok()) {
+          std::fprintf(stderr,
+                       "FATAL: cold re-solve (k=%u round=%u) diverged\n", k,
+                       round);
+          all_exact = false;
+        }
+      }
+      dt.add_row({std::to_string(k), fmt_double(row.repair_ms, 2),
+                  fmt_double(row.cold_ms, 2),
+                  fmt_ratio(row.repair_ms > 0 ? row.cold_ms / row.repair_ms
+                                              : 0.0),
+                  std::to_string(row.frontier / rounds),
+                  std::to_string(row.invalidated / rounds)});
+      rows.push_back(row);
+    }
+    all_valid = all_valid && all_exact;
+    delta_small_speedup =
+        rows.front().repair_ms > 0
+            ? rows.front().cold_ms / rows.front().repair_ms
+            : 0.0;
+    dt.add_footer("every repaired tree validated against the child's "
+                  "Dijkstra oracle and certified by verify_repair");
+    dt.print();
+    std::printf("small-delta (1 edge) repair speedup over cold: %s\n",
+                fmt_ratio(delta_small_speedup).c_str());
+
+    std::ostringstream dj;
+    dj << "{\"schema\":\"adds-delta-suite-v1\",\"mode\":\""
+       << (smoke ? "smoke" : "full") << "\",\"graph\":\"grid_" << side << "x"
+       << side << "\",\"vertices\":" << g.num_vertices()
+       << ",\"rounds\":" << rounds << ",\"workers\":" << eng_opts.num_workers
+       << ",\"sizes\":[";
+    for (size_t i = 0; i < rows.size(); ++i)
+      dj << (i ? "," : "") << "{\"changes\":" << rows[i].changes
+         << ",\"repair_wall_ms\":" << rows[i].repair_ms
+         << ",\"cold_wall_ms\":" << rows[i].cold_ms << ",\"speedup\":"
+         << (rows[i].repair_ms > 0 ? rows[i].cold_ms / rows[i].repair_ms : 0.0)
+         << ",\"avg_frontier\":" << rows[i].frontier / rounds
+         << ",\"avg_invalidated\":" << rows[i].invalidated / rounds << "}";
+    dj << "],\"small_delta_speedup\":" << delta_small_speedup
+       << ",\"gate_min_speedup\":2.0}";
+    const std::string dpath = cli.str("delta-out");
+    std::ofstream dout(dpath);
+    if (!dout) {
+      std::fprintf(stderr, "cannot open %s for writing\n", dpath.c_str());
+      return 1;
+    }
+    dout << dj.str() << "\n";
+    std::printf("wrote %s\n", dpath.c_str());
+  }
+
   if (run_main) {
     std::ostringstream root;
     root << "{\"schema\":\"adds-service-suite-v1\",\"mode\":\""
@@ -342,9 +469,13 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", out_path.c_str());
   }
   // Correctness is the gate; a shed-free burst means the overload phase
-  // never exercised admission control, and a batch below 3x aggregate
-  // throughput means lane sharing stopped paying for itself.
-  bool gate = all_valid && batch_speedup >= 3.0;
+  // never exercised admission control, a batch below 3x aggregate
+  // throughput means lane sharing stopped paying for itself, and a small
+  // delta repairing slower than 2x a full recompute means in-place repair
+  // stopped paying for itself.
+  bool gate = all_valid;
+  if (run_batch) gate = gate && batch_speedup >= 3.0;
+  if (run_delta) gate = gate && delta_small_speedup >= 2.0;
   if (run_main) gate = gate && burst_shed > 0 && burst_other == 0;
   return gate ? 0 : 1;
 }

@@ -13,7 +13,7 @@
 //     a hard timeout) and never by silent corruption.
 //
 // Fully deterministic per --seed: every run's configuration derives from a
-// SplitMix64 stream, so a failure line like `run=17 seed=0x...` replays
+// SoakRng stream, so a failure line like `run=17 seed=0x...` replays
 // exactly. The summary table counts outcomes; the process exits nonzero on
 // any contract violation.
 //
@@ -22,6 +22,11 @@
 // quarantine + rebuild the wedged engines while the pool keeps answering —
 // zero hangs, zero wrong distances, recovery visible in ServiceReport and
 // reconstructible from the flight-recorder dump.
+//
+// --tenant-chaos wedges 1 of 3 catalog tenants with domain-scoped faults and
+// requires zero cross-tenant damage. --delta-chaos (ISSUE 8) rewrites the
+// live graph under a query burst with injected repair faults and validates
+// every survivor against the exact graph generation its outcome claims.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -30,10 +35,15 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+#include <unordered_map>
+
+#include "../tests/oracle_util.hpp"
 #include "bench_common.hpp"
 #include "core/resilience.hpp"
 #include "core/validate.hpp"
 #include "graph/analysis.hpp"
+#include "graph/fingerprint.hpp"
 #include "graph/generators.hpp"
 #include "service/sssp_service.hpp"
 #include "sssp/adds.hpp"
@@ -45,9 +55,10 @@ using namespace adds;
 
 namespace {
 
-// SplitMix64: tiny, deterministic, and good enough to decorrelate every
-// configuration dimension from one master seed.
-struct SplitMix64 {
+// SplitMix64 under a local name (oracle_util pulls in adds::SplitMix64):
+// tiny, deterministic, and good enough to decorrelate every configuration
+// dimension from one master seed.
+struct SoakRng {
   uint64_t state;
   uint64_t next() {
     uint64_t z = (state += 0x9e3779b97f4a7c15ull);
@@ -77,7 +88,7 @@ struct SoakConfig {
   double cancel_after_ms = 0;  // mid-cancel mode only
 };
 
-SoakConfig draw_config(SplitMix64& rng, bool smoke) {
+SoakConfig draw_config(SoakRng& rng, bool smoke) {
   SoakConfig c;
   c.run_seed = rng.next();
 
@@ -628,7 +639,7 @@ uint64_t tenant_chaos_round(uint64_t round, uint64_t seed, bool smoke,
 
 int run_tenant_chaos(uint64_t master_seed, uint64_t rounds, bool smoke,
                      bool verbose) {
-  SplitMix64 rng{master_seed};
+  SoakRng rng{master_seed};
   Tally tally;
   SupervisionTotals totals;
   for (uint64_t r = 0; r < rounds; ++r)
@@ -661,7 +672,7 @@ int run_tenant_chaos(uint64_t master_seed, uint64_t rounds, bool smoke,
 
 int run_service_chaos(uint64_t master_seed, uint64_t rounds, bool smoke,
                       bool verbose) {
-  SplitMix64 rng{master_seed};
+  SoakRng rng{master_seed};
   Tally tally;
   SupervisionTotals totals;
   for (uint64_t r = 0; r < rounds; ++r)
@@ -695,6 +706,249 @@ int run_service_chaos(uint64_t master_seed, uint64_t rounds, bool smoke,
   return tally.violations == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Delta chaos: live graph rewrites under fire
+// ---------------------------------------------------------------------------
+
+struct DeltaTotals {
+  uint64_t deltas = 0;
+  uint64_t repair_fires = 0;
+  uint64_t repairs_ok = 0;
+  uint64_t repair_fallbacks = 0;
+  uint64_t stale_hits = 0;
+};
+
+/// One round: concurrent queries x repeated deltas x injected repair
+/// faults. The service's default graph is rewritten out from under a
+/// query burst again and again while repair.delta makes half the warm
+/// repairs fail. Contract: every future resolves (hang = violation);
+/// every kOk survivor is Dijkstra-validated against the EXACT graph
+/// generation its outcome claims (stale answers against the ancestor
+/// they name, fresh answers against the then-current child); after the
+/// storm the fleet converges to the final generation and serves it
+/// clean. Returns the number of contract violations.
+uint64_t delta_chaos_round(uint64_t round, uint64_t seed, bool smoke,
+                           bool verbose, Tally& t, DeltaTotals& totals) {
+  const uint64_t side = smoke ? 20 : 28;
+  GraphSpec spec;
+  spec.name = "grid_" + std::to_string(side);
+  spec.family = GraphFamily::kGridRoad;
+  spec.scale = side;
+  spec.a = double(side);
+  spec.weights = {WeightDist::kUniform, 1000, 1};
+  spec.seed = seed;
+  const auto g = generate_graph<uint32_t>(spec);
+  constexpr VertexId kSources = 4;
+
+  ServiceConfig cfg;
+  cfg.num_engines = 2;
+  cfg.max_queue_depth = 256;
+  cfg.guarded_fallback = false;
+  cfg.engine.num_workers = 2;
+  cfg.engine.chunk_items = 32;
+  cfg.delta.stale_serve_ms = 5000.0;       // window open for the whole burst
+  cfg.delta.repair_deadline_ms = 30000.0;  // injected stalls must not expire it
+  SsspService<uint32_t> svc(cfg);
+  const uint64_t root_fp = svc.set_graph(g);
+
+  // Every generation this round ever publishes, keyed by fingerprint, so
+  // a survivor can be validated on the graph version it claims — plus a
+  // memoized Dijkstra oracle per (generation, source).
+  std::unordered_map<uint64_t, IntGraph> versions;
+  versions.emplace(root_fp, g);
+  IntGraph cur = g;
+  std::map<std::pair<uint64_t, VertexId>, SsspResult<uint32_t>> oracle_memo;
+  const auto oracle_for =
+      [&](uint64_t fp, VertexId s) -> const SsspResult<uint32_t>* {
+    const auto key = std::make_pair(fp, s);
+    auto it = oracle_memo.find(key);
+    if (it == oracle_memo.end()) {
+      const auto gv = versions.find(fp);
+      if (gv == versions.end()) return nullptr;
+      it = oracle_memo.emplace(key, dijkstra(gv->second, s)).first;
+    }
+    return &it->second;
+  };
+
+  uint64_t violations = 0;
+  const auto violation = [&](const std::string& what) {
+    ++violations;
+    std::fprintf(stderr, "VIOLATION delta-chaos round=%llu seed=0x%llx: %s\n",
+                 (unsigned long long)round, (unsigned long long)seed,
+                 what.c_str());
+    if (violations == 1) dump_flight(svc);
+  };
+
+  // Warm the root generation's cache so the first delta has trees to repair.
+  for (VertexId s = 0; s < kSources; ++s) svc.query(s);
+
+  uint64_t stale_served = 0, fresh_served = 0, typed_failures = 0;
+  {
+    fault::FaultPlan plan(seed);
+    plan.set(fault::Site::kDeltaRepair, {0.5, ~0ull, 0});
+    plan.set(fault::Site::kManagerScanStall, {0.2, ~0ull, 2000});
+    fault::FaultScope scope(plan);
+
+    SoakRng rng{seed ^ 0xde17ac4a05ull};
+    const int deltas = smoke ? 4 : 8;
+    std::vector<std::future<QueryOutcome<uint32_t>>> futs;
+    std::vector<VertexId> srcs;
+    const auto burst = [&] {
+      for (VertexId s = 0; s < kSources; ++s) {
+        futs.push_back(svc.submit(s));
+        srcs.push_back(s);
+      }
+    };
+    for (int dno = 0; dno < deltas; ++dno) {
+      burst();  // queries in flight while the graph is rewritten under them
+      const auto delta = oracle::make_test_delta(
+          cur, 5 + rng.below(6), 1 + rng.below(3),
+          seed * 1000 + uint64_t(dno));
+      const auto out = svc.apply_delta(0, delta);
+      cur = apply_delta(cur, delta).graph;
+      if (graph_fingerprint(cur) != out.child_fp) {
+        violation("service child fingerprint diverged from reference apply");
+        return violations;  // the version map is useless from here on
+      }
+      versions.emplace(out.child_fp, cur);
+      ++totals.deltas;
+      burst();  // these race the repair window: stale serves are legal
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    // Zero hangs; every survivor validated on the generation it claims.
+    for (size_t i = 0; i < futs.size(); ++i) {
+      if (futs[i].wait_for(std::chrono::seconds(60)) !=
+          std::future_status::ready) {
+        violation("query hung during delta chaos (future never resolved)");
+        return violations;  // cannot safely continue this round
+      }
+      const auto out = futs[i].get();
+      if (out.status != QueryStatus::kOk) {
+        ++typed_failures;  // typed shed/degradation under chaos: accepted
+        continue;
+      }
+      const auto* ora = oracle_for(out.graph_fp, srcs[i]);
+      if (ora == nullptr) {
+        violation("survivor claims a graph generation that never existed");
+        continue;
+      }
+      if (!validate_distances(*out.result, *ora).ok())
+        violation(out.stale
+                      ? "stale answer diverged from the ancestor it claims"
+                      : "fresh answer diverged from the child it claims");
+      if (out.stale)
+        ++stale_served;
+      else
+        ++fresh_served;
+      ++t.ok;
+    }
+
+    // Every repair settles while the plan is still armed (it must outlive
+    // all threads inside solver code).
+    if (!poll_until([&] { return svc.report().repairs_pending == 0; }, 30000)) {
+      violation("repairs never settled after the delta storm");
+      return violations;
+    }
+    t.fault_fires += plan.total_fires();
+    totals.repair_fires += plan.fires(fault::Site::kDeltaRepair);
+  }
+  if (fresh_served == 0)
+    violation("no fresh answer survived the storm (service stopped serving)");
+
+  // Convergence: every superseded generation retires; only the final
+  // child remains resident, and it serves clean validated answers.
+  const uint64_t final_fp = graph_fingerprint(cur);
+  if (!poll_until([&] { return svc.resident_graphs().size() == 1; }, 20000)) {
+    violation("superseded graph generations never retired");
+  } else {
+    const auto residents = svc.resident_graphs();
+    if (residents[0] != final_fp)
+      violation("service converged to the wrong generation");
+  }
+  for (VertexId s = 0; s < kSources; ++s) {
+    const auto q = svc.query(s);
+    if (q.graph_fp != final_fp || q.stale) {
+      violation("post-storm serve is not fresh on the final child");
+      continue;
+    }
+    const auto* ora = oracle_for(final_fp, s);
+    if (ora == nullptr || !validate_distances(*q.result, *ora).ok())
+      violation("post-storm result diverged from the final child's oracle");
+    ++t.ok;
+  }
+
+  const auto rep = svc.report();
+  totals.repairs_ok += rep.repairs_ok;
+  totals.repair_fallbacks += rep.repair_fallbacks;
+  totals.stale_hits += rep.delta_stale_hits;
+
+  // The episode must be reconstructible from the flight recorder.
+  const auto events = svc.flight_dump();
+  if (!flight_has(events, FlightKind::kDeltaPublished))
+    violation("flight recorder is missing the delta-published events");
+  if (rep.repair_fallbacks > 0 &&
+      !flight_has(events, FlightKind::kRepairFallback))
+    violation("flight recorder is missing the repair-fallback events");
+
+  if (verbose)
+    std::fprintf(stderr,
+                 "round=%llu deltas=%llu repairs_ok=%llu fallbacks=%llu "
+                 "stale=%llu fresh=%llu typed_failures=%llu stale_hits=%llu\n",
+                 (unsigned long long)round, (unsigned long long)totals.deltas,
+                 (unsigned long long)rep.repairs_ok,
+                 (unsigned long long)rep.repair_fallbacks,
+                 (unsigned long long)stale_served,
+                 (unsigned long long)fresh_served,
+                 (unsigned long long)typed_failures,
+                 (unsigned long long)rep.delta_stale_hits);
+  return violations;
+}
+
+int run_delta_chaos(uint64_t master_seed, uint64_t rounds, bool smoke,
+                    bool verbose) {
+  SoakRng rng{master_seed};
+  Tally tally;
+  DeltaTotals totals;
+  for (uint64_t r = 0; r < rounds; ++r)
+    tally.violations +=
+        delta_chaos_round(r, rng.next(), smoke, verbose, tally, totals);
+
+  // The suite's reason to exist: both repair outcomes must actually have
+  // been exercised. A storm where the fault site never fired (or where no
+  // repair ever survived) proves nothing about the pipeline.
+  if (totals.repair_fires == 0 || totals.repair_fallbacks == 0) {
+    ++tally.violations;
+    std::fprintf(stderr,
+                 "VIOLATION delta-chaos: injected repair faults never bit "
+                 "(fires=%llu fallbacks=%llu)\n",
+                 (unsigned long long)totals.repair_fires,
+                 (unsigned long long)totals.repair_fallbacks);
+  }
+  if (totals.repairs_ok == 0) {
+    ++tally.violations;
+    std::fprintf(stderr,
+                 "VIOLATION delta-chaos: no warm repair ever succeeded "
+                 "(the repair path itself went unexercised)\n");
+  }
+
+  TextTable table("Delta chaos (" + std::to_string(rounds) +
+                  " rounds, seed " + std::to_string(master_seed) + ")");
+  table.set_header({"outcome", "count"});
+  table.add_row({"validated serves", std::to_string(tally.ok)});
+  table.add_row({"contract violations", std::to_string(tally.violations)});
+  table.add_row({"deltas applied", std::to_string(totals.deltas)});
+  table.add_row({"repairs ok", std::to_string(totals.repairs_ok)});
+  table.add_row({"repair fallbacks", std::to_string(totals.repair_fallbacks)});
+  table.add_row({"stale window hits", std::to_string(totals.stale_hits)});
+  table.add_row({"fault fires", std::to_string(tally.fault_fires)});
+  table.add_footer(
+      "concurrent queries x repeated deltas x injected repair faults; "
+      "every survivor validated on the graph generation it claims");
+  table.print();
+  return tally.violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -709,6 +963,10 @@ int main(int argc, char** argv) {
   cli.add_flag("tenant-chaos",
                "multi-tenant phase: wedge 1 of 3 catalog tenants with "
                "domain-scoped faults and require zero cross-tenant damage");
+  cli.add_flag("delta-chaos",
+               "live-delta phase: rewrite the graph under a query burst "
+               "with injected repair faults; every survivor validated on "
+               "the generation it claims");
   cli.add_option("runs", "number of randomized runs (0: tier default)", "0");
   cli.add_option("seed", "master seed for the configuration stream", "42");
   if (!cli.parse(argc, argv)) return 0;
@@ -725,9 +983,13 @@ int main(int argc, char** argv) {
     if (runs == 0) runs = smoke ? 2 : 6;
     return run_tenant_chaos(master_seed, runs, smoke, cli.flag("verbose"));
   }
+  if (cli.flag("delta-chaos")) {
+    if (runs == 0) runs = smoke ? 2 : 6;
+    return run_delta_chaos(master_seed, runs, smoke, cli.flag("verbose"));
+  }
   if (runs == 0) runs = smoke ? 40 : 400;
 
-  SplitMix64 rng{master_seed};
+  SoakRng rng{master_seed};
   Tally tally;
   std::vector<std::string> failures;
 

@@ -21,6 +21,7 @@
 //   ./artifact_runner --corpus=smoke --solvers=adds-host --resilient \
 //       --fault-seed=7 --fault-site=push.drop-before-publish --fault-prob=0.02
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -28,6 +29,7 @@
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "core/resilience.hpp"
 #include "core/solver.hpp"
@@ -35,6 +37,7 @@
 #include "util/fault.hpp"
 #include "graph/analysis.hpp"
 #include "graph/corpus.hpp"
+#include "graph/delta.hpp"
 #include "graph/generators.hpp"
 #include "graph/gr_format.hpp"
 #include "service/sssp_service.hpp"
@@ -89,6 +92,12 @@ int main(int argc, char** argv) {
                  "(default: deterministic picks)",
                  "");
   cli.add_option("engines", "warm engines for --queries mode", "2");
+  cli.add_option("delta-file",
+                 "edge-delta file for --queries mode: one 'u v w' triple "
+                 "per line (weight change, or insert if the edge is "
+                 "absent), applied to the default graph halfway through "
+                 "the batch; cached trees are warm-repaired in place",
+                 "");
   if (!cli.parse(argc, argv)) return 0;
 
   // Collect (name, graph) inputs.
@@ -118,6 +127,15 @@ int main(int argc, char** argv) {
   const int64_t batch_n = cli.integer("queries");
   const std::string sources_file = cli.str("sources");
   if (batch_n > 0 || !sources_file.empty()) {
+    GraphDelta<uint32_t> file_delta;
+    if (const std::string dpath = cli.str("delta-file"); !dpath.empty()) {
+      std::ifstream df(dpath);
+      ADDS_REQUIRE(df.is_open(), "cannot open " + dpath);
+      uint64_t u = 0, v = 0, w = 0;
+      while (df >> u >> v >> w)
+        file_delta.changes.push_back({VertexId(u), VertexId(v), uint32_t(w)});
+      ADDS_REQUIRE(!file_delta.empty(), "no 'u v w' triples in " + dpath);
+    }
     std::vector<uint64_t> script;
     if (!sources_file.empty()) {
       std::ifstream sf(sources_file);
@@ -134,8 +152,11 @@ int main(int argc, char** argv) {
     // catalog capacity would LRU-evict the early tenants of a big corpus —
     // and the whole batch must be admissible: the runner submits
     // n × tenants queries in one burst before draining any of them.
-    scfg.tenant.catalog_graphs =
-        std::max(scfg.tenant.catalog_graphs, inputs.size());
+    // (+1: a delta's child generation coexists with its parent until the
+    // repair window closes — eviction mid-window would drop a tenant row.)
+    scfg.tenant.catalog_graphs = std::max(
+        scfg.tenant.catalog_graphs,
+        inputs.size() + (file_delta.empty() ? 0 : 1));
     scfg.max_queue_depth = uint32_t(std::max<size_t>(
         scfg.max_queue_depth, n * inputs.size()));
     SsspService<uint32_t> svc(scfg);
@@ -153,6 +174,7 @@ int main(int argc, char** argv) {
         futs;
     std::map<uint64_t, std::shared_future<QueryOutcome<uint32_t>>> issued;
     size_t deduped = 0;
+    std::vector<uint64_t> ok_per(inputs.size(), 0);
     futs.reserve(n * inputs.size());
     for (size_t i = 0; i < n; ++i) {
       for (size_t k = 0; k < inputs.size(); ++k) {
@@ -172,9 +194,34 @@ int main(int argc, char** argv) {
         }
         futs.emplace_back(k, it->second);
       }
+      // --delta-file: rewrite the default graph in place halfway through
+      // the batch. Outstanding futures drain first (they were pinned to
+      // the parent generation); later rounds pin the child, whose cached
+      // trees arrive by warm repair rather than cold solves.
+      if (!file_delta.empty() && i + 1 == (n + 1) / 2) {
+        for (auto& [k2, f] : futs)
+          ok_per[k2] += f.get().status == QueryStatus::kOk;
+        futs.clear();
+        issued.clear();  // a new generation invalidates the fan-out map
+        const auto dout = svc.apply_delta(fps[0], file_delta);
+        fps[0] = dout.child_fp;
+        std::printf("delta file applied to %s: %016llx -> %016llx | "
+                    "%llu decreased %llu increased %llu inserted | "
+                    "%llu repairs scheduled\n",
+                    inputs[0].first.c_str(),
+                    (unsigned long long)dout.parent_fp,
+                    (unsigned long long)dout.child_fp,
+                    (unsigned long long)dout.stats.decreases,
+                    (unsigned long long)dout.stats.increases,
+                    (unsigned long long)dout.stats.inserts,
+                    (unsigned long long)dout.repairs_scheduled);
+      }
     }
-    std::vector<uint64_t> ok_per(inputs.size(), 0);
     for (auto& [k, f] : futs) ok_per[k] += f.get().status == QueryStatus::kOk;
+    if (!file_delta.empty())
+      for (int waited = 0; waited < 30000 && svc.report().repairs_pending > 0;
+           waited += 10)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
     const double secs = timer.elapsed_ms() / 1e3;
     const auto rep = svc.report();
 
@@ -206,6 +253,14 @@ int main(int argc, char** argv) {
                  std::to_string(rep.batches) + " batched dispatches (" +
                  std::to_string(rep.batched_queries) + " queries)");
     t.print();
+    if (!file_delta.empty())
+      std::printf("delta repairs: %llu scheduled, %llu ok, %llu fallback, "
+                  "%llu pending | stale window serves %llu\n",
+                  (unsigned long long)rep.repairs_scheduled,
+                  (unsigned long long)rep.repairs_ok,
+                  (unsigned long long)rep.repair_fallbacks,
+                  (unsigned long long)rep.repairs_pending,
+                  (unsigned long long)rep.delta_stale_hits);
     return batch_ok ? 0 : 1;
   }
 

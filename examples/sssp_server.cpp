@@ -7,10 +7,17 @@
 // answers a query script from a file or stdin, one query per line:
 //
 //     <source-vertex> [deadline_ms] [graph-index]
+//     delta <graph-index> <edge-count> [seed]
 //
 // `graph-index` picks the tenant by load order (0 = the default); omitted
-// queries route to the default graph. Blank lines and `#` comments are
-// skipped. Every query becomes one CSV row on stdout (or --out), including
+// queries route to the default graph. A `delta` line rewrites that graph
+// in place at its position in the stream: a deterministic batch of
+// `edge-count` weight changes plus a few inserts (derived from `seed`,
+// default 1) goes through SsspService::apply_delta — cached trees are
+// warm-repaired on the rebuilder, the parent serves bounded-stale answers
+// while repairs run, and later script lines with that graph-index route
+// to the child generation. Blank lines and `#` comments are skipped.
+// Every query becomes one CSV row on stdout (or --out), including
 // shed / quarantined / failed ones, so the stream is a complete account of
 // what the service did:
 //
@@ -23,6 +30,7 @@
 //   ./sssp_server --corpus-graph=smoke-road < queries.txt
 //   printf '0\n5\n0\n' | ./sssp_server --corpus-graph=smoke-rmat --engines=2
 //   ./sssp_server --graph=road.gr --graph=social.gr --queries=burst.txt
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -30,10 +38,13 @@
 #include <map>
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <tuple>
 #include <vector>
 
+#include "../tests/oracle_util.hpp"
 #include "graph/corpus.hpp"
+#include "graph/delta.hpp"
 #include "graph/fingerprint.hpp"
 #include "graph/gr_format.hpp"
 #include "service/sssp_service.hpp"
@@ -81,6 +92,7 @@ void print_tenant_rows(const ServiceReport& rep) {
         stderr,
         "tenant %016llx%s%s | health %s (%llu transitions) | breaker %s "
         "(%llu opens) | ok %llu failed %llu shed %llu quarantined %llu | "
+        "repairs %llu ok / %llu fallback / %llu pending | stale serves %llu | "
         "queue %u/%u engines %u/%u | cache %llu hits / %llu misses "
         "(%zu entries)\n",
         (unsigned long long)t.graph_fp, t.is_default ? " [default]" : "",
@@ -89,6 +101,10 @@ void print_tenant_rows(const ServiceReport& rep) {
         breaker_state_name(t.breaker), (unsigned long long)t.breaker_opens,
         (unsigned long long)t.completed, (unsigned long long)t.failed,
         (unsigned long long)t.shed, (unsigned long long)t.quarantined,
+        (unsigned long long)t.repairs_ok,
+        (unsigned long long)t.repair_fallbacks,
+        (unsigned long long)t.repairs_pending,
+        (unsigned long long)t.delta_stale_hits,
         t.waiting, t.queue_quota, t.occupancy, t.engine_cap,
         (unsigned long long)t.cache_hits, (unsigned long long)t.cache_misses,
         t.cache_entries);
@@ -115,7 +131,7 @@ int main(int argc, char** argv) {
                "dump the service flight recorder to stderr after the run");
   if (!cli.parse(argc, argv)) return 0;
 
-  const auto graphs = load_graphs(cli);
+  auto graphs = load_graphs(cli);  // delta lines advance entries in place
 
   ServiceConfig cfg;
   cfg.num_engines = uint32_t(cli.integer("engines"));
@@ -151,8 +167,8 @@ int main(int argc, char** argv) {
     ADDS_REQUIRE(ofile.is_open(), "cannot write " + cli.str("out"));
   }
   std::ostream& csv = to_stdout ? std::cout : ofile;
-  csv << "id,source,graph,status,cache_hit,queue_ms,latency_ms,reached,"
-         "dist_checksum\n";
+  csv << "id,source,graph,status,cache_hit,stale,queue_ms,latency_ms,"
+         "reached,dist_checksum\n";
 
   // Submit every script line, then drain the futures in order. The bounded
   // admission queue does the pacing: a burst larger than the queue simply
@@ -169,15 +185,51 @@ int main(int argc, char** argv) {
   std::map<std::tuple<size_t, uint64_t, double>,
            std::shared_future<QueryOutcome<uint32_t>>>
       issued;
-  uint64_t deduped = 0;
+  uint64_t deduped = 0, deltas = 0;
   std::string line;
   while (std::getline(in, line)) {
     const size_t first = line.find_first_not_of(" \t");
     if (first == std::string::npos || line[first] == '#') continue;
     std::istringstream ls(line);
+    std::string head;
+    ls >> head;
+    if (head == "delta") {
+      // delta <graph-index> <edge-count> [seed]: rewrite that tenant's
+      // graph in place; later lines with this index route to the child.
+      size_t graph_idx = 0;
+      uint64_t count = 0, dseed = 1;
+      ADDS_REQUIRE(bool(ls >> graph_idx >> count) && count > 0,
+                   "sssp_server: bad delta line: " + line);
+      ADDS_REQUIRE(graph_idx < fps.size(),
+                   "sssp_server: graph index out of range: " + line);
+      ls >> dseed;
+      const auto delta = oracle::make_test_delta(
+          *graphs[graph_idx], count, count > 4 ? count / 4 : 1, dseed);
+      const auto out = svc.apply_delta(fps[graph_idx], delta);
+      graphs[graph_idx] = std::make_shared<const IntGraph>(
+          apply_delta(*graphs[graph_idx], delta).graph);
+      fps[graph_idx] = out.child_fp;
+      ++deltas;
+      std::fprintf(stderr,
+                   "delta: graph %zu %016llx -> %016llx | %llu decreased "
+                   "%llu increased %llu inserted | %llu repairs scheduled\n",
+                   graph_idx, (unsigned long long)out.parent_fp,
+                   (unsigned long long)out.child_fp,
+                   (unsigned long long)out.stats.decreases,
+                   (unsigned long long)out.stats.increases,
+                   (unsigned long long)out.stats.inserts,
+                   (unsigned long long)out.repairs_scheduled);
+      // Futures issued against the old generation must not fan out to
+      // lines that now mean the child.
+      issued.clear();
+      continue;
+    }
     uint64_t source = 0;
-    ADDS_REQUIRE(bool(ls >> source),
-                 "sssp_server: bad query line: " + line);
+    {
+      std::istringstream hs(head);
+      ADDS_REQUIRE(bool(hs >> source) && hs.eof(),
+                   "sssp_server: bad query line: " + line);
+    }
     QueryOptions q;
     ls >> q.deadline_ms;  // optional; 0 = service default
     size_t graph_idx = 0;
@@ -204,10 +256,18 @@ int main(int argc, char** argv) {
     ok += out.status == QueryStatus::kOk;
     csv << out.query_id << ',' << p.source << ',' << p.graph_idx << ','
         << query_status_name(out.status) << ',' << (out.cache_hit ? 1 : 0)
+        << ',' << (out.stale ? 1 : 0)
         << ',' << out.queue_ms << ',' << out.latency_ms << ','
         << (out.result ? out.result->reached() : 0) << ','
         << (out.result ? dist_checksum(out.result->dist) : 0) << '\n';
   }
+
+  // Let in-flight repairs settle so the final report and tenant rows show
+  // the converged fleet, not a mid-repair snapshot.
+  if (deltas > 0)
+    for (int waited = 0; waited < 30000 && svc.report().repairs_pending > 0;
+         waited += 10)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
 
   const ServiceReport rep = svc.report();
   std::fprintf(stderr,
@@ -234,6 +294,16 @@ int main(int argc, char** argv) {
                (unsigned long long)rep.batched_queries,
                (unsigned long long)rep.batch_fills,
                (unsigned long long)deduped);
+  if (deltas > 0)
+    std::fprintf(stderr,
+                 "deltas %llu applied | repairs %llu scheduled, %llu ok, "
+                 "%llu fallback, %llu pending | stale window serves %llu\n",
+                 (unsigned long long)rep.deltas_applied,
+                 (unsigned long long)rep.repairs_scheduled,
+                 (unsigned long long)rep.repairs_ok,
+                 (unsigned long long)rep.repair_fallbacks,
+                 (unsigned long long)rep.repairs_pending,
+                 (unsigned long long)rep.delta_stale_hits);
   print_tenant_rows(rep);
 
   if (cli.flag("dump-flightrec")) {

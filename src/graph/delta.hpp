@@ -1,0 +1,192 @@
+// Live graph deltas: structural patches over an immutable CSR snapshot.
+//
+// A GraphDelta is a batch of edge mutations — weight changes on existing
+// edges plus whole-edge inserts — applied to a parent CsrGraph to produce
+// a CHILD snapshot (apply_delta). The parent is never mutated: snapshots
+// stay immutable, so in-flight queries and cached results keyed on the
+// parent fingerprint remain valid for the parent, and the child gets its
+// own content fingerprint (graph/fingerprint.hpp) like any other graph.
+//
+// The classification the application computes on the way through
+// (decreased / increased / inserted edges, with old and new weights) is
+// exactly what the in-place SSSP repair planner (sssp/repair.hpp) needs:
+// decreases and inserts seed the warm frontier at their tails, increases
+// drive the stale-subtree invalidation. Vertex set growth is out of scope
+// — every endpoint must already exist in the parent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/error.hpp"
+
+namespace adds {
+
+/// One requested mutation: set edge (src, dst) to `weight`. If the parent
+/// has the edge this is a weight change; if not, an insert. Duplicate
+/// entries for the same edge apply in order — the last one wins.
+template <WeightType W>
+struct EdgeChange {
+  VertexId src = 0;
+  VertexId dst = 0;
+  W weight = W{1};
+};
+
+template <WeightType W>
+struct GraphDelta {
+  std::vector<EdgeChange<W>> changes;
+
+  bool empty() const noexcept { return changes.empty(); }
+  size_t size() const noexcept { return changes.size(); }
+};
+
+/// Tally of what a delta actually did to the parent (no-op changes —
+/// setting an edge to the weight it already has — are counted but produce
+/// no classified edge).
+struct DeltaStats {
+  uint64_t decreases = 0;
+  uint64_t increases = 0;
+  uint64_t inserts = 0;
+  uint64_t unchanged = 0;
+
+  uint64_t total() const noexcept {
+    return decreases + increases + inserts + unchanged;
+  }
+};
+
+/// A classified, applied edge mutation. `old_weight` is meaningful only
+/// for weight changes (for inserts the edge did not exist — conceptually
+/// an infinite old weight, which is why the repair planner treats inserts
+/// as decreases).
+template <WeightType W>
+struct ClassifiedEdge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  W old_weight = W{0};
+  W new_weight = W{0};
+};
+
+/// Child snapshot plus the classification the repair planner consumes.
+template <WeightType W>
+struct DeltaResult {
+  CsrGraph<W> graph;  // the child snapshot
+  DeltaStats stats;
+  std::vector<ClassifiedEdge<W>> decreased;  // existing edges, new < old
+  std::vector<ClassifiedEdge<W>> increased;  // existing edges, new > old
+  std::vector<ClassifiedEdge<W>> inserted;   // edges absent from the parent
+};
+
+/// Applies `delta` to `parent` and returns the child snapshot with the
+/// per-edge classification. Throws adds::Error for malformed changes
+/// (endpoint out of range, self loop, non-positive weight) — a delta is
+/// operator input and must fail loudly, not warp the graph. O(E) when the
+/// delta only changes weights (array copy + in-place patch); inserts
+/// rebuild the CSR through GraphBuilder (still O(V + E)).
+template <WeightType W>
+DeltaResult<W> apply_delta(const CsrGraph<W>& parent,
+                           const GraphDelta<W>& delta) {
+  const VertexId n = parent.num_vertices();
+  DeltaResult<W> out;
+
+  // Validate up front: nothing is applied unless everything is applicable.
+  for (const EdgeChange<W>& c : delta.changes) {
+    ADDS_REQUIRE(c.src < n && c.dst < n,
+                 "graph-delta: edge endpoint out of range");
+    ADDS_REQUIRE(c.src != c.dst, "graph-delta: self loop");
+    ADDS_REQUIRE(c.weight > W{0}, "graph-delta: non-positive edge weight");
+  }
+
+  // Patch weights on a working copy; collect inserts for the rebuild.
+  std::vector<W> weights(parent.weights().begin(), parent.weights().end());
+  std::vector<EdgeChange<W>> inserts;
+  for (const EdgeChange<W>& c : delta.changes) {
+    EdgeIndex found = EdgeIndex(-1);
+    for (EdgeIndex e = parent.edge_begin(c.src); e < parent.edge_end(c.src);
+         ++e) {
+      if (parent.edge_target(e) == c.dst) {
+        found = e;
+        break;
+      }
+    }
+    if (found == EdgeIndex(-1)) {
+      // A repeated insert of the same edge: the last weight wins, and the
+      // classification carries one entry per final edge.
+      bool repeated = false;
+      for (auto& prev : inserts) {
+        if (prev.src == c.src && prev.dst == c.dst) {
+          prev.weight = c.weight;
+          repeated = true;
+          break;
+        }
+      }
+      if (!repeated) inserts.push_back(c);
+      continue;
+    }
+    const W old_w = weights[found];
+    if (c.weight == old_w) {
+      ++out.stats.unchanged;
+      continue;
+    }
+    // A later change to the same edge supersedes an earlier one: drop the
+    // earlier classification so the planner sees the NET change vs the
+    // parent (old weight = the parent's, not the intermediate).
+    const W parent_w = parent.edge_weight(found);
+    const auto drop_prior = [&](std::vector<ClassifiedEdge<W>>& list) {
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (list[i].src == c.src && list[i].dst == c.dst) {
+          list.erase(list.begin() + long(i));
+          return;
+        }
+      }
+    };
+    drop_prior(out.decreased);
+    drop_prior(out.increased);
+    weights[found] = c.weight;
+    if (c.weight == parent_w) continue;  // net no-op vs the parent
+    ClassifiedEdge<W> ce;
+    ce.src = c.src;
+    ce.dst = c.dst;
+    ce.old_weight = parent_w;
+    ce.new_weight = c.weight;
+    (c.weight < parent_w ? out.decreased : out.increased).push_back(ce);
+  }
+  out.stats.decreases = out.decreased.size();
+  out.stats.increases = out.increased.size();
+  out.stats.inserts = inserts.size();
+
+  if (inserts.empty()) {
+    out.graph = CsrGraph<W>(
+        std::vector<EdgeIndex>(parent.offsets().begin(),
+                               parent.offsets().end()),
+        std::vector<VertexId>(parent.targets().begin(),
+                              parent.targets().end()),
+        std::move(weights));
+    return out;
+  }
+
+  // Inserts change the topology: rebuild the CSR with the patched weights
+  // plus the new edges. No dedup pass — the parent's adjacency is already
+  // deduped by construction and the inserts were verified absent, so the
+  // builder's counting sort alone preserves every edge exactly once.
+  GraphBuilder<W> b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (EdgeIndex e = parent.edge_begin(u); e < parent.edge_end(u); ++e)
+      b.add_edge(u, parent.edge_target(e), weights[e]);
+  for (const EdgeChange<W>& c : inserts) {
+    b.add_edge(c.src, c.dst, c.weight);
+    ClassifiedEdge<W> ce;
+    ce.src = c.src;
+    ce.dst = c.dst;
+    ce.new_weight = c.weight;
+    out.inserted.push_back(ce);
+  }
+  typename GraphBuilder<W>::BuildOptions opts;
+  opts.dedup_parallel_edges = false;
+  opts.drop_self_loops = false;
+  out.graph = b.build(opts);
+  return out;
+}
+
+}  // namespace adds

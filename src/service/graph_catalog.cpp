@@ -111,6 +111,46 @@ bool GraphCatalog<W>::retire(uint64_t graph_fp) noexcept {
 }
 
 template <WeightType W>
+AppliedDelta<W> GraphCatalog<W>::apply_delta(uint64_t parent_fp,
+                                             const GraphDelta<W>& delta) {
+  AppliedDelta<W> out;
+  out.parent_fp = parent_fp;
+  out.parent = lookup(parent_fp);  // throws kUnknownGraph when not resident
+
+  // Heavy lifting outside the catalog mutex: the O(E) patch/rebuild and
+  // the content fingerprint of the child.
+  out.classification = adds::apply_delta(*out.parent, delta);
+  auto child =
+      std::make_shared<CsrGraph<W>>(std::move(out.classification.graph));
+  out.classification.graph = CsrGraph<W>();
+  out.child_fp = graph_fingerprint(*child);
+  out.child = std::move(child);
+
+  if (out.unchanged()) {
+    // Content round-tripped (e.g. every change was a no-op): the parent IS
+    // the child. Serve the resident snapshot; no lineage, no new tenant.
+    out.child = out.parent;
+    return out;
+  }
+
+  publish(out.child, /*pinned=*/true, out.child_fp);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    lineage_.emplace_back(out.child_fp, parent_fp);
+    ++stats_.deltas;
+  }
+  return out;
+}
+
+template <WeightType W>
+uint64_t GraphCatalog<W>::parent_of(uint64_t child_fp) const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = lineage_.rbegin(); it != lineage_.rend(); ++it)
+    if (it->first == child_fp) return it->second;
+  return 0;
+}
+
+template <WeightType W>
 bool GraphCatalog<W>::set_pinned(uint64_t graph_fp, bool pinned) noexcept {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = find_locked(graph_fp);

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "graph/delta.hpp"
 #include "graph/fingerprint.hpp"
 #include "util/error.hpp"
 
@@ -88,6 +89,25 @@ struct CatalogStats {
   uint64_t evictions = 0;       // capacity-driven LRU removals
   uint64_t unknown_lookups = 0; // lookups that failed kUnknownGraph
   uint64_t pin_refusals = 0;    // publishes rejected kCatalogFull
+  uint64_t deltas = 0;          // apply_delta child publications
+};
+
+/// What GraphCatalog::apply_delta hands back: both generations of the
+/// tenant (the parent stays resident until the caller retires it) plus the
+/// edge classification the repair planner (sssp/repair.hpp) consumes.
+/// `classification.graph` is empty — the child snapshot was moved out of it
+/// into `child` so the CSR exists exactly once.
+template <WeightType W>
+struct AppliedDelta {
+  uint64_t parent_fp = 0;
+  uint64_t child_fp = 0;
+  std::shared_ptr<const CsrGraph<W>> parent;
+  std::shared_ptr<const CsrGraph<W>> child;
+  DeltaResult<W> classification;
+
+  /// A no-op delta: the child hashed back to the parent fingerprint, so no
+  /// new tenant generation exists and there is nothing to repair or retire.
+  bool unchanged() const noexcept { return child_fp == parent_fp; }
 };
 
 template <WeightType W>
@@ -130,6 +150,24 @@ class GraphCatalog {
   /// hook (the caller asked; it already knows).
   bool retire(uint64_t graph_fp) noexcept;
 
+  /// Applies `delta` to the resident graph under `parent_fp` and publishes
+  /// the resulting child snapshot PINNED under its own content
+  /// fingerprint, recording the lineage edge child -> parent. The parent
+  /// stays resident (and keeps its pin state): the caller owns the
+  /// handover — it retires the parent only once in-flight queries and
+  /// repair are done with it. Throws CatalogError(kUnknownGraph) when the
+  /// parent is not resident and adds::Error for a malformed delta; a delta
+  /// that hashes back to the parent fingerprint publishes nothing new
+  /// (AppliedDelta::unchanged()). The O(E) patch + fingerprint run outside
+  /// the catalog mutex, so concurrent lookups never stall behind a delta.
+  AppliedDelta<W> apply_delta(uint64_t parent_fp, const GraphDelta<W>& delta);
+
+  /// Lineage: the parent fingerprint `child_fp` was derived from via
+  /// apply_delta, or 0 when the fingerprint has no recorded parent.
+  /// Lineage edges survive retirement of either end (they describe
+  /// history, not residency).
+  uint64_t parent_of(uint64_t child_fp) const noexcept;
+
   /// Pins or unpins a resident tenant. Returns false when not resident.
   bool set_pinned(uint64_t graph_fp, bool pinned) noexcept;
 
@@ -162,6 +200,9 @@ class GraphCatalog {
   EntryList entries_;
   CatalogStats stats_;
   std::function<void(uint64_t)> evict_hook_;
+  /// Lineage edges child_fp -> parent_fp (append-only; entries are pairs,
+  /// scanned linearly like everything else here).
+  std::vector<std::pair<uint64_t, uint64_t>> lineage_;
 };
 
 extern template class GraphCatalog<uint32_t>;

@@ -173,6 +173,17 @@ class ResultCache {
     for (auto& [fp, ts] : by_fp_) ts.entries = 0;
   }
 
+  /// Every resident entry of one graph fingerprint, MRU first — the delta
+  /// pipeline's repair schedule: each cached (source, parent fp) tree is a
+  /// warm-start candidate on the child graph. O(entries), off the hot path.
+  std::vector<std::pair<CacheKey, Value>> entries_of_fp(
+      uint64_t graph_fp) const {
+    std::vector<std::pair<CacheKey, Value>> out;
+    for (const Entry& e : lru_)
+      if (e.key.graph_fp == graph_fp) out.emplace_back(e.key, e.value);
+    return out;
+  }
+
   /// Drops only the entries of one graph fingerprint: a tenant retiring or
   /// being evicted from the catalog takes exactly its own results with it,
   /// and the brownout stale window purges exactly the outgoing generation

@@ -102,6 +102,13 @@ struct TenantStatus {
   uint64_t shed = 0;         // kOverloaded (quota or tenant shedding)
   uint64_t quarantined = 0;  // kTenantQuarantined (open breaker)
   uint64_t stale_hits = 0;
+  // Live-delta lifecycle, this tenant only. A tenant row is keyed by
+  // fingerprint, so delta counters accumulate on the CHILD generation
+  // (the fingerprint whose answers they protect).
+  uint64_t repairs_ok = 0;        // warm repairs that passed the certificate
+  uint64_t repair_fallbacks = 0;  // repairs replaced by a cold child solve
+  uint64_t delta_stale_hits = 0;  // parent-tree answers served mid-repair
+  uint32_t repairs_pending = 0;   // scheduled, not yet finished
   // Result-cache slice.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
@@ -177,6 +184,14 @@ struct ServiceReport {
   uint64_t catalog_retires = 0;
   uint64_t catalog_evictions = 0;   // capacity-driven LRU removals
   uint64_t engine_rebinds = 0;      // keyed-binding switches, all slots
+
+  // Live graph deltas (apply_delta pipeline; all zero when never used).
+  uint64_t deltas_applied = 0;      // child snapshots published
+  uint64_t repairs_scheduled = 0;   // per cached (source, parent fp) tree
+  uint64_t repairs_ok = 0;          // certificate-verified warm repairs
+  uint64_t repair_fallbacks = 0;    // typed fallback to cold child solves
+  uint64_t delta_stale_hits = 0;    // parent answers served during repair
+  uint32_t repairs_pending = 0;     // in the rebuilder's queue right now
 };
 
 }  // namespace adds

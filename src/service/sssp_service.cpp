@@ -5,6 +5,7 @@
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "core/solver.hpp"
 #include "service/graph_catalog.hpp"
 #include "service/result_cache.hpp"
+#include "sssp/repair.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -45,6 +47,12 @@ const char* query_status_name(QueryStatus s) noexcept {
 //   1 rebuilder     owns quarantined slots: destroys the engine (joins its
 //                   workers), constructs a fresh one, runs a probe query,
 //                   and either returns the slot to service or retires it.
+//                   Also drains the delta-repair queue (apply_delta): warm
+//                   repairs run on its own dedicated engine, never on a
+//                   dispatcher slot, so repair work cannot starve queries.
+//                   The rebuilder runs even with the supervisor disabled
+//                   (repairs need it; the slot-rebuild queue just stays
+//                   empty).
 //
 // All slot state transitions happen under `m`. The only cross-thread
 // engine touch outside `m` is HostEngine::interrupt(), which is designed
@@ -81,6 +89,33 @@ struct SsspService<W>::Impl {
     uint64_t shed = 0;
     uint64_t quarantined = 0;
     uint64_t stale_hits = 0;
+    // Live-delta lifecycle (accumulates on the CHILD generation's tenant).
+    uint64_t repairs_ok = 0;
+    uint64_t repair_fallbacks = 0;
+    uint64_t delta_stale_hits = 0;
+  };
+
+  /// One scheduled warm repair: rebuild the cached (source, parent fp)
+  /// tree into an exact (source, child fp) tree on the rebuilder thread.
+  /// Snapshots and the warm result ride along so neither retirement nor
+  /// cache eviction can pull them out from under the repair.
+  struct RepairTask {
+    uint64_t child_fp = 0;
+    uint64_t parent_fp = 0;
+    VertexId source = 0;
+    std::shared_ptr<const CsrGraph<W>> parent;
+    std::shared_ptr<const CsrGraph<W>> child;
+    std::shared_ptr<const SsspResult<W>> warm;  // parent's cached tree
+    std::shared_ptr<const AppliedDelta<W>> delta;  // shared classification
+  };
+
+  /// Per-child repair window: while `pending > 0` and the stale budget has
+  /// not elapsed, child-fp cache misses may serve the parent's cached tree
+  /// typed-stale. When the last repair settles the parent is retired.
+  struct DeltaWindow {
+    uint64_t parent_fp = 0;
+    uint32_t pending = 0;
+    double stale_until_ms = 0.0;  // uptime clock
   };
 
   ServiceConfig cfg;
@@ -112,6 +147,17 @@ struct SsspService<W>::Impl {
   // generation is no longer catalog-resident).
   uint64_t stale_fp = 0;
   double stale_deadline_ms = 0.0;
+  // Live-delta pipeline (apply_delta): tasks drain on the rebuilder
+  // thread; windows are keyed by child fingerprint. The repair engine is
+  // lazily built and only ever touched by the rebuilder.
+  std::deque<RepairTask> repair_queue;
+  std::unordered_map<uint64_t, DeltaWindow> delta_windows;
+  std::unique_ptr<HostEngine<W>> repair_engine;
+  uint64_t deltas_applied = 0;
+  uint64_t repairs_scheduled = 0;
+  uint64_t repairs_ok = 0;
+  uint64_t repair_fallbacks = 0;
+  uint64_t delta_stale_hits = 0;
   ResultCache<W> cache;
   LatencyRecorder recorder;
   FlightRecorder flightrec;
@@ -173,10 +219,10 @@ struct SsspService<W>::Impl {
       engines.push_back(std::make_unique<HostEngine<W>>(cfg.engine));
     for (uint32_t i = 0; i < cfg.num_engines; ++i)
       dispatchers.emplace_back([this, i] { dispatch_loop(i); });
-    if (supervise) {
-      supervisor_thread = std::thread([this] { supervisor_loop(); });
-      rebuilder_thread = std::thread([this] { rebuild_loop(); });
-    }
+    if (supervise) supervisor_thread = std::thread([this] { supervisor_loop(); });
+    // The rebuilder runs unconditionally: slot rebuilds only arrive with
+    // the supervisor on, but delta repairs (apply_delta) need it always.
+    rebuilder_thread = std::thread([this] { rebuild_loop(); });
   }
 
   // --- flight recorder -----------------------------------------------------
@@ -1081,8 +1127,19 @@ struct SsspService<W>::Impl {
   void rebuild_loop() {
     std::unique_lock<std::mutex> lk(m);
     for (;;) {
-      rb_cv.wait(lk, [&] { return stopping || !rebuild_queue.empty(); });
+      rb_cv.wait(lk, [&] {
+        return stopping || !rebuild_queue.empty() || !repair_queue.empty();
+      });
       if (stopping) return;
+      if (rebuild_queue.empty()) {
+        // No slot to restore: drain one delta repair. Rebuilds keep
+        // priority — restoring fleet capacity beats repair latency (the
+        // stale window covers the wait).
+        RepairTask task = std::move(repair_queue.front());
+        repair_queue.pop_front();
+        run_repair_locked(lk, std::move(task));
+        continue;
+      }
       const uint32_t i = rebuild_queue.front();
       rebuild_queue.pop_front();
       sup[i].state = EngineState::kRebuilding;
@@ -1157,6 +1214,210 @@ struct SsspService<W>::Impl {
         }
       }
     }
+  }
+
+  // --- delta repair --------------------------------------------------------
+
+  /// Runs one warm repair on the rebuilder's dedicated engine. Enters and
+  /// leaves with `lk` held; the solve itself runs unlocked. Failure
+  /// containment, in order: a thrown plan/solve error, a deadline-expired
+  /// (wedged) repair, and a flunked exactness certificate all fall back
+  /// typed to a cold solve on the child — the half-repaired tree is
+  /// discarded, never cached. Either way the window's pending count drops
+  /// and, at zero, the parent generation is handed over.
+  void run_repair_locked(std::unique_lock<std::mutex>& lk, RepairTask task) {
+    record(FlightKind::kRepairStart, FlightEvent::kNoEngine, task.child_fp,
+           uint32_t(task.source));
+    const double t0 = uptime.elapsed_ms();
+    lk.unlock();
+
+    if (!repair_engine)
+      repair_engine = std::make_unique<HostEngine<W>>(cfg.engine);
+    std::shared_ptr<const SsspResult<W>> result;
+    std::string repair_err;
+    try {
+      RepairPlan<W> plan =
+          plan_repair(*task.parent, *task.child, task.delta->classification,
+                      task.warm->dist, task.source);
+      QueryControl ctl;
+      ctl.cancel = &stop_flag;
+      ctl.deadline_ms = cfg.delta.repair_deadline_ms;
+      ctl.fault_domain = task.child_fp;
+      SsspResult<W> res =
+          repair_engine->solve_repair(*task.child, task.source, plan, ctl);
+      if (cfg.delta.verify) {
+        const RepairVerdict v =
+            verify_repair(*task.child, task.source, res.dist);
+        if (!v.exact)
+          throw Error(
+              "repair certificate failed (" +
+              std::to_string(v.feasibility_violations) + " infeasible, " +
+              std::to_string(v.unsupported) + " unsupported labels)");
+      }
+      result = std::make_shared<const SsspResult<W>>(std::move(res));
+    } catch (const Error& e) {
+      repair_err = e.what();
+    }
+    if (!repair_err.empty()) {
+      // Typed fallback: full recompute on the child. Domain 0, so the
+      // chaos plan that killed the repair cannot also kill the answer.
+      try {
+        QueryControl ctl;
+        ctl.cancel = &stop_flag;
+        ctl.deadline_ms = cfg.delta.repair_deadline_ms;
+        SsspResult<W> res =
+            repair_engine->solve(*task.child, task.source, ctl);
+        result = std::make_shared<const SsspResult<W>>(std::move(res));
+      } catch (const Error& e) {
+        // Both paths failed (shutdown race, injected chaos on the whole
+        // engine). Queries for this (source, child) recompute on demand —
+        // degraded to cold, never wrong, never hung.
+        ADDS_LOG_WARN(
+            "sssp-service: delta repair fallback solve failed "
+            "(source=%u child=%016llx): %s",
+            unsigned(task.source), (unsigned long long)task.child_fp,
+            e.what());
+      }
+    }
+
+    lk.lock();
+    if (repair_err.empty()) {
+      ++repairs_ok;
+      if (auto it = tenants.find(task.child_fp); it != tenants.end())
+        ++it->second.repairs_ok;
+      record(FlightKind::kRepairDone, FlightEvent::kNoEngine, task.child_fp,
+             uint32_t(task.source),
+             uint32_t((uptime.elapsed_ms() - t0) * 1e3));
+    } else {
+      ++repair_fallbacks;
+      if (auto it = tenants.find(task.child_fp); it != tenants.end())
+        ++it->second.repair_fallbacks;
+      record(FlightKind::kRepairFallback, FlightEvent::kNoEngine,
+             task.child_fp, uint32_t(task.source));
+      ADDS_LOG_WARN(
+          "sssp-service: delta repair fell back to cold solve "
+          "(source=%u child=%016llx): %s",
+          unsigned(task.source), (unsigned long long)task.child_fp,
+          repair_err.c_str());
+    }
+    // Cache only while the child is still the serving generation — a
+    // retire/evict that raced the repair wins.
+    if (result && !stopping && catalog.contains(task.child_fp))
+      cache.insert(CacheKey{task.child_fp, task.source, config_digest},
+                   std::move(result));
+    settle_repair_locked(task.child_fp);
+  }
+
+  /// One repair of `child_fp`'s window settled (ok or fallback). At zero
+  /// pending the handover completes: the parent generation retires.
+  void settle_repair_locked(uint64_t child_fp) {
+    const auto it = delta_windows.find(child_fp);
+    if (it == delta_windows.end()) return;
+    if (it->second.pending > 0) --it->second.pending;
+    if (it->second.pending > 0) return;
+    const uint64_t parent_fp = it->second.parent_fp;
+    delta_windows.erase(it);
+    retire_parent_locked(parent_fp);
+  }
+
+  /// Retires a delta's parent generation once nothing depends on it:
+  /// cache entries invalidated, queued queries resolved typed, bindings
+  /// released. In-flight queries hold their own snapshot refs. A parent
+  /// still serving another open window (chained deltas) stays resident.
+  void retire_parent_locked(uint64_t parent_fp) {
+    for (const auto& [cfp, w] : delta_windows)
+      if (w.parent_fp == parent_fp) return;
+    if (!catalog.retire(parent_fp)) return;  // already gone — fine
+    const size_t dropped = cache.invalidate_fp(parent_fp);
+    drop_tenant_locked(parent_fp);
+    record(FlightKind::kGraphRetired, FlightEvent::kNoEngine, parent_fp,
+           uint32_t(dropped));
+  }
+
+  /// SsspService::apply_delta body. Runs under `m` end to end: the
+  /// catalog's eviction hook assumes the service lock, and publication +
+  /// repair scheduling + default handover must be atomic against submits.
+  DeltaOutcome apply_delta(uint64_t parent_fp_in, const GraphDelta<W>& delta) {
+    std::unique_lock<std::mutex> lk(m);
+    ADDS_REQUIRE(!stopping, "sssp-service: shut down");
+    const uint64_t parent_fp = parent_fp_in != 0 ? parent_fp_in : default_fp;
+    ADDS_REQUIRE(parent_fp != 0, "sssp-service: no graph set");
+
+    auto ad = std::make_shared<const AppliedDelta<W>>(
+        catalog.apply_delta(parent_fp, delta));
+    DeltaOutcome out;
+    out.parent_fp = ad->parent_fp;
+    out.child_fp = ad->child_fp;
+    out.stats = ad->classification.stats;
+    if (ad->unchanged()) {
+      out.unchanged = true;
+      return out;
+    }
+    ++deltas_applied;
+
+    // The child is a first-class tenant from this point on.
+    const auto [tit, fresh] = tenants.try_emplace(ad->child_fp, cfg);
+    if (fresh && supervise) {
+      HealthSignals sig;
+      sig.engines_available = tenant_view_available(ad->child_fp);
+      sig.engines_in_fleet = uint32_t(sup.size()) - count_retired();
+      tit->second.governor.update(sig);
+    }
+    record(FlightKind::kGraphPublished, FlightEvent::kNoEngine, ad->child_fp,
+           uint32_t(catalog.size()), 1);
+    if (default_fp == ad->parent_fp) {
+      default_fp = ad->child_fp;
+      out.was_default = true;
+    }
+
+    // Queued queries that asked for the default route follow the handover:
+    // they were bound to the parent only because it was the default when
+    // they were admitted, and re-aiming them at the child (same vertex
+    // count by construction) keeps a zero-repair handover from shedding
+    // them when the parent retires. Explicitly pinned queries keep their
+    // generation — if it retires, they resolve typed kUnknownGraph.
+    if (out.was_default)
+      for (auto& p : waiting)
+        if (p->q.graph_fp == 0 && p->key.graph_fp == ad->parent_fp) {
+          p->key.graph_fp = ad->child_fp;
+          p->graph = ad->child;
+        }
+
+    // One warm repair per distinct cached source of the parent: each
+    // cached tree becomes the warm labels for an exact child tree.
+    std::unordered_set<VertexId> seen;
+    uint32_t scheduled = 0;
+    for (auto& [key, value] : cache.entries_of_fp(ad->parent_fp)) {
+      if (!value || value->dist.size() != ad->child->num_vertices()) continue;
+      if (!seen.insert(key.source).second) continue;
+      RepairTask t;
+      t.child_fp = ad->child_fp;
+      t.parent_fp = ad->parent_fp;
+      t.source = key.source;
+      t.parent = ad->parent;
+      t.child = ad->child;
+      t.warm = std::move(value);
+      t.delta = ad;
+      repair_queue.push_back(std::move(t));
+      ++scheduled;
+    }
+    repairs_scheduled += scheduled;
+    out.repairs_scheduled = scheduled;
+    record(FlightKind::kDeltaPublished, FlightEvent::kNoEngine, ad->child_fp,
+           scheduled, uint32_t(ad->classification.stats.total()));
+
+    if (scheduled == 0) {
+      // Nothing cached to repair: the handover completes immediately.
+      retire_parent_locked(ad->parent_fp);
+      return out;
+    }
+    DeltaWindow& w = delta_windows[ad->child_fp];
+    w.parent_fp = ad->parent_fp;
+    w.pending += scheduled;  // merge with a re-applied identical delta
+    w.stale_until_ms = uptime.elapsed_ms() + cfg.delta.stale_serve_ms;
+    lk.unlock();
+    rb_cv.notify_all();
+    return out;
   }
 
   // --- admission -----------------------------------------------------------
@@ -1280,6 +1541,35 @@ struct SsspService<W>::Impl {
             ++ten.completed;
             ++stale_hits;
             ++ten.stale_hits;
+            recorder.add(out.latency_ms);
+            ten.recorder.add(out.latency_ms);
+            record_query(FlightKind::kQueryStaleHit, *p);
+            p->promise.set_value(std::move(out));
+            return fut;
+          }
+        }
+        // Delta repair window: a miss on a freshly-patched child
+        // generation serves the PARENT's cached tree as a typed
+        // bounded-stale answer while the warm repair is still in flight.
+        // The outcome carries the parent's fingerprint — the caller knows
+        // exactly which graph version answered.
+        const auto dw = delta_windows.find(fp);
+        if (dw != delta_windows.end() && dw->second.pending > 0 &&
+            uptime.elapsed_ms() < dw->second.stale_until_ms) {
+          const CacheKey pkey{dw->second.parent_fp, source, config_digest};
+          if (auto v = cache.lookup(pkey, /*count_miss=*/false)) {
+            QueryOutcome<W> out;
+            out.status = QueryStatus::kOk;
+            out.result = std::move(v);
+            out.cache_hit = true;
+            out.stale = true;
+            out.graph_fp = dw->second.parent_fp;
+            out.query_id = p->id;
+            out.latency_ms = uptime.elapsed_ms() - p->submit_ms;
+            ++completed;
+            ++ten.completed;
+            ++delta_stale_hits;
+            ++ten.delta_stale_hits;
             recorder.add(out.latency_ms);
             ten.recorder.add(out.latency_ms);
             record_query(FlightKind::kQueryStaleHit, *p);
@@ -1511,6 +1801,12 @@ struct SsspService<W>::Impl {
     rep.catalog_publishes = cat.publishes;
     rep.catalog_retires = cat.retires;
     rep.catalog_evictions = cat.evictions;
+    rep.deltas_applied = deltas_applied;
+    rep.repairs_scheduled = repairs_scheduled;
+    rep.repairs_ok = repairs_ok;
+    rep.repair_fallbacks = repair_fallbacks;
+    rep.delta_stale_hits = delta_stale_hits;
+    for (const auto& [cfp, w] : delta_windows) rep.repairs_pending += w.pending;
     rep.tenants.reserve(residents.size());
     for (const auto& ent : residents) {
       TenantStatus ts;
@@ -1531,8 +1827,14 @@ struct SsspService<W>::Impl {
         ts.shed = t.shed;
         ts.quarantined = t.quarantined;
         ts.stale_hits = t.stale_hits;
+        ts.repairs_ok = t.repairs_ok;
+        ts.repair_fallbacks = t.repair_fallbacks;
+        ts.delta_stale_hits = t.delta_stale_hits;
         ts.waiting = t.waiting;
       }
+      if (const auto dw = delta_windows.find(ent.graph_fp);
+          dw != delta_windows.end())
+        ts.repairs_pending = dw->second.pending;
       const TenantCacheStats tcs = cache.tenant_stats(ent.graph_fp);
       ts.cache_hits = tcs.hits;
       ts.cache_misses = tcs.misses;
@@ -1592,6 +1894,12 @@ bool SsspService<W>::retire_graph(uint64_t graph_fp) {
 template <WeightType W>
 std::vector<uint64_t> SsspService<W>::resident_graphs() const {
   return impl_->residents();
+}
+
+template <WeightType W>
+DeltaOutcome SsspService<W>::apply_delta(uint64_t parent_fp,
+                                         const GraphDelta<W>& delta) {
+  return impl_->apply_delta(parent_fp, delta);
 }
 
 template <WeightType W>

@@ -53,6 +53,7 @@
 
 #include "core/resilience.hpp"
 #include "graph/csr_graph.hpp"
+#include "graph/delta.hpp"
 #include "service/graph_catalog.hpp"
 #include "service/service_stats.hpp"
 #include "sssp/host_engine.hpp"
@@ -82,6 +83,24 @@ class ServiceError : public Error {
 
  private:
   QueryStatus status_;
+};
+
+/// Live-delta repair policy (SsspService::apply_delta).
+struct DeltaConfig {
+  /// Wall-clock budget per warm repair on the rebuilder; an expired or
+  /// wedged repair falls back typed to a cold solve on the child graph.
+  double repair_deadline_ms = 2000.0;
+  /// Bounded-staleness window per delta: while repairs for a child
+  /// generation are in flight (and this budget has not elapsed), a cache
+  /// miss on the child serves the parent's cached tree as a typed stale
+  /// answer (QueryOutcome::stale with the parent's fingerprint) instead of
+  /// recomputing. 0 disables stale serving — misses compute cold.
+  double stale_serve_ms = 250.0;
+  /// Run the O(E) exactness certificate (verify_repair) on every repaired
+  /// tree before caching it. A failed certificate is a repair failure
+  /// (typed fallback); disabling trades the check's cost for trust in the
+  /// plan. Keep on unless profiling says otherwise.
+  bool verify = true;
 };
 
 struct ServiceConfig {
@@ -123,6 +142,8 @@ struct ServiceConfig {
   /// breaker and catalog/cache residency bounds (service/supervisor.hpp).
   /// Defaults are single-tenant transparent.
   TenantPolicy tenant;
+  /// Live graph deltas: repair budget, stale window, verification.
+  DeltaConfig delta;
 };
 
 struct QueryOptions {
@@ -160,6 +181,16 @@ struct QueryOutcome {
   std::string error;        // diagnostic for kFailed
 };
 
+/// What SsspService::apply_delta reports back to the operator.
+struct DeltaOutcome {
+  uint64_t parent_fp = 0;
+  uint64_t child_fp = 0;  // == parent_fp when the delta was a no-op
+  bool unchanged = false;
+  bool was_default = false;  // default routing moved to the child
+  uint32_t repairs_scheduled = 0;  // warm repairs queued on the rebuilder
+  DeltaStats stats;
+};
+
 template <WeightType W>
 class SsspService {
  public:
@@ -186,6 +217,23 @@ class SsspService {
   uint64_t publish_graph(std::shared_ptr<const CsrGraph<W>> g,
                          bool pinned = false);
   uint64_t publish_graph(CsrGraph<W> g, bool pinned = false);
+
+  /// Applies a live delta to the tenant under `parent_fp` (0 = the default
+  /// tenant): the catalog publishes the child snapshot pinned under its own
+  /// fingerprint with a recorded lineage edge, and every cached (source,
+  /// parent fp) tree is scheduled for warm-start repair on the rebuilder
+  /// thread. While repairs run (bounded by DeltaConfig::stale_serve_ms), a
+  /// cache miss on the child serves the parent's cached tree as a typed
+  /// bounded-stale answer; a repair that fails, wedges past its deadline,
+  /// or flunks the exactness certificate falls back typed to a cold solve
+  /// on the child — counted in ServiceReport::repair_fallbacks, never
+  /// silent. Once every repair settles the parent is retired (in-flight
+  /// queries keep their snapshots) and its cache entries are invalidated,
+  /// so no pre-patch tree can be served under the child's fingerprint. If
+  /// the parent was the default tenant the default moves to the child.
+  /// Throws CatalogError(kUnknownGraph) for a non-resident parent and
+  /// adds::Error for a malformed delta.
+  DeltaOutcome apply_delta(uint64_t parent_fp, const GraphDelta<W>& delta);
 
   /// Removes a tenant: new lookups of `graph_fp` resolve kUnknownGraph,
   /// its cached results and queued queries are dropped, engine bindings

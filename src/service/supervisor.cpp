@@ -107,6 +107,10 @@ const char* flight_kind_name(FlightKind k) noexcept {
     case FlightKind::kTenantHealth: return "tenant-health";
     case FlightKind::kEngineRebound: return "engine-rebound";
     case FlightKind::kUnknownGraph: return "unknown-graph";
+    case FlightKind::kDeltaPublished: return "delta-published";
+    case FlightKind::kRepairStart: return "repair-start";
+    case FlightKind::kRepairDone: return "repair-done";
+    case FlightKind::kRepairFallback: return "repair-fallback";
   }
   return "?";
 }
@@ -180,6 +184,18 @@ std::string format_flight_event(const StampedFlightEvent& e) {
     case FlightKind::kEngineRebound:
       std::snprintf(buf + n, sizeof(buf) - size_t(n),
                     "engine-rebound fp=%016llx", (unsigned long long)e.ev.b);
+      break;
+    case FlightKind::kDeltaPublished:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "delta-published child=%016llx repairs=%u changes=%u",
+                    (unsigned long long)e.ev.b, e.ev.a, e.ev.c);
+      break;
+    case FlightKind::kRepairStart:
+    case FlightKind::kRepairDone:
+    case FlightKind::kRepairFallback:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "%s child=%016llx source=%u", flight_kind_name(kind),
+                    (unsigned long long)e.ev.b, e.ev.a);
       break;
     default:
       std::snprintf(buf + n, sizeof(buf) - size_t(n), "%s a=%u c=%u b=%llu",

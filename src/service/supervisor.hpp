@@ -320,6 +320,12 @@ enum class FlightKind : uint16_t {
   kTenantHealth = 28,      // b=fingerprint, a=(from<<8)|to
   kEngineRebound = 29,     // engine=slot, b=new bound fingerprint
   kUnknownGraph = 30,      // a=source, b=query id (non-resident fp)
+  // --- live graph deltas (PR8) -----------------------------------------
+  kDeltaPublished = 31,    // b=child fingerprint, a=repairs scheduled,
+                           // c=classified changes (decr+incr+insert)
+  kRepairStart = 32,       // b=child fingerprint, a=source
+  kRepairDone = 33,        // b=child fingerprint, a=source, c=latency us
+  kRepairFallback = 34,    // b=child fingerprint, a=source (cold re-solve)
 };
 
 const char* flight_kind_name(FlightKind k) noexcept;

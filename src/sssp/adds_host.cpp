@@ -26,6 +26,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -339,15 +340,20 @@ struct HostEngine<W>::Impl {
   /// parent recording, settle observation) — solve() passes a single lane
   /// with batched=false, which keeps every lane pointer null and the item
   /// words un-encoded: bit-identical to the classic single-source path.
+  /// `repair` (single-lane, non-batched only) switches the run to a
+  /// warm-start delta repair: distances initialize from the plan's warm
+  /// labels and the seed step pushes the plan's frontier instead of the
+  /// source.
   BatchResult<W> run(const CsrGraph<W>& g, const std::vector<LaneQuery>& lanes,
-                     const QueryControl& ctl, bool batched);
+                     const QueryControl& ctl, bool batched,
+                     const RepairPlan<W>* repair = nullptr);
 };
 
 template <WeightType W>
 BatchResult<W> HostEngine<W>::Impl::run(const CsrGraph<W>& g,
                                         const std::vector<LaneQuery>& lanes,
-                                        const QueryControl& ctl,
-                                        bool batched) {
+                                        const QueryControl& ctl, bool batched,
+                                        const RepairPlan<W>* repair) {
   const AddsHostOptions& opts = opts_;
   WallTimer timer;
 
@@ -369,7 +375,8 @@ BatchResult<W> HostEngine<W>::Impl::run(const CsrGraph<W>& g,
   BatchResult<W> br;
   br.lanes.resize(num_lanes);
   SsspResult<W> r;
-  r.solver = batched ? "adds-host-batch" : "adds-host";
+  r.solver = batched ? "adds-host-batch"
+                     : (repair != nullptr ? "adds-host-repair" : "adds-host");
   if (!batched) r.dist.assign(V, DistTraits<W>::infinity());
   if (g.empty()) {
     ++queries_;
@@ -379,6 +386,30 @@ BatchResult<W> HostEngine<W>::Impl::run(const CsrGraph<W>& g,
   }
   for (const LaneQuery& lq : lanes)
     ADDS_REQUIRE(lq.source < g.num_vertices(), "source vertex out of range");
+
+  if (repair != nullptr) {
+    ADDS_REQUIRE(!batched && num_lanes == 1,
+                 "solve_repair: repair runs are single-lane");
+    ADDS_REQUIRE(repair->warm.size() == V,
+                 "solve_repair: warm label array does not match the graph");
+    ADDS_REQUIRE(repair->warm[lanes[0].source] == Dist{0},
+                 "solve_repair: warm labels are not anchored at the source");
+    if (repair->frontier.empty()) {
+      // Nothing to relax: the warm labels are already exact (plan_repair
+      // found no classified change reaching this source's tree). Still an
+      // injectable repair — the fault site guards the fast path too.
+      fault::ThreadDomainScope fault_domain_scope(ctl.fault_domain);
+      if (fault::fire(fault::Site::kDeltaRepair))
+        throw Error("adds-host: injected delta-repair fault");
+      std::copy(repair->warm.begin(), repair->warm.end(), r.dist.begin());
+      r.wall_ms = timer.elapsed_ms();
+      r.time_us = r.wall_ms * 1e3;
+      br.wall_ms = r.wall_ms;
+      br.lanes[0].result = std::move(r);
+      ++queries_;
+      return br;
+    }
+  }
 
   // --- Rewind (or build) the warm queue -----------------------------------
   provision(g, num_lanes);
@@ -413,8 +444,15 @@ BatchResult<W> HostEngine<W>::Impl::run(const CsrGraph<W>& g,
   // only for batched runs — single-source solves keep every pointer null
   // and pay nothing.
   AtomicDistArray<Dist> dist(size_t(num_lanes) * V, DistTraits<W>::infinity());
-  for (uint32_t l = 0; l < num_lanes; ++l)
-    dist.store(size_t(l) * V + lanes[l].source, Dist{0});
+  if (repair != nullptr) {
+    // Warm start: the plan's labels are over-approximate for the child
+    // graph (parent solve with the increase-affected region reset to inf),
+    // which is exactly the precondition monotone relaxation needs.
+    for (size_t v = 0; v < V; ++v) dist.store(v, repair->warm[v]);
+  } else {
+    for (uint32_t l = 0; l < num_lanes; ++l)
+      dist.store(size_t(l) * V + lanes[l].source, Dist{0});
+  }
 
   std::unique_ptr<std::atomic<VertexId>[]> parent;
   std::unique_ptr<std::atomic<bool>[]> lane_dead;
@@ -517,16 +555,46 @@ BatchResult<W> HostEngine<W>::Impl::run(const CsrGraph<W>& g,
   } else {
     queue.ensure_capacity_all(opts.chunk_items * 2);
   }
-  for (uint32_t l = 0; l < num_lanes; ++l) {
-    const uint32_t seed = num_lanes > 1
-                              ? lane_encode(l, uint32_t(lanes[l].source))
-                              : uint32_t(lanes[l].source);
-    if (mgr_pushed != nullptr)
-      mgr_pushed[l].fetch_add(1, std::memory_order_relaxed);
-    queue.push(seed, 0.0);
-    ++r.work.pushes;
-    ++r.work.queue_reserve_ops;
-    ++r.work.queue_publish_ops;
+  if (repair != nullptr) {
+    // The injectable repair failure: fires between committing to the warm
+    // start and publishing the frontier — the worst place to die. The
+    // QuiesceGuard above turns the throw into a clean abort (engine
+    // reusable); the caller must treat it as "repair failed, cold-solve".
+    if (fault::fire(fault::Site::kDeltaRepair))
+      throw Error("adds-host: injected delta-repair fault");
+    // Rebase the window on the coolest frontier label: every distance a
+    // repair can still improve is >= the minimum seed label (positive
+    // weights), so starting the head there skips grinding empty windows up
+    // from zero. Seeds then bin by their warm labels like any other push.
+    double base = std::numeric_limits<double>::infinity();
+    for (const RepairSeed<W>& s : repair->frontier)
+      base = std::min(base, double(s.label));
+    queue.set_base_dist(base);
+    for (const RepairSeed<W>& s : repair->frontier) {
+      // The manager is the only thread running until the loop below starts
+      // assigning, so a full bucket cannot be refilled by anyone else —
+      // map capacity on demand instead of blocking in push().
+      const uint32_t logical = WorkQueue::logical_index(
+          double(s.label), base, queue.delta(), opts.num_buckets);
+      Bucket& b = queue.logical_bucket(logical);
+      if (b.writable_slack() == 0) b.ensure_capacity(opts.chunk_items * 2);
+      queue.push(uint32_t(s.vertex), double(s.label));
+      ++r.work.pushes;
+      ++r.work.queue_reserve_ops;
+      ++r.work.queue_publish_ops;
+    }
+  } else {
+    for (uint32_t l = 0; l < num_lanes; ++l) {
+      const uint32_t seed = num_lanes > 1
+                                ? lane_encode(l, uint32_t(lanes[l].source))
+                                : uint32_t(lanes[l].source);
+      if (mgr_pushed != nullptr)
+        mgr_pushed[l].fetch_add(1, std::memory_order_relaxed);
+      queue.push(seed, 0.0);
+      ++r.work.pushes;
+      ++r.work.queue_reserve_ops;
+      ++r.work.queue_publish_ops;
+    }
   }
 
   // --- Manager-side completion-frontier tracking ---------------------------
@@ -1217,6 +1285,17 @@ BatchResult<W> HostEngine<W>::solve_batch(const CsrGraph<W>& g,
                                           const std::vector<LaneQuery>& lanes,
                                           const QueryControl& ctl) {
   return impl_->run(g, lanes, ctl, /*batched=*/true);
+}
+
+template <WeightType W>
+SsspResult<W> HostEngine<W>::solve_repair(const CsrGraph<W>& g,
+                                          VertexId source,
+                                          const RepairPlan<W>& plan,
+                                          const QueryControl& ctl) {
+  std::vector<LaneQuery> lanes(1);
+  lanes[0].source = source;
+  BatchResult<W> br = impl_->run(g, lanes, ctl, /*batched=*/false, &plan);
+  return std::move(br.lanes[0].result);
 }
 
 template <WeightType W>

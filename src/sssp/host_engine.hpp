@@ -37,6 +37,7 @@
 #include "graph/csr_graph.hpp"
 #include "queue/lane_codec.hpp"
 #include "sssp/adds.hpp"
+#include "sssp/repair.hpp"
 
 namespace adds {
 
@@ -174,6 +175,23 @@ class HostEngine {
   /// reentrant, same as solve().
   BatchResult<W> solve_batch(const CsrGraph<W>& g,
                              const std::vector<LaneQuery>& lanes,
+                             const QueryControl& ctl = {});
+
+  /// Warm-start delta repair: runs the same traversal as solve() on child
+  /// graph `g`, but starts from the plan's warm labels (a parent solve with
+  /// the increase-affected region invalidated — sssp/repair.hpp) and seeds
+  /// only the plan's frontier, each vertex at its warm label's priority.
+  /// Small deltas touch a small fraction of the graph and finish far faster
+  /// than a cold solve; an empty frontier returns the warm labels directly.
+  ///
+  /// The result's distances are exact for `source` on `g` *provided the
+  /// plan was built for this (parent, child, source) triple* — callers that
+  /// cannot prove that certify with verify_repair before trusting it. The
+  /// `repair.delta` fault site (fault::Site::kDeltaRepair) injects a typed
+  /// failure at the seeding step; the engine quiesces and stays reusable,
+  /// same as every other solve error. Not reentrant, same as solve().
+  SsspResult<W> solve_repair(const CsrGraph<W>& g, VertexId source,
+                             const RepairPlan<W>& plan,
                              const QueryControl& ctl = {});
 
   /// Asynchronously aborts whatever the engine is doing, from any thread.

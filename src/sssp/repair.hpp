@@ -1,0 +1,192 @@
+// In-place SSSP repair planning for live graph deltas.
+//
+// Δ-stepping relaxation is correct from ANY over-approximate distance
+// labels (the stepping-framework analysis in Dong et al., PAPERS.md): it
+// monotonically lowers labels via relaxations and terminates with exact
+// distances provided every vertex whose label must drop is reachable from
+// the seeded frontier through relaxation. plan_repair builds exactly that
+// starting state from a parent solve's labels and a delta classification
+// (graph/delta.hpp):
+//
+//   * Decreases and inserts only LOWER child distances, so the parent
+//     labels stay over-approximate as they are; seeding the changed edges'
+//     tails (at their warm labels) suffices — any path that improved must
+//     cross a changed edge, and the first such crossing relaxes from a
+//     seeded, already-correct tail.
+//   * Increases can RAISE child distances, which would make parent labels
+//     under-approximate — fatal for monotone relaxation. The affected set
+//     is invalidated to infinity first: starting from the heads of tight
+//     increased edges (dist[u] + w_old == dist[v], i.e. the edge lay on a
+//     shortest path), tightness is propagated through the PARENT graph's
+//     tight edges. That reaches a superset of every vertex whose distance
+//     could have grown (a vertex all of whose shortest parent paths used
+//     an increased edge has an all-tight suffix from one of those heads);
+//     over-invalidation only costs re-relaxation work, never correctness.
+//     The invalidated region is then re-entered from its fringe: every
+//     finite-label vertex with a CHILD edge into the region is seeded.
+//
+//   The source is never invalidated (its distance is 0 by definition) and
+//   an empty frontier means the warm labels are already exact.
+//
+// verify_repair is the paired O(E) exactness certificate for positive
+// weights: feasibility (d[v] <= d[u] + w on every child edge, d[src] == 0)
+// bounds every label from above by the true distance, and support (every
+// finite non-source label has a tight in-edge) grounds every label as a
+// real path length — tight edges cannot cycle under positive weights, so
+// support chains terminate at the source. Feasible + supported ==> exact.
+// A repaired tree that fails the certificate is discarded and the caller
+// falls back to a cold solve on the child graph (typed, never silent).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/delta.hpp"
+#include "graph/types.hpp"
+#include "util/error.hpp"
+
+namespace adds {
+
+/// One seeded frontier vertex: push `vertex` at priority `label` (its warm
+/// distance — the queue bins it into the bucket its remaining relaxation
+/// work belongs to).
+template <WeightType W>
+struct RepairSeed {
+  VertexId vertex = 0;
+  DistT<W> label = DistT<W>{0};
+};
+
+/// Warm-start state for HostEngine::solve_repair.
+template <WeightType W>
+struct RepairPlan {
+  /// Per-vertex starting labels over the child graph: the parent's
+  /// distances with the increase-affected region reset to infinity.
+  /// Always over-approximate, which is the whole correctness contract.
+  std::vector<DistT<W>> warm;
+  /// Deduplicated frontier (changed-edge tails + invalidation fringe).
+  /// Empty means the warm labels are already exact.
+  std::vector<RepairSeed<W>> frontier;
+  uint64_t invalidated = 0;  // labels reset to infinity
+};
+
+/// Builds the warm-start state for repairing `parent_dist` (an exact solve
+/// of `source` on the parent graph) into an exact solve on `child`. The
+/// classification must come from the apply_delta call that produced
+/// `child` from `parent`.
+template <WeightType W>
+RepairPlan<W> plan_repair(const CsrGraph<W>& parent, const CsrGraph<W>& child,
+                          const DeltaResult<W>& delta,
+                          const std::vector<DistT<W>>& parent_dist,
+                          VertexId source) {
+  using Dist = DistT<W>;
+  constexpr Dist kInf = DistTraits<W>::infinity();
+  const VertexId n = child.num_vertices();
+  ADDS_REQUIRE(parent.num_vertices() == n,
+               "repair: parent/child vertex count mismatch");
+  ADDS_REQUIRE(parent_dist.size() == size_t(n),
+               "repair: distance array size mismatch");
+  ADDS_REQUIRE(source < n && parent_dist[source] == Dist{0},
+               "repair: parent labels are not a solve of this source");
+
+  RepairPlan<W> plan;
+  plan.warm = parent_dist;
+
+  // Increase invalidation: tight-edge propagation on the PARENT graph with
+  // the ORIGINAL labels (plan.warm still equals parent_dist here for every
+  // vertex we test — invalidated vertices are marked, not yet reset).
+  std::vector<uint8_t> invalid(n, 0);
+  std::vector<VertexId> wave;
+  for (const ClassifiedEdge<W>& e : delta.increased) {
+    if (e.dst == source || invalid[e.dst]) continue;
+    if (parent_dist[e.src] == kInf || parent_dist[e.dst] == kInf) continue;
+    if (parent_dist[e.src] + Dist(e.old_weight) != parent_dist[e.dst])
+      continue;  // the increased edge was not on a shortest path
+    invalid[e.dst] = 1;
+    wave.push_back(e.dst);
+  }
+  while (!wave.empty()) {
+    const VertexId u = wave.back();
+    wave.pop_back();
+    for (EdgeIndex e = parent.edge_begin(u); e < parent.edge_end(u); ++e) {
+      const VertexId v = parent.edge_target(e);
+      if (invalid[v] || v == source) continue;
+      if (parent_dist[v] == kInf) continue;
+      if (parent_dist[u] + Dist(parent.edge_weight(e)) != parent_dist[v])
+        continue;
+      invalid[v] = 1;
+      wave.push_back(v);
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (!invalid[v]) continue;
+    plan.warm[v] = kInf;
+    ++plan.invalidated;
+  }
+
+  // Frontier: changed-edge tails (decreases + inserts) and the
+  // invalidation fringe, each finite-label vertex at most once.
+  std::vector<uint8_t> seeded(n, 0);
+  const auto seed = [&](VertexId u) {
+    if (seeded[u] || plan.warm[u] == kInf) return;
+    seeded[u] = 1;
+    plan.frontier.push_back(RepairSeed<W>{u, plan.warm[u]});
+  };
+  for (const ClassifiedEdge<W>& e : delta.decreased) seed(e.src);
+  for (const ClassifiedEdge<W>& e : delta.inserted) seed(e.src);
+  if (plan.invalidated > 0) {
+    // Fringe = finite-label tails of CHILD edges into the invalidated
+    // region (the child's adjacency, so inserted edges re-enter it too).
+    for (VertexId u = 0; u < n; ++u) {
+      if (plan.warm[u] == kInf || seeded[u]) continue;
+      for (EdgeIndex e = child.edge_begin(u); e < child.edge_end(u); ++e) {
+        if (invalid[child.edge_target(e)]) {
+          seed(u);
+          break;
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+/// Outcome of the post-repair certificate.
+struct RepairVerdict {
+  bool exact = false;
+  uint64_t feasibility_violations = 0;  // edges with d[v] > d[u] + w
+  uint64_t unsupported = 0;  // finite non-source labels with no tight in-edge
+};
+
+/// O(E) exactness certificate for positive weights: feasibility + support
+/// (see the header comment for why the pair implies d == dist exactly).
+/// The caller treats !exact as "repair failed — discard and cold-solve".
+template <WeightType W>
+RepairVerdict verify_repair(const CsrGraph<W>& child, VertexId source,
+                            const std::vector<DistT<W>>& dist) {
+  using Dist = DistT<W>;
+  constexpr Dist kInf = DistTraits<W>::infinity();
+  const VertexId n = child.num_vertices();
+  RepairVerdict v;
+  if (dist.size() != size_t(n) || source >= n || dist[source] != Dist{0}) {
+    v.feasibility_violations = 1;
+    return v;
+  }
+  std::vector<uint8_t> supported(n, 0);
+  supported[source] = 1;
+  for (VertexId u = 0; u < n; ++u) {
+    if (dist[u] == kInf) continue;  // an infinite tail implies nothing
+    for (EdgeIndex e = child.edge_begin(u); e < child.edge_end(u); ++e) {
+      const VertexId t = child.edge_target(e);
+      const Dist through = dist[u] + Dist(child.edge_weight(e));
+      if (dist[t] > through) ++v.feasibility_violations;
+      if (dist[t] == through) supported[t] = 1;
+    }
+  }
+  for (VertexId u = 0; u < n; ++u)
+    if (dist[u] != kInf && !supported[u]) ++v.unsupported;
+  v.exact = v.feasibility_violations == 0 && v.unsupported == 0;
+  return v;
+}
+
+}  // namespace adds

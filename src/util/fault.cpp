@@ -21,6 +21,7 @@ const char* site_name(Site s) noexcept {
     case Site::kWorkerStall: return "worker.stall";
     case Site::kPoolExhausted: return "pool.exhausted";
     case Site::kLaneSplit: return "combiner.lane-split";
+    case Site::kDeltaRepair: return "repair.delta";
   }
   return "?";
 }

@@ -27,6 +27,11 @@
 //                            lane histogram and the scatter (a preempted
 //                            batched flush; staged items must neither be
 //                            lost nor cross lanes)
+//   repair.delta             HostEngine::solve_repair throws while seeding
+//                            the warm frontier (a failed in-place delta
+//                            repair; the service must fall back typed to a
+//                            cold solve on the child graph, never serve the
+//                            half-repaired tree)
 #pragma once
 
 #include <array>
@@ -46,8 +51,9 @@ enum class Site : uint8_t {
   kWorkerStall,
   kPoolExhausted,
   kLaneSplit,
+  kDeltaRepair,
 };
-inline constexpr size_t kNumSites = 8;
+inline constexpr size_t kNumSites = 9;
 
 const char* site_name(Site s) noexcept;
 std::optional<Site> parse_site(const std::string& name);

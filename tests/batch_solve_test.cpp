@@ -13,6 +13,7 @@
 #include "core/validate.hpp"
 #include "graph/analysis.hpp"
 #include "graph/generators.hpp"
+#include "oracle_util.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/host_engine.hpp"
 #include "util/fault.hpp"
@@ -34,43 +35,12 @@ std::vector<LaneQuery> make_lanes(const std::vector<VertexId>& sources) {
   return lanes;
 }
 
-/// Parent-tree oracle check: parent[source] == source, unreached vertices
-/// carry kInvalidVertex, every other reached vertex has a TIGHT recorded
-/// predecessor (dist[p] + w(p,v) == dist[v] for an actual edge p->v), and
-/// walking parents from any vertex reaches the source in < V steps.
+/// Parent-tree oracle check, shared with the repair/service suites
+/// (tests/oracle_util.hpp holds the one implementation).
 template <WeightType W>
 void check_parent_tree(const CsrGraph<W>& g, const SsspResult<W>& r,
                        VertexId source) {
-  ASSERT_EQ(r.parent.size(), g.num_vertices());
-  ASSERT_EQ(r.parent[source], source);
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (r.dist[v] == DistTraits<W>::infinity()) {
-      EXPECT_EQ(r.parent[v], kInvalidVertex) << "unreached " << v;
-      continue;
-    }
-    if (v == source) continue;
-    const VertexId p = r.parent[v];
-    ASSERT_NE(p, kInvalidVertex) << "reached vertex " << v << " parentless";
-    ASSERT_LT(p, g.num_vertices());
-    // The recorded edge must exist and be tight.
-    bool tight = false;
-    for (EdgeIndex e = g.edge_begin(p); e < g.edge_end(p); ++e)
-      if (g.targets()[e] == v &&
-          r.dist[p] + DistT<W>(g.weights()[e]) == r.dist[v])
-        tight = true;
-    EXPECT_TRUE(tight) << "parent " << p << " -> " << v << " not tight";
-  }
-  // Acyclic: every chain lands on the source within V hops.
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (r.dist[v] == DistTraits<W>::infinity()) continue;
-    VertexId cur = v;
-    uint32_t hops = 0;
-    while (cur != source) {
-      cur = r.parent[cur];
-      ASSERT_NE(cur, kInvalidVertex);
-      ASSERT_LE(++hops, g.num_vertices()) << "parent cycle via " << v;
-    }
-  }
+  EXPECT_EQ(oracle::parent_tree_defect(g, r, source), "");
 }
 
 TEST(BatchSolve, EveryLaneMatchesItsDijkstraOracle) {

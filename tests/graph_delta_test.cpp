@@ -1,0 +1,200 @@
+// GraphDelta / apply_delta: the graph layer of the live-delta pipeline.
+//
+// The contract under test: the parent snapshot is never mutated, the
+// child carries exactly the requested edges (patched weights in place,
+// inserts through a CSR rebuild), the classification reports the NET
+// change versus the parent (last write wins), malformed deltas throw
+// before anything is applied, and child fingerprints behave like any
+// other graph's (distinct content, distinct fingerprint; weight-identical
+// round trip restores the parent's fingerprint).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/delta.hpp"
+#include "graph/fingerprint.hpp"
+#include "graph/generators.hpp"
+#include "oracle_util.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace adds {
+namespace {
+
+IntGraph test_graph(uint64_t seed = 11) {
+  return make_grid_road<uint32_t>(12, 12, {WeightDist::kUniform, 200}, seed);
+}
+
+uint32_t weight_of(const IntGraph& g, VertexId u, VertexId v) {
+  for (EdgeIndex e = g.edge_begin(u); e < g.edge_end(u); ++e)
+    if (g.edge_target(e) == v) return g.edge_weight(e);
+  return 0;  // absent
+}
+
+/// First edge out of the lowest-numbered vertex with outdegree > 0.
+std::pair<VertexId, VertexId> first_edge(const IntGraph& g) {
+  for (VertexId u = 0; u < g.num_vertices(); ++u)
+    if (g.edge_begin(u) < g.edge_end(u))
+      return {u, g.edge_target(g.edge_begin(u))};
+  return {0, 0};
+}
+
+TEST(GraphDelta, WeightChangePatchesChildAndClassifies) {
+  const auto g = test_graph();
+  const auto [u, v] = first_edge(g);
+  const uint32_t old_w = weight_of(g, u, v);
+  ASSERT_GT(old_w, 0u);
+
+  GraphDelta<uint32_t> d;
+  d.changes.push_back({u, v, old_w + 7});
+  const auto res = apply_delta(g, d);
+
+  // Topology untouched, exactly one weight patched.
+  ASSERT_EQ(res.graph.num_vertices(), g.num_vertices());
+  ASSERT_EQ(res.graph.num_edges(), g.num_edges());
+  EXPECT_EQ(weight_of(res.graph, u, v), old_w + 7);
+  EXPECT_EQ(weight_of(g, u, v), old_w) << "parent mutated";
+
+  ASSERT_EQ(res.increased.size(), 1u);
+  EXPECT_EQ(res.increased[0].src, u);
+  EXPECT_EQ(res.increased[0].dst, v);
+  EXPECT_EQ(res.increased[0].old_weight, old_w);
+  EXPECT_EQ(res.increased[0].new_weight, old_w + 7);
+  EXPECT_TRUE(res.decreased.empty());
+  EXPECT_TRUE(res.inserted.empty());
+  EXPECT_EQ(res.stats.increases, 1u);
+  EXPECT_EQ(res.stats.total(), 1u);
+
+  // A distinct snapshot gets a distinct fingerprint; undoing the change
+  // restores the parent's (content-addressed, not identity-addressed).
+  EXPECT_NE(graph_fingerprint(res.graph), graph_fingerprint(g));
+  GraphDelta<uint32_t> undo;
+  undo.changes.push_back({u, v, old_w});
+  EXPECT_EQ(graph_fingerprint(apply_delta(res.graph, undo).graph),
+            graph_fingerprint(g));
+}
+
+TEST(GraphDelta, InsertRebuildsTopology) {
+  const auto g = test_graph();
+  // The road grid never carries a corner-to-corner edge.
+  const VertexId u = 0, v = g.num_vertices() - 1;
+  ASSERT_EQ(weight_of(g, u, v), 0u);
+
+  GraphDelta<uint32_t> d;
+  d.changes.push_back({u, v, 42});
+  const auto res = apply_delta(g, d);
+
+  EXPECT_EQ(res.graph.num_edges(), g.num_edges() + 1);
+  EXPECT_EQ(weight_of(res.graph, u, v), 42u);
+  ASSERT_EQ(res.inserted.size(), 1u);
+  EXPECT_EQ(res.inserted[0].src, u);
+  EXPECT_EQ(res.inserted[0].dst, v);
+  EXPECT_EQ(res.inserted[0].new_weight, 42u);
+  EXPECT_EQ(res.stats.inserts, 1u);
+  // Every parent edge survives the rebuild with its weight.
+  for (VertexId s = 0; s < g.num_vertices(); ++s)
+    for (EdgeIndex e = g.edge_begin(s); e < g.edge_end(s); ++e)
+      EXPECT_EQ(weight_of(res.graph, s, g.edge_target(e)), g.edge_weight(e));
+}
+
+TEST(GraphDelta, LastWriteWinsWithNetClassification) {
+  const auto g = test_graph();
+  const auto [u, v] = first_edge(g);
+  const uint32_t old_w = weight_of(g, u, v);
+
+  // Two writes to the same edge: the classification must carry one entry
+  // with the PARENT's old weight, not the intermediate.
+  GraphDelta<uint32_t> d;
+  d.changes.push_back({u, v, old_w + 100});
+  d.changes.push_back({u, v, old_w > 1 ? old_w - 1 : old_w + 1});
+  const auto res = apply_delta(g, d);
+  ASSERT_EQ(res.decreased.size() + res.increased.size(), 1u);
+  const auto& ce = res.decreased.empty() ? res.increased[0] : res.decreased[0];
+  EXPECT_EQ(ce.old_weight, old_w);
+
+  // Net no-op: change away and back in one batch — no classified edge,
+  // and the child is content-identical to the parent.
+  GraphDelta<uint32_t> noop;
+  noop.changes.push_back({u, v, old_w + 5});
+  noop.changes.push_back({u, v, old_w});
+  const auto back = apply_delta(g, noop);
+  EXPECT_TRUE(back.decreased.empty());
+  EXPECT_TRUE(back.increased.empty());
+  EXPECT_EQ(graph_fingerprint(back.graph), graph_fingerprint(g));
+
+  // Repeated insert of one edge: last weight wins, one classified insert.
+  GraphDelta<uint32_t> ins;
+  const VertexId far = g.num_vertices() - 1;
+  ins.changes.push_back({u, far, 10});
+  ins.changes.push_back({u, far, 20});
+  const auto ri = apply_delta(g, ins);
+  ASSERT_EQ(ri.inserted.size(), 1u);
+  EXPECT_EQ(ri.inserted[0].new_weight, 20u);
+  EXPECT_EQ(ri.graph.num_edges(), g.num_edges() + 1);
+}
+
+TEST(GraphDelta, UnchangedWriteCountsButDoesNotClassify) {
+  const auto g = test_graph();
+  const auto [u, v] = first_edge(g);
+  GraphDelta<uint32_t> d;
+  d.changes.push_back({u, v, weight_of(g, u, v)});
+  const auto res = apply_delta(g, d);
+  EXPECT_EQ(res.stats.unchanged, 1u);
+  EXPECT_EQ(res.stats.decreases + res.stats.increases + res.stats.inserts, 0u);
+  EXPECT_EQ(graph_fingerprint(res.graph), graph_fingerprint(g));
+}
+
+TEST(GraphDelta, MalformedDeltasThrowBeforeApplying) {
+  const auto g = test_graph();
+  const auto [u, v] = first_edge(g);
+  const uint32_t old_w = weight_of(g, u, v);
+
+  const auto expect_rejected = [&](GraphDelta<uint32_t> d) {
+    // A valid change rides in front: validation must reject the WHOLE
+    // batch before any edge is applied.
+    d.changes.insert(d.changes.begin(), {u, v, old_w + 1});
+    EXPECT_THROW(apply_delta(g, d), Error);
+    EXPECT_EQ(weight_of(g, u, v), old_w);
+  };
+  GraphDelta<uint32_t> oob;
+  oob.changes.push_back({g.num_vertices(), 0, 1});
+  expect_rejected(oob);
+  GraphDelta<uint32_t> self;
+  self.changes.push_back({3, 3, 1});
+  expect_rejected(self);
+  GraphDelta<uint32_t> zero;
+  zero.changes.push_back({u, v, 0});
+  expect_rejected(zero);
+}
+
+TEST(GraphDelta, ChildSolvesLikeAnIndependentGraph) {
+  const auto g = test_graph(29);
+  const auto delta = oracle::make_test_delta(g, 12, 4, 7);
+  ASSERT_FALSE(delta.empty());
+  const auto res = apply_delta(g, delta);
+  ASSERT_GT(res.stats.total(), 0u);
+  // The child is a self-consistent graph: Dijkstra on it differs from the
+  // parent oracle exactly where the delta says it should, and the parent
+  // still solves to its own oracle (immutability, end to end).
+  const auto child_oracle = dijkstra(res.graph, VertexId{0});
+  EXPECT_EQ(oracle::distance_defect(res.graph, child_oracle, VertexId{0}), "");
+  EXPECT_EQ(oracle::distance_defect(g, dijkstra(g, VertexId{0}), VertexId{0}),
+            "");
+}
+
+TEST(GraphDelta, FloatWeightsClassifyAndPatch) {
+  const auto g =
+      make_grid_road<float>(8, 8, {WeightDist::kUniform, 100}, 5);
+  VertexId u = 0;
+  while (g.edge_begin(u) == g.edge_end(u)) ++u;
+  const VertexId v = g.edge_target(g.edge_begin(u));
+  const float old_w = g.edge_weight(g.edge_begin(u));
+  GraphDelta<float> d;
+  d.changes.push_back({u, v, old_w * 0.5f});
+  const auto res = apply_delta(g, d);
+  ASSERT_EQ(res.decreased.size(), 1u);
+  EXPECT_FLOAT_EQ(res.decreased[0].new_weight, old_w * 0.5f);
+  EXPECT_NE(graph_fingerprint(res.graph), graph_fingerprint(g));
+}
+
+}  // namespace
+}  // namespace adds

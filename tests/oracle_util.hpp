@@ -1,0 +1,154 @@
+// Shared Dijkstra-oracle helpers for tests and bench suites.
+//
+// The batch, service and soak suites all grew their own copies of "solve
+// the reference oracle, then explain exactly how the candidate diverged" —
+// this header is the one implementation. It is deliberately gtest-free
+// (defect checks return an empty string on success, a human-readable
+// defect otherwise) so the chaos/bench binaries can share it: tests wrap
+// the calls in EXPECT_EQ(..., ""), bench phases turn a non-empty string
+// into a violation.
+//
+// It also hosts the deterministic delta generator the live-delta work
+// uses everywhere a "random but replayable" GraphDelta is needed: the
+// repair-vs-oracle matrix, the delta-chaos soak phase, the delta bench
+// phase and the server's `delta` script command all derive their patches
+// from the same (graph, seed) function.
+#pragma once
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/validate.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/delta.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/result.hpp"
+#include "util/rng.hpp"
+
+namespace adds {
+namespace oracle {
+
+/// "" when `r` carries exactly the oracle's distances, else the validator
+/// summary. Overload for callers that precomputed the oracle (a loop over
+/// sources amortizes the Dijkstra runs).
+template <WeightType W>
+std::string distance_defect(const SsspResult<W>& r,
+                            const SsspResult<W>& oracle_result) {
+  const auto rep = validate_distances(r, oracle_result);
+  return rep.ok() ? std::string() : rep.summary();
+}
+
+/// "" when `r` matches a fresh Dijkstra solve of `g` from `s`.
+template <WeightType W>
+std::string distance_defect(const CsrGraph<W>& g, const SsspResult<W>& r,
+                            VertexId s) {
+  return distance_defect(r, dijkstra(g, s));
+}
+
+/// Parent-tree certificate: parent[source] == source, unreached vertices
+/// carry kInvalidVertex, every other reached vertex records a TIGHT
+/// predecessor edge (dist[p] + w(p,v) == dist[v] for an actual edge), and
+/// walking parents from any vertex reaches the source in < V hops. Returns
+/// "" on success, the first defect otherwise.
+template <WeightType W>
+std::string parent_tree_defect(const CsrGraph<W>& g, const SsspResult<W>& r,
+                               VertexId source) {
+  std::ostringstream why;
+  if (r.parent.size() != size_t(g.num_vertices())) {
+    why << "parent array size " << r.parent.size() << " != V "
+        << g.num_vertices();
+    return why.str();
+  }
+  if (r.parent[source] != source) {
+    why << "parent[source] != source (" << r.parent[source] << ")";
+    return why.str();
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (r.dist[v] == DistTraits<W>::infinity()) {
+      if (r.parent[v] != kInvalidVertex) {
+        why << "unreached vertex " << v << " has parent " << r.parent[v];
+        return why.str();
+      }
+      continue;
+    }
+    if (v == source) continue;
+    const VertexId p = r.parent[v];
+    if (p == kInvalidVertex || p >= g.num_vertices()) {
+      why << "reached vertex " << v << " has invalid parent";
+      return why.str();
+    }
+    bool tight = false;
+    for (EdgeIndex e = g.edge_begin(p); e < g.edge_end(p); ++e)
+      if (g.edge_target(e) == v &&
+          r.dist[p] + DistT<W>(g.edge_weight(e)) == r.dist[v])
+        tight = true;
+    if (!tight) {
+      why << "recorded parent edge " << p << " -> " << v << " not tight";
+      return why.str();
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (r.dist[v] == DistTraits<W>::infinity()) continue;
+    VertexId cur = v;
+    uint32_t hops = 0;
+    while (cur != source) {
+      cur = r.parent[cur];
+      if (cur == kInvalidVertex || ++hops > g.num_vertices()) {
+        why << "parent chain from " << v << " does not reach the source";
+        return why.str();
+      }
+    }
+  }
+  return std::string();
+}
+
+/// Deterministic mixed GraphDelta over `g`: `weight_changes` existing
+/// edges re-weighted (alternating halve / double, so the batch carries
+/// both decreases and increases) plus `inserts` edges verified absent from
+/// the parent. Pure function of (g, counts, seed) — the same call replays
+/// the same patch everywhere.
+template <WeightType W>
+GraphDelta<W> make_test_delta(const CsrGraph<W>& g, size_t weight_changes,
+                              size_t inserts, uint64_t seed) {
+  GraphDelta<W> delta;
+  Xoshiro256 rng(mix_seed(seed, 0xde17a));
+  const VertexId n = g.num_vertices();
+  if (n < 2) return delta;
+
+  size_t changed = 0;
+  for (size_t attempt = 0; changed < weight_changes && attempt < 64 * weight_changes + 64;
+       ++attempt) {
+    const VertexId u = VertexId(rng.next_below(n));
+    const EdgeIndex deg = g.edge_end(u) - g.edge_begin(u);
+    if (deg == 0) continue;
+    const EdgeIndex e = g.edge_begin(u) + EdgeIndex(rng.next_below(deg));
+    const W old_w = g.edge_weight(e);
+    const W new_w = (changed % 2 == 0) ? std::max(W(old_w / W{2}), W{1})
+                                       : W(old_w + old_w + W{1});
+    if (new_w == old_w) continue;
+    delta.changes.push_back(EdgeChange<W>{u, g.edge_target(e), new_w});
+    ++changed;
+  }
+
+  size_t added = 0;
+  for (size_t attempt = 0; added < inserts && attempt < 64 * inserts + 64;
+       ++attempt) {
+    const VertexId u = VertexId(rng.next_below(n));
+    const VertexId v = VertexId(rng.next_below(n));
+    if (u == v) continue;
+    bool exists = false;
+    for (EdgeIndex e = g.edge_begin(u); e < g.edge_end(u); ++e)
+      if (g.edge_target(e) == v) exists = true;
+    for (const EdgeChange<W>& c : delta.changes)
+      if (c.src == u && c.dst == v) exists = true;
+    if (exists) continue;
+    delta.changes.push_back(EdgeChange<W>{u, v, W(rng.next_range(1, 300))});
+    ++added;
+  }
+  return delta;
+}
+
+}  // namespace oracle
+}  // namespace adds

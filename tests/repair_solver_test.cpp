@@ -1,0 +1,264 @@
+// Warm-start SSSP repair: plan_repair + HostEngine::solve_repair +
+// verify_repair against patched-graph Dijkstra oracles.
+//
+// The contract under test: a repaired tree is bit-identical in distances
+// to a cold solve on the child graph — for decreases, increases, inserts
+// and mixed batches across seeds; an untouched shortest-path structure
+// yields an empty frontier and an exact fast path; the certificate
+// accepts exactly the exact trees (and in particular rejects the
+// all-zeros labeling that per-edge feasibility alone cannot); and the
+// repair.delta fault site turns a repair into a typed adds::Error, never
+// a silently wrong tree.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "graph/analysis.hpp"
+#include "graph/delta.hpp"
+#include "graph/generators.hpp"
+#include "oracle_util.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/host_engine.hpp"
+#include "sssp/repair.hpp"
+#include "util/fault.hpp"
+
+namespace adds {
+namespace {
+
+AddsHostOptions small_opts() {
+  AddsHostOptions o;
+  o.num_workers = 3;
+  o.chunk_items = 32;
+  o.block_words = 256;
+  return o;
+}
+
+IntGraph test_graph(uint64_t seed = 3) {
+  return make_grid_road<uint32_t>(20, 20, {WeightDist::kUniform, 200}, seed);
+}
+
+/// An edge on a shortest path (tight) or strictly off every shortest path
+/// (slack), by scanning the parent oracle. Returns (edge index, tail).
+std::pair<EdgeIndex, VertexId> find_edge(const IntGraph& g,
+                                         const SsspResult<uint32_t>& d,
+                                         bool tight, VertexId source) {
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (d.dist[u] == DistTraits<uint32_t>::infinity()) continue;
+    for (EdgeIndex e = g.edge_begin(u); e < g.edge_end(u); ++e) {
+      const VertexId v = g.edge_target(e);
+      if (v == source) continue;
+      const bool is_tight =
+          d.dist[u] + uint64_t(g.edge_weight(e)) == d.dist[v];
+      if (is_tight == tight) return {e, u};
+    }
+  }
+  return {EdgeIndex(-1), 0};
+}
+
+/// Runs the full pipeline and checks the repaired tree against a cold
+/// Dijkstra solve of the child.
+void expect_repair_exact(const IntGraph& parent, const GraphDelta<uint32_t>& d,
+                         VertexId source, HostEngine<uint32_t>& engine,
+                         uint64_t* invalidated = nullptr) {
+  const auto parent_oracle = dijkstra(parent, source);
+  const auto res = apply_delta(parent, d);
+  const auto plan =
+      plan_repair(parent, res.graph, res, parent_oracle.dist, source);
+  if (invalidated != nullptr) *invalidated = plan.invalidated;
+  const auto repaired = engine.solve_repair(res.graph, source, plan);
+  EXPECT_EQ(repaired.solver, "adds-host-repair");
+  EXPECT_EQ(oracle::distance_defect(res.graph, repaired, source), "");
+  const auto verdict = verify_repair(res.graph, source, repaired.dist);
+  EXPECT_TRUE(verdict.exact)
+      << verdict.feasibility_violations << " infeasible, "
+      << verdict.unsupported << " unsupported";
+}
+
+TEST(RepairSolver, DecreaseRepairsToChildOracle) {
+  const auto g = test_graph();
+  const VertexId source = 0;
+  const auto d0 = dijkstra(g, source);
+  const auto [e, u] = find_edge(g, d0, /*tight=*/true, source);
+  ASSERT_NE(e, EdgeIndex(-1));
+  GraphDelta<uint32_t> delta;
+  delta.changes.push_back(
+      {u, g.edge_target(e), std::max(g.edge_weight(e) / 4, 1u)});
+  HostEngine<uint32_t> engine(small_opts());
+  expect_repair_exact(g, delta, source, engine);
+}
+
+TEST(RepairSolver, IncreaseOnShortestPathInvalidatesAndRepairs) {
+  const auto g = test_graph(7);
+  const VertexId source = 0;
+  const auto d0 = dijkstra(g, source);
+  const auto [e, u] = find_edge(g, d0, /*tight=*/true, source);
+  ASSERT_NE(e, EdgeIndex(-1));
+  GraphDelta<uint32_t> delta;
+  delta.changes.push_back({u, g.edge_target(e), g.edge_weight(e) * 8});
+  HostEngine<uint32_t> engine(small_opts());
+  uint64_t invalidated = 0;
+  expect_repair_exact(g, delta, source, engine, &invalidated);
+  // The head of a tight increased edge must have been reset.
+  EXPECT_GT(invalidated, 0u);
+}
+
+TEST(RepairSolver, InsertRepairsToChildOracle) {
+  const auto g = test_graph(9);
+  GraphDelta<uint32_t> delta;
+  // A cheap shortcut to the far corner: real distance drops.
+  delta.changes.push_back({0, g.num_vertices() - 1, 1});
+  HostEngine<uint32_t> engine(small_opts());
+  expect_repair_exact(g, delta, 0, engine);
+}
+
+TEST(RepairSolver, SlackIncreaseYieldsEmptyFrontierFastPath) {
+  const auto g = test_graph(13);
+  const VertexId source = 0;
+  const auto d0 = dijkstra(g, source);
+  const auto [e, u] = find_edge(g, d0, /*tight=*/false, source);
+  ASSERT_NE(e, EdgeIndex(-1));
+  // Raising a slack edge cannot change any distance: the planner must
+  // prove it (empty frontier, nothing invalidated) and the solver must
+  // return the warm labels untouched.
+  GraphDelta<uint32_t> delta;
+  delta.changes.push_back({u, g.edge_target(e), g.edge_weight(e) + 1000});
+  const auto res = apply_delta(g, delta);
+  const auto plan = plan_repair(g, res.graph, res, d0.dist, source);
+  EXPECT_TRUE(plan.frontier.empty());
+  EXPECT_EQ(plan.invalidated, 0u);
+  HostEngine<uint32_t> engine(small_opts());
+  const auto repaired = engine.solve_repair(res.graph, source, plan);
+  EXPECT_EQ(repaired.dist, d0.dist);
+  EXPECT_TRUE(verify_repair(res.graph, source, repaired.dist).exact);
+}
+
+TEST(RepairSolver, MixedDeltasAcrossSeedsMatchOracle) {
+  const auto g = test_graph(21);
+  HostEngine<uint32_t> engine(small_opts());
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto delta = oracle::make_test_delta(g, 16, 4, seed);
+    ASSERT_FALSE(delta.empty());
+    uint64_t invalidated = 0;
+    expect_repair_exact(g, delta, pick_source(g), engine, &invalidated);
+  }
+  // The engine interleaves repairs with ordinary solves and stays warm.
+  EXPECT_EQ(oracle::distance_defect(g, engine.solve(g, 5), VertexId{5}), "");
+}
+
+TEST(RepairSolver, FloatRepairMatchesOracle) {
+  const auto g =
+      make_grid_road<float>(14, 14, {WeightDist::kUniform, 100}, 17);
+  const VertexId source = 0;
+  const auto d0 = dijkstra(g, source);
+  const auto delta = oracle::make_test_delta(g, 10, 2, 4);
+  const auto res = apply_delta(g, delta);
+  const auto plan = plan_repair(g, res.graph, res, d0.dist, source);
+  HostEngine<float> engine(small_opts());
+  const auto repaired = engine.solve_repair(res.graph, source, plan);
+  EXPECT_EQ(oracle::distance_defect(res.graph, repaired, source), "");
+  EXPECT_TRUE(verify_repair(res.graph, source, repaired.dist).exact);
+}
+
+TEST(RepairVerifier, CertificateAcceptsExactRejectsCorrupt) {
+  const auto g = test_graph(31);
+  const VertexId source = 0;
+  const auto exact = dijkstra(g, source);
+  EXPECT_TRUE(verify_repair(g, source, exact.dist).exact);
+
+  // Lowering a reachable label leaves it without a tight in-edge.
+  auto low = exact.dist;
+  VertexId victim = 1;
+  while (low[victim] == DistTraits<uint32_t>::infinity() || low[victim] == 0)
+    ++victim;
+  low[victim] -= 1;
+  const auto vl = verify_repair(g, source, low);
+  EXPECT_FALSE(vl.exact);
+
+  // Raising it breaks feasibility on its (formerly tight) in-edge.
+  auto high = exact.dist;
+  high[victim] += 1;
+  const auto vh = verify_repair(g, source, high);
+  EXPECT_FALSE(vh.exact);
+  EXPECT_GT(vh.feasibility_violations, 0u);
+
+  // The all-zeros labeling is per-edge feasible (0 <= 0 + w); only the
+  // support half of the certificate rejects it. This is the case that
+  // makes feasibility-only verification unsound.
+  std::vector<uint64_t> zeros(g.num_vertices(), 0);
+  const auto vz = verify_repair(g, source, zeros);
+  EXPECT_FALSE(vz.exact);
+  EXPECT_EQ(vz.feasibility_violations, 0u);
+  EXPECT_GT(vz.unsupported, 0u);
+
+  // Structural garbage is rejected outright.
+  EXPECT_FALSE(verify_repair(g, source, std::vector<uint64_t>(3, 0)).exact);
+  auto bad_src = exact.dist;
+  bad_src[source] = 5;
+  EXPECT_FALSE(verify_repair(g, source, bad_src).exact);
+}
+
+TEST(RepairSolver, RejectsMalformedPlans) {
+  const auto g = test_graph(37);
+  HostEngine<uint32_t> engine(small_opts());
+  RepairPlan<uint32_t> plan;
+  plan.warm.assign(g.num_vertices() - 1, 0);  // wrong size
+  EXPECT_THROW(engine.solve_repair(g, 0, plan), Error);
+  plan.warm.assign(g.num_vertices(), 7);  // warm[source] != 0
+  EXPECT_THROW(engine.solve_repair(g, 0, plan), Error);
+  // plan_repair itself rejects labels that are not a solve of the source.
+  const auto res = apply_delta(g, oracle::make_test_delta(g, 2, 0, 1));
+  std::vector<uint64_t> not_a_solve(g.num_vertices(), 9);
+  EXPECT_THROW(plan_repair(g, res.graph, res, not_a_solve, 0), Error);
+  // And the engine still works after the rejections.
+  EXPECT_EQ(oracle::distance_defect(g, engine.solve(g, 0), VertexId{0}), "");
+}
+
+// ---- Fault-matrix rows for the repair.delta site ----------------------------
+//
+// With the site armed, solve_repair either throws a typed adds::Error
+// (the injected repair failure the service converts into a cold-solve
+// fallback) or completes with a tree that matches the child oracle.
+// There is no third outcome: never a silently wrong tree, never a hang.
+
+class DeltaRepairFaultMatrix : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaRepairFaultMatrix, RepairFailsTypedOrExact) {
+  const auto g = test_graph(43);
+  const VertexId source = 0;
+  const auto d0 = dijkstra(g, source);
+  HostEngine<uint32_t> engine(small_opts());
+
+  fault::FaultPlan plan(GetParam());
+  plan.set(fault::Site::kDeltaRepair, {0.5, ~0ull, 0});
+  {
+    fault::FaultScope scope(plan);
+    uint64_t survived = 0, failed_typed = 0;
+    for (uint64_t round = 0; round < 6; ++round) {
+      const auto delta =
+          oracle::make_test_delta(g, 8, 2, GetParam() * 100 + round);
+      const auto res = apply_delta(g, delta);
+      const auto rp = plan_repair(g, res.graph, res, d0.dist, source);
+      try {
+        const auto repaired = engine.solve_repair(res.graph, source, rp);
+        EXPECT_EQ(oracle::distance_defect(res.graph, repaired, source), "")
+            << "seed " << GetParam() << " round " << round;
+        EXPECT_TRUE(verify_repair(res.graph, source, repaired.dist).exact);
+        ++survived;
+      } catch (const Error&) {
+        ++failed_typed;  // typed failure is the contract, not a bug
+      }
+    }
+    EXPECT_EQ(survived + failed_typed, 6u);
+    // At probability 0.5 over 6 rounds the site must actually exercise.
+    EXPECT_GT(plan.fires(fault::Site::kDeltaRepair), 0u);
+  }
+  // The engine survives its own injected failures and stays warm.
+  EXPECT_EQ(oracle::distance_defect(g, engine.solve(g, source), source), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaRepairFaultMatrix,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace adds

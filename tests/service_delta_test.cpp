@@ -1,0 +1,270 @@
+// SsspService::apply_delta — the service layer of the live-delta
+// pipeline: child publication with lineage, warm repair of cached trees
+// on the rebuilder, typed bounded-stale serving from the parent during
+// the repair window, typed cold-solve fallback under injected repair
+// faults, and parent retirement (with cache invalidation along lineage)
+// once every repair settles.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "oracle_util.hpp"
+#include "service/sssp_service.hpp"
+#include "sssp/dijkstra.hpp"
+#include "util/fault.hpp"
+
+namespace adds {
+namespace {
+
+ServiceConfig small_service(uint32_t engines = 1) {
+  ServiceConfig cfg;
+  cfg.num_engines = engines;
+  cfg.engine.num_workers = 2;
+  cfg.engine.chunk_items = 32;
+  cfg.guarded_fallback = false;
+  return cfg;
+}
+
+IntGraph test_graph(uint64_t seed = 1) {
+  return make_grid_road<uint32_t>(20, 20, {WeightDist::kUniform, 200}, seed);
+}
+
+/// Polls until every scheduled repair settled (or the budget elapses).
+bool wait_repairs_settled(SsspService<uint32_t>& svc, int budget_ms = 10000) {
+  for (int waited = 0; waited < budget_ms; waited += 5) {
+    if (svc.report().repairs_pending == 0) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return svc.report().repairs_pending == 0;
+}
+
+TEST(ServiceDelta, RepairsCachedTreesAndRetiresParent) {
+  const auto g = test_graph();
+  SsspService<uint32_t> svc(small_service());
+  const uint64_t parent_fp = svc.set_graph(g);
+  const std::vector<VertexId> sources = {0, 3, 5, 9};
+  for (VertexId s : sources) svc.query(s);  // populate the parent cache
+
+  const auto delta = oracle::make_test_delta(g, 12, 3, 2);
+  const auto out = svc.apply_delta(0, delta);  // 0 routes to the default
+  EXPECT_EQ(out.parent_fp, parent_fp);
+  EXPECT_NE(out.child_fp, parent_fp);
+  EXPECT_FALSE(out.unchanged);
+  EXPECT_TRUE(out.was_default);
+  EXPECT_EQ(out.repairs_scheduled, sources.size());
+  EXPECT_GT(out.stats.total(), 0u);
+
+  ASSERT_TRUE(wait_repairs_settled(svc));
+  const auto rep = svc.report();
+  EXPECT_EQ(rep.deltas_applied, 1u);
+  EXPECT_EQ(rep.repairs_scheduled, sources.size());
+  EXPECT_EQ(rep.repairs_ok, sources.size());
+  EXPECT_EQ(rep.repair_fallbacks, 0u);
+
+  // The parent generation retired once the last repair settled.
+  const auto residents = svc.resident_graphs();
+  EXPECT_EQ(residents.size(), 1u);
+  EXPECT_EQ(residents[0], out.child_fp);
+  QueryOptions target_parent;
+  target_parent.graph_fp = parent_fp;
+  EXPECT_EQ(svc.submit(0, target_parent).get().status,
+            QueryStatus::kUnknownGraph);
+
+  // Every repaired tree is served fresh from cache under the CHILD
+  // fingerprint and matches a cold Dijkstra solve on the child graph.
+  const auto child = apply_delta(g, delta).graph;
+  for (VertexId s : sources) {
+    const auto q = svc.query(s);  // fp-less: default moved to the child
+    EXPECT_TRUE(q.cache_hit) << "repair result was not cached for " << s;
+    EXPECT_FALSE(q.stale);
+    EXPECT_EQ(q.graph_fp, out.child_fp);
+    EXPECT_EQ(oracle::distance_defect(child, *q.result, s), "");
+  }
+
+  // Per-tenant accounting landed on the child generation's row.
+  bool found = false;
+  for (const auto& ts : svc.report().tenants) {
+    if (ts.graph_fp != out.child_fp) continue;
+    found = true;
+    EXPECT_EQ(ts.repairs_ok, sources.size());
+    EXPECT_EQ(ts.repairs_pending, 0u);
+    EXPECT_TRUE(ts.is_default);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ServiceDelta, UnchangedDeltaIsANoOp) {
+  const auto g = test_graph(5);
+  SsspService<uint32_t> svc(small_service());
+  const uint64_t parent_fp = svc.set_graph(g);
+  svc.query(0);
+
+  VertexId u = 0;
+  while (g.edge_begin(u) == g.edge_end(u)) ++u;
+  GraphDelta<uint32_t> same;
+  same.changes.push_back({u, g.edge_target(g.edge_begin(u)),
+                          g.edge_weight(g.edge_begin(u))});
+  const auto out = svc.apply_delta(0, same);
+  EXPECT_TRUE(out.unchanged);
+  EXPECT_EQ(out.child_fp, parent_fp);
+  EXPECT_EQ(out.repairs_scheduled, 0u);
+  EXPECT_EQ(svc.report().deltas_applied, 0u);
+  EXPECT_EQ(svc.resident_graphs().size(), 1u);
+  EXPECT_EQ(svc.query(0).graph_fp, parent_fp);
+}
+
+TEST(ServiceDelta, NoCachedTreesMeansImmediateHandover) {
+  const auto g = test_graph(7);
+  SsspService<uint32_t> svc(small_service());
+  const uint64_t parent_fp = svc.set_graph(g);
+  // No queries — nothing cached, nothing to repair.
+  const auto delta = oracle::make_test_delta(g, 6, 1, 3);
+  const auto out = svc.apply_delta(parent_fp, delta);
+  EXPECT_EQ(out.repairs_scheduled, 0u);
+  const auto residents = svc.resident_graphs();
+  ASSERT_EQ(residents.size(), 1u);
+  EXPECT_EQ(residents[0], out.child_fp);
+
+  const auto child = apply_delta(g, delta).graph;
+  const auto q = svc.query(4);
+  EXPECT_FALSE(q.stale);
+  EXPECT_EQ(q.graph_fp, out.child_fp);
+  EXPECT_EQ(oracle::distance_defect(child, *q.result, VertexId{4}), "");
+}
+
+TEST(ServiceDelta, InjectedRepairFaultFallsBackTypedToColdSolve) {
+  const auto g = test_graph(9);
+  SsspService<uint32_t> svc(small_service());
+  svc.set_graph(g);
+  const std::vector<VertexId> sources = {1, 8};
+  for (VertexId s : sources) svc.query(s);
+
+  fault::FaultPlan plan(3);
+  plan.set(fault::Site::kDeltaRepair, {1.0, ~0ull, 0});
+  const auto delta = oracle::make_test_delta(g, 8, 2, 11);
+  DeltaOutcome out;
+  {
+    fault::FaultScope scope(plan);
+    out = svc.apply_delta(0, delta);
+    EXPECT_EQ(out.repairs_scheduled, sources.size());
+    ASSERT_TRUE(wait_repairs_settled(svc));
+  }
+  EXPECT_GT(plan.fires(fault::Site::kDeltaRepair), 0u);
+
+  // Every repair failed typed and was replaced by a cold child solve —
+  // counted, flight-recorded, and still correct.
+  const auto rep = svc.report();
+  EXPECT_EQ(rep.repairs_ok, 0u);
+  EXPECT_EQ(rep.repair_fallbacks, sources.size());
+  uint64_t fallback_events = 0;
+  for (const auto& e : svc.flight_dump())
+    if (FlightKind(e.ev.kind) == FlightKind::kRepairFallback)
+      ++fallback_events;
+  EXPECT_EQ(fallback_events, sources.size());
+
+  const auto child = apply_delta(g, delta).graph;
+  for (VertexId s : sources) {
+    const auto q = svc.query(s);
+    EXPECT_TRUE(q.cache_hit) << "fallback result was not cached for " << s;
+    EXPECT_FALSE(q.stale);
+    EXPECT_EQ(q.graph_fp, out.child_fp);
+    EXPECT_EQ(oracle::distance_defect(child, *q.result, s), "");
+  }
+}
+
+TEST(ServiceDelta, ParentServesTypedStaleDuringRepairWindow) {
+  const auto g = test_graph(13);
+  auto cfg = small_service();
+  cfg.delta.stale_serve_ms = 10000.0;  // a window the test cannot outrun
+  cfg.delta.repair_deadline_ms = 30000.0;  // the stalls below must not expire it
+  SsspService<uint32_t> svc(cfg);
+  const uint64_t parent_fp = svc.set_graph(g);
+  svc.query(0);  // the parent tree the window will serve
+
+  // Slow the repair solve down (every manager sweep stalls 5ms) so the
+  // stale window is reliably open when the probe query lands.
+  fault::FaultPlan plan(1);
+  plan.set(fault::Site::kManagerScanStall, {1.0, ~0ull, 5000});
+  const auto delta = oracle::make_test_delta(g, 10, 2, 17);
+  DeltaOutcome out;
+  {
+    fault::FaultScope scope(plan);
+    out = svc.apply_delta(0, delta);
+    ASSERT_EQ(out.repairs_scheduled, 1u);
+
+    const auto stale = svc.query(0);  // miss on the child, repair in flight
+    EXPECT_TRUE(stale.stale);
+    EXPECT_TRUE(stale.cache_hit);
+    EXPECT_EQ(stale.graph_fp, parent_fp);
+    EXPECT_EQ(oracle::distance_defect(g, *stale.result, VertexId{0}), "")
+        << "stale answer must match the graph version it claims (parent)";
+
+    ASSERT_TRUE(wait_repairs_settled(svc));
+  }
+
+  const auto rep = svc.report();
+  EXPECT_GE(rep.delta_stale_hits, 1u);
+  EXPECT_EQ(rep.repairs_ok, 1u);
+
+  // Window closed: the same query now serves the repaired child tree.
+  const auto child = apply_delta(g, delta).graph;
+  const auto fresh = svc.query(0);
+  EXPECT_FALSE(fresh.stale);
+  EXPECT_EQ(fresh.graph_fp, out.child_fp);
+  EXPECT_EQ(oracle::distance_defect(child, *fresh.result, VertexId{0}), "");
+}
+
+TEST(ServiceDelta, ChainedDeltasConvergeToTheFinalChild) {
+  const auto g = test_graph(21);
+  SsspService<uint32_t> svc(small_service());
+  svc.set_graph(g);
+  svc.query(0);
+
+  const auto d1 = oracle::make_test_delta(g, 6, 1, 31);
+  const auto c1 = apply_delta(g, d1).graph;
+  const auto d2 = oracle::make_test_delta(c1, 6, 1, 32);
+  const auto c2 = apply_delta(c1, d2).graph;
+
+  const auto o1 = svc.apply_delta(0, d1);
+  const auto o2 = svc.apply_delta(0, d2);  // default already moved to c1
+  EXPECT_EQ(o2.parent_fp, o1.child_fp);
+  ASSERT_TRUE(wait_repairs_settled(svc));
+
+  // Whatever the repair/retire interleaving, the fleet converges: only
+  // the final child resident, and its answers match its own oracle.
+  for (int waited = 0; waited < 5000 && svc.resident_graphs().size() > 1;
+       waited += 5)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const auto residents = svc.resident_graphs();
+  ASSERT_EQ(residents.size(), 1u);
+  EXPECT_EQ(residents[0], o2.child_fp);
+  const auto q = svc.query(0);
+  EXPECT_EQ(q.graph_fp, o2.child_fp);
+  EXPECT_EQ(oracle::distance_defect(c2, *q.result, VertexId{0}), "");
+}
+
+TEST(ServiceDelta, MalformedAndMisroutedDeltasThrowTyped) {
+  const auto g = test_graph(23);
+  SsspService<uint32_t> svc(small_service());
+  GraphDelta<uint32_t> d;
+  d.changes.push_back({0, 1, 5});
+  // No graph set yet.
+  EXPECT_THROW(svc.apply_delta(0, d), Error);
+  svc.set_graph(g);
+  // Unknown parent fingerprint.
+  EXPECT_THROW(svc.apply_delta(0xdeadbeefull, d), CatalogError);
+  // Malformed delta (self loop) — rejected before anything is published.
+  GraphDelta<uint32_t> bad;
+  bad.changes.push_back({2, 2, 1});
+  EXPECT_THROW(svc.apply_delta(0, bad), Error);
+  EXPECT_EQ(svc.resident_graphs().size(), 1u);
+  // The service still answers.
+  const auto q = svc.query(0);
+  EXPECT_EQ(oracle::distance_defect(g, *q.result, VertexId{0}), "");
+}
+
+}  // namespace
+}  // namespace adds

@@ -12,6 +12,7 @@
 #include "core/validate.hpp"
 #include "graph/analysis.hpp"
 #include "graph/generators.hpp"
+#include "oracle_util.hpp"
 #include "service/result_cache.hpp"
 #include "service/sssp_service.hpp"
 #include "sssp/dijkstra.hpp"
@@ -36,8 +37,7 @@ void expect_valid(const QueryOutcome<uint32_t>& out, const IntGraph& g,
                   VertexId s) {
   ASSERT_EQ(out.status, QueryStatus::kOk);
   ASSERT_NE(out.result, nullptr);
-  const auto rep = validate_distances(*out.result, dijkstra(g, s));
-  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_EQ(oracle::distance_defect(g, *out.result, s), "");
 }
 
 // ---- Result cache (unit) ---------------------------------------------------
