@@ -79,6 +79,17 @@ add_test(NAME delta_chaos_smoke
 set_tests_properties(delta_chaos_smoke
   PROPERTIES LABELS "perf;soak" TIMEOUT 120)
 
+# Landmark-oracle chaos: p2p bursts x symmetric delta churn x injected
+# landmark.build faults (both cold builds and warm per-lane repairs).
+# Every p2p answer is Dijkstra-validated on the generation it claims; a
+# typed table failure may only downgrade the serve path to an engine,
+# never bend a distance, and a fault-free delta must bring the table back
+# to READY serving clean off the oracle.
+add_test(NAME landmark_chaos_smoke
+  COMMAND soak_suite --landmark-chaos --smoke --seed=42)
+set_tests_properties(landmark_chaos_smoke
+  PROPERTIES LABELS "perf;soak" TIMEOUT 120)
+
 # Serving-layer benchmark: warm-engine vs cold-start latency, result-cache
 # hit rate and admission-control shedding, all Dijkstra-validated (emits
 # BENCH_service.json). Fixed generator seeds; the smoke tier doubles as the
@@ -88,7 +99,8 @@ add_test(NAME service_smoke
   COMMAND service_suite --smoke
           --out=${CMAKE_BINARY_DIR}/BENCH_service.json
           --batch-out=${CMAKE_BINARY_DIR}/BENCH_batch_all.json
-          --delta-out=${CMAKE_BINARY_DIR}/BENCH_delta_all.json)
+          --delta-out=${CMAKE_BINARY_DIR}/BENCH_delta_all.json
+          --landmark-out=${CMAKE_BINARY_DIR}/BENCH_landmark_all.json)
 set_tests_properties(service_smoke PROPERTIES LABELS perf TIMEOUT 300)
 
 # Batched multi-source phase alone: K independent solves vs one
@@ -110,3 +122,14 @@ add_test(NAME delta_smoke
   COMMAND service_suite --smoke --phase=delta
           --delta-out=${CMAKE_BINARY_DIR}/BENCH_delta.json)
 set_tests_properties(delta_smoke PROPERTIES LABELS perf TIMEOUT 300)
+
+# Landmark p2p phase alone: each (src, dst) pair answered as a full
+# single-source solve vs through the landmark layer (tight-bound oracle
+# serve or ALT-guided A*), both sides checked bit-equal against a
+# Dijkstra reference tree; exits nonzero unless p2p clears 5x over the
+# full solve with zero engine fallbacks (emits BENCH_landmark.json).
+# CI's landmark-smoke job runs exactly this.
+add_test(NAME landmark_smoke
+  COMMAND service_suite --smoke --phase=landmark
+          --landmark-out=${CMAKE_BINARY_DIR}/BENCH_landmark.json)
+set_tests_properties(landmark_smoke PROPERTIES LABELS perf TIMEOUT 300)

@@ -27,10 +27,23 @@
 // delta sizes, every round validated against the child's Dijkstra oracle
 // and certified by verify_repair; emits BENCH_delta.json and gates on a
 // small delta repairing at least 2x faster than a full recompute.
+//
+// --phase=landmark runs the point-to-point oracle phase (also part of
+// `all`): the same service answers each (src, dst) pair twice — once as a
+// full single-source solve, once through the landmark layer (tight-bound
+// oracle serve or ALT-guided A*, never an engine). Every p2p answer must
+// be bit-equal to the Dijkstra reference or the run fails; emits
+// BENCH_landmark.json and gates on p2p serving at least 5x faster than
+// the full solve on the serving-regime road grid, with zero engine
+// fallbacks.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "../tests/oracle_util.hpp"
@@ -82,7 +95,10 @@ int main(int argc, char** argv) {
                  "BENCH_batch.json");
   cli.add_option("delta-out", "delta-phase JSON output path",
                  "BENCH_delta.json");
-  cli.add_option("phase", "phases to run: all | batch | delta", "all");
+  cli.add_option("landmark-out", "landmark-phase JSON output path",
+                 "BENCH_landmark.json");
+  cli.add_option("phase", "phases to run: all | batch | delta | landmark",
+                 "all");
   cli.add_option("queries", "queries per graph (over 8 sources)", "0");
   cli.add_option("workers", "worker threads per engine", "4");
   if (!cli.parse(argc, argv)) return 0;
@@ -90,11 +106,13 @@ int main(int argc, char** argv) {
   const bool smoke = cli.flag("smoke");
   const std::string phase_sel = cli.str("phase");
   ADDS_REQUIRE(phase_sel == "all" || phase_sel == "batch" ||
-                   phase_sel == "delta",
-               "service_suite: --phase must be all, batch or delta");
+                   phase_sel == "delta" || phase_sel == "landmark",
+               "service_suite: --phase must be all, batch, delta or "
+               "landmark");
   const bool run_main = phase_sel == "all";
   const bool run_batch = phase_sel == "all" || phase_sel == "batch";
   const bool run_delta = phase_sel == "all" || phase_sel == "delta";
+  const bool run_landmark = phase_sel == "all" || phase_sel == "landmark";
   const uint32_t n_queries =
       cli.integer("queries") > 0 ? uint32_t(cli.integer("queries"))
                                  : (smoke ? 24u : 96u);
@@ -446,6 +464,136 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", dpath.c_str());
   }
 
+  // Landmark p2p phase: one service, one tenant, landmark table READY.
+  // Each (src, dst) pair is answered twice — a full single-source solve
+  // through an engine vs the landmark layer (tight-bound oracle serve or
+  // ALT-guided A*; the gate requires zero engine fallbacks, so no engine
+  // ever runs on the p2p side). Both sides are checked against a Dijkstra
+  // reference tree before their timing counts: the speedup of a wrong
+  // answer is worthless, and the oracle's contract is bit-equality.
+  double landmark_speedup = 0.0;
+  uint64_t lm_exact = 0, lm_alt = 0, lm_engine = 0;
+  if (run_landmark) {
+    const uint32_t side = smoke ? 48 : 96;
+    const auto g = make_grid_road<uint32_t>(
+        side, side, {WeightDist::kUniform, 100}, 23);
+    const uint32_t n_pairs = smoke ? 16 : 48;
+
+    ServiceConfig cfg;
+    cfg.num_engines = 1;
+    cfg.engine = eng_opts;
+    cfg.cache_entries = 0;  // every full solve must really run
+    cfg.max_queue_depth = std::max(cfg.max_queue_depth, 2 * n_pairs + 2);
+    SsspService<uint32_t> svc(cfg);
+    const uint64_t fp = svc.set_graph(g);
+
+    const auto oracle_status = [&] {
+      for (const auto& ts : svc.report().tenants)
+        if (ts.graph_fp == fp) return ts.oracle_status;
+      return LandmarkTableStatus::kNone;
+    };
+    for (int waited = 0;
+         waited < 30000 && oracle_status() != LandmarkTableStatus::kReady;
+         waited += 10)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ADDS_REQUIRE(oracle_status() == LandmarkTableStatus::kReady,
+                 "landmark phase: table never became ready");
+
+    // Deterministic pair set spread across the grid; repeats are fine.
+    std::vector<std::pair<VertexId, VertexId>> pairs;
+    for (uint32_t i = 0; i < n_pairs; ++i) {
+      const VertexId s =
+          VertexId((uint64_t(i) * 2654435761ull) % g.num_vertices());
+      VertexId d = VertexId(
+          (uint64_t(i) * 40503ull + g.num_vertices() / 2) % g.num_vertices());
+      if (d == s) d = VertexId((d + 1) % g.num_vertices());
+      pairs.emplace_back(s, d);
+    }
+    std::map<VertexId, std::vector<DistT<uint32_t>>> ref;
+    for (const auto& [s, d] : pairs)
+      if (!ref.count(s)) ref.emplace(s, dijkstra(g, s).dist);
+
+    // Untimed warmup on both sides: engine threads, pools, page cache.
+    svc.query(pairs[0].first);
+    {
+      QueryOptions q;
+      q.target = pairs[0].second;
+      svc.query(pairs[0].first, q);
+    }
+
+    PhaseStats full, p2p;
+    {
+      WallTimer pt;
+      for (const auto& [s, d] : pairs) {
+        WallTimer qt;
+        const auto out = svc.query(s);
+        full.lat_ms.push_back(qt.elapsed_ms());
+        if (out.result->dist[d] != ref[s][d]) {
+          std::fprintf(stderr,
+                       "FATAL: landmark phase full solve (%u,%u) diverged\n",
+                       s, d);
+          all_valid = false;
+        }
+      }
+      full.wall_ms = pt.elapsed_ms();
+    }
+    {
+      WallTimer pt;
+      for (const auto& [s, d] : pairs) {
+        QueryOptions q;
+        q.target = d;
+        WallTimer qt;
+        const auto out = svc.query(s, q);
+        p2p.lat_ms.push_back(qt.elapsed_ms());
+        const DistT<uint32_t> want = ref[s][d];
+        const bool want_reach = want != DistTraits<uint32_t>::infinity();
+        if (out.p2p_reachable != want_reach ||
+            (want_reach && out.p2p_distance != want)) {
+          std::fprintf(stderr,
+                       "FATAL: landmark phase p2p (%u,%u) diverged from "
+                       "Dijkstra\n",
+                       s, d);
+          all_valid = false;
+        }
+      }
+      p2p.wall_ms = pt.elapsed_ms();
+    }
+    landmark_speedup = p2p.wall_ms > 0 ? full.wall_ms / p2p.wall_ms : 0.0;
+    {
+      const auto rep = svc.report();
+      lm_exact = rep.oracle_exact_hits;
+      lm_alt = rep.alt_searches;
+      lm_engine = rep.p2p_engine_fallbacks;
+    }
+    std::printf(
+        "landmark phase (grid_%ux%u, %u pairs): full solve %.2f ms "
+        "(p50 %.3f), p2p %.2f ms (p50 %.3f), speedup %s | serves: %llu "
+        "exact, %llu alt, %llu engine\n",
+        side, side, n_pairs, full.wall_ms, full.p(50), p2p.wall_ms,
+        p2p.p(50), fmt_ratio(landmark_speedup).c_str(),
+        (unsigned long long)lm_exact, (unsigned long long)lm_alt,
+        (unsigned long long)lm_engine);
+
+    std::ostringstream lj;
+    lj << "{\"schema\":\"adds-landmark-suite-v1\",\"mode\":\""
+       << (smoke ? "smoke" : "full") << "\",\"graph\":\"grid_" << side << "x"
+       << side << "\",\"vertices\":" << g.num_vertices()
+       << ",\"pairs\":" << n_pairs << ",\"workers\":" << eng_opts.num_workers
+       << ",\"full\":" << phase_json(full) << ",\"p2p\":" << phase_json(p2p)
+       << ",\"oracle_exact\":" << lm_exact << ",\"alt_searches\":" << lm_alt
+       << ",\"engine_fallbacks\":" << lm_engine
+       << ",\"p2p_speedup\":" << landmark_speedup
+       << ",\"gate_min_speedup\":5.0}";
+    const std::string lpath = cli.str("landmark-out");
+    std::ofstream lout(lpath);
+    if (!lout) {
+      std::fprintf(stderr, "cannot open %s for writing\n", lpath.c_str());
+      return 1;
+    }
+    lout << lj.str() << "\n";
+    std::printf("wrote %s\n", lpath.c_str());
+  }
+
   if (run_main) {
     std::ostringstream root;
     root << "{\"schema\":\"adds-service-suite-v1\",\"mode\":\""
@@ -470,12 +618,16 @@ int main(int argc, char** argv) {
   }
   // Correctness is the gate; a shed-free burst means the overload phase
   // never exercised admission control, a batch below 3x aggregate
-  // throughput means lane sharing stopped paying for itself, and a small
+  // throughput means lane sharing stopped paying for itself, a small
   // delta repairing slower than 2x a full recompute means in-place repair
-  // stopped paying for itself.
+  // stopped paying for itself, and a p2p serve below 5x a full solve (or
+  // one that leaned on an engine) means the landmark oracle stopped
+  // paying for itself.
   bool gate = all_valid;
   if (run_batch) gate = gate && batch_speedup >= 3.0;
   if (run_delta) gate = gate && delta_small_speedup >= 2.0;
+  if (run_landmark)
+    gate = gate && landmark_speedup >= 5.0 && lm_engine == 0;
   if (run_main) gate = gate && burst_shed > 0 && burst_other == 0;
   return gate ? 0 : 1;
 }

@@ -27,6 +27,9 @@
 // requires zero cross-tenant damage. --delta-chaos (ISSUE 8) rewrites the
 // live graph under a query burst with injected repair faults and validates
 // every survivor against the exact graph generation its outcome claims.
+// --landmark-chaos (ISSUE 9) storms the landmark oracle: p2p bursts x
+// symmetric delta churn x injected landmark.build faults — a typed table
+// failure may downgrade serves to the engine path, never bend a distance.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -949,6 +952,354 @@ int run_delta_chaos(uint64_t master_seed, uint64_t rounds, bool smoke,
   return tally.violations == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Landmark chaos: oracle tables under build faults and delta churn
+// ---------------------------------------------------------------------------
+
+struct LandmarkTotals {
+  uint64_t build_fires = 0;
+  uint64_t builds_ok = 0;
+  uint64_t repairs_ok = 0;
+  uint64_t rebuild_fallbacks = 0;
+  uint64_t build_failures = 0;
+  uint64_t oracle_exact = 0;
+  uint64_t alt_searches = 0;
+  uint64_t engine_fallbacks = 0;
+};
+
+/// One round: p2p query bursts x symmetric delta churn x injected
+/// landmark.build faults (which bite both cold table builds and warm
+/// per-lane repairs). Contract: every future resolves; every kOk p2p
+/// answer is bit-equal to the Dijkstra distance of the EXACT graph
+/// generation its outcome claims, whatever the serve path — a failed
+/// build may only ever downgrade serves to the engine path, never bend a
+/// distance. After the storm a fault-free delta must bring the table
+/// back to READY and the final generation must serve p2p clean off the
+/// oracle. Returns the number of contract violations.
+uint64_t landmark_chaos_round(uint64_t round, uint64_t seed, bool smoke,
+                              bool verbose, Tally& t,
+                              LandmarkTotals& totals) {
+  const uint64_t side = smoke ? 16 : 24;
+  GraphSpec spec;
+  spec.name = "grid_" + std::to_string(side);
+  spec.family = GraphFamily::kGridRoad;
+  spec.scale = side;
+  spec.a = double(side);
+  spec.weights = {WeightDist::kUniform, 1000, 1};
+  spec.seed = seed;
+  const auto g = generate_graph<uint32_t>(spec);
+  const VertexId n_v = g.num_vertices();
+
+  ServiceConfig cfg;
+  cfg.num_engines = 2;
+  cfg.max_queue_depth = 256;
+  cfg.guarded_fallback = false;
+  cfg.engine.num_workers = 2;
+  cfg.engine.chunk_items = 32;
+  cfg.delta.stale_serve_ms = 5000.0;
+  cfg.delta.repair_deadline_ms = 30000.0;
+  cfg.landmark.num_landmarks = 4;
+  SsspService<uint32_t> svc(cfg);
+  const uint64_t root_fp = svc.set_graph(g);
+
+  // Every generation this round publishes, keyed by fingerprint, plus a
+  // memoized Dijkstra tree per (generation, source) — a p2p survivor is
+  // validated on the exact graph version its outcome claims.
+  std::unordered_map<uint64_t, IntGraph> versions;
+  versions.emplace(root_fp, g);
+  IntGraph cur = g;
+  std::map<std::pair<uint64_t, VertexId>, SsspResult<uint32_t>> oracle_memo;
+  const auto oracle_for =
+      [&](uint64_t fp, VertexId s) -> const SsspResult<uint32_t>* {
+    const auto key = std::make_pair(fp, s);
+    auto it = oracle_memo.find(key);
+    if (it == oracle_memo.end()) {
+      const auto gv = versions.find(fp);
+      if (gv == versions.end()) return nullptr;
+      it = oracle_memo.emplace(key, dijkstra(gv->second, s)).first;
+    }
+    return &it->second;
+  };
+
+  uint64_t violations = 0;
+  const auto violation = [&](const std::string& what) {
+    ++violations;
+    std::fprintf(stderr,
+                 "VIOLATION landmark-chaos round=%llu seed=0x%llx: %s\n",
+                 (unsigned long long)round, (unsigned long long)seed,
+                 what.c_str());
+    if (violations == 1) dump_flight(svc);
+  };
+
+  const auto oracle_status = [&] {
+    for (const auto& ts : svc.report().tenants)
+      if (ts.graph_fp == svc.resident_graphs().front())
+        return ts.oracle_status;
+    return LandmarkTableStatus::kNone;
+  };
+  const auto table_settled = [&] {
+    const auto rep = svc.report();
+    if (rep.landmark_builds_pending > 0) return false;
+    for (const auto& ts : rep.tenants)
+      if (ts.oracle_status == LandmarkTableStatus::kBuilding ||
+          ts.oracle_status == LandmarkTableStatus::kRepairing)
+        return false;
+    return true;
+  };
+
+  // Deterministic (src, dst) pairs; validation accepts any serve path.
+  SoakRng rng{seed ^ 0x1a4dba6cull};
+  const auto p2p_pair = [&] {
+    const VertexId s = VertexId(rng.below(n_v));
+    VertexId d = VertexId(rng.below(n_v));
+    if (d == s) d = VertexId((d + 1) % n_v);
+    return std::make_pair(s, d);
+  };
+
+  uint64_t exact_served = 0, alt_served = 0, engine_served = 0,
+           typed_failures = 0;
+  {
+    // landmark.build bites BOTH cold builds and warm per-lane repairs at
+    // 0.5, so across rounds the matrix covers: build fails typed, repair
+    // falls back to a cold rebuild, rebuild fails typed, and everything
+    // succeeding anyway. The root's initial build races this plan too.
+    fault::FaultPlan plan(seed);
+    plan.set(fault::Site::kLandmarkBuild, {0.5, ~0ull, 0});
+    fault::FaultScope scope(plan);
+
+    std::vector<std::future<QueryOutcome<uint32_t>>> futs;
+    std::vector<std::pair<VertexId, VertexId>> asked;
+    const auto burst = [&] {
+      const int k = smoke ? 8 : 16;
+      for (int i = 0; i < k; ++i) {
+        const auto [s, d] = p2p_pair();
+        QueryOptions q;
+        q.target = d;
+        futs.push_back(svc.submit(s, q));
+        asked.emplace_back(s, d);
+      }
+    };
+    const int deltas = smoke ? 3 : 6;
+    for (int dno = 0; dno < deltas; ++dno) {
+      burst();  // p2p in flight while the graph is rewritten under them
+      auto delta = oracle::make_test_delta(cur, 4 + rng.below(4), 1,
+                                           seed * 1000 + uint64_t(dno));
+      {  // mirror every change: the oracle's symmetry precondition holds
+        const size_t base = delta.changes.size();
+        for (size_t ci = 0; ci < base; ++ci) {
+          const auto c = delta.changes[ci];
+          if (c.src != c.dst)
+            delta.changes.push_back({c.dst, c.src, c.weight});
+        }
+      }
+      const auto out = svc.apply_delta(0, delta);
+      cur = apply_delta(cur, delta).graph;
+      if (graph_fingerprint(cur) != out.child_fp) {
+        violation("service child fingerprint diverged from reference apply");
+        return violations;
+      }
+      versions.emplace(out.child_fp, cur);
+      burst();  // these race the table repair window
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    // Zero hangs; every kOk p2p answer bit-equal on the generation it
+    // claims, whatever path served it.
+    for (size_t i = 0; i < futs.size(); ++i) {
+      if (futs[i].wait_for(std::chrono::seconds(60)) !=
+          std::future_status::ready) {
+        violation("p2p query hung during landmark chaos");
+        return violations;
+      }
+      const auto out = futs[i].get();
+      if (out.status != QueryStatus::kOk) {
+        ++typed_failures;  // typed shed/degradation under churn: accepted
+        continue;
+      }
+      const auto [s, d] = asked[i];
+      const auto* ora = oracle_for(out.graph_fp, s);
+      if (ora == nullptr) {
+        violation("p2p survivor claims a generation that never existed");
+        continue;
+      }
+      const DistT<uint32_t> want = ora->dist[d];
+      const bool want_reach = want != DistTraits<uint32_t>::infinity();
+      if (out.p2p_reachable != want_reach ||
+          (want_reach && out.p2p_distance != want)) {
+        violation(std::string("p2p answer diverged from Dijkstra on its "
+                              "claimed generation (serve=") +
+                  p2p_serve_name(out.p2p_serve) + ")");
+        continue;
+      }
+      switch (out.p2p_serve) {
+        case P2pServe::kOracleExact: ++exact_served; break;
+        case P2pServe::kAltSearch: ++alt_served; break;
+        default: ++engine_served; break;
+      }
+      ++t.ok;
+    }
+
+    // Repairs and table builds settle while the plan is still armed (it
+    // must outlive every thread inside build/repair code).
+    if (!poll_until([&] { return svc.report().repairs_pending == 0; },
+                    30000)) {
+      violation("tree repairs never settled after the storm");
+      return violations;
+    }
+    if (!poll_until(table_settled, 30000)) {
+      violation("landmark builds never settled after the storm");
+      return violations;
+    }
+    t.fault_fires += plan.total_fires();
+    totals.build_fires += plan.fires(fault::Site::kLandmarkBuild);
+  }
+  if (exact_served + alt_served + engine_served == 0)
+    violation("no p2p answer survived the storm (service stopped serving)");
+
+  // Recovery: one fault-free symmetric delta must bring the final child's
+  // table to READY — warm-repaired from a surviving parent table or cold
+  // rebuilt from a failed one, both without an engine in the serve path
+  // afterwards.
+  {
+    auto delta = oracle::make_test_delta(cur, 4, 1, seed * 7919);
+    const size_t base = delta.changes.size();
+    for (size_t ci = 0; ci < base; ++ci) {
+      const auto c = delta.changes[ci];
+      if (c.src != c.dst) delta.changes.push_back({c.dst, c.src, c.weight});
+    }
+    svc.apply_delta(0, delta);
+    cur = apply_delta(cur, delta).graph;
+    versions.emplace(graph_fingerprint(cur), cur);
+  }
+  if (!poll_until([&] { return svc.resident_graphs().size() == 1; }, 20000))
+    violation("superseded generations never retired after the storm");
+  if (!poll_until(
+          [&] { return oracle_status() == LandmarkTableStatus::kReady; },
+          20000)) {
+    violation("table never reached READY after a fault-free delta");
+  } else {
+    const uint64_t final_fp = graph_fingerprint(cur);
+    for (int i = 0; i < (smoke ? 6 : 12); ++i) {
+      const auto [s, d] = p2p_pair();
+      QueryOptions q;
+      q.target = d;
+      const auto out = svc.query(s, q);
+      if (out.graph_fp != final_fp || out.stale) {
+        violation("post-storm p2p serve is not fresh on the final child");
+        continue;
+      }
+      if (out.p2p_serve == P2pServe::kEngineFallback) {
+        violation("post-storm p2p rode an engine despite a READY table");
+        continue;
+      }
+      const auto* ora = oracle_for(final_fp, s);
+      const DistT<uint32_t> want = ora->dist[d];
+      const bool want_reach = want != DistTraits<uint32_t>::infinity();
+      if (out.p2p_reachable != want_reach ||
+          (want_reach && out.p2p_distance != want)) {
+        violation("post-storm oracle answer diverged from Dijkstra");
+        continue;
+      }
+      ++t.ok;
+    }
+  }
+
+  const auto rep = svc.report();
+  totals.builds_ok += rep.landmark_builds_ok;
+  totals.repairs_ok += rep.landmark_repairs_ok;
+  totals.rebuild_fallbacks += rep.landmark_rebuild_fallbacks;
+  totals.build_failures += rep.landmark_build_failures;
+  totals.oracle_exact += rep.oracle_exact_hits;
+  totals.alt_searches += rep.alt_searches;
+  totals.engine_fallbacks += rep.p2p_engine_fallbacks;
+
+  // The episode must be reconstructible from the flight recorder.
+  const auto events = svc.flight_dump();
+  if (!flight_has(events, FlightKind::kTableBuildStart))
+    violation("flight recorder is missing the table-build-start events");
+  if (rep.landmark_build_failures > 0 &&
+      !flight_has(events, FlightKind::kTableBuildFailed))
+    violation("flight recorder is missing the table-build-failed events");
+  if (rep.landmark_rebuild_fallbacks > 0 &&
+      !flight_has(events, FlightKind::kTableRebuildFallback))
+    violation("flight recorder is missing the rebuild-fallback events");
+
+  if (verbose)
+    std::fprintf(stderr,
+                 "round=%llu builds_ok=%llu repairs_ok=%llu fallbacks=%llu "
+                 "failures=%llu exact=%llu alt=%llu engine=%llu "
+                 "typed_failures=%llu\n",
+                 (unsigned long long)round,
+                 (unsigned long long)rep.landmark_builds_ok,
+                 (unsigned long long)rep.landmark_repairs_ok,
+                 (unsigned long long)rep.landmark_rebuild_fallbacks,
+                 (unsigned long long)rep.landmark_build_failures,
+                 (unsigned long long)exact_served,
+                 (unsigned long long)alt_served,
+                 (unsigned long long)engine_served,
+                 (unsigned long long)typed_failures);
+  return violations;
+}
+
+int run_landmark_chaos(uint64_t master_seed, uint64_t rounds, bool smoke,
+                       bool verbose) {
+  SoakRng rng{master_seed};
+  Tally tally;
+  LandmarkTotals totals;
+  for (uint64_t r = 0; r < rounds; ++r)
+    tally.violations +=
+        landmark_chaos_round(r, rng.next(), smoke, verbose, tally, totals);
+
+  // The suite's reason to exist: both arms of the typed-failure matrix
+  // must actually have been exercised. A storm where landmark.build never
+  // fired, never broke anything, or broke everything proves nothing.
+  if (totals.build_fires == 0 ||
+      totals.build_failures + totals.rebuild_fallbacks == 0) {
+    ++tally.violations;
+    std::fprintf(stderr,
+                 "VIOLATION landmark-chaos: injected build faults never bit "
+                 "(fires=%llu failures=%llu fallbacks=%llu)\n",
+                 (unsigned long long)totals.build_fires,
+                 (unsigned long long)totals.build_failures,
+                 (unsigned long long)totals.rebuild_fallbacks);
+  }
+  if (totals.builds_ok + totals.repairs_ok == 0) {
+    ++tally.violations;
+    std::fprintf(stderr,
+                 "VIOLATION landmark-chaos: no table build or repair ever "
+                 "succeeded (the oracle path itself went unexercised)\n");
+  }
+  if (totals.oracle_exact + totals.alt_searches == 0) {
+    ++tally.violations;
+    std::fprintf(stderr,
+                 "VIOLATION landmark-chaos: every p2p rode an engine — the "
+                 "oracle never actually served\n");
+  }
+
+  TextTable table("Landmark chaos (" + std::to_string(rounds) +
+                  " rounds, seed " + std::to_string(master_seed) + ")");
+  table.set_header({"outcome", "count"});
+  table.add_row({"validated p2p serves", std::to_string(tally.ok)});
+  table.add_row({"contract violations", std::to_string(tally.violations)});
+  table.add_row({"table builds ok", std::to_string(totals.builds_ok)});
+  table.add_row({"warm repairs ok", std::to_string(totals.repairs_ok)});
+  table.add_row(
+      {"rebuild fallbacks", std::to_string(totals.rebuild_fallbacks)});
+  table.add_row({"typed build failures",
+                 std::to_string(totals.build_failures)});
+  table.add_row({"oracle-exact serves", std::to_string(totals.oracle_exact)});
+  table.add_row({"alt-search serves", std::to_string(totals.alt_searches)});
+  table.add_row(
+      {"engine-fallback serves", std::to_string(totals.engine_fallbacks)});
+  table.add_row({"fault fires", std::to_string(tally.fault_fires)});
+  table.add_footer(
+      "p2p bursts x symmetric delta churn x injected landmark.build "
+      "faults; every answer validated on the generation it claims — a "
+      "broken table may downgrade the serve path, never a distance");
+  table.print();
+  return tally.violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -967,6 +1318,10 @@ int main(int argc, char** argv) {
                "live-delta phase: rewrite the graph under a query burst "
                "with injected repair faults; every survivor validated on "
                "the generation it claims");
+  cli.add_flag("landmark-chaos",
+               "landmark-oracle phase: p2p bursts x delta churn x injected "
+               "landmark.build faults; typed table failures may downgrade "
+               "the serve path but never bend a distance");
   cli.add_option("runs", "number of randomized runs (0: tier default)", "0");
   cli.add_option("seed", "master seed for the configuration stream", "42");
   if (!cli.parse(argc, argv)) return 0;
@@ -986,6 +1341,10 @@ int main(int argc, char** argv) {
   if (cli.flag("delta-chaos")) {
     if (runs == 0) runs = smoke ? 2 : 6;
     return run_delta_chaos(master_seed, runs, smoke, cli.flag("verbose"));
+  }
+  if (cli.flag("landmark-chaos")) {
+    if (runs == 0) runs = smoke ? 2 : 6;
+    return run_landmark_chaos(master_seed, runs, smoke, cli.flag("verbose"));
   }
   if (runs == 0) runs = smoke ? 40 : 400;
 

@@ -30,6 +30,7 @@
 #include <optional>
 #include <sstream>
 #include <thread>
+#include <tuple>
 
 #include "core/resilience.hpp"
 #include "core/solver.hpp"
@@ -41,6 +42,7 @@
 #include "graph/generators.hpp"
 #include "graph/gr_format.hpp"
 #include "service/sssp_service.hpp"
+#include "sssp/dijkstra.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -91,6 +93,12 @@ int main(int argc, char** argv) {
                  "source-vertex file for --queries, one id per line "
                  "(default: deterministic picks)",
                  "");
+  cli.add_option("pairs",
+                 "p2p batch mode: file of 'src dst' pairs, one per line; "
+                 "every pair becomes a point-to-point query against every "
+                 "tenant, answered by the landmark oracle / ALT search "
+                 "when possible and a full engine solve otherwise",
+                 "");
   cli.add_option("engines", "warm engines for --queries mode", "2");
   cli.add_option("delta-file",
                  "edge-delta file for --queries mode: one 'u v w' triple "
@@ -126,7 +134,8 @@ int main(int argc, char** argv) {
   // summary prints one tenant row per graph.
   const int64_t batch_n = cli.integer("queries");
   const std::string sources_file = cli.str("sources");
-  if (batch_n > 0 || !sources_file.empty()) {
+  const std::string pairs_file = cli.str("pairs");
+  if (batch_n > 0 || !sources_file.empty() || !pairs_file.empty()) {
     GraphDelta<uint32_t> file_delta;
     if (const std::string dpath = cli.str("delta-file"); !dpath.empty()) {
       std::ifstream df(dpath);
@@ -144,7 +153,19 @@ int main(int argc, char** argv) {
       while (sf >> v) script.push_back(v);
       ADDS_REQUIRE(!script.empty(), "no sources in " + sources_file);
     }
-    const size_t n = batch_n > 0 ? size_t(batch_n) : script.size();
+    // --pairs: each line is one 'src dst' point-to-point query; the batch
+    // cycles through the file against every tenant.
+    std::vector<std::pair<uint64_t, uint64_t>> pairs;
+    if (!pairs_file.empty()) {
+      std::ifstream pf(pairs_file);
+      ADDS_REQUIRE(pf.is_open(), "cannot open " + pairs_file);
+      uint64_t u = 0, v = 0;
+      while (pf >> u >> v) pairs.emplace_back(u, v);
+      ADDS_REQUIRE(!pairs.empty(), "no 'src dst' pairs in " + pairs_file);
+    }
+    const size_t n = batch_n > 0        ? size_t(batch_n)
+                     : !pairs.empty()   ? pairs.size()
+                                        : script.size();
 
     ServiceConfig scfg;
     scfg.num_engines = uint32_t(cli.integer("engines"));
@@ -157,6 +178,12 @@ int main(int argc, char** argv) {
     scfg.tenant.catalog_graphs = std::max(
         scfg.tenant.catalog_graphs,
         inputs.size() + (file_delta.empty() ? 0 : 1));
+    // Same residency argument for landmark tables in --pairs mode: every
+    // tenant's table must survive to the end of the batch or the LRU
+    // would silently downgrade early tenants to the engine path.
+    scfg.landmark.max_tables =
+        std::max(scfg.landmark.max_tables,
+                 inputs.size() + (file_delta.empty() ? 0 : 1));
     scfg.max_queue_depth = uint32_t(std::max<size_t>(
         scfg.max_queue_depth, n * inputs.size()));
     SsspService<uint32_t> svc(scfg);
@@ -165,46 +192,102 @@ int main(int argc, char** argv) {
       fps.push_back(k == 0 ? svc.set_graph(inputs[k].second)
                            : svc.publish_graph(inputs[k].second));
 
+    // --pairs rides the oracle: wait for every tenant's landmark table to
+    // reach a terminal state so serve outcomes measure the steady state,
+    // not the build race. Asymmetric tenants settle as unsupported and
+    // their pairs ride the engine path — still exact, still verified.
+    if (!pairs.empty()) {
+      const auto oracle_settled = [&] {
+        size_t done = 0;
+        for (const auto& t : svc.report().tenants)
+          done += t.oracle_status != LandmarkTableStatus::kNone &&
+                  t.oracle_status != LandmarkTableStatus::kBuilding &&
+                  t.oracle_status != LandmarkTableStatus::kRepairing;
+        return done >= fps.size();
+      };
+      for (int waited = 0; waited < 30000 && !oracle_settled(); waited += 10)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
     WallTimer timer;
-    // A repeated (graph, source) pair in the burst collapses to ONE
-    // submitted query whose shared future fans out to every occurrence —
-    // the driver-side analog of the service's duplicate-source lane
-    // sharing: one traversal (and one submit) serves them all.
-    std::vector<std::pair<size_t, std::shared_future<QueryOutcome<uint32_t>>>>
-        futs;
-    std::map<uint64_t, std::shared_future<QueryOutcome<uint32_t>>> issued;
+    // A repeated (graph, source[, target]) tuple in the burst collapses to
+    // ONE submitted query whose shared future fans out to every
+    // occurrence — the driver-side analog of the service's
+    // duplicate-source lane sharing: one traversal (and one submit)
+    // serves them all.
+    struct PendingQ {
+      size_t k;
+      VertexId src;
+      VertexId tgt;  // kInvalidVertex outside --pairs mode
+      std::shared_future<QueryOutcome<uint32_t>> fut;
+    };
+    std::vector<PendingQ> futs;
+    std::map<std::tuple<size_t, uint64_t, uint64_t>,
+             std::shared_future<QueryOutcome<uint32_t>>>
+        issued;
     size_t deduped = 0;
     std::vector<uint64_t> ok_per(inputs.size(), 0);
+    std::vector<uint64_t> bad_per(inputs.size(), 0);  // p2p oracle mismatches
+    // Dijkstra reference distances for --pairs verification, one tree per
+    // distinct (tenant, source); tenant 0's slice resets after a delta.
+    std::map<std::pair<size_t, uint64_t>, std::vector<DistT<uint32_t>>> ref;
+    auto cur = std::make_shared<std::vector<IntGraph>>();  // live generations
+    for (const auto& [nm, g] : inputs) cur->push_back(g);
+    const auto drain = [&] {
+      for (auto& p : futs) {
+        const QueryOutcome<uint32_t> out = p.fut.get();
+        ok_per[p.k] += out.status == QueryStatus::kOk;
+        if (p.tgt == kInvalidVertex || out.status != QueryStatus::kOk)
+          continue;
+        auto rit = ref.find({p.k, p.src});
+        if (rit == ref.end())
+          rit = ref.emplace(std::make_pair(p.k, uint64_t(p.src)),
+                            dijkstra((*cur)[p.k], p.src).dist)
+                    .first;
+        const DistT<uint32_t> want = rit->second[p.tgt];
+        const bool want_reach = want != DistTraits<uint32_t>::infinity();
+        if (out.p2p_reachable != want_reach ||
+            (want_reach && out.p2p_distance != want))
+          ++bad_per[p.k];
+      }
+      futs.clear();
+    };
     futs.reserve(n * inputs.size());
     for (size_t i = 0; i < n; ++i) {
       for (size_t k = 0; k < inputs.size(); ++k) {
         const auto& g = inputs[k].second;
-        const uint64_t raw = script.empty()
-                                 ? pick_source(g, uint64_t(i))
-                                 : script[i % script.size()];
+        const uint64_t raw = !pairs.empty()
+                                 ? pairs[i % pairs.size()].first
+                             : script.empty() ? pick_source(g, uint64_t(i))
+                                              : script[i % script.size()];
         const VertexId src = VertexId(raw % g.num_vertices());
-        const uint64_t dedup_key = (uint64_t(k) << 32) | uint64_t(src);
+        QueryOptions q;
+        q.graph_fp = fps[k];
+        if (!pairs.empty())
+          q.target =
+              VertexId(pairs[i % pairs.size()].second % g.num_vertices());
+        const auto dedup_key =
+            std::make_tuple(k, uint64_t(src), uint64_t(q.target));
         auto it = issued.find(dedup_key);
         if (it == issued.end()) {
-          QueryOptions q;
-          q.graph_fp = fps[k];
           it = issued.emplace(dedup_key, svc.submit(src, q).share()).first;
         } else {
           ++deduped;
         }
-        futs.emplace_back(k, it->second);
+        futs.push_back({k, src, q.target, it->second});
       }
       // --delta-file: rewrite the default graph in place halfway through
       // the batch. Outstanding futures drain first (they were pinned to
       // the parent generation); later rounds pin the child, whose cached
       // trees arrive by warm repair rather than cold solves.
       if (!file_delta.empty() && i + 1 == (n + 1) / 2) {
-        for (auto& [k2, f] : futs)
-          ok_per[k2] += f.get().status == QueryStatus::kOk;
-        futs.clear();
+        drain();
         issued.clear();  // a new generation invalidates the fan-out map
         const auto dout = svc.apply_delta(fps[0], file_delta);
         fps[0] = dout.child_fp;
+        (*cur)[0] = apply_delta((*cur)[0], file_delta).graph;
+        for (auto rit = ref.begin(); rit != ref.end();)
+          rit = rit->first.first == 0 ? ref.erase(rit) : ++rit;
         std::printf("delta file applied to %s: %016llx -> %016llx | "
                     "%llu decreased %llu increased %llu inserted | "
                     "%llu repairs scheduled\n",
@@ -217,7 +300,8 @@ int main(int argc, char** argv) {
                     (unsigned long long)dout.repairs_scheduled);
       }
     }
-    for (auto& [k, f] : futs) ok_per[k] += f.get().status == QueryStatus::kOk;
+    const size_t total_q = n * inputs.size();
+    drain();
     if (!file_delta.empty())
       for (int waited = 0; waited < 30000 && svc.report().repairs_pending > 0;
            waited += 10)
@@ -225,34 +309,53 @@ int main(int argc, char** argv) {
     const double secs = timer.elapsed_ms() / 1e3;
     const auto rep = svc.report();
 
+    const bool p2p_mode = !pairs.empty();
     TextTable t("service batch (" + std::to_string(n) +
-                " queries per graph, " + std::to_string(inputs.size()) +
-                " co-resident tenants)");
-    t.set_header({"graph", "ok", "health", "breaker", "queue", "hits",
-                  "shed", "quarantined"});
+                (p2p_mode ? " p2p pairs per graph, " : " queries per graph, ") +
+                std::to_string(inputs.size()) + " co-resident tenants)");
+    if (p2p_mode)
+      t.set_header({"graph", "ok", "oracle", "exact", "alt", "engine",
+                    "mismatch", "health", "shed"});
+    else
+      t.set_header({"graph", "ok", "health", "breaker", "queue", "hits",
+                    "shed", "quarantined"});
     bool batch_ok = true;
     for (size_t k = 0; k < inputs.size(); ++k) {
       const TenantStatus* row = nullptr;
       for (const auto& ts : rep.tenants)
         if (ts.graph_fp == fps[k]) row = &ts;
       ADDS_REQUIRE(row != nullptr, "tenant row missing from report");
-      batch_ok &= ok_per[k] == n && row->failed == 0;
-      t.add_row({inputs[k].first, std::to_string(ok_per[k]),
-                 service_health_name(row->health),
-                 breaker_state_name(row->breaker),
-                 std::to_string(row->waiting) + "/" +
-                     std::to_string(row->queue_quota),
-                 std::to_string(row->cache_hits), std::to_string(row->shed),
-                 std::to_string(row->quarantined)});
+      batch_ok &= ok_per[k] == n && row->failed == 0 && bad_per[k] == 0;
+      if (p2p_mode)
+        t.add_row({inputs[k].first, std::to_string(ok_per[k]),
+                   landmark_status_name(row->oracle_status),
+                   std::to_string(row->oracle_exact_hits),
+                   std::to_string(row->alt_searches),
+                   std::to_string(row->p2p_engine_fallbacks),
+                   std::to_string(bad_per[k]),
+                   service_health_name(row->health),
+                   std::to_string(row->shed)});
+      else
+        t.add_row({inputs[k].first, std::to_string(ok_per[k]),
+                   service_health_name(row->health),
+                   breaker_state_name(row->breaker),
+                   std::to_string(row->waiting) + "/" +
+                       std::to_string(row->queue_quota),
+                   std::to_string(row->cache_hits), std::to_string(row->shed),
+                   std::to_string(row->quarantined)});
     }
     t.add_footer("p50 " + fmt_double(rep.latency.p50, 3) + " ms, p99 " +
                  fmt_double(rep.latency.p99, 3) + " ms, " +
-                 fmt_double(secs > 0 ? double(futs.size()) / secs : 0.0, 0) +
+                 fmt_double(secs > 0 ? double(total_q) / secs : 0.0, 0) +
                  " qps across the pool, " + std::to_string(deduped) +
                  " repeated sources fanned out, " +
                  std::to_string(rep.batches) + " batched dispatches (" +
                  std::to_string(rep.batched_queries) + " queries)");
     t.print();
+    if (p2p_mode)
+      std::printf("p2p verification: every answer checked against a Dijkstra "
+                  "reference tree; %s\n",
+                  batch_ok ? "all exact" : "MISMATCHES FOUND");
     if (!file_delta.empty())
       std::printf("delta repairs: %llu scheduled, %llu ok, %llu fallback, "
                   "%llu pending | stale window serves %llu\n",

@@ -7,7 +7,16 @@
 // answers a query script from a file or stdin, one query per line:
 //
 //     <source-vertex> [deadline_ms] [graph-index]
+//     p2p <source-vertex> <target-vertex> [deadline_ms] [graph-index]
 //     delta <graph-index> <edge-count> [seed]
+//
+// `p2p` lines ask for one point-to-point distance: when the tenant's
+// landmark table is READY and the ALT bounds are tight the answer is
+// served straight from the oracle (serve column `oracle-exact`, no
+// engine dispatch); otherwise an ALT-guided A* or a full engine solve
+// answers it (`alt-search` / `engine-fallback`). --warm-oracle waits for
+// every tenant's landmark table to reach a terminal state before the
+// script runs, so serve outcomes are deterministic.
 //
 // `graph-index` picks the tenant by load order (0 = the default); omitted
 // queries route to the default graph. A `delta` line rewrites that graph
@@ -21,7 +30,8 @@
 // shed / quarantined / failed ones, so the stream is a complete account of
 // what the service did:
 //
-//     id,source,graph,status,cache_hit,queue_ms,latency_ms,reached,dist_checksum
+//     id,source,target,graph,status,serve,cache_hit,stale,queue_ms,
+//     latency_ms,reached,dist_checksum,p2p_dist
 //
 // The final ServiceReport (latency percentiles, cache hit rate, engine
 // utilization, shed count) goes to stderr, followed by one bulkhead row
@@ -94,7 +104,8 @@ void print_tenant_rows(const ServiceReport& rep) {
         "(%llu opens) | ok %llu failed %llu shed %llu quarantined %llu | "
         "repairs %llu ok / %llu fallback / %llu pending | stale serves %llu | "
         "queue %u/%u engines %u/%u | cache %llu hits / %llu misses "
-        "(%zu entries)\n",
+        "(%zu entries) | oracle %s (%u landmarks) exact %llu alt %llu "
+        "engine %llu\n",
         (unsigned long long)t.graph_fp, t.is_default ? " [default]" : "",
         t.pinned ? " [pinned]" : "", service_health_name(t.health),
         (unsigned long long)t.health_transitions,
@@ -107,7 +118,10 @@ void print_tenant_rows(const ServiceReport& rep) {
         (unsigned long long)t.delta_stale_hits,
         t.waiting, t.queue_quota, t.occupancy, t.engine_cap,
         (unsigned long long)t.cache_hits, (unsigned long long)t.cache_misses,
-        t.cache_entries);
+        t.cache_entries, landmark_status_name(t.oracle_status),
+        t.oracle_landmarks, (unsigned long long)t.oracle_exact_hits,
+        (unsigned long long)t.alt_searches,
+        (unsigned long long)t.p2p_engine_fallbacks);
 }
 
 }  // namespace
@@ -127,6 +141,13 @@ int main(int argc, char** argv) {
   cli.add_option("queue-depth", "admission queue bound", "64");
   cli.add_option("cache-entries", "result cache capacity (0 = off)", "128");
   cli.add_option("deadline-ms", "default per-query deadline (0 = none)", "0");
+  cli.add_flag("mirror-deltas",
+               "mirror every delta edge so rewritten graphs stay symmetric "
+               "and landmark tables warm-repair instead of going "
+               "unsupported");
+  cli.add_flag("warm-oracle",
+               "wait for every tenant's landmark table to reach a terminal "
+               "state (ready/failed/unsupported) before running the script");
   cli.add_flag("dump-flightrec",
                "dump the service flight recorder to stderr after the run");
   if (!cli.parse(argc, argv)) return 0;
@@ -151,6 +172,26 @@ int main(int argc, char** argv) {
                  (unsigned long long)graphs[i]->num_edges(),
                  i == 0 ? " (default)" : "");
 
+  // --warm-oracle: serve outcomes for p2p lines depend on whether the
+  // landmark table finished building; waiting here makes them script-
+  // deterministic instead of racing the rebuilder thread.
+  if (cli.flag("warm-oracle")) {
+    const auto settled = [&] {
+      size_t done = 0;
+      for (const auto& t : svc.report().tenants)
+        done += t.oracle_status != LandmarkTableStatus::kNone &&
+                t.oracle_status != LandmarkTableStatus::kBuilding &&
+                t.oracle_status != LandmarkTableStatus::kRepairing;
+      return done >= fps.size();
+    };
+    for (int waited = 0; waited < 30000 && !settled(); waited += 10)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    for (const auto& t : svc.report().tenants)
+      std::fprintf(stderr, "oracle %016llx: %s (%u landmarks)\n",
+                   (unsigned long long)t.graph_fp,
+                   landmark_status_name(t.oracle_status), t.oracle_landmarks);
+  }
+
   std::ifstream qfile;
   const bool from_stdin = cli.str("queries") == "-";
   if (!from_stdin) {
@@ -167,8 +208,8 @@ int main(int argc, char** argv) {
     ADDS_REQUIRE(ofile.is_open(), "cannot write " + cli.str("out"));
   }
   std::ostream& csv = to_stdout ? std::cout : ofile;
-  csv << "id,source,graph,status,cache_hit,stale,queue_ms,latency_ms,"
-         "reached,dist_checksum\n";
+  csv << "id,source,target,graph,status,serve,cache_hit,stale,queue_ms,"
+         "latency_ms,reached,dist_checksum,p2p_dist\n";
 
   // Submit every script line, then drain the futures in order. The bounded
   // admission queue does the pacing: a burst larger than the queue simply
@@ -178,11 +219,12 @@ int main(int argc, char** argv) {
   // the script-side analog of the service's duplicate-source lane sharing.
   struct Pending {
     VertexId source;
+    VertexId target;  // kInvalidVertex for full single-source lines
     size_t graph_idx;
     std::shared_future<QueryOutcome<uint32_t>> fut;
   };
   std::vector<Pending> futs;
-  std::map<std::tuple<size_t, uint64_t, double>,
+  std::map<std::tuple<size_t, uint64_t, uint64_t, double>,
            std::shared_future<QueryOutcome<uint32_t>>>
       issued;
   uint64_t deduped = 0, deltas = 0;
@@ -203,8 +245,20 @@ int main(int argc, char** argv) {
       ADDS_REQUIRE(graph_idx < fps.size(),
                    "sssp_server: graph index out of range: " + line);
       ls >> dseed;
-      const auto delta = oracle::make_test_delta(
+      auto delta = oracle::make_test_delta(
           *graphs[graph_idx], count, count > 4 ? count / 4 : 1, dseed);
+      if (cli.flag("mirror-deltas")) {
+        // Mirror every change so the child stays symmetric and the
+        // tenant's landmark table warm-repairs instead of going typed
+        // unsupported (directed deltas break the oracle's symmetry
+        // precondition, by design).
+        const size_t base = delta.changes.size();
+        for (size_t ci = 0; ci < base; ++ci) {
+          const auto c = delta.changes[ci];
+          if (c.src != c.dst)
+            delta.changes.push_back({c.dst, c.src, c.weight});
+        }
+      }
       const auto out = svc.apply_delta(fps[graph_idx], delta);
       graphs[graph_idx] = std::make_shared<const IntGraph>(
           apply_delta(*graphs[graph_idx], delta).graph);
@@ -225,12 +279,19 @@ int main(int argc, char** argv) {
       continue;
     }
     uint64_t source = 0;
-    {
+    QueryOptions q;
+    if (head == "p2p") {
+      // p2p <src> <dst> [deadline_ms] [graph-index]: one point-to-point
+      // distance; the serve column records how it was answered.
+      uint64_t target = 0;
+      ADDS_REQUIRE(bool(ls >> source >> target),
+                   "sssp_server: bad p2p line: " + line);
+      q.target = VertexId(target);
+    } else {
       std::istringstream hs(head);
       ADDS_REQUIRE(bool(hs >> source) && hs.eof(),
                    "sssp_server: bad query line: " + line);
     }
-    QueryOptions q;
     ls >> q.deadline_ms;  // optional; 0 = service default
     size_t graph_idx = 0;
     if (ls >> graph_idx) {
@@ -238,7 +299,8 @@ int main(int argc, char** argv) {
                    "sssp_server: graph index out of range: " + line);
       q.graph_fp = fps[graph_idx];
     }
-    const auto dedup_key = std::make_tuple(graph_idx, source, q.deadline_ms);
+    const auto dedup_key = std::make_tuple(graph_idx, source,
+                                           uint64_t(q.target), q.deadline_ms);
     auto it = issued.find(dedup_key);
     if (it == issued.end()) {
       it = issued
@@ -247,27 +309,50 @@ int main(int argc, char** argv) {
     } else {
       ++deduped;
     }
-    futs.push_back({VertexId(source), graph_idx, it->second});
+    futs.push_back({VertexId(source), q.target, graph_idx, it->second});
   }
 
   uint64_t ok = 0;
   for (auto& p : futs) {
     const QueryOutcome<uint32_t> out = p.fut.get();
     ok += out.status == QueryStatus::kOk;
-    csv << out.query_id << ',' << p.source << ',' << p.graph_idx << ','
-        << query_status_name(out.status) << ',' << (out.cache_hit ? 1 : 0)
+    const bool p2p = p.target != kInvalidVertex;
+    csv << out.query_id << ',' << p.source << ',';
+    if (p2p)
+      csv << p.target;
+    else
+      csv << '-';
+    csv << ',' << p.graph_idx << ',' << query_status_name(out.status) << ','
+        << p2p_serve_name(out.p2p_serve) << ',' << (out.cache_hit ? 1 : 0)
         << ',' << (out.stale ? 1 : 0)
         << ',' << out.queue_ms << ',' << out.latency_ms << ','
-        << (out.result ? out.result->reached() : 0) << ','
-        << (out.result ? dist_checksum(out.result->dist) : 0) << '\n';
+        << (out.result   ? out.result->reached()
+            : p2p && out.status == QueryStatus::kOk ? uint64_t(out.p2p_reachable)
+                                                    : 0)
+        << ',' << (out.result ? dist_checksum(out.result->dist) : 0) << ',';
+    if (p2p && out.status == QueryStatus::kOk && out.p2p_reachable)
+      csv << out.p2p_distance;
+    else
+      csv << '-';
+    csv << '\n';
   }
 
-  // Let in-flight repairs settle so the final report and tenant rows show
-  // the converged fleet, not a mid-repair snapshot.
-  if (deltas > 0)
-    for (int waited = 0; waited < 30000 && svc.report().repairs_pending > 0;
-         waited += 10)
+  // Let in-flight repairs and landmark rebuilds settle so the final report
+  // and tenant rows show the converged fleet, not a mid-repair snapshot.
+  if (deltas > 0) {
+    const auto busy = [&] {
+      const ServiceReport rep = svc.report();
+      if (rep.repairs_pending > 0 || rep.landmark_builds_pending > 0)
+        return true;
+      for (const auto& t : rep.tenants)  // catches the in-flight build task
+        if (t.oracle_status == LandmarkTableStatus::kBuilding ||
+            t.oracle_status == LandmarkTableStatus::kRepairing)
+          return true;
+      return false;
+    };
+    for (int waited = 0; waited < 30000 && busy(); waited += 10)
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
 
   const ServiceReport rep = svc.report();
   std::fprintf(stderr,
@@ -304,6 +389,21 @@ int main(int argc, char** argv) {
                  (unsigned long long)rep.repair_fallbacks,
                  (unsigned long long)rep.repairs_pending,
                  (unsigned long long)rep.delta_stale_hits);
+  std::fprintf(stderr,
+               "oracle: %llu tables (%llu builds, %llu repairs, %llu rebuild "
+               "fallbacks, %llu failed, %llu unsupported, %llu evicted, "
+               "%u pending) | p2p serves: %llu exact, %llu alt, %llu engine\n",
+               (unsigned long long)rep.landmark_tables,
+               (unsigned long long)rep.landmark_builds_ok,
+               (unsigned long long)rep.landmark_repairs_ok,
+               (unsigned long long)rep.landmark_rebuild_fallbacks,
+               (unsigned long long)rep.landmark_build_failures,
+               (unsigned long long)rep.landmark_unsupported,
+               (unsigned long long)rep.landmark_evictions,
+               rep.landmark_builds_pending,
+               (unsigned long long)rep.oracle_exact_hits,
+               (unsigned long long)rep.alt_searches,
+               (unsigned long long)rep.p2p_engine_fallbacks);
   print_tenant_rows(rep);
 
   if (cli.flag("dump-flightrec")) {

@@ -1,0 +1,354 @@
+#include "landmark/landmark_oracle.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "graph/analysis.hpp"
+#include "queue/lane_codec.hpp"
+#include "sssp/repair.hpp"
+#include "util/fault.hpp"
+#include "util/timer.hpp"
+
+namespace adds {
+
+const char* landmark_status_name(LandmarkTableStatus s) noexcept {
+  switch (s) {
+    case LandmarkTableStatus::kNone: return "none";
+    case LandmarkTableStatus::kBuilding: return "building";
+    case LandmarkTableStatus::kRepairing: return "repairing";
+    case LandmarkTableStatus::kReady: return "ready";
+    case LandmarkTableStatus::kUnsupported: return "unsupported";
+    case LandmarkTableStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+const char* p2p_serve_name(P2pServe s) noexcept {
+  switch (s) {
+    case P2pServe::kNone: return "none";
+    case P2pServe::kOracleExact: return "oracle-exact";
+    case P2pServe::kAltSearch: return "alt-search";
+    case P2pServe::kEngineFallback: return "engine-fallback";
+  }
+  return "?";
+}
+
+// ---- LandmarkTable ---------------------------------------------------------
+
+template <WeightType W>
+OracleBounds<W> LandmarkTable<W>::bounds(VertexId s, VertexId t) const {
+  using Dist = DistT<W>;
+  constexpr Dist kInf = DistTraits<W>::infinity();
+  OracleBounds<W> b;
+  b.lower = Dist{0};
+  b.upper = kInf;
+  for (uint32_t k = 0; k < num_landmarks(); ++k) {
+    const Dist ds = row(k)[s];
+    const Dist dt = row(k)[t];
+    if (ds == kInf || dt == kInf) continue;
+    const Dist lo = ds > dt ? ds - dt : dt - ds;
+    if (lo > b.lower) b.lower = lo;
+    const Dist hi = ds + dt;
+    if (hi < b.upper) b.upper = hi;
+  }
+  return b;
+}
+
+template <WeightType W>
+OracleAnswer<W> LandmarkTable<W>::answer(VertexId s, VertexId t) const {
+  using Dist = DistT<W>;
+  constexpr Dist kInf = DistTraits<W>::infinity();
+  OracleAnswer<W> a;
+  if (s == t) {
+    a.answered = true;
+    a.reachable = true;
+    a.distance = Dist{0};
+    return a;
+  }
+  // Decisive unreachability: on a symmetric graph a landmark's reach is
+  // its component — one endpoint inside, the other outside proves the
+  // pair disconnected.
+  for (uint32_t k = 0; k < num_landmarks(); ++k) {
+    const bool rs = row(k)[s] != kInf;
+    const bool rt = row(k)[t] != kInf;
+    if (rs != rt) {
+      a.answered = true;
+      a.reachable = false;
+      return a;
+    }
+  }
+  const OracleBounds<W> b = bounds(s, t);
+  if (b.upper != kInf && b.lower == b.upper) {
+    a.answered = true;
+    a.reachable = true;
+    a.distance = b.lower;
+  }
+  return a;
+}
+
+// ---- LandmarkOracle --------------------------------------------------------
+
+template <WeightType W>
+bool LandmarkOracle<W>::is_symmetric(const CsrGraph<W>& g) {
+  using Arc = std::tuple<VertexId, VertexId, W>;
+  std::vector<Arc> fwd, rev;
+  fwd.reserve(g.num_edges());
+  rev.reserve(g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u)
+    for (EdgeIndex e = g.edge_begin(u); e < g.edge_end(u); ++e) {
+      fwd.emplace_back(u, g.edge_target(e), g.edge_weight(e));
+      rev.emplace_back(g.edge_target(e), u, g.edge_weight(e));
+    }
+  std::sort(fwd.begin(), fwd.end());
+  std::sort(rev.begin(), rev.end());
+  // Multiset equality: every arc has its reverse with the same weight,
+  // parallel edges matched one-for-one.
+  return fwd == rev;
+}
+
+template <WeightType W>
+std::vector<VertexId> LandmarkOracle<W>::select_landmarks(
+    const CsrGraph<W>& g, uint32_t k, uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> chosen;
+  if (n == 0 || k == 0) return chosen;
+  const uint32_t want = std::min<uint32_t>(std::min<uint64_t>(k, n), kMaxLanes);
+
+  // The analysis seed is an anchor, not a landmark: the first landmark is
+  // the vertex hop-farthest from it (the periphery — central vertices make
+  // poor landmarks because |d(L,s) - d(L,t)| collapses toward 0).
+  {
+    const VertexId anchor = pick_source(g, seed);
+    const std::vector<uint32_t> hops = bfs_hops(g, anchor);
+    VertexId far = anchor;
+    uint32_t best = 0;
+    for (VertexId v = 0; v < n; ++v)
+      if (hops[v] != kUnreachedHops && hops[v] > best) {
+        best = hops[v];
+        far = v;
+      }
+    chosen.push_back(far);
+  }
+
+  // Farthest-point sweep: min_hops[v] = hop distance from v to the chosen
+  // set; kUnreachedHops reads as "infinitely far", so the argmax jumps to
+  // uncovered components before refining covered ones. Ties break toward
+  // the smallest vertex id (the ascending scan with a strict compare).
+  std::vector<uint32_t> min_hops(n, kUnreachedHops);
+  VertexId last = chosen.back();
+  while (true) {
+    const std::vector<uint32_t> hops = bfs_hops(g, last);
+    for (VertexId v = 0; v < n; ++v)
+      if (hops[v] < min_hops[v]) min_hops[v] = hops[v];
+    if (chosen.size() >= want) break;
+    VertexId next = kInvalidVertex;
+    uint32_t best = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (min_hops[v] == 0) continue;  // a chosen landmark itself
+      if (next == kInvalidVertex || min_hops[v] > best) {
+        next = v;
+        best = min_hops[v];
+      }
+    }
+    if (next == kInvalidVertex) break;  // every vertex is a landmark
+    chosen.push_back(next);
+    last = next;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+template <WeightType W>
+std::shared_ptr<const LandmarkTable<W>> LandmarkOracle<W>::build(
+    const CsrGraph<W>& g, uint64_t graph_fp, HostEngine<W>& engine,
+    const LandmarkConfig& cfg, const QueryControl& ctl) {
+  WallTimer timer;
+  if (!is_symmetric(g))
+    throw LandmarkUnsupportedError(
+        "landmark: asymmetric graph — ALT bounds are unsound");
+  if (fault::fire(fault::Site::kLandmarkBuild))
+    throw Error("landmark.build fault injected (cold build)");
+
+  auto table = std::make_shared<LandmarkTable<W>>();
+  table->graph_fp_ = graph_fp;
+  table->num_vertices_ = g.num_vertices();
+  table->landmarks_ =
+      select_landmarks(g, cfg.num_landmarks, cfg.selection_seed);
+  ADDS_REQUIRE(!table->landmarks_.empty(),
+               "landmark: no landmarks selectable (empty graph)");
+
+  const size_t kcount = table->landmarks_.size();
+  table->rows_.resize(kcount * g.num_vertices());
+  if (kcount > 1 && g.num_vertices() > kMaxLaneVertices) {
+    // Lane encoding cannot address this many vertices: solve rows one at
+    // a time on the same warm engine.
+    for (size_t k = 0; k < kcount; ++k) {
+      SsspResult<W> r = engine.solve(g, table->landmarks_[k], ctl);
+      std::copy(r.dist.begin(), r.dist.end(),
+                table->rows_.begin() + k * g.num_vertices());
+    }
+  } else {
+    std::vector<LaneQuery> lanes;
+    lanes.reserve(kcount);
+    for (const VertexId L : table->landmarks_) lanes.push_back({L, nullptr});
+    BatchResult<W> batch = engine.solve_batch(g, lanes, ctl);
+    for (size_t k = 0; k < kcount; ++k) {
+      ADDS_REQUIRE(batch.lanes[k].status == LaneStatus::kOk,
+                   "landmark: batch lane failed");
+      std::copy(batch.lanes[k].result.dist.begin(),
+                batch.lanes[k].result.dist.end(),
+                table->rows_.begin() + k * g.num_vertices());
+    }
+  }
+  table->build_ms_ = timer.elapsed_ms();
+  return table;
+}
+
+template <WeightType W>
+std::shared_ptr<const LandmarkTable<W>> LandmarkOracle<W>::repair(
+    const LandmarkTable<W>& parent_table, const CsrGraph<W>& parent,
+    const CsrGraph<W>& child, uint64_t child_fp,
+    const DeltaResult<W>& classification, HostEngine<W>& engine,
+    const LandmarkConfig& cfg, const QueryControl& ctl) {
+  WallTimer timer;
+  ADDS_REQUIRE(parent_table.num_vertices() == parent.num_vertices(),
+               "landmark: table/parent size mismatch");
+  if (child.num_vertices() != parent.num_vertices())
+    throw Error("landmark: vertex count changed across delta");
+  if (!is_symmetric(child))
+    throw LandmarkUnsupportedError(
+        "landmark: delta broke symmetry — ALT bounds are unsound");
+
+  auto table = std::make_shared<LandmarkTable<W>>();
+  table->graph_fp_ = child_fp;
+  table->num_vertices_ = child.num_vertices();
+  table->landmarks_ = parent_table.landmarks();
+  table->repaired_ = true;
+  const size_t kcount = table->landmarks_.size();
+  table->rows_.resize(kcount * child.num_vertices());
+
+  std::vector<DistT<W>> parent_row(parent.num_vertices());
+  for (size_t k = 0; k < kcount; ++k) {
+    if (fault::fire(fault::Site::kLandmarkBuild))
+      throw Error("landmark.build fault injected (warm repair, lane " +
+                  std::to_string(k) + ")");
+    const VertexId L = table->landmarks_[k];
+    const DistT<W>* src = parent_table.row(uint32_t(k));
+    parent_row.assign(src, src + parent.num_vertices());
+    RepairPlan<W> plan =
+        plan_repair(parent, child, classification, parent_row, L);
+    SsspResult<W> r = engine.solve_repair(child, L, plan, ctl);
+    if (cfg.verify_repairs) {
+      const RepairVerdict v = verify_repair(child, L, r.dist);
+      if (!v.exact)
+        throw Error("landmark: repaired lane " + std::to_string(k) +
+                    " failed verification");
+    }
+    std::copy(r.dist.begin(), r.dist.end(),
+              table->rows_.begin() + k * child.num_vertices());
+  }
+  table->build_ms_ = timer.elapsed_ms();
+  return table;
+}
+
+// ---- LandmarkRegistry ------------------------------------------------------
+
+template <WeightType W>
+LandmarkTableStatus LandmarkRegistry<W>::status(uint64_t fp) const {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = entries_.find(fp);
+  return it == entries_.end() ? LandmarkTableStatus::kNone
+                              : it->second.status;
+}
+
+template <WeightType W>
+void LandmarkRegistry<W>::set_status(uint64_t fp, LandmarkTableStatus s) {
+  std::lock_guard<std::mutex> lk(m_);
+  Entry& e = entries_[fp];
+  if (e.table != nullptr) {
+    // Leaving kReady: the old table stops serving (readers keep their
+    // refcounted snapshots).
+    lru_.erase(e.lru_it);
+    e.table.reset();
+  }
+  e.status = s;
+}
+
+template <WeightType W>
+void LandmarkRegistry<W>::install(
+    uint64_t fp, std::shared_ptr<const LandmarkTable<W>> table) {
+  ADDS_REQUIRE(table != nullptr, "landmark-registry: null table");
+  std::lock_guard<std::mutex> lk(m_);
+  Entry& e = entries_[fp];
+  if (e.table != nullptr) lru_.erase(e.lru_it);
+  e.status = LandmarkTableStatus::kReady;
+  e.table = std::move(table);
+  lru_.push_front(fp);
+  e.lru_it = lru_.begin();
+  evict_excess_locked();
+}
+
+template <WeightType W>
+std::shared_ptr<const LandmarkTable<W>> LandmarkRegistry<W>::lookup(
+    uint64_t fp) {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = entries_.find(fp);
+  if (it == entries_.end() || it->second.table == nullptr) return nullptr;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(fp);
+  it->second.lru_it = lru_.begin();
+  return it->second.table;
+}
+
+template <WeightType W>
+typename LandmarkRegistry<W>::Info LandmarkRegistry<W>::info(
+    uint64_t fp) const {
+  std::lock_guard<std::mutex> lk(m_);
+  Info i;
+  const auto it = entries_.find(fp);
+  if (it == entries_.end()) return i;
+  i.status = it->second.status;
+  if (it->second.table != nullptr)
+    i.landmarks = it->second.table->num_landmarks();
+  return i;
+}
+
+template <WeightType W>
+void LandmarkRegistry<W>::drop(uint64_t fp) {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = entries_.find(fp);
+  if (it == entries_.end()) return;
+  if (it->second.table != nullptr) lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+template <WeightType W>
+size_t LandmarkRegistry<W>::resident_tables() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return lru_.size();
+}
+
+template <WeightType W>
+uint64_t LandmarkRegistry<W>::evictions() const noexcept {
+  std::lock_guard<std::mutex> lk(m_);
+  return evictions_;
+}
+
+template <WeightType W>
+void LandmarkRegistry<W>::evict_excess_locked() {
+  while (lru_.size() > max_tables_) {
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+template class LandmarkTable<uint32_t>;
+template class LandmarkTable<float>;
+template class LandmarkOracle<uint32_t>;
+template class LandmarkOracle<float>;
+template class LandmarkRegistry<uint32_t>;
+template class LandmarkRegistry<float>;
+
+}  // namespace adds

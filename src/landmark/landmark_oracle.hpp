@@ -1,0 +1,273 @@
+// Landmark distance oracle (ALT) — precomputed K×V distance tables that
+// answer point-to-point queries with zero engine dispatch.
+//
+// The paper's serving regime (road-class graphs: low degree, high
+// diameter) is exactly where goal-directed search wins. A landmark L with
+// a precomputed distance row d(L, ·) gives, on a SYMMETRIC graph, the
+// triangle-inequality bounds
+//
+//   |d(L,s) - d(L,t)|  <=  dist(s,t)  <=  d(L,s) + d(L,t)
+//
+// Maxing the lower bound and min-ing the upper over K landmarks yields an
+// interval that is often tight (always when s or t IS a landmark); a tight
+// interval IS the answer — no traversal at all. Otherwise the lower bound
+// doubles as the admissible, consistent A* heuristic (sssp/astar.hpp's
+// LandmarkHeuristic), which settles a fraction of the vertices a full
+// solve would.
+//
+// Soundness discipline:
+//   * Bounds are only valid on symmetric graphs, so a table is built only
+//     after an exact symmetry check; asymmetric graphs get a typed
+//     kUnsupported status and point-to-point queries ride the engine path.
+//   * A table is published whole or not at all. The `landmark.build` fault
+//     site (fault::Site::kLandmarkBuild) throws mid-construction; callers
+//     observe a typed failure, never a partial row.
+//   * An oracle answer is exact or the query falls through to a search /
+//     an engine — bounds are never served as distances unless tight.
+//
+// Building the K×V table is one HostEngine::solve_batch over the landmark
+// set (PR 7's lane-tagged traversal: K sources pay the scheduling cost
+// once). After a graph delta, each landmark row is warm-repaired in place
+// (plan_repair / solve_repair / verify_repair per lane) instead of
+// recomputed — the same lineage machinery PR 8 built for the result cache.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/delta.hpp"
+#include "sssp/host_engine.hpp"
+#include "sssp/result.hpp"
+
+namespace adds {
+
+/// Service-level configuration for the landmark layer.
+struct LandmarkConfig {
+  /// Master switch: disabled means no tables are ever built and every
+  /// point-to-point query rides the engine path.
+  bool enabled = true;
+  /// Landmarks per table, clamped to kMaxLanes (16) and to the number of
+  /// distinct selectable vertices.
+  uint32_t num_landmarks = 8;
+  /// Wall-clock budget for one table build / repair on the rebuilder
+  /// thread; <= 0 means unbounded.
+  double build_deadline_ms = 10000.0;
+  /// Certify every warm-repaired landmark row with verify_repair before
+  /// accepting the repaired table (an inexact row falls back typed to a
+  /// cold rebuild).
+  bool verify_repairs = true;
+  /// Registry residency cap: least-recently-used tables beyond this are
+  /// dropped (in-flight readers keep their shared_ptr snapshots).
+  size_t max_tables = 8;
+  /// Deterministic seed for the farthest-point landmark sweep.
+  uint64_t selection_seed = 42;
+};
+
+/// Lifecycle of a tenant's landmark table.
+enum class LandmarkTableStatus : uint8_t {
+  kNone = 0,     // no table and none scheduled
+  kBuilding,     // cold build queued or running on the rebuilder
+  kRepairing,    // warm per-lane repair in flight after a delta
+  kReady,        // resident and serving
+  kUnsupported,  // asymmetric graph: ALT bounds unsound, never built
+  kFailed,       // build failed typed; p2p rides the engine path
+};
+const char* landmark_status_name(LandmarkTableStatus s) noexcept;
+
+/// How a point-to-point query was answered (QueryOutcome::p2p_serve).
+enum class P2pServe : uint8_t {
+  kNone = 0,        // not a point-to-point query
+  kOracleExact,     // tight table bounds: zero traversal, zero engine
+  kAltSearch,       // ALT-guided A* on the submit thread (no engine)
+  kEngineFallback,  // no usable table: full SSSP solved on an engine
+};
+const char* p2p_serve_name(P2pServe s) noexcept;
+
+/// Triangle-inequality interval for one (s, t) pair. `upper` is infinity
+/// when no landmark reaches both endpoints.
+template <WeightType W>
+struct OracleBounds {
+  DistT<W> lower{};
+  DistT<W> upper = DistTraits<W>::infinity();
+};
+
+/// Exact-or-decline answer. `answered` is true only when the table PROVES
+/// the result: tight bounds, a landmark endpoint, or decisive
+/// unreachability (one endpoint reaches a landmark the other cannot —
+/// different components on a symmetric graph).
+template <WeightType W>
+struct OracleAnswer {
+  bool answered = false;
+  bool reachable = false;
+  DistT<W> distance{};
+};
+
+/// Immutable K×V landmark distance table for one graph generation.
+/// Construction goes through LandmarkOracle; once published the table is
+/// read-only and shared by refcount (queries hold a snapshot across an A*
+/// search while the registry drops or replaces the entry).
+template <WeightType W>
+class LandmarkTable {
+ public:
+  uint64_t graph_fp() const noexcept { return graph_fp_; }
+  uint64_t num_vertices() const noexcept { return num_vertices_; }
+  uint32_t num_landmarks() const noexcept {
+    return uint32_t(landmarks_.size());
+  }
+  const std::vector<VertexId>& landmarks() const noexcept {
+    return landmarks_;
+  }
+  double build_ms() const noexcept { return build_ms_; }
+  /// True when this table was produced by warm per-lane repair rather
+  /// than a cold batch build.
+  bool repaired() const noexcept { return repaired_; }
+
+  /// Row k: d(landmark_k, v) for every v. Lane-major storage.
+  const DistT<W>* row(uint32_t k) const noexcept {
+    return rows_.data() + size_t(k) * num_vertices_;
+  }
+  /// Borrowed row pointers for LandmarkHeuristic. Valid while this table
+  /// is alive.
+  std::vector<const DistT<W>*> row_ptrs() const {
+    std::vector<const DistT<W>*> p;
+    p.reserve(landmarks_.size());
+    for (uint32_t k = 0; k < num_landmarks(); ++k) p.push_back(row(k));
+    return p;
+  }
+
+  /// Triangle-inequality interval for dist(s, t).
+  OracleBounds<W> bounds(VertexId s, VertexId t) const;
+
+  /// Exact-or-decline point-to-point answer (see OracleAnswer).
+  OracleAnswer<W> answer(VertexId s, VertexId t) const;
+
+ private:
+  template <WeightType W2>
+  friend class LandmarkOracle;
+
+  uint64_t graph_fp_ = 0;
+  uint64_t num_vertices_ = 0;
+  std::vector<VertexId> landmarks_;
+  std::vector<DistT<W>> rows_;  // lane-major: rows_[k * V + v]
+  double build_ms_ = 0.0;
+  bool repaired_ = false;
+};
+
+/// Thrown when a graph fails the symmetry precondition — the caller maps
+/// it to LandmarkTableStatus::kUnsupported (vs kFailed for build errors).
+class LandmarkUnsupportedError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Stateless build/repair entry points (the service drives them from its
+/// rebuilder thread; tests call them directly).
+template <WeightType W>
+class LandmarkOracle {
+ public:
+  /// Exact symmetry check: every arc (u, v, w) has a reverse (v, u, w),
+  /// with multiset semantics for parallel edges. O(E log E).
+  static bool is_symmetric(const CsrGraph<W>& g);
+
+  /// Farthest-point landmark sweep: seeded from pick_source (the
+  /// degree/reach analysis in graph/analysis.cpp), the first landmark is
+  /// the hop-farthest vertex from the seed, each subsequent one maximizes
+  /// the min hop distance to the chosen set. Unreached vertices count as
+  /// infinitely far, so the sweep jumps to uncovered components first.
+  /// Deterministic: ties break toward the smallest vertex id. Returns at
+  /// most min(k, kMaxLanes, num_vertices) landmarks.
+  static std::vector<VertexId> select_landmarks(const CsrGraph<W>& g,
+                                                uint32_t k, uint64_t seed);
+
+  /// Cold build: selects landmarks and solves all K rows with one
+  /// solve_batch on `engine`. Throws LandmarkUnsupportedError for
+  /// asymmetric graphs, adds::Error on an injected landmark.build fault
+  /// or engine failure, DeadlineError past ctl.deadline_ms. The returned
+  /// table is complete and immutable.
+  static std::shared_ptr<const LandmarkTable<W>> build(
+      const CsrGraph<W>& g, uint64_t graph_fp, HostEngine<W>& engine,
+      const LandmarkConfig& cfg, const QueryControl& ctl = {});
+
+  /// Warm repair across a delta: re-runs solve_repair per landmark lane
+  /// from the parent table's rows (the same plan/solve/verify lineage the
+  /// result-cache repair uses), keeping the parent's landmark set. Throws
+  /// LandmarkUnsupportedError if the child lost symmetry, adds::Error on
+  /// a landmark.build fault, a verification failure, or a vertex-count
+  /// change — callers fall back to a cold build(). Never returns a
+  /// partially repaired table.
+  static std::shared_ptr<const LandmarkTable<W>> repair(
+      const LandmarkTable<W>& parent_table, const CsrGraph<W>& parent,
+      const CsrGraph<W>& child, uint64_t child_fp,
+      const DeltaResult<W>& classification, HostEngine<W>& engine,
+      const LandmarkConfig& cfg, const QueryControl& ctl = {});
+};
+
+/// Thread-safe registry of landmark tables keyed on graph fingerprint,
+/// with LRU residency like the catalog's CSR snapshots. The service owns
+/// one and mirrors catalog lifecycle into it (publish schedules a build,
+/// retire/evict drops, apply_delta moves the entry across the lineage).
+/// Lookups return refcounted snapshots, so a drop never invalidates a
+/// reader mid-search.
+template <WeightType W>
+class LandmarkRegistry {
+ public:
+  explicit LandmarkRegistry(size_t max_tables = 8) noexcept
+      : max_tables_(max_tables) {}
+
+  /// Status of `fp` (kNone when never seen).
+  LandmarkTableStatus status(uint64_t fp) const;
+  /// Sets the lifecycle status without touching any table (kBuilding /
+  /// kRepairing / kUnsupported / kFailed transitions).
+  void set_status(uint64_t fp, LandmarkTableStatus s);
+
+  /// Publishes a completed table as kReady and bumps it most-recent.
+  /// Evicts least-recently-used READY tables beyond max_tables (statuses
+  /// without a table are exempt — they occupy no residency).
+  void install(uint64_t fp, std::shared_ptr<const LandmarkTable<W>> table);
+
+  /// The READY table for `fp` (nullptr otherwise). Touches LRU recency.
+  std::shared_ptr<const LandmarkTable<W>> lookup(uint64_t fp);
+
+  /// Status plus landmark count of the READY table, WITHOUT touching LRU
+  /// recency — report scrapes must not perturb eviction order.
+  struct Info {
+    LandmarkTableStatus status = LandmarkTableStatus::kNone;
+    uint32_t landmarks = 0;
+  };
+  Info info(uint64_t fp) const;
+
+  /// Drops `fp` entirely (table and status). No-op when absent.
+  void drop(uint64_t fp);
+
+  size_t resident_tables() const;
+  uint64_t evictions() const noexcept;
+
+ private:
+  void evict_excess_locked();
+
+  struct Entry {
+    LandmarkTableStatus status = LandmarkTableStatus::kNone;
+    std::shared_ptr<const LandmarkTable<W>> table;
+    std::list<uint64_t>::iterator lru_it;  // valid iff table != nullptr
+  };
+  mutable std::mutex m_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::list<uint64_t> lru_;  // front = most recent; READY tables only
+  size_t max_tables_;
+  uint64_t evictions_ = 0;
+};
+
+extern template class LandmarkTable<uint32_t>;
+extern template class LandmarkTable<float>;
+extern template class LandmarkOracle<uint32_t>;
+extern template class LandmarkOracle<float>;
+extern template class LandmarkRegistry<uint32_t>;
+extern template class LandmarkRegistry<float>;
+
+}  // namespace adds

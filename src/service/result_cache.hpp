@@ -67,6 +67,19 @@ inline uint64_t options_digest(const AddsHostOptions& o) noexcept {
   return h;
 }
 
+/// Folds a point-to-point target into a config digest. Full-SSSP queries
+/// (target == kInvalidVertex) keep the base digest unchanged — existing
+/// keys are unaffected — while p2p queries get a tagged, target-specific
+/// digest, so a p2p answer can never be served for a full-SSSP query with
+/// the same (fingerprint, source) or vice versa.
+inline uint64_t p2p_digest(uint64_t base, VertexId target) noexcept {
+  if (target == kInvalidVertex) return base;
+  constexpr uint8_t kP2pTag = 0xA5;
+  uint64_t h = fnv1a_bytes(&kP2pTag, sizeof(kP2pTag), base);
+  h = fnv1a_bytes(&target, sizeof(target), h);
+  return h;
+}
+
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "landmark/landmark_oracle.hpp"
 #include "service/supervisor.hpp"
 #include "sssp/result.hpp"
 #include "util/stats.hpp"
@@ -109,6 +110,13 @@ struct TenantStatus {
   uint64_t repair_fallbacks = 0;  // repairs replaced by a cold child solve
   uint64_t delta_stale_hits = 0;  // parent-tree answers served mid-repair
   uint32_t repairs_pending = 0;   // scheduled, not yet finished
+  // Landmark oracle, this tenant only: table lifecycle plus how its
+  // point-to-point queries were answered.
+  LandmarkTableStatus oracle_status = LandmarkTableStatus::kNone;
+  uint32_t oracle_landmarks = 0;     // landmarks in the READY table
+  uint64_t oracle_exact_hits = 0;    // tight-bound serves, zero dispatch
+  uint64_t alt_searches = 0;         // ALT-guided A* serves (no engine)
+  uint64_t p2p_engine_fallbacks = 0; // p2p served by a full engine solve
   // Result-cache slice.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
@@ -192,6 +200,19 @@ struct ServiceReport {
   uint64_t repair_fallbacks = 0;    // typed fallback to cold child solves
   uint64_t delta_stale_hits = 0;    // parent answers served during repair
   uint32_t repairs_pending = 0;     // in the rebuilder's queue right now
+
+  // Landmark distance oracle (all zero when disabled or never used).
+  uint64_t landmark_builds_ok = 0;       // cold table builds completed
+  uint64_t landmark_repairs_ok = 0;      // warm per-lane table repairs
+  uint64_t landmark_rebuild_fallbacks = 0;  // failed repairs rebuilt cold
+  uint64_t landmark_build_failures = 0;  // builds that failed typed
+  uint64_t landmark_unsupported = 0;     // asymmetric graphs declined
+  uint64_t landmark_tables = 0;          // READY tables resident now
+  uint64_t landmark_evictions = 0;       // LRU table drops, lifetime
+  uint64_t oracle_exact_hits = 0;        // tight-bound p2p serves
+  uint64_t alt_searches = 0;             // ALT-guided A* p2p serves
+  uint64_t p2p_engine_fallbacks = 0;     // p2p through a full engine solve
+  uint32_t landmark_builds_pending = 0;  // build/repair tasks queued now
 };
 
 }  // namespace adds

@@ -14,6 +14,7 @@
 #include "core/solver.hpp"
 #include "service/graph_catalog.hpp"
 #include "service/result_cache.hpp"
+#include "sssp/astar.hpp"
 #include "sssp/repair.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
@@ -93,6 +94,10 @@ struct SsspService<W>::Impl {
     uint64_t repairs_ok = 0;
     uint64_t repair_fallbacks = 0;
     uint64_t delta_stale_hits = 0;
+    // Landmark oracle point-to-point serves, this tenant only.
+    uint64_t oracle_exact_hits = 0;
+    uint64_t alt_searches = 0;
+    uint64_t p2p_engine_fallbacks = 0;
   };
 
   /// One scheduled warm repair: rebuild the cached (source, parent fp)
@@ -116,6 +121,21 @@ struct SsspService<W>::Impl {
     uint64_t parent_fp = 0;
     uint32_t pending = 0;
     double stale_until_ms = 0.0;  // uptime clock
+  };
+
+  /// One scheduled landmark-table build on the rebuilder: a cold build
+  /// (warm == false) or, across a delta, a warm per-lane repair from the
+  /// parent generation's table. Snapshots and the parent table ride along
+  /// refcounted, so neither retirement nor registry eviction can pull
+  /// them out from under the build.
+  struct LandmarkTask {
+    uint64_t fp = 0;
+    std::shared_ptr<const CsrGraph<W>> graph;
+    bool warm = false;
+    uint64_t parent_fp = 0;
+    std::shared_ptr<const CsrGraph<W>> parent;
+    std::shared_ptr<const LandmarkTable<W>> parent_table;
+    std::shared_ptr<const AppliedDelta<W>> delta;  // shared classification
   };
 
   ServiceConfig cfg;
@@ -158,6 +178,20 @@ struct SsspService<W>::Impl {
   uint64_t repairs_ok = 0;
   uint64_t repair_fallbacks = 0;
   uint64_t delta_stale_hits = 0;
+  // Landmark oracle: ALT tables keyed by fingerprint (refcounted, LRU —
+  // the registry has its own leaf mutex, safe to touch under m or not).
+  // Builds and warm repairs drain on the rebuilder thread behind slot
+  // rebuilds and delta repairs.
+  LandmarkRegistry<W> landmarks;
+  std::deque<LandmarkTask> landmark_queue;
+  uint64_t landmark_builds_ok = 0;
+  uint64_t landmark_repairs_ok = 0;
+  uint64_t landmark_rebuild_fallbacks = 0;
+  uint64_t landmark_build_failures = 0;
+  uint64_t landmark_unsupported = 0;
+  uint64_t oracle_exact_hits = 0;
+  uint64_t alt_searches = 0;
+  uint64_t p2p_engine_fallbacks = 0;
   ResultCache<W> cache;
   LatencyRecorder recorder;
   FlightRecorder flightrec;
@@ -204,6 +238,7 @@ struct SsspService<W>::Impl {
         catalog(c.tenant.catalog_graphs),
         tenant_queue_quota(share_of(c.tenant.queue_share, c.max_queue_depth)),
         tenant_engine_cap(share_of(c.tenant.engine_share, c.num_engines)),
+        landmarks(c.landmark.max_tables),
         cache(c.cache_entries, c.tenant.cache_entries_per_tenant),
         flightrec(c.supervisor.flight_recorder_events),
         sup(c.num_engines),
@@ -386,6 +421,31 @@ struct SsspService<W>::Impl {
     tenants.erase(fp);
     if (default_fp == fp) default_fp = 0;
     if (stale_fp == fp) stale_fp = 0;
+    // Landmark lifecycle mirrors catalog residency: the table and any
+    // queued build for this generation go with it. A build already
+    // running on the rebuilder finishes on its refcounted snapshot and
+    // discards its table at install time (catalog.contains re-check).
+    landmarks.drop(fp);
+    for (auto it = landmark_queue.begin(); it != landmark_queue.end();)
+      it = it->fp == fp ? landmark_queue.erase(it) : ++it;
+  }
+
+  /// Projects a full SSSP tree onto the point-to-point fields of an
+  /// outcome whose query carried a target but was served by the engine
+  /// path (fresh solve or cached/stale full tree). The distance is read
+  /// off the tree — exact by construction — and the serve is typed
+  /// kEngineFallback. Call under m (bumps the fallback counters).
+  void project_p2p_locked(QueryOutcome<W>& out, const Pending& p) {
+    if (p.q.target == kInvalidVertex || out.result == nullptr) return;
+    out.p2p_serve = P2pServe::kEngineFallback;
+    const auto& dist = out.result->dist;
+    if (size_t(p.q.target) < dist.size() &&
+        dist[p.q.target] != DistTraits<W>::infinity()) {
+      out.p2p_reachable = true;
+      out.p2p_distance = dist[p.q.target];
+    }
+    ++p2p_engine_fallbacks;
+    if (Tenant* t = tenant_for(p.key.graph_fp)) ++t->p2p_engine_fallbacks;
   }
 
   // --- dispatcher ----------------------------------------------------------
@@ -544,6 +604,7 @@ struct SsspService<W>::Impl {
         Tenant* t = tenant_for(p->key.graph_fp);
         switch (st) {
           case QueryStatus::kOk:
+            project_p2p_locked(out, *p);
             ++completed;
             recorder.add(out.latency_ms);
             if (t) {
@@ -791,6 +852,7 @@ struct SsspService<W>::Impl {
         Tenant* t = tenant_for(s.p->key.graph_fp);
         switch (st) {
           case QueryStatus::kOk:
+            project_p2p_locked(s.out, *s.p);
             ++completed;
             recorder.add(s.out.latency_ms);
             if (t) {
@@ -1128,16 +1190,26 @@ struct SsspService<W>::Impl {
     std::unique_lock<std::mutex> lk(m);
     for (;;) {
       rb_cv.wait(lk, [&] {
-        return stopping || !rebuild_queue.empty() || !repair_queue.empty();
+        return stopping || !rebuild_queue.empty() || !repair_queue.empty() ||
+               !landmark_queue.empty();
       });
       if (stopping) return;
       if (rebuild_queue.empty()) {
-        // No slot to restore: drain one delta repair. Rebuilds keep
-        // priority — restoring fleet capacity beats repair latency (the
-        // stale window covers the wait).
-        RepairTask task = std::move(repair_queue.front());
-        repair_queue.pop_front();
-        run_repair_locked(lk, std::move(task));
+        if (!repair_queue.empty()) {
+          // No slot to restore: drain one delta repair. Rebuilds keep
+          // priority — restoring fleet capacity beats repair latency (the
+          // stale window covers the wait).
+          RepairTask task = std::move(repair_queue.front());
+          repair_queue.pop_front();
+          run_repair_locked(lk, std::move(task));
+        } else {
+          // Lowest priority: landmark tables are an acceleration, not an
+          // answer — while one is pending, point-to-point queries ride
+          // the engine path, typed by the kBuilding/kRepairing status.
+          LandmarkTask task = std::move(landmark_queue.front());
+          landmark_queue.pop_front();
+          run_landmark_locked(lk, std::move(task));
+        }
         continue;
       }
       const uint32_t i = rebuild_queue.front();
@@ -1334,6 +1406,123 @@ struct SsspService<W>::Impl {
            uint32_t(dropped));
   }
 
+  // --- landmark tables -----------------------------------------------------
+
+  /// Queues a cold table build for `fp` if the landmark layer is enabled
+  /// and this generation has no table, build, or typed decline on record.
+  /// Call under m; returns true when a task was queued (notify rb_cv).
+  bool schedule_landmark_build_locked(uint64_t fp) {
+    if (!cfg.landmark.enabled) return false;
+    if (landmarks.status(fp) != LandmarkTableStatus::kNone) return false;
+    auto g = catalog.try_lookup(fp);
+    if (!g || g->empty()) return false;
+    landmarks.set_status(fp, LandmarkTableStatus::kBuilding);
+    LandmarkTask t;
+    t.fp = fp;
+    t.graph = std::move(g);
+    record(FlightKind::kTableBuildStart, FlightEvent::kNoEngine, fp, 0);
+    landmark_queue.push_back(std::move(t));
+    return true;
+  }
+
+  /// Runs one landmark-table build (cold) or warm per-lane repair on the
+  /// rebuilder's dedicated engine. Enters and leaves with `lk` held; the
+  /// build itself runs unlocked. Failure containment: a failed warm
+  /// repair falls back typed to a cold build (kTableRebuildFallback); a
+  /// failed cold build types the generation kFailed (asymmetric graphs
+  /// kUnsupported) and point-to-point queries keep riding the engine path
+  /// — a table is installed whole or not at all, never a partial bound.
+  void run_landmark_locked(std::unique_lock<std::mutex>& lk,
+                           LandmarkTask task) {
+    const double t0 = uptime.elapsed_ms();
+    lk.unlock();
+
+    if (!repair_engine)
+      repair_engine = std::make_unique<HostEngine<W>>(cfg.engine);
+    QueryControl ctl;
+    ctl.cancel = &stop_flag;
+    ctl.deadline_ms = cfg.landmark.build_deadline_ms;
+    ctl.fault_domain = task.fp;
+    // Build-time chaos (landmark.build and engine-level sites) fires in
+    // this tenant's domain, so a targeted plan can break one tenant's
+    // builds without touching repairs or probes (domain 0).
+    fault::ThreadDomainScope domain(task.fp);
+
+    std::shared_ptr<const LandmarkTable<W>> table;
+    bool unsupported = false;
+    bool fell_back = false;
+    std::string err;
+    if (task.warm) {
+      try {
+        if (!task.parent_table)
+          throw Error("parent table gone before repair");
+        table = LandmarkOracle<W>::repair(
+            *task.parent_table, *task.parent, *task.graph, task.fp,
+            task.delta->classification, *repair_engine, cfg.landmark, ctl);
+      } catch (const LandmarkUnsupportedError& e) {
+        unsupported = true;
+        err = e.what();
+      } catch (const Error& e) {
+        fell_back = true;  // typed fallback: cold rebuild below
+        err = e.what();
+      }
+    }
+    if (table == nullptr && !unsupported) {
+      try {
+        table = LandmarkOracle<W>::build(*task.graph, task.fp, *repair_engine,
+                                         cfg.landmark, ctl);
+      } catch (const LandmarkUnsupportedError& e) {
+        unsupported = true;
+        err = e.what();
+      } catch (const Error& e) {
+        err = e.what();
+      }
+    }
+
+    lk.lock();
+    if (fell_back) {
+      ++landmark_rebuild_fallbacks;
+      record(FlightKind::kTableRebuildFallback, FlightEvent::kNoEngine,
+             task.fp, 1);
+      ADDS_LOG_WARN(
+          "sssp-service: landmark table repair fell back to cold build "
+          "(fp=%016llx): %s",
+          (unsigned long long)task.fp, err.c_str());
+    }
+    // Install only while the generation is still catalog-resident — a
+    // retire/evict that raced the build wins (drop_tenant_locked already
+    // dropped the registry entry; do not resurrect it).
+    const bool resident = !stopping && catalog.contains(task.fp);
+    if (table != nullptr && resident) {
+      landmarks.install(task.fp, table);
+      if (task.warm && !fell_back) {
+        ++landmark_repairs_ok;
+        record(FlightKind::kTableRepaired, FlightEvent::kNoEngine, task.fp,
+               table->num_landmarks(), uint32_t(uptime.elapsed_ms() - t0));
+      } else {
+        ++landmark_builds_ok;
+        record(FlightKind::kTableBuilt, FlightEvent::kNoEngine, task.fp,
+               table->num_landmarks(), uint32_t(uptime.elapsed_ms() - t0));
+      }
+    } else if (table == nullptr && resident) {
+      landmarks.set_status(task.fp, unsupported
+                                        ? LandmarkTableStatus::kUnsupported
+                                        : LandmarkTableStatus::kFailed);
+      if (unsupported) {
+        ++landmark_unsupported;
+      } else {
+        ++landmark_build_failures;
+        ADDS_LOG_WARN(
+            "sssp-service: landmark table build failed (fp=%016llx): %s",
+            (unsigned long long)task.fp, err.c_str());
+      }
+      record(FlightKind::kTableBuildFailed, FlightEvent::kNoEngine, task.fp,
+             unsupported ? 1 : 0);
+    } else {
+      landmarks.drop(task.fp);  // generation left the catalog mid-build
+    }
+  }
+
   /// SsspService::apply_delta body. Runs under `m` end to end: the
   /// catalog's eviction hook assumes the service lock, and publication +
   /// repair scheduling + default handover must be atomic against submits.
@@ -1406,9 +1595,39 @@ struct SsspService<W>::Impl {
     record(FlightKind::kDeltaPublished, FlightEvent::kNoEngine, ad->child_fp,
            scheduled, uint32_t(ad->classification.stats.total()));
 
+    // Landmark table lineage: the child generation warm-repairs the
+    // parent's table per landmark lane when one is READY (the snapshot
+    // rides the task refcounted — parent retirement cannot pull it out
+    // from under the repair), and cold-builds otherwise. Until the task
+    // lands, the child's kRepairing/kBuilding status types the window and
+    // p2p queries ride the engine path.
+    bool lm_scheduled = false;
+    if (cfg.landmark.enabled &&
+        landmarks.status(ad->child_fp) == LandmarkTableStatus::kNone) {
+      LandmarkTask t;
+      t.fp = ad->child_fp;
+      t.graph = ad->child;
+      t.parent_table = landmarks.lookup(ad->parent_fp);
+      if (t.parent_table != nullptr) {
+        t.warm = true;
+        t.parent_fp = ad->parent_fp;
+        t.parent = ad->parent;
+        t.delta = ad;
+        landmarks.set_status(ad->child_fp, LandmarkTableStatus::kRepairing);
+      } else {
+        landmarks.set_status(ad->child_fp, LandmarkTableStatus::kBuilding);
+      }
+      record(FlightKind::kTableBuildStart, FlightEvent::kNoEngine,
+             ad->child_fp, t.warm ? 1 : 0);
+      landmark_queue.push_back(std::move(t));
+      lm_scheduled = true;
+    }
+
     if (scheduled == 0) {
       // Nothing cached to repair: the handover completes immediately.
       retire_parent_locked(ad->parent_fp);
+      lk.unlock();
+      if (lm_scheduled) rb_cv.notify_all();
       return out;
     }
     DeltaWindow& w = delta_windows[ad->child_fp];
@@ -1460,12 +1679,17 @@ struct SsspService<W>::Impl {
       }
       ADDS_REQUIRE(source < p->graph->num_vertices(),
                    "sssp-service: source vertex out of range");
+      ADDS_REQUIRE(q.target == kInvalidVertex ||
+                       q.target < p->graph->num_vertices(),
+                   "sssp-service: target vertex out of range");
       Tenant& ten = tenants.at(fp);  // resident => tenant state exists
       ++ten.submitted;
       p->deadline_ms =
           q.deadline_ms > 0.0 ? q.deadline_ms : cfg.default_deadline_ms;
       p->cacheable = !q.bypass_cache && cache.capacity() > 0;
-      p->key = CacheKey{fp, source, config_digest};
+      // Point-to-point queries key under a target-tagged digest: a p2p
+      // fallback's full tree and a plain full-SSSP tree never alias.
+      p->key = CacheKey{fp, source, p2p_digest(config_digest, q.target)};
 
       // Circuit breaker: an open tenant rejects typed before any queue or
       // engine resource is spent on it. The cooldown check lives inside
@@ -1504,6 +1728,69 @@ struct SsspService<W>::Impl {
         }
       }
 
+      // Point-to-point routing: a READY landmark table answers before any
+      // queue or engine resource is spent. Tight triangle-inequality
+      // bounds (or a landmark endpoint, or decisive unreachability) serve
+      // exact right here; otherwise an ALT-guided A* runs on the SUBMIT
+      // thread over refcounted snapshots, outside the lock — engines stay
+      // free for full solves. No table (building, repairing, unsupported,
+      // failed, disabled) falls through to normal admission: the typed
+      // engine path. An oracle answer is exact or it is not given.
+      if (q.target != kInvalidVertex && cfg.landmark.enabled) {
+        if (auto table = landmarks.lookup(fp)) {
+          const OracleAnswer<W> ans = table->answer(source, q.target);
+          if (ans.answered) {
+            QueryOutcome<W> out;
+            out.status = QueryStatus::kOk;
+            out.p2p_serve = P2pServe::kOracleExact;
+            out.p2p_reachable = ans.reachable;
+            out.p2p_distance = ans.distance;
+            out.graph_fp = fp;
+            out.query_id = p->id;
+            out.latency_ms = uptime.elapsed_ms() - p->submit_ms;
+            ++completed;
+            ++ten.completed;
+            ++oracle_exact_hits;
+            ++ten.oracle_exact_hits;
+            recorder.add(out.latency_ms);
+            ten.recorder.add(out.latency_ms);
+            record(FlightKind::kOracleServe, FlightEvent::kNoEngine, p->id,
+                   uint32_t(source), uint32_t(P2pServe::kOracleExact));
+            p->promise.set_value(std::move(out));
+            return fut;
+          }
+          const auto graph = p->graph;
+          const uint64_t qid = p->id;
+          const double submit_ms = p->submit_ms;
+          lk.unlock();
+          PointToPointResult<W> r =
+              astar(*graph, source, q.target,
+                    LandmarkHeuristic<W>(table->row_ptrs(), q.target));
+          lk.lock();
+          QueryOutcome<W> out;
+          out.status = QueryStatus::kOk;
+          out.p2p_serve = P2pServe::kAltSearch;
+          out.p2p_reachable = r.reachable;
+          out.p2p_distance = r.distance;
+          out.graph_fp = fp;
+          out.query_id = qid;
+          out.latency_ms = uptime.elapsed_ms() - submit_ms;
+          ++completed;
+          ++alt_searches;
+          recorder.add(out.latency_ms);
+          // `ten` may have retired while the lock was dropped — re-find.
+          if (Tenant* t = tenant_for(fp)) {
+            ++t->completed;
+            ++t->alt_searches;
+            t->recorder.add(out.latency_ms);
+          }
+          record(FlightKind::kOracleServe, FlightEvent::kNoEngine, qid,
+                 uint32_t(source), uint32_t(P2pServe::kAltSearch));
+          p->promise.set_value(std::move(out));
+          return fut;
+        }
+      }
+
       if (p->cacheable) {
         if (auto v = cache.lookup(p->key)) {
           QueryOutcome<W> out;
@@ -1513,6 +1800,7 @@ struct SsspService<W>::Impl {
           out.graph_fp = fp;
           out.query_id = p->id;
           out.latency_ms = uptime.elapsed_ms() - p->submit_ms;
+          project_p2p_locked(out, *p);
           ++completed;
           ++ten.completed;
           recorder.add(out.latency_ms);
@@ -1527,7 +1815,8 @@ struct SsspService<W>::Impl {
         // window is open. The outcome says so (stale=true, old fp).
         if (health == ServiceHealth::kBrownout && fp == default_fp &&
             stale_fp != 0 && uptime.elapsed_ms() < stale_deadline_ms) {
-          const CacheKey old_key{stale_fp, source, config_digest};
+          const CacheKey old_key{stale_fp, source,
+                                 p2p_digest(config_digest, q.target)};
           if (auto v = cache.lookup(old_key, /*count_miss=*/false)) {
             QueryOutcome<W> out;
             out.status = QueryStatus::kOk;
@@ -1537,6 +1826,7 @@ struct SsspService<W>::Impl {
             out.graph_fp = stale_fp;
             out.query_id = p->id;
             out.latency_ms = uptime.elapsed_ms() - p->submit_ms;
+            project_p2p_locked(out, *p);
             ++completed;
             ++ten.completed;
             ++stale_hits;
@@ -1556,7 +1846,8 @@ struct SsspService<W>::Impl {
         const auto dw = delta_windows.find(fp);
         if (dw != delta_windows.end() && dw->second.pending > 0 &&
             uptime.elapsed_ms() < dw->second.stale_until_ms) {
-          const CacheKey pkey{dw->second.parent_fp, source, config_digest};
+          const CacheKey pkey{dw->second.parent_fp, source,
+                              p2p_digest(config_digest, q.target)};
           if (auto v = cache.lookup(pkey, /*count_miss=*/false)) {
             QueryOutcome<W> out;
             out.status = QueryStatus::kOk;
@@ -1566,6 +1857,7 @@ struct SsspService<W>::Impl {
             out.graph_fp = dw->second.parent_fp;
             out.query_id = p->id;
             out.latency_ms = uptime.elapsed_ms() - p->submit_ms;
+            project_p2p_locked(out, *p);
             ++completed;
             ++ten.completed;
             ++delta_stale_hits;
@@ -1647,6 +1939,9 @@ struct SsspService<W>::Impl {
     }
     record(FlightKind::kGraphPublished, FlightEvent::kNoEngine, fp,
            uint32_t(catalog.size()), pinned ? 1 : 0);
+    // Publish-time table build: p2p queries ride the engine path (typed
+    // kBuilding) until the rebuilder lands the table.
+    if (schedule_landmark_build_locked(fp)) rb_cv.notify_all();
     return fp;
   }
 
@@ -1807,6 +2102,17 @@ struct SsspService<W>::Impl {
     rep.repair_fallbacks = repair_fallbacks;
     rep.delta_stale_hits = delta_stale_hits;
     for (const auto& [cfp, w] : delta_windows) rep.repairs_pending += w.pending;
+    rep.landmark_builds_ok = landmark_builds_ok;
+    rep.landmark_repairs_ok = landmark_repairs_ok;
+    rep.landmark_rebuild_fallbacks = landmark_rebuild_fallbacks;
+    rep.landmark_build_failures = landmark_build_failures;
+    rep.landmark_unsupported = landmark_unsupported;
+    rep.landmark_tables = landmarks.resident_tables();
+    rep.landmark_evictions = landmarks.evictions();
+    rep.oracle_exact_hits = oracle_exact_hits;
+    rep.alt_searches = alt_searches;
+    rep.p2p_engine_fallbacks = p2p_engine_fallbacks;
+    rep.landmark_builds_pending = uint32_t(landmark_queue.size());
     rep.tenants.reserve(residents.size());
     for (const auto& ent : residents) {
       TenantStatus ts;
@@ -1830,8 +2136,14 @@ struct SsspService<W>::Impl {
         ts.repairs_ok = t.repairs_ok;
         ts.repair_fallbacks = t.repair_fallbacks;
         ts.delta_stale_hits = t.delta_stale_hits;
+        ts.oracle_exact_hits = t.oracle_exact_hits;
+        ts.alt_searches = t.alt_searches;
+        ts.p2p_engine_fallbacks = t.p2p_engine_fallbacks;
         ts.waiting = t.waiting;
       }
+      const auto li = landmarks.info(ent.graph_fp);
+      ts.oracle_status = li.status;
+      ts.oracle_landmarks = li.landmarks;
       if (const auto dw = delta_windows.find(ent.graph_fp);
           dw != delta_windows.end())
         ts.repairs_pending = dw->second.pending;

@@ -54,6 +54,7 @@
 #include "core/resilience.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/delta.hpp"
+#include "landmark/landmark_oracle.hpp"
 #include "service/graph_catalog.hpp"
 #include "service/service_stats.hpp"
 #include "sssp/host_engine.hpp"
@@ -144,6 +145,11 @@ struct ServiceConfig {
   TenantPolicy tenant;
   /// Live graph deltas: repair budget, stale window, verification.
   DeltaConfig delta;
+  /// Landmark distance oracle: per-tenant ALT tables built on the
+  /// rebuilder at publish time, serving point-to-point queries
+  /// (QueryOptions::target) without engine dispatch
+  /// (landmark/landmark_oracle.hpp).
+  LandmarkConfig landmark;
 };
 
 struct QueryOptions {
@@ -158,14 +164,34 @@ struct QueryOptions {
   /// 0 routes to the default tenant (the last set_graph). A non-resident
   /// fingerprint resolves typed kUnknownGraph.
   uint64_t graph_fp = 0;
+  /// Point-to-point target vertex. kInvalidVertex (the default) keeps the
+  /// query a full single-source solve. A real target routes through the
+  /// tenant's landmark oracle first: tight triangle-inequality bounds
+  /// answer with zero engine dispatch, otherwise an ALT-guided A* runs on
+  /// the submitting thread, and with no usable table the query falls
+  /// through to normal admission (a full solve; the target's distance is
+  /// read off the result). The outcome's p2p_* fields say which happened.
+  VertexId target = kInvalidVertex;
 };
 
 template <WeightType W>
 struct QueryOutcome {
   QueryStatus status = QueryStatus::kFailed;
-  /// The distances (and full run accounting); non-null iff status == kOk.
-  /// Shared with the cache — treat as immutable.
+  /// The distances (and full run accounting); non-null iff status == kOk,
+  /// EXCEPT point-to-point queries served by the landmark layer
+  /// (p2p_serve == kOracleExact or kAltSearch), which answer from the
+  /// p2p_* fields alone without a full distance array. Shared with the
+  /// cache — treat as immutable.
   std::shared_ptr<const SsspResult<W>> result;
+  /// How a point-to-point query (QueryOptions::target) was answered;
+  /// kNone for full single-source queries.
+  P2pServe p2p_serve = P2pServe::kNone;
+  /// Valid iff status == kOk and p2p_serve != kNone: whether the target
+  /// is reachable from the source, and the exact distance when it is.
+  /// Every serve class is exact for its generation — bounds are never
+  /// reported as distances unless tight.
+  bool p2p_reachable = false;
+  DistT<W> p2p_distance{};
   bool cache_hit = false;
   /// Brownout bounded-staleness serve: the result belongs to the previous
   /// graph generation (its fingerprint is in graph_fp). Always false for

@@ -111,6 +111,12 @@ const char* flight_kind_name(FlightKind k) noexcept {
     case FlightKind::kRepairStart: return "repair-start";
     case FlightKind::kRepairDone: return "repair-done";
     case FlightKind::kRepairFallback: return "repair-fallback";
+    case FlightKind::kTableBuildStart: return "table-build-start";
+    case FlightKind::kTableBuilt: return "table-built";
+    case FlightKind::kTableRepaired: return "table-repaired";
+    case FlightKind::kTableRebuildFallback: return "table-rebuild-fallback";
+    case FlightKind::kTableBuildFailed: return "table-build-failed";
+    case FlightKind::kOracleServe: return "oracle-serve";
   }
   return "?";
 }
@@ -196,6 +202,25 @@ std::string format_flight_event(const StampedFlightEvent& e) {
       std::snprintf(buf + n, sizeof(buf) - size_t(n),
                     "%s child=%016llx source=%u", flight_kind_name(kind),
                     (unsigned long long)e.ev.b, e.ev.a);
+      break;
+    case FlightKind::kTableBuilt:
+    case FlightKind::kTableRepaired:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "%s fp=%016llx landmarks=%u build=%ums",
+                    flight_kind_name(kind), (unsigned long long)e.ev.b,
+                    e.ev.a, e.ev.c);
+      break;
+    case FlightKind::kTableBuildStart:
+    case FlightKind::kTableRebuildFallback:
+    case FlightKind::kTableBuildFailed:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n), "%s fp=%016llx a=%u",
+                    flight_kind_name(kind), (unsigned long long)e.ev.b,
+                    e.ev.a);
+      break;
+    case FlightKind::kOracleServe:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "oracle-serve q=%llu source=%u serve=%u",
+                    (unsigned long long)e.ev.b, e.ev.a, e.ev.c);
       break;
     default:
       std::snprintf(buf + n, sizeof(buf) - size_t(n), "%s a=%u c=%u b=%llu",

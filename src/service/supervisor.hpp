@@ -326,6 +326,13 @@ enum class FlightKind : uint16_t {
   kRepairStart = 32,       // b=child fingerprint, a=source
   kRepairDone = 33,        // b=child fingerprint, a=source, c=latency us
   kRepairFallback = 34,    // b=child fingerprint, a=source (cold re-solve)
+  // --- landmark distance oracle (PR9) ----------------------------------
+  kTableBuildStart = 35,   // b=fingerprint, a=1 when warm repair
+  kTableBuilt = 36,        // b=fingerprint, a=landmarks, c=build ms
+  kTableRepaired = 37,     // b=child fingerprint, a=landmarks, c=build ms
+  kTableRebuildFallback = 38,  // b=child fingerprint (repair -> cold build)
+  kTableBuildFailed = 39,  // b=fingerprint, a=1 when unsupported (asym)
+  kOracleServe = 40,       // a=source, b=query id, c=P2pServe class
 };
 
 const char* flight_kind_name(FlightKind k) noexcept;

@@ -66,6 +66,41 @@ class GridManhattanHeuristic {
   uint64_t min_w_;
 };
 
+/// ALT heuristic (A*, Landmarks, Triangle inequality): given precomputed
+/// distance rows d(L, ·) for K landmarks on a symmetric graph,
+///   h(v) = max_L |d(L, v) - d(L, target)|
+/// is an admissible, consistent lower bound on dist(v, target). Rows are
+/// borrowed pointers into a landmark table that must outlive the search
+/// (the service holds a shared_ptr to the table across the A* call).
+/// Landmarks with an infinite entry at v or target contribute nothing —
+/// the triangle inequality says nothing across components.
+template <WeightType W>
+class LandmarkHeuristic {
+ public:
+  LandmarkHeuristic(std::vector<const DistT<W>*> rows, VertexId target)
+      : rows_(std::move(rows)) {
+    to_target_.reserve(rows_.size());
+    for (const auto* r : rows_) to_target_.push_back(r[target]);
+  }
+
+  DistT<W> operator()(VertexId v) const noexcept {
+    DistT<W> best{0};
+    for (size_t k = 0; k < rows_.size(); ++k) {
+      const DistT<W> dv = rows_[k][v];
+      const DistT<W> dt = to_target_[k];
+      if (dv == DistTraits<W>::infinity() || dt == DistTraits<W>::infinity())
+        continue;
+      const DistT<W> d = dv > dt ? dv - dt : dt - dv;
+      if (d > best) best = d;
+    }
+    return best;
+  }
+
+ private:
+  std::vector<const DistT<W>*> rows_;
+  std::vector<DistT<W>> to_target_;
+};
+
 /// A* from source to target with heuristic `h` (must be admissible for an
 /// exact answer). The graph (or its reverse for directed inputs) is also
 /// used for path reconstruction via a parent array kept during the search.

@@ -22,6 +22,7 @@ const char* site_name(Site s) noexcept {
     case Site::kPoolExhausted: return "pool.exhausted";
     case Site::kLaneSplit: return "combiner.lane-split";
     case Site::kDeltaRepair: return "repair.delta";
+    case Site::kLandmarkBuild: return "landmark.build";
   }
   return "?";
 }

@@ -32,6 +32,10 @@
 //                            repair; the service must fall back typed to a
 //                            cold solve on the child graph, never serve the
 //                            half-repaired tree)
+//   landmark.build           LandmarkOracle table build / warm table repair
+//                            throws mid-construction (the service must keep
+//                            the table out of serving — p2p queries ride the
+//                            engine path — and never expose a partial bound)
 #pragma once
 
 #include <array>
@@ -52,8 +56,9 @@ enum class Site : uint8_t {
   kPoolExhausted,
   kLaneSplit,
   kDeltaRepair,
+  kLandmarkBuild,
 };
-inline constexpr size_t kNumSites = 9;
+inline constexpr size_t kNumSites = 10;
 
 const char* site_name(Site s) noexcept;
 std::optional<Site> parse_site(const std::string& name);

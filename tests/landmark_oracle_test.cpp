@@ -1,0 +1,421 @@
+// LandmarkOracle bound soundness — the subsystem's one non-negotiable
+// invariant, checked against the Dijkstra oracle:
+//
+//   lower(s,t) <= dist(s,t) <= upper(s,t)   for every pair,
+//
+// across every graph class in the corpus generator, for all landmark
+// selections (K from 1 to the lane cap), and across graph deltas (warm
+// per-lane repair). An answer() that claims exactness must BE exact —
+// bit-equal distance, matching reachability — and the LandmarkFaultMatrix
+// proves that an injected landmark.build fault yields a typed failure,
+// never a table that serves a wrong bound.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/analysis.hpp"
+#include "graph/corpus.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/delta.hpp"
+#include "graph/generators.hpp"
+#include "landmark/landmark_oracle.hpp"
+#include "oracle_util.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/host_engine.hpp"
+#include "util/fault.hpp"
+
+namespace adds {
+namespace {
+
+using fault::FaultPlan;
+using fault::FaultScope;
+using fault::FaultSpec;
+using fault::Site;
+
+AddsHostOptions small_opts() {
+  AddsHostOptions o;
+  o.num_workers = 3;
+  o.chunk_items = 32;
+  o.block_words = 256;
+  return o;
+}
+
+LandmarkConfig table_cfg(uint32_t k) {
+  LandmarkConfig cfg;
+  cfg.num_landmarks = k;
+  return cfg;
+}
+
+/// "" when every (source, t) bound brackets the oracle distance and every
+/// answered pair is bit-equal to it; first defect otherwise.
+std::string bounds_defect(const CsrGraph<uint32_t>& g,
+                          const LandmarkTable<uint32_t>& tbl,
+                          VertexId source) {
+  constexpr DistT<uint32_t> kInf = DistTraits<uint32_t>::infinity();
+  const auto oracle = dijkstra(g, source);
+  std::ostringstream why;
+  for (VertexId t = 0; t < g.num_vertices(); ++t) {
+    const DistT<uint32_t> d = oracle.dist[t];
+    const OracleBounds<uint32_t> b = tbl.bounds(source, t);
+    if (d == kInf) {
+      // An unreachable pair must never get a finite upper bound: a finite
+      // upper means some landmark reaches both endpoints, which on a
+      // symmetric graph implies connectivity.
+      if (b.upper != kInf) {
+        why << "pair (" << source << "," << t
+            << ") unreachable but upper=" << b.upper;
+        return why.str();
+      }
+    } else {
+      if (b.lower > d || d > b.upper) {
+        why << "pair (" << source << "," << t << "): bounds [" << b.lower
+            << "," << b.upper << "] do not bracket dist " << d;
+        return why.str();
+      }
+    }
+    const OracleAnswer<uint32_t> a = tbl.answer(source, t);
+    if (a.answered) {
+      if (a.reachable != (d != kInf)) {
+        why << "pair (" << source << "," << t
+            << "): answered reachable=" << a.reachable << " oracle says "
+            << (d != kInf);
+        return why.str();
+      }
+      if (a.reachable && a.distance != d) {
+        why << "pair (" << source << "," << t << "): answered " << a.distance
+            << " != oracle " << d;
+        return why.str();
+      }
+    }
+  }
+  return std::string();
+}
+
+/// Mirrors every change of a deterministic test delta so the child stays
+/// symmetric: weight changes patch both arcs of the undirected edge,
+/// inserts add both directions.
+GraphDelta<uint32_t> symmetric_delta(const CsrGraph<uint32_t>& g,
+                                     size_t weight_changes, size_t inserts,
+                                     uint64_t seed) {
+  const GraphDelta<uint32_t> base =
+      oracle::make_test_delta(g, weight_changes, inserts, seed);
+  GraphDelta<uint32_t> out;
+  for (const EdgeChange<uint32_t>& c : base.changes) {
+    out.changes.push_back(c);
+    out.changes.push_back(EdgeChange<uint32_t>{c.dst, c.src, c.weight});
+  }
+  return out;
+}
+
+// --- bound soundness across every corpus graph class ----------------------
+
+TEST(LandmarkOracle, BoundsSoundAcrossCorpus) {
+  HostEngine<uint32_t> engine(small_opts());
+  for (const GraphSpec& spec : corpus_specs(CorpusTier::kSmoke)) {
+    const auto g = generate_graph<uint32_t>(spec);
+    ASSERT_TRUE(LandmarkOracle<uint32_t>::is_symmetric(g)) << spec.name;
+    const auto tbl = LandmarkOracle<uint32_t>::build(g, /*graph_fp=*/1,
+                                                     engine, table_cfg(4));
+    ASSERT_NE(tbl, nullptr) << spec.name;
+    EXPECT_GE(tbl->num_landmarks(), 1u) << spec.name;
+    const VertexId sources[] = {pick_source(g),
+                                VertexId(g.num_vertices() - 1)};
+    for (const VertexId s : sources)
+      EXPECT_EQ(bounds_defect(g, *tbl, s), "") << spec.name;
+  }
+}
+
+// Every landmark count from a single landmark to the lane cap must give
+// sound (if looser) bounds — the invariant cannot depend on K.
+TEST(LandmarkOracle, BoundsSoundForAllSelections) {
+  const auto g =
+      make_grid_road<uint32_t>(14, 11, {WeightDist::kUniform, 900}, 5);
+  HostEngine<uint32_t> engine(small_opts());
+  for (const uint32_t k : {1u, 2u, 3u, 5u, 8u, 16u, 32u}) {
+    const auto tbl =
+        LandmarkOracle<uint32_t>::build(g, k, engine, table_cfg(k));
+    ASSERT_NE(tbl, nullptr);
+    EXPECT_EQ(tbl->num_landmarks(), std::min(k, uint32_t(kMaxLanes)));
+    EXPECT_EQ(bounds_defect(g, *tbl, pick_source(g)), "") << "k=" << k;
+  }
+}
+
+// Landmark endpoints always produce tight bounds: querying from a
+// landmark must be answered exactly with zero traversal.
+TEST(LandmarkOracle, LandmarkEndpointsAnswerExact) {
+  const auto g = make_chain<uint32_t>(64, {WeightDist::kUniform, 50}, 9);
+  HostEngine<uint32_t> engine(small_opts());
+  const auto tbl =
+      LandmarkOracle<uint32_t>::build(g, 2, engine, table_cfg(4));
+  ASSERT_NE(tbl, nullptr);
+  for (const VertexId L : tbl->landmarks()) {
+    const auto oracle = dijkstra(g, L);
+    for (VertexId t = 0; t < g.num_vertices(); t += 7) {
+      const auto a = tbl->answer(L, t);
+      ASSERT_TRUE(a.answered) << "landmark " << L << " -> " << t;
+      EXPECT_TRUE(a.reachable);
+      EXPECT_EQ(a.distance, oracle.dist[t]);
+    }
+  }
+  // Same-vertex queries are answered 0 without any landmark involvement.
+  const auto self = tbl->answer(5, 5);
+  ASSERT_TRUE(self.answered);
+  EXPECT_TRUE(self.reachable);
+  EXPECT_EQ(self.distance, 0u);
+}
+
+// --- landmark selection ---------------------------------------------------
+
+TEST(LandmarkOracle, SelectionDeterministicSortedUnique) {
+  const auto g =
+      make_grid_road<uint32_t>(12, 12, {WeightDist::kUniform, 100}, 7);
+  const auto a = LandmarkOracle<uint32_t>::select_landmarks(g, 8, 42);
+  const auto b = LandmarkOracle<uint32_t>::select_landmarks(g, 8, 42);
+  EXPECT_EQ(a, b);  // pure function of (graph, k, seed)
+  EXPECT_EQ(a.size(), 8u);
+  for (size_t i = 1; i < a.size(); ++i) EXPECT_LT(a[i - 1], a[i]);
+  for (const VertexId v : a) EXPECT_LT(v, g.num_vertices());
+  // K above the lane cap clamps; K above V clamps harder.
+  EXPECT_EQ(LandmarkOracle<uint32_t>::select_landmarks(g, 64, 42).size(),
+            size_t(kMaxLanes));
+  const auto tiny = make_chain<uint32_t>(3, {WeightDist::kUnit, 1}, 1);
+  EXPECT_EQ(LandmarkOracle<uint32_t>::select_landmarks(tiny, 8, 42).size(),
+            3u);
+}
+
+// The farthest-point sweep treats unreached vertices as infinitely far,
+// so with K >= component count every component gets a landmark — the
+// oracle can then prove unreachability decisively.
+TEST(LandmarkOracle, SelectionCoversComponents) {
+  GraphBuilder<uint32_t> b{12};
+  for (VertexId v = 0; v < 5; ++v) b.add_undirected_edge(v, v + 1, 3);
+  for (VertexId v = 6; v < 11; ++v) b.add_undirected_edge(v, v + 1, 4);
+  const auto g = b.build();
+  const auto picks = LandmarkOracle<uint32_t>::select_landmarks(g, 2, 42);
+  ASSERT_EQ(picks.size(), 2u);
+  const bool first_low = picks[0] <= 5;
+  const bool second_low = picks[1] <= 5;
+  EXPECT_NE(first_low, second_low) << "both landmarks in one component";
+
+  HostEngine<uint32_t> engine(small_opts());
+  const auto tbl =
+      LandmarkOracle<uint32_t>::build(g, 3, engine, table_cfg(2));
+  ASSERT_NE(tbl, nullptr);
+  // Cross-component pairs are decisively unreachable — answered, not
+  // guessed.
+  const auto a = tbl->answer(0, 7);
+  ASSERT_TRUE(a.answered);
+  EXPECT_FALSE(a.reachable);
+  EXPECT_EQ(bounds_defect(g, *tbl, 0), "");
+  EXPECT_EQ(bounds_defect(g, *tbl, 7), "");
+}
+
+// --- symmetry gate --------------------------------------------------------
+
+TEST(LandmarkOracle, AsymmetricGraphIsTypedUnsupported) {
+  GraphBuilder<uint32_t> b{4};
+  b.add_edge(0, 1, 5);  // one-way arc: ALT bounds are unsound here
+  b.add_undirected_edge(1, 2, 2);
+  b.add_undirected_edge(2, 3, 2);
+  const auto g = b.build();
+  EXPECT_FALSE(LandmarkOracle<uint32_t>::is_symmetric(g));
+  HostEngine<uint32_t> engine(small_opts());
+  EXPECT_THROW(
+      LandmarkOracle<uint32_t>::build(g, 9, engine, table_cfg(4)),
+      LandmarkUnsupportedError);
+}
+
+TEST(LandmarkOracle, SymmetryIsMultisetExact) {
+  // Same endpoints, different weights per direction: every arc has a
+  // reverse arc, but the weights disagree — still asymmetric.
+  GraphBuilder<uint32_t> b{3};
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 0, 6);
+  b.add_undirected_edge(1, 2, 2);
+  EXPECT_FALSE(LandmarkOracle<uint32_t>::is_symmetric(b.build()));
+  // Parallel undirected edges with distinct weights are symmetric.
+  GraphBuilder<uint32_t> p{2};
+  p.add_undirected_edge(0, 1, 3);
+  p.add_undirected_edge(0, 1, 7);
+  EXPECT_TRUE(LandmarkOracle<uint32_t>::is_symmetric(p.build()));
+}
+
+// --- warm repair across deltas --------------------------------------------
+
+TEST(LandmarkOracle, RepairedTableSoundAfterDelta) {
+  const auto parent =
+      make_grid_road<uint32_t>(13, 13, {WeightDist::kUniform, 800}, 21);
+  HostEngine<uint32_t> engine(small_opts());
+  const auto ptbl = LandmarkOracle<uint32_t>::build(parent, 1, engine,
+                                                    table_cfg(6));
+  ASSERT_NE(ptbl, nullptr);
+
+  auto prev = std::make_shared<const CsrGraph<uint32_t>>(parent);
+  auto prev_tbl = ptbl;
+  // Chain three deltas, repairing the table in place each generation.
+  for (uint64_t gen = 1; gen <= 3; ++gen) {
+    const GraphDelta<uint32_t> delta = symmetric_delta(*prev, 6, 2, gen);
+    const auto applied = apply_delta(*prev, delta);
+    auto child = std::make_shared<const CsrGraph<uint32_t>>(applied.graph);
+    const auto ctbl = LandmarkOracle<uint32_t>::repair(
+        *prev_tbl, *prev, *child, /*child_fp=*/gen + 1, applied, engine,
+        table_cfg(6));
+    ASSERT_NE(ctbl, nullptr) << "generation " << gen;
+    EXPECT_TRUE(ctbl->repaired());
+    EXPECT_EQ(ctbl->landmarks(), prev_tbl->landmarks())
+        << "repair must keep the parent's landmark set";
+    EXPECT_EQ(bounds_defect(*child, *ctbl, pick_source(*child)), "")
+        << "generation " << gen;
+    EXPECT_EQ(bounds_defect(*child, *ctbl, 0), "") << "generation " << gen;
+    prev = std::move(child);
+    prev_tbl = ctbl;
+  }
+}
+
+TEST(LandmarkOracle, RepairRejectsSymmetryLoss) {
+  const auto parent =
+      make_grid_road<uint32_t>(8, 8, {WeightDist::kUniform, 100}, 3);
+  HostEngine<uint32_t> engine(small_opts());
+  const auto ptbl = LandmarkOracle<uint32_t>::build(parent, 1, engine,
+                                                    table_cfg(4));
+  ASSERT_NE(ptbl, nullptr);
+  // A one-way insert breaks the symmetry precondition on the child: the
+  // repair must refuse typed rather than produce unsound bounds.
+  GraphDelta<uint32_t> delta;
+  delta.changes.push_back(EdgeChange<uint32_t>{0, 17, 5});
+  auto applied = apply_delta(parent, delta);
+  EXPECT_THROW(LandmarkOracle<uint32_t>::repair(*ptbl, parent, applied.graph,
+                                                2, applied, engine,
+                                                table_cfg(4)),
+               LandmarkUnsupportedError);
+}
+
+// --- fault matrix over landmark.build -------------------------------------
+
+// A certain fault yields a typed adds::Error (NOT kUnsupported — the graph
+// is fine, the build is not), and no table escapes.
+TEST(LandmarkFaultMatrix, CertainBuildFaultIsTypedError) {
+  const auto g =
+      make_grid_road<uint32_t>(9, 9, {WeightDist::kUniform, 200}, 11);
+  HostEngine<uint32_t> engine(small_opts());
+  FaultPlan plan(7);
+  plan.set(Site::kLandmarkBuild, FaultSpec{1.0, ~0ull, 0});
+  FaultScope scope(plan);
+  try {
+    LandmarkOracle<uint32_t>::build(g, 1, engine, table_cfg(4));
+    FAIL() << "build must throw under a certain landmark.build fault";
+  } catch (const LandmarkUnsupportedError&) {
+    FAIL() << "a build fault is not an unsupported graph";
+  } catch (const Error&) {
+    // typed, as required
+  }
+  EXPECT_GT(plan.total_fires(), 0u);
+}
+
+// Probabilistic faults across seeds: every trial either fails typed or
+// produces a table whose every bound brackets the oracle — a wrong answer
+// is the one outcome the matrix forbids.
+TEST(LandmarkFaultMatrix, BuildFaultsNeverYieldWrongBounds) {
+  const auto g =
+      make_grid_road<uint32_t>(9, 9, {WeightDist::kUniform, 200}, 11);
+  HostEngine<uint32_t> engine(small_opts());
+  uint64_t fires = 0, failures = 0, successes = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    FaultPlan plan(seed);
+    plan.set(Site::kLandmarkBuild, FaultSpec{0.5, ~0ull, 0});
+    std::shared_ptr<const LandmarkTable<uint32_t>> tbl;
+    {
+      FaultScope scope(plan);
+      try {
+        tbl = LandmarkOracle<uint32_t>::build(g, seed, engine, table_cfg(4));
+      } catch (const Error&) {
+        ++failures;
+      }
+      fires += plan.total_fires();
+    }
+    if (tbl != nullptr) {
+      ++successes;
+      EXPECT_EQ(bounds_defect(g, *tbl, pick_source(g)), "")
+          << "seed " << seed;
+    }
+  }
+  EXPECT_GT(fires, 0u);
+  EXPECT_GT(failures, 0u);  // 0.5 over 6 seeds: at least one must fire
+}
+
+// The warm-repair path rolls the same site per landmark lane: a fault
+// mid-repair must throw typed, never hand back a partially repaired table.
+TEST(LandmarkFaultMatrix, RepairFaultIsTypedNeverPartial) {
+  const auto parent =
+      make_grid_road<uint32_t>(8, 8, {WeightDist::kUniform, 100}, 3);
+  HostEngine<uint32_t> engine(small_opts());
+  const auto ptbl = LandmarkOracle<uint32_t>::build(parent, 1, engine,
+                                                    table_cfg(4));
+  ASSERT_NE(ptbl, nullptr);
+  const GraphDelta<uint32_t> delta = symmetric_delta(parent, 4, 1, 13);
+  auto applied = apply_delta(parent, delta);
+
+  FaultPlan plan(3);
+  plan.set(Site::kLandmarkBuild, FaultSpec{1.0, ~0ull, 0});
+  FaultScope scope(plan);
+  EXPECT_THROW(
+      LandmarkOracle<uint32_t>::repair(*ptbl, parent, applied.graph, 2,
+                                       applied, engine, table_cfg(4)),
+      Error);
+  EXPECT_GT(plan.total_fires(), 0u);
+  // The parent table is untouched by the failed repair.
+  EXPECT_EQ(bounds_defect(parent, *ptbl, 0), "");
+}
+
+// --- registry lifecycle ---------------------------------------------------
+
+TEST(LandmarkRegistry, LifecycleStatusAndLru) {
+  const auto g = make_chain<uint32_t>(16, {WeightDist::kUnit, 1}, 1);
+  HostEngine<uint32_t> engine(small_opts());
+  const auto mk = [&](uint64_t fp) {
+    return LandmarkOracle<uint32_t>::build(g, fp, engine, table_cfg(2));
+  };
+
+  LandmarkRegistry<uint32_t> reg(/*max_tables=*/2);
+  EXPECT_EQ(reg.status(1), LandmarkTableStatus::kNone);
+  reg.set_status(1, LandmarkTableStatus::kBuilding);
+  EXPECT_EQ(reg.status(1), LandmarkTableStatus::kBuilding);
+  EXPECT_EQ(reg.lookup(1), nullptr);  // not READY yet
+
+  reg.install(1, mk(1));
+  reg.install(2, mk(2));
+  EXPECT_EQ(reg.resident_tables(), 2u);
+  ASSERT_NE(reg.lookup(1), nullptr);  // touches recency: 1 now most recent
+
+  reg.install(3, mk(3));  // evicts 2, the least recently used
+  EXPECT_EQ(reg.resident_tables(), 2u);
+  EXPECT_EQ(reg.evictions(), 1u);
+  EXPECT_EQ(reg.lookup(2), nullptr);
+  EXPECT_NE(reg.lookup(1), nullptr);
+  EXPECT_NE(reg.lookup(3), nullptr);
+
+  // info() reads status without perturbing recency: peeking 1 twice must
+  // not save it from eviction order changes caused by a later lookup(3).
+  const auto i1 = reg.info(1);
+  EXPECT_EQ(i1.status, LandmarkTableStatus::kReady);
+  EXPECT_EQ(i1.landmarks, reg.lookup(1)->num_landmarks());
+
+  // A reader holding a snapshot survives a drop.
+  const auto held = reg.lookup(3);
+  reg.drop(3);
+  EXPECT_EQ(reg.lookup(3), nullptr);
+  EXPECT_EQ(reg.status(3), LandmarkTableStatus::kNone);
+  EXPECT_EQ(bounds_defect(g, *held, 0), "");
+
+  // Statuses without tables occupy no residency.
+  reg.set_status(9, LandmarkTableStatus::kUnsupported);
+  EXPECT_EQ(reg.status(9), LandmarkTableStatus::kUnsupported);
+  EXPECT_EQ(reg.resident_tables(), 1u);
+}
+
+}  // namespace
+}  // namespace adds
