@@ -90,6 +90,18 @@ add_test(NAME landmark_chaos_smoke
 set_tests_properties(landmark_chaos_smoke
   PROPERTIES LABELS "perf;soak" TIMEOUT 120)
 
+# Crash-safe persistence chaos: save/crash/restore cycles through the
+# StateStore with persist.io armed on half the save and load paths (torn
+# writes, bitflips, version skew, short reads). Every corruption must be
+# detected typed and degrade to a cold republish/rebuild, every answer the
+# revived service gives must match Dijkstra, and each round must end fully
+# warm. CI's restart-chaos job runs this seed plus 1337.
+add_test(NAME restart_chaos_smoke
+  COMMAND soak_suite --restart-chaos --smoke --seed=42
+          --state-dir=${CMAKE_BINARY_DIR}/soak_restart_state)
+set_tests_properties(restart_chaos_smoke
+  PROPERTIES LABELS "perf;soak" TIMEOUT 120)
+
 # Serving-layer benchmark: warm-engine vs cold-start latency, result-cache
 # hit rate and admission-control shedding, all Dijkstra-validated (emits
 # BENCH_service.json). Fixed generator seeds; the smoke tier doubles as the
@@ -100,7 +112,9 @@ add_test(NAME service_smoke
           --out=${CMAKE_BINARY_DIR}/BENCH_service.json
           --batch-out=${CMAKE_BINARY_DIR}/BENCH_batch_all.json
           --delta-out=${CMAKE_BINARY_DIR}/BENCH_delta_all.json
-          --landmark-out=${CMAKE_BINARY_DIR}/BENCH_landmark_all.json)
+          --landmark-out=${CMAKE_BINARY_DIR}/BENCH_landmark_all.json
+          --persist-out=${CMAKE_BINARY_DIR}/BENCH_persist_all.json
+          --state-dir=${CMAKE_BINARY_DIR}/bench_persist_state_all)
 set_tests_properties(service_smoke PROPERTIES LABELS perf TIMEOUT 300)
 
 # Batched multi-source phase alone: K independent solves vs one
@@ -133,3 +147,16 @@ add_test(NAME landmark_smoke
   COMMAND service_suite --smoke --phase=landmark
           --landmark-out=${CMAKE_BINARY_DIR}/BENCH_landmark.json)
 set_tests_properties(landmark_smoke PROPERTIES LABELS perf TIMEOUT 300)
+
+# Warm-restart phase alone: one service warms up and saves its state; two
+# fresh services then race to their first VERIFIED p2p answer — cold
+# (set_graph + full landmark build) vs restored (StateStore load +
+# fingerprint recompute + Dijkstra spot check + exactness certificates).
+# Exits nonzero unless the warm restart clears 5x over the cold start with
+# zero cold rebuilds (emits BENCH_persist.json). CI's persist-smoke job
+# runs exactly this.
+add_test(NAME persist_smoke
+  COMMAND service_suite --smoke --phase=persist
+          --persist-out=${CMAKE_BINARY_DIR}/BENCH_persist.json
+          --state-dir=${CMAKE_BINARY_DIR}/bench_persist_state)
+set_tests_properties(persist_smoke PROPERTIES LABELS perf TIMEOUT 300)

@@ -596,13 +596,10 @@ int main(int argc, char** argv) {
       }())
       .raw("solver_runs", json_array(run_elems));
 
+  // Crash-safe publish: stage + rename so a crash mid-write can never leave
+  // a torn BENCH_perf.json behind (the previous run's artifact survives).
   const std::string out_path = cli.str("out");
-  std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
-    return 1;
-  }
-  out << root.str() << "\n";
+  write_file_atomic(out_path, root.str() + "\n");
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

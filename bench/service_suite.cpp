@@ -36,9 +36,19 @@
 // BENCH_landmark.json and gates on p2p serving at least 5x faster than
 // the full solve on the serving-regime road grid, with zero engine
 // fallbacks.
+//
+// --phase=persist runs the warm-restart phase (also part of `all`): one
+// service warms up (landmark table READY, result cache populated), saves
+// its state through the checksummed StateStore, and the suite then races
+// two fresh services to their first VERIFIED p2p answer — one starting
+// cold (set_graph + full landmark build), one restoring the store
+// (load + fingerprint recompute + Dijkstra spot check + exactness
+// certificates). Both answers must be bit-equal to Dijkstra before their
+// timing counts; emits BENCH_persist.json and gates on the warm restart
+// reaching its first verified answer at least 5x faster than the cold
+// start, with every restored artifact verified and zero cold rebuilds.
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -97,7 +107,12 @@ int main(int argc, char** argv) {
                  "BENCH_delta.json");
   cli.add_option("landmark-out", "landmark-phase JSON output path",
                  "BENCH_landmark.json");
-  cli.add_option("phase", "phases to run: all | batch | delta | landmark",
+  cli.add_option("persist-out", "persist-phase JSON output path",
+                 "BENCH_persist.json");
+  cli.add_option("state-dir", "state directory for the persist phase",
+                 "bench_persist_state");
+  cli.add_option("phase",
+                 "phases to run: all | batch | delta | landmark | persist",
                  "all");
   cli.add_option("queries", "queries per graph (over 8 sources)", "0");
   cli.add_option("workers", "worker threads per engine", "4");
@@ -106,13 +121,15 @@ int main(int argc, char** argv) {
   const bool smoke = cli.flag("smoke");
   const std::string phase_sel = cli.str("phase");
   ADDS_REQUIRE(phase_sel == "all" || phase_sel == "batch" ||
-                   phase_sel == "delta" || phase_sel == "landmark",
-               "service_suite: --phase must be all, batch, delta or "
-               "landmark");
+                   phase_sel == "delta" || phase_sel == "landmark" ||
+                   phase_sel == "persist",
+               "service_suite: --phase must be all, batch, delta, landmark "
+               "or persist");
   const bool run_main = phase_sel == "all";
   const bool run_batch = phase_sel == "all" || phase_sel == "batch";
   const bool run_delta = phase_sel == "all" || phase_sel == "delta";
   const bool run_landmark = phase_sel == "all" || phase_sel == "landmark";
+  const bool run_persist = phase_sel == "all" || phase_sel == "persist";
   const uint32_t n_queries =
       cli.integer("queries") > 0 ? uint32_t(cli.integer("queries"))
                                  : (smoke ? 24u : 96u);
@@ -342,12 +359,7 @@ int main(int argc, char** argv) {
        << ",\"batched_wall_ms\":" << batch_ms
        << ",\"aggregate_speedup\":" << batch_speedup << "}";
     const std::string bpath = cli.str("batch-out");
-    std::ofstream bout(bpath);
-    if (!bout) {
-      std::fprintf(stderr, "cannot open %s for writing\n", bpath.c_str());
-      return 1;
-    }
-    bout << bj.str() << "\n";
+    write_file_atomic(bpath, bj.str() + "\n");
     std::printf("wrote %s\n", bpath.c_str());
   }
 
@@ -455,12 +467,7 @@ int main(int argc, char** argv) {
     dj << "],\"small_delta_speedup\":" << delta_small_speedup
        << ",\"gate_min_speedup\":2.0}";
     const std::string dpath = cli.str("delta-out");
-    std::ofstream dout(dpath);
-    if (!dout) {
-      std::fprintf(stderr, "cannot open %s for writing\n", dpath.c_str());
-      return 1;
-    }
-    dout << dj.str() << "\n";
+    write_file_atomic(dpath, dj.str() + "\n");
     std::printf("wrote %s\n", dpath.c_str());
   }
 
@@ -585,13 +592,138 @@ int main(int argc, char** argv) {
        << ",\"p2p_speedup\":" << landmark_speedup
        << ",\"gate_min_speedup\":5.0}";
     const std::string lpath = cli.str("landmark-out");
-    std::ofstream lout(lpath);
-    if (!lout) {
-      std::fprintf(stderr, "cannot open %s for writing\n", lpath.c_str());
-      return 1;
-    }
-    lout << lj.str() << "\n";
+    write_file_atomic(lpath, lj.str() + "\n");
     std::printf("wrote %s\n", lpath.c_str());
+  }
+
+  // Warm-restart phase: time-to-first-VERIFIED-answer, cold vs restored.
+  // Cold pays set_graph plus a full landmark build (num_landmarks Dijkstra
+  // sweeps on the rebuilder); warm pays StateStore load + the restore
+  // verification gauntlet (fingerprint recompute, one Dijkstra spot-check
+  // row, exactness certificates on cache entries) — the whole point of the
+  // store is that verifying state is much cheaper than recomputing it.
+  // Both sides' first p2p answer is checked bit-equal against Dijkstra
+  // before its clock stops, and the restored cache must serve the pre-save
+  // tree bit-equal. Gate: warm at least 5x faster, zero cold rebuilds.
+  double persist_speedup = 0.0;
+  double persist_cold_ms = 0.0, persist_warm_ms = 0.0;
+  uint32_t persist_tables = 0, persist_cache = 0, persist_rebuilds = 0;
+  if (run_persist) {
+    const uint32_t side = smoke ? 64 : 96;
+    const auto g = make_grid_road<uint32_t>(
+        side, side, {WeightDist::kUniform, 100}, 29);
+    const VertexId src = 0;
+    const VertexId dst = VertexId(g.num_vertices() - 1);
+    const auto ref = dijkstra(g, src);
+    const std::string state_dir = cli.str("state-dir");
+
+    ServiceConfig cfg;
+    cfg.num_engines = 1;
+    cfg.engine = eng_opts;
+    cfg.landmark.num_landmarks = 16;  // a cold start pays 16 Dijkstra sweeps
+
+    const auto table_ready = [](SsspService<uint32_t>& svc, uint64_t fp) {
+      for (const auto& ts : svc.report().tenants)
+        if (ts.graph_fp == fp)
+          return ts.oracle_status == LandmarkTableStatus::kReady;
+      return false;
+    };
+    const auto wait_ready = [&](SsspService<uint32_t>& svc, uint64_t fp) {
+      for (int waited = 0; waited < 60000 && !table_ready(svc, fp); ++waited)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ADDS_REQUIRE(table_ready(svc, fp),
+                   "persist phase: landmark table never became ready");
+    };
+    const auto first_answer = [&](SsspService<uint32_t>& svc) {
+      QueryOptions q;
+      q.target = dst;
+      const auto out = svc.query(src, q);
+      if (out.p2p_serve == P2pServe::kNone || !out.p2p_reachable ||
+          out.p2p_distance != ref.dist[dst]) {
+        std::fprintf(stderr,
+                     "FATAL: persist phase p2p answer diverged from "
+                     "Dijkstra (or fell back to an engine)\n");
+        all_valid = false;
+      }
+    };
+
+    // Prep: warm one service end to end and persist its state.
+    {
+      SsspService<uint32_t> warm_svc(cfg);
+      const uint64_t fp = warm_svc.set_graph(g);
+      wait_ready(warm_svc, fp);
+      warm_svc.query(src);  // populate the result cache
+      warm_svc.query(VertexId(g.num_vertices() / 2));
+      const auto saved = warm_svc.save(state_dir);
+      ADDS_REQUIRE(saved.ok, "persist phase: save failed: " + saved.error);
+    }
+
+    const uint32_t rounds = smoke ? 2 : 4;
+    for (uint32_t round = 0; round < rounds; ++round) {
+      {
+        WallTimer cold_t;
+        SsspService<uint32_t> svc(cfg);
+        const uint64_t fp = svc.set_graph(g);
+        wait_ready(svc, fp);
+        first_answer(svc);
+        persist_cold_ms += cold_t.elapsed_ms();
+      }
+      {
+        WallTimer warm_t;
+        SsspService<uint32_t> svc(cfg);
+        const auto rs = svc.restore(state_dir);
+        first_answer(svc);  // no wait: restore verifies synchronously
+        persist_warm_ms += warm_t.elapsed_ms();
+        const auto rep = svc.report();
+        persist_tables = uint32_t(rep.state_tables_restored);
+        persist_cache = uint32_t(rep.state_cache_restored);
+        persist_rebuilds += uint32_t(rep.state_cold_rebuilds);
+        if (!rs.ok || rs.tables_restored != 1 || rs.corrupt_sections != 0 ||
+            rep.landmark_builds_ok != 0) {
+          std::fprintf(stderr,
+                       "FATAL: persist phase restore was not fully warm "
+                       "(tables=%u corrupt=%llu builds=%llu)\n",
+                       rs.tables_restored,
+                       (unsigned long long)rs.corrupt_sections,
+                       (unsigned long long)rep.landmark_builds_ok);
+          all_valid = false;
+        }
+        const auto cached = svc.query(src);
+        if (!cached.cache_hit ||
+            !validate_distances(*cached.result, ref).ok()) {
+          std::fprintf(stderr,
+                       "FATAL: persist phase restored cache entry "
+                       "diverged from the pre-save tree\n");
+          all_valid = false;
+        }
+      }
+    }
+    persist_speedup =
+        persist_warm_ms > 0 ? persist_cold_ms / persist_warm_ms : 0.0;
+    std::printf(
+        "persist phase (grid_%ux%u, %u landmarks, %u rounds): cold "
+        "start-to-verified-answer %.2f ms, warm restore %.2f ms, speedup "
+        "%s | restored: %u tables, %u cache entries, %u cold rebuilds\n",
+        side, side, cfg.landmark.num_landmarks, rounds, persist_cold_ms,
+        persist_warm_ms, fmt_ratio(persist_speedup).c_str(), persist_tables,
+        persist_cache, persist_rebuilds);
+
+    std::ostringstream pj;
+    pj << "{\"schema\":\"adds-persist-suite-v1\",\"mode\":\""
+       << (smoke ? "smoke" : "full") << "\",\"graph\":\"grid_" << side << "x"
+       << side << "\",\"vertices\":" << g.num_vertices()
+       << ",\"landmarks\":" << cfg.landmark.num_landmarks
+       << ",\"rounds\":" << rounds << ",\"workers\":" << eng_opts.num_workers
+       << ",\"cold_wall_ms\":" << persist_cold_ms
+       << ",\"warm_wall_ms\":" << persist_warm_ms
+       << ",\"warm_speedup\":" << persist_speedup
+       << ",\"tables_restored\":" << persist_tables
+       << ",\"cache_restored\":" << persist_cache
+       << ",\"cold_rebuilds\":" << persist_rebuilds
+       << ",\"gate_min_speedup\":5.0}";
+    const std::string ppath = cli.str("persist-out");
+    write_file_atomic(ppath, pj.str() + "\n");
+    std::printf("wrote %s\n", ppath.c_str());
   }
 
   if (run_main) {
@@ -608,26 +740,25 @@ int main(int argc, char** argv) {
          << "},\"batch_aggregate_speedup\":" << batch_speedup << "}";
 
     const std::string out_path = cli.str("out");
-    std::ofstream out(out_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
-      return 1;
-    }
-    out << root.str() << "\n";
+    write_file_atomic(out_path, root.str() + "\n");
     std::printf("wrote %s\n", out_path.c_str());
   }
   // Correctness is the gate; a shed-free burst means the overload phase
   // never exercised admission control, a batch below 3x aggregate
   // throughput means lane sharing stopped paying for itself, a small
   // delta repairing slower than 2x a full recompute means in-place repair
-  // stopped paying for itself, and a p2p serve below 5x a full solve (or
+  // stopped paying for itself, a p2p serve below 5x a full solve (or
   // one that leaned on an engine) means the landmark oracle stopped
+  // paying for itself, and a warm restart below 5x a cold start (or one
+  // that had to cold-rebuild anything) means the state store stopped
   // paying for itself.
   bool gate = all_valid;
   if (run_batch) gate = gate && batch_speedup >= 3.0;
   if (run_delta) gate = gate && delta_small_speedup >= 2.0;
   if (run_landmark)
     gate = gate && landmark_speedup >= 5.0 && lm_engine == 0;
+  if (run_persist)
+    gate = gate && persist_speedup >= 5.0 && persist_rebuilds == 0;
   if (run_main) gate = gate && burst_shed > 0 && burst_other == 0;
   return gate ? 0 : 1;
 }

@@ -30,6 +30,11 @@
 // --landmark-chaos (ISSUE 9) storms the landmark oracle: p2p bursts x
 // symmetric delta churn x injected landmark.build faults — a typed table
 // failure may downgrade serves to the engine path, never bend a distance.
+// --restart-chaos (ISSUE 10) crash-cycles the service through the state
+// store with persist.io armed on half the save/load paths: every
+// corrupted artifact must be detected typed and cold-rebuilt, every
+// served answer must still match Dijkstra, and the fleet must end every
+// round fully warm.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -1300,6 +1305,329 @@ int run_landmark_chaos(uint64_t master_seed, uint64_t rounds, bool smoke,
   return tally.violations == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Restart chaos: crash-safe persistence under fire
+// ---------------------------------------------------------------------------
+
+struct RestartTotals {
+  uint64_t saves_ok = 0;
+  uint64_t saves_failed = 0;
+  uint64_t restores_ok = 0;
+  uint64_t restores_failed = 0;   // whole-store typed failures
+  uint64_t clean_restores = 0;    // fully warm: every artifact verified
+  uint64_t corrupt_sections = 0;
+  uint64_t cold_rebuilds = 0;
+  uint64_t tables_restored = 0;
+  uint64_t cache_restored = 0;
+  uint64_t republished = 0;       // tenants lost to corruption, republished
+};
+
+/// One crash cycle: warm a 2-tenant service (tables READY, caches hot),
+/// save through the StateStore, destroy the service, and bring a fresh one
+/// up from the store. persist.io is armed on alternating rounds — one in
+/// four corrupts the save (torn write / bitflip / version skew, cycling
+/// with the plan's fire count), one in four short-reads the load; the rest
+/// are fault-free crash cycles. Contract: restore() never throws and never
+/// serves unverified state; everything it rejects is counted typed
+/// (corrupt_sections / a whole-store error) and replaced by a cold
+/// republish or rebuild; every answer the revived service gives — cached,
+/// fresh, or p2p off the restored table — matches the round's Dijkstra
+/// oracles; and the round ends fully warm (both tables READY).
+uint64_t restart_chaos_round(uint64_t round, uint64_t seed, bool smoke,
+                             bool verbose, const std::string& state_dir,
+                             fault::FaultPlan& save_plan,
+                             fault::FaultPlan& load_plan, Tally& t,
+                             RestartTotals& totals) {
+  constexpr int kTenants = 2;
+  constexpr VertexId kSources = 3;
+  const uint64_t side = smoke ? 20 : 26;
+  const bool arm_save = round % 4 == 1;
+  const bool arm_load = round % 4 == 3;
+
+  std::vector<std::shared_ptr<const IntGraph>> graphs;
+  std::vector<uint64_t> fps;
+  std::vector<std::vector<SsspResult<uint32_t>>> oracles(kTenants);
+  for (int k = 0; k < kTenants; ++k) {
+    GraphSpec spec;
+    spec.name = "grid_t" + std::to_string(k);
+    spec.family = GraphFamily::kGridRoad;
+    spec.scale = side;
+    spec.a = double(side);
+    spec.weights = {WeightDist::kUniform, 1000, 1};
+    spec.seed = seed + uint64_t(k);
+    graphs.push_back(std::make_shared<const IntGraph>(
+        generate_graph<uint32_t>(spec)));
+    fps.push_back(graph_fingerprint(*graphs.back()));
+    for (VertexId s = 0; s < kSources; ++s)
+      oracles[size_t(k)].push_back(dijkstra(*graphs.back(), s));
+  }
+
+  ServiceConfig cfg;
+  cfg.num_engines = 2;
+  cfg.max_queue_depth = 64;
+  cfg.cache_entries = 64;
+  cfg.guarded_fallback = false;
+  cfg.engine.num_workers = 2;
+  cfg.engine.chunk_items = 32;
+  cfg.landmark.num_landmarks = 4;
+
+  uint64_t violations = 0;
+  const auto violation = [&](SsspService<uint32_t>& svc,
+                             const std::string& what) {
+    ++violations;
+    std::fprintf(stderr,
+                 "VIOLATION restart-chaos round=%llu seed=0x%llx: %s\n",
+                 (unsigned long long)round, (unsigned long long)seed,
+                 what.c_str());
+    if (violations == 1) dump_flight(svc);
+  };
+  const auto tables_ready = [&](SsspService<uint32_t>& svc) {
+    int ready = 0;
+    for (const auto& ts : svc.report().tenants)
+      for (int k = 0; k < kTenants; ++k)
+        if (ts.graph_fp == fps[size_t(k)] &&
+            ts.oracle_status == LandmarkTableStatus::kReady)
+          ++ready;
+    return ready == kTenants;
+  };
+
+  // Phase A — warm a service end to end and save it (the "crash" is the
+  // destructor at the end of this block: no drain, no goodbye).
+  {
+    SsspService<uint32_t> warm(cfg);
+    warm.set_graph(graphs[0]);
+    warm.publish_graph(graphs[1]);
+    if (!poll_until([&] { return tables_ready(warm); }, 30000)) {
+      violation(warm, "landmark tables never became ready before the save");
+      return violations;
+    }
+    for (int k = 0; k < kTenants; ++k)
+      for (VertexId s = 0; s < kSources; ++s) {
+        QueryOptions q;
+        q.graph_fp = fps[size_t(k)];
+        const auto out = warm.query(s, q);
+        if (!validate_distances(*out.result, oracles[size_t(k)][s]).ok())
+          violation(warm, "pre-save result diverged from Dijkstra oracle");
+        else
+          ++t.ok;
+      }
+    SaveOutcome so;
+    if (arm_save) {
+      fault::FaultScope scope(save_plan);
+      so = warm.save(state_dir);
+    } else {
+      so = warm.save(state_dir);
+    }
+    if (so.ok)
+      ++totals.saves_ok;
+    else
+      ++totals.saves_failed;
+    if (!so.ok && !arm_save)
+      violation(warm, "fault-free save failed: " + so.error);
+  }
+
+  // Phase B — restart from the store. restore() must come back typed no
+  // matter what the injected fault did to the bytes.
+  SsspService<uint32_t> svc(cfg);
+  RestoreOutcome ro;
+  try {
+    if (arm_load) {
+      fault::FaultScope scope(load_plan);
+      ro = svc.restore(state_dir);
+      // Keep the plan installed until restore-scheduled cold builds settle
+      // (threads inside build code may still consult it).
+      poll_until([&] { return svc.report().landmark_builds_pending == 0; },
+                 30000);
+    } else {
+      ro = svc.restore(state_dir);
+    }
+  } catch (const std::exception& e) {
+    violation(svc,
+              std::string("restore threw (contract: never): ") + e.what());
+    return violations;
+  }
+  if (!ro.store_found) {
+    violation(svc, "store file missing after a published save");
+    return violations;
+  }
+  if (ro.ok)
+    ++totals.restores_ok;
+  else
+    ++totals.restores_failed;
+  totals.corrupt_sections += ro.corrupt_sections;
+  totals.cold_rebuilds += ro.cold_rebuilds;
+  totals.tables_restored += ro.tables_restored;
+  totals.cache_restored += ro.cache_restored;
+  const bool fully_warm_restore =
+      ro.ok && ro.corrupt_sections == 0 && ro.cold_rebuilds == 0 &&
+      ro.graphs_restored == uint32_t(kTenants) &&
+      ro.tables_restored == uint32_t(kTenants);
+  if (fully_warm_restore) ++totals.clean_restores;
+  if (!arm_save && !arm_load && !fully_warm_restore)
+    violation(svc, "fault-free restore was not fully warm (graphs=" +
+                       std::to_string(ro.graphs_restored) + " tables=" +
+                       std::to_string(ro.tables_restored) + " corrupt=" +
+                       std::to_string(ro.corrupt_sections) + " error=" +
+                       ro.error + ")");
+
+  // Phase C — cold fallback: republish any tenant the verification
+  // gauntlet refused to seat. This is the degraded path the store's
+  // invariant promises: corruption costs startup latency, never answers.
+  {
+    const auto resident = svc.resident_graphs();
+    for (int k = 0; k < kTenants; ++k) {
+      bool found = false;
+      for (const uint64_t r : resident) found = found || r == fps[size_t(k)];
+      if (!found) {
+        svc.publish_graph(graphs[size_t(k)]);
+        ++totals.republished;
+      }
+    }
+  }
+
+  // Phase D — the fleet must return fully warm: restored tables serve as
+  // they are, rejected ones finish their cold rebuilds.
+  if (!poll_until([&] { return tables_ready(svc); }, 30000)) {
+    violation(svc, "tables never reached READY after the restart");
+    return violations;
+  }
+
+  // Phase E — zero wrong answers: full solves (cache hit or fresh) and
+  // p2p serves off whatever table survived or got rebuilt.
+  for (int k = 0; k < kTenants; ++k)
+    for (VertexId s = 0; s < kSources; ++s) {
+      QueryOptions q;
+      q.graph_fp = fps[size_t(k)];
+      try {
+        const auto out = svc.query(s, q);
+        if (!validate_distances(*out.result, oracles[size_t(k)][s]).ok()) {
+          violation(svc, "post-restart result diverged from Dijkstra oracle");
+          continue;
+        }
+        ++t.ok;
+        const VertexId d =
+            VertexId(graphs[size_t(k)]->num_vertices() - 1 - s);
+        QueryOptions pq;
+        pq.graph_fp = fps[size_t(k)];
+        pq.target = d;
+        const auto pout = svc.query(s, pq);
+        const DistT<uint32_t> want = oracles[size_t(k)][s].dist[d];
+        const bool want_reach = want != DistTraits<uint32_t>::infinity();
+        if (pout.p2p_reachable != want_reach ||
+            (want_reach && pout.p2p_distance != want)) {
+          violation(svc, "post-restart p2p answer diverged from Dijkstra");
+          continue;
+        }
+        ++t.ok;
+      } catch (const Error& e) {
+        violation(svc,
+                  std::string("post-restart query failed: ") + e.what());
+      }
+    }
+
+  // The episode must be typed end to end and reconstructible from the
+  // flight recorder.
+  const auto events = svc.flight_dump();
+  if ((ro.corrupt_sections > 0 || !ro.ok) &&
+      !flight_has(events, FlightKind::kStateCorrupt))
+    violation(svc, "flight recorder is missing the state-corrupt event");
+  if (ro.ok && !flight_has(events, FlightKind::kStateLoaded))
+    violation(svc, "flight recorder is missing the state-loaded event");
+  if (ro.cold_rebuilds > 0 && !flight_has(events, FlightKind::kColdRebuild))
+    violation(svc, "flight recorder is missing the cold-rebuild event");
+
+  if (verbose) {
+    const auto rep = svc.report();
+    std::fprintf(stderr,
+                 "round=%llu arm_save=%d arm_load=%d restored: graphs=%u "
+                 "tables=%u cache=%u corrupt=%llu rebuilds=%u "
+                 "republished=%llu load_ms=%.2f verify_ms=%.2f "
+                 "builds_ok=%llu\n",
+                 (unsigned long long)round, int(arm_save), int(arm_load),
+                 ro.graphs_restored, ro.tables_restored, ro.cache_restored,
+                 (unsigned long long)ro.corrupt_sections, ro.cold_rebuilds,
+                 (unsigned long long)totals.republished, ro.load_ms,
+                 ro.verify_ms, (unsigned long long)rep.landmark_builds_ok);
+  }
+  return violations;
+}
+
+int run_restart_chaos(uint64_t master_seed, uint64_t rounds, bool smoke,
+                      bool verbose, const std::string& state_dir) {
+  SoakRng rng{master_seed};
+  Tally tally;
+  RestartTotals totals;
+  // One plan per side, alive across every round, so the save-side fault
+  // mode cycles with its fire count (torn write, then bitflip, then
+  // version skew) instead of re-rolling the first mode each round.
+  // Probability 1.0: WHICH rounds are armed is the round alternation in
+  // restart_chaos_round, not a coin flip — half the crash cycles see
+  // persist.io, deterministically per seed.
+  fault::FaultPlan save_plan(master_seed);
+  save_plan.set(fault::Site::kStateIo, {1.0, ~0ull, 0});
+  fault::FaultPlan load_plan(master_seed ^ 0x9e3779b97f4a7c15ull);
+  load_plan.set(fault::Site::kStateIo, {1.0, ~0ull, 0});
+
+  for (uint64_t r = 0; r < rounds; ++r)
+    tally.violations +=
+        restart_chaos_round(r, rng.next(), smoke, verbose, state_dir,
+                            save_plan, load_plan, tally, totals);
+  const uint64_t io_fires = save_plan.total_fires() + load_plan.total_fires();
+  tally.fault_fires += io_fires;
+
+  // The suite's reason to exist: both arms must actually have been
+  // exercised — at least one fully warm restore (the store pays off) and
+  // at least one injected corruption resolved typed (the verification
+  // gauntlet caught it). A run where persist.io never bit proves nothing.
+  if (io_fires == 0) {
+    ++tally.violations;
+    std::fprintf(stderr,
+                 "VIOLATION restart-chaos: persist.io never fired\n");
+  }
+  if (totals.clean_restores == 0) {
+    ++tally.violations;
+    std::fprintf(stderr,
+                 "VIOLATION restart-chaos: no crash cycle ever came back "
+                 "fully warm from the store\n");
+  }
+  if (totals.corrupt_sections + totals.restores_failed +
+          totals.republished ==
+      0) {
+    ++tally.violations;
+    std::fprintf(stderr,
+                 "VIOLATION restart-chaos: injected persist.io faults "
+                 "never produced a typed corruption (fires=%llu)\n",
+                 (unsigned long long)io_fires);
+  }
+
+  TextTable table("Restart chaos (" + std::to_string(rounds) +
+                  " rounds, seed " + std::to_string(master_seed) + ")");
+  table.set_header({"outcome", "count"});
+  table.add_row({"validated answers", std::to_string(tally.ok)});
+  table.add_row({"contract violations", std::to_string(tally.violations)});
+  table.add_row({"saves ok", std::to_string(totals.saves_ok)});
+  table.add_row({"restores ok", std::to_string(totals.restores_ok)});
+  table.add_row({"whole-store failures (typed)",
+                 std::to_string(totals.restores_failed)});
+  table.add_row({"fully warm restores",
+                 std::to_string(totals.clean_restores)});
+  table.add_row({"corrupt sections (typed)",
+                 std::to_string(totals.corrupt_sections)});
+  table.add_row({"cold rebuilds", std::to_string(totals.cold_rebuilds)});
+  table.add_row({"tables restored", std::to_string(totals.tables_restored)});
+  table.add_row({"cache entries restored",
+                 std::to_string(totals.cache_restored)});
+  table.add_row({"tenants republished cold",
+                 std::to_string(totals.republished)});
+  table.add_row({"persist.io fires", std::to_string(io_fires)});
+  table.add_footer(
+      "crash cycles through the StateStore with persist.io armed on half "
+      "the save/load paths; recovered state is verified or rebuilt — "
+      "never served on trust");
+  table.print();
+  return tally.violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1322,8 +1650,14 @@ int main(int argc, char** argv) {
                "landmark-oracle phase: p2p bursts x delta churn x injected "
                "landmark.build faults; typed table failures may downgrade "
                "the serve path but never bend a distance");
+  cli.add_flag("restart-chaos",
+               "crash-safe persistence phase: save/crash/restore cycles "
+               "with persist.io armed on half the save and load paths; "
+               "corruption must resolve typed and every answer validate");
   cli.add_option("runs", "number of randomized runs (0: tier default)", "0");
   cli.add_option("seed", "master seed for the configuration stream", "42");
+  cli.add_option("state-dir", "state directory for --restart-chaos",
+                 "soak_restart_state");
   if (!cli.parse(argc, argv)) return 0;
 
   const bool smoke = cli.flag("smoke");
@@ -1345,6 +1679,11 @@ int main(int argc, char** argv) {
   if (cli.flag("landmark-chaos")) {
     if (runs == 0) runs = smoke ? 2 : 6;
     return run_landmark_chaos(master_seed, runs, smoke, cli.flag("verbose"));
+  }
+  if (cli.flag("restart-chaos")) {
+    if (runs == 0) runs = smoke ? 4 : 8;
+    return run_restart_chaos(master_seed, runs, smoke, cli.flag("verbose"),
+                             cli.str("state-dir"));
   }
   if (runs == 0) runs = smoke ? 40 : 400;
 

@@ -20,6 +20,16 @@
 //
 //   ./artifact_runner --corpus=smoke --solvers=adds-host --resilient \
 //       --fault-seed=7 --fault-site=push.drop-before-publish --fault-prob=0.02
+//
+// Crash-safe warm restart (--queries/--pairs mode only): --save-state
+// checkpoints the warm service (tenant graphs + landmark tables + result
+// cache) through the versioned, checksummed StateStore after the batch
+// drains, and --load-state revives a FRESH service from that store and
+// replays every distinct query of the batch against it, requiring each
+// answer to match the pre-save outcome bit-for-bit:
+//
+//   ./artifact_runner --corpus=smoke --queries=32 \
+//       --save-state=artifact_state --load-state=artifact_state
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -100,6 +110,16 @@ int main(int argc, char** argv) {
                  "when possible and a full engine solve otherwise",
                  "");
   cli.add_option("engines", "warm engines for --queries mode", "2");
+  cli.add_option("save-state",
+                 "after the batch drains, checkpoint the warm service "
+                 "(graphs + landmark tables + result cache) into this "
+                 "directory through the crash-safe StateStore",
+                 "");
+  cli.add_option("load-state",
+                 "revive a fresh service from this directory's store and "
+                 "replay every distinct batch query against it; each "
+                 "answer must match its pre-save outcome bit-for-bit",
+                 "");
   cli.add_option("delta-file",
                  "edge-delta file for --queries mode: one 'u v w' triple "
                  "per line (weight change, or insert if the edge is "
@@ -364,6 +384,81 @@ int main(int argc, char** argv) {
                   (unsigned long long)rep.repair_fallbacks,
                   (unsigned long long)rep.repairs_pending,
                   (unsigned long long)rep.delta_stale_hits);
+
+    // --save-state: checkpoint the warm service through the crash-safe
+    // StateStore. The batch has fully drained, so the snapshot captures
+    // every tenant graph, landmark table and cached tree the run produced.
+    if (const std::string save_dir = cli.str("save-state");
+        !save_dir.empty()) {
+      const auto so = svc.save(save_dir);
+      ADDS_REQUIRE(so.ok, "state save failed: " + so.error);
+      std::printf("state saved: %u graphs, %u tables, %u cache entries | "
+                  "%llu sections, %llu bytes -> %s\n",
+                  so.graphs, so.tables, so.cache_entries,
+                  (unsigned long long)so.sections,
+                  (unsigned long long)so.bytes, so.path.c_str());
+    }
+
+    // --load-state: the warm-restart round trip. A FRESH service revives
+    // from the store (restore verifies every artifact before serving —
+    // recomputed fingerprints, a Dijkstra spot check per table, exactness
+    // certificates per cache entry) and replays every distinct query of
+    // the batch. The pre-save shared futures are the reference: a revived
+    // answer that differs from its pre-save twin is a round-trip failure.
+    if (const std::string load_dir = cli.str("load-state");
+        !load_dir.empty()) {
+      SsspService<uint32_t> revived(scfg);
+      const auto ro = revived.restore(load_dir);
+      ADDS_REQUIRE(ro.store_found, "no state store at " + load_dir);
+      ADDS_REQUIRE(ro.ok, "state restore failed: " + ro.error);
+      // Corrupt sections degrade to typed cold rebuilds; wait those out so
+      // the replay measures answers, not the build race.
+      for (int waited = 0;
+           waited < 30000 && revived.report().landmark_builds_pending > 0;
+           waited += 10)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      uint64_t replayed = 0, warm_hits = 0, wrong = 0;
+      for (const auto& [key, fut] : issued) {
+        const size_t k = std::get<0>(key);
+        const uint64_t src_u = std::get<1>(key);
+        const uint64_t tgt_u = std::get<2>(key);
+        const QueryOutcome<uint32_t> before = fut.get();
+        if (before.status != QueryStatus::kOk) continue;
+        QueryOptions q;
+        q.graph_fp = fps[k];
+        if (tgt_u != uint64_t(kInvalidVertex)) q.target = VertexId(tgt_u);
+        ++replayed;
+        QueryOutcome<uint32_t> after;
+        try {
+          after = revived.submit(VertexId(src_u), q).get();
+        } catch (const Error&) {
+          ++wrong;
+          continue;
+        }
+        warm_hits += after.cache_hit;
+        bool same = after.status == QueryStatus::kOk;
+        if (same && tgt_u != uint64_t(kInvalidVertex))
+          same = after.p2p_reachable == before.p2p_reachable &&
+                 (!before.p2p_reachable ||
+                  after.p2p_distance == before.p2p_distance);
+        else if (same)
+          same = before.result != nullptr && after.result != nullptr &&
+                 validate_distances(*before.result, *after.result).ok();
+        wrong += !same;
+      }
+      std::printf("warm-restart round trip: %u graphs, %u tables, %u cache "
+                  "entries restored (%llu/%llu sections corrupt) | "
+                  "%llu queries replayed, %llu warm cache hits, "
+                  "%llu mismatches — %s\n",
+                  ro.graphs_restored, ro.tables_restored, ro.cache_restored,
+                  (unsigned long long)ro.corrupt_sections,
+                  (unsigned long long)ro.sections_total,
+                  (unsigned long long)replayed,
+                  (unsigned long long)warm_hits, (unsigned long long)wrong,
+                  wrong == 0 ? "all answers match the pre-save run"
+                             : "ROUND-TRIP MISMATCHES FOUND");
+      batch_ok &= wrong == 0 && replayed > 0;
+    }
     return batch_ok ? 0 : 1;
   }
 

@@ -9,6 +9,18 @@
 //     <source-vertex> [deadline_ms] [graph-index]
 //     p2p <source-vertex> <target-vertex> [deadline_ms] [graph-index]
 //     delta <graph-index> <edge-count> [seed]
+//     save
+//     restore
+//
+// `save` / `restore` lines (they need --state-dir) checkpoint the serving
+// state through the crash-safe StateStore and load it back mid-stream;
+// with --state-dir the server also restores an existing store at startup
+// before publishing the script graphs, so a restart comes back warm. Each
+// save/restore line lands in the CSV as its own row (status `state-saved`
+// / `state-restored` / `state-corrupt`) whose trailing columns carry the
+// recovery accounting every row has: `recovered_sections` (sections
+// written on save; artifacts verified and seated on restore) and
+// `load_verify_ms` (read+checksum+decode plus the verification gauntlet).
 //
 // `p2p` lines ask for one point-to-point distance: when the tenant's
 // landmark table is READY and the ALT bounds are tight the answer is
@@ -31,7 +43,8 @@
 // what the service did:
 //
 //     id,source,target,graph,status,serve,cache_hit,stale,queue_ms,
-//     latency_ms,reached,dist_checksum,p2p_dist
+//     latency_ms,reached,dist_checksum,p2p_dist,recovered_sections,
+//     load_verify_ms
 //
 // The final ServiceReport (latency percentiles, cache hit rate, engine
 // utilization, shed count) goes to stderr, followed by one bulkhead row
@@ -141,6 +154,9 @@ int main(int argc, char** argv) {
   cli.add_option("queue-depth", "admission queue bound", "64");
   cli.add_option("cache-entries", "result cache capacity (0 = off)", "128");
   cli.add_option("deadline-ms", "default per-query deadline (0 = none)", "0");
+  cli.add_option("state-dir",
+                 "crash-safe state directory: restore an existing store at "
+                 "startup and enable save/restore script lines", "");
   cli.add_flag("mirror-deltas",
                "mirror every delta edge so rewritten graphs stay symmetric "
                "and landmark tables warm-repair instead of going "
@@ -161,6 +177,29 @@ int main(int argc, char** argv) {
   cfg.default_deadline_ms = cli.real("deadline-ms");
   cfg.engine.num_workers = uint32_t(cli.integer("workers"));
   SsspService<uint32_t> svc(cfg);
+
+  // Warm restart: an existing store is restored (and verified — anything
+  // corrupt is dropped typed and rebuilt cold) before the script graphs
+  // publish, so a matching tenant comes back with its landmark table and
+  // cached trees already seated.
+  const std::string state_dir = cli.str("state-dir");
+  if (!state_dir.empty()) {
+    const auto ro = svc.restore(state_dir);
+    if (ro.store_found)
+      std::fprintf(stderr,
+                   "state restore: %s | %u graphs, %u tables, %u cache "
+                   "entries seated | %llu/%llu sections corrupt | %u cold "
+                   "rebuilds | load %.2f ms verify %.2f ms%s%s\n",
+                   ro.ok ? "ok" : "FAILED", ro.graphs_restored,
+                   ro.tables_restored, ro.cache_restored,
+                   (unsigned long long)ro.corrupt_sections,
+                   (unsigned long long)ro.sections_total, ro.cold_rebuilds,
+                   ro.load_ms, ro.verify_ms, ro.error.empty() ? "" : " | ",
+                   ro.error.c_str());
+    else
+      std::fprintf(stderr, "state restore: no store at %s (cold start)\n",
+                   state_dir.c_str());
+  }
 
   std::vector<uint64_t> fps;
   fps.push_back(svc.set_graph(graphs[0]));
@@ -209,7 +248,8 @@ int main(int argc, char** argv) {
   }
   std::ostream& csv = to_stdout ? std::cout : ofile;
   csv << "id,source,target,graph,status,serve,cache_hit,stale,queue_ms,"
-         "latency_ms,reached,dist_checksum,p2p_dist\n";
+         "latency_ms,reached,dist_checksum,p2p_dist,recovered_sections,"
+         "load_verify_ms\n";
 
   // Submit every script line, then drain the futures in order. The bounded
   // admission queue does the pacing: a burst larger than the queue simply
@@ -222,6 +262,7 @@ int main(int argc, char** argv) {
     VertexId target;  // kInvalidVertex for full single-source lines
     size_t graph_idx;
     std::shared_future<QueryOutcome<uint32_t>> fut;
+    std::string persist_row;  // non-empty: a pre-rendered save/restore row
   };
   std::vector<Pending> futs;
   std::map<std::tuple<size_t, uint64_t, uint64_t, double>,
@@ -235,6 +276,55 @@ int main(int argc, char** argv) {
     std::istringstream ls(line);
     std::string head;
     ls >> head;
+    if (head == "save" || head == "restore") {
+      // save / restore: checkpoint the serving state (or load it back)
+      // at this position in the stream. The outcome lands in the CSV as
+      // its own row so the stream stays a complete account.
+      ADDS_REQUIRE(!state_dir.empty(),
+                   "sssp_server: '" + head + "' script line needs "
+                   "--state-dir");
+      // Checkpoint barrier: every earlier line settles first, so the
+      // saved (or replaced) state reflects the stream prefix — cache
+      // fills from in-flight solves included.
+      for (const auto& p : futs)
+        if (p.persist_row.empty()) p.fut.wait();
+      std::ostringstream row;
+      if (head == "save") {
+        const auto so = svc.save(state_dir);
+        std::fprintf(stderr,
+                     "state save: %s | %u graphs, %u tables, %u cache "
+                     "entries | %llu sections, %llu bytes -> %s%s%s\n",
+                     so.ok ? "ok" : "FAILED", so.graphs, so.tables,
+                     so.cache_entries, (unsigned long long)so.sections,
+                     (unsigned long long)so.bytes, so.path.c_str(),
+                     so.error.empty() ? "" : " | ", so.error.c_str());
+        row << "-,-,-,-," << (so.ok ? "state-saved" : "state-corrupt")
+            << ",-,-,-,-,-,-,-,-," << so.sections << ",-";
+      } else {
+        const auto ro = svc.restore(state_dir);
+        std::fprintf(stderr,
+                     "state restore: %s | %u graphs, %u tables, %u cache "
+                     "entries seated | %llu/%llu sections corrupt | %u "
+                     "cold rebuilds | load %.2f ms verify %.2f ms%s%s\n",
+                     ro.ok ? "ok" : "FAILED", ro.graphs_restored,
+                     ro.tables_restored, ro.cache_restored,
+                     (unsigned long long)ro.corrupt_sections,
+                     (unsigned long long)ro.sections_total, ro.cold_rebuilds,
+                     ro.load_ms, ro.verify_ms, ro.error.empty() ? "" : " | ",
+                     ro.error.c_str());
+        row << "-,-,-,-,"
+            << (ro.ok && ro.corrupt_sections == 0 ? "state-restored"
+                                                  : "state-corrupt")
+            << ",-,-,-,-,-,-,-,-,"
+            << (ro.graphs_restored + ro.tables_restored + ro.cache_restored)
+            << ',' << (ro.load_ms + ro.verify_ms);
+        // The catalog may have gained tenants; dedup against the old
+        // world would fan a pre-restore future to post-restore lines.
+        issued.clear();
+      }
+      futs.push_back({0, kInvalidVertex, 0, {}, row.str()});
+      continue;
+    }
     if (head == "delta") {
       // delta <graph-index> <edge-count> [seed]: rewrite that tenant's
       // graph in place; later lines with this index route to the child.
@@ -309,11 +399,15 @@ int main(int argc, char** argv) {
     } else {
       ++deduped;
     }
-    futs.push_back({VertexId(source), q.target, graph_idx, it->second});
+    futs.push_back({VertexId(source), q.target, graph_idx, it->second, {}});
   }
 
   uint64_t ok = 0;
   for (auto& p : futs) {
+    if (!p.persist_row.empty()) {
+      csv << p.persist_row << '\n';
+      continue;
+    }
     const QueryOutcome<uint32_t> out = p.fut.get();
     ok += out.status == QueryStatus::kOk;
     const bool p2p = p.target != kInvalidVertex;
@@ -334,7 +428,7 @@ int main(int argc, char** argv) {
       csv << out.p2p_distance;
     else
       csv << '-';
-    csv << '\n';
+    csv << ",-,-\n";
   }
 
   // Let in-flight repairs and landmark rebuilds settle so the final report
@@ -404,6 +498,20 @@ int main(int argc, char** argv) {
                (unsigned long long)rep.oracle_exact_hits,
                (unsigned long long)rep.alt_searches,
                (unsigned long long)rep.p2p_engine_fallbacks);
+  if (!state_dir.empty())
+    std::fprintf(stderr,
+                 "persist: saves %llu ok / %llu failed | restores %llu ok / "
+                 "%llu failed | %llu corrupt sections | %llu cold rebuilds | "
+                 "restored %llu graphs %llu tables %llu cache entries\n",
+                 (unsigned long long)rep.state_saves_ok,
+                 (unsigned long long)rep.state_saves_failed,
+                 (unsigned long long)rep.state_restores_ok,
+                 (unsigned long long)rep.state_restores_failed,
+                 (unsigned long long)rep.state_corrupt_sections,
+                 (unsigned long long)rep.state_cold_rebuilds,
+                 (unsigned long long)rep.state_graphs_restored,
+                 (unsigned long long)rep.state_tables_restored,
+                 (unsigned long long)rep.state_cache_restored);
   print_tenant_rows(rep);
 
   if (cli.flag("dump-flightrec")) {

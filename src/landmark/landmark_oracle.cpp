@@ -251,6 +251,30 @@ std::shared_ptr<const LandmarkTable<W>> LandmarkOracle<W>::repair(
   return table;
 }
 
+template <WeightType W>
+std::shared_ptr<const LandmarkTable<W>> LandmarkOracle<W>::assemble(
+    uint64_t graph_fp, uint64_t num_vertices, std::vector<VertexId> landmarks,
+    std::vector<DistT<W>> rows, double build_ms, bool repaired) {
+  ADDS_REQUIRE(!landmarks.empty(), "landmark: assemble with zero landmarks");
+  ADDS_REQUIRE(landmarks.size() <= kMaxLanes,
+               "landmark: assemble with more landmarks than lanes");
+  ADDS_REQUIRE(rows.size() == landmarks.size() * num_vertices,
+               "landmark: assemble rows/landmarks size mismatch");
+  for (const VertexId L : landmarks)
+    ADDS_REQUIRE(L < num_vertices, "landmark: assemble landmark out of range");
+  for (size_t k = 0; k < landmarks.size(); ++k)
+    ADDS_REQUIRE(rows[k * num_vertices + landmarks[k]] == DistT<W>{0},
+                 "landmark: assemble row has nonzero self-distance");
+  auto table = std::make_shared<LandmarkTable<W>>();
+  table->graph_fp_ = graph_fp;
+  table->num_vertices_ = num_vertices;
+  table->landmarks_ = std::move(landmarks);
+  table->rows_ = std::move(rows);
+  table->build_ms_ = build_ms;
+  table->repaired_ = repaired;
+  return table;
+}
+
 // ---- LandmarkRegistry ------------------------------------------------------
 
 template <WeightType W>

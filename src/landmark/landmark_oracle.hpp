@@ -206,6 +206,17 @@ class LandmarkOracle {
       const CsrGraph<W>& child, uint64_t child_fp,
       const DeltaResult<W>& classification, HostEngine<W>& engine,
       const LandmarkConfig& cfg, const QueryControl& ctl = {});
+
+  /// Reassembles a table from persisted parts (the state store's restore
+  /// path, src/persist/). Validates shape only — sizes consistent,
+  /// landmark ids in range, zero self-distances — and throws adds::Error
+  /// on any mismatch. Shape is NOT truth: the caller must verify the rows
+  /// against ground truth (a Dijkstra spot check) before serving bounds
+  /// from them.
+  static std::shared_ptr<const LandmarkTable<W>> assemble(
+      uint64_t graph_fp, uint64_t num_vertices,
+      std::vector<VertexId> landmarks, std::vector<DistT<W>> rows,
+      double build_ms, bool repaired);
 };
 
 /// Thread-safe registry of landmark tables keyed on graph fingerprint,

@@ -1,0 +1,412 @@
+#include "persist/state_store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/fingerprint.hpp"
+#include "util/fault.hpp"
+
+namespace adds::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+// File prologue: magic(8) version(4) weight(1) reserved(3) sections(4),
+// then an FNV-1a digest (8) of those 20 bytes. A store whose prologue does
+// not survive this gauntlet is unusable as a whole — there is no trustable
+// frame to resynchronize on.
+constexpr char kMagic[8] = {'A', 'D', 'D', 'S', 'S', 'T', 'R', '1'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kPrologueBytes = 8 + 4 + 1 + 3 + 4 + 8;
+
+// Section frame: kind(4) pad(4) payload_len(8) payload_digest(8), then an
+// FNV-1a digest (8) of those 24 bytes. The frame digest makes the framing
+// itself tamper-evident: a flipped length byte cannot silently shift the
+// walk into the middle of the next payload.
+constexpr size_t kFrameBytes = 4 + 4 + 8 + 8 + 8;
+
+enum class SectionKind : uint32_t {
+  kGraph = 1,
+  kLandmark = 2,
+  kCacheEntry = 3,
+};
+
+template <WeightType W>
+constexpr uint8_t weight_kind() {
+  return std::is_same_v<W, uint32_t> ? 0 : 1;
+}
+
+template <WeightType W>
+const char* weight_name() {
+  return std::is_same_v<W, uint32_t> ? "uint32" : "float";
+}
+
+void append_frame(ByteWriter& out, SectionKind kind,
+                  const std::vector<uint8_t>& payload) {
+  ByteWriter frame;
+  frame.u32(uint32_t(kind));
+  frame.u32(0);  // reserved
+  frame.u64(payload.size());
+  frame.u64(fnv1a_bytes(payload.data(), payload.size()));
+  const uint64_t frame_digest =
+      fnv1a_bytes(frame.bytes().data(), frame.bytes().size());
+  out.raw(frame.bytes().data(), frame.bytes().size());
+  out.u64(frame_digest);
+  out.raw(payload.data(), payload.size());
+}
+
+template <WeightType W>
+std::vector<uint8_t> encode_graph(const GraphRecord<W>& r) {
+  ByteWriter w;
+  w.u64(r.graph_fp);
+  w.u64(r.parent_fp);
+  w.u8(r.pinned ? 1 : 0);
+  w.u8(r.is_default ? 1 : 0);
+  const CsrGraph<W>& g = *r.graph;
+  w.u64(g.num_vertices());
+  w.u64(g.num_edges());
+  w.span(g.offsets().data(), g.offsets().size());
+  w.span(g.targets().data(), g.targets().size());
+  w.span(g.weights().data(), g.weights().size());
+  return w.take();
+}
+
+template <WeightType W>
+GraphRecord<W> decode_graph(ByteReader& r) {
+  GraphRecord<W> out;
+  out.graph_fp = r.u64();
+  out.parent_fp = r.u64();
+  out.pinned = r.u8() != 0;
+  out.is_default = r.u8() != 0;
+  const uint64_t n = r.u64();
+  const uint64_t m = r.u64();
+  auto offsets = r.vec<EdgeIndex>(n + 1);
+  auto targets = r.vec<VertexId>(m);
+  auto weights = r.vec<W>(m);
+  // CsrGraph's own validate() rejects structurally impossible arrays
+  // (non-monotone offsets, out-of-range targets) — a digest-valid payload
+  // can still be a writer bug, and a malformed CSR must never reach an
+  // engine. adds::Error from it propagates as a corrupt section.
+  out.graph = std::make_shared<const CsrGraph<W>>(
+      std::move(offsets), std::move(targets), std::move(weights));
+  return out;
+}
+
+template <WeightType W>
+std::vector<uint8_t> encode_landmark(const LandmarkRecord<W>& r) {
+  ByteWriter w;
+  const LandmarkTable<W>& t = *r.table;
+  w.u64(r.graph_fp);
+  w.u64(t.num_vertices());
+  w.u32(t.num_landmarks());
+  w.u8(t.repaired() ? 1 : 0);
+  w.f64(t.build_ms());
+  w.span(t.landmarks().data(), t.landmarks().size());
+  // Lane-major rows are contiguous: row(0) is the base of all K*V cells.
+  w.span(t.row(0), size_t(t.num_landmarks()) * t.num_vertices());
+  return w.take();
+}
+
+template <WeightType W>
+LandmarkRecord<W> decode_landmark(ByteReader& r) {
+  LandmarkRecord<W> out;
+  out.graph_fp = r.u64();
+  const uint64_t nv = r.u64();
+  const uint32_t k = r.u32();
+  const bool repaired = r.u8() != 0;
+  const double build_ms = r.f64();
+  auto landmarks = r.vec<VertexId>(k);
+  auto rows = r.vec<DistT<W>>(size_t(k) * nv);
+  out.table = LandmarkOracle<W>::assemble(out.graph_fp, nv,
+                                          std::move(landmarks),
+                                          std::move(rows), build_ms, repaired);
+  return out;
+}
+
+template <WeightType W>
+std::vector<uint8_t> encode_cache(const CacheRecord<W>& r) {
+  ByteWriter w;
+  w.u64(r.graph_fp);
+  w.u32(r.source);
+  w.u64(r.config_digest);
+  w.u64(r.dist.size());
+  w.span(r.dist.data(), r.dist.size());
+  return w.take();
+}
+
+template <WeightType W>
+CacheRecord<W> decode_cache(ByteReader& r) {
+  CacheRecord<W> out;
+  out.graph_fp = r.u64();
+  out.source = r.u32();
+  out.config_digest = r.u64();
+  const uint64_t n = r.u64();
+  out.dist = r.vec<DistT<W>>(n);
+  return out;
+}
+
+/// Deterministic save-side corruption for the persist.io fault site. The
+/// mode cycles with the plan's fire count, so one seeded soak round
+/// exercises every failure shape. Modes 0-2 PUBLISH the damaged file —
+/// real torn writes are silent until load; mode 3 never publishes (the
+/// crash hit between write and rename, the previous store survives).
+enum class SaveFault { kTornWrite = 0, kBitflip, kVersionSkew, kNoRename };
+
+SaveFault roll_save_fault() {
+  const fault::FaultPlan* plan = fault::active_plan();
+  const uint64_t n = plan ? plan->fires(fault::Site::kStateIo) : 1;
+  return SaveFault((n - 1) % 4);
+}
+
+void corrupt_staged_bytes(std::vector<uint8_t>& bytes, SaveFault mode) {
+  if (bytes.empty()) return;
+  switch (mode) {
+    case SaveFault::kTornWrite:
+      // The write made it ~60% of the way before the crash.
+      bytes.resize(std::max<size_t>(1, bytes.size() * 3 / 5));
+      break;
+    case SaveFault::kBitflip: {
+      const size_t off = size_t(
+          fnv1a_bytes(bytes.data(), std::min<size_t>(bytes.size(), 64)) %
+          bytes.size());
+      bytes[off] ^= 0x40;
+      break;
+    }
+    case SaveFault::kVersionSkew:
+      // A future writer's format number in an otherwise intact prologue:
+      // the version field sits right after the 8-byte magic, and the
+      // header digest is recomputed so ONLY the skew check can catch it.
+      if (bytes.size() >= kPrologueBytes) {
+        const uint32_t skewed = kFormatVersion + 7;
+        std::memcpy(bytes.data() + 8, &skewed, sizeof(skewed));
+        const uint64_t digest =
+            fnv1a_bytes(bytes.data(), kPrologueBytes - sizeof(uint64_t));
+        std::memcpy(bytes.data() + kPrologueBytes - sizeof(uint64_t), &digest,
+                    sizeof(digest));
+      }
+      break;
+    case SaveFault::kNoRename:
+      break;  // handled by the caller: staged bytes fine, publish skipped
+  }
+}
+
+}  // namespace
+
+const char* store_error_kind_name(StoreErrorKind k) noexcept {
+  switch (k) {
+    case StoreErrorKind::kIoError: return "io-error";
+    case StoreErrorKind::kCorruptStore: return "corrupt-store";
+    case StoreErrorKind::kVersionSkew: return "version-skew";
+  }
+  return "?";
+}
+
+StateStore::StateStore(std::string dir)
+    : dir_(std::move(dir)),
+      path_((fs::path(dir_) / "state.adds").string()),
+      tmp_path_(path_ + ".tmp") {}
+
+bool StateStore::exists() const {
+  std::error_code ec;
+  return fs::is_regular_file(path_, ec);
+}
+
+template <WeightType W>
+SaveStats StateStore::save(const StateSnapshot<W>& snap) const {
+  // Serialize everything into memory first: the file write is then a
+  // single sequential pass, and the atomic-publish protocol (tmp + rename)
+  // guarantees readers only ever observe a fully written byte sequence.
+  ByteWriter body;
+  size_t sections = 0;
+  for (const auto& g : snap.graphs) {
+    append_frame(body, SectionKind::kGraph, encode_graph(g));
+    ++sections;
+  }
+  for (const auto& t : snap.landmarks) {
+    append_frame(body, SectionKind::kLandmark, encode_landmark(t));
+    ++sections;
+  }
+  for (const auto& c : snap.cache) {
+    append_frame(body, SectionKind::kCacheEntry, encode_cache(c));
+    ++sections;
+  }
+
+  ByteWriter out;
+  out.raw(kMagic, sizeof(kMagic));
+  out.u32(kFormatVersion);
+  out.u8(weight_kind<W>());
+  out.u8(0);
+  out.u8(0);
+  out.u8(0);
+  out.u32(uint32_t(sections));
+  out.u64(fnv1a_bytes(out.bytes().data(), out.bytes().size()));
+  out.raw(body.bytes().data(), body.bytes().size());
+  std::vector<uint8_t> bytes = out.take();
+
+  SaveFault injected_mode = SaveFault::kNoRename;
+  const bool injected = fault::fire(fault::Site::kStateIo);
+  if (injected) {
+    injected_mode = roll_save_fault();
+    corrupt_staged_bytes(bytes, injected_mode);
+  }
+
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  {
+    std::ofstream f(tmp_path_, std::ios::binary | std::ios::trunc);
+    if (!f.is_open())
+      throw StoreError(StoreErrorKind::kIoError,
+                       "state store: cannot open " + tmp_path_);
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            std::streamsize(bytes.size()));
+    f.flush();
+    if (!f.good())
+      throw StoreError(StoreErrorKind::kIoError,
+                       "state store: write failed: " + tmp_path_);
+  }
+  if (injected && injected_mode == SaveFault::kNoRename) {
+    SaveStats st;
+    st.path = path_;
+    st.sections = sections;
+    st.bytes = bytes.size();
+    return st;  // "crashed" before publish; previous store stays current
+  }
+  fs::rename(tmp_path_, path_, ec);
+  if (ec)
+    throw StoreError(StoreErrorKind::kIoError,
+                     "state store: rename to " + path_ +
+                         " failed: " + ec.message());
+  SaveStats st;
+  st.path = path_;
+  st.sections = sections;
+  st.bytes = bytes.size();
+  return st;
+}
+
+template <WeightType W>
+LoadResult<W> StateStore::load() const {
+  std::vector<uint8_t> bytes;
+  {
+    std::ifstream f(path_, std::ios::binary | std::ios::ate);
+    if (!f.is_open())
+      throw StoreError(StoreErrorKind::kIoError,
+                       "state store: cannot open " + path_);
+    const std::streamsize size = f.tellg();
+    f.seekg(0);
+    bytes.resize(size_t(size));
+    if (size > 0)
+      f.read(reinterpret_cast<char*>(bytes.data()), size);
+    if (!f.good())
+      throw StoreError(StoreErrorKind::kIoError,
+                       "state store: read failed: " + path_);
+  }
+  if (fault::fire(fault::Site::kStateIo))
+    bytes.resize(bytes.size() / 2);  // short read
+
+  if (bytes.size() < kPrologueBytes)
+    throw StoreError(StoreErrorKind::kCorruptStore,
+                     "state store: truncated header (" +
+                         std::to_string(bytes.size()) + " bytes)");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    throw StoreError(StoreErrorKind::kCorruptStore,
+                     "state store: bad magic");
+  uint64_t stored_digest = 0;
+  std::memcpy(&stored_digest, bytes.data() + kPrologueBytes - sizeof(uint64_t),
+              sizeof(uint64_t));
+  if (fnv1a_bytes(bytes.data(), kPrologueBytes - sizeof(uint64_t)) !=
+      stored_digest)
+    throw StoreError(StoreErrorKind::kCorruptStore,
+                     "state store: header digest mismatch");
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 8, sizeof(version));
+  if (version != kFormatVersion)
+    throw StoreError(StoreErrorKind::kVersionSkew,
+                     "state store: format version " + std::to_string(version) +
+                         " (this build reads " +
+                         std::to_string(kFormatVersion) + ")");
+  if (bytes[12] != weight_kind<W>())
+    throw StoreError(StoreErrorKind::kVersionSkew,
+                     std::string("state store: weight type mismatch "
+                                 "(store is not ") +
+                         weight_name<W>() + ")");
+  uint32_t declared = 0;
+  std::memcpy(&declared, bytes.data() + 16, sizeof(declared));
+
+  LoadResult<W> out;
+  out.sections_total = declared;
+  size_t pos = kPrologueBytes;
+  size_t parsed = 0;
+  while (parsed < declared) {
+    // Frame integrity first: without a trusted (kind, length) pair the
+    // walk cannot resynchronize, so damaged framing ends the load here
+    // and the undecodable remainder counts corrupt.
+    if (bytes.size() - pos < kFrameBytes) {
+      out.errors.push_back("truncated section frame at offset " +
+                           std::to_string(pos));
+      break;
+    }
+    uint64_t frame_digest = 0;
+    std::memcpy(&frame_digest, bytes.data() + pos + kFrameBytes - 8, 8);
+    if (fnv1a_bytes(bytes.data() + pos, kFrameBytes - 8) != frame_digest) {
+      out.errors.push_back("section frame digest mismatch at offset " +
+                           std::to_string(pos));
+      break;
+    }
+    uint32_t kind = 0;
+    uint64_t payload_len = 0, payload_digest = 0;
+    std::memcpy(&kind, bytes.data() + pos, 4);
+    std::memcpy(&payload_len, bytes.data() + pos + 8, 8);
+    std::memcpy(&payload_digest, bytes.data() + pos + 16, 8);
+    pos += kFrameBytes;
+    if (bytes.size() - pos < payload_len) {
+      out.errors.push_back("truncated section payload at offset " +
+                           std::to_string(pos) + " (want " +
+                           std::to_string(payload_len) + " bytes)");
+      break;
+    }
+    const uint8_t* payload = bytes.data() + pos;
+    pos += payload_len;
+    ++parsed;
+    if (fnv1a_bytes(payload, payload_len) != payload_digest) {
+      ++out.corrupt_sections;
+      out.errors.push_back("section " + std::to_string(parsed) +
+                           " payload digest mismatch");
+      continue;  // framing intact: skip exactly this section
+    }
+    try {
+      ByteReader r(payload, payload_len);
+      switch (SectionKind(kind)) {
+        case SectionKind::kGraph:
+          out.snap.graphs.push_back(decode_graph<W>(r));
+          break;
+        case SectionKind::kLandmark:
+          out.snap.landmarks.push_back(decode_landmark<W>(r));
+          break;
+        case SectionKind::kCacheEntry:
+          out.snap.cache.push_back(decode_cache<W>(r));
+          break;
+        default:
+          throw StoreError(StoreErrorKind::kCorruptStore,
+                           "unknown section kind " + std::to_string(kind));
+      }
+    } catch (const Error& e) {  // StoreError and CsrGraph validate failures
+      ++out.corrupt_sections;
+      out.errors.push_back("section " + std::to_string(parsed) +
+                           " decode failed: " + e.what());
+    }
+  }
+  // Anything the walk never reached (framing damage, truncated tail,
+  // sections the header promised but the file lacks) is corrupt by
+  // definition — the store claimed them and cannot produce them.
+  out.corrupt_sections += declared - parsed;
+  return out;
+}
+
+template SaveStats StateStore::save<uint32_t>(
+    const StateSnapshot<uint32_t>&) const;
+template SaveStats StateStore::save<float>(const StateSnapshot<float>&) const;
+template LoadResult<uint32_t> StateStore::load<uint32_t>() const;
+template LoadResult<float> StateStore::load<float>() const;
+
+}  // namespace adds::persist

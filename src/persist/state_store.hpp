@@ -1,0 +1,236 @@
+// StateStore — crash-safe persistence for the serving layer's warm state.
+//
+// A restart used to lose everything the service had computed: graph
+// snapshots, K×V landmark tables and cached shortest-path trees were all
+// rebuilt cold on every deploy or crash. The store makes that state
+// durable with two non-negotiable properties:
+//
+//   * Partial or torn writes are detectable BY CONSTRUCTION. The file is
+//     published atomically (write `state.adds.tmp`, fsync-free rename over
+//     `state.adds`), carries a magic + format version + checksummed
+//     header, and every section is framed by its own checksummed header
+//     (kind, length, payload digest) plus an FNV-1a digest of the payload.
+//     A truncation lands mid-frame or mid-payload and fails the bounds
+//     check; a bitflip fails a digest; an interrupted save leaves only the
+//     `.tmp` file and the previous store intact.
+//   * The store is a cache of truth, never a source of it. load() proves
+//     integrity (framing + digests), not correctness — the service's
+//     restore path re-verifies every artifact against ground truth
+//     (fingerprint recompute, Dijkstra spot checks, exactness
+//     certificates) before anything is served (docs/RESILIENCE.md).
+//
+// Corruption is degraded per section where framing allows: a payload
+// digest mismatch skips exactly that section and keeps loading; damaged
+// framing (header, frame checksum, truncated tail) ends the walk there
+// and counts the undecodable remainder. Only an unusable prologue (bad
+// magic, bad header digest, unknown version, wrong weight type) throws —
+// StoreError, typed kCorruptStore / kVersionSkew / kIoError.
+//
+// The `persist.io` fault site (fault::Site::kStateIo) injects the four
+// real-world failure shapes deterministically: save-side torn write,
+// single bitflip and version skew (published — silent corruption, caught
+// at load, exactly as a real torn write would be) plus crash-before-rename
+// (the previous store survives untouched); load-side short read.
+//
+// Byte order is native: the store is a same-host warm-restart artifact,
+// not an interchange format.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "landmark/landmark_oracle.hpp"
+#include "util/error.hpp"
+
+namespace adds::persist {
+
+/// Typed store failure class.
+enum class StoreErrorKind : uint8_t {
+  kIoError = 0,    // open/read/write/rename failed (environment, not data)
+  kCorruptStore,   // framing, digest or bounds failure — data untrustworthy
+  kVersionSkew,    // intact prologue of a format this build cannot read
+};
+
+const char* store_error_kind_name(StoreErrorKind k) noexcept;
+
+class StoreError : public Error {
+ public:
+  StoreError(StoreErrorKind kind, const std::string& what)
+      : Error(what), kind_(kind) {}
+  StoreErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  StoreErrorKind kind_;
+};
+
+/// One resident tenant: the CSR snapshot plus the catalog metadata needed
+/// to re-publish it (pin state, default routing, lineage edge).
+template <WeightType W>
+struct GraphRecord {
+  uint64_t graph_fp = 0;
+  uint64_t parent_fp = 0;  // lineage (0 = no recorded parent)
+  bool pinned = false;
+  bool is_default = false;
+  std::shared_ptr<const CsrGraph<W>> graph;
+};
+
+/// One READY landmark table, keyed to its graph generation.
+template <WeightType W>
+struct LandmarkRecord {
+  uint64_t graph_fp = 0;
+  std::shared_ptr<const LandmarkTable<W>> table;
+};
+
+/// One warm result-cache entry: the distance array of a full SSSP tree.
+/// Only distances persist — they are what restore can certify exactly
+/// (verify_repair needs nothing else), and everything beyond them is
+/// per-run accounting a restarted process has no claim to.
+template <WeightType W>
+struct CacheRecord {
+  uint64_t graph_fp = 0;
+  VertexId source = 0;
+  /// Solver-config digest the tree was computed under. Restore only
+  /// resurrects entries whose digest matches the restoring service's —
+  /// a cache entry reproduces the result of an identical configuration.
+  uint64_t config_digest = 0;
+  std::vector<DistT<W>> dist;
+};
+
+template <WeightType W>
+struct StateSnapshot {
+  std::vector<GraphRecord<W>> graphs;
+  std::vector<LandmarkRecord<W>> landmarks;
+  std::vector<CacheRecord<W>> cache;
+};
+
+struct SaveStats {
+  std::string path;
+  size_t sections = 0;
+  uint64_t bytes = 0;
+};
+
+/// What load() salvaged. Sections that failed a digest or decode are
+/// counted (with a diagnostic each), never partially decoded into `snap`.
+template <WeightType W>
+struct LoadResult {
+  StateSnapshot<W> snap;
+  size_t sections_total = 0;    // declared by the (digest-verified) header
+  size_t corrupt_sections = 0;  // skipped or undecodable
+  std::vector<std::string> errors;  // one line per corrupt section
+};
+
+class StateStore {
+ public:
+  /// `dir` is created on save if missing; the store file is
+  /// `<dir>/state.adds` and its publish staging file `<dir>/state.adds.tmp`.
+  explicit StateStore(std::string dir);
+
+  const std::string& dir() const noexcept { return dir_; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// True when a published store file exists (the `.tmp` staging file of an
+  /// interrupted save does not count — that is the crash the rename
+  /// protocol exists to survive).
+  bool exists() const;
+
+  /// Serializes `snap` and publishes it atomically (tmp + rename). Throws
+  /// StoreError(kIoError) when the environment refuses; never leaves a
+  /// half-written file at path(). The persist.io fault site corrupts the
+  /// staged bytes (torn write / bitflip / version skew) or suppresses the
+  /// rename (crash-before-rename) — deliberately WITHOUT failing the call,
+  /// because real torn writes are silent until load.
+  template <WeightType W>
+  SaveStats save(const StateSnapshot<W>& snap) const;
+
+  /// Reads and integrity-checks the store. Throws StoreError for a missing
+  /// file (kIoError), unusable prologue (kCorruptStore) or a format/weight
+  /// mismatch (kVersionSkew); section-level damage is degraded into
+  /// LoadResult::corrupt_sections instead. The persist.io fault site
+  /// truncates the in-memory read (short read).
+  template <WeightType W>
+  LoadResult<W> load() const;
+
+ private:
+  std::string dir_;
+  std::string path_;
+  std::string tmp_path_;
+};
+
+// ---------------------------------------------------------------------------
+// Bounds-checked byte IO (exposed for tests that craft corrupt stores).
+// ---------------------------------------------------------------------------
+
+class ByteWriter {
+ public:
+  void u8(uint8_t v) { raw(&v, 1); }
+  void u32(uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(uint64_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void raw(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  template <typename T>
+  void span(const T* p, size_t count) {
+    raw(p, count * sizeof(T));
+  }
+
+  const std::vector<uint8_t>& bytes() const noexcept { return buf_; }
+  std::vector<uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Every read is bounds-checked; running past the end throws
+/// StoreError(kCorruptStore) — a truncated payload can never decode into a
+/// plausible-looking record.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) noexcept
+      : data_(data), size_(size) {}
+
+  uint8_t u8() { return read<uint8_t>(); }
+  uint32_t u32() { return read<uint32_t>(); }
+  uint64_t u64() { return read<uint64_t>(); }
+  double f64() { return read<double>(); }
+
+  template <typename T>
+  std::vector<T> vec(size_t count) {
+    need(count * sizeof(T));
+    std::vector<T> out(count);
+    std::memcpy(out.data(), data_ + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+    return out;
+  }
+
+  size_t remaining() const noexcept { return size_ - pos_; }
+  bool done() const noexcept { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  T read() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void need(size_t n) const {
+    if (size_ - pos_ < n)
+      throw StoreError(StoreErrorKind::kCorruptStore,
+                       "state store: short read (need " + std::to_string(n) +
+                           " bytes, have " + std::to_string(size_ - pos_) +
+                           ")");
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace adds::persist

@@ -151,6 +151,18 @@ uint64_t GraphCatalog<W>::parent_of(uint64_t child_fp) const noexcept {
 }
 
 template <WeightType W>
+void GraphCatalog<W>::record_lineage(uint64_t child_fp, uint64_t parent_fp) {
+  if (child_fp == 0 || parent_fp == 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = lineage_.rbegin(); it != lineage_.rend(); ++it)
+    if (it->first == child_fp) {
+      if (it->second == parent_fp) return;  // already the current edge
+      break;
+    }
+  lineage_.emplace_back(child_fp, parent_fp);
+}
+
+template <WeightType W>
 bool GraphCatalog<W>::set_pinned(uint64_t graph_fp, bool pinned) noexcept {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = find_locked(graph_fp);

@@ -168,6 +168,12 @@ class GraphCatalog {
   /// history, not residency).
   uint64_t parent_of(uint64_t child_fp) const noexcept;
 
+  /// Re-records a lineage edge child -> parent (the state-store restore
+  /// path, which carries lineage across a process restart). Idempotent for
+  /// an already-current edge; no residency requirement on either end —
+  /// lineage describes history. No-op when either fingerprint is 0.
+  void record_lineage(uint64_t child_fp, uint64_t parent_fp);
+
   /// Pins or unpins a resident tenant. Returns false when not resident.
   bool set_pinned(uint64_t graph_fp, bool pinned) noexcept;
 

@@ -213,6 +213,19 @@ struct ServiceReport {
   uint64_t alt_searches = 0;             // ALT-guided A* p2p serves
   uint64_t p2p_engine_fallbacks = 0;     // p2p through a full engine solve
   uint32_t landmark_builds_pending = 0;  // build/repair tasks queued now
+
+  // ---- Persistence (src/persist/ state store) ----
+  uint64_t state_saves_ok = 0;          // StateStore::save published a store
+  uint64_t state_saves_failed = 0;      // save threw typed (io / no space)
+  uint64_t state_restores_ok = 0;       // restore() served at least the store
+  uint64_t state_restores_failed = 0;   // whole-store failures (typed)
+  uint64_t state_corrupt_sections = 0;  // sections rejected by checksum/verify
+  uint64_t state_cold_rebuilds = 0;     // artifacts rebuilt cold after reject
+  uint64_t state_graphs_restored = 0;   // tenants republished from the store
+  uint64_t state_tables_restored = 0;   // landmark tables verified + installed
+  uint64_t state_cache_restored = 0;    // cache entries certified + reinserted
+  double last_restore_load_ms = 0.0;    // read + checksum + decode
+  double last_restore_verify_ms = 0.0;  // fingerprints + Dijkstra + certificates
 };
 
 }  // namespace adds

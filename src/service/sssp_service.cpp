@@ -12,9 +12,11 @@
 #include <unordered_map>
 
 #include "core/solver.hpp"
+#include "persist/state_store.hpp"
 #include "service/graph_catalog.hpp"
 #include "service/result_cache.hpp"
 #include "sssp/astar.hpp"
+#include "sssp/dijkstra.hpp"
 #include "sssp/repair.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
@@ -192,6 +194,18 @@ struct SsspService<W>::Impl {
   uint64_t oracle_exact_hits = 0;
   uint64_t alt_searches = 0;
   uint64_t p2p_engine_fallbacks = 0;
+  // Persistence (save/restore through the src/persist/ state store).
+  uint64_t state_saves_ok = 0;
+  uint64_t state_saves_failed = 0;
+  uint64_t state_restores_ok = 0;
+  uint64_t state_restores_failed = 0;
+  uint64_t state_corrupt_sections = 0;
+  uint64_t state_cold_rebuilds = 0;
+  uint64_t state_graphs_restored = 0;
+  uint64_t state_tables_restored = 0;
+  uint64_t state_cache_restored = 0;
+  double last_restore_load_ms = 0.0;
+  double last_restore_verify_ms = 0.0;
   ResultCache<W> cache;
   LatencyRecorder recorder;
   FlightRecorder flightrec;
@@ -1995,6 +2009,282 @@ struct SsspService<W>::Impl {
            uint32_t(window));
   }
 
+  // --- persistence (src/persist/ state store) -------------------------------
+
+  /// Collects the serving state under m — refcounted snapshots only, so
+  /// the lock is held for bookkeeping, not byte-copying — then serializes
+  /// and publishes the store OUTSIDE the lock. Queries keep flowing while
+  /// the bytes hit disk.
+  SaveOutcome save_state(const std::string& state_dir) {
+    SaveOutcome out;
+    persist::StateSnapshot<W> snap;
+    std::vector<std::pair<CacheKey, std::shared_ptr<const SsspResult<W>>>>
+        cache_rows;
+    {
+      std::lock_guard<std::mutex> lk(m);
+      const auto residents = catalog.entries();
+      snap.graphs.reserve(residents.size());
+      for (const auto& ent : residents) {
+        auto g = catalog.try_lookup(ent.graph_fp);
+        if (!g) continue;
+        persist::GraphRecord<W> gr;
+        gr.graph_fp = ent.graph_fp;
+        gr.parent_fp = catalog.parent_of(ent.graph_fp);
+        gr.pinned = ent.pinned;
+        gr.is_default = ent.graph_fp == default_fp;
+        gr.graph = std::move(g);
+        snap.graphs.push_back(std::move(gr));
+        if (auto table = landmarks.lookup(ent.graph_fp)) {
+          persist::LandmarkRecord<W> lr;
+          lr.graph_fp = ent.graph_fp;
+          lr.table = std::move(table);
+          snap.landmarks.push_back(std::move(lr));
+        }
+        for (auto& [key, value] : cache.entries_of_fp(ent.graph_fp)) {
+          // Only full-tree entries computed under the CURRENT solver
+          // config persist: p2p digests are one-way (the key cannot be
+          // reconstructed at load) and another config's trees would be
+          // cache-key-dead in a restarted process anyway.
+          if (key.config_digest != config_digest) continue;
+          if (!value || value->dist.empty()) continue;
+          cache_rows.emplace_back(key, value);
+        }
+      }
+    }
+    // Distance arrays are copied out here, off the lock.
+    snap.cache.reserve(cache_rows.size());
+    for (auto& [key, value] : cache_rows) {
+      persist::CacheRecord<W> cr;
+      cr.graph_fp = key.graph_fp;
+      cr.source = key.source;
+      cr.config_digest = key.config_digest;
+      cr.dist = value->dist;
+      snap.cache.push_back(std::move(cr));
+    }
+    out.graphs = uint32_t(snap.graphs.size());
+    out.tables = uint32_t(snap.landmarks.size());
+    out.cache_entries = uint32_t(snap.cache.size());
+    const persist::StateStore store(state_dir);
+    out.path = store.path();
+    try {
+      const persist::SaveStats st = store.save(snap);
+      out.ok = true;
+      out.sections = st.sections;
+      out.bytes = st.bytes;
+      {
+        std::lock_guard<std::mutex> lk(m);
+        ++state_saves_ok;
+      }
+      record(FlightKind::kStateSaved, FlightEvent::kNoEngine, out.bytes,
+             out.graphs, out.tables + out.cache_entries);
+    } catch (const persist::StoreError& e) {
+      out.error = std::string(persist::store_error_kind_name(e.kind())) +
+                  ": " + e.what();
+      std::lock_guard<std::mutex> lk(m);
+      ++state_saves_failed;
+    }
+    return out;
+  }
+
+  /// One tenant that survived the verify phase, staged for installation.
+  struct RestoredTenant {
+    persist::GraphRecord<W> g;
+    std::shared_ptr<const LandmarkTable<W>> table;  // verified or null
+    bool table_went_cold = false;  // a table existed but flunked its check
+    std::vector<std::pair<VertexId, std::shared_ptr<const SsspResult<W>>>>
+        cache_rows;  // certified entries
+  };
+
+  /// Load + verify + install. The store's checksums only prove the bytes
+  /// round-tripped; this path proves the DATA is true before any of it can
+  /// serve: fingerprints recomputed over the decoded CSR, one full
+  /// landmark row per tenant recomputed with Dijkstra and compared
+  /// bit-for-bit, every cache entry pushed through the O(E) exactness
+  /// certificate. Whatever fails is dropped, counted, and replaced by a
+  /// typed cold rebuild — never served.
+  RestoreOutcome restore_state(const std::string& state_dir) {
+    RestoreOutcome out;
+    const persist::StateStore store(state_dir);
+    if (!store.exists()) return out;  // cold start, not an error
+    out.store_found = true;
+
+    WallTimer t_load;
+    persist::LoadResult<W> loaded;
+    try {
+      loaded = store.template load<W>();
+    } catch (const persist::StoreError& e) {
+      // Whole-store failure: unusable prologue, version skew, io error.
+      // Typed degradation to a fully cold start.
+      out.error = std::string(persist::store_error_kind_name(e.kind())) +
+                  ": " + e.what();
+      out.corrupt_sections = 1;
+      out.load_ms = t_load.elapsed_ms();
+      {
+        std::lock_guard<std::mutex> lk(m);
+        ++state_restores_failed;
+        ++state_corrupt_sections;
+        last_restore_load_ms = out.load_ms;
+        last_restore_verify_ms = 0.0;
+      }
+      record(FlightKind::kStateCorrupt, FlightEvent::kNoEngine,
+             uint64_t(e.kind()) + 1, 1);
+      ADDS_LOG_WARN("sssp-service: restore: store unusable (%s)",
+                    out.error.c_str());
+      return out;
+    }
+    out.ok = true;
+    out.load_ms = t_load.elapsed_ms();
+    out.sections_total = loaded.sections_total;
+    out.corrupt_sections = loaded.corrupt_sections;
+    for (const auto& err : loaded.errors)
+      ADDS_LOG_WARN("sssp-service: restore: %s", err.c_str());
+
+    // ---- Verify phase (no service lock: pure CPU work vs ground truth).
+    WallTimer t_verify;
+    std::vector<RestoredTenant> verified;
+    std::unordered_map<uint64_t, size_t> by_fp;  // verified graph -> index
+    for (auto& gr : loaded.snap.graphs) {
+      if (!gr.graph) continue;
+      if (graph_fingerprint(*gr.graph) != gr.graph_fp) {
+        // The snapshot decoded cleanly but is not the graph it claims to
+        // be. Nothing downstream of it is verifiable; the tenant goes
+        // cold (the operator republishes from source-of-truth).
+        ++out.corrupt_sections;
+        ++out.cold_rebuilds;
+        record(FlightKind::kColdRebuild, FlightEvent::kNoEngine, gr.graph_fp,
+               0);
+        ADDS_LOG_WARN(
+            "sssp-service: restore: graph %016llx failed fingerprint "
+            "recompute — tenant goes cold",
+            (unsigned long long)gr.graph_fp);
+        continue;
+      }
+      RestoredTenant rt;
+      rt.g = std::move(gr);
+      by_fp.emplace(rt.g.graph_fp, verified.size());
+      verified.push_back(std::move(rt));
+    }
+    for (auto& lr : loaded.snap.landmarks) {
+      const auto it = by_fp.find(lr.graph_fp);
+      if (it == by_fp.end()) {
+        // Orphaned table: no verified graph to check it against, so it
+        // cannot be trusted. Dropped; if the tenant itself restores some
+        // other way its publish schedules a fresh build.
+        ADDS_LOG_WARN(
+            "sssp-service: restore: dropping landmark table for "
+            "unrestored graph %016llx",
+            (unsigned long long)lr.graph_fp);
+        continue;
+      }
+      RestoredTenant& rt = verified[it->second];
+      const CsrGraph<W>& g = *rt.g.graph;
+      bool ok = lr.table != nullptr && lr.table->graph_fp() == lr.graph_fp &&
+                lr.table->num_vertices() == g.num_vertices() &&
+                lr.table->num_landmarks() > 0;
+      if (ok) {
+        // Dijkstra spot check: recompute ONE full row and demand bit
+        // equality. The row index derives from the fingerprint, so which
+        // row gets audited is stable per graph but not guessable as
+        // "always row 0" — a corruption in any fixed row is caught for
+        // 1/K of graphs, and the corruption-matrix tests cover the rest.
+        const uint32_t k = uint32_t(lr.graph_fp % lr.table->num_landmarks());
+        const VertexId lm = lr.table->landmarks()[k];
+        ok = lm < g.num_vertices();
+        if (ok) {
+          const SsspResult<W> truth = dijkstra(g, lm);
+          ok = std::equal(truth.dist.begin(), truth.dist.end(),
+                          lr.table->row(k));
+        }
+      }
+      if (ok) {
+        rt.table = std::move(lr.table);
+      } else {
+        ++out.corrupt_sections;
+        rt.table_went_cold = true;
+        ADDS_LOG_WARN(
+            "sssp-service: restore: landmark table for %016llx failed its "
+            "Dijkstra spot check — scheduling cold rebuild",
+            (unsigned long long)lr.graph_fp);
+      }
+    }
+    for (auto& cr : loaded.snap.cache) {
+      const auto it = by_fp.find(cr.graph_fp);
+      if (it == by_fp.end()) continue;  // orphaned — recomputes on demand
+      // Another configuration's trees are not corruption, just not OURS:
+      // a cache entry reproduces the result of an identical solver config.
+      if (cr.config_digest != config_digest) continue;
+      RestoredTenant& rt = verified[it->second];
+      const CsrGraph<W>& g = *rt.g.graph;
+      bool ok = cr.source < g.num_vertices() &&
+                cr.dist.size() == g.num_vertices();
+      if (ok) ok = verify_repair(g, cr.source, cr.dist).exact;
+      if (!ok) {
+        // The cold rebuild of a cache entry is implicit: the next query
+        // for this source computes it fresh through an engine.
+        ++out.corrupt_sections;
+        ++out.cold_rebuilds;
+        record(FlightKind::kColdRebuild, FlightEvent::kNoEngine, cr.graph_fp,
+               2);
+        continue;
+      }
+      auto res = std::make_shared<SsspResult<W>>();
+      res->solver = "restored";
+      res->dist = std::move(cr.dist);
+      rt.cache_rows.emplace_back(
+          cr.source,
+          std::shared_ptr<const SsspResult<W>>(std::move(res)));
+    }
+    out.verify_ms = t_verify.elapsed_ms();
+
+    // ---- Install phase (under m): verified artifacts enter service the
+    // same way live ones do — publish_locked, registry install, cache
+    // insert — so restored tenants are indistinguishable from published
+    // ones.
+    {
+      std::lock_guard<std::mutex> lk(m);
+      for (auto& rt : verified) {
+        // Table first: publish_locked schedules a cold build only while
+        // the registry has NO entry for the fingerprint, so a verified
+        // table suppresses the rebuild and a failed/missing one lets the
+        // publish schedule it — the typed cold-rebuild path.
+        if (rt.table) {
+          landmarks.install(rt.g.graph_fp, rt.table);
+          ++out.tables_restored;
+        }
+        publish_locked(rt.g.graph, rt.g.pinned, rt.g.graph_fp);
+        if (!rt.table &&
+            landmarks.status(rt.g.graph_fp) == LandmarkTableStatus::kBuilding &&
+            rt.table_went_cold) {
+          ++out.cold_rebuilds;
+          record(FlightKind::kColdRebuild, FlightEvent::kNoEngine,
+                 rt.g.graph_fp, 1);
+        }
+        catalog.record_lineage(rt.g.graph_fp, rt.g.parent_fp);
+        if (rt.g.is_default) default_fp = rt.g.graph_fp;
+        for (auto& [source, res] : rt.cache_rows) {
+          cache.insert(CacheKey{rt.g.graph_fp, source, config_digest}, res);
+          ++out.cache_restored;
+        }
+        ++out.graphs_restored;
+      }
+      ++state_restores_ok;
+      state_corrupt_sections += out.corrupt_sections;
+      state_cold_rebuilds += out.cold_rebuilds;
+      state_graphs_restored += out.graphs_restored;
+      state_tables_restored += out.tables_restored;
+      state_cache_restored += out.cache_restored;
+      last_restore_load_ms = out.load_ms;
+      last_restore_verify_ms = out.verify_ms;
+    }
+    if (out.corrupt_sections > 0)
+      record(FlightKind::kStateCorrupt, FlightEvent::kNoEngine, 0,
+             uint32_t(out.corrupt_sections));
+    record(FlightKind::kStateLoaded, FlightEvent::kNoEngine,
+           out.sections_total, out.graphs_restored,
+           out.tables_restored + out.cache_restored);
+    return out;
+  }
+
   // --- teardown ------------------------------------------------------------
 
   void shutdown() {
@@ -2113,6 +2403,17 @@ struct SsspService<W>::Impl {
     rep.alt_searches = alt_searches;
     rep.p2p_engine_fallbacks = p2p_engine_fallbacks;
     rep.landmark_builds_pending = uint32_t(landmark_queue.size());
+    rep.state_saves_ok = state_saves_ok;
+    rep.state_saves_failed = state_saves_failed;
+    rep.state_restores_ok = state_restores_ok;
+    rep.state_restores_failed = state_restores_failed;
+    rep.state_corrupt_sections = state_corrupt_sections;
+    rep.state_cold_rebuilds = state_cold_rebuilds;
+    rep.state_graphs_restored = state_graphs_restored;
+    rep.state_tables_restored = state_tables_restored;
+    rep.state_cache_restored = state_cache_restored;
+    rep.last_restore_load_ms = last_restore_load_ms;
+    rep.last_restore_verify_ms = last_restore_verify_ms;
     rep.tenants.reserve(residents.size());
     for (const auto& ent : residents) {
       TenantStatus ts;
@@ -2230,6 +2531,16 @@ QueryOutcome<W> SsspService<W>::query(VertexId source, const QueryOptions& q) {
             query_status_name(out.status) +
             (out.error.empty() ? "" : (": " + out.error)));
   return out;
+}
+
+template <WeightType W>
+SaveOutcome SsspService<W>::save(const std::string& state_dir) {
+  return impl_->save_state(state_dir);
+}
+
+template <WeightType W>
+RestoreOutcome SsspService<W>::restore(const std::string& state_dir) {
+  return impl_->restore_state(state_dir);
 }
 
 template <WeightType W>

@@ -207,6 +207,38 @@ struct QueryOutcome {
   std::string error;        // diagnostic for kFailed
 };
 
+/// What SsspService::save reports back to the operator.
+struct SaveOutcome {
+  bool ok = false;         // the store was atomically published
+  std::string path;        // final store path (<state_dir>/state.adds)
+  uint64_t sections = 0;   // sections written (graphs + tables + cache)
+  uint64_t bytes = 0;      // store size on disk
+  uint32_t graphs = 0;     // tenant snapshots saved
+  uint32_t tables = 0;     // landmark tables saved
+  uint32_t cache_entries = 0;  // full-tree cache entries saved
+  std::string error;       // diagnostic when !ok (typed StoreError text)
+};
+
+/// What SsspService::restore reports back to the operator. The invariant
+/// this struct accounts for: recovered state is VERIFIED or REBUILT — the
+/// store is a cache of truth, never a source of it. Every artifact that
+/// fails its check (checksum, recomputed fingerprint, Dijkstra spot check,
+/// exactness certificate) is counted in corrupt_sections and replaced by a
+/// typed cold rebuild, never served.
+struct RestoreOutcome {
+  bool store_found = false;    // a store file existed at state_dir
+  bool ok = false;             // the store loaded (even if partly corrupt)
+  uint32_t graphs_restored = 0;      // tenants republished from the store
+  uint32_t tables_restored = 0;      // landmark tables verified + installed
+  uint32_t cache_restored = 0;       // cache entries certified + reinserted
+  uint64_t sections_total = 0;       // sections the store header declared
+  uint64_t corrupt_sections = 0;     // sections rejected (checksum or verify)
+  uint32_t cold_rebuilds = 0;        // artifacts scheduled for cold rebuild
+  double load_ms = 0.0;        // read + checksum + decode
+  double verify_ms = 0.0;      // fingerprints + Dijkstra + certificates
+  std::string error;           // diagnostic for a whole-store failure
+};
+
 /// What SsspService::apply_delta reports back to the operator.
 struct DeltaOutcome {
   uint64_t parent_fp = 0;
@@ -281,6 +313,28 @@ class SsspService {
   /// Synchronous convenience: submit + wait; throws ServiceError for any
   /// non-kOk status.
   QueryOutcome<W> query(VertexId source, const QueryOptions& q = {});
+
+  /// Persists the serving state to `<state_dir>/state.adds` via the
+  /// checksummed StateStore (src/persist/): every catalog-resident tenant
+  /// snapshot (with pin, default routing and lineage), every READY
+  /// landmark table, and every full-tree result-cache entry computed under
+  /// the CURRENT solver config. The write is atomic (temp file + rename):
+  /// a crash mid-save leaves the previous store intact, and a torn write
+  /// is detectable by construction at load. Never throws — failures come
+  /// back typed in SaveOutcome::error and ServiceReport::state_saves_failed.
+  SaveOutcome save(const std::string& state_dir);
+
+  /// Loads `<state_dir>/state.adds` and REVERIFIES everything before
+  /// serving it: graph fingerprints are recomputed over the decoded CSR,
+  /// landmark tables get a Dijkstra spot check of one full row per tenant,
+  /// cache entries must pass the O(E) exactness certificate
+  /// (verify_repair). Anything that fails is dropped, counted in
+  /// RestoreOutcome::corrupt_sections, and replaced by a typed cold
+  /// rebuild (flight kColdRebuild) — a corrupt store degrades startup
+  /// latency, never answers. Call before publishing graphs by other means;
+  /// restored tenants behave exactly like publish_graph'd ones. Never
+  /// throws; whole-store failures come back in RestoreOutcome::error.
+  RestoreOutcome restore(const std::string& state_dir);
 
   /// Point-in-time service statistics.
   ServiceReport report() const;

@@ -117,6 +117,10 @@ const char* flight_kind_name(FlightKind k) noexcept {
     case FlightKind::kTableRebuildFallback: return "table-rebuild-fallback";
     case FlightKind::kTableBuildFailed: return "table-build-failed";
     case FlightKind::kOracleServe: return "oracle-serve";
+    case FlightKind::kStateSaved: return "state-saved";
+    case FlightKind::kStateLoaded: return "state-loaded";
+    case FlightKind::kStateCorrupt: return "state-corrupt";
+    case FlightKind::kColdRebuild: return "cold-rebuild";
   }
   return "?";
 }
@@ -221,6 +225,23 @@ std::string format_flight_event(const StampedFlightEvent& e) {
       std::snprintf(buf + n, sizeof(buf) - size_t(n),
                     "oracle-serve q=%llu source=%u serve=%u",
                     (unsigned long long)e.ev.b, e.ev.a, e.ev.c);
+      break;
+    case FlightKind::kStateSaved:
+    case FlightKind::kStateLoaded:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "%s graphs=%u tables+cache=%u b=%llu",
+                    flight_kind_name(kind), e.ev.a, e.ev.c,
+                    (unsigned long long)e.ev.b);
+      break;
+    case FlightKind::kStateCorrupt:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "state-corrupt sections=%u error-kind=%llu", e.ev.a,
+                    (unsigned long long)e.ev.b);
+      break;
+    case FlightKind::kColdRebuild:
+      std::snprintf(buf + n, sizeof(buf) - size_t(n),
+                    "cold-rebuild fp=%016llx what=%u",
+                    (unsigned long long)e.ev.b, e.ev.a);
       break;
     default:
       std::snprintf(buf + n, sizeof(buf) - size_t(n), "%s a=%u c=%u b=%llu",

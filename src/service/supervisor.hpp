@@ -333,6 +333,10 @@ enum class FlightKind : uint16_t {
   kTableRebuildFallback = 38,  // b=child fingerprint (repair -> cold build)
   kTableBuildFailed = 39,  // b=fingerprint, a=1 when unsupported (asym)
   kOracleServe = 40,       // a=source, b=query id, c=P2pServe class
+  kStateSaved = 41,        // a=graphs saved, b=bytes written, c=tables+cache
+  kStateLoaded = 42,       // a=graphs restored, b=sections read, c=tables+cache
+  kStateCorrupt = 43,      // a=corrupt sections, b=StoreErrorKind+1 (0 = none)
+  kColdRebuild = 44,       // b=fingerprint whose artifact went cold, a=what
 };
 
 const char* flight_kind_name(FlightKind k) noexcept;

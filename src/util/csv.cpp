@@ -1,19 +1,56 @@
 #include "util/csv.hpp"
 
+#include <exception>
 #include <filesystem>
 
 #include "util/error.hpp"
 
 namespace adds {
 
-CsvWriter::CsvWriter(const std::string& path) : path_(path) {
-  const std::filesystem::path p(path);
+namespace {
+
+void ensure_parent_dirs(const std::filesystem::path& p) {
   if (p.has_parent_path()) {
     std::error_code ec;
     std::filesystem::create_directories(p.parent_path(), ec);
   }
-  out_.open(path, std::ios::out | std::ios::trunc);
-  ADDS_REQUIRE(out_.is_open(), "cannot open CSV output file: " + path);
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path)
+    : path_(path), tmp_path_(path + ".tmp") {
+  ensure_parent_dirs(std::filesystem::path(path));
+  out_.open(tmp_path_, std::ios::out | std::ios::trunc);
+  ADDS_REQUIRE(out_.is_open(), "cannot open CSV staging file: " + tmp_path_);
+}
+
+CsvWriter::~CsvWriter() {
+  if (published_) return;
+  if (std::uncaught_exceptions() > 0) {
+    // The scope is unwinding on a failure: discard the staged rows and
+    // keep whatever CSV a previous successful run published.
+    out_.close();
+    std::error_code ec;
+    std::filesystem::remove(tmp_path_, ec);
+    return;
+  }
+  try {
+    close();
+  } catch (...) {
+    // Destructor: swallow; the staging file stays behind as evidence.
+  }
+}
+
+void CsvWriter::close() {
+  if (published_) return;
+  out_.flush();
+  out_.close();
+  std::error_code ec;
+  std::filesystem::rename(tmp_path_, path_, ec);
+  ADDS_REQUIRE(!ec, "cannot publish CSV output file: " + path_ + ": " +
+                        ec.message());
+  published_ = true;
 }
 
 void CsvWriter::write_header(const std::vector<std::string>& cols) {
@@ -37,6 +74,21 @@ std::string csv_escape(const std::string& s) {
   }
   out += '"';
   return out;
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  ensure_parent_dirs(std::filesystem::path(path));
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::out | std::ios::trunc | std::ios::binary);
+    ADDS_REQUIRE(f.is_open(), "cannot open staging file: " + tmp);
+    f.write(content.data(), std::streamsize(content.size()));
+    f.flush();
+    ADDS_REQUIRE(f.good(), "write failed: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  ADDS_REQUIRE(!ec, "cannot publish file: " + path + ": " + ec.message());
 }
 
 }  // namespace adds

@@ -1,5 +1,12 @@
 // CSV emission for bench binaries: every figure bench writes its data series
 // as CSV (next to the human-readable table) so plots can be regenerated.
+//
+// Crash-safe: rows accumulate in `<path>.tmp` and the file is renamed over
+// `path` on close() (or destruction after a clean scope). A bench killed
+// mid-write — the restart-chaos suite does exactly that — leaves any
+// previous CSV at `path` intact instead of a torn half-file; a destructor
+// running because an exception is unwinding the stack discards the staging
+// file rather than publish a series the run never finished.
 #pragma once
 
 #include <fstream>
@@ -10,21 +17,40 @@ namespace adds {
 
 class CsvWriter {
  public:
-  /// Opens `path` for writing; throws adds::Error on failure.
-  /// Creates parent directories if missing.
+  /// Opens the staging file `<path>.tmp` for writing; throws adds::Error
+  /// on failure. Creates parent directories if missing.
   explicit CsvWriter(const std::string& path);
+
+  /// Publishes the staging file over `path` unless the destructor runs
+  /// during exception unwinding (the run failed; keep the previous file).
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
 
   void write_header(const std::vector<std::string>& cols);
   void write_row(const std::vector<std::string>& cells);
+
+  /// Flushes and atomically publishes (rename) the staged rows to path().
+  /// Idempotent; throws adds::Error when the rename fails.
+  void close();
 
   const std::string& path() const { return path_; }
 
  private:
   std::string path_;
+  std::string tmp_path_;
   std::ofstream out_;
+  bool published_ = false;
 };
 
 /// Quote a CSV field if needed.
 std::string csv_escape(const std::string& s);
+
+/// Atomically replaces `path` with `content` (write `<path>.tmp`, rename).
+/// The bench JSON summaries go through this so a crash mid-report never
+/// leaves a torn BENCH_*.json. Creates parent directories; throws
+/// adds::Error on failure.
+void write_file_atomic(const std::string& path, const std::string& content);
 
 }  // namespace adds

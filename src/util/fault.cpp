@@ -23,6 +23,7 @@ const char* site_name(Site s) noexcept {
     case Site::kLaneSplit: return "combiner.lane-split";
     case Site::kDeltaRepair: return "repair.delta";
     case Site::kLandmarkBuild: return "landmark.build";
+    case Site::kStateIo: return "persist.io";
   }
   return "?";
 }

@@ -36,6 +36,11 @@
 //                            throws mid-construction (the service must keep
 //                            the table out of serving — p2p queries ride the
 //                            engine path — and never expose a partial bound)
+//   persist.io               StateStore save/load corrupts or truncates bytes
+//                            (torn write, bitflip, version skew, short read;
+//                            restore must detect every mode by checksum and
+//                            degrade typed to a cold rebuild, never serve
+//                            state it could not verify)
 #pragma once
 
 #include <array>
@@ -57,8 +62,9 @@ enum class Site : uint8_t {
   kLaneSplit,
   kDeltaRepair,
   kLandmarkBuild,
+  kStateIo,
 };
-inline constexpr size_t kNumSites = 10;
+inline constexpr size_t kNumSites = 11;
 
 const char* site_name(Site s) noexcept;
 std::optional<Site> parse_site(const std::string& name);

@@ -1,0 +1,444 @@
+// SsspService save/restore: a warm restart must serve only VERIFIED state.
+// Happy path: restored tenants answer bit-equal to Dijkstra, the landmark
+// oracle is kReady without a single rebuild, restored cache entries hit.
+// Corruption path: checksum-level damage AND checksum-clean tampering
+// (payload modified with digests recomputed) are both caught — the first
+// by the store, the second by the service's ground-truth verify phase
+// (fingerprint recompute, Dijkstra spot check, exactness certificate) —
+// and each resolves to a typed cold rebuild, never a wrong answer.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/fingerprint.hpp"
+#include "graph/generators.hpp"
+#include "persist/state_store.hpp"
+#include "service/sssp_service.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace adds {
+namespace {
+
+namespace fs = std::filesystem;
+
+using IntGraph = CsrGraph<uint32_t>;
+
+constexpr size_t kPrologueBytes = 28;
+constexpr size_t kFrameBytes = 32;
+
+IntGraph test_graph(uint64_t seed = 1, uint32_t side = 14) {
+  return make_grid_road<uint32_t>(side, side, {WeightDist::kUniform, 200},
+                                  seed);
+}
+
+ServiceConfig small_service() {
+  ServiceConfig cfg;
+  cfg.num_engines = 2;
+  cfg.engine.num_workers = 2;
+  cfg.engine.chunk_items = 32;
+  cfg.guarded_fallback = false;
+  cfg.landmark.num_landmarks = 4;
+  return cfg;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path d = fs::path(testing::TempDir()) / ("adds_restore_" + name);
+  fs::remove_all(d);
+  fs::create_directories(d);
+  return d.string();
+}
+
+LandmarkTableStatus table_status(SsspService<uint32_t>& svc, uint64_t fp) {
+  for (const auto& ts : svc.report().tenants)
+    if (ts.graph_fp == fp) return ts.oracle_status;
+  return LandmarkTableStatus::kNone;
+}
+
+bool wait_table(SsspService<uint32_t>& svc, uint64_t fp,
+                LandmarkTableStatus want, int budget_ms = 15000) {
+  for (int waited = 0; waited < budget_ms; waited += 5) {
+    if (table_status(svc, fp) == want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return table_status(svc, fp) == want;
+}
+
+bool flight_has(SsspService<uint32_t>& svc, FlightKind kind) {
+  for (const auto& e : svc.flight_dump())
+    if (FlightKind(e.ev.kind) == kind) return true;
+  return false;
+}
+
+std::vector<uint8_t> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(f.is_open()) << path;
+  std::vector<uint8_t> bytes(size_t(f.tellg()));
+  f.seekg(0);
+  f.read(reinterpret_cast<char*>(bytes.data()),
+         std::streamsize(bytes.size()));
+  return bytes;
+}
+
+void write_file(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          std::streamsize(bytes.size()));
+}
+
+struct Section {
+  uint32_t kind = 0;
+  size_t frame_off = 0;    // offset of the frame header
+  size_t payload_off = 0;  // offset of the payload
+  size_t payload_len = 0;
+};
+
+std::vector<Section> walk_sections(const std::vector<uint8_t>& bytes) {
+  std::vector<Section> out;
+  uint32_t declared = 0;
+  std::memcpy(&declared, bytes.data() + 16, sizeof(declared));
+  size_t pos = kPrologueBytes;
+  for (uint32_t i = 0; i < declared; ++i) {
+    Section s;
+    s.frame_off = pos;
+    std::memcpy(&s.kind, bytes.data() + pos, 4);
+    uint64_t len = 0;
+    std::memcpy(&len, bytes.data() + pos + 8, sizeof(len));
+    s.payload_off = pos + kFrameBytes;
+    s.payload_len = size_t(len);
+    out.push_back(s);
+    pos = s.payload_off + s.payload_len;
+  }
+  return out;
+}
+
+/// Every section's payload begins with the graph fingerprint it belongs
+/// to — section order follows catalog MRU order, so tests target sections
+/// by (kind, fp), never by index.
+const Section* find_section(const std::vector<uint8_t>& bytes,
+                            const std::vector<Section>& sections,
+                            uint32_t kind, uint64_t fp) {
+  for (const auto& s : sections) {
+    if (s.kind != kind) continue;
+    uint64_t got = 0;
+    std::memcpy(&got, bytes.data() + s.payload_off, 8);
+    if (got == fp) return &s;
+  }
+  return nullptr;
+}
+
+/// Checksum-CLEAN tamper: modifies one payload byte, then recomputes the
+/// payload digest and the frame digest so the store's own integrity layer
+/// cannot see it. What catches this is the service's verify phase — the
+/// whole point of "the store is a cache of truth, never a source of it".
+void tamper_and_recompute(std::vector<uint8_t>& bytes, const Section& s,
+                          size_t byte_in_payload, uint8_t xor_mask) {
+  bytes[s.payload_off + byte_in_payload] ^= xor_mask;
+  const uint64_t payload_digest =
+      fnv1a_bytes(bytes.data() + s.payload_off, s.payload_len);
+  std::memcpy(bytes.data() + s.frame_off + 16, &payload_digest, 8);
+  const uint64_t frame_digest =
+      fnv1a_bytes(bytes.data() + s.frame_off, kFrameBytes - 8);
+  std::memcpy(bytes.data() + s.frame_off + kFrameBytes - 8, &frame_digest, 8);
+}
+
+/// Warm service with two tenants (default + secondary), a READY table on
+/// the default, and a few cached full trees; saves to `dir`.
+uint64_t warm_and_save(const std::string& dir, uint64_t& second_fp_out) {
+  SsspService<uint32_t> svc(small_service());
+  const uint64_t fp = svc.set_graph(test_graph(1));
+  second_fp_out = svc.publish_graph(
+      std::make_shared<const IntGraph>(test_graph(2, 10)), /*pinned=*/true);
+  EXPECT_TRUE(wait_table(svc, fp, LandmarkTableStatus::kReady));
+  EXPECT_TRUE(wait_table(svc, second_fp_out, LandmarkTableStatus::kReady));
+  for (const VertexId s : {VertexId{0}, VertexId{42}, VertexId{195}})
+    EXPECT_EQ(svc.query(s).status, QueryStatus::kOk);
+  QueryOptions q2;
+  q2.graph_fp = second_fp_out;
+  EXPECT_EQ(svc.query(5, q2).status, QueryStatus::kOk);
+  const SaveOutcome out = svc.save(dir);
+  EXPECT_TRUE(out.ok) << out.error;
+  EXPECT_EQ(out.graphs, 2u);
+  EXPECT_EQ(out.tables, 2u);
+  EXPECT_GE(out.cache_entries, 4u);
+  EXPECT_EQ(svc.report().state_saves_ok, 1u);
+  return fp;
+}
+
+// ---- happy path ------------------------------------------------------------
+
+TEST(ServiceRestore, WarmRestartServesVerifiedStateWithoutRebuilds) {
+  const std::string dir = fresh_dir("happy");
+  uint64_t second_fp = 0;
+  const uint64_t fp = warm_and_save(dir, second_fp);
+
+  SsspService<uint32_t> svc(small_service());
+  const RestoreOutcome out = svc.restore(dir);
+  EXPECT_TRUE(out.store_found);
+  EXPECT_TRUE(out.ok) << out.error;
+  EXPECT_EQ(out.graphs_restored, 2u);
+  EXPECT_EQ(out.tables_restored, 2u);
+  EXPECT_GE(out.cache_restored, 4u);
+  EXPECT_EQ(out.corrupt_sections, 0u);
+  EXPECT_EQ(out.cold_rebuilds, 0u);
+  EXPECT_GT(out.load_ms + out.verify_ms, 0.0);
+
+  // The oracle is READY from the restored (verified) table — no build ran
+  // and none is queued.
+  auto rep = svc.report();
+  EXPECT_EQ(rep.state_restores_ok, 1u);
+  EXPECT_EQ(rep.state_tables_restored, out.tables_restored);
+  EXPECT_EQ(rep.landmark_builds_ok, 0u);
+  EXPECT_EQ(rep.landmark_builds_pending, 0u);
+  EXPECT_EQ(table_status(svc, fp), LandmarkTableStatus::kReady);
+  EXPECT_TRUE(flight_has(svc, FlightKind::kStateLoaded));
+  EXPECT_FALSE(flight_has(svc, FlightKind::kColdRebuild));
+
+  // Restored answers are bit-equal to ground truth. Source 42 was cached
+  // pre-save: it must hit the restored cache, not an engine.
+  const auto g = test_graph(1);
+  const auto truth = dijkstra(g, 42);
+  const auto q = svc.query(42);  // default routing also survived
+  EXPECT_TRUE(q.cache_hit);
+  ASSERT_NE(q.result, nullptr);
+  EXPECT_EQ(q.result->dist, truth.dist);
+  EXPECT_EQ(q.graph_fp, fp);
+
+  // The secondary tenant restored too (pinned, explicit routing).
+  const auto g2 = test_graph(2, 10);
+  QueryOptions opts;
+  opts.graph_fp = second_fp;
+  const auto q2 = svc.query(5, opts);
+  EXPECT_EQ(q2.result->dist, dijkstra(g2, 5).dist);
+
+  // Point-to-point rides the restored table with zero engine dispatch.
+  QueryOptions p2p;
+  p2p.target = 57;
+  const auto qp = svc.query(0, p2p);
+  ASSERT_TRUE(qp.p2p_serve == P2pServe::kOracleExact ||
+              qp.p2p_serve == P2pServe::kAltSearch);
+  EXPECT_EQ(qp.p2p_distance, dijkstra(g, 0).dist[57]);
+}
+
+TEST(ServiceRestore, MissingStoreIsACleanColdStart) {
+  SsspService<uint32_t> svc(small_service());
+  const RestoreOutcome out = svc.restore(fresh_dir("missing"));
+  EXPECT_FALSE(out.store_found);
+  EXPECT_FALSE(out.ok);
+  EXPECT_TRUE(out.error.empty());
+  const auto rep = svc.report();
+  EXPECT_EQ(rep.state_restores_ok, 0u);
+  EXPECT_EQ(rep.state_restores_failed, 0u);
+}
+
+TEST(ServiceRestore, SaveOnEmptyServiceAndRestoreRoundTrips) {
+  const std::string dir = fresh_dir("empty");
+  {
+    SsspService<uint32_t> svc(small_service());
+    const SaveOutcome out = svc.save(dir);
+    EXPECT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.graphs, 0u);
+  }
+  SsspService<uint32_t> svc(small_service());
+  const RestoreOutcome out = svc.restore(dir);
+  EXPECT_TRUE(out.store_found);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.graphs_restored, 0u);
+}
+
+// ---- whole-store corruption ------------------------------------------------
+
+TEST(ServiceRestore, GarbageStoreFailsTypedAndServiceStaysServable) {
+  const std::string dir = fresh_dir("garbage");
+  write_file((fs::path(dir) / "state.adds").string(),
+             std::vector<uint8_t>(256, 0xab));
+
+  SsspService<uint32_t> svc(small_service());
+  const RestoreOutcome out = svc.restore(dir);
+  EXPECT_TRUE(out.store_found);
+  EXPECT_FALSE(out.ok);
+  EXPECT_FALSE(out.error.empty());
+  EXPECT_GT(out.corrupt_sections, 0u);
+  EXPECT_EQ(svc.report().state_restores_failed, 1u);
+  EXPECT_TRUE(flight_has(svc, FlightKind::kStateCorrupt));
+
+  // Cold rebuild is the operator republish — the service is fully
+  // functional afterwards.
+  const auto g = test_graph(1);
+  svc.set_graph(g);
+  EXPECT_EQ(svc.query(0).result->dist, dijkstra(g, 0).dist);
+}
+
+// ---- checksum-clean tampering (the verify phase's job) ---------------------
+
+TEST(ServiceRestore, TamperedGraphCaughtByFingerprintRecompute) {
+  const std::string dir = fresh_dir("tamper_graph");
+  uint64_t second_fp = 0;
+  const uint64_t fp = warm_and_save(dir, second_fp);
+
+  const std::string path = (fs::path(dir) / "state.adds").string();
+  auto bytes = read_file(path);
+  const auto sections = walk_sections(bytes);
+  // Graph payload: fp(8) parent(8) pinned(1) default(1) n(8) m(8)
+  // offsets... — flip a byte deep in the CSR arrays of the DEFAULT
+  // tenant's graph section, digests recomputed.
+  const Section* gsec = find_section(bytes, sections, 1, fp);
+  ASSERT_NE(gsec, nullptr);
+  tamper_and_recompute(bytes, *gsec, gsec->payload_len - 3, 0x20);
+  write_file(path, bytes);
+
+  SsspService<uint32_t> svc(small_service());
+  const RestoreOutcome out = svc.restore(dir);
+  EXPECT_TRUE(out.ok);
+  EXPECT_GE(out.corrupt_sections, 1u);
+  EXPECT_GE(out.cold_rebuilds, 1u);
+  EXPECT_TRUE(flight_has(svc, FlightKind::kColdRebuild));
+  EXPECT_TRUE(flight_has(svc, FlightKind::kStateCorrupt));
+
+  // The tampered tenant is NOT resident — nothing unverified serves. The
+  // untampered secondary tenant restored normally.
+  const auto residents = svc.resident_graphs();
+  for (const uint64_t r : residents) EXPECT_NE(r, fp);
+  QueryOptions opts;
+  opts.graph_fp = second_fp;
+  EXPECT_EQ(svc.query(5, opts).result->dist,
+            dijkstra(test_graph(2, 10), 5).dist);
+}
+
+TEST(ServiceRestore, TamperedLandmarkRowCaughtByDijkstraSpotCheck) {
+  const std::string dir = fresh_dir("tamper_table");
+  uint64_t second_fp = 0;
+  const uint64_t fp = warm_and_save(dir, second_fp);
+
+  const std::string path = (fs::path(dir) / "state.adds").string();
+  auto bytes = read_file(path);
+  const auto sections = walk_sections(bytes);
+  const Section* lm = find_section(bytes, sections, 2, fp);
+  ASSERT_NE(lm, nullptr);
+  // Landmark payload: fp(8) nv(8) K(4) repaired(1) build_ms(8)
+  // landmarks(K*4) rows(K*V*8). Poison a cell of the AUDITED row
+  // (k = fp % K) that is not the landmark's zero self-distance.
+  uint64_t nv = 0;
+  uint32_t K = 0;
+  std::memcpy(&nv, bytes.data() + lm->payload_off + 8, 8);
+  std::memcpy(&K, bytes.data() + lm->payload_off + 16, 4);
+  const uint32_t k = uint32_t(fp % K);
+  VertexId audited_lm = 0;
+  std::memcpy(&audited_lm, bytes.data() + lm->payload_off + 29 + k * 4, 4);
+  const size_t cell = audited_lm == 0 ? 1 : 0;  // any non-self cell
+  const size_t off = 29 + size_t(K) * 4 + (size_t(k) * nv + cell) * 8;
+  tamper_and_recompute(bytes, *lm, off, 0x08);
+  write_file(path, bytes);
+
+  SsspService<uint32_t> svc(small_service());
+  const RestoreOutcome out = svc.restore(dir);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.graphs_restored, 2u);  // graphs themselves verified fine
+  EXPECT_EQ(out.tables_restored, 1u);  // the untampered tenant's table
+  EXPECT_GE(out.corrupt_sections, 1u);
+  EXPECT_GE(out.cold_rebuilds, 1u);
+  EXPECT_TRUE(flight_has(svc, FlightKind::kColdRebuild));
+
+  // The poisoned table never serves: the tenant rebuilds COLD and comes
+  // back READY with a fresh (correct) table.
+  ASSERT_TRUE(wait_table(svc, fp, LandmarkTableStatus::kReady));
+  EXPECT_EQ(svc.report().landmark_builds_ok, 1u);
+  const auto g = test_graph(1);
+  QueryOptions p2p;
+  p2p.target = 31;
+  const auto q = svc.query(3, p2p);
+  EXPECT_EQ(q.p2p_distance, dijkstra(g, 3).dist[31]);
+}
+
+TEST(ServiceRestore, TamperedCacheEntryCaughtByExactnessCertificate) {
+  const std::string dir = fresh_dir("tamper_cache");
+  uint64_t second_fp = 0;
+  const uint64_t fp = warm_and_save(dir, second_fp);
+
+  const std::string path = (fs::path(dir) / "state.adds").string();
+  auto bytes = read_file(path);
+  const auto sections = walk_sections(bytes);
+  const Section* cache_sec = find_section(bytes, sections, 3, fp);
+  ASSERT_NE(cache_sec, nullptr);
+  // Cache payload: fp(8) source(4) config(8) n(8) dist(n*8). Flip a low
+  // bit of a non-source distance — feasibility or support breaks, the
+  // certificate rejects it.
+  VertexId source = 0;
+  std::memcpy(&source, bytes.data() + cache_sec->payload_off + 8, 4);
+  const size_t cell = source == 0 ? 1 : 0;
+  tamper_and_recompute(bytes, *cache_sec, 28 + cell * 8, 0x01);
+  write_file(path, bytes);
+
+  SsspService<uint32_t> svc(small_service());
+  const RestoreOutcome out = svc.restore(dir);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.graphs_restored, 2u);
+  EXPECT_GE(out.corrupt_sections, 1u);
+  EXPECT_GE(out.cold_rebuilds, 1u);
+
+  // The poisoned entry is gone; the query recomputes fresh and is right.
+  const auto g = test_graph(1);
+  const auto q = svc.query(source);
+  EXPECT_FALSE(q.cache_hit);
+  EXPECT_EQ(q.result->dist, dijkstra(g, source).dist);
+  EXPECT_EQ(q.graph_fp, fp);
+}
+
+// ---- checksum-level section damage through the service ----------------------
+
+TEST(ServiceRestore, BitflippedSectionDegradesToColdRebuildNeverWrong) {
+  const std::string dir = fresh_dir("bitflip");
+  uint64_t second_fp = 0;
+  const uint64_t fp = warm_and_save(dir, second_fp);
+
+  const std::string path = (fs::path(dir) / "state.adds").string();
+  auto bytes = read_file(path);
+  const auto sections = walk_sections(bytes);
+  const Section* lm = find_section(bytes, sections, 2, fp);
+  ASSERT_NE(lm, nullptr);
+  // Plain bitflip WITHOUT recomputed digests: the store itself skips the
+  // section; the service schedules the typed cold rebuild.
+  bytes[lm->payload_off + lm->payload_len / 2] ^= 0x10;
+  write_file(path, bytes);
+
+  SsspService<uint32_t> svc(small_service());
+  const RestoreOutcome out = svc.restore(dir);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.graphs_restored, 2u);
+  EXPECT_EQ(out.tables_restored, 1u);
+  EXPECT_GE(out.corrupt_sections, 1u);
+  EXPECT_TRUE(flight_has(svc, FlightKind::kStateCorrupt));
+  ASSERT_TRUE(wait_table(svc, fp, LandmarkTableStatus::kReady));
+  const auto g = test_graph(1);
+  EXPECT_EQ(svc.query(7).result->dist, dijkstra(g, 7).dist);
+}
+
+// ---- config digest discipline ----------------------------------------------
+
+TEST(ServiceRestore, CacheRestoredOnlyUnderMatchingSolverConfig) {
+  const std::string dir = fresh_dir("config");
+  uint64_t second_fp = 0;
+  warm_and_save(dir, second_fp);
+
+  // A different solver config must not inherit the old config's cache
+  // entries (the cache key digest would never match at lookup anyway —
+  // restore refuses to resurrect them at all).
+  ServiceConfig cfg = small_service();
+  cfg.engine.num_workers = 3;  // part of options_digest
+  SsspService<uint32_t> svc(cfg);
+  const RestoreOutcome out = svc.restore(dir);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.graphs_restored, 2u);
+  EXPECT_EQ(out.cache_restored, 0u);
+  const auto q = svc.query(42);
+  EXPECT_FALSE(q.cache_hit);
+  EXPECT_EQ(q.result->dist, dijkstra(test_graph(1), 42).dist);
+}
+
+}  // namespace
+}  // namespace adds

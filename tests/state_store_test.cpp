@@ -1,0 +1,466 @@
+// StateStore corruption matrix: the store must make every real-world
+// failure shape DETECTABLE BY CONSTRUCTION — truncation at (and inside)
+// every section boundary, a single bitflip in any section, magic/version/
+// weight-kind mismatch, an empty or missing file, and the deterministic
+// persist.io save-side modes. A corrupt byte is never decoded into a
+// plausible-looking record: it is either a typed StoreError or a counted,
+// skipped section, with every salvaged section still bit-true.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "graph/fingerprint.hpp"
+#include "graph/generators.hpp"
+#include "persist/state_store.hpp"
+#include "sssp/dijkstra.hpp"
+#include "util/fault.hpp"
+
+namespace adds {
+namespace {
+
+namespace fs = std::filesystem;
+using persist::ByteReader;
+using persist::LoadResult;
+using persist::StateSnapshot;
+using persist::StateStore;
+using persist::StoreError;
+using persist::StoreErrorKind;
+
+// Mirrors the on-disk layout (state_store.cpp): magic(8) version(4)
+// weight(1) pad(3) sections(4) digest(8); frames are kind(4) pad(4)
+// len(8) payload_digest(8) frame_digest(8).
+constexpr size_t kPrologueBytes = 28;
+constexpr size_t kFrameBytes = 32;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path d = fs::path(testing::TempDir()) / ("adds_store_" + name);
+  fs::remove_all(d);
+  fs::create_directories(d);
+  return d.string();
+}
+
+std::vector<uint8_t> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(f.is_open()) << path;
+  std::vector<uint8_t> bytes(size_t(f.tellg()));
+  f.seekg(0);
+  f.read(reinterpret_cast<char*>(bytes.data()),
+         std::streamsize(bytes.size()));
+  return bytes;
+}
+
+void write_file(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          std::streamsize(bytes.size()));
+}
+
+template <typename A, typename B>
+void expect_range_eq(const A& a, const B& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+}
+
+/// Byte offsets where each section ENDS (== where the next frame starts).
+/// boundaries[0] is the end of the prologue.
+std::vector<size_t> section_boundaries(const std::vector<uint8_t>& bytes) {
+  std::vector<size_t> b{kPrologueBytes};
+  uint32_t declared = 0;
+  std::memcpy(&declared, bytes.data() + 16, sizeof(declared));
+  size_t pos = kPrologueBytes;
+  for (uint32_t i = 0; i < declared; ++i) {
+    uint64_t len = 0;
+    std::memcpy(&len, bytes.data() + pos + 8, sizeof(len));
+    pos += kFrameBytes + len;
+    b.push_back(pos);
+  }
+  EXPECT_EQ(pos, bytes.size());
+  return b;
+}
+
+/// Three-tenant snapshot with a landmark table and two cache entries —
+/// enough sections that "skip exactly the damaged one" is observable.
+StateSnapshot<uint32_t> make_snapshot() {
+  StateSnapshot<uint32_t> snap;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    persist::GraphRecord<uint32_t> gr;
+    gr.graph = std::make_shared<const IntGraph>(make_grid_road<uint32_t>(
+        8, 8, {WeightDist::kUniform, 100}, seed));
+    gr.graph_fp = graph_fingerprint(*gr.graph);
+    gr.pinned = seed == 1;
+    gr.is_default = seed == 1;
+    gr.parent_fp = seed == 3 ? snap.graphs[1].graph_fp : 0;
+    snap.graphs.push_back(std::move(gr));
+  }
+  const auto& g0 = *snap.graphs[0].graph;
+  const uint64_t fp0 = snap.graphs[0].graph_fp;
+  auto lms = LandmarkOracle<uint32_t>::select_landmarks(g0, 4, 42);
+  std::vector<DistT<uint32_t>> rows;
+  for (const VertexId lm : lms) {
+    const auto r = dijkstra(g0, lm);
+    rows.insert(rows.end(), r.dist.begin(), r.dist.end());
+  }
+  persist::LandmarkRecord<uint32_t> lr;
+  lr.graph_fp = fp0;
+  lr.table = LandmarkOracle<uint32_t>::assemble(fp0, g0.num_vertices(), lms,
+                                                std::move(rows), 1.5, false);
+  snap.landmarks.push_back(std::move(lr));
+  for (const VertexId src : {VertexId{0}, VertexId{7}}) {
+    persist::CacheRecord<uint32_t> cr;
+    cr.graph_fp = fp0;
+    cr.source = src;
+    cr.dist = dijkstra(g0, src).dist;
+    snap.cache.push_back(std::move(cr));
+  }
+  return snap;
+}
+
+void expect_salvage_bit_true(const LoadResult<uint32_t>& got,
+                             const StateSnapshot<uint32_t>& want) {
+  // Whatever survived must be byte-for-byte what was saved — never a
+  // partially decoded or reinterpreted record.
+  for (const auto& g : got.snap.graphs) {
+    EXPECT_EQ(graph_fingerprint(*g.graph), g.graph_fp);
+    bool found = false;
+    for (const auto& w : want.graphs) found |= w.graph_fp == g.graph_fp;
+    EXPECT_TRUE(found);
+  }
+  for (const auto& t : got.snap.landmarks) {
+    ASSERT_EQ(want.landmarks.size(), 1u);
+    const auto& w = *want.landmarks[0].table;
+    ASSERT_EQ(t.table->num_landmarks(), w.num_landmarks());
+    const size_t cells = size_t(w.num_landmarks()) * w.num_vertices();
+    EXPECT_EQ(std::memcmp(t.table->row(0), w.row(0),
+                          cells * sizeof(DistT<uint32_t>)),
+              0);
+  }
+  for (const auto& c : got.snap.cache) {
+    bool found = false;
+    for (const auto& w : want.cache)
+      if (w.source == c.source) {
+        found = true;
+        EXPECT_EQ(c.dist, w.dist);
+      }
+    EXPECT_TRUE(found);
+  }
+}
+
+// ---- round trip ------------------------------------------------------------
+
+TEST(StateStore, RoundTripBitEqual) {
+  const auto snap = make_snapshot();
+  StateStore store(fresh_dir("roundtrip"));
+  EXPECT_FALSE(store.exists());
+  const auto st = store.save(snap);
+  EXPECT_TRUE(store.exists());
+  EXPECT_EQ(st.sections, 6u);  // 3 graphs + 1 table + 2 cache entries
+  EXPECT_EQ(st.bytes, fs::file_size(store.path()));
+  EXPECT_FALSE(fs::exists(store.path() + ".tmp"));  // staging file renamed
+
+  const auto got = store.load<uint32_t>();
+  EXPECT_EQ(got.sections_total, 6u);
+  EXPECT_EQ(got.corrupt_sections, 0u);
+  EXPECT_TRUE(got.errors.empty());
+  ASSERT_EQ(got.snap.graphs.size(), 3u);
+  ASSERT_EQ(got.snap.landmarks.size(), 1u);
+  ASSERT_EQ(got.snap.cache.size(), 2u);
+  for (size_t i = 0; i < 3; ++i) {
+    const auto& w = snap.graphs[i];
+    const auto& g = got.snap.graphs[i];
+    EXPECT_EQ(g.graph_fp, w.graph_fp);
+    EXPECT_EQ(g.parent_fp, w.parent_fp);
+    EXPECT_EQ(g.pinned, w.pinned);
+    EXPECT_EQ(g.is_default, w.is_default);
+    expect_range_eq(g.graph->offsets(), w.graph->offsets());
+    expect_range_eq(g.graph->targets(), w.graph->targets());
+    expect_range_eq(g.graph->weights(), w.graph->weights());
+  }
+  EXPECT_EQ(got.snap.landmarks[0].table->landmarks(),
+            snap.landmarks[0].table->landmarks());
+  EXPECT_EQ(got.snap.landmarks[0].table->build_ms(), 1.5);
+  expect_salvage_bit_true(got, snap);
+}
+
+TEST(StateStore, SaveIsDeterministic) {
+  const auto snap = make_snapshot();
+  StateStore a(fresh_dir("det_a")), b(fresh_dir("det_b"));
+  a.save(snap);
+  b.save(snap);
+  EXPECT_EQ(read_file(a.path()), read_file(b.path()));
+}
+
+TEST(StateStore, FloatRoundTrip) {
+  StateSnapshot<float> snap;
+  persist::GraphRecord<float> gr;
+  gr.graph = std::make_shared<const CsrGraph<float>>(
+      make_grid_road<float>(6, 6, {WeightDist::kUniform, 100}, 9));
+  gr.graph_fp = graph_fingerprint(*gr.graph);
+  snap.graphs.push_back(gr);
+  persist::CacheRecord<float> cr;
+  cr.graph_fp = gr.graph_fp;
+  cr.source = 0;
+  cr.dist = dijkstra(*gr.graph, 0).dist;
+  snap.cache.push_back(cr);
+
+  StateStore store(fresh_dir("float"));
+  store.save(snap);
+  const auto got = store.load<float>();
+  EXPECT_EQ(got.corrupt_sections, 0u);
+  ASSERT_EQ(got.snap.graphs.size(), 1u);
+  expect_range_eq(got.snap.graphs[0].graph->weights(), gr.graph->weights());
+  ASSERT_EQ(got.snap.cache.size(), 1u);
+  EXPECT_EQ(got.snap.cache[0].dist, cr.dist);
+}
+
+TEST(StateStore, EmptySnapshotRoundTrip) {
+  StateStore store(fresh_dir("empty_snap"));
+  const auto st = store.save(StateSnapshot<uint32_t>{});
+  EXPECT_EQ(st.sections, 0u);
+  const auto got = store.load<uint32_t>();
+  EXPECT_EQ(got.sections_total, 0u);
+  EXPECT_EQ(got.corrupt_sections, 0u);
+}
+
+// ---- whole-store failures (typed) ------------------------------------------
+
+TEST(StateStore, MissingFileThrowsIoError) {
+  StateStore store(fresh_dir("missing"));
+  EXPECT_FALSE(store.exists());
+  try {
+    store.load<uint32_t>();
+    FAIL() << "load of a missing store must throw";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.kind(), StoreErrorKind::kIoError);
+  }
+}
+
+TEST(StateStore, EmptyFileThrowsCorrupt) {
+  StateStore store(fresh_dir("empty_file"));
+  write_file(store.path(), {});
+  try {
+    store.load<uint32_t>();
+    FAIL() << "empty store must throw";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.kind(), StoreErrorKind::kCorruptStore);
+  }
+}
+
+TEST(StateStore, BadMagicThrowsCorrupt) {
+  StateStore store(fresh_dir("magic"));
+  store.save(make_snapshot());
+  auto bytes = read_file(store.path());
+  bytes[3] ^= 0xff;
+  write_file(store.path(), bytes);
+  try {
+    store.load<uint32_t>();
+    FAIL() << "bad magic must throw";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.kind(), StoreErrorKind::kCorruptStore);
+  }
+}
+
+TEST(StateStore, HeaderDigestMismatchThrowsCorrupt) {
+  StateStore store(fresh_dir("header"));
+  store.save(make_snapshot());
+  auto bytes = read_file(store.path());
+  bytes[16] ^= 0x01;  // section count — inside the digested prologue
+  write_file(store.path(), bytes);
+  try {
+    store.load<uint32_t>();
+    FAIL() << "prologue damage must throw";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.kind(), StoreErrorKind::kCorruptStore);
+  }
+}
+
+TEST(StateStore, VersionSkewTyped) {
+  StateStore store(fresh_dir("version"));
+  store.save(make_snapshot());
+  auto bytes = read_file(store.path());
+  // A future format number in an otherwise INTACT prologue: recompute the
+  // header digest so only the version check can reject it.
+  const uint32_t skewed = 99;
+  std::memcpy(bytes.data() + 8, &skewed, sizeof(skewed));
+  const uint64_t digest = fnv1a_bytes(bytes.data(), kPrologueBytes - 8);
+  std::memcpy(bytes.data() + kPrologueBytes - 8, &digest, sizeof(digest));
+  write_file(store.path(), bytes);
+  try {
+    store.load<uint32_t>();
+    FAIL() << "version skew must throw";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.kind(), StoreErrorKind::kVersionSkew);
+  }
+}
+
+TEST(StateStore, WeightKindMismatchTyped) {
+  StateStore store(fresh_dir("weight_kind"));
+  store.save(make_snapshot());  // uint32 store
+  try {
+    store.load<float>();
+    FAIL() << "weight-kind mismatch must throw";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.kind(), StoreErrorKind::kVersionSkew);
+  }
+}
+
+// ---- section-level damage (degraded, never wrong) --------------------------
+
+TEST(StateStore, TruncationAtEverySectionBoundary) {
+  const auto snap = make_snapshot();
+  StateStore store(fresh_dir("trunc"));
+  store.save(snap);
+  const auto bytes = read_file(store.path());
+  const auto bounds = section_boundaries(bytes);
+  const size_t declared = bounds.size() - 1;
+
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    // Cut exactly AT the boundary (clean prefix of i sections) and a few
+    // bytes past it (mid-frame) and mid-payload of the next section.
+    for (const size_t extra : {size_t{0}, size_t{5}, kFrameBytes + 3}) {
+      const size_t cut = bounds[i] + extra;
+      if (cut >= bytes.size()) continue;
+      write_file(store.path(),
+                 {bytes.begin(), bytes.begin() + std::streamsize(cut)});
+      const auto got = store.load<uint32_t>();
+      const size_t salvaged = got.snap.graphs.size() +
+                              got.snap.landmarks.size() +
+                              got.snap.cache.size();
+      // Every section before the cut decodes; everything at/after it is
+      // counted corrupt. Nothing is ever decoded from the damaged tail.
+      EXPECT_EQ(salvaged, i) << "cut at " << cut;
+      EXPECT_EQ(got.corrupt_sections, declared - i) << "cut at " << cut;
+      EXPECT_FALSE(got.errors.empty());
+      expect_salvage_bit_true(got, snap);
+    }
+  }
+}
+
+TEST(StateStore, SingleBitflipInEachSectionPayload) {
+  const auto snap = make_snapshot();
+  StateStore store(fresh_dir("bitflip"));
+  store.save(snap);
+  const auto bytes = read_file(store.path());
+  const auto bounds = section_boundaries(bytes);
+  const size_t declared = bounds.size() - 1;
+
+  for (size_t i = 0; i < declared; ++i) {
+    auto damaged = bytes;
+    // Flip one bit in the middle of section i's PAYLOAD: the frame stays
+    // trusted, so the loader skips exactly this section and keeps going.
+    const size_t payload_start = bounds[i] + kFrameBytes;
+    damaged[(payload_start + bounds[i + 1]) / 2] ^= 0x10;
+    write_file(store.path(), damaged);
+    const auto got = store.load<uint32_t>();
+    EXPECT_EQ(got.corrupt_sections, 1u) << "section " << i;
+    const size_t salvaged = got.snap.graphs.size() +
+                            got.snap.landmarks.size() +
+                            got.snap.cache.size();
+    EXPECT_EQ(salvaged, declared - 1) << "section " << i;
+    expect_salvage_bit_true(got, snap);
+  }
+}
+
+TEST(StateStore, BitflipInFrameEndsWalkThere) {
+  const auto snap = make_snapshot();
+  StateStore store(fresh_dir("frameflip"));
+  store.save(snap);
+  auto bytes = read_file(store.path());
+  const auto bounds = section_boundaries(bytes);
+  const size_t declared = bounds.size() - 1;
+  // Flip a byte of section 1's LENGTH field: without a trusted frame the
+  // walk cannot resynchronize — it must stop, not misparse the rest.
+  bytes[bounds[1] + 9] ^= 0x04;
+  write_file(store.path(), bytes);
+  const auto got = store.load<uint32_t>();
+  EXPECT_EQ(got.snap.graphs.size(), 1u);
+  EXPECT_EQ(got.corrupt_sections, declared - 1);
+  expect_salvage_bit_true(got, snap);
+}
+
+// ---- persist.io fault site -------------------------------------------------
+
+TEST(StateStore, PersistIoModesAreDeterministicAndAllDetected) {
+  const auto before = make_snapshot();
+  // Four dirs, each pre-seeded with a GOOD store, then one armed save
+  // each: the fire count cycles torn-write / bitflip / version-skew /
+  // no-rename deterministically.
+  std::vector<std::string> dirs;
+  for (int i = 0; i < 4; ++i) {
+    dirs.push_back(fresh_dir("iomode" + std::to_string(i)));
+    StateStore(dirs.back()).save(before);
+  }
+  const auto good_bytes = read_file(StateStore(dirs[3]).path());
+
+  fault::FaultPlan plan(7);
+  plan.set(fault::Site::kStateIo, {1.0, ~0ull, 0});
+  {
+    fault::FaultScope scope(plan);
+    for (const auto& d : dirs) StateStore(d).save(before);
+  }
+  EXPECT_EQ(plan.fires(fault::Site::kStateIo), 4u);
+
+  // Mode 0, torn write: published, detected at load as corrupt sections.
+  {
+    const auto got = StateStore(dirs[0]).load<uint32_t>();
+    EXPECT_GT(got.corrupt_sections, 0u);
+    expect_salvage_bit_true(got, before);
+  }
+  // Mode 1, single bitflip: either the prologue rejects the store whole
+  // or exactly the damaged section is skipped — never a wrong record.
+  try {
+    const auto got = StateStore(dirs[1]).load<uint32_t>();
+    EXPECT_GT(got.corrupt_sections, 0u);
+    expect_salvage_bit_true(got, before);
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.kind(), StoreErrorKind::kCorruptStore);
+  }
+  // Mode 2, version skew: intact prologue of an unreadable format.
+  try {
+    StateStore(dirs[2]).load<uint32_t>();
+    FAIL() << "version-skewed store must throw";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.kind(), StoreErrorKind::kVersionSkew);
+  }
+  // Mode 3, crash before rename: the PREVIOUS store is untouched.
+  EXPECT_EQ(read_file(StateStore(dirs[3]).path()), good_bytes);
+  const auto got = StateStore(dirs[3]).load<uint32_t>();
+  EXPECT_EQ(got.corrupt_sections, 0u);
+}
+
+TEST(StateStore, PersistIoShortReadDetected) {
+  StateStore store(fresh_dir("shortread"));
+  store.save(make_snapshot());
+  fault::FaultPlan plan(11);
+  plan.set(fault::Site::kStateIo, {1.0, ~0ull, 0});
+  fault::FaultScope scope(plan);
+  // The injected short read halves the byte stream; depending on where
+  // that lands it is a truncated tail (corrupt sections) — never a
+  // cleanly parsed half-store.
+  try {
+    const auto got = store.load<uint32_t>();
+    EXPECT_GT(got.corrupt_sections, 0u);
+  } catch (const StoreError& e) {
+    EXPECT_NE(e.kind(), StoreErrorKind::kIoError);
+  }
+}
+
+// ---- reader hygiene --------------------------------------------------------
+
+TEST(StateStore, ByteReaderBoundsChecked) {
+  const uint8_t buf[4] = {1, 2, 3, 4};
+  ByteReader r(buf, sizeof(buf));
+  EXPECT_EQ(r.u32(), 0x04030201u);
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.u8(), StoreError);
+  ByteReader r2(buf, sizeof(buf));
+  EXPECT_THROW(r2.u64(), StoreError);
+  ByteReader r3(buf, sizeof(buf));
+  EXPECT_THROW(r3.vec<uint32_t>(2), StoreError);
+}
+
+}  // namespace
+}  // namespace adds
